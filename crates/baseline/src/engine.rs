@@ -1,0 +1,357 @@
+//! The step-centric multi-threaded CPU engine.
+
+use std::time::{Duration, Instant};
+
+use lightrw_graph::{Graph, VertexId};
+use lightrw_rng::splitmix::mix64;
+use lightrw_walker::app::StepContext;
+use lightrw_walker::membership::common_neighbor_mask;
+use lightrw_walker::{AnySampler, QuerySet, SamplerKind, WalkApp, WalkResults};
+
+/// CPU engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineConfig {
+    /// Worker threads; 0 = one per available core (the paper's 16-core
+    /// Xeon runs ThunderRW with one thread per core).
+    pub threads: usize,
+    /// Per-step weighted sampling method. The paper configures ThunderRW
+    /// with inverse transformation sampling (§6.1.4).
+    pub sampler: SamplerKind,
+    /// Base RNG seed (each thread derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            sampler: SamplerKind::InverseTransform,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// The Fig. 14 "ThunderRW w/PWRS" variant: the paper's parallel WRS
+    /// algorithm executed on the CPU (k lanes emulated sequentially).
+    pub fn with_pwrs(k: usize) -> Self {
+        Self {
+            sampler: SamplerKind::ParallelWrs { k },
+            ..Self::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Measured outcome of a baseline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineRunStats {
+    /// Steps actually executed.
+    pub steps: u64,
+    /// Wall-clock execution time (excludes workload construction).
+    pub elapsed: Duration,
+    /// Threads used.
+    pub threads: usize,
+}
+
+impl BaselineRunStats {
+    /// Steps per second of wall-clock time.
+    pub fn steps_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.steps as f64 / s
+        }
+    }
+}
+
+/// Per-query walk state used by the round-robin scheduler.
+struct WalkState {
+    cur: VertexId,
+    prev: Option<VertexId>,
+    step: u32,
+    length: u32,
+    path: Vec<VertexId>,
+}
+
+/// The ThunderRW-like engine.
+pub struct CpuEngine<'g> {
+    graph: &'g Graph,
+    app: &'g dyn WalkApp,
+    cfg: BaselineConfig,
+}
+
+impl<'g> CpuEngine<'g> {
+    /// Create an engine for `app` on `graph`.
+    pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: BaselineConfig) -> Self {
+        Self { graph, app, cfg }
+    }
+
+    /// Execute all queries; returns paths in query order plus timing.
+    pub fn run(&self, queries: &QuerySet) -> (WalkResults, BaselineRunStats) {
+        let threads = self.cfg.effective_threads().max(1);
+        let qs = queries.queries();
+        let chunk = qs.len().div_ceil(threads.max(1)).max(1);
+        let start = Instant::now();
+
+        // Contiguous chunks preserve query order on concatenation.
+        let mut chunk_outputs: Vec<(WalkResults, u64)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, chunk_qs) in qs.chunks(chunk).enumerate() {
+                let seed = mix64(self.cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                handles.push(scope.spawn(move || self.run_chunk(chunk_qs, seed)));
+            }
+            for h in handles {
+                chunk_outputs.push(h.join().expect("worker thread panicked"));
+            }
+        });
+
+        let elapsed = start.elapsed();
+        let mut results = WalkResults::with_capacity(qs.len(), 8);
+        let mut steps = 0u64;
+        for (chunk_res, chunk_steps) in &chunk_outputs {
+            for p in chunk_res.iter() {
+                results.push_path(p);
+            }
+            steps += chunk_steps;
+        }
+        (
+            results,
+            BaselineRunStats {
+                steps,
+                elapsed,
+                threads,
+            },
+        )
+    }
+
+    /// One worker: advance its queries round-robin, one step per visit —
+    /// ThunderRW's step-centric interleaving.
+    fn run_chunk(&self, qs: &[lightrw_walker::Query], seed: u64) -> (WalkResults, u64) {
+        let g = self.graph;
+        let mut sampler = AnySampler::new(self.cfg.sampler, seed);
+        let mut weights: Vec<u32> = Vec::new();
+        let mut mask: Vec<bool> = Vec::new();
+
+        let mut states: Vec<WalkState> = qs
+            .iter()
+            .map(|q| WalkState {
+                cur: q.start,
+                prev: None,
+                step: 0,
+                length: q.length,
+                path: {
+                    let mut p = Vec::with_capacity(q.length as usize + 1);
+                    p.push(q.start);
+                    p
+                },
+            })
+            .collect();
+
+        let mut active: Vec<usize> = (0..states.len())
+            .filter(|&i| states[i].length > 0)
+            .collect();
+        let mut steps = 0u64;
+
+        while !active.is_empty() {
+            let mut i = 0;
+            while i < active.len() {
+                let qi = active[i];
+                let st = &mut states[qi];
+                let done = match Self::one_step(g, self.app, st, &mut sampler, &mut weights, &mut mask)
+                {
+                    Some(next) => {
+                        steps += 1;
+                        st.path.push(next);
+                        st.prev = Some(st.cur);
+                        st.cur = next;
+                        st.step += 1;
+                        st.step >= st.length
+                    }
+                    None => true, // dead end
+                };
+                if done {
+                    active.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let mut results = WalkResults::with_capacity(states.len(), 8);
+        for st in &states {
+            results.push_path(&st.path);
+        }
+        (results, steps)
+    }
+
+    /// One Algorithm 2.1 step: weight_calculation + weighted_sampling.
+    fn one_step(
+        g: &Graph,
+        app: &dyn WalkApp,
+        st: &WalkState,
+        sampler: &mut AnySampler,
+        weights: &mut Vec<u32>,
+        mask: &mut Vec<bool>,
+    ) -> Option<VertexId> {
+        let neighbors = g.neighbors(st.cur);
+        if neighbors.is_empty() {
+            return None;
+        }
+        let need_mask = app.second_order() && st.prev.is_some();
+        if need_mask {
+            common_neighbor_mask(g, st.cur, st.prev.unwrap(), mask);
+        }
+        let ctx = StepContext {
+            step: st.step,
+            cur: st.cur,
+            prev: st.prev,
+        };
+        let statics = g.neighbor_weights(st.cur);
+        let relations = g.neighbor_relations(st.cur);
+        weights.clear();
+        weights.reserve(neighbors.len());
+        for (i, &nbr) in neighbors.iter().enumerate() {
+            let relation = relations.get(i).copied().unwrap_or(0);
+            let pin = need_mask && mask[i];
+            weights.push(app.weight(ctx, nbr, statics[i], relation, pin));
+        }
+        sampler.select_index(weights).map(|i| neighbors[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::{generators, GraphBuilder};
+    use lightrw_rng::stats::{chi_square_counts, chi_square_crit_999};
+    use lightrw_walker::app::{MetaPath, Node2Vec, Uniform};
+    use lightrw_walker::path::validate_path;
+
+    fn one_thread() -> BaselineConfig {
+        BaselineConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_valid_paths_single_thread() {
+        let g = generators::rmat_dataset(9, 1);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 8, 2);
+        let (results, stats) = CpuEngine::new(&g, &Uniform, one_thread()).run(&qs);
+        assert_eq!(results.len(), qs.len());
+        assert_eq!(stats.steps, results.total_steps());
+        for p in results.iter() {
+            validate_path(&g, &Uniform, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn produces_valid_paths_multi_thread() {
+        let g = generators::rmat_dataset(9, 2);
+        let nv = Node2Vec::paper_params();
+        let qs = QuerySet::per_nonisolated_vertex(&g, 10, 3);
+        let cfg = BaselineConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let (results, stats) = CpuEngine::new(&g, &nv, cfg).run(&qs);
+        assert_eq!(results.len(), qs.len());
+        assert_eq!(stats.threads, 4);
+        for p in results.iter() {
+            validate_path(&g, &nv, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn results_keep_query_order_across_threads() {
+        let g = generators::rmat_dataset(8, 3);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 5);
+        let cfg = BaselineConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        let (results, _) = CpuEngine::new(&g, &Uniform, cfg).run(&qs);
+        for (i, q) in qs.queries().iter().enumerate() {
+            assert_eq!(results.path(i)[0], q.start, "query {i} misplaced");
+        }
+    }
+
+    #[test]
+    fn metapath_paths_respect_relations() {
+        let g = generators::rmat_dataset(8, 4);
+        let mp = MetaPath::new(vec![0, 1, 2, 3, 0]);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 7);
+        let (results, _) = CpuEngine::new(&g, &mp, one_thread()).run(&qs);
+        for p in results.iter() {
+            validate_path(&g, &mp, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn pwrs_variant_samples_correctly() {
+        // One vertex with weighted out-edges; Fig. 14's ThunderRW w/PWRS
+        // must still sample the right distribution.
+        let g = GraphBuilder::directed()
+            .weighted_edges([(0, 1, 1), (0, 2, 2), (0, 3, 3)])
+            .num_vertices(4)
+            .build();
+        let qs = QuerySet::from_starts(vec![0; 30_000], 1);
+        let cfg = BaselineConfig {
+            threads: 1,
+            ..BaselineConfig::with_pwrs(8)
+        };
+        let (results, _) =
+            CpuEngine::new(&g, &lightrw_walker::StaticWeighted, cfg).run(&qs);
+        let mut counts = [0u64; 3];
+        for p in results.iter() {
+            counts[(p[1] - 1) as usize] += 1;
+        }
+        let chi2 = chi_square_counts(&counts, &[1.0, 2.0, 3.0]);
+        assert!(chi2 < chi_square_crit_999(2) * 1.2, "chi2 {chi2}");
+    }
+
+    #[test]
+    fn dead_ends_shorten_paths() {
+        let g = GraphBuilder::directed().edges([(0, 1)]).build();
+        let qs = QuerySet::from_starts(vec![0], 50);
+        let (results, stats) = CpuEngine::new(&g, &Uniform, one_thread()).run(&qs);
+        assert_eq!(results.path(0), &[0, 1]);
+        assert_eq!(stats.steps, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_single_thread() {
+        let g = generators::rmat_dataset(8, 5);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 1);
+        let run = |seed| {
+            let cfg = BaselineConfig {
+                threads: 1,
+                seed,
+                ..Default::default()
+            };
+            CpuEngine::new(&g, &Uniform, cfg).run(&qs).0
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn stats_report_throughput() {
+        let g = generators::rmat_dataset(8, 6);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 2);
+        let (_, stats) = CpuEngine::new(&g, &Uniform, one_thread()).run(&qs);
+        assert!(stats.steps > 0);
+        assert!(stats.steps_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # lightrw-baseline — the ThunderRW-like CPU comparator
+//!
+//! The paper compares LightRW against ThunderRW (Sun et al., VLDB 2021),
+//! the state-of-the-art in-memory CPU random walk engine. We cannot link
+//! the original C++ system, so this crate implements a competent Rust
+//! equivalent with the properties the comparison depends on:
+//!
+//! - **Algorithm 2.1 execution flow**: per step, gather neighbor weights,
+//!   run a table-based sampler's initialization (the O(|N(v)|) table), then
+//!   its generation phase.
+//! - **Step-centric multi-query interleaving**: each worker thread owns a
+//!   batch of queries and advances them round-robin one step at a time —
+//!   ThunderRW's scheduling shape (its software prefetching has no direct
+//!   Rust equivalent; the hardware prefetcher gets the same interleaved
+//!   access pattern to chew on).
+//! - **Configurable sampler**: inverse transformation sampling is the
+//!   paper's configuration (§6.1.4); alias, sequential WRS and the
+//!   parallel-WRS-on-CPU of Fig. 14's "ThunderRW w/PWRS" bars are a flag
+//!   away.
+//!
+//! [`profile`] adds the Table 1 proxy: a trace-driven LLC simulation of
+//! the engine's memory reference stream, producing LLC-miss / memory-bound
+//! / retiring estimates in place of vTune's top-down counters (the machine
+//! substitution documented in DESIGN.md).
+
+pub mod engine;
+pub mod llc;
+pub mod profile;
+
+pub use engine::{BaselineConfig, BaselineRunStats, CpuEngine};
+pub use llc::LlcSim;
+pub use profile::{profile_top_down, TopDownProfile};

@@ -1,0 +1,172 @@
+//! A trace-driven last-level-cache simulator.
+//!
+//! Stand-in for vTune's hardware counters in the Table 1 reproduction: the
+//! profiled engine emits its memory reference stream (graph reads,
+//! intermediate-table writes/reads) into this set-associative LRU model,
+//! and the observed miss ratio plays the role of the measured "LLC Miss".
+//! Defaults approximate the paper's Xeon Gold 6246R shared L3 (35.75 MB,
+//! 64 B lines) scaled by the same factor as the scaled-down graphs, so the
+//! working-set-to-cache ratio — which is what determines thrashing — is
+//! preserved.
+
+/// Set-associative, write-allocate LRU cache model.
+#[derive(Debug, Clone)]
+pub struct LlcSim {
+    line_bits: u32,
+    sets: usize,
+    assoc: usize,
+    /// tags per set, with LRU stamps.
+    tags: Vec<(u64, u64)>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl LlcSim {
+    /// Build a cache of `capacity_bytes` with `assoc` ways and 64 B lines.
+    pub fn new(capacity_bytes: u64, assoc: usize) -> Self {
+        assert!(assoc >= 1);
+        let line = 64u64;
+        let lines = (capacity_bytes / line).max(1) as usize;
+        let sets = (lines / assoc).max(1).next_power_of_two();
+        Self {
+            line_bits: 6,
+            sets,
+            assoc,
+            tags: vec![(u64::MAX, 0); sets * assoc],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's Xeon LLC (35.75 MB, modelled 16-way).
+    pub fn xeon_6246r() -> Self {
+        Self::new(35_750_000, 16)
+    }
+
+    /// A scaled LLC for scaled graphs: `full_capacity / scale_divisor`.
+    pub fn scaled(scale_divisor: u64) -> Self {
+        Self::new((35_750_000 / scale_divisor.max(1)).max(64 * 1024), 16)
+    }
+
+    /// Touch one byte address; returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let line = addr >> self.line_bits;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line >> self.sets.trailing_zeros();
+        let base = set * self.assoc;
+        let ways = &mut self.tags[base..base + self.assoc];
+        if let Some(w) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            w.1 = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        let victim = ways.iter_mut().min_by_key(|(_, stamp)| *stamp).unwrap();
+        *victim = (tag, self.clock);
+        false
+    }
+
+    /// Touch every line of the byte range `[addr, addr + bytes)`.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr >> self.line_bits;
+        let last = (addr + bytes - 1) >> self.line_bits;
+        for line in first..=last {
+            self.access(line << self.line_bits);
+        }
+    }
+
+    /// Total line accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Line misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio in `[0,1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = LlcSim::new(1 << 16, 4);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1010)); // same 64 B line
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.accesses(), 3);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = LlcSim::new(1 << 14, 4); // 16 KB = 256 lines
+        // Stream 4096 distinct lines twice: second pass still misses.
+        for pass in 0..2 {
+            for i in 0..4096u64 {
+                let hit = c.access(i * 64);
+                if pass == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        assert!(c.miss_ratio() > 0.9, "{}", c.miss_ratio());
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits_after_warmup() {
+        let mut c = LlcSim::new(1 << 16, 4); // 1024 lines
+        for _ in 0..4 {
+            for i in 0..256u64 {
+                c.access(i * 64);
+            }
+        }
+        // 256 cold misses out of 1024 accesses.
+        assert_eq!(c.misses(), 256);
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = LlcSim::new(1 << 16, 4);
+        c.access_range(0, 64 * 10);
+        assert_eq!(c.accesses(), 10);
+        c.access_range(32, 64); // straddles two lines
+        assert_eq!(c.accesses(), 12);
+        c.access_range(0, 0);
+        assert_eq!(c.accesses(), 12);
+    }
+
+    #[test]
+    fn lru_keeps_recent_lines() {
+        let mut c = LlcSim::new(64 * 2, 2); // one set, two ways
+        c.access(0); // line A
+        c.access(64 * 1024); // line B (same set)
+        c.access(0); // refresh A
+        c.access(64 * 2048); // line C evicts B
+        assert!(c.access(0), "A must survive");
+        assert!(!c.access(64 * 1024), "B must be evicted");
+    }
+
+    #[test]
+    fn presets_construct() {
+        assert!(LlcSim::xeon_6246r().accesses() == 0);
+        assert!(LlcSim::scaled(64).accesses() == 0);
+    }
+}

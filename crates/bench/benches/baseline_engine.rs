@@ -1,0 +1,70 @@
+//! Criterion bench: the ThunderRW-like CPU engine — sampler choice and
+//! thread scaling (the measured side of Fig. 14).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::graph::generators::rmat_dataset;
+use lightrw::prelude::*;
+
+fn bench_baseline(c: &mut Criterion) {
+    let g = rmat_dataset(12, 13);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let qs = QuerySet::n_queries(&g, 1024, 5, 3);
+
+    let mut group = c.benchmark_group("cpu_engine_sampler");
+    group.throughput(Throughput::Elements(qs.total_steps()));
+    for kind in [
+        SamplerKind::InverseTransform,
+        SamplerKind::Alias,
+        SamplerKind::SequentialWrs,
+        SamplerKind::ParallelWrs { k: 16 },
+    ] {
+        let cfg = BaselineConfig {
+            threads: 1,
+            sampler: kind,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &cfg,
+            |b, cfg| {
+                let engine = CpuEngine::new(&g, &mp, *cfg);
+                b.iter(|| engine.run(&qs).1.steps);
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cpu_engine_threads");
+    group.throughput(Throughput::Elements(qs.total_steps()));
+    for threads in [1usize, 4] {
+        let cfg = BaselineConfig {
+            threads,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &cfg,
+            |b, cfg| {
+                let engine = CpuEngine::new(&g, &mp, *cfg);
+                b.iter(|| engine.run(&qs).1.steps);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_baseline
+}
+criterion_main!(benches);

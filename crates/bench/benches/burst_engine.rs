@@ -1,0 +1,69 @@
+//! Criterion + ablation bench: burst command planning across (S1, S2)
+//! pairs — extends Fig. 12's S2 = 1 slice to the full Pareto surface
+//! (another DESIGN.md ablation: is a wider short burst ever worth it?).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::graph::generators::rmat_dataset;
+use lightrw::memsim::bandwidth::expected_valid_ratio_dynamic;
+use lightrw::memsim::{BurstConfig, BurstPlan, DramConfig};
+
+fn bench_burst(c: &mut Criterion) {
+    let dram = DramConfig::default();
+    let mut group = c.benchmark_group("burst_plan");
+    let sizes: Vec<u64> = (0..4096).map(|i| (i * 37) % 20_000).collect();
+    group.throughput(Throughput::Elements(sizes.len() as u64));
+    for cfg in [
+        BurstConfig::short_only(),
+        BurstConfig::with_long(8),
+        BurstConfig::with_long(32),
+        BurstConfig {
+            short_beats: 4,
+            long_beats: 32,
+        },
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(cfg.name()), &cfg, |b, &cfg| {
+            b.iter(|| {
+                let mut beats = 0u64;
+                for &s in &sizes {
+                    beats += BurstPlan::plan(s, cfg, &dram).beats();
+                }
+                beats
+            });
+        });
+    }
+    group.finish();
+
+    // Not a timing bench: print the (S1, S2) valid-ratio Pareto once, so
+    // `cargo bench` output doubles as the ablation table.
+    let g = rmat_dataset(12, 3);
+    println!("\n(S1,S2) expected valid-data ratio on rmat-12 (visit-weighted):");
+    for s2 in [1u64, 2, 4] {
+        for s1 in [0u64, 8, 32, 64] {
+            let cfg = BurstConfig {
+                short_beats: s2,
+                long_beats: s1,
+            };
+            println!(
+                "  {:>8}: {:.3}",
+                cfg.name(),
+                expected_valid_ratio_dynamic(&g, cfg, &dram)
+            );
+        }
+    }
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_burst
+}
+criterion_main!(benches);

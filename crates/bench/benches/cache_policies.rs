@@ -1,0 +1,87 @@
+//! Criterion + ablation bench: row-cache policies under skewed access.
+//!
+//! Extends Fig. 11 beyond the paper: besides DAC vs DMC, the
+//! set-associative LRU variant is measured, and the access stream's skew
+//! is varied — a design-choice ablation DESIGN.md calls out (recency
+//! policies fail precisely because walk accesses have no temporal
+//! locality).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::memsim::{CachePolicy, RowCache};
+use lightrw::rng::{Rng, SplitMix64};
+
+/// A degree-skewed access stream: vertex v has "degree" max(1, M/(v+1))
+/// (Zipf-like) and is accessed proportionally to it.
+fn zipf_stream(vertices: u32, accesses: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..accesses)
+        .map(|_| {
+            // Inverse-power sampling: v ~ 1/(v+1) density.
+            let u = rng.next_f64();
+            let v = ((vertices as f64).powf(u) - 1.0) as u32;
+            v.min(vertices - 1)
+        })
+        .collect()
+}
+
+fn degree_of(v: u32) -> u32 {
+    (1_000_000 / (v as u64 + 1)).max(1) as u32
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let stream = zipf_stream(1 << 16, 1 << 15, 3);
+    let mut group = c.benchmark_group("row_cache_lookup");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (name, mk) in [
+        ("dac_direct", CachePolicy::DegreeAware),
+        ("dmc_direct", CachePolicy::AlwaysReplace),
+        ("uncached", CachePolicy::None),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mk, |b, &policy| {
+            b.iter(|| {
+                let mut cache = RowCache::direct_mapped(policy, 12);
+                let mut hits = 0u64;
+                for &v in &stream {
+                    let (o, _, _) = cache.lookup(v, || (v as u64 * 8, degree_of(v)));
+                    if o == lightrw::memsim::CacheOutcome::Hit {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    // 4-way set-associative variants (extension ablation).
+    for (name, policy) in [("dac_4way", CachePolicy::DegreeAware), ("lru_4way", CachePolicy::Lru)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut cache = RowCache::set_associative(policy, 10, 4);
+                let mut hits = 0u64;
+                for &v in &stream {
+                    let (o, _, _) = cache.lookup(v, || (v as u64 * 8, degree_of(v)));
+                    if o == lightrw::memsim::CacheOutcome::Hit {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(15)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: graph generation and CSR construction throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::graph::generators::{rmat, rmat_edges, RMAT_A, RMAT_B, RMAT_C};
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmat_edges");
+    for scale in [12u32, 14] {
+        let edges = 8u64 << scale;
+        group.throughput(Throughput::Elements(edges));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| rmat_edges(s, 8, (RMAT_A, RMAT_B, RMAT_C), 7).len());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("csr_build");
+    for scale in [12u32, 14] {
+        group.throughput(Throughput::Elements(8u64 << scale));
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| rmat(s, 8, 7).num_edges());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("neighbor_scan");
+    let g = rmat(14, 8, 7);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("sum_all_adjacency", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..g.num_vertices() as u32 {
+                for &n in g.neighbors(v) {
+                    acc = acc.wrapping_add(n as u64);
+                }
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: accelerator-model simulation speed (simulated walk
+//! steps per second of host time) — what makes the full experiment suite
+//! tractable — plus the Fig. 13 ablation configurations as performance
+//! sanity anchors.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::graph::generators::rmat_dataset;
+use lightrw::prelude::*;
+
+fn bench_hwsim(c: &mut Criterion) {
+    let g = rmat_dataset(12, 11);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let qs = QuerySet::n_queries(&g, 1024, 5, 3);
+
+    let mut group = c.benchmark_group("hwsim_run");
+    group.throughput(Throughput::Elements(qs.total_steps()));
+    for (name, cfg) in [
+        ("all_on", LightRwConfig::single_instance()),
+        (
+            "no_wrs_pipeline",
+            LightRwConfig::single_instance().without_wrs_pipelining(),
+        ),
+        (
+            "no_dynamic_burst",
+            LightRwConfig::single_instance().without_dynamic_burst(),
+        ),
+        ("no_cache", LightRwConfig::single_instance().without_cache()),
+        ("four_instances", LightRwConfig::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| LightRwSim::new(&g, &mp, *cfg).run(&qs).cycles);
+        });
+    }
+    group.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_hwsim
+}
+criterion_main!(benches);

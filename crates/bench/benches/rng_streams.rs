@@ -1,0 +1,46 @@
+//! Criterion bench: multi-stream RNG row generation (the ThundeRiNG
+//! model) vs a scalar SplitMix64 — state sharing should make per-number
+//! cost drop as lanes widen.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::rng::{Rng, SplitMix64, StreamBank};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_bank_row");
+    for k in [1usize, 16, 64] {
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut bank = StreamBank::new(5, k);
+            let mut row = vec![0u32; k];
+            b.iter(|| {
+                bank.next_row(&mut row);
+                row[0]
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scalar");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("splitmix64", |b| {
+        let mut rng = SplitMix64::new(5);
+        b.iter(|| rng.next_u64());
+    });
+    group.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_rng
+}
+criterion_main!(benches);

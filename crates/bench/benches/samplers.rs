@@ -1,0 +1,51 @@
+//! Criterion bench: per-step weighted sampling methods head to head — the
+//! software cost of the "initialization + generation" barrier (§3.2's
+//! claim that WRS-on-CPU loses to table samplers, which Fig. 14's
+//! "ThunderRW w/PWRS" bars confirm at system level).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::prelude::SamplerKind;
+use lightrw::rng::{Rng, SplitMix64};
+use lightrw::walker::AnySampler;
+
+fn bench_samplers(c: &mut Criterion) {
+    // A typical social-graph step: a few dozen candidates.
+    for degree in [16usize, 256] {
+        let mut rng = SplitMix64::new(3);
+        let weights: Vec<u32> = (0..degree).map(|_| 1 + (rng.next_u32() >> 24)).collect();
+        let mut group = c.benchmark_group(format!("sample_one_of_{degree}"));
+        group.throughput(Throughput::Elements(degree as u64));
+        for kind in [
+            SamplerKind::InverseTransform,
+            SamplerKind::Alias,
+            SamplerKind::SequentialWrs,
+            SamplerKind::ParallelWrs { k: 16 },
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.name()),
+                &kind,
+                |b, &kind| {
+                    let mut sampler = AnySampler::new(kind, 9);
+                    b.iter(|| sampler.select_index(&weights));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_samplers
+}
+criterion_main!(benches);

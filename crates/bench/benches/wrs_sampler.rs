@@ -1,0 +1,51 @@
+//! Criterion bench: the parallel WRS sampler across parallelism degrees
+//! (the software analogue of Fig. 10a — higher k should raise items/s
+//! until per-batch overhead dominates).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightrw::rng::{Rng, SplitMix64};
+use lightrw::sampling::ParallelWrs;
+
+fn bench_wrs(c: &mut Criterion) {
+    let n = 1 << 14;
+    let mut rng = SplitMix64::new(1);
+    let weights: Vec<u32> = (0..n).map(|_| 1 + (rng.next_u32() >> 24)).collect();
+    let items: Vec<u32> = (0..n as u32).collect();
+
+    let mut group = c.benchmark_group("parallel_wrs_select");
+    group.throughput(Throughput::Elements(n as u64));
+    for k in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut wrs = ParallelWrs::new(7, k);
+            b.iter(|| wrs.select(&items, &weights));
+        });
+    }
+    group.finish();
+
+    // Short streams: the per-step regime of a real walk (degree ~16).
+    let mut group = c.benchmark_group("parallel_wrs_degree16");
+    group.throughput(Throughput::Elements(16));
+    for k in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut wrs = ParallelWrs::new(7, k);
+            b.iter(|| wrs.select(&items[..16], &weights[..16]));
+        });
+    }
+    group.finish();
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_wrs
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Binary wrapper for the multi-board scaling extension (paper §8).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::ext_cluster::run(&opts));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig12_burst` experiment (see DESIGN.md §3).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::fig12_burst::run(&opts));
+}

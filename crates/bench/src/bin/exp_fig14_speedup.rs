@@ -1,0 +1,6 @@
+//! Binary wrapper for the `fig14_speedup` experiment (see DESIGN.md §3).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::fig14_speedup::run(&opts));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table1_profiling` experiment (see DESIGN.md §3).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::table1_profiling::run(&opts));
+}

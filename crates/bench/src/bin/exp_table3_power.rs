@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table3_power` experiment (see DESIGN.md §3).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::table3_power::run(&opts));
+}

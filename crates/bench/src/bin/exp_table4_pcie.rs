@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table4_pcie` experiment (see DESIGN.md §3).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::table4_pcie::run(&opts));
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `table5_resources` experiment (see DESIGN.md §3).
+
+fn main() {
+    let opts = lightrw_bench::Opts::from_args();
+    print!("{}", lightrw_bench::experiments::table5_resources::run(&opts));
+}

@@ -1,0 +1,69 @@
+//! The evaluation datasets at harness scale.
+
+use lightrw::graph::generators::rmat_dataset;
+use lightrw::prelude::*;
+
+/// The five real-world stand-ins of Table 2 at `scale` (see DESIGN.md §1
+//  for the substitution rationale), in the paper's order.
+pub fn standins(scale: u32, seed: u64) -> Vec<(String, Graph)> {
+    DatasetProfile::all_real()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.stand_in(scale, seed)))
+        .collect()
+}
+
+/// The rmat-N synthetics used by Figs. 11–12.
+pub fn rmat_series(scales: impl IntoIterator<Item = u32>, seed: u64) -> Vec<(String, Graph)> {
+    scales
+        .into_iter()
+        .map(|s| (format!("rmat-{s}"), rmat_dataset(s, seed ^ s as u64)))
+        .collect()
+}
+
+/// The two evaluated applications with the paper's parameters (§6.1.4):
+/// MetaPath length 5 over a 5-relation path, Node2Vec length 80 with
+/// p = 2, q = 0.5. Returns (app, query length) pairs; `quick` shortens
+/// Node2Vec so CI stays fast.
+pub fn paper_apps(quick: bool) -> Vec<(Box<dyn WalkApp>, u32)> {
+    let n2v_len = if quick { 16 } else { 80 };
+    vec![
+        (Box::new(MetaPath::new(vec![0, 1, 0, 1, 0])) as Box<dyn WalkApp>, 5),
+        (Box::new(Node2Vec::paper_params()) as Box<dyn WalkApp>, n2v_len),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_standins_in_paper_order() {
+        let ds = standins(8, 1);
+        let names: Vec<&str> = ds.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["youtube", "us-patents", "liveJournal", "orkut", "uk2002"]
+        );
+        for (name, g) in &ds {
+            assert_eq!(g.num_vertices(), 256, "{name}");
+            assert!(g.num_edges() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn rmat_series_scales() {
+        let ds = rmat_series([6, 8], 3);
+        assert_eq!(ds[0].1.num_vertices(), 64);
+        assert_eq!(ds[1].1.num_vertices(), 256);
+    }
+
+    #[test]
+    fn apps_match_paper_settings() {
+        let apps = paper_apps(false);
+        assert_eq!(apps[0].1, 5);
+        assert_eq!(apps[1].1, 80);
+        assert_eq!(apps[0].0.name(), "MetaPath");
+        assert_eq!(apps[1].0.name(), "Node2Vec");
+        assert_eq!(paper_apps(true)[1].1, 16);
+    }
+}

@@ -1,0 +1,51 @@
+//! **Extension (paper §8 future work)** — multi-board scaling under full
+//! graph replication: kernel time and aggregate throughput for 1–8 boards
+//! on a fixed workload.
+
+use lightrw::LightRwCluster;
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// Run the extension experiment.
+pub fn run(opts: &Opts) -> String {
+    let scale = if opts.quick { 9 } else { opts.scale };
+    let g = DatasetProfile::livejournal().stand_in(scale, opts.seed);
+    let nv = Node2Vec::paper_params();
+    let len = if opts.quick { 8 } else { 40 };
+    let qs = QuerySet::per_nonisolated_vertex(&g, len, opts.seed ^ 3);
+
+    let mut report = Report::new("Extension — multi-board scaling (replicated graph)");
+    report.note("paper §8: terabyte graphs need multiple boards; walks are embarrassingly parallel under replication");
+    report.headers(["Boards", "Kernel (ms)", "End-to-end (ms)", "Steps/s", "Scaling"]);
+
+    let mut base: Option<f64> = None;
+    for boards in [1usize, 2, 4, 8] {
+        let rep = LightRwCluster::new(&g, &nv, LightRwConfig::default(), boards).run(&qs);
+        let k = rep.kernel_s;
+        let baseline = *base.get_or_insert(k);
+        report.row([
+            boards.to_string(),
+            format!("{:.3}", k * 1e3),
+            format!("{:.3}", rep.end_to_end_s * 1e3),
+            crate::fmt_rate(rep.steps_per_sec()),
+            format!("{:.2}x", baseline / k),
+        ]);
+    }
+    report.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_table_renders_and_scales() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("Boards"));
+        assert!(md.contains("| 8"));
+        // The 1-board row is 1.00x by construction.
+        assert!(md.contains("1.00x"));
+    }
+}

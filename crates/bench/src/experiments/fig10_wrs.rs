@@ -1,0 +1,107 @@
+//! **Figure 10** — WRS Sampler throughput: (a) vs degree of parallelism
+//! `k`, (b) vs stream length at k = 16.
+//!
+//! The paper streams pre-generated weights from one DRAM channel into the
+//! sampler and measures consumed items/second. Two numbers per point:
+//!
+//! - *model GB/s*: the pipeline model's consumption rate (k 4-byte items
+//!   per cycle at 300 MHz, capped by the channel's streaming bandwidth) —
+//!   this reproduces the paper's saturation at ≈ 17.5 GB/s for k = 16;
+//! - *software Mitems/s*: the measured execution speed of the actual Rust
+//!   [`lightrw::sampling::ParallelWrs`] on this host (a bonus column — the
+//!   software sampler is what all functional results run on).
+
+use std::time::Instant;
+
+use lightrw::memsim::DramConfig;
+use lightrw::rng::{Rng, SplitMix64};
+use lightrw::sampling::ParallelWrs;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// Bytes per streamed weight item (32-bit weights on the bus).
+const ITEM_BYTES: f64 = 4.0;
+
+fn model_throughput_gbps(k: usize, dram: &DramConfig) -> f64 {
+    let sampler = k as f64 * ITEM_BYTES * dram.freq_mhz as f64 * 1e6;
+    let memory = dram.streaming_bandwidth(32); // b32 streaming supply
+    sampler.min(memory) / 1e9
+}
+
+fn software_mitems_per_s(k: usize, n: usize, seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let weights: Vec<u32> = (0..n).map(|_| 1 + (rng.next_u32() >> 24)).collect();
+    let items: Vec<u32> = (0..n as u32).collect();
+    let mut wrs = ParallelWrs::new(seed, k);
+    let reps = (4_000_000 / n).max(1);
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        sink = sink.wrapping_add(wrs.select(&items, &weights).unwrap_or(0) as u64);
+    }
+    let dt = t.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    (n * reps) as f64 / dt / 1e6
+}
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let dram = DramConfig::default();
+    let stream = if opts.quick { 1 << 12 } else { 1 << 16 };
+
+    let mut a = Report::new("Figure 10a — WRS sampler throughput vs parallelism k");
+    a.note(format!(
+        "memory line rate {:.2} GB/s; paper saturates at k = 16",
+        dram.streaming_bandwidth(32) / 1e9
+    ));
+    a.headers(["k", "Model sampling (GB/s)", "Memory line (GB/s)", "Software (Mitems/s)"]);
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        a.row([
+            k.to_string(),
+            format!("{:.2}", model_throughput_gbps(k, &dram)),
+            format!("{:.2}", dram.streaming_bandwidth(32) / 1e9),
+            format!("{:.1}", software_mitems_per_s(k, stream, opts.seed)),
+        ]);
+    }
+
+    let mut b = Report::new("Figure 10b — WRS sampler throughput vs stream length (k = 16)");
+    b.note("pipeline fill overhead only matters for tiny streams (paper: negligible)");
+    b.headers(["Stream length", "Model throughput (GB/s)", "Software (Mitems/s)"]);
+    let peak = model_throughput_gbps(16, &dram);
+    for exp in [6u32, 8, 10, 12, 14, 16] {
+        let n = 1usize << exp;
+        // Fill overhead: ~32-cycle pipeline depth amortized over n/k cycles.
+        let batches = (n as f64 / 16.0).ceil();
+        let eff = batches / (batches + 32.0);
+        b.row([
+            format!("2^{exp}"),
+            format!("{:.2}", peak * eff),
+            format!("{:.1}", software_mitems_per_s(16, n, opts.seed ^ exp as u64)),
+        ]);
+    }
+    format!("{}{}", a.render(), b.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_saturates_at_memory_rate() {
+        let dram = DramConfig::default();
+        let t16 = model_throughput_gbps(16, &dram);
+        let t32 = model_throughput_gbps(32, &dram);
+        // k=16 already reaches the line rate; k=32 cannot exceed it.
+        assert_eq!(t16, t32);
+        assert!(model_throughput_gbps(1, &dram) < t16 / 8.0);
+    }
+
+    #[test]
+    fn report_contains_both_panels() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("Figure 10a"));
+        assert!(md.contains("Figure 10b"));
+        assert!(md.contains("2^16") || md.contains("2^6"));
+    }
+}

@@ -1,0 +1,88 @@
+//! **Figure 13** — contribution breakdown of the three techniques: WRS
+//! pipelining, the dynamic burst engine (DYB) and the degree-aware cache
+//! (DAC). Each is disabled one at a time; the slowdown relative to the
+//! all-enabled configuration is its contribution.
+
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+fn cycles(g: &Graph, app: &dyn WalkApp, len: u32, cfg: LightRwConfig, quick: bool, seed: u64) -> u64 {
+    let qs = if quick {
+        QuerySet::n_queries(g, (g.num_vertices() / 2).max(64), len, seed)
+    } else {
+        QuerySet::per_nonisolated_vertex(g, len, seed)
+    };
+    LightRwSim::new(g, app, cfg).run(&qs).cycles
+}
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let mut out = String::new();
+    for (app, len) in crate::datasets::paper_apps(opts.quick) {
+        let mut report = Report::new(format!(
+            "Figure 13 ({}) — performance contribution per technique",
+            app.name()
+        ));
+        report.note("slowdown when the technique is disabled, relative to all-enabled");
+        report.note("paper: WRS contributes most (41%-79%), DYB helps MetaPath more than Node2Vec");
+        report.headers(["Graph", "w/o WRS pipelining", "w/o DYB", "w/o DAC"]);
+
+        let scale = if opts.quick { 9 } else { opts.scale };
+        for (name, g) in crate::datasets::standins(scale, opts.seed) {
+            let base_cfg = LightRwConfig {
+                instances: 1,
+                ..LightRwConfig::default()
+            };
+            let all_on = cycles(&g, app.as_ref(), len, base_cfg, opts.quick, opts.seed);
+            let slow = |cfg: LightRwConfig| {
+                let c = cycles(&g, app.as_ref(), len, cfg, opts.quick, opts.seed);
+                format!("{:+.1}%", (c as f64 / all_on as f64 - 1.0) * 100.0)
+            };
+            report.row([
+                name.clone(),
+                slow(base_cfg.without_wrs_pipelining()),
+                slow(base_cfg.without_dynamic_burst()),
+                slow(base_cfg.without_cache()),
+            ]);
+        }
+        out.push_str(&report.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw::graph::generators::rmat_dataset;
+
+    #[test]
+    fn wrs_is_the_largest_contributor() {
+        // The Fig. 13 headline: disabling WRS pipelining costs more than
+        // disabling either memory optimization.
+        let g = rmat_dataset(11, 5);
+        let base = LightRwConfig {
+            instances: 1,
+            ..LightRwConfig::default()
+        };
+        let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+        let all_on = cycles(&g, &mp, 5, base, true, 1);
+        let no_wrs = cycles(&g, &mp, 5, base.without_wrs_pipelining(), true, 1);
+        let no_dyb = cycles(&g, &mp, 5, base.without_dynamic_burst(), true, 1);
+        let no_dac = cycles(&g, &mp, 5, base.without_cache(), true, 1);
+        assert!(no_wrs > all_on && no_dyb > all_on && no_dac >= all_on);
+        assert!(
+            no_wrs >= no_dyb && no_wrs >= no_dac,
+            "WRS {no_wrs} DYB {no_dyb} DAC {no_dac} (all-on {all_on})"
+        );
+    }
+
+    #[test]
+    fn report_has_both_apps() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("(MetaPath)"));
+        assert!(md.contains("(Node2Vec)"));
+        assert!(md.contains("w/o DYB"));
+    }
+}

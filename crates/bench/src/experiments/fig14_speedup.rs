@@ -1,0 +1,122 @@
+//! **Figure 14** — end-to-end speedup of LightRW over the ThunderRW-like
+//! CPU baseline and over "ThunderRW w/PWRS" (the parallel WRS algorithm
+//! run on the CPU), for MetaPath and Node2Vec on all five stand-ins.
+//!
+//! Timing caveat (DESIGN.md §1): baseline numbers are real wall-clock on
+//! this host; LightRW numbers are simulated kernel time plus the modelled
+//! PCIe transfers. The reproduced claim is the *shape*: LightRW wins on
+//! every dataset, PWRS-on-CPU does not.
+
+use std::time::Instant;
+
+use lightrw::platform::AppKind;
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// One measured dataset × app cell.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Application name.
+    pub app: String,
+    /// For the power model.
+    pub app_kind: AppKind,
+    /// ThunderRW-like baseline, wall-clock seconds.
+    pub baseline_s: f64,
+    /// Baseline with parallel WRS on CPU, wall-clock seconds.
+    pub baseline_pwrs_s: f64,
+    /// LightRW end-to-end seconds (simulated kernel + modelled PCIe).
+    pub lightrw_s: f64,
+}
+
+/// Measure every dataset × app cell once (shared with Table 3).
+pub fn measure(opts: &Opts) -> Vec<MeasuredRow> {
+    let scale = if opts.quick { 9 } else { opts.scale };
+    let mut rows = Vec::new();
+    for (app, len) in crate::datasets::paper_apps(opts.quick) {
+        for (name, g) in crate::datasets::standins(scale, opts.seed) {
+            let qs = if opts.quick {
+                QuerySet::n_queries(&g, (g.num_vertices() / 2).max(64), len, opts.seed)
+            } else {
+                QuerySet::per_nonisolated_vertex(&g, len, opts.seed)
+            };
+
+            let t = Instant::now();
+            let (_, base_stats) =
+                CpuEngine::new(&g, app.as_ref(), BaselineConfig::default()).run(&qs);
+            let baseline_s = t.elapsed().as_secs_f64();
+            debug_assert!(base_stats.steps > 0);
+
+            let t = Instant::now();
+            CpuEngine::new(&g, app.as_ref(), BaselineConfig::with_pwrs(16)).run(&qs);
+            let baseline_pwrs_s = t.elapsed().as_secs_f64();
+
+            let report = LightRw::new(&g, app.as_ref(), LightRwConfig::default()).run(&qs);
+            rows.push(MeasuredRow {
+                dataset: name.clone(),
+                app: app.name().to_string(),
+                app_kind: AppKind::of(app.as_ref()),
+                baseline_s,
+                baseline_pwrs_s,
+                lightrw_s: report.end_to_end_s(),
+            });
+        }
+    }
+    rows
+}
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let rows = measure(opts);
+    let mut out = String::new();
+    for app in ["MetaPath", "Node2Vec"] {
+        let mut report = Report::new(format!("Figure 14 ({app}) — speedup over ThunderRW-like baseline"));
+        report.note("baseline: measured wall-clock; LightRW: simulated kernel + modelled PCIe");
+        report.note("paper: LightRW 6.27x-9.55x (MetaPath), 5.17x-9.10x (Node2Vec); w/PWRS ~0.6x-1.8x");
+        report.headers([
+            "Graph",
+            "ThunderRW (s)",
+            "w/PWRS (rel)",
+            "LightRW (s)",
+            "LightRW speedup",
+        ]);
+        for r in rows.iter().filter(|r| r.app == app) {
+            report.row([
+                r.dataset.clone(),
+                format!("{:.3}", r.baseline_s),
+                format!("{:.2}x", r.baseline_s / r.baseline_pwrs_s),
+                format!("{:.4}", r.lightrw_s),
+                format!("{:.2}x", r.baseline_s / r.lightrw_s),
+            ]);
+        }
+        out.push_str(&report.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_all_ten_cells() {
+        let rows = measure(&Opts::quick());
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.baseline_s > 0.0, "{}", r.dataset);
+            assert!(r.baseline_pwrs_s > 0.0);
+            assert!(r.lightrw_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_has_speedup_columns() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("LightRW speedup"));
+        assert!(md.contains("(MetaPath)"));
+        assert!(md.contains("(Node2Vec)"));
+    }
+}

@@ -1,0 +1,93 @@
+//! **Figure 15** — per-query latency distribution (box plots: min, lower
+//! quartile, median, upper quartile, max) of LightRW vs the CPU baseline
+//! over randomly selected queries.
+//!
+//! LightRW latencies come from the simulator's per-query dispatch→sample
+//! cycle counts; CPU latencies are measured by timing queries one at a
+//! time on a single thread (per-query latency is unobservable inside the
+//! batch-throughput engine).
+
+use std::time::Instant;
+
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+fn quartiles_us(mut v: Vec<f64>) -> (f64, f64, f64, f64, f64) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |f: f64| v[(((v.len() - 1) as f64) * f) as usize];
+    (v[0], q(0.25), q(0.5), q(0.75), *v.last().unwrap())
+}
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let n_queries = if opts.quick { 256 } else { 8192 };
+    let scale = if opts.quick { 9 } else { opts.scale };
+    let mut out = String::new();
+    for (app, len) in crate::datasets::paper_apps(opts.quick) {
+        let mut report = Report::new(format!(
+            "Figure 15 ({}) — per-query latency quartiles (µs), {} queries",
+            app.name(),
+            n_queries
+        ));
+        report.note("cells: min / p25 / median / p75 / max");
+        report.note("paper: LightRW latency is lower and far more consistent than the CPU's");
+        report.headers(["Graph", "LightRW (µs)", "CPU baseline (µs)"]);
+
+        for (name, g) in crate::datasets::standins(scale, opts.seed) {
+            let qs = QuerySet::n_queries(&g, n_queries, len, opts.seed ^ 7);
+
+            // Accelerator: per-query latency from the simulator.
+            let cfg = LightRwConfig::default();
+            let sim = LightRwSim::new(&g, app.as_ref(), cfg).run(&qs);
+            let cyc_s = 1e6 / 300e6; // µs per cycle
+            let hw: Vec<f64> = sim.latencies.iter().map(|&c| c as f64 * cyc_s).collect();
+
+            // CPU: time each query individually (single thread).
+            let engine = CpuEngine::new(
+                &g,
+                app.as_ref(),
+                BaselineConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            let mut cpu = Vec::with_capacity(n_queries);
+            for q in qs.queries() {
+                let single = QuerySet::from_starts(vec![q.start], q.length);
+                let t = Instant::now();
+                engine.run(&single);
+                cpu.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+
+            let h = quartiles_us(hw);
+            let c = quartiles_us(cpu);
+            let fmt = |(a, b, m, d, e): (f64, f64, f64, f64, f64)| {
+                format!("{a:.1} / {b:.1} / {m:.1} / {d:.1} / {e:.1}")
+            };
+            report.row([name.clone(), fmt(h), fmt(c)]);
+        }
+        out.push_str(&report.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_sorted_ascending() {
+        let (min, p25, med, p75, max) =
+            quartiles_us(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!((min, p25, med, p75, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn report_renders_both_engines() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("LightRW (µs)"));
+        assert!(md.contains("CPU baseline (µs)"));
+    }
+}

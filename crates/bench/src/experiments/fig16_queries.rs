@@ -1,0 +1,71 @@
+//! **Figure 16** — throughput (steps/second) vs number of queries on the
+//! liveJournal stand-in, LightRW vs the CPU baseline.
+//!
+//! The paper's observation: LightRW's throughput is flat in query count,
+//! while the CPU engine needs thousands of queries to amortize its
+//! initialization, so the speedup is largest for small batches.
+
+use std::time::Instant;
+
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let scale = if opts.quick { 9 } else { opts.scale };
+    let g = DatasetProfile::livejournal().stand_in(scale, opts.seed);
+    let max_exp = if opts.quick { 12 } else { 16 };
+
+    let mut out = String::new();
+    for (app, len) in crate::datasets::paper_apps(opts.quick) {
+        let mut report = Report::new(format!(
+            "Figure 16 ({}) — throughput vs number of queries (LJ stand-in)",
+            app.name()
+        ));
+        report.note("paper: LightRW is flat; speedup up to 75.7x at 2^10 queries (MetaPath)");
+        report.headers([
+            "Queries",
+            "LightRW (steps/s)",
+            "CPU baseline (steps/s)",
+            "Speedup",
+        ]);
+        let mut exp = 10u32;
+        while exp <= max_exp {
+            let qs = QuerySet::n_queries(&g, 1 << exp, len, opts.seed ^ exp as u64);
+
+            let sim = LightRwSim::new(&g, app.as_ref(), LightRwConfig::default()).run(&qs);
+            let hw_tp = sim.steps_per_sec();
+
+            let t = Instant::now();
+            let (_, stats) =
+                CpuEngine::new(&g, app.as_ref(), BaselineConfig::default()).run(&qs);
+            let cpu_s = t.elapsed().as_secs_f64();
+            let cpu_tp = stats.steps as f64 / cpu_s;
+
+            report.row([
+                format!("2^{exp}"),
+                crate::fmt_rate(hw_tp),
+                crate::fmt_rate(cpu_tp),
+                format!("{:.2}x", hw_tp / cpu_tp),
+            ]);
+            exp += 2;
+        }
+        out.push_str(&report.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_query_range() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("2^10"));
+        assert!(md.contains("2^12"));
+        assert!(md.contains("Speedup"));
+    }
+}

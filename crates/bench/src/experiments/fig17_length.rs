@@ -1,0 +1,72 @@
+//! **Figure 17** — throughput (steps/second) vs query length on the
+//! liveJournal stand-in, LightRW vs the CPU baseline.
+//!
+//! Paper: both engines are length-insensitive; the speedup stays around
+//! 10x (MetaPath) / 8-9x (Node2Vec) across lengths 10-80.
+
+use std::time::Instant;
+
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let scale = if opts.quick { 9 } else { opts.scale };
+    let g = DatasetProfile::livejournal().stand_in(scale, opts.seed);
+    let n_queries = if opts.quick { 512 } else { 1 << 14 };
+    let lengths: Vec<u32> = if opts.quick {
+        vec![10, 20, 40]
+    } else {
+        (1..=8).map(|i| i * 10).collect()
+    };
+
+    let mut out = String::new();
+    for (app, _) in crate::datasets::paper_apps(opts.quick) {
+        let mut report = Report::new(format!(
+            "Figure 17 ({}) — throughput vs query length (LJ stand-in, {} queries)",
+            app.name(),
+            n_queries
+        ));
+        report.note("paper: flat throughput; ~10x speedup for MetaPath, 8.3-9.3x for Node2Vec");
+        report.headers([
+            "Length",
+            "LightRW (steps/s)",
+            "CPU baseline (steps/s)",
+            "Speedup",
+        ]);
+        for &len in &lengths {
+            let qs = QuerySet::n_queries(&g, n_queries, len, opts.seed ^ len as u64);
+
+            let sim = LightRwSim::new(&g, app.as_ref(), LightRwConfig::default()).run(&qs);
+            let hw_tp = sim.steps_per_sec();
+
+            let t = Instant::now();
+            let (_, stats) =
+                CpuEngine::new(&g, app.as_ref(), BaselineConfig::default()).run(&qs);
+            let cpu_tp = stats.steps as f64 / t.elapsed().as_secs_f64();
+
+            report.row([
+                len.to_string(),
+                crate::fmt_rate(hw_tp),
+                crate::fmt_rate(cpu_tp),
+                format!("{:.2}x", hw_tp / cpu_tp),
+            ]);
+        }
+        out.push_str(&report.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_lengths() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("| 10"));
+        assert!(md.contains("| 40"));
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(opts: &Opts) -> String` returning a rendered
+//! markdown report with the same rows/series the paper presents. The
+//! mapping to paper artifacts is in DESIGN.md §3.
+
+pub mod ext_cluster;
+pub mod fig06_burst_bandwidth;
+pub mod fig10_wrs;
+pub mod fig11_cache;
+pub mod fig12_burst;
+pub mod fig13_breakdown;
+pub mod fig14_speedup;
+pub mod fig15_latency;
+pub mod fig16_queries;
+pub mod fig17_length;
+pub mod fig18_linkpred;
+pub mod table1_profiling;
+pub mod table3_power;
+pub mod table4_pcie;
+pub mod table5_resources;
+
+use crate::Opts;
+
+/// An experiment runner: takes harness options, returns rendered markdown.
+pub type Runner = fn(&Opts) -> String;
+
+/// Every experiment with its id, in paper order: (id, runner).
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("table1", table1_profiling::run),
+        ("fig6", fig06_burst_bandwidth::run),
+        ("fig10", fig10_wrs::run),
+        ("fig11", fig11_cache::run),
+        ("fig12", fig12_burst::run),
+        ("fig13", fig13_breakdown::run),
+        ("fig14", fig14_speedup::run),
+        ("fig15", fig15_latency::run),
+        ("fig16", fig16_queries::run),
+        ("fig17", fig17_length::run),
+        ("table3", table3_power::run),
+        ("table4", table4_pcie::run),
+        ("table5", table5_resources::run),
+        ("fig18", fig18_linkpred::run),
+        ("ext_cluster", ext_cluster::run),
+    ]
+}

@@ -1,0 +1,67 @@
+//! **Table 3** — power consumption and power-efficiency improvement.
+//!
+//! Combines the Fig. 14 runtimes with the paper's measured power ranges
+//! (xbutil / CPU Energy Meter constants in `lightrw::platform`).
+
+use lightrw::power::compare;
+use lightrw::{U250_PLATFORM, XEON_6246R};
+
+use crate::experiments::fig14_speedup;
+use crate::table::Report;
+use crate::Opts;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let rows = fig14_speedup::measure(opts);
+    let mut report = Report::new("Table 3 — power efficiency: LightRW vs CPU baseline");
+    report.note("power constants are the paper's measurements; runtimes from this run");
+    report.note("paper: 15.05x-26.42x (MetaPath), 16.28x-24.10x (Node2Vec)");
+    report.headers([
+        "App",
+        "LightRW power (W)",
+        "CPU power (W)",
+        "Efficiency improvement",
+    ]);
+
+    for app_name in ["MetaPath", "Node2Vec"] {
+        let mut improvements: Vec<f64> = Vec::new();
+        let mut kind = None;
+        for r in rows.iter().filter(|r| r.app == app_name) {
+            let cmp = compare(
+                r.app_kind,
+                &U250_PLATFORM,
+                &XEON_6246R,
+                r.lightrw_s,
+                r.baseline_s,
+            );
+            improvements.push(cmp.efficiency_improvement);
+            kind = Some(r.app_kind);
+        }
+        let kind = kind.expect("fig14 produced no rows");
+        let (flo, fhi) = U250_PLATFORM.power_range_w(kind);
+        let (clo, chi) = XEON_6246R.power_range_w(kind);
+        let min = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = improvements.iter().cloned().fold(0.0f64, f64::max);
+        report.row([
+            app_name.to_string(),
+            format!("{flo:.0}~{fhi:.0}"),
+            format!("{clo:.0}~{chi:.0}"),
+            format!("{min:.2}x ~ {max:.2}x"),
+        ]);
+    }
+    report.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_both_apps_with_ranges() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("MetaPath"));
+        assert!(md.contains("Node2Vec"));
+        assert!(md.contains("41~45"));
+        assert!(md.contains("x ~ "));
+    }
+}

@@ -1,0 +1,43 @@
+//! **Table 4** — proportion of PCIe transfer time in end-to-end execution
+//! for MetaPath and Node2Vec on all five stand-ins.
+
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let scale = if opts.quick { 9 } else { opts.scale };
+    let mut report = Report::new("Table 4 — PCIe transfer share of end-to-end time");
+    report.note("paper: 16.5%-33.5% for MetaPath (short walks), 0.07%-1.1% for Node2Vec");
+    report.headers(["App", "youtube", "us-patents", "liveJournal", "orkut", "uk2002"]);
+
+    for (app, len) in crate::datasets::paper_apps(opts.quick) {
+        let mut row = vec![app.name().to_string()];
+        for (_, g) in crate::datasets::standins(scale, opts.seed) {
+            let qs = if opts.quick {
+                QuerySet::n_queries(&g, (g.num_vertices() / 2).max(64), len, opts.seed)
+            } else {
+                QuerySet::per_nonisolated_vertex(&g, len, opts.seed)
+            };
+            let rep = LightRw::new(&g, app.as_ref(), LightRwConfig::default()).run(&qs);
+            row.push(format!("{:.2}%", rep.pcie.transfer_fraction() * 100.0));
+        }
+        report.row(row);
+    }
+    report.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metapath_fraction_exceeds_node2vec() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("MetaPath"));
+        assert!(md.contains("Node2Vec"));
+        assert!(md.contains('%'));
+    }
+}

@@ -1,0 +1,67 @@
+//! **Table 5** — FPGA resource utilization and frequency per application
+//! bitstream, from the parametric model anchored to the paper's synthesis
+//! reports.
+
+use lightrw::platform::AppKind;
+use lightrw::resources::{estimate, fits_u250};
+use lightrw::prelude::*;
+
+use crate::table::Report;
+use crate::Opts;
+
+/// Run the experiment.
+pub fn run(_opts: &Opts) -> String {
+    let cfg = LightRwConfig::default();
+    let mut report = Report::new("Table 5 — resource utilization model (Alveo U250)");
+    report.note("parametric model anchored to the paper's synthesis results (DESIGN.md §1)");
+    report.note("paper: MetaPath 33.52/29.76/17.24/5.16 @300MHz; Node2Vec 20.84/18.20/36.12/2.62 @300MHz");
+    report.headers(["App", "LUTs", "REGs", "BRAMs", "DSPs", "Frequency", "Fits?"]);
+    for (name, kind) in [
+        ("MetaPath", AppKind::MetaPath),
+        ("Node2Vec", AppKind::Node2Vec),
+    ] {
+        let e = estimate(&cfg, kind);
+        report.row([
+            name.to_string(),
+            format!("{:.2}%", e.luts_pct),
+            format!("{:.2}%", e.regs_pct),
+            format!("{:.2}%", e.brams_pct),
+            format!("{:.2}%", e.dsps_pct),
+            format!("{:.0} MHz", e.freq_mhz),
+            if fits_u250(&e) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    // Extension: how far does k scale before the board fills up?
+    let mut sweep = Report::new("Table 5b (extension) — utilization vs WRS parallelism k");
+    sweep.headers(["k", "LUTs", "DSPs", "Fits?"]);
+    for k in [8usize, 16, 32, 64, 128] {
+        let e = estimate(
+            &LightRwConfig {
+                k,
+                ..LightRwConfig::default()
+            },
+            AppKind::MetaPath,
+        );
+        sweep.row([
+            k.to_string(),
+            format!("{:.2}%", e.luts_pct),
+            format!("{:.2}%", e.dsps_pct),
+            if fits_u250(&e) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!("{}{}", report.render(), sweep.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_bitstreams_fit_at_300mhz() {
+        let md = run(&Opts::quick());
+        assert!(md.contains("300 MHz"));
+        assert!(md.matches("| yes").count() + md.matches("| NO").count() >= 2);
+        assert!(md.contains("Table 5b"));
+    }
+}

@@ -1,0 +1,141 @@
+//! # lightrw-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (§6), each
+//! printing the same rows/series the paper reports (see DESIGN.md §3 for
+//! the full index). Every experiment is a library function so binaries,
+//! `exp_all` and the integration tests share one code path:
+//!
+//! ```text
+//! cargo run --release -p lightrw-bench --bin exp_fig14_speedup -- --scale 14
+//! cargo run --release -p lightrw-bench --bin exp_all            # everything
+//! ```
+//!
+//! Default scales are reduced (stand-ins ≤ 2^14 vertices) so the suite
+//! finishes in minutes; `--scale N` raises fidelity, `--quick` lowers it
+//! for CI. Results are deterministic per seed.
+
+pub mod datasets;
+pub mod experiments;
+pub mod table;
+
+/// Common experiment options parsed from `std::env::args`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opts {
+    /// log2 of the stand-in vertex count.
+    pub scale: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Reduced workloads for CI/integration tests.
+    pub quick: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            scale: 12,
+            seed: 42,
+            quick: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Quick preset used by integration tests.
+    pub fn quick() -> Self {
+        Self {
+            scale: 9,
+            quick: true,
+            ..Self::default()
+        }
+    }
+
+    /// Parse `--scale N`, `--seed N`, `--quick`, `--full` from CLI args.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    opts.scale = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--scale needs an integer"));
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer"));
+                }
+                "--quick" => opts.quick = true,
+                "--full" => opts.scale = opts.scale.max(16),
+                "--help" | "-h" => {
+                    eprintln!("options: --scale N (default 12) --seed N --quick --full");
+                    std::process::exit(0);
+                }
+                other => die::<()>(&format!("unknown option {other}")),
+            }
+            i += 1;
+        }
+        assert!(opts.scale >= 6 && opts.scale <= 22, "scale out of range");
+        opts
+    }
+}
+
+fn die<T>(msg: &str) -> T {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+/// Format seconds human-readably.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Format a rate in engineering notation.
+pub fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G/s", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M/s", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K/s", r / 1e3)
+    } else {
+        format!("{r:.1} /s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = Opts::default();
+        assert_eq!(o.scale, 12);
+        assert!(!o.quick);
+        let q = Opts::quick();
+        assert!(q.quick);
+        assert!(q.scale < o.scale);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(25e-6), "25.0 µs");
+        assert_eq!(fmt_rate(2.5e9), "2.50 G/s");
+        assert_eq!(fmt_rate(2.5e6), "2.50 M/s");
+        assert_eq!(fmt_rate(2500.0), "2.50 K/s");
+        assert_eq!(fmt_rate(12.0), "12.0 /s");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal markdown table rendering for experiment reports.
+
+/// A markdown report section: title, commentary, one table.
+pub struct Report {
+    title: String,
+    notes: Vec<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with the experiment id/title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            notes: Vec::new(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a commentary line under the title.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Set column headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one row; must match header arity.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in report {}",
+            self.title
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as markdown with aligned columns.
+    pub fn render(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        for n in &self.notes {
+            out.push_str(&format!("> {n}\n"));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        if self.headers.is_empty() {
+            return out;
+        }
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&line(&self.headers));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&line(row));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut r = Report::new("Figure X");
+        r.note("a note");
+        r.headers(["col", "value"]);
+        r.row(["a", "1"]);
+        r.row(["longer", "2"]);
+        let md = r.render();
+        assert!(md.contains("## Figure X"));
+        assert!(md.contains("> a note"));
+        assert!(md.contains("| col    | value |"));
+        assert!(md.contains("| longer | 2     |"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("bad");
+        r.headers(["a", "b"]);
+        r.row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_report_renders_title_only() {
+        let r = Report::new("Empty");
+        assert!(r.is_empty());
+        assert_eq!(r.render(), "## Empty\n\n");
+    }
+}

@@ -1,0 +1,106 @@
+//! The top-level accelerator façade: what the paper's "LightRW controller"
+//! on the host does (§6.1.5) — push the CSR image over PCIe, invoke the
+//! kernel, pull results back.
+
+use crate::pcie::PcieBreakdown;
+use crate::platform::{AppKind, FpgaPlatform, U250_PLATFORM};
+use crate::report::RunReport;
+use crate::resources;
+use lightrw_graph::Graph;
+use lightrw_hwsim::{LightRwConfig, LightRwSim};
+use lightrw_walker::{QuerySet, WalkApp};
+
+/// A configured LightRW deployment over a graph.
+pub struct LightRw<'g> {
+    graph: &'g Graph,
+    app: &'g dyn WalkApp,
+    cfg: LightRwConfig,
+    platform: FpgaPlatform,
+}
+
+impl<'g> LightRw<'g> {
+    /// Deploy `app` over `graph` on the default (U250) platform model.
+    pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig) -> Self {
+        Self {
+            graph,
+            app,
+            cfg: cfg.validated(),
+            platform: U250_PLATFORM,
+        }
+    }
+
+    /// Override the platform model.
+    pub fn on_platform(mut self, platform: FpgaPlatform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LightRwConfig {
+        &self.cfg
+    }
+
+    /// Execute a workload end to end: modelled upload, simulated kernel,
+    /// modelled download.
+    pub fn run(&self, queries: &QuerySet) -> RunReport {
+        let sim = LightRwSim::new(self.graph, self.app, self.cfg).run(queries);
+        // Each instance keeps a private graph copy (paper §6.1.5), but the
+        // host uploads the image once per channel over the same link.
+        let upload = self.graph.csr_bytes() * self.cfg.instances as u64
+            + queries.len() as u64 * 16; // query descriptors
+        let download = sim.results.result_bytes();
+        let pcie = PcieBreakdown::model(&self.platform, upload, sim.seconds, download);
+        let resources = resources::estimate(&self.cfg, AppKind::of(self.app));
+        RunReport {
+            sim,
+            pcie,
+            resources,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::DatasetProfile;
+    use lightrw_walker::path::validate_path;
+    use lightrw_walker::{MetaPath, Node2Vec, QuerySet};
+
+    #[test]
+    fn end_to_end_run_produces_everything() {
+        let g = DatasetProfile::youtube().stand_in(10, 1);
+        let mp = MetaPath::new(vec![0, 1, 2, 3, 0]);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 2);
+        let accel = LightRw::new(&g, &mp, LightRwConfig::default());
+        let report = accel.run(&qs);
+        assert_eq!(report.sim.results.len(), qs.len());
+        for p in report.sim.results.iter() {
+            validate_path(&g, &mp, p).unwrap();
+        }
+        assert!(report.pcie.upload_s > 0.0);
+        assert!(report.end_to_end_s() > report.sim.seconds);
+        assert!(crate::resources::fits_u250(&report.resources));
+    }
+
+    #[test]
+    fn node2vec_amortizes_pcie_better_than_metapath() {
+        // Table 4's core contrast on the same graph.
+        let g = DatasetProfile::livejournal().stand_in(11, 2);
+        let mp = MetaPath::new(vec![0, 1, 2, 3, 0]);
+        let nv = Node2Vec::paper_params();
+        let qs_short = QuerySet::per_nonisolated_vertex(&g, 5, 3);
+        let qs_long = QuerySet::per_nonisolated_vertex(&g, 80, 3);
+        let frac_mp = LightRw::new(&g, &mp, LightRwConfig::default())
+            .run(&qs_short)
+            .pcie
+            .transfer_fraction();
+        let frac_nv = LightRw::new(&g, &nv, LightRwConfig::default())
+            .run(&qs_long)
+            .pcie
+            .transfer_fraction();
+        assert!(
+            frac_mp > 3.0 * frac_nv,
+            "MetaPath {frac_mp:.4} vs Node2Vec {frac_nv:.4}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! `lightrw-cli` entry point; all logic lives in [`lightrw::cli`].
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((sub, rest)) = raw.split_first() else {
+        eprintln!("{}", lightrw::cli::usage());
+        std::process::exit(2);
+    };
+    let args = match lightrw::cli::Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match lightrw::cli::run(sub, &args) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The `lightrw-cli` command implementations.
+//!
+//! What an open-source release ships alongside the library: generate or
+//! convert graphs, inspect them, and run walk workloads on either engine
+//! from the shell. The logic lives here (unit-testable against temp
+//! files); `src/bin/lightrw_cli.rs` is a thin argv shim.
+//!
+//! ```text
+//! lightrw-cli generate --kind rmat --scale 12 --seed 7 -o g.bin
+//! lightrw-cli generate --kind standin --dataset liveJournal --scale 12 -o lj.bin
+//! lightrw-cli convert --input edges.txt --directed -o g.bin
+//! lightrw-cli info g.bin
+//! lightrw-cli walk g.bin --app node2vec --length 80 --engine sim -o walks.txt
+//! ```
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::prelude::*;
+use lightrw_graph::{components, io as gio, stats};
+use lightrw_walker::corpus_io;
+
+/// A parsed command line: positional arguments and `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// Options; valueless flags map to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["directed", "undirected", "binary", "help"];
+
+impl Args {
+    /// Parse raw arguments (not including program name / subcommand).
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&name) {
+                    args.options.insert(name.to_string(), "true".to_string());
+                } else {
+                    i += 1;
+                    let v = raw
+                        .get(i)
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    args.options.insert(name.to_string(), v.clone());
+                }
+            } else if let Some(name) = a.strip_prefix('-') {
+                // -o FILE shorthand.
+                if name == "o" {
+                    i += 1;
+                    let v = raw.get(i).ok_or("option -o needs a value")?;
+                    args.options.insert("out".to_string(), v.clone());
+                } else {
+                    return Err(format!("unknown short option -{name}"));
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+}
+
+/// Dispatch a subcommand; returns the human-readable output.
+pub fn run(subcommand: &str, args: &Args) -> Result<String, String> {
+    match subcommand {
+        "generate" => cmd_generate(args),
+        "convert" => cmd_convert(args),
+        "info" => cmd_info(args),
+        "walk" => cmd_walk(args),
+        "help" | "--help" => Ok(usage().to_string()),
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "lightrw-cli — graph dynamic random walks (LightRW reproduction)\n\
+     \n\
+     subcommands:\n\
+     generate --kind rmat|er|standin [--scale N] [--edge-factor N]\n\
+     \x20        [--dataset NAME] [--seed N] -o FILE\n\
+     convert  --input EDGELIST [--directed|--undirected] -o FILE\n\
+     info     GRAPH.bin\n\
+     walk     GRAPH.bin --app uniform|static|metapath|node2vec\n\
+     \x20        [--length N] [--queries N] [--engine sim|cpu] [--seed N]\n\
+     \x20        [--binary] [-o FILE]\n"
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let out = args.get("out").ok_or("generate requires -o FILE")?;
+    let seed = args.get_u64("seed", 42)?;
+    let scale = args.get_u64("scale", 12)? as u32;
+    if !(4..=26).contains(&scale) {
+        return Err("--scale must be in 4..=26".into());
+    }
+    let g = match args.get("kind").unwrap_or("rmat") {
+        "rmat" => {
+            let _ef = args.get_u64("edge-factor", 8)?;
+            lightrw_graph::generators::rmat_dataset(scale, seed)
+        }
+        "er" => {
+            let ef = args.get_u64("edge-factor", 8)? as usize;
+            lightrw_graph::generators::erdos_renyi_gnm(1 << scale, ef << scale, seed)
+        }
+        "standin" => {
+            let name = args.get("dataset").ok_or("standin requires --dataset")?;
+            let profile = DatasetProfile::all_real()
+                .into_iter()
+                .find(|p| p.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| format!("unknown dataset {name:?} (see Table 2 names)"))?;
+            profile.stand_in(scale, seed)
+        }
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    gio::save_binary(&g, out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} edges, avg degree {:.1})",
+        out,
+        g.num_vertices(),
+        g.num_edges(),
+        g.avg_degree()
+    ))
+}
+
+fn cmd_convert(args: &Args) -> Result<String, String> {
+    let input = args.get("input").ok_or("convert requires --input FILE")?;
+    let out = args.get("out").ok_or("convert requires -o FILE")?;
+    let directed = if args.flag("undirected") {
+        false
+    } else {
+        // Directed by default: mirrored input lines stay faithful.
+        true
+    };
+    let g = gio::load_edge_list(input, directed).map_err(|e| e.to_string())?;
+    gio::save_binary(&g, out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "converted {} -> {} ({} vertices, {} edges)",
+        input,
+        out,
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    if !Path::new(path).exists() {
+        return Err(format!("no such file: {path}"));
+    }
+    gio::load_binary(path).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &Args) -> Result<String, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("info requires a graph file argument")?;
+    let g = load_graph(path)?;
+    let s = stats::summarize(&g);
+    let comps = components::num_components(&g);
+    Ok(format!(
+        "{path}\n\
+         vertices        : {}\n\
+         stored edges    : {}\n\
+         directed        : {}\n\
+         avg degree      : {:.2}\n\
+         max degree      : {}\n\
+         top-1% edge share: {:.1}%\n\
+         degree gini     : {:.3}\n\
+         weak components : {comps}\n\
+         vertex labels   : {}\n\
+         edge relations  : {}\n\
+         CSR image       : {} bytes",
+        s.vertices,
+        s.edges,
+        g.is_directed(),
+        s.avg_degree,
+        s.max_degree,
+        s.top1pct_edge_share * 100.0,
+        s.degree_gini,
+        g.has_vertex_labels(),
+        g.has_edge_labels(),
+        g.csr_bytes(),
+    ))
+}
+
+fn cmd_walk(args: &Args) -> Result<String, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("walk requires a graph file argument")?;
+    let g = load_graph(path)?;
+    let length = args.get_u64("length", 20)? as u32;
+    let seed = args.get_u64("seed", 42)?;
+    let n_queries = args.get_u64("queries", 0)? as usize;
+    let queries = if n_queries == 0 {
+        QuerySet::per_nonisolated_vertex(&g, length, seed)
+    } else {
+        QuerySet::n_queries(&g, n_queries, length, seed)
+    };
+
+    let app: Box<dyn WalkApp> = match args.get("app").unwrap_or("uniform") {
+        "uniform" => Box::new(Uniform),
+        "static" => Box::new(StaticWeighted),
+        "metapath" => {
+            if !g.has_edge_labels() {
+                return Err("metapath needs a graph with edge relations".into());
+            }
+            Box::new(MetaPath::new(vec![0, 1, 0, 1, 0]))
+        }
+        "node2vec" => Box::new(Node2Vec::paper_params()),
+        other => return Err(format!("unknown --app {other:?}")),
+    };
+
+    let (walks, summary) = match args.get("engine").unwrap_or("sim") {
+        "sim" => {
+            let cfg = LightRwConfig {
+                seed,
+                ..LightRwConfig::default()
+            };
+            let r = LightRwSim::new(&g, app.as_ref(), cfg).run(&queries);
+            let line = format!(
+                "engine sim: {} steps in {:.3} ms simulated ({:.1} M steps/s), cache hit {:.1}%",
+                r.steps,
+                r.seconds * 1e3,
+                r.steps_per_sec() / 1e6,
+                r.cache_total().hit_ratio() * 100.0
+            );
+            (r.results, line)
+        }
+        "cpu" => {
+            let cfg = BaselineConfig {
+                seed,
+                ..Default::default()
+            };
+            let t = std::time::Instant::now();
+            let (res, st) = CpuEngine::new(&g, app.as_ref(), cfg).run(&queries);
+            let line = format!(
+                "engine cpu: {} steps in {:.3} ms wall ({:.1} M steps/s, {} threads)",
+                st.steps,
+                t.elapsed().as_secs_f64() * 1e3,
+                st.steps_per_sec() / 1e6,
+                st.threads
+            );
+            (res, line)
+        }
+        other => return Err(format!("unknown --engine {other:?}")),
+    };
+
+    let mut out_line = String::new();
+    if let Some(out) = args.get("out") {
+        let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+        if args.flag("binary") {
+            corpus_io::write_binary(&walks, f).map_err(|e| e.to_string())?;
+        } else {
+            corpus_io::write_text(&walks, f).map_err(|e| e.to_string())?;
+        }
+        out_line = format!("\nwrote {} walks to {out}", walks.len());
+    }
+    Ok(format!("{summary}{out_line}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lightrw_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn parse(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn arg_parser_handles_options_flags_and_positionals() {
+        let a = parse(&["g.bin", "--scale", "12", "--directed", "-o", "out.bin"]);
+        assert_eq!(a.positional, vec!["g.bin"]);
+        assert_eq!(a.get("scale"), Some("12"));
+        assert!(a.flag("directed"));
+        assert_eq!(a.get("out"), Some("out.bin"));
+    }
+
+    #[test]
+    fn arg_parser_rejects_missing_values() {
+        let raw: Vec<String> = vec!["--scale".into()];
+        assert!(Args::parse(&raw).is_err());
+    }
+
+    #[test]
+    fn generate_info_walk_pipeline() {
+        let gpath = tmp("pipeline.bin");
+        let out = run(
+            "generate",
+            &parse(&["--kind", "rmat", "--scale", "8", "--seed", "3", "-o", &gpath]),
+        )
+        .unwrap();
+        assert!(out.contains("256 vertices"), "{out}");
+
+        let info = run("info", &parse(&[&gpath])).unwrap();
+        assert!(info.contains("vertices        : 256"), "{info}");
+        assert!(info.contains("weak components"));
+
+        let wpath = tmp("pipeline_walks.txt");
+        let walk = run(
+            "walk",
+            &parse(&[&gpath, "--app", "node2vec", "--length", "5", "--engine", "sim", "-o", &wpath]),
+        )
+        .unwrap();
+        assert!(walk.contains("engine sim"), "{walk}");
+        let corpus = corpus_io::read_text(std::fs::File::open(&wpath).unwrap()).unwrap();
+        assert!(!corpus.is_empty());
+    }
+
+    #[test]
+    fn walk_on_cpu_engine() {
+        let gpath = tmp("cpu.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let out = run(
+            "walk",
+            &parse(&[&gpath, "--engine", "cpu", "--length", "4", "--queries", "32"]),
+        )
+        .unwrap();
+        assert!(out.contains("engine cpu"), "{out}");
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let epath = tmp("edges.txt");
+        std::fs::write(&epath, "0 1 5\n1 2 3\n").unwrap();
+        let gpath = tmp("converted.bin");
+        let out = run(
+            "convert",
+            &parse(&["--input", &epath, "--undirected", "-o", &gpath]),
+        )
+        .unwrap();
+        assert!(out.contains("4 edges"), "{out}");
+        let g = gio::load_binary(&gpath).unwrap();
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn standin_generation_validates_dataset_name() {
+        let err = run(
+            "generate",
+            &parse(&["--kind", "standin", "--dataset", "nope", "-o", &tmp("x.bin")]),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown dataset"));
+        let ok = run(
+            "generate",
+            &parse(&["--kind", "standin", "--dataset", "orkut", "--scale", "8", "-o", &tmp("ok.bin")]),
+        )
+        .unwrap();
+        assert!(ok.contains("vertices"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run("info", &parse(&[])).unwrap_err().contains("graph file"));
+        assert!(run("nonsense", &Args::default()).unwrap_err().contains("unknown subcommand"));
+        assert!(run("walk", &parse(&["/no/such/file.bin"])).unwrap_err().contains("no such file"));
+        assert!(run("help", &Args::default()).unwrap().contains("subcommands"));
+    }
+
+    #[test]
+    fn metapath_requires_relations() {
+        let gpath = tmp("unlabeled.bin");
+        run("generate", &parse(&["--kind", "er", "--scale", "6", "-o", &gpath])).unwrap();
+        let err = run("walk", &parse(&[&gpath, "--app", "metapath"])).unwrap_err();
+        assert!(err.contains("edge relations"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # lightrw-embed — the downstream consumer: embeddings + link prediction
+//!
+//! The paper's case study (§6.7, Fig. 18) integrates LightRW into SNAP's
+//! link-prediction flow: Node2Vec walks feed a Word2Vec model whose vertex
+//! embeddings score candidate edges. This crate supplies that consumer:
+//!
+//! - [`sgns`] — a skip-gram-with-negative-sampling trainer (the Word2Vec
+//!   variant node2vec uses) over walk corpora;
+//! - [`vocab`] — unigram statistics and the `count^0.75` negative-sampling
+//!   table (an [`lightrw_sampling::AliasTable`] reuse);
+//! - [`linkpred`] — edge hold-out splitting, cosine scoring and AUC
+//!   evaluation;
+//! - [`casestudy`] — the Fig. 18 harness: phase-by-phase time breakdown of
+//!   CPU-only link prediction vs the LightRW-accelerated flow.
+
+pub mod casestudy;
+pub mod linkpred;
+pub mod sgns;
+pub mod vocab;
+
+pub use casestudy::{run_case_study, CaseStudyReport, PhaseTimes};
+pub use linkpred::{auc, holdout_split, HoldoutSplit};
+pub use sgns::{Embeddings, SgnsConfig, SgnsTrainer};
+pub use vocab::Vocab;

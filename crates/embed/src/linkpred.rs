@@ -1,0 +1,140 @@
+//! Link prediction: hold-out splitting, scoring and AUC.
+//!
+//! The standard node2vec evaluation protocol: hide a fraction of edges,
+//! train embeddings on the remaining graph, then check that held-out
+//! (true) edges score higher than random non-edges.
+
+use crate::sgns::Embeddings;
+use lightrw_graph::{Graph, GraphBuilder, VertexId};
+use lightrw_rng::{Rng, SplitMix64};
+
+/// A train/test split of a graph's edges.
+pub struct HoldoutSplit {
+    /// The graph with test edges removed.
+    pub train: Graph,
+    /// Held-out positive pairs.
+    pub test_pos: Vec<(VertexId, VertexId)>,
+    /// Sampled negative (non-edge) pairs, same count as `test_pos`.
+    pub test_neg: Vec<(VertexId, VertexId)>,
+}
+
+/// Hold out ~`frac` of the undirected edges of `g` (both directions
+/// removed together) and sample an equal number of non-edges.
+pub fn holdout_split(g: &Graph, frac: f64, seed: u64) -> HoldoutSplit {
+    assert!((0.0..1.0).contains(&frac));
+    let mut rng = SplitMix64::new(seed);
+
+    // Collect canonical undirected pairs.
+    let mut pairs: Vec<(VertexId, VertexId, u32)> = Vec::new();
+    for (u, v, w) in g.iter_edges() {
+        if u < v {
+            pairs.push((u, v, w));
+        }
+    }
+    rng.shuffle(&mut pairs);
+    let n_test = ((pairs.len() as f64) * frac) as usize;
+    let (test, train) = pairs.split_at(n_test);
+
+    let mut b = GraphBuilder::undirected().num_vertices(g.num_vertices());
+    for &(u, v, w) in train {
+        b = b.weighted_edge(u, v, w);
+    }
+    let train_graph = b.build();
+
+    let test_pos: Vec<(VertexId, VertexId)> = test.iter().map(|&(u, v, _)| (u, v)).collect();
+    let mut test_neg = Vec::with_capacity(test_pos.len());
+    let n = g.num_vertices() as u64;
+    while test_neg.len() < test_pos.len() {
+        let u = rng.gen_range(n) as VertexId;
+        let v = rng.gen_range(n) as VertexId;
+        if u != v && !g.has_edge(u, v) {
+            test_neg.push((u, v));
+        }
+    }
+    HoldoutSplit {
+        train: train_graph,
+        test_pos,
+        test_neg,
+    }
+}
+
+/// Area under the ROC curve for positive vs negative scores (probability
+/// that a random positive outranks a random negative; ties count half).
+pub fn auc(pos_scores: &[f32], neg_scores: &[f32]) -> f64 {
+    assert!(!pos_scores.is_empty() && !neg_scores.is_empty());
+    // Rank-sum (Mann-Whitney U) formulation, O((m+n) log(m+n)).
+    let mut all: Vec<(f32, bool)> = pos_scores
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg_scores.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score"));
+    let mut rank_sum = 0.0f64;
+    let mut i = 0usize;
+    while i < all.len() {
+        // Tie group [i, j): average rank.
+        let mut j = i + 1;
+        while j < all.len() && all[j].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j) as f64) / 2.0; // 1-based ranks
+        rank_sum += all[i..j].iter().filter(|(_, p)| *p).count() as f64 * avg_rank;
+        i = j;
+    }
+    let m = pos_scores.len() as f64;
+    let n = neg_scores.len() as f64;
+    (rank_sum - m * (m + 1.0) / 2.0) / (m * n)
+}
+
+/// Score pairs by embedding cosine similarity.
+pub fn score_pairs(emb: &Embeddings, pairs: &[(VertexId, VertexId)]) -> Vec<f32> {
+    pairs.iter().map(|&(u, v)| emb.cosine(u, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::generators;
+
+    #[test]
+    fn auc_of_perfect_separation_is_one() {
+        assert_eq!(auc(&[0.9, 0.8], &[0.1, 0.2]), 1.0);
+        assert_eq!(auc(&[0.1], &[0.9]), 0.0);
+    }
+
+    #[test]
+    fn auc_of_identical_scores_is_half() {
+        assert!((auc(&[0.5, 0.5], &[0.5, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let a = auc(&[0.9, 0.4], &[0.5, 0.1]);
+        // pairs: (.9>.5),(.9>.1),(.4<.5),(.4>.1) → 3/4
+        assert!((a - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn holdout_removes_edges_and_samples_nonedges() {
+        let g = generators::erdos_renyi_gnm(256, 2048, 3);
+        let split = holdout_split(&g, 0.2, 7);
+        assert!(!split.test_pos.is_empty());
+        assert_eq!(split.test_pos.len(), split.test_neg.len());
+        assert!(split.train.num_edges() < g.num_edges());
+        for &(u, v) in &split.test_pos {
+            assert!(g.has_edge(u, v));
+            assert!(!split.train.has_edge(u, v), "test edge ({u},{v}) leaked");
+        }
+        for &(u, v) in &split.test_neg {
+            assert!(!g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let g = generators::ring(32, 2);
+        let split = holdout_split(&g, 0.0, 1);
+        assert_eq!(split.train.num_edges(), g.num_edges());
+        assert!(split.test_pos.is_empty());
+    }
+}

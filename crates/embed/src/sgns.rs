@@ -1,0 +1,268 @@
+//! Skip-gram with negative sampling (Word2Vec), trained on walk corpora.
+//!
+//! The learning stage of the paper's link-prediction case study. Kept
+//! deliberately close to the original Word2Vec/node2vec C training loop:
+//! two embedding matrices (input/context), sliding window over each walk,
+//! `negatives` corrupted pairs per positive, SGD with linear learning-rate
+//! decay. Single-threaded and seeded: reproducible to the bit.
+
+use crate::vocab::Vocab;
+use lightrw_rng::{Rng, SplitMix64};
+use lightrw_walker::WalkResults;
+
+/// Trainer hyperparameters (defaults follow node2vec's reference setup,
+/// scaled down for the reproduction's graph sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgnsConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub lr: f32,
+    /// Epochs over the corpus.
+    pub epochs: usize,
+    /// Seed for init + negative sampling.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            window: 5,
+            negatives: 5,
+            lr: 0.025,
+            epochs: 2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Trained vertex embeddings.
+pub struct Embeddings {
+    dim: usize,
+    vecs: Vec<f32>,
+}
+
+impl Embeddings {
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded vertices.
+    pub fn len(&self) -> usize {
+        self.vecs.len() / self.dim
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vecs.is_empty()
+    }
+
+    /// The embedding vector of vertex `v`.
+    pub fn vector(&self, v: u32) -> &[f32] {
+        let d = self.dim;
+        &self.vecs[v as usize * d..(v as usize + 1) * d]
+    }
+
+    /// Cosine similarity between two vertices' embeddings.
+    pub fn cosine(&self, u: u32, v: u32) -> f32 {
+        let (a, b) = (self.vector(u), self.vector(v));
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+}
+
+/// The SGNS trainer.
+pub struct SgnsTrainer {
+    cfg: SgnsConfig,
+}
+
+impl SgnsTrainer {
+    /// Create a trainer.
+    pub fn new(cfg: SgnsConfig) -> Self {
+        assert!(cfg.dim >= 2 && cfg.window >= 1 && cfg.epochs >= 1);
+        Self { cfg }
+    }
+
+    /// Train embeddings from a walk corpus over `num_vertices` vertices.
+    pub fn train(&self, walks: &WalkResults, num_vertices: usize) -> Embeddings {
+        let cfg = self.cfg;
+        let d = cfg.dim;
+        let vocab = Vocab::from_walks(walks, num_vertices);
+        let mut rng = SplitMix64::new(cfg.seed);
+
+        // Word2Vec init: input uniform in [-0.5/d, 0.5/d), context zero.
+        let mut w_in: Vec<f32> = (0..num_vertices * d)
+            .map(|_| (rng.next_f64() as f32 - 0.5) / d as f32)
+            .collect();
+        let mut w_ctx: Vec<f32> = vec![0.0; num_vertices * d];
+
+        // Total positive pairs for lr decay.
+        let pairs_per_epoch: u64 = walks
+            .iter()
+            .map(|p| {
+                let n = p.len();
+                (0..n)
+                    .map(|i| {
+                        let lo = i.saturating_sub(cfg.window);
+                        let hi = (i + cfg.window).min(n - 1);
+                        (hi - lo) as u64
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+        let total_pairs = (pairs_per_epoch * cfg.epochs as u64).max(1);
+        let mut seen_pairs = 0u64;
+        let mut grad = vec![0.0f32; d];
+
+        #[allow(clippy::needless_range_loop)] // i/j are positions, not just indices
+        for _epoch in 0..cfg.epochs {
+            for path in walks.iter() {
+                let n = path.len();
+                for i in 0..n {
+                    let center = path[i] as usize;
+                    let lo = i.saturating_sub(cfg.window);
+                    let hi = (i + cfg.window).min(n - 1);
+                    for j in lo..=hi {
+                        if j == i {
+                            continue;
+                        }
+                        seen_pairs += 1;
+                        let lr = cfg.lr
+                            * (1.0 - seen_pairs as f32 / total_pairs as f32).max(1e-4);
+                        let context = path[j] as usize;
+                        grad.fill(0.0);
+                        // Positive pair + negatives.
+                        for neg in 0..=cfg.negatives {
+                            let (target, label) = if neg == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (vocab.sample_negative(&mut rng) as usize, 0.0f32)
+                            };
+                            if neg > 0 && target == center {
+                                continue;
+                            }
+                            let (ci, ti) = (center * d, target * d);
+                            let mut dot = 0.0f32;
+                            for x in 0..d {
+                                dot += w_in[ci + x] * w_ctx[ti + x];
+                            }
+                            let g = (label - sigmoid(dot)) * lr;
+                            for x in 0..d {
+                                grad[x] += g * w_ctx[ti + x];
+                                w_ctx[ti + x] += g * w_in[ci + x];
+                            }
+                        }
+                        let ci = center * d;
+                        for x in 0..d {
+                            w_in[ci + x] += grad[x];
+                        }
+                    }
+                }
+            }
+        }
+        Embeddings { dim: d, vecs: w_in }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    // Clamp like Word2Vec's MAX_EXP table to keep gradients bounded.
+    let x = x.clamp(-6.0, 6.0);
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus with two "communities" {0,1,2} and {3,4,5} that never
+    /// co-occur.
+    fn community_corpus() -> WalkResults {
+        let mut w = WalkResults::new();
+        let mut s = SplitMix64::new(9);
+        for _ in 0..220 {
+            let base = if s.gen_bool(0.5) { 0u32 } else { 3u32 };
+            let path: Vec<u32> = (0..12).map(|_| base + s.gen_range(3) as u32).collect();
+            w.push_path(&path);
+        }
+        w
+    }
+
+    #[test]
+    fn embeddings_have_right_shape() {
+        let cfg = SgnsConfig {
+            dim: 16,
+            epochs: 1,
+            ..Default::default()
+        };
+        let emb = SgnsTrainer::new(cfg).train(&community_corpus(), 6);
+        assert_eq!(emb.len(), 6);
+        assert_eq!(emb.dim(), 16);
+        assert_eq!(emb.vector(5).len(), 16);
+    }
+
+    #[test]
+    fn cosine_separates_communities() {
+        let cfg = SgnsConfig {
+            dim: 24,
+            window: 3,
+            epochs: 3,
+            ..Default::default()
+        };
+        let emb = SgnsTrainer::new(cfg).train(&community_corpus(), 6);
+        // In-community similarity must beat cross-community similarity.
+        let within = (emb.cosine(0, 1) + emb.cosine(1, 2) + emb.cosine(3, 4)) / 3.0;
+        let across = (emb.cosine(0, 3) + emb.cosine(1, 4) + emb.cosine(2, 5)) / 3.0;
+        assert!(
+            within > across + 0.2,
+            "within {within:.3} vs across {across:.3}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let a = SgnsTrainer::new(cfg).train(&community_corpus(), 6);
+        let b = SgnsTrainer::new(cfg).train(&community_corpus(), 6);
+        assert_eq!(a.vecs, b.vecs);
+    }
+
+    #[test]
+    fn cosine_of_identical_vertex_is_one() {
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let emb = SgnsTrainer::new(cfg).train(&community_corpus(), 6);
+        assert!((emb.cosine(1, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(100.0) < 1.0);
+        assert!(sigmoid(-100.0) > 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,321 @@
+//! Graph construction from edge lists.
+
+use crate::csr::{Graph, VertexId};
+use lightrw_rng::{Rng, SplitMix64};
+
+/// Builder for [`Graph`].
+///
+/// Collects edges (with optional per-edge weight and relation label),
+/// then sorts, deduplicates and packs them into CSR. Undirected builders
+/// mirror every edge with identical weight/label, matching the paper's
+/// representation of undirected graphs as two directed edges (§2.1).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    directed: bool,
+    min_vertices: usize,
+    edges: Vec<(VertexId, VertexId, u32, u8)>,
+    vertex_labels: Vec<u8>,
+}
+
+impl GraphBuilder {
+    /// Start a directed graph.
+    pub fn directed() -> Self {
+        Self {
+            directed: true,
+            min_vertices: 0,
+            edges: Vec::new(),
+            vertex_labels: Vec::new(),
+        }
+    }
+
+    /// Start an undirected graph (every edge stored in both directions).
+    pub fn undirected() -> Self {
+        Self {
+            directed: false,
+            ..Self::directed()
+        }
+    }
+
+    /// Ensure the graph has at least `n` vertices even if some are isolated.
+    pub fn num_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Add one edge with unit weight and no relation label.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push_edge(u, v, 1, 0);
+        self
+    }
+
+    /// Add many unit-weight edges.
+    pub fn edges<I: IntoIterator<Item = (VertexId, VertexId)>>(mut self, it: I) -> Self {
+        for (u, v) in it {
+            self.push_edge(u, v, 1, 0);
+        }
+        self
+    }
+
+    /// Add one weighted edge.
+    pub fn weighted_edge(mut self, u: VertexId, v: VertexId, w: u32) -> Self {
+        self.push_edge(u, v, w, 0);
+        self
+    }
+
+    /// Add many weighted edges.
+    pub fn weighted_edges<I: IntoIterator<Item = (VertexId, VertexId, u32)>>(
+        mut self,
+        it: I,
+    ) -> Self {
+        for (u, v, w) in it {
+            self.push_edge(u, v, w, 0);
+        }
+        self
+    }
+
+    /// Add one fully attributed edge (weight + relation label).
+    pub fn labeled_edge(mut self, u: VertexId, v: VertexId, w: u32, rel: u8) -> Self {
+        self.push_edge(u, v, w, rel);
+        self
+    }
+
+    /// In-place edge insertion (non-consuming; useful in loops).
+    pub fn push_edge(&mut self, u: VertexId, v: VertexId, w: u32, rel: u8) {
+        self.edges.push((u, v, w, rel));
+        if !self.directed {
+            self.edges.push((v, u, w, rel));
+        }
+    }
+
+    /// Attach explicit vertex labels (`labels[v]` is `v`'s type).
+    pub fn vertex_labels(mut self, labels: Vec<u8>) -> Self {
+        self.vertex_labels = labels;
+        self
+    }
+
+    /// Assign uniform-random edge weights in `[1, max_weight]` to all edges
+    /// added *so far*, overriding their current weights. Mirrored halves of
+    /// an undirected edge receive the same weight. This matches the paper's
+    /// setup: "graph datasets are initialized with random edge weights"
+    /// (§6.1.4).
+    pub fn randomize_weights(mut self, max_weight: u32, seed: u64) -> Self {
+        assert!(max_weight >= 1);
+        // Deterministic per undirected pair: key on (min,max) so mirrored
+        // entries agree regardless of insertion order.
+        for e in &mut self.edges {
+            let (a, b) = (e.0.min(e.1) as u64, e.0.max(e.1) as u64);
+            let mut pair_rng = SplitMix64::new(rng_key(seed, a, b));
+            e.2 = 1 + pair_rng.gen_range(max_weight as u64) as u32;
+        }
+        self
+    }
+
+    /// Assign uniform-random relation labels in `[0, num_relations)` to all
+    /// edges added so far (mirrored halves agree), for MetaPath workloads.
+    pub fn randomize_edge_labels(mut self, num_relations: u8, seed: u64) -> Self {
+        assert!(num_relations >= 1);
+        for e in &mut self.edges {
+            let (a, b) = (e.0.min(e.1) as u64, e.0.max(e.1) as u64);
+            let mut pair_rng = SplitMix64::new(rng_key(seed ^ 0xA5A5, a, b));
+            e.3 = pair_rng.gen_range(num_relations as u64) as u8;
+        }
+        self
+    }
+
+    /// Assign uniform-random vertex labels in `[0, num_labels)`.
+    pub fn randomize_vertex_labels(mut self, num_labels: u8, seed: u64) -> Self {
+        assert!(num_labels >= 1);
+        let n = self.vertex_count();
+        let mut rng = SplitMix64::new(seed);
+        self.vertex_labels = (0..n)
+            .map(|_| rng.gen_range(num_labels as u64) as u8)
+            .collect();
+        self
+    }
+
+    fn vertex_count(&self) -> usize {
+        let from_edges = self
+            .edges
+            .iter()
+            .map(|&(u, v, _, _)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        from_edges.max(self.min_vertices).max(self.vertex_labels.len())
+    }
+
+    /// Pack into CSR. Duplicate `(u,v)` edges are collapsed (first
+    /// occurrence wins); self-loops are kept if present in the input.
+    pub fn build(self) -> Graph {
+        let n = self.vertex_count();
+        let has_edge_labels = self.edges.iter().any(|e| e.3 != 0);
+        let mut edges = self.edges;
+        edges.sort_unstable_by_key(|&(u, v, _, _)| (u, v));
+        edges.dedup_by_key(|&mut (u, v, _, _)| (u, v));
+
+        let mut row_index = vec![0u64; n + 1];
+        for &(u, _, _, _) in &edges {
+            row_index[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_index[i + 1] += row_index[i];
+        }
+
+        let mut col_index = Vec::with_capacity(edges.len());
+        let mut weights = Vec::with_capacity(edges.len());
+        let mut edge_labels = if has_edge_labels {
+            Vec::with_capacity(edges.len())
+        } else {
+            Vec::new()
+        };
+        for (_, v, w, rel) in &edges {
+            col_index.push(*v);
+            weights.push(*w);
+            if has_edge_labels {
+                edge_labels.push(*rel);
+            }
+        }
+
+        let mut vertex_labels = self.vertex_labels;
+        if !vertex_labels.is_empty() {
+            vertex_labels.resize(n, 0);
+        }
+
+        let g = Graph {
+            row_index,
+            col_index,
+            weights,
+            vertex_labels,
+            edge_labels,
+            directed: self.directed,
+        };
+        debug_assert!(crate::validate::validate(&g).is_ok());
+        g
+    }
+}
+
+/// Stable mixing of (seed, a, b) into a per-pair RNG seed.
+fn rng_key(seed: u64, a: u64, b: u64) -> u64 {
+    use lightrw_rng::splitmix::mix64;
+    mix64(seed ^ mix64(a.wrapping_mul(0x9E3779B97F4A7C15) ^ b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = GraphBuilder::directed()
+            .edges([(0, 1), (0, 1), (0, 2)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = GraphBuilder::directed()
+            .edges([(0, 5), (0, 1), (0, 3), (0, 2)])
+            .build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn undirected_mirrors_weights() {
+        let g = GraphBuilder::undirected()
+            .weighted_edge(0, 1, 9)
+            .weighted_edge(1, 2, 4)
+            .build();
+        assert_eq!(g.neighbor_weights(0), &[9]);
+        assert_eq!(g.neighbor_weights(2), &[4]);
+        // mirror of (0,1) at vertex 1
+        let i = g.neighbors(1).iter().position(|&x| x == 0).unwrap();
+        assert_eq!(g.neighbor_weights(1)[i], 9);
+    }
+
+    #[test]
+    fn random_weights_mirror_consistently() {
+        let g = GraphBuilder::undirected()
+            .edges([(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)])
+            .randomize_weights(100, 42)
+            .build();
+        for u in 0..4u32 {
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let wu = g.neighbor_weights(u)[i];
+                let j = g.neighbors(v).iter().position(|&x| x == u).unwrap();
+                let wv = g.neighbor_weights(v)[j];
+                assert_eq!(wu, wv, "edge ({u},{v}) weight mismatch");
+            }
+        }
+        // Weights in range and not all equal.
+        let all: Vec<u32> = g.iter_edges().map(|(_, _, w)| w).collect();
+        assert!(all.iter().all(|&w| (1..=100).contains(&w)));
+        assert!(all.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn random_edge_labels_mirror_consistently() {
+        let g = GraphBuilder::undirected()
+            .edges([(0, 1), (1, 2), (0, 2)])
+            .randomize_edge_labels(3, 7)
+            .build();
+        assert!(g.has_edge_labels());
+        for u in 0..3u32 {
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let ru = g.neighbor_relations(u)[i];
+                let j = g.neighbors(v).iter().position(|&x| x == u).unwrap();
+                assert_eq!(ru, g.neighbor_relations(v)[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_labels_padded_to_vertex_count() {
+        let g = GraphBuilder::directed()
+            .num_vertices(10)
+            .edge(0, 1)
+            .vertex_labels(vec![1, 2])
+            .build();
+        assert!(g.has_vertex_labels());
+        assert_eq!(g.vertex_label(1), 2);
+        assert_eq!(g.vertex_label(9), 0);
+    }
+
+    #[test]
+    fn randomize_vertex_labels_in_range() {
+        let g = GraphBuilder::directed()
+            .num_vertices(100)
+            .edge(0, 1)
+            .randomize_vertex_labels(4, 3)
+            .build();
+        for v in 0..100u32 {
+            assert!(g.vertex_label(v) < 4);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = GraphBuilder::directed().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let g = GraphBuilder::directed().edges([(1, 1), (1, 2)]).build();
+        assert_eq!(g.neighbors(1), &[1, 2]);
+    }
+
+    #[test]
+    fn built_graphs_validate() {
+        let g = GraphBuilder::undirected()
+            .edges([(0, 1), (4, 2), (3, 3), (1, 4)])
+            .randomize_weights(10, 1)
+            .randomize_edge_labels(2, 2)
+            .randomize_vertex_labels(3, 3)
+            .build();
+        assert!(validate(&g).is_ok());
+    }
+}

@@ -1,0 +1,209 @@
+//! Connectivity analysis and component extraction.
+//!
+//! Walk corpora are only as useful as the component they explore: queries
+//! started in tiny components produce degenerate paths that skew both the
+//! embedding case study (§6.7) and throughput measurements. These helpers
+//! identify weakly connected components and extract the largest one — the
+//! standard preprocessing step for node2vec-style pipelines.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+
+/// Weakly connected component labeling: `labels[v]` is `v`'s component id
+/// (ids are dense, ordered by discovery). Edge direction is ignored; we
+/// need the *undirected* reachability closure, so a reverse-adjacency pass
+/// complements the forward CSR.
+pub fn weak_components(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    // Reverse adjacency (directed graphs only store forward edges).
+    let mut rev_deg = vec![0u32; n];
+    for (_, v, _) in g.iter_edges() {
+        rev_deg[v as usize] += 1;
+    }
+    let mut rev_off = vec![0usize; n + 1];
+    for i in 0..n {
+        rev_off[i + 1] = rev_off[i] + rev_deg[i] as usize;
+    }
+    let mut rev = vec![0 as VertexId; g.num_edges()];
+    let mut cursor = rev_off.clone();
+    for (u, v, _) in g.iter_edges() {
+        rev[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in 0..n as VertexId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            let visit = |u: VertexId, labels: &mut Vec<u32>, stack: &mut Vec<VertexId>| {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = next;
+                    stack.push(u);
+                }
+            };
+            for &u in g.neighbors(v) {
+                visit(u, &mut labels, &mut stack);
+            }
+            for &u in &rev[rev_off[v as usize]..rev_off[v as usize + 1]] {
+                visit(u, &mut labels, &mut stack);
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// Number of weakly connected components.
+pub fn num_components(g: &Graph) -> usize {
+    weak_components(g)
+        .into_iter()
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+/// Extract the largest weakly connected component as a new graph with
+/// densely relabeled vertices. Returns the subgraph and, for each new
+/// vertex, its original id.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+    let labels = weak_components(g);
+    let n = g.num_vertices();
+    if n == 0 {
+        return (GraphBuilder::directed().build(), Vec::new());
+    }
+    // Component sizes.
+    let k = labels.iter().copied().max().unwrap() as usize + 1;
+    let mut sizes = vec![0u64; k];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let biggest = (0..k).max_by_key(|&c| sizes[c]).unwrap() as u32;
+
+    // Dense relabeling of the kept vertices.
+    let mut new_id = vec![u32::MAX; n];
+    let mut keep: Vec<VertexId> = Vec::new();
+    for v in 0..n as VertexId {
+        if labels[v as usize] == biggest {
+            new_id[v as usize] = keep.len() as u32;
+            keep.push(v);
+        }
+    }
+
+    let mut b = GraphBuilder::directed().num_vertices(keep.len());
+    let labeled = g.has_edge_labels();
+    for &old in &keep {
+        let rels = g.neighbor_relations(old);
+        for (i, (&v, &w)) in g
+            .neighbors(old)
+            .iter()
+            .zip(g.neighbor_weights(old))
+            .enumerate()
+        {
+            let rel = if labeled { rels[i] } else { 0 };
+            b.push_edge(new_id[old as usize], new_id[v as usize], w, rel);
+        }
+    }
+    if g.has_vertex_labels() {
+        b = b.vertex_labels(keep.iter().map(|&v| g.vertex_label(v)).collect());
+    }
+    (b.build(), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_component_ring() {
+        let g = generators::ring(20, 2);
+        assert_eq!(num_components(&g), 1);
+        let labels = weak_components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn disjoint_cliques_are_separate_components() {
+        let mut b = GraphBuilder::undirected().num_vertices(9);
+        for base in [0u32, 3, 6] {
+            b = b.edge(base, base + 1).edge(base + 1, base + 2).edge(base, base + 2);
+        }
+        let g = b.build();
+        assert_eq!(num_components(&g), 3);
+        let labels = weak_components(&g);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[6]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 -> 1 <- 2: weakly one component even though 0 and 2 cannot
+        // reach each other along directed edges.
+        let g = GraphBuilder::directed().edges([(0, 1), (2, 1)]).build();
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = GraphBuilder::directed().num_vertices(5).edge(0, 1).build();
+        assert_eq!(num_components(&g), 4); // {0,1}, {2}, {3}, {4}
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Big triangle {0,1,2} + edge {3,4} + isolated 5.
+        let g = GraphBuilder::undirected()
+            .num_vertices(6)
+            .edges([(0, 1), (1, 2), (0, 2), (3, 4)])
+            .build();
+        let (sub, orig) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(orig, vec![0, 1, 2]);
+        assert_eq!(sub.num_edges(), 6);
+        assert!(crate::validate::validate(&sub).is_ok());
+    }
+
+    #[test]
+    fn largest_component_preserves_attributes() {
+        let g = GraphBuilder::undirected()
+            .num_vertices(5)
+            .labeled_edge(0, 1, 7, 2)
+            .labeled_edge(1, 2, 3, 1)
+            .edge(3, 4)
+            .randomize_vertex_labels(3, 9)
+            .build();
+        let (sub, orig) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        for (new, &old) in orig.iter().enumerate() {
+            assert_eq!(sub.vertex_label(new as u32), g.vertex_label(old));
+        }
+        // Edge (0,1) kept with weight 7, relation 2.
+        let pos = sub.neighbors(0).iter().position(|&v| v == 1).unwrap();
+        assert_eq!(sub.neighbor_weights(0)[pos], 7);
+        assert_eq!(sub.neighbor_relations(0)[pos], 2);
+    }
+
+    #[test]
+    fn rmat_majority_component() {
+        let g = generators::rmat(10, 8, 3);
+        let (sub, _) = largest_component(&g);
+        // RMAT with edge factor 8 has a giant component holding most
+        // non-isolated vertices.
+        assert!(sub.num_vertices() * 2 > g.non_isolated_vertices().len());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::directed().build();
+        assert_eq!(num_components(&g), 0);
+        let (sub, orig) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(orig.is_empty());
+    }
+}

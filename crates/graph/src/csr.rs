@@ -1,0 +1,297 @@
+//! Compressed sparse row graph storage.
+
+/// Vertex identifier. 32 bits, as in the paper's hardware (vertex ids and
+/// edge targets travel over 32-bit lanes of the 512-bit memory bus).
+pub type VertexId = u32;
+
+/// Bytes per `row_index` entry as laid out in accelerator DRAM.
+///
+/// The Neighbor Info Loader fetches `{address, degree}` per vertex
+/// (paper Fig. 5): a 32-bit offset plus a 32-bit degree.
+pub const ROW_ENTRY_BYTES: u64 = 8;
+
+/// Bytes per `col_index` entry as laid out in accelerator DRAM: a 32-bit
+/// destination vertex plus a 32-bit packed attribute word (static weight
+/// and relation label), which is what the Weight Updater consumes.
+pub const COL_ENTRY_BYTES: u64 = 8;
+
+/// An immutable CSR graph with optional vertex labels (MetaPath node
+/// types) and edge relations (MetaPath edge types).
+///
+/// Invariants (checked by [`crate::validate::validate`], established by
+/// [`crate::builder::GraphBuilder`]):
+/// - `row_index.len() == num_vertices + 1`, monotone non-decreasing,
+///   `row_index[0] == 0`, `row_index[V] == col_index.len()`;
+/// - every destination in `col_index` is `< num_vertices`;
+/// - each adjacency list is sorted by destination and duplicate-free;
+/// - `weights.len() == col_index.len()`; label arrays, when present, are
+///   aligned the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    pub(crate) row_index: Vec<u64>,
+    pub(crate) col_index: Vec<VertexId>,
+    /// Static edge weight w* (paper §2.1); 1 for unweighted graphs.
+    pub(crate) weights: Vec<u32>,
+    /// Vertex label L(v) for heterogeneous graphs (MetaPath). Empty if the
+    /// graph is homogeneous.
+    pub(crate) vertex_labels: Vec<u8>,
+    /// Edge relation R(u,v) aligned with `col_index`. Empty if untyped.
+    pub(crate) edge_labels: Vec<u8>,
+    pub(crate) directed: bool,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.row_index.len() - 1
+    }
+
+    /// Number of *stored* directed edges (an undirected input edge counts
+    /// twice, as in the paper's representation).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_index.len()
+    }
+
+    /// Whether the graph was built as directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        let v = v as usize;
+        (self.row_index[v + 1] - self.row_index[v]) as u32
+    }
+
+    /// Start offset of `v`'s adjacency list in `col_index`.
+    #[inline]
+    pub fn neighbor_offset(&self, v: VertexId) -> u64 {
+        self.row_index[v as usize]
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.col_index[self.row_index[v] as usize..self.row_index[v + 1] as usize]
+    }
+
+    /// Static weights aligned with [`Graph::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: VertexId) -> &[u32] {
+        let v = v as usize;
+        &self.weights[self.row_index[v] as usize..self.row_index[v + 1] as usize]
+    }
+
+    /// Edge relations aligned with [`Graph::neighbors`]; empty slice if the
+    /// graph has no edge labels.
+    #[inline]
+    pub fn neighbor_relations(&self, v: VertexId) -> &[u8] {
+        if self.edge_labels.is_empty() {
+            return &[];
+        }
+        let v = v as usize;
+        &self.edge_labels[self.row_index[v] as usize..self.row_index[v + 1] as usize]
+    }
+
+    /// Label of vertex `v`; 0 when the graph is unlabeled.
+    #[inline]
+    pub fn vertex_label(&self, v: VertexId) -> u8 {
+        if self.vertex_labels.is_empty() {
+            0
+        } else {
+            self.vertex_labels[v as usize]
+        }
+    }
+
+    /// Whether the graph carries vertex labels.
+    #[inline]
+    pub fn has_vertex_labels(&self) -> bool {
+        !self.vertex_labels.is_empty()
+    }
+
+    /// Whether the graph carries edge relations.
+    #[inline]
+    pub fn has_edge_labels(&self) -> bool {
+        !self.edge_labels.is_empty()
+    }
+
+    /// Edge-existence test via binary search over the sorted adjacency of
+    /// `u`. This is the membership probe Node2Vec's weight update needs
+    /// (`(a_{t-1}, b) ∈ E`, paper Eq. 2b).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Average degree |E|/|V|.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Vertices with non-zero out-degree, in id order. The paper's query
+    /// sets use one query per such vertex (§6.1.4).
+    pub fn non_isolated_vertices(&self) -> Vec<VertexId> {
+        (0..self.num_vertices() as VertexId)
+            .filter(|&v| self.degree(v) > 0)
+            .collect()
+    }
+
+    /// Iterate all stored directed edges as `(src, dst, weight)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u32)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .zip(self.neighbor_weights(u))
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accelerator address model (consumed by lightrw-memsim / hwsim)
+    // ------------------------------------------------------------------
+
+    /// Byte address of `v`'s `row_index` entry in accelerator DRAM.
+    ///
+    /// The CSR arrays are laid out back to back starting at address 0:
+    /// `row_index` first, then `col_index`.
+    #[inline]
+    pub fn row_entry_addr(&self, v: VertexId) -> u64 {
+        v as u64 * ROW_ENTRY_BYTES
+    }
+
+    /// Byte address where the `col_index` region starts.
+    #[inline]
+    pub fn col_region_base(&self) -> u64 {
+        (self.num_vertices() as u64 + 1) * ROW_ENTRY_BYTES
+    }
+
+    /// Byte address of `v`'s adjacency list in accelerator DRAM.
+    #[inline]
+    pub fn col_entry_addr(&self, v: VertexId) -> u64 {
+        self.col_region_base() + self.neighbor_offset(v) * COL_ENTRY_BYTES
+    }
+
+    /// Bytes occupied by `v`'s adjacency list in accelerator DRAM — the `c`
+    /// of the dynamic burst split (paper §5.2).
+    #[inline]
+    pub fn neighbor_bytes(&self, v: VertexId) -> u64 {
+        self.degree(v) as u64 * COL_ENTRY_BYTES
+    }
+
+    /// Total bytes of the CSR image (what the host pushes over PCIe before
+    /// invoking the accelerator — Table 4's transfer volume).
+    pub fn csr_bytes(&self) -> u64 {
+        self.col_region_base() + self.num_edges() as u64 * COL_ENTRY_BYTES
+    }
+
+    /// Direct access to the raw offsets array (read-only).
+    #[inline]
+    pub fn row_index(&self) -> &[u64] {
+        &self.row_index
+    }
+
+    /// Direct access to the raw adjacency array (read-only).
+    #[inline]
+    pub fn col_index(&self) -> &[VertexId] {
+        &self.col_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle() -> crate::Graph {
+        // 0-1, 1-2, 0-2 undirected.
+        GraphBuilder::undirected()
+            .edges([(0, 1), (1, 2), (0, 2)])
+            .build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6); // doubled
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(!g.is_directed());
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn has_edge_both_ways_in_undirected() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let g = GraphBuilder::directed().edges([(0, 1), (1, 2)]).build();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn address_model_layout() {
+        let g = triangle();
+        assert_eq!(g.row_entry_addr(0), 0);
+        assert_eq!(g.row_entry_addr(2), 16);
+        // 4 row entries (V+1) of 8 bytes before col region.
+        assert_eq!(g.col_region_base(), 32);
+        assert_eq!(g.col_entry_addr(0), 32);
+        assert_eq!(g.col_entry_addr(1), 32 + 2 * 8);
+        assert_eq!(g.neighbor_bytes(0), 16);
+        assert_eq!(g.csr_bytes(), 32 + 6 * 8);
+    }
+
+    #[test]
+    fn non_isolated_skips_zero_degree() {
+        let g = GraphBuilder::directed()
+            .num_vertices(5)
+            .edges([(0, 1), (3, 4)])
+            .build();
+        assert_eq!(g.non_isolated_vertices(), vec![0, 3]);
+    }
+
+    #[test]
+    fn iter_edges_yields_all() {
+        let g = triangle();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert!(edges.contains(&(0, 1, 1)));
+        assert!(edges.contains(&(2, 0, 1)));
+    }
+
+    #[test]
+    fn unlabeled_graph_reports_zero_labels() {
+        let g = triangle();
+        assert!(!g.has_vertex_labels());
+        assert!(!g.has_edge_labels());
+        assert_eq!(g.vertex_label(1), 0);
+        assert!(g.neighbor_relations(0).is_empty());
+    }
+}

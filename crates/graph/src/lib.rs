@@ -1,0 +1,33 @@
+//! # lightrw-graph — CSR graph substrate
+//!
+//! The graph storage layer shared by every engine in the LightRW
+//! reproduction. Matches the paper's data layout (§3.3): graphs are stored
+//! in **compressed sparse row** form with a `row_index` array (per-vertex
+//! offsets into the adjacency array) and a `col_index` array (adjacent
+//! edges sorted by destination). On the accelerator these two arrays live in
+//! FPGA DRAM and are the targets of the degree-aware cache (`row_index`)
+//! and the dynamic burst engine (`col_index`); the byte-address helpers on
+//! [`Graph`] are what the memory simulator uses to model those accesses.
+//!
+//! Beyond storage, the crate provides:
+//! - [`builder::GraphBuilder`] — edge-list ingestion (directed/undirected,
+//!   weights, vertex labels, edge relations for MetaPath);
+//! - [`generators`] — RMAT (the paper's synthetic workloads, Table 2),
+//!   Erdős–Rényi, and deterministic fixtures, plus scaled stand-ins for the
+//!   paper's five real-world datasets;
+//! - [`io`] — SNAP-style edge-list text and a binary CSR format;
+//! - [`stats`] / [`validate`] — degree-distribution summaries and
+//!   structural integrity checks.
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+pub mod validate;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, VertexId, COL_ENTRY_BYTES, ROW_ENTRY_BYTES};
+pub use generators::DatasetProfile;

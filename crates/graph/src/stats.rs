@@ -1,0 +1,154 @@
+//! Degree-distribution summaries.
+//!
+//! The effectiveness of both memory optimizations in the paper is a
+//! function of the degree distribution: the degree-aware cache wins when
+//! high-degree vertices dominate traversals (§5.1's `Pr[v] = Ω(N(v))`
+//! analysis), and the dynamic burst engine's valid-data ratio is set by how
+//! adjacency lengths straddle burst sizes (§5.2, Fig. 6). These summaries
+//! feed both the experiment harnesses and EXPERIMENTS.md commentary.
+
+use crate::csr::{Graph, VertexId};
+
+/// One log2 bucket of the degree histogram: degrees in
+/// `[2^bucket, 2^{bucket+1})`, except bucket 0 which also holds degree 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegreeBucket {
+    /// log2 lower bound of the bucket.
+    pub bucket: u32,
+    /// Number of vertices whose degree falls in the bucket.
+    pub count: u64,
+    /// Total edges owned by vertices in the bucket.
+    pub edges: u64,
+}
+
+/// Histogram of out-degrees in log2 buckets.
+pub fn degree_histogram(g: &Graph) -> Vec<DegreeBucket> {
+    let mut buckets: Vec<DegreeBucket> = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.degree(v);
+        let b = if d == 0 { 0 } else { 32 - (d.leading_zeros() + 1) };
+        while buckets.len() <= b as usize {
+            buckets.push(DegreeBucket {
+                bucket: buckets.len() as u32,
+                count: 0,
+                edges: 0,
+            });
+        }
+        buckets[b as usize].count += 1;
+        buckets[b as usize].edges += d as u64;
+    }
+    buckets
+}
+
+/// Summary statistics of a graph, printed by experiment harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    pub vertices: usize,
+    pub edges: usize,
+    pub avg_degree: f64,
+    pub max_degree: u32,
+    /// Fraction of all edges owned by the top 1% highest-degree vertices —
+    /// the skew measure that predicts degree-aware cache benefit.
+    pub top1pct_edge_share: f64,
+    /// Gini coefficient of the degree distribution (0 = uniform).
+    pub degree_gini: f64,
+}
+
+/// Compute a [`GraphSummary`].
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let n = g.num_vertices();
+    let mut degrees: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let total_edges: u64 = degrees.iter().map(|&d| d as u64).sum();
+
+    let top = (n / 100).max(1).min(n);
+    let top_edges: u64 = degrees.iter().rev().take(top).map(|&d| d as u64).sum();
+    let top1pct_edge_share = if total_edges == 0 {
+        0.0
+    } else {
+        top_edges as f64 / total_edges as f64
+    };
+
+    // Gini over the sorted degree sequence.
+    let degree_gini = if total_edges == 0 || n < 2 {
+        0.0
+    } else {
+        let mut weighted: f64 = 0.0;
+        for (i, &d) in degrees.iter().enumerate() {
+            weighted += (i as f64 + 1.0) * d as f64;
+        }
+        (2.0 * weighted) / (n as f64 * total_edges as f64) - (n as f64 + 1.0) / n as f64
+    };
+
+    GraphSummary {
+        vertices: n,
+        edges: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree: degrees.last().copied().unwrap_or(0),
+        top1pct_edge_share,
+        degree_gini,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_gnm, rmat, ring, star};
+
+    #[test]
+    fn histogram_buckets_partition_vertices() {
+        let g = rmat(10, 8, 1);
+        let h = degree_histogram(&g);
+        assert_eq!(
+            h.iter().map(|b| b.count).sum::<u64>(),
+            g.num_vertices() as u64
+        );
+        assert_eq!(h.iter().map(|b| b.edges).sum::<u64>(), g.num_edges() as u64);
+    }
+
+    #[test]
+    fn histogram_of_regular_graph_is_single_bucket() {
+        let g = ring(16, 2); // all degree 4 => bucket 2
+        let h = degree_histogram(&g);
+        let nonzero: Vec<_> = h.iter().filter(|b| b.count > 0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert_eq!(nonzero[0].bucket, 2);
+        assert_eq!(nonzero[0].count, 16);
+    }
+
+    #[test]
+    fn star_is_maximally_skewed() {
+        let s = summarize(&star(1000));
+        assert!(s.top1pct_edge_share > 0.45, "{}", s.top1pct_edge_share);
+        assert!(s.degree_gini > 0.45, "{}", s.degree_gini);
+    }
+
+    #[test]
+    fn ring_has_zero_gini() {
+        let s = summarize(&ring(100, 3));
+        assert!(s.degree_gini.abs() < 1e-9);
+        assert_eq!(s.max_degree, 6);
+    }
+
+    #[test]
+    fn rmat_more_skewed_than_er() {
+        let r = summarize(&rmat(12, 8, 3));
+        let e = summarize(&erdos_renyi_gnm(4096, 8 * 4096, 3));
+        assert!(
+            r.degree_gini > e.degree_gini + 0.1,
+            "rmat {} vs er {}",
+            r.degree_gini,
+            e.degree_gini
+        );
+        assert!(r.top1pct_edge_share > e.top1pct_edge_share);
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = crate::GraphBuilder::directed().build();
+        let s = summarize(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.degree_gini, 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Accelerator configuration.
+
+use lightrw_memsim::{BurstConfig, CachePolicy, DramConfig};
+
+/// Configuration of one LightRW deployment (paper §6.1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightRwConfig {
+    /// WRS parallelism degree `k` — neighbors consumed per cycle. The
+    /// paper saturates one channel at k = 16 (Fig. 10a).
+    pub k: usize,
+    /// Dynamic burst configuration; `b1+b32` is the paper's pick (§6.3.2).
+    pub burst: BurstConfig,
+    /// Row-cache replacement policy (degree-aware by default).
+    pub cache_policy: CachePolicy,
+    /// Row-cache size: `2^cache_index_bits` entries (paper: 2^12).
+    pub cache_index_bits: u32,
+    /// DRAM channel model.
+    pub dram: DramConfig,
+    /// Number of accelerator instances (one per DRAM channel; U250 = 4).
+    pub instances: usize,
+    /// Fine-grained pipelined sampling (the WRS contribution). `false`
+    /// reproduces the staged CPU-style flow for the Fig. 13 ablation:
+    /// stages serialize and the sampler's O(deg) intermediate table is
+    /// written to and re-read from DRAM.
+    pub pipelined_sampling: bool,
+    /// RNG seed for the WRS sampler banks.
+    pub seed: u64,
+    /// Output-forwarding latency in cycles appended to each step
+    /// (pipeline drain between sampler and query controller).
+    pub output_latency: u64,
+    /// Maximum queries in flight per instance. Hardware bounds this by the
+    /// Query Scheduler's FIFO depth: queries stream through the pipeline
+    /// and a new one is admitted when one retires. The channel saturates
+    /// with ~8 in flight (per-step latency / per-step occupancy); beyond
+    /// that, extra occupancy is pure queueing delay (Little's law), so 16
+    /// buys a 2x saturation margin while keeping Fig. 15's low, consistent
+    /// per-query latencies.
+    pub max_inflight: usize,
+}
+
+impl Default for LightRwConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            burst: BurstConfig::paper_best(),
+            cache_policy: CachePolicy::DegreeAware,
+            cache_index_bits: 12,
+            dram: DramConfig::default(),
+            instances: 4,
+            pipelined_sampling: true,
+            seed: 0x11_917,
+            output_latency: 4,
+            max_inflight: 16,
+        }
+    }
+}
+
+impl LightRwConfig {
+    /// Single-instance configuration (component experiments use one
+    /// channel; §6.2's sampler study explicitly pins one DRAM channel).
+    pub fn single_instance() -> Self {
+        Self {
+            instances: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Fig. 13 ablation: disable fine-grained WRS pipelining.
+    pub fn without_wrs_pipelining(mut self) -> Self {
+        self.pipelined_sampling = false;
+        self
+    }
+
+    /// Fig. 13 ablation: disable the dynamic burst engine (short-only).
+    pub fn without_dynamic_burst(mut self) -> Self {
+        self.burst = BurstConfig::short_only();
+        self
+    }
+
+    /// Fig. 13 ablation: disable the degree-aware cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_policy = CachePolicy::None;
+        self
+    }
+
+    /// Validate invariants; panics with a clear message on nonsense.
+    pub fn validated(self) -> Self {
+        assert!(self.k >= 1, "k must be at least 1");
+        assert!(self.instances >= 1, "need at least one instance");
+        assert!(self.burst.short_beats >= 1, "short burst must be >= 1 beat");
+        assert!(self.output_latency < 1_000, "implausible output latency");
+        assert!(self.max_inflight >= 1, "need at least one in-flight query");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = LightRwConfig::default();
+        assert_eq!(c.k, 16);
+        assert_eq!(c.burst, BurstConfig::with_long(32));
+        assert_eq!(c.cache_index_bits, 12);
+        assert_eq!(c.instances, 4);
+        assert!(c.pipelined_sampling);
+        assert_eq!(c.cache_policy, CachePolicy::DegreeAware);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = LightRwConfig::single_instance().without_wrs_pipelining();
+        assert!(!c.pipelined_sampling);
+        let c = LightRwConfig::default().without_dynamic_burst();
+        assert_eq!(c.burst, BurstConfig::short_only());
+        let c = LightRwConfig::default().without_cache();
+        assert_eq!(c.cache_policy, CachePolicy::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        LightRwConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validated();
+    }
+}

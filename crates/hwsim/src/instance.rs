@@ -1,0 +1,472 @@
+//! One accelerator instance: the Fig. 3 datapath bound to one DRAM channel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lightrw_graph::{Graph, VertexId, COL_ENTRY_BYTES, ROW_ENTRY_BYTES};
+use lightrw_memsim::{BurstPlan, CacheOutcome, DramChannel, RequestKind, RowCache};
+use lightrw_sampling::ParallelWrs;
+use lightrw_walker::app::StepContext;
+use lightrw_walker::membership::common_neighbor_mask;
+use lightrw_walker::{QuerySet, WalkApp, WalkResults};
+
+use crate::config::LightRwConfig;
+use crate::report::InstanceReport;
+
+/// Timing outcome of one walk step.
+struct StepTiming {
+    /// Cycle when the Query Controller dispatched the step.
+    dispatched: u64,
+    /// Cycle when the sampled vertex is available for the next step.
+    done: u64,
+}
+
+/// One LightRW instance (paper Fig. 9 instantiates four, one per channel).
+pub struct Instance<'g> {
+    graph: &'g Graph,
+    app: &'g dyn WalkApp,
+    cfg: LightRwConfig,
+    dram: DramChannel,
+    cache: RowCache,
+    wrs: ParallelWrs,
+    /// Query Controller occupancy (1 dispatch per cycle).
+    dispatch_free: u64,
+    /// WRS sampler occupancy (k items per cycle).
+    sampler_free: u64,
+    sampler_batches: u64,
+    // Reusable scratch.
+    weights: Vec<u32>,
+    mask: Vec<bool>,
+}
+
+impl<'g> Instance<'g> {
+    /// Build an instance. `seed` must differ across instances so their WRS
+    /// banks are independent.
+    pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig, seed: u64) -> Self {
+        let cfg = cfg.validated();
+        Self {
+            graph,
+            app,
+            cfg,
+            dram: DramChannel::new(cfg.dram),
+            cache: RowCache::direct_mapped(cfg.cache_policy, cfg.cache_index_bits),
+            wrs: ParallelWrs::new(seed, cfg.k),
+            dispatch_free: 0,
+            sampler_free: 0,
+            sampler_batches: 0,
+            weights: Vec::new(),
+            mask: Vec::new(),
+        }
+    }
+
+    /// Look up a vertex's row entry through the cache, charging DRAM on a
+    /// miss. Returns the cycle at which `{addr, degree}` is available.
+    fn row_info(&mut self, v: VertexId, issue: u64) -> u64 {
+        let g = self.graph;
+        let (outcome, _addr, _deg) = self
+            .cache
+            .lookup(v, || (g.row_entry_addr(v), g.degree(v)));
+        match outcome {
+            CacheOutcome::Hit => issue + 1,
+            CacheOutcome::Miss => {
+                let acc = self.dram.request(issue, 1, RequestKind::Start);
+                self.dram.note_useful_bytes(ROW_ENTRY_BYTES);
+                acc.data_ready
+            }
+        }
+    }
+
+    /// Stream a neighbor list through the dynamic burst engine. Returns
+    /// (first-data cycle, last-data cycle).
+    fn load_neighbors(&mut self, bytes: u64, issue: u64) -> (u64, u64) {
+        if bytes == 0 {
+            return (issue, issue);
+        }
+        let plan = BurstPlan::plan(bytes, self.cfg.burst, self.dram.config());
+        let mut first = u64::MAX;
+        let mut last = issue;
+        for (beats, kind) in plan.commands() {
+            let acc = self.dram.request(issue, beats, kind);
+            first = first.min(acc.data_ready);
+            last = last.max(acc.data_ready);
+        }
+        self.dram.note_useful_bytes(bytes);
+        (first, last)
+    }
+
+    /// Execute one step of a query both functionally and in model time.
+    fn execute_step(
+        &mut self,
+        ready: u64,
+        cur: VertexId,
+        prev: Option<VertexId>,
+        step: u32,
+    ) -> (Option<VertexId>, StepTiming) {
+        let g = self.graph;
+        let cfg = self.cfg;
+
+        // --- Query Controller: one dispatch per cycle.
+        let t1 = ready.max(self.dispatch_free);
+        self.dispatch_free = t1 + 1;
+
+        // --- Neighbor Info Loader (+ degree-aware cache).
+        // Only the freshly sampled vertex needs a row_index fetch; the
+        // previous vertex's {address, degree} was fetched when it was
+        // current, and rides along in the query metadata (the Query
+        // Controller "prepares query metadata" per Fig. 3).
+        let second_order = self.app.second_order() && prev.is_some();
+        let info_ready = self.row_info(cur, t1 + 1);
+
+        let deg = g.degree(cur) as u64;
+        if deg == 0 {
+            // Dead end before any loading.
+            return (
+                None,
+                StepTiming {
+                    dispatched: t1,
+                    done: info_ready + cfg.output_latency,
+                },
+            );
+        }
+
+        // --- Neighbor Loader (+ dynamic burst engine).
+        let (first_data, mut last_data) =
+            self.load_neighbors(deg * COL_ENTRY_BYTES, info_ready);
+        let mut items_total = deg;
+        if second_order {
+            let deg_prev = g.degree(prev.unwrap()) as u64;
+            if deg_prev > 0 {
+                let (_, prev_last) =
+                    self.load_neighbors(deg_prev * COL_ENTRY_BYTES, info_ready);
+                last_data = last_data.max(prev_last);
+                // The Weight Updater merge-joins both sorted streams at k
+                // elements/cycle total.
+                items_total += deg_prev;
+            }
+        }
+
+        // --- Functional selection (Weight Updater + WRS Sampler).
+        let next = self.functional_select(cur, prev, step, second_order);
+
+        // --- Timing of the sampling path.
+        let batches = items_total.div_ceil(cfg.k as u64);
+        self.sampler_batches += batches;
+        let done = if cfg.pipelined_sampling {
+            // Fine-grained pipeline: sampling overlaps loading; the step
+            // completes when both the last beat has landed and the sampler
+            // has had `batches` issue slots.
+            let sampler_start = first_data.max(self.sampler_free);
+            self.sampler_free = sampler_start + batches;
+            last_data.max(sampler_start + batches) + cfg.output_latency
+        } else {
+            // Staged flow (ablation): weights are materialized to DRAM,
+            // the sampler re-reads them, builds its O(deg) table, then
+            // draws — the Algorithm 2.1 structure with its 2·|N(v)|
+            // intermediate accesses (paper Inefficiency 1).
+            let weight_bytes = deg * 4;
+            let (_, write_done) = self.load_neighbors(weight_bytes, last_data);
+            let (_, read_done) = self.load_neighbors(weight_bytes, write_done);
+            let init = deg; // O(n) table initialization
+            let gen = 64 - deg.leading_zeros() as u64; // O(log n) draw
+            read_done + init + gen + cfg.output_latency
+        };
+
+        (
+            next,
+            StepTiming {
+                dispatched: t1,
+                done,
+            },
+        )
+    }
+
+    /// The real weight computation + parallel WRS selection.
+    fn functional_select(
+        &mut self,
+        cur: VertexId,
+        prev: Option<VertexId>,
+        step: u32,
+        second_order: bool,
+    ) -> Option<VertexId> {
+        let g = self.graph;
+        let neighbors = g.neighbors(cur);
+        if second_order {
+            common_neighbor_mask(g, cur, prev.unwrap(), &mut self.mask);
+        }
+        let ctx = StepContext { step, cur, prev };
+        let statics = g.neighbor_weights(cur);
+        let relations = g.neighbor_relations(cur);
+        self.weights.clear();
+        self.weights.reserve(neighbors.len());
+        for (i, &nbr) in neighbors.iter().enumerate() {
+            let relation = relations.get(i).copied().unwrap_or(0);
+            let pin = second_order && self.mask[i];
+            self.weights
+                .push(self.app.weight(ctx, nbr, statics[i], relation, pin));
+        }
+        self.wrs
+            .select(neighbors, &self.weights)
+    }
+
+    /// Run a query set to completion on this instance.
+    pub fn run(&mut self, queries: &QuerySet) -> (WalkResults, InstanceReport) {
+        let qs = queries.queries();
+        let n = qs.len();
+        let mut cur: Vec<VertexId> = qs.iter().map(|q| q.start).collect();
+        let mut prev: Vec<Option<VertexId>> = vec![None; n];
+        let mut step: Vec<u32> = vec![0; n];
+        let mut paths: Vec<Vec<VertexId>> = qs.iter().map(|q| vec![q.start]).collect();
+        let mut first_dispatch: Vec<u64> = vec![0; n];
+        let mut completion: Vec<u64> = vec![0; n];
+        let mut steps_executed = 0u64;
+
+        // Ready heap: (cycle, local index) min-ordered; the index breaks
+        // ties deterministically. The Query Scheduler admits at most
+        // `max_inflight` queries into the pipeline; the rest queue at the
+        // input and enter as slots retire (hardware FIFO depth) — this is
+        // what keeps per-query latency bounded and consistent (Fig. 15).
+        let max_inflight = self.cfg.max_inflight;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(max_inflight);
+        let mut pending = (0..n).filter(|&i| qs[i].length > 0);
+        for _ in 0..max_inflight {
+            match pending.next() {
+                Some(i) => heap.push(Reverse((0, i as u32))),
+                None => break,
+            }
+        }
+
+        while let Some(Reverse((ready, i))) = heap.pop() {
+            let i = i as usize;
+            let (next, timing) = self.execute_step(ready, cur[i], prev[i], step[i]);
+            if step[i] == 0 {
+                first_dispatch[i] = timing.dispatched;
+            }
+            let continues = match next {
+                Some(v) => {
+                    steps_executed += 1;
+                    paths[i].push(v);
+                    prev[i] = Some(cur[i]);
+                    cur[i] = v;
+                    step[i] += 1;
+                    step[i] < qs[i].length
+                }
+                None => false, // dead end
+            };
+            if continues {
+                heap.push(Reverse((timing.done, i as u32)));
+            } else {
+                completion[i] = timing.done;
+                // Retire this query's slot; admit the next pending one.
+                if let Some(j) = pending.next() {
+                    heap.push(Reverse((timing.done, j as u32)));
+                }
+            }
+        }
+
+        let cycles = completion.iter().copied().max().unwrap_or(0);
+        let latencies: Vec<u64> = completion
+            .iter()
+            .zip(&first_dispatch)
+            .map(|(&c, &f)| c.saturating_sub(f))
+            .collect();
+
+        let mut results = WalkResults::with_capacity(n, paths.first().map_or(1, |p| p.len()));
+        for p in &paths {
+            results.push_path(p);
+        }
+        let report = InstanceReport {
+            cycles,
+            steps: steps_executed,
+            dram: *self.dram.stats(),
+            cache: *self.cache.stats(),
+            sampler_batches: self.sampler_batches,
+            latencies,
+        };
+        (results, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::{generators, GraphBuilder};
+    use lightrw_walker::app::{MetaPath, Node2Vec, Uniform};
+    use lightrw_walker::path::validate_path;
+
+    fn small_cfg() -> LightRwConfig {
+        LightRwConfig::single_instance()
+    }
+
+    #[test]
+    fn produces_valid_paths() {
+        let g = generators::rmat_dataset(9, 4);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 8, 3);
+        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 7);
+        let (results, report) = inst.run(&qs);
+        assert_eq!(results.len(), qs.len());
+        for p in results.iter() {
+            validate_path(&g, &Uniform, p).expect("invalid path from hwsim");
+        }
+        assert!(report.cycles > 0);
+        assert_eq!(report.steps, results.total_steps());
+    }
+
+    #[test]
+    fn metapath_respects_relations() {
+        let g = generators::rmat_dataset(8, 5);
+        let mp = MetaPath::new(vec![0, 1, 2, 3, 0]);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 1);
+        let mut inst = Instance::new(&g, &mp, small_cfg(), 9);
+        let (results, _) = inst.run(&qs);
+        for p in results.iter() {
+            validate_path(&g, &mp, p).expect("metapath violation");
+        }
+    }
+
+    #[test]
+    fn node2vec_respects_weight_rules() {
+        let g = generators::rmat_dataset(8, 6);
+        let nv = Node2Vec::paper_params();
+        let qs = QuerySet::n_queries(&g, 128, 12, 2);
+        let mut inst = Instance::new(&g, &nv, small_cfg(), 11);
+        let (results, report) = inst.run(&qs);
+        for p in results.iter() {
+            validate_path(&g, &nv, p).expect("node2vec violation");
+        }
+        // Second-order walks must touch the row cache at least twice per
+        // step beyond the first.
+        assert!(report.cache.lookups() > report.steps);
+    }
+
+    #[test]
+    fn dead_end_terminates_walk() {
+        let g = GraphBuilder::directed().edges([(0, 1), (1, 2)]).build();
+        let qs = QuerySet::from_starts(vec![0], 99);
+        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 1);
+        let (results, report) = inst.run(&qs);
+        assert_eq!(results.path(0), &[0, 1, 2]);
+        assert_eq!(report.steps, 2);
+    }
+
+    #[test]
+    fn zero_length_queries_cost_nothing() {
+        let g = GraphBuilder::undirected().edge(0, 1).build();
+        let qs = QuerySet::from_starts(vec![0, 1], 0);
+        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 1);
+        let (results, report) = inst.run(&qs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::rmat_dataset(8, 8);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);
+        let run = |seed| {
+            let mut inst = Instance::new(&g, &Uniform, small_cfg(), seed);
+            inst.run(&qs).0
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn pipelined_beats_staged_flow() {
+        // The core paper claim (Fig. 13 WRS bar): the fine-grained
+        // pipeline must be substantially faster than the staged flow.
+        let g = generators::rmat_dataset(10, 2);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 8);
+        let mut fast = Instance::new(&g, &Uniform, small_cfg(), 3);
+        let (_, fast_rep) = fast.run(&qs);
+        let mut slow = Instance::new(&g, &Uniform, small_cfg().without_wrs_pipelining(), 3);
+        let (_, slow_rep) = slow.run(&qs);
+        assert!(
+            slow_rep.cycles as f64 > 1.3 * fast_rep.cycles as f64,
+            "staged {} vs pipelined {}",
+            slow_rep.cycles,
+            fast_rep.cycles
+        );
+    }
+
+    #[test]
+    fn dynamic_burst_beats_short_only_on_skewed_graph() {
+        let g = generators::rmat_dataset(11, 5);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 8);
+        let (_, dyn_rep) = Instance::new(&g, &Uniform, small_cfg(), 3).run(&qs);
+        let (_, short_rep) =
+            Instance::new(&g, &Uniform, small_cfg().without_dynamic_burst(), 3).run(&qs);
+        assert!(
+            short_rep.cycles > dyn_rep.cycles,
+            "short-only {} vs dynamic {}",
+            short_rep.cycles,
+            dyn_rep.cycles
+        );
+    }
+
+    #[test]
+    fn cache_reduces_cycles_on_skewed_graph() {
+        let g = generators::rmat_dataset(11, 5);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 8);
+        let (_, with_cache) = Instance::new(&g, &Uniform, small_cfg(), 3).run(&qs);
+        let (_, no_cache) =
+            Instance::new(&g, &Uniform, small_cfg().without_cache(), 3).run(&qs);
+        assert!(with_cache.cache.hits > 0);
+        assert!(
+            no_cache.cycles >= with_cache.cycles,
+            "uncached {} vs cached {}",
+            no_cache.cycles,
+            with_cache.cycles
+        );
+    }
+
+    #[test]
+    fn latencies_recorded_per_query() {
+        let g = generators::rmat_dataset(8, 1);
+        let qs = QuerySet::n_queries(&g, 32, 4, 1);
+        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 2);
+        let (_, report) = inst.run(&qs);
+        assert_eq!(report.latencies.len(), 32);
+        assert!(report.latencies.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn bounded_inflight_keeps_latency_off_the_makespan() {
+        // Fig. 15's property: with the scheduler admitting queries as
+        // slots retire, a query's latency reflects its own pipeline
+        // traversal, not the whole batch makespan.
+        let g = generators::rmat_dataset(10, 4);
+        let qs = QuerySet::n_queries(&g, 4096, 8, 1);
+        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 2);
+        let (_, report) = inst.run(&qs);
+        let median = {
+            let mut v = report.latencies.clone();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(
+            (median as f64) < 0.2 * report.cycles as f64,
+            "median latency {median} vs makespan {}",
+            report.cycles
+        );
+        // And admission must not lose queries.
+        assert_eq!(report.latencies.len(), 4096);
+    }
+
+    #[test]
+    fn bounded_inflight_preserves_functional_results() {
+        let g = generators::rmat_dataset(9, 6);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 2);
+        let narrow = LightRwConfig {
+            max_inflight: 4,
+            ..small_cfg()
+        };
+        let mut inst = Instance::new(&g, &Uniform, narrow, 5);
+        let (results, report) = inst.run(&qs);
+        assert_eq!(results.len(), qs.len());
+        assert_eq!(report.steps, results.total_steps());
+        for p in results.iter() {
+            validate_path(&g, &Uniform, p).unwrap();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # lightrw-hwsim — the LightRW accelerator model
+//!
+//! An executable, cycle-approximate model of the hardware architecture in
+//! paper Fig. 3. This is the substitution for the Vitis HLS bitstream
+//! (DESIGN.md §1): it runs the *real* algorithms — parallel WRS selection
+//! with the integer acceptance test, degree-aware caching, dynamic burst
+//! planning — while charging model cycles for every stage and DRAM
+//! transaction, so one run yields both the sampled walks and the timing
+//! the paper's figures report.
+//!
+//! ## Timing model
+//!
+//! Each accelerator instance is a tandem pipeline whose stages hold a
+//! `next_free` cycle (hardware initiation-interval occupancy), plus one
+//! [`lightrw_memsim::DramChannel`] shared by the Neighbor Info Loader and the Neighbor
+//! Loader (they arbitrate over the same AXI port in hardware):
+//!
+//! | Fig. 3 module | model |
+//! |---|---|
+//! | Query Controller | 1-cycle dispatch occupancy; re-queues a query when its previous step's sample lands |
+//! | Neighbor Info Loader + degree-aware cache | hit: 1 cycle; miss: DRAM single-beat access latency |
+//! | Neighbor Loader + dynamic burst engine | `⌊c/S1⌋` long + `⌈rem/S2⌉` short bursts on the channel |
+//! | Weight Updater + WRS Sampler | fully pipelined, k items/cycle → `⌈deg/k⌉` cycles, overlapped with loading |
+//!
+//! Queries move through a ready-heap discrete-event loop: many queries are
+//! in flight at once, so the bottleneck stage (usually the DRAM channel)
+//! sets throughput exactly as it does on the board.
+//!
+//! The Fig. 13 ablations are configuration flags: `pipelined_sampling =
+//! false` re-introduces the CPU-style barriers and O(deg) intermediate
+//! tables; `cache_policy = None` and `burst = short_only()` disable DAC
+//! and DYB respectively.
+
+pub mod config;
+pub mod instance;
+pub mod multi;
+pub mod report;
+
+pub use config::LightRwConfig;
+pub use instance::Instance;
+pub use multi::LightRwSim;
+pub use report::{InstanceReport, SimReport};

@@ -1,0 +1,150 @@
+//! Multi-instance deployment: one LightRW instance per DRAM channel with
+//! queries distributed evenly (paper §6.1.5, Fig. 9).
+
+use lightrw_graph::Graph;
+use lightrw_walker::{QuerySet, WalkApp, WalkResults};
+
+use crate::config::LightRwConfig;
+use crate::instance::Instance;
+use crate::report::SimReport;
+
+/// The full simulated accelerator: `cfg.instances` independent instances,
+/// each with a private DRAM channel, cache and sampler bank (each instance
+/// also holds a private copy of the graph on the board; the model shares
+/// the host-side CSR since the copies are identical).
+pub struct LightRwSim<'g> {
+    graph: &'g Graph,
+    app: &'g dyn WalkApp,
+    cfg: LightRwConfig,
+}
+
+impl<'g> LightRwSim<'g> {
+    /// Create a simulator for `app` on `graph`.
+    pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig) -> Self {
+        Self {
+            graph,
+            app,
+            cfg: cfg.validated(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LightRwConfig {
+        &self.cfg
+    }
+
+    /// Run the workload. Queries are split round-robin across instances;
+    /// instances execute concurrently in hardware, so wall cycles are the
+    /// maximum over instances.
+    pub fn run(&self, queries: &QuerySet) -> SimReport {
+        let parts = queries.partition(self.cfg.instances);
+        let mut part_results: Vec<WalkResults> = Vec::with_capacity(parts.len());
+        let mut instance_reports = Vec::with_capacity(parts.len());
+        for (idx, part) in parts.iter().enumerate() {
+            let mut inst = Instance::new(
+                self.graph,
+                self.app,
+                self.cfg,
+                self.cfg.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let (results, report) = inst.run(part);
+            part_results.push(results);
+            instance_reports.push(report);
+        }
+
+        // Merge results back into global query-id order (round-robin split:
+        // global index i lives at parts[i % n] position i / n).
+        let n = parts.len();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut results = WalkResults::with_capacity(total, 8);
+        for i in 0..total {
+            results.push_path(part_results[i % n].path(i / n));
+        }
+
+        let cycles = instance_reports.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let steps = instance_reports.iter().map(|r| r.steps).sum();
+        let latencies: Vec<u64> = instance_reports
+            .iter()
+            .flat_map(|r| r.latencies.iter().copied())
+            .collect();
+        SimReport {
+            cycles,
+            seconds: cycles as f64 * self.cfg.dram.cycle_seconds(),
+            steps,
+            results,
+            instances: instance_reports,
+            latencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::generators;
+    use lightrw_walker::app::Uniform;
+    use lightrw_walker::path::validate_path;
+
+    #[test]
+    fn results_merged_in_query_order() {
+        let g = generators::rmat_dataset(8, 2);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 5);
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::default());
+        let report = sim.run(&qs);
+        assert_eq!(report.results.len(), qs.len());
+        // Path i must start at query i's start vertex.
+        for (i, q) in qs.queries().iter().enumerate() {
+            assert_eq!(report.results.path(i)[0], q.start, "query {i}");
+        }
+        for p in report.results.iter() {
+            validate_path(&g, &Uniform, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn four_instances_faster_than_one() {
+        let g = generators::rmat_dataset(10, 3);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 8, 5);
+        let one = LightRwSim::new(
+            &g,
+            &Uniform,
+            LightRwConfig {
+                instances: 1,
+                ..LightRwConfig::default()
+            },
+        )
+        .run(&qs);
+        let four = LightRwSim::new(&g, &Uniform, LightRwConfig::default()).run(&qs);
+        assert!(
+            (four.cycles as f64) < 0.45 * one.cycles as f64,
+            "4-instance {} vs 1-instance {}",
+            four.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn seconds_follow_cycles() {
+        let g = generators::rmat_dataset(8, 4);
+        let qs = QuerySet::n_queries(&g, 64, 4, 2);
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::default());
+        let r = sim.run(&qs);
+        let expect = r.cycles as f64 / 300e6;
+        assert!((r.seconds - expect).abs() < 1e-12);
+        assert!(r.steps_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn aggregates_cover_instances() {
+        let g = generators::rmat_dataset(9, 5);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 3);
+        let r = LightRwSim::new(&g, &Uniform, LightRwConfig::default()).run(&qs);
+        assert_eq!(r.instances.len(), 4);
+        let total = r.dram_total();
+        assert_eq!(
+            total.requests,
+            r.instances.iter().map(|i| i.dram.requests).sum::<u64>()
+        );
+        assert_eq!(r.latencies.len(), qs.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulation reports: timing, traffic and functional outputs.
+
+use lightrw_memsim::{CacheStats, DramStats};
+use lightrw_walker::WalkResults;
+
+/// Per-instance outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Total cycles until this instance drained its queries.
+    pub cycles: u64,
+    /// Steps actually executed (dead ends shorten walks).
+    pub steps: u64,
+    /// DRAM channel statistics.
+    pub dram: DramStats,
+    /// Row-cache statistics.
+    pub cache: CacheStats,
+    /// WRS batches consumed (sampler busy cycles).
+    pub sampler_batches: u64,
+    /// Per-query latency in cycles (dispatch of first step → last sample),
+    /// indexed by local query order.
+    pub latencies: Vec<u64>,
+}
+
+/// Aggregated outcome of a multi-instance simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Wall cycles = the slowest instance (instances run concurrently).
+    pub cycles: u64,
+    /// Simulated seconds at the configured kernel clock.
+    pub seconds: f64,
+    /// Total steps executed across instances.
+    pub steps: u64,
+    /// Walk outputs in global query-id order.
+    pub results: WalkResults,
+    /// Per-instance details.
+    pub instances: Vec<InstanceReport>,
+    /// All per-query latencies in cycles (order: interleaved by instance).
+    pub latencies: Vec<u64>,
+}
+
+impl SimReport {
+    /// Steps per simulated second — the paper's throughput metric
+    /// (Figs. 16–17).
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.steps as f64 / self.seconds
+        }
+    }
+
+    /// Aggregate DRAM statistics across instances.
+    pub fn dram_total(&self) -> DramStats {
+        let mut total = DramStats::default();
+        for i in &self.instances {
+            total.requests += i.dram.requests;
+            total.beats += i.dram.beats;
+            total.bytes += i.dram.bytes;
+            total.useful_bytes += i.dram.useful_bytes;
+            total.busy_cycles += i.dram.busy_cycles;
+        }
+        total
+    }
+
+    /// Aggregate cache statistics across instances.
+    pub fn cache_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for i in &self.instances {
+            total.hits += i.cache.hits;
+            total.misses += i.cache.misses;
+        }
+        total
+    }
+
+    /// Latency quartiles in cycles: (min, p25, median, p75, max) — the
+    /// Fig. 15 box-plot statistics.
+    pub fn latency_quartiles(&self) -> Option<(u64, u64, u64, u64, u64)> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let q = |f: f64| v[(((v.len() - 1) as f64) * f) as usize];
+        Some((v[0], q(0.25), q(0.5), q(0.75), *v.last().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_latencies(lat: Vec<u64>) -> SimReport {
+        SimReport {
+            cycles: 100,
+            seconds: 1e-3,
+            steps: 500,
+            results: WalkResults::new(),
+            instances: vec![],
+            latencies: lat,
+        }
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = report_with_latencies(vec![]);
+        assert!((r.steps_per_sec() - 500e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quartiles_of_known_series() {
+        let r = report_with_latencies((1..=101).collect());
+        let (min, p25, med, p75, max) = r.latency_quartiles().unwrap();
+        assert_eq!((min, p25, med, p75, max), (1, 26, 51, 76, 101));
+    }
+
+    #[test]
+    fn quartiles_empty_is_none() {
+        assert!(report_with_latencies(vec![]).latency_quartiles().is_none());
+    }
+
+    #[test]
+    fn zero_seconds_throughput_is_zero() {
+        let mut r = report_with_latencies(vec![]);
+        r.seconds = 0.0;
+        assert_eq!(r.steps_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! DRAM channel timing and traffic model.
+//!
+//! One accelerator instance owns one DRAM channel (paper Fig. 9). The
+//! model captures the two properties the paper's optimizations exploit:
+//!
+//! 1. **Burst amortization** — each request pays a fixed channel-occupancy
+//!    gap; the longer the burst, the more of the channel's beat slots carry
+//!    data. With the default parameters the streaming bandwidth curve
+//!    saturates at ≈ 17.5 GB/s like Fig. 6's measured board.
+//! 2. **Random-access latency** — a request's data returns after a fixed
+//!    latency; the degree-aware cache exists to hide this for `row_index`.
+//!
+//! The channel is a shared resource: requests from the Neighbor Info
+//! Loader and the Neighbor Loader serialize on `busy_until`, which is how
+//! the discrete-event pipeline model reproduces memory-bound behaviour.
+
+/// How a request relates to the channel's current access stream. The
+/// distinction reproduces the two regimes of Fig. 6/12:
+///
+/// - [`RequestKind::Start`] — a new-address access (row activation +
+///   burst-pipeline setup): the first command of a neighbor-list fetch,
+///   every long-burst command (reorder-buffer allocation), and every
+///   random `row_index` access.
+/// - [`RequestKind::Cont`] — a sequential continuation riding the open
+///   row (the short-burst tail of a list, streaming scans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// New-address access: pays [`DramConfig::rand_gap_cycles`].
+    Start,
+    /// Sequential continuation: pays [`DramConfig::seq_gap_cycles`].
+    Cont,
+    /// Long-burst command: pays [`DramConfig::long_gap_cycles`]
+    /// (reorder-buffer setup in the Long Burst pipeline, amortized over
+    /// many beats — the cost that makes tiny long bursts a loss, Fig. 12).
+    Long,
+}
+
+/// DRAM channel configuration (defaults model one U250 DDR4 channel behind
+/// a 512-bit AXI port at the 300 MHz kernel clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Bytes delivered per beat (bus width). 512 bit = 64 B.
+    pub bus_bytes: u64,
+    /// Kernel clock in MHz (cycle → seconds conversion).
+    pub freq_mhz: u64,
+    /// Occupancy cycles added to a sequential-continuation request.
+    /// Sets the Fig. 6 streaming efficiency: `beats/(beats + seq_gap)`.
+    pub seq_gap_cycles: u64,
+    /// Occupancy cycles added to a new-address request (row activation +
+    /// controller setup).
+    pub rand_gap_cycles: u64,
+    /// Occupancy cycles added to each long-burst command (row activation
+    /// plus reorder-buffer setup in the Long Burst pipeline).
+    pub long_gap_cycles: u64,
+    /// Cycles from request issue to first data beat (random-access
+    /// latency seen by a dependent consumer).
+    pub access_latency_cycles: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            bus_bytes: 64,
+            freq_mhz: 300,
+            // Calibrated against Fig. 6: streaming bandwidth rises from
+            // 6.4 GB/s at burst length 1 (paper: 5.7) to 18.1 GB/s at 32
+            // (paper: 17.57).
+            seq_gap_cycles: 2,
+            rand_gap_cycles: 8,
+            long_gap_cycles: 8,
+            access_latency_cycles: 48,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Theoretical peak bandwidth in bytes/second (all beat slots used).
+    pub fn peak_bytes_per_sec(&self) -> f64 {
+        self.bus_bytes as f64 * self.freq_mhz as f64 * 1e6
+    }
+
+    /// Streaming bandwidth (bytes/s) achieved by back-to-back sequential
+    /// requests of `beats` beats each — the blue curve of Fig. 6.
+    pub fn streaming_bandwidth(&self, beats: u64) -> f64 {
+        assert!(beats >= 1);
+        let useful = beats as f64;
+        let occupied = (beats + self.seq_gap_cycles) as f64;
+        self.peak_bytes_per_sec() * useful / occupied
+    }
+
+    /// Occupancy gap for a request kind.
+    pub fn gap_cycles(&self, kind: RequestKind) -> u64 {
+        match kind {
+            RequestKind::Start => self.rand_gap_cycles,
+            RequestKind::Cont => self.seq_gap_cycles,
+            RequestKind::Long => self.long_gap_cycles,
+        }
+    }
+
+    /// Seconds per cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.freq_mhz as f64 * 1e6)
+    }
+}
+
+/// Traffic statistics of one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Data beats transferred.
+    pub beats: u64,
+    /// Bytes transferred (`beats * bus_bytes`).
+    pub bytes: u64,
+    /// Bytes the consumer actually used (set by the caller via
+    /// [`DramChannel::note_useful_bytes`]); `useful/bytes` is the paper's
+    /// ratio of valid data.
+    pub useful_bytes: u64,
+    /// Cycles the channel spent occupied (busy beats + request gaps).
+    pub busy_cycles: u64,
+}
+
+impl DramStats {
+    /// The paper's "ratio of valid data" (Fig. 6, red curve).
+    pub fn valid_ratio(&self) -> f64 {
+        if self.bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Timing outcome of one DRAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Cycle at which the request actually started on the channel.
+    pub start: u64,
+    /// Cycle at which the last data beat is available to the consumer.
+    pub data_ready: u64,
+    /// Cycle at which the channel becomes free for the next request.
+    pub channel_free: u64,
+}
+
+/// One DRAM channel: a `busy_until` occupancy line plus traffic counters.
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    config: DramConfig,
+    busy_until: u64,
+    stats: DramStats,
+}
+
+impl DramChannel {
+    /// New idle channel.
+    pub fn new(config: DramConfig) -> Self {
+        Self {
+            config,
+            busy_until: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Issue a request of `beats` beats at cycle `now`.
+    ///
+    /// The request waits for the channel, occupies it for
+    /// `gap(kind) + beats` cycles, and its data is complete
+    /// `latency + beats` cycles after it starts.
+    pub fn request(&mut self, now: u64, beats: u64, kind: RequestKind) -> DramAccess {
+        assert!(beats >= 1, "zero-beat DRAM request");
+        let start = now.max(self.busy_until);
+        let occupancy = self.config.gap_cycles(kind) + beats;
+        self.busy_until = start + occupancy;
+        self.stats.requests += 1;
+        self.stats.beats += beats;
+        self.stats.bytes += beats * self.config.bus_bytes;
+        self.stats.busy_cycles += occupancy;
+        DramAccess {
+            start,
+            data_ready: start + self.config.access_latency_cycles + beats,
+            channel_free: self.busy_until,
+        }
+    }
+
+    /// Record that `bytes` of the transferred data were actually consumed.
+    pub fn note_useful_bytes(&mut self, bytes: u64) {
+        self.stats.useful_bytes += bytes;
+    }
+
+    /// Cycle at which the channel is next free.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Reset occupancy and statistics (new experiment run).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_u250_channel() {
+        let c = DramConfig::default();
+        assert_eq!(c.peak_bytes_per_sec(), 19.2e9);
+        // Long bursts approach peak; paper saturates at 17.57 GB/s.
+        let b64 = c.streaming_bandwidth(64);
+        assert!(b64 > 18.0e9, "{b64}");
+        // Single-beat accesses are far below peak (Fig. 6 left edge).
+        let b1 = c.streaming_bandwidth(1);
+        assert!(b1 < 8.0e9, "{b1}");
+        // Burst-32 streaming reproduces the paper's 17.57 GB/s plateau.
+        let b32 = c.streaming_bandwidth(32);
+        assert!((17.0e9..18.5e9).contains(&b32), "{b32}");
+    }
+
+    #[test]
+    fn streaming_bandwidth_monotone_in_burst_length() {
+        let c = DramConfig::default();
+        let mut prev = 0.0;
+        for beats in [1u64, 2, 4, 8, 16, 32, 64] {
+            let bw = c.streaming_bandwidth(beats);
+            assert!(bw > prev);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn requests_serialize_on_the_channel() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        let a = ch.request(0, 4, RequestKind::Cont); // occupies [0, 6)
+        let b = ch.request(0, 4, RequestKind::Cont); // must wait
+        assert_eq!(a.start, 0);
+        assert_eq!(a.channel_free, 6);
+        assert_eq!(b.start, 6);
+        assert_eq!(b.channel_free, 12);
+    }
+
+    #[test]
+    fn start_requests_pay_the_larger_gap() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        let a = ch.request(0, 4, RequestKind::Start);
+        assert_eq!(a.channel_free, 12); // 8 + 4
+    }
+
+    #[test]
+    fn idle_channel_starts_immediately() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        ch.request(0, 1, RequestKind::Start);
+        let late = ch.request(100, 2, RequestKind::Cont);
+        assert_eq!(late.start, 100);
+    }
+
+    #[test]
+    fn data_ready_includes_latency() {
+        let cfg = DramConfig::default();
+        let mut ch = DramChannel::new(cfg);
+        let a = ch.request(10, 8, RequestKind::Start);
+        assert_eq!(a.data_ready, 10 + cfg.access_latency_cycles + 8);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        ch.request(0, 4, RequestKind::Cont);
+        ch.request(0, 2, RequestKind::Cont);
+        ch.note_useful_bytes(100);
+        let s = ch.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.beats, 6);
+        assert_eq!(s.bytes, 6 * 64);
+        assert_eq!(s.useful_bytes, 100);
+        assert_eq!(s.busy_cycles, 4 + 2 + 2 * 2);
+        assert!((s.valid_ratio() - 100.0 / 384.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        ch.request(0, 4, RequestKind::Start);
+        ch.reset();
+        assert_eq!(ch.busy_until(), 0);
+        assert_eq!(ch.stats().requests, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-beat")]
+    fn zero_beat_request_rejected() {
+        DramChannel::new(DramConfig::default()).request(0, 0, RequestKind::Start);
+    }
+
+    #[test]
+    fn empty_stats_valid_ratio_is_one() {
+        assert_eq!(DramStats::default().valid_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-stream output decorrelators.
+//!
+//! Every lane of the [`crate::StreamBank`] owns one `Decorrelator`: a cheap
+//! bijective transform applied to the shared MCG state so that lanes emit
+//! empirically independent sequences. This mirrors ThundeRiNG's per-instance
+//! "decorrelator" stage (paper §4.2), which the authors show passes
+//! BigCrush for up to 64 concurrent streams at 1.2% resource cost.
+//!
+//! Our software decorrelator composes:
+//! 1. a lane-specific **odd multiplier** (derived from the Weyl sequence, so
+//!    all lanes get well-separated constants),
+//! 2. a lane-specific **xor tweak**, and
+//! 3. the SplitMix64 **avalanche finalizer** [`crate::splitmix::mix64`].
+//!
+//! Steps 1–2 make the lane functions distinct bijections of the shared
+//! state; step 3 destroys the linear structure the MCG leaves in low bits.
+
+use crate::splitmix::{mix64, GOLDEN_GAMMA};
+
+/// A lane's output permutation: `mix64(state * mult ^ tweak)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decorrelator {
+    mult: u64,
+    tweak: u64,
+}
+
+impl Decorrelator {
+    /// Build the decorrelator for `lane` under a bank-level `salt`.
+    ///
+    /// Lane constants are taken from the golden-ratio Weyl sequence (odd by
+    /// construction) so that any number of lanes get maximally separated
+    /// multipliers — the same trick SplitMix64 uses to split generators.
+    pub fn for_lane(salt: u64, lane: usize) -> Self {
+        let base = salt.wrapping_add((lane as u64).wrapping_mul(GOLDEN_GAMMA));
+        Self {
+            // Odd multiplier, avalanche-mixed so lanes differ in all bits.
+            mult: mix64(base) | 1,
+            tweak: mix64(base.wrapping_add(GOLDEN_GAMMA)),
+        }
+    }
+
+    /// Apply the permutation to a shared state value.
+    #[inline]
+    pub fn apply(&self, state: u64) -> u64 {
+        mix64(state.wrapping_mul(self.mult) ^ self.tweak)
+    }
+
+    /// Apply and keep the strongest 32 bits — the hardware emits 32-bit
+    /// uniforms for the WRS acceptance test (paper Eq. 6: `r* / (2^32-1)`).
+    #[inline]
+    pub fn apply_u32(&self, state: u64) -> u32 {
+        (self.apply(state) >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use crate::Mcg64;
+
+    #[test]
+    fn lanes_get_distinct_constants() {
+        let ds: Vec<Decorrelator> = (0..64).map(|i| Decorrelator::for_lane(9, i)).collect();
+        for i in 0..ds.len() {
+            for j in i + 1..ds.len() {
+                assert_ne!(ds[i], ds[j], "lanes {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_is_odd() {
+        for lane in 0..256 {
+            assert_eq!(Decorrelator::for_lane(42, lane).mult & 1, 1);
+        }
+    }
+
+    #[test]
+    fn same_state_different_lanes_uncorrelated() {
+        // The core ThundeRiNG property: two lanes fed the *same* state
+        // sequence must still produce uncorrelated outputs.
+        let d0 = Decorrelator::for_lane(7, 0);
+        let d1 = Decorrelator::for_lane(7, 1);
+        let mut mcg = Mcg64::new(1);
+        let mut xs = Vec::with_capacity(8192);
+        let mut ys = Vec::with_capacity(8192);
+        for _ in 0..8192 {
+            let s = mcg.next_state();
+            xs.push(d0.apply_u32(s) as f64 / u32::MAX as f64);
+            ys.push(d1.apply_u32(s) as f64 / u32::MAX as f64);
+        }
+        let r = stats::pearson(&xs, &ys);
+        assert!(r.abs() < 0.05, "lane correlation {r}");
+    }
+
+    #[test]
+    fn lane_output_is_uniform() {
+        let d = Decorrelator::for_lane(3, 5);
+        let mut mcg = Mcg64::new(2);
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| d.apply(mcg.next_state()) as f64 / u64::MAX as f64)
+            .collect();
+        let chi2 = stats::chi_square_uniform(&samples, 64);
+        assert!(chi2 < 110.0, "chi-square {chi2}");
+    }
+
+    #[test]
+    fn apply_is_injective_on_sample() {
+        let d = Decorrelator::for_lane(1, 0);
+        let mut outs: Vec<u64> = (0..50_000u64).map(|i| d.apply(i)).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 50_000);
+    }
+}

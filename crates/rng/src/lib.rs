@@ -1,0 +1,157 @@
+//! # lightrw-rng — multi-stream pseudo-random number generation
+//!
+//! Software model of the RNG substrate LightRW (SIGMOD 2023) relies on.
+//! The paper integrates **ThundeRiNG** (Tan et al., ICS 2021), an FPGA
+//! multi-stream PRNG built from two ideas:
+//!
+//! 1. **State sharing** — a single (costly) linear-congruential state
+//!    sequence is generated once per cycle and fanned out to all streams,
+//!    instead of keeping one independent generator per stream.
+//! 2. **Per-stream decorrelators** — each stream applies a cheap, distinct
+//!    output permutation (odd multiplier + xor-shift finalizer) to the shared
+//!    state so that the streams are empirically uncorrelated.
+//!
+//! [`StreamBank`] reproduces exactly this structure: `next_row` advances the
+//! shared state *once* and produces `k` lane outputs, mirroring the hardware
+//! that emits `k` random numbers per clock cycle for the parallel WRS
+//! sampler (paper §4.2, Fig. 4).
+//!
+//! The crate also provides [`SplitMix64`], a small scalar generator used
+//! across the workspace for seeding, workload generation and shuffling, and
+//! [`stats`], the statistical helpers used by the randomness tests
+//! (uniformity chi-square, autocorrelation, cross-stream correlation — the
+//! software stand-in for the paper's TestU01 evidence).
+//!
+//! Everything is deterministic given a seed; no OS entropy is ever consumed.
+
+pub mod decorrelator;
+pub mod mcg;
+pub mod splitmix;
+pub mod stats;
+pub mod stream_bank;
+
+pub use decorrelator::Decorrelator;
+pub use mcg::Mcg64;
+pub use splitmix::SplitMix64;
+pub use stream_bank::StreamBank;
+
+/// Minimal deterministic RNG interface used across the workspace.
+///
+/// All substrate crates (graph generators, samplers, the CPU baseline)
+/// consume this trait so that every randomized component is seedable and
+/// reproducible, per the experiment methodology in DESIGN.md §4.
+pub trait Rng {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit output (upper half of [`Rng::next_u64`]; the upper
+    /// bits of multiplicative generators are the strongest).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits / 2^53: the standard uniform-double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased and avoids
+    /// the modulo operation in the common case.
+    #[inline]
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "gen_range bound must be non-zero");
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // Rejection zone for unbiasedness.
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform index in `[0, len)` as `usize`.
+    #[inline]
+    fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_range(len as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = SplitMix64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // And it should actually move things with overwhelming probability.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(17);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "observed {frac}");
+    }
+}

@@ -1,0 +1,115 @@
+//! The shared-state base generator of the multi-stream bank.
+//!
+//! ThundeRiNG's key observation is that the *state transition* of a good
+//! linear generator is the expensive part on hardware (wide multiply), while
+//! output scrambling is cheap — so one state sequence can be shared by many
+//! streams. We model the shared sequence with a 64-bit multiplicative
+//! congruential generator (MCG) using a spectral-test-optimal multiplier
+//! from Steele & Vigna, "Computationally easy, spectrally good multipliers
+//! for congruential pseudorandom number generators" (2022).
+
+/// Spectrally good 64-bit MCG multiplier (Steele & Vigna 2022, table 7).
+pub const MCG_MULTIPLIER: u64 = 0xF1357AEA2E62A9C5;
+
+/// Shared-state 64-bit multiplicative congruential generator.
+///
+/// `state_{n+1} = state_n * MCG_MULTIPLIER (mod 2^64)`, state must be odd.
+///
+/// On its own an MCG's low bits are weak; the bank never uses raw state as
+/// output — every lane passes it through a [`crate::Decorrelator`], exactly
+/// like ThundeRiNG's per-instance output stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mcg64 {
+    state: u64,
+}
+
+impl Mcg64 {
+    /// Create from a seed. The seed is forced odd (MCG state must be a unit
+    /// modulo 2^64) and avalanche-mixed so that close seeds give unrelated
+    /// sequences.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: crate::splitmix::mix64(seed) | 1,
+        }
+    }
+
+    /// Advance one step and return the new raw state.
+    ///
+    /// This is the per-cycle shared-state generation of the bank. The raw
+    /// value is *not* a finished random number; see [`crate::StreamBank`].
+    #[inline]
+    pub fn next_state(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MCG_MULTIPLIER);
+        self.state
+    }
+
+    /// Peek at the current state (testing/debugging).
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Jump the generator forward by `n` steps in O(log n) time.
+    ///
+    /// Used to leapfrog independent banks without generating intermediate
+    /// states: `state * MCG_MULTIPLIER^n (mod 2^64)`.
+    pub fn jump(&mut self, n: u64) {
+        let mut mult = MCG_MULTIPLIER;
+        let mut acc: u64 = 1;
+        let mut n = n;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = acc.wrapping_mul(mult);
+            }
+            mult = mult.wrapping_mul(mult);
+            n >>= 1;
+        }
+        self.state = self.state.wrapping_mul(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_stays_odd() {
+        let mut g = Mcg64::new(0); // even, gets forced odd
+        for _ in 0..1000 {
+            assert_eq!(g.next_state() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = Mcg64::new(5);
+        let mut b = Mcg64::new(5);
+        for _ in 0..64 {
+            assert_eq!(a.next_state(), b.next_state());
+        }
+    }
+
+    #[test]
+    fn jump_matches_stepping() {
+        for n in [0u64, 1, 2, 3, 17, 1000, 65537] {
+            let mut stepped = Mcg64::new(123);
+            for _ in 0..n {
+                stepped.next_state();
+            }
+            let mut jumped = Mcg64::new(123);
+            jumped.jump(n);
+            assert_eq!(stepped.state(), jumped.state(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        // Thanks to mix64 seeding, adjacent seeds must not give adjacent
+        // states.
+        let a = Mcg64::new(1).state();
+        let b = Mcg64::new(2).state();
+        let diff = (a ^ b).count_ones();
+        assert!(diff > 16, "seed mixing too weak: {diff} differing bits");
+    }
+}

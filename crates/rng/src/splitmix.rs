@@ -1,0 +1,136 @@
+//! SplitMix64: the workspace's scalar utility generator.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) is a tiny counter-based
+//! generator with excellent avalanche behaviour. We use it for seed
+//! expansion (deriving many independent seeds from one), for workload
+//! generation (edge weights, labels, query shuffling) and anywhere a
+//! single stream of random numbers is enough. The hardware-shaped
+//! multi-stream generator lives in [`crate::StreamBank`].
+
+use crate::Rng;
+
+/// Golden-ratio increment of the SplitMix64 Weyl sequence.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output finalizer: a 64-bit bijective avalanche mix.
+///
+/// Exposed publicly because the per-stream decorrelators reuse it as their
+/// output permutation (see [`crate::Decorrelator`]).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A SplitMix64 generator: counter + finalizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Any seed (including 0) is valid.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derive `n` well-separated child seeds from this generator.
+    ///
+    /// Used to give every component of an experiment (graph generator,
+    /// query shuffler, each accelerator instance, ...) its own stream.
+    pub fn derive_seeds(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+
+    /// Split off an independent child generator.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn known_vector() {
+        // First three outputs for seed 0, from the canonical splitmix64.c
+        // reference implementation (Vigna): 0xE220A8397B1DCDAF,
+        // 0x6E789E6AA1B965F4, 0x06C45D188009454F.
+        let mut rng = SplitMix64::new(0);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![0xE220_A839_7B1D_CDAF, 0x6E78_9E6A_A1B9_65F4, 0x06C4_5D18_8009_454F]
+        );
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let equal = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let mut rng = SplitMix64::new(99);
+        let seeds = rng.derive_seeds(1000);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000);
+    }
+
+    #[test]
+    fn split_children_are_independent_streams() {
+        let mut parent = SplitMix64::new(7);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        let xs: Vec<f64> = (0..4096).map(|_| c1.next_f64()).collect();
+        let ys: Vec<f64> = (0..4096).map(|_| c2.next_f64()).collect();
+        let r = stats::pearson(&xs, &ys);
+        assert!(r.abs() < 0.05, "cross-correlation too high: {r}");
+    }
+
+    #[test]
+    fn uniformity_chi_square() {
+        let mut rng = SplitMix64::new(2024);
+        let samples: Vec<f64> = (0..200_000).map(|_| rng.next_f64()).collect();
+        let chi2 = stats::chi_square_uniform(&samples, 64);
+        // 63 dof; 99.9th percentile ≈ 103. Deterministic seed, so no flake.
+        assert!(chi2 < 110.0, "chi-square too large: {chi2}");
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_sample() {
+        // Bijectivity can't be tested exhaustively; check no collisions on
+        // a large structured sample (sequential inputs are the worst case
+        // for weak mixers).
+        let mut outs: Vec<u64> = (0..100_000u64).map(mix64).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        assert_eq!(outs.len(), 100_000);
+    }
+}

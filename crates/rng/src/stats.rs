@@ -1,0 +1,201 @@
+//! Statistical helpers for randomness and distribution testing.
+//!
+//! These back two kinds of tests in the workspace:
+//! 1. RNG quality tests (the software stand-in for the paper's TestU01
+//!    evidence for ThundeRiNG): uniformity chi-square, serial
+//!    autocorrelation, cross-stream Pearson correlation, monobit balance.
+//! 2. Sampler correctness tests: every weighted sampler (inverse transform,
+//!    alias, WRS, parallel WRS) must draw items with frequencies matching
+//!    their weights; [`chi_square_counts`] is the shared goodness-of-fit
+//!    statistic.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Lag-`lag` autocorrelation of a series.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    pearson(&xs[..xs.len() - lag], &xs[lag..])
+}
+
+/// Chi-square statistic of samples in `[0,1)` against the uniform
+/// distribution over `bins` equal-width bins.
+pub fn chi_square_uniform(samples: &[f64], bins: usize) -> f64 {
+    assert!(bins >= 2);
+    let mut counts = vec![0u64; bins];
+    for &x in samples {
+        debug_assert!((0.0..1.0).contains(&x), "sample {x} outside [0,1)");
+        let b = ((x * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let expected = samples.len() as f64 / bins as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Chi-square statistic of observed counts against expected probabilities.
+///
+/// `probs` need not be normalized; zero-probability categories must have
+/// zero observed count (asserted) and contribute nothing.
+pub fn chi_square_counts(observed: &[u64], probs: &[f64]) -> f64 {
+    assert_eq!(observed.len(), probs.len());
+    let total: u64 = observed.iter().sum();
+    let psum: f64 = probs.iter().sum();
+    assert!(psum > 0.0, "all-zero probability vector");
+    let mut chi2 = 0.0;
+    for (&obs, &p) in observed.iter().zip(probs) {
+        if p == 0.0 {
+            assert_eq!(obs, 0, "sampled a zero-probability category");
+            continue;
+        }
+        let expected = total as f64 * p / psum;
+        let d = obs as f64 - expected;
+        chi2 += d * d / expected;
+    }
+    chi2
+}
+
+/// A loose upper bound on the chi-square critical value at ~99.9%
+/// confidence for `dof` degrees of freedom.
+///
+/// Uses the Wilson–Hilferty cube approximation with z = 3.09; accurate to a
+/// few percent for dof ≥ 4, which is all the tests need (they compare a
+/// deterministic statistic against a fixed threshold, not run a real
+/// hypothesis test).
+pub fn chi_square_crit_999(dof: usize) -> f64 {
+    let k = dof as f64;
+    let z = 3.09;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Fraction of set bits over a stream of words (monobit test statistic).
+pub fn monobit_fraction(words: &[u64]) -> f64 {
+    if words.is_empty() {
+        return 0.5;
+    }
+    let ones: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+    ones as f64 / (words.len() as f64 * 64.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng, SplitMix64};
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_negated_series_is_minus_one() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        let xs = [1.0; 10];
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        assert!(autocorrelation(&xs, 2) > 0.99);
+        assert!(autocorrelation(&xs, 1) < -0.99);
+    }
+
+    #[test]
+    fn chi_square_uniform_detects_skew() {
+        // All samples in one bin => massive statistic.
+        let xs = vec![0.01; 1000];
+        assert!(chi_square_uniform(&xs, 10) > 1000.0);
+    }
+
+    #[test]
+    fn chi_square_counts_perfect_fit_is_zero() {
+        let observed = [10u64, 20, 30];
+        let probs = [1.0, 2.0, 3.0];
+        assert!(chi_square_counts(&observed, &probs) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn chi_square_counts_rejects_impossible_observation() {
+        chi_square_counts(&[1, 1], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn crit_value_reasonable() {
+        // Known table values: dof=63 → ≈ 103.4; dof=31 → ≈ 61.1 (99.9%).
+        let c63 = chi_square_crit_999(63);
+        assert!((100.0..108.0).contains(&c63), "{c63}");
+        let c31 = chi_square_crit_999(31);
+        assert!((58.0..65.0).contains(&c31), "{c31}");
+    }
+
+    #[test]
+    fn monobit_balanced_for_good_rng() {
+        let mut rng = SplitMix64::new(6);
+        let words: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+        let f = monobit_fraction(&words);
+        assert!((f - 0.5).abs() < 0.002, "monobit fraction {f}");
+    }
+}

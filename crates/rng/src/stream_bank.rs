@@ -1,0 +1,193 @@
+//! The k-lane stream bank: ThundeRiNG's shape in software.
+//!
+//! Hardware picture (paper Fig. 4): one shared state generator feeds `k`
+//! decorrelators `R1..Rk`; each clock cycle the WRS Sampler receives one
+//! fresh 32-bit uniform per lane. [`StreamBank::next_row`] is that cycle.
+
+use crate::{Decorrelator, Mcg64};
+
+/// A bank of `k` independent uniform streams sharing one state sequence.
+#[derive(Debug, Clone)]
+pub struct StreamBank {
+    shared: Mcg64,
+    lanes: Vec<Decorrelator>,
+    /// Number of rows generated so far (diagnostics; one row per "cycle").
+    rows: u64,
+}
+
+impl StreamBank {
+    /// Create a bank with `k` lanes.
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k > 0, "StreamBank requires at least one lane");
+        Self {
+            shared: Mcg64::new(seed),
+            lanes: (0..k).map(|i| Decorrelator::for_lane(seed, i)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Rows generated so far.
+    #[inline]
+    pub fn rows_generated(&self) -> u64 {
+        self.rows
+    }
+
+    /// Generate one row: advance the shared state once, write one 32-bit
+    /// uniform per lane into `out`.
+    ///
+    /// `out.len()` may be shorter than `k` (the tail batch of a neighbor
+    /// list uses fewer lanes); it must not be longer.
+    #[inline]
+    pub fn next_row(&mut self, out: &mut [u32]) {
+        assert!(out.len() <= self.lanes.len(), "row wider than bank");
+        let s = self.shared.next_state();
+        for (o, lane) in out.iter_mut().zip(&self.lanes) {
+            *o = lane.apply_u32(s);
+        }
+        self.rows += 1;
+    }
+
+    /// Generate one row of `f64` uniforms in `[0,1)` (reference-model use).
+    #[inline]
+    pub fn next_row_f64(&mut self, out: &mut [f64]) {
+        assert!(out.len() <= self.lanes.len(), "row wider than bank");
+        let s = self.shared.next_state();
+        for (o, lane) in out.iter_mut().zip(&self.lanes) {
+            *o = lane.apply(s) as f64 * (1.0 / (u64::MAX as f64 + 1.0));
+        }
+        self.rows += 1;
+    }
+
+    /// Draw a single value from one lane, advancing the shared state.
+    ///
+    /// Convenience for scalar consumers (e.g. the sequential WRS reference
+    /// sampler); costs a full row like hardware would.
+    #[inline]
+    pub fn next_u32_lane(&mut self, lane: usize) -> u32 {
+        let s = self.shared.next_state();
+        self.rows += 1;
+        self.lanes[lane].apply_u32(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn row_width_matches_k() {
+        let mut bank = StreamBank::new(1, 8);
+        let mut row = [0u32; 8];
+        bank.next_row(&mut row);
+        assert_eq!(bank.k(), 8);
+        assert_eq!(bank.rows_generated(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row wider than bank")]
+    fn too_wide_row_panics() {
+        let mut bank = StreamBank::new(1, 2);
+        let mut row = [0u32; 3];
+        bank.next_row(&mut row);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StreamBank::new(77, 4);
+        let mut b = StreamBank::new(77, 4);
+        let (mut ra, mut rb) = ([0u32; 4], [0u32; 4]);
+        for _ in 0..100 {
+            a.next_row(&mut ra);
+            b.next_row(&mut rb);
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn partial_row_prefix_matches_full_row() {
+        // A tail batch (fewer items than k) must see the same lane values
+        // as a full row would — the hardware lanes are position-fixed.
+        let mut a = StreamBank::new(5, 8);
+        let mut b = StreamBank::new(5, 8);
+        let mut full = [0u32; 8];
+        let mut part = [0u32; 3];
+        a.next_row(&mut full);
+        b.next_row(&mut part);
+        assert_eq!(&full[..3], &part[..]);
+    }
+
+    #[test]
+    fn lanes_pairwise_uncorrelated() {
+        let k = 8;
+        let n = 4096;
+        let mut bank = StreamBank::new(2024, k);
+        let mut cols: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
+        let mut row = vec![0u32; k];
+        for _ in 0..n {
+            bank.next_row(&mut row);
+            for (c, &v) in cols.iter_mut().zip(&row) {
+                c.push(v as f64 / u32::MAX as f64);
+            }
+        }
+        for i in 0..k {
+            for j in i + 1..k {
+                let r = stats::pearson(&cols[i], &cols[j]);
+                assert!(r.abs() < 0.06, "lanes {i},{j} correlation {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn each_lane_uniform() {
+        let k = 4;
+        let n = 50_000;
+        let mut bank = StreamBank::new(31, k);
+        let mut cols: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
+        let mut row = vec![0u32; k];
+        for _ in 0..n {
+            bank.next_row(&mut row);
+            for (c, &v) in cols.iter_mut().zip(&row) {
+                c.push(v as f64 / (u32::MAX as f64 + 1.0));
+            }
+        }
+        for (i, c) in cols.iter().enumerate() {
+            let chi2 = stats::chi_square_uniform(c, 32);
+            // 31 dof, 99.9th pct ≈ 62.5; deterministic seed so no flake.
+            assert!(chi2 < 70.0, "lane {i} chi-square {chi2}");
+        }
+    }
+
+    #[test]
+    fn lane_serial_autocorrelation_low() {
+        let mut bank = StreamBank::new(8, 2);
+        let mut xs = Vec::with_capacity(8192);
+        let mut row = [0u32; 2];
+        for _ in 0..8192 {
+            bank.next_row(&mut row);
+            xs.push(row[0] as f64 / u32::MAX as f64);
+        }
+        for lag in [1, 2, 7] {
+            let r = stats::autocorrelation(&xs, lag);
+            assert!(r.abs() < 0.05, "lag {lag} autocorrelation {r}");
+        }
+    }
+
+    #[test]
+    fn f64_rows_in_unit_interval() {
+        let mut bank = StreamBank::new(3, 4);
+        let mut row = [0f64; 4];
+        for _ in 0..1000 {
+            bank.next_row_f64(&mut row);
+            for &x in &row {
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! A-Res: the Efraimidis–Spirakis weighted reservoir algorithm the paper
+//! builds on (its citation for WRS; §3.2 notes LightRW sets the reservoir
+//! size `n_res = 1` because one neighbor is sampled per step).
+//!
+//! A-Res keeps the `n_res` items with the largest keys `u_i^(1/w_i)`
+//! (`u_i` uniform), yielding a weighted sample *without replacement* in a
+//! single pass over a stream of unknown length. This module implements
+//! the general case, both as the cited algorithm and as the natural
+//! extension point for multi-sample walk variants (e.g. sampling several
+//! successors for tree-structured exploration) the paper leaves open.
+
+use lightrw_rng::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Keyed {
+    /// A-Res key `u^(1/w)`; larger is better.
+    key: f64,
+    index: usize,
+}
+
+// Min-heap by key (BinaryHeap is a max-heap, so invert the ordering).
+impl Eq for Keyed {}
+impl PartialOrd for Keyed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Keyed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("A-Res keys are never NaN")
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+/// Single-pass weighted reservoir sampler without replacement.
+#[derive(Debug, Clone)]
+pub struct AResSampler {
+    capacity: usize,
+    heap: BinaryHeap<Keyed>,
+    consumed: usize,
+}
+
+impl AResSampler {
+    /// Reservoir of `n_res` items (`n_res = 1` is LightRW's setting).
+    pub fn new(n_res: usize) -> Self {
+        assert!(n_res >= 1, "reservoir must hold at least one item");
+        Self {
+            capacity: n_res,
+            heap: BinaryHeap::with_capacity(n_res + 1),
+            consumed: 0,
+        }
+    }
+
+    /// Offer the next stream item; zero-weight items are never selected.
+    pub fn offer<R: Rng>(&mut self, weight: u32, rng: &mut R) {
+        let index = self.consumed;
+        self.consumed += 1;
+        if weight == 0 {
+            return;
+        }
+        // u^(1/w) in (0,1); use log-space for numeric robustness:
+        // ln(key) = ln(u)/w — monotone equivalent, so compare that.
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let key = u.ln() / weight as f64; // negative; larger (closer to 0) wins
+        if self.heap.len() < self.capacity {
+            self.heap.push(Keyed { key, index });
+        } else if let Some(min) = self.heap.peek() {
+            if key > min.key {
+                self.heap.pop();
+                self.heap.push(Keyed { key, index });
+            }
+        }
+    }
+
+    /// Items consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Finish the pass: the selected stream indices, in stream order.
+    pub fn finish(self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.heap.into_iter().map(|k| k.index).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Convenience: sample `n_res` distinct indices from `weights`.
+pub fn sample_without_replacement<R: Rng>(
+    weights: &[u32],
+    n_res: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut s = AResSampler::new(n_res);
+    for &w in weights {
+        s.offer(w, rng);
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_rng::SplitMix64;
+
+    #[test]
+    fn selects_exactly_nres_when_enough_items() {
+        let mut rng = SplitMix64::new(1);
+        let weights = [1u32; 10];
+        let sel = sample_without_replacement(&weights, 3, &mut rng);
+        assert_eq!(sel.len(), 3);
+        // Distinct, sorted, in range.
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+        assert!(sel.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn fewer_items_than_reservoir() {
+        let mut rng = SplitMix64::new(2);
+        let sel = sample_without_replacement(&[5, 7], 4, &mut rng);
+        assert_eq!(sel, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_weight_items_never_selected() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let sel = sample_without_replacement(&[0, 3, 0, 9], 2, &mut rng);
+            assert_eq!(sel, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_select_nothing() {
+        let mut rng = SplitMix64::new(4);
+        assert!(sample_without_replacement(&[0, 0, 0], 2, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn nres1_matches_weighted_distribution() {
+        // With a single-slot reservoir, A-Res reduces to exactly the
+        // weighted selection LightRW performs per step.
+        let weights = [2u32, 3, 5];
+        let mut rng = SplitMix64::new(5);
+        let mut counts = [0u64; 3];
+        for _ in 0..60_000 {
+            let sel = sample_without_replacement(&weights, 1, &mut rng);
+            counts[sel[0]] += 1;
+        }
+        crate::distribution::assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn heavier_items_selected_more_often_without_replacement() {
+        let weights = [1u32, 1, 1, 1, 50];
+        let mut rng = SplitMix64::new(6);
+        let mut hot = 0usize;
+        let n = 5_000;
+        for _ in 0..n {
+            if sample_without_replacement(&weights, 2, &mut rng).contains(&4) {
+                hot += 1;
+            }
+        }
+        // Item 4 dominates: it should appear in almost every 2-sample.
+        assert!(hot as f64 / n as f64 > 0.95, "{hot}/{n}");
+    }
+
+    #[test]
+    fn incremental_api_tracks_consumption() {
+        let mut rng = SplitMix64::new(7);
+        let mut s = AResSampler::new(2);
+        for w in [1u32, 0, 2] {
+            s.offer(w, &mut rng);
+        }
+        assert_eq!(s.consumed(), 3);
+        let sel = s.finish();
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn selection_size_and_validity(
+            weights in proptest::collection::vec(0u32..20, 0..50),
+            n_res in 1usize..6,
+            seed in 0u64..200,
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            let sel = sample_without_replacement(&weights, n_res, &mut rng);
+            let nonzero = weights.iter().filter(|&&w| w > 0).count();
+            proptest::prop_assert_eq!(sel.len(), n_res.min(nonzero));
+            for &i in &sel {
+                proptest::prop_assert!(weights[i] > 0);
+            }
+            // Distinct.
+            let mut d = sel.clone();
+            d.dedup();
+            proptest::prop_assert_eq!(d.len(), sel.len());
+        }
+    }
+}

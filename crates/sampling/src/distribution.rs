@@ -1,0 +1,93 @@
+//! Goodness-of-fit helpers shared by all sampler tests.
+//!
+//! Every sampler in this crate claims to draw category `i` with probability
+//! `w_i / Σw`. These helpers turn that claim into a chi-square test against
+//! the weights, with the threshold from
+//! [`lightrw_rng::stats::chi_square_crit_999`]. Seeds are fixed in tests,
+//! so the assertions are deterministic (no flaky statistics).
+
+use lightrw_rng::stats::{chi_square_counts, chi_square_crit_999};
+
+/// Draw `n` samples from `f` and histogram them over `categories` bins.
+pub fn counts_from(categories: usize, n: usize, mut f: impl FnMut() -> usize) -> Vec<u64> {
+    let mut counts = vec![0u64; categories];
+    for _ in 0..n {
+        let i = f();
+        assert!(i < categories, "sample {i} out of range {categories}");
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Chi-square of observed counts vs integer weights.
+pub fn chi_square_vs_weights(counts: &[u64], weights: &[u32]) -> f64 {
+    let probs: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+    chi_square_counts(counts, &probs)
+}
+
+/// Assert that observed counts match the weight-proportional distribution
+/// at ~99.9% confidence (dof = #non-zero categories - 1).
+pub fn assert_counts_match(counts: &[u64], weights: &[u32]) {
+    let nonzero = weights.iter().filter(|&&w| w > 0).count();
+    assert!(nonzero >= 1, "need at least one non-zero weight");
+    let chi2 = chi_square_vs_weights(counts, weights);
+    let crit = if nonzero == 1 {
+        1e-9 // single category: statistic must be exactly 0
+    } else {
+        chi_square_crit_999(nonzero - 1) * 1.15 // margin over the approximation
+    };
+    assert!(
+        chi2 <= crit,
+        "distribution mismatch: chi2={chi2:.2} crit={crit:.2} counts={counts:?} weights={weights:?}"
+    );
+}
+
+/// Convenience wrapper: sample `n` times with `sampler` and assert fit.
+pub fn assert_matches_weights<R>(
+    weights: &[u32],
+    n: usize,
+    mut sampler: impl FnMut(&mut R) -> usize,
+    rng: &mut R,
+) {
+    let counts = counts_from(weights.len(), n, || sampler(rng));
+    assert_counts_match(&counts, weights);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_proportions_pass() {
+        let weights = [1u32, 2, 3];
+        let counts = [1000u64, 2000, 3000];
+        assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution mismatch")]
+    fn gross_mismatch_fails() {
+        let weights = [1u32, 1];
+        let counts = [10_000u64, 100];
+        assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn zero_weight_category_with_samples_fails() {
+        let weights = [1u32, 0];
+        let counts = [100u64, 5];
+        assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn counts_from_histograms_correctly() {
+        let mut i = 0usize;
+        let counts = counts_from(3, 9, || {
+            let v = i % 3;
+            i += 1;
+            v
+        });
+        assert_eq!(counts, vec![3, 3, 3]);
+    }
+}

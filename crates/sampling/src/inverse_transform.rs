@@ -1,0 +1,131 @@
+//! Inverse transformation sampling.
+//!
+//! The method ThunderRW is configured with in the paper's comparison
+//! (§6.1.4): the *initialization* stage materializes the inclusive prefix
+//! sums of the weights (an O(n) table written to memory — this is exactly
+//! the intermediate data LightRW's WRS eliminates), and the *generation*
+//! stage binary-searches a uniform draw over the cumulative table.
+
+use crate::IndexSampler;
+use lightrw_rng::Rng;
+
+/// Cumulative-weight table for inverse transformation sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InverseTransformTable {
+    /// Inclusive prefix sums of the input weights.
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+impl InverseTransformTable {
+    /// Build from integer weights. Returns `None` if all weights are zero
+    /// (no valid category), mirroring a dead-end walk step.
+    pub fn build(weights: &[u32]) -> Option<Self> {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0u64;
+        for &w in weights {
+            acc += w as u64;
+            cumulative.push(acc);
+        }
+        if acc == 0 {
+            return None;
+        }
+        Some(Self {
+            cumulative,
+            total: acc,
+        })
+    }
+
+    /// Total weight mass.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The intermediate table size in bytes — the paper's Inefficiency 1
+    /// counts these `O(|N(v)|)` memory accesses per step.
+    #[inline]
+    pub fn table_bytes(&self) -> u64 {
+        (self.cumulative.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+impl IndexSampler for InverseTransformTable {
+    #[inline]
+    fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        // Uniform in [0, total): category i is chosen iff
+        // cumulative[i-1] <= r < cumulative[i].
+        let r = rng.gen_range(self.total);
+        // partition_point returns the first index with cumulative > r.
+        self.cumulative.partition_point(|&c| c <= r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::assert_matches_weights;
+    use lightrw_rng::SplitMix64;
+
+    #[test]
+    fn all_zero_weights_is_none() {
+        assert!(InverseTransformTable::build(&[0, 0, 0]).is_none());
+        assert!(InverseTransformTable::build(&[]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_selected() {
+        let t = InverseTransformTable::build(&[5]).unwrap();
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = InverseTransformTable::build(&[0, 3, 0, 7, 0]).unwrap();
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..2000 {
+            let i = t.sample(&mut rng);
+            assert!(i == 1 || i == 3, "sampled zero-weight category {i}");
+        }
+    }
+
+    #[test]
+    fn distribution_matches_weights() {
+        let weights = [1u32, 2, 3, 4, 10, 0, 20];
+        let t = InverseTransformTable::build(&weights).unwrap();
+        let mut rng = SplitMix64::new(3);
+        assert_matches_weights(&weights, 200_000, |r| t.sample(r), &mut rng);
+    }
+
+    #[test]
+    fn extreme_weight_ratio() {
+        // One huge and one tiny weight; tiny one must still be reachable.
+        let weights = [1u32, u32::MAX];
+        let t = InverseTransformTable::build(&weights).unwrap();
+        let mut rng = SplitMix64::new(4);
+        let mut saw0 = 0u32;
+        // P(index 0) = 1/(2^32); 2^20 draws almost surely miss it, but the
+        // cumulative structure must still be sound.
+        for _ in 0..1 << 16 {
+            if t.sample(&mut rng) == 0 {
+                saw0 += 1;
+            }
+        }
+        assert!(saw0 <= 2);
+    }
+
+    #[test]
+    fn table_bytes_counts_intermediate_data() {
+        let t = InverseTransformTable::build(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(t.table_bytes(), 32);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.len(), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! # lightrw-sampling — weighted sampling methods for dynamic random walks
+//!
+//! GDRW engines must draw one neighbor per step with probability
+//! proportional to a dynamically computed weight. This crate implements
+//! every sampling method the paper discusses, so engines and benches can
+//! swap them:
+//!
+//! | Method | Paper role | Build | Draw | Barrier? |
+//! |---|---|---|---|---|
+//! | [`InverseTransformTable`] | ThunderRW's recommended default (§6.1.4) | O(n) | O(log n) | yes (init/gen) |
+//! | [`AliasTable`] | classic alternative (§2.2) | O(n) | O(1) | yes (init/gen) |
+//! | [`reservoir`] (sequential WRS) | single-pass sampler (§3.2) | — | O(n) stream | no |
+//! | [`ParallelWrs`] | **the contribution**: k items/cycle (§4, Alg. 4.1) | — | O(n/k + log k) | no |
+//!
+//! The parallel WRS implementation follows the hardware exactly:
+//! a per-batch prefix sum (Eq. 5 decomposition) computed with a
+//! Kogge–Stone network model ([`prefix`]), the division-free integer
+//! acceptance test of Eq. 8, latest-index candidate selection via a
+//! comparator tree, and one fresh 32-bit uniform per lane per batch from a
+//! [`lightrw_rng::StreamBank`].
+//!
+//! All samplers are exercised against each other by distribution
+//! goodness-of-fit tests (see [`distribution`]); they must agree because
+//! the paper's Fig. 14 compares engines built on different samplers.
+
+pub mod a_res;
+pub mod alias;
+pub mod distribution;
+pub mod inverse_transform;
+pub mod parallel_wrs;
+pub mod prefix;
+pub mod reservoir;
+
+pub use a_res::AResSampler;
+pub use alias::AliasTable;
+pub use inverse_transform::InverseTransformTable;
+pub use parallel_wrs::{ParallelWrs, WrsState};
+
+/// A table-based sampler over categories `0..len` (built once, drawn many
+/// times) — the "initialization + generation" shape the paper contrasts
+/// WRS against.
+pub trait IndexSampler {
+    /// Number of categories.
+    fn len(&self) -> usize;
+
+    /// True if there are no categories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draw one category index with probability proportional to its weight.
+    fn sample<R: lightrw_rng::Rng>(&self, rng: &mut R) -> usize;
+}

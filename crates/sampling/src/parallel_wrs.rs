@@ -1,0 +1,311 @@
+//! Parallel weighted reservoir sampling — Algorithm 4.1, the paper's core
+//! algorithmic contribution.
+//!
+//! Processes `k` (item, weight) pairs per batch ("per cycle" in hardware):
+//!
+//! 1. **Weight Accumulator**: an inclusive prefix sum of the batch weights
+//!    via a Kogge–Stone network ([`crate::prefix`]), then `w_sum` (the
+//!    running total of all previous batches) is added lane-wise — the
+//!    Eq. 5 decomposition that breaks the serial dependency.
+//! 2. **Selector**: each lane `j` performs the division-free acceptance
+//!    test of Eq. 8 against its own independent 32-bit uniform (one
+//!    [`StreamBank`] row per batch).
+//! 3. **Comparator tree**: the *largest* accepted lane index wins the batch
+//!    (the latest item in stream order), modelling Fig. 4 step (d).
+//! 4. **Reservoir update + `w_sum` accumulation** (Alg. 4.1 lines 12–14).
+//!
+//! The resulting selection is distributed identically to sequential WRS:
+//! lane `j`'s test uses the exact cumulative weight through its item, and
+//! "largest accepted index per batch, later batches overwrite" reproduces
+//! the sequential overwrite order.
+
+use crate::prefix::{batch_total, kogge_stone_inclusive};
+use crate::reservoir::accepts_integer;
+use lightrw_rng::StreamBank;
+
+/// Running state of one in-flight WRS selection (one walk step).
+///
+/// `O(1)` space — the paper's key contrast with the `O(|N(v)|)` tables of
+/// initialization/generation samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrsState {
+    /// Σ of all weights consumed so far (`w_sum^i` in Alg. 4.1).
+    pub w_sum: u64,
+    /// Currently selected item, if any lane has ever accepted.
+    pub reservoir: Option<u32>,
+    /// Items consumed (diagnostics).
+    pub items_seen: u64,
+    /// Batches consumed (== sampler cycles in hardware).
+    pub batches: u64,
+}
+
+impl WrsState {
+    /// Fresh state for a new selection.
+    pub fn new() -> Self {
+        Self {
+            w_sum: 0,
+            reservoir: None,
+            items_seen: 0,
+            batches: 0,
+        }
+    }
+}
+
+impl Default for WrsState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pure batch-selection kernel: given the batch weights, the pre-batch
+/// running total, the batch prefix sums and one uniform per lane, return
+/// the winning lane index (largest accepted), if any.
+///
+/// Exposed for direct unit testing of the comparator-tree semantics.
+#[inline]
+pub fn batch_candidate(
+    weights: &[u32],
+    w_sum_before: u64,
+    prefix: &[u64],
+    row: &[u32],
+) -> Option<usize> {
+    debug_assert_eq!(weights.len(), prefix.len());
+    debug_assert!(row.len() >= weights.len());
+    let mut candidate = None;
+    for j in 0..weights.len() {
+        let cum = w_sum_before + prefix[j];
+        if accepts_integer(weights[j], cum, row[j]) {
+            candidate = Some(j); // ascending scan ⇒ max index wins
+        }
+    }
+    candidate
+}
+
+/// The k-lane parallel WRS sampler.
+///
+/// Owns the RNG bank and scratch buffers; reusable across selections (the
+/// hardware instance is likewise shared by all steps flowing through the
+/// pipeline).
+#[derive(Debug, Clone)]
+pub struct ParallelWrs {
+    bank: StreamBank,
+    prefix: Vec<u64>,
+    row: Vec<u32>,
+}
+
+impl ParallelWrs {
+    /// Create a sampler with parallelism degree `k` (lanes per batch).
+    pub fn new(seed: u64, k: usize) -> Self {
+        assert!(k >= 1, "parallelism degree must be >= 1");
+        Self {
+            bank: StreamBank::new(seed, k),
+            prefix: Vec::with_capacity(k),
+            row: vec![0; k],
+        }
+    }
+
+    /// Degree of parallelism.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.bank.k()
+    }
+
+    /// RNG rows consumed so far (one per batch; hardware cycles).
+    #[inline]
+    pub fn rows_consumed(&self) -> u64 {
+        self.bank.rows_generated()
+    }
+
+    /// Consume one batch of at most `k` (item, weight) pairs.
+    pub fn consume_batch(&mut self, state: &mut WrsState, items: &[u32], weights: &[u32]) {
+        assert_eq!(items.len(), weights.len(), "items/weights misaligned");
+        assert!(
+            items.len() <= self.k(),
+            "batch of {} exceeds parallelism {}",
+            items.len(),
+            self.k()
+        );
+        if items.is_empty() {
+            return;
+        }
+        kogge_stone_inclusive(weights, &mut self.prefix);
+        let row = &mut self.row[..items.len()];
+        self.bank.next_row(row);
+        if let Some(j) = batch_candidate(weights, state.w_sum, &self.prefix, row) {
+            state.reservoir = Some(items[j]);
+        }
+        state.w_sum += batch_total(&self.prefix);
+        state.items_seen += items.len() as u64;
+        state.batches += 1;
+    }
+
+    /// Run a complete selection over parallel item/weight slices,
+    /// batching internally. Returns the sampled item, or `None` if all
+    /// weights are zero (dead end).
+    pub fn select(&mut self, items: &[u32], weights: &[u32]) -> Option<u32> {
+        assert_eq!(items.len(), weights.len());
+        let mut state = WrsState::new();
+        let k = self.k();
+        for (ib, wb) in items.chunks(k).zip(weights.chunks(k)) {
+            self.consume_batch(&mut state, ib, wb);
+        }
+        state.reservoir
+    }
+
+    /// Like [`ParallelWrs::select`], but over indices `0..weights.len()`.
+    pub fn select_index(&mut self, weights: &[u32]) -> Option<usize> {
+        let mut state = WrsState::new();
+        let k = self.k();
+        let mut idx_buf: Vec<u32> = Vec::with_capacity(k);
+        for (base, wb) in weights.chunks(k).enumerate() {
+            idx_buf.clear();
+            idx_buf.extend((0..wb.len()).map(|j| (base * k + j) as u32));
+            self.consume_batch(&mut state, &idx_buf, wb);
+        }
+        state.reservoir.map(|v| v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{assert_counts_match, counts_from};
+    use crate::reservoir::select_integer;
+
+    #[test]
+    fn dead_end_returns_none() {
+        let mut wrs = ParallelWrs::new(1, 4);
+        assert_eq!(wrs.select(&[1, 2, 3], &[0, 0, 0]), None);
+        assert_eq!(wrs.select(&[], &[]), None);
+    }
+
+    #[test]
+    fn single_item_selected() {
+        let mut wrs = ParallelWrs::new(2, 4);
+        // P(reject) = 2^-32 per draw; 100 draws won't hit it.
+        for _ in 0..100 {
+            assert_eq!(wrs.select(&[9], &[5]), Some(9));
+        }
+    }
+
+    #[test]
+    fn batch_candidate_picks_largest_accepted_index() {
+        // r = 0 accepts every non-zero weight, so the comparator tree must
+        // return the last non-zero lane.
+        let weights = [1u32, 2, 0, 3];
+        let mut prefix = Vec::new();
+        kogge_stone_inclusive(&weights, &mut prefix);
+        let row = [0u32; 4];
+        assert_eq!(batch_candidate(&weights, 0, &prefix, &row), Some(3));
+        // All-max uniforms reject everything.
+        let row = [u32::MAX; 4];
+        assert_eq!(batch_candidate(&weights, 0, &prefix, &row), None);
+    }
+
+    #[test]
+    fn batch_candidate_zero_weights_never_win() {
+        let weights = [0u32, 7, 0, 0];
+        let mut prefix = Vec::new();
+        kogge_stone_inclusive(&weights, &mut prefix);
+        let row = [0u32; 4];
+        assert_eq!(batch_candidate(&weights, 0, &prefix, &row), Some(1));
+    }
+
+    #[test]
+    fn k1_matches_sequential_integer_wrs_exactly() {
+        // With k = 1 and the same seed, the parallel sampler must follow
+        // the sequential hardware-test sampler draw for draw (zero weights
+        // excluded: the sequential helper skips them without drawing).
+        let weights: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        for seed in 0..20u64 {
+            let mut par = ParallelWrs::new(seed, 1);
+            let items: Vec<u32> = (0..weights.len() as u32).collect();
+            let got = par.select(&items, &weights);
+            let mut bank = lightrw_rng::StreamBank::new(seed, 1);
+            let want = select_integer(weights.iter().copied(), &mut bank).map(|i| i as u32);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distribution_matches_weights_for_various_k() {
+        let weights = [5u32, 0, 1, 8, 3, 12, 2, 7, 1, 1];
+        for k in [1usize, 2, 4, 8, 16] {
+            let mut wrs = ParallelWrs::new(42 + k as u64, k);
+            let counts = counts_from(weights.len(), 120_000, || {
+                wrs.select_index(&weights).unwrap()
+            });
+            assert_counts_match(&counts, &weights);
+        }
+    }
+
+    #[test]
+    fn distribution_stable_across_stream_lengths() {
+        // Long streams (many batches) must still be fair: last item of a
+        // 100-item uniform stream should win ~1% of the time.
+        let n = 100usize;
+        let weights = vec![1u32; n];
+        let mut wrs = ParallelWrs::new(7, 8);
+        let draws = 100_000;
+        let counts = counts_from(n, draws, || wrs.select_index(&weights).unwrap());
+        assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn state_accounting() {
+        let mut wrs = ParallelWrs::new(3, 4);
+        let mut state = WrsState::new();
+        wrs.consume_batch(&mut state, &[1, 2, 3, 4], &[1, 1, 1, 1]);
+        wrs.consume_batch(&mut state, &[5, 6], &[1, 1]);
+        assert_eq!(state.items_seen, 6);
+        assert_eq!(state.batches, 2);
+        assert_eq!(state.w_sum, 6);
+        assert!(state.reservoir.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds parallelism")]
+    fn oversized_batch_panics() {
+        let mut wrs = ParallelWrs::new(1, 2);
+        let mut state = WrsState::new();
+        wrs.consume_batch(&mut state, &[1, 2, 3], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut wrs = ParallelWrs::new(1, 2);
+        let mut state = WrsState::new();
+        wrs.consume_batch(&mut state, &[], &[]);
+        assert_eq!(state, WrsState::new());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn selection_always_has_nonzero_weight(
+            weights in proptest::collection::vec(0u32..50, 1..60),
+            k in 1usize..9,
+            seed in 0u64..100,
+        ) {
+            let mut wrs = ParallelWrs::new(seed, k);
+            match wrs.select_index(&weights) {
+                Some(i) => proptest::prop_assert!(weights[i] > 0),
+                None => proptest::prop_assert!(weights.iter().all(|&w| w == 0)),
+            }
+        }
+
+        #[test]
+        fn w_sum_equals_stream_total(
+            weights in proptest::collection::vec(0u32..1000, 0..50),
+            k in 1usize..6,
+        ) {
+            let mut wrs = ParallelWrs::new(5, k);
+            let mut state = WrsState::new();
+            let items: Vec<u32> = (0..weights.len() as u32).collect();
+            for (ib, wb) in items.chunks(k).zip(weights.chunks(k)) {
+                wrs.consume_batch(&mut state, ib, wb);
+            }
+            let total: u64 = weights.iter().map(|&w| w as u64).sum();
+            proptest::prop_assert_eq!(state.w_sum, total);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Prefix-sum building blocks for the parallel WRS sampler.
+//!
+//! The Weight Accumulator of the WRS Sampler (paper Fig. 4, step (a))
+//! computes an inclusive prefix sum of the k weights received each cycle
+//! with a log-depth adder network. [`kogge_stone_inclusive`] models that
+//! network faithfully (same dataflow, O(k log k) adds, log2(k) levels) and
+//! is tested for exact equality against the trivial sequential scan —
+//! which is the software equivalence proof of Eq. 5's decomposition.
+
+/// Sequential inclusive prefix sum into `out` (reference implementation).
+pub fn sequential_inclusive(xs: &[u32], out: &mut Vec<u64>) {
+    out.clear();
+    let mut acc = 0u64;
+    for &x in xs {
+        acc += x as u64;
+        out.push(acc);
+    }
+}
+
+/// Kogge–Stone inclusive prefix sum, modelling the hardware adder network:
+/// at level `d`, lane `j` adds lane `j - 2^d`'s value. Returns the number
+/// of adder levels used (the `O(log k)` term in the paper's complexity
+/// claim for Algorithm 4.1).
+pub fn kogge_stone_inclusive(xs: &[u32], out: &mut Vec<u64>) -> u32 {
+    out.clear();
+    out.extend(xs.iter().map(|&x| x as u64));
+    let n = out.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mut levels = 0;
+    let mut dist = 1;
+    while dist < n {
+        // The hardware updates all lanes in one cycle; iterate from the top
+        // so lane j reads lane j-dist's *previous-level* value.
+        for j in (dist..n).rev() {
+            out[j] += out[j - dist];
+        }
+        dist <<= 1;
+        levels += 1;
+    }
+    levels
+}
+
+/// Batch total (the value added to the running `w_sum` after each batch,
+/// Algorithm 4.1 line 14). Equal to the last inclusive prefix.
+#[inline]
+pub fn batch_total(prefix: &[u64]) -> u64 {
+    prefix.last().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_rng::{Rng, SplitMix64};
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut out = Vec::new();
+        assert_eq!(kogge_stone_inclusive(&[], &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(kogge_stone_inclusive(&[42], &mut out), 0);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn matches_sequential_on_fixed_cases() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4],
+            vec![0, 0, 0],
+            vec![5],
+            vec![u32::MAX, u32::MAX, u32::MAX],
+            (0..37).collect(),
+        ];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for case in cases {
+            sequential_inclusive(&case, &mut a);
+            kogge_stone_inclusive(&case, &mut b);
+            assert_eq!(a, b, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn level_count_is_logarithmic() {
+        let mut out = Vec::new();
+        assert_eq!(kogge_stone_inclusive(&[1; 2], &mut out), 1);
+        assert_eq!(kogge_stone_inclusive(&[1; 4], &mut out), 2);
+        assert_eq!(kogge_stone_inclusive(&[1; 8], &mut out), 3);
+        assert_eq!(kogge_stone_inclusive(&[1; 16], &mut out), 4);
+        assert_eq!(kogge_stone_inclusive(&[1; 5], &mut out), 3); // ceil(log2 5)
+    }
+
+    #[test]
+    fn eq5_decomposition_holds() {
+        // {sum_{m=1}^{i+j} w}_j == w_sum_i + prefix({w_{i+1..i+k}})_j —
+        // the identity that makes batch-local prefix sums sufficient.
+        let mut rng = SplitMix64::new(9);
+        let all: Vec<u32> = (0..64).map(|_| rng.next_u32() >> 16).collect();
+        let (mut full, mut chunk) = (Vec::new(), Vec::new());
+        sequential_inclusive(&all, &mut full);
+        let k = 8;
+        let mut w_sum = 0u64;
+        for (ci, batch) in all.chunks(k).enumerate() {
+            kogge_stone_inclusive(batch, &mut chunk);
+            for (j, &p) in chunk.iter().enumerate() {
+                assert_eq!(w_sum + p, full[ci * k + j]);
+            }
+            w_sum += batch_total(&chunk);
+        }
+        assert_eq!(w_sum, *full.last().unwrap());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn kogge_stone_equals_sequential(xs in proptest::collection::vec(0u32..=u32::MAX, 0..130)) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            sequential_inclusive(&xs, &mut a);
+            kogge_stone_inclusive(&xs, &mut b);
+            proptest::prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prefix_is_monotone(xs in proptest::collection::vec(0u32..1000, 1..64)) {
+            let mut out = Vec::new();
+            kogge_stone_inclusive(&xs, &mut out);
+            for w in out.windows(2) {
+                proptest::prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Sequential weighted reservoir sampling (WRS).
+//!
+//! The single-pass sampler LightRW builds on (§3.2): item `i` with weight
+//! `w_i` replaces the reservoir with probability `w_i / Σ_{m≤i} w_m`. After
+//! the full pass, item `i` survives with probability exactly
+//! `w_i / Σ w_m` — the telescoping product of its acceptance and all later
+//! rejections. Two acceptance tests are provided:
+//!
+//! - [`select_f64`]: the textbook floating-point comparison `p > r`;
+//! - [`select_integer`]: the hardware's division-free test (Eq. 6→8):
+//!   `2^32 · w > r* · (w_sum + w) + w`, evaluated in 128-bit integer
+//!   arithmetic (the DSP datapath equivalent).
+//!
+//! Both are used as oracles for the parallel sampler.
+
+use lightrw_rng::{Rng, StreamBank};
+
+/// The Eq. 8 acceptance test: should the item with weight `w` replace the
+/// reservoir, given cumulative weight `cum` *including* `w`, against the
+/// 32-bit uniform `r`?
+///
+/// Derivation (paper §4.2): accept iff `w / cum > r / (2^32 - 1)`
+/// ⇔ `w · (2^32 - 1) > r · cum` ⇔ `(w << 32) > r · cum + w`.
+#[inline]
+pub fn accepts_integer(w: u32, cum: u64, r: u32) -> bool {
+    if w == 0 {
+        return false;
+    }
+    debug_assert!(cum >= w as u64);
+    let lhs = (w as u128) << 32;
+    let rhs = (r as u128) * (cum as u128) + w as u128;
+    lhs > rhs
+}
+
+/// Single-pass weighted selection over a weight stream using f64
+/// probabilities. Returns the selected index, or `None` if every weight is
+/// zero (dead end).
+pub fn select_f64<R: Rng>(weights: impl IntoIterator<Item = u32>, rng: &mut R) -> Option<usize> {
+    let mut cum = 0u64;
+    let mut selected = None;
+    for (i, w) in weights.into_iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        cum += w as u64;
+        let p = w as f64 / cum as f64;
+        if rng.next_f64() < p {
+            selected = Some(i);
+        }
+    }
+    selected
+}
+
+/// Single-pass weighted selection using the hardware integer test, drawing
+/// one 32-bit uniform per item from lane 0 of a [`StreamBank`].
+pub fn select_integer(
+    weights: impl IntoIterator<Item = u32>,
+    bank: &mut StreamBank,
+) -> Option<usize> {
+    let mut cum = 0u64;
+    let mut selected = None;
+    for (i, w) in weights.into_iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        cum += w as u64;
+        let r = bank.next_u32_lane(0);
+        if accepts_integer(w, cum, r) {
+            selected = Some(i);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{counts_from, assert_counts_match};
+    use lightrw_rng::SplitMix64;
+
+    #[test]
+    fn all_zero_weights_dead_end() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(select_f64([0, 0, 0], &mut rng), None);
+        let mut bank = StreamBank::new(1, 1);
+        assert_eq!(select_integer([0, 0, 0], &mut bank), None);
+        assert_eq!(select_f64(std::iter::empty(), &mut rng), None);
+    }
+
+    #[test]
+    fn first_nonzero_item_always_accepted() {
+        // For the first non-zero item, p = w/w = 1 > r always (f64 path),
+        // so a single-item stream is always selected.
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..100 {
+            assert_eq!(select_f64([7], &mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn integer_first_item_accepted_with_high_probability() {
+        // Eq. 8 with cum == w: accept iff (w<<32) > r·w + w ⇔ r < 2^32 - 1
+        // - tiny boundary: rejected only when r == u32::MAX.
+        assert!(accepts_integer(5, 5, 0));
+        assert!(accepts_integer(5, 5, u32::MAX - 1));
+        assert!(!accepts_integer(5, 5, u32::MAX));
+    }
+
+    #[test]
+    fn acceptance_test_zero_weight_never_accepts() {
+        assert!(!accepts_integer(0, 10, 0));
+    }
+
+    #[test]
+    fn acceptance_probability_halves_at_double_cum() {
+        // w=1, cum=2 → accept iff 2^32 > 2r + 1 ⇔ r <= 2^31 - 1.
+        let boundary = (1u64 << 31) - 1;
+        assert!(accepts_integer(1, 2, boundary as u32));
+        assert!(!accepts_integer(1, 2, (boundary + 1) as u32));
+    }
+
+    #[test]
+    fn f64_distribution_matches_weights() {
+        let weights = [3u32, 1, 6, 0, 2];
+        let mut rng = SplitMix64::new(3);
+        let counts = counts_from(weights.len(), 200_000, || {
+            select_f64(weights.iter().copied(), &mut rng).unwrap()
+        });
+        assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn integer_distribution_matches_weights() {
+        let weights = [3u32, 1, 6, 0, 2];
+        let mut bank = StreamBank::new(4, 1);
+        let counts = counts_from(weights.len(), 200_000, || {
+            select_integer(weights.iter().copied(), &mut bank).unwrap()
+        });
+        assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn integer_and_f64_agree_on_large_weights() {
+        // Weights near u32::MAX exercise the 128-bit path.
+        let weights = [u32::MAX, u32::MAX / 2, u32::MAX];
+        let mut bank = StreamBank::new(5, 1);
+        let counts = counts_from(weights.len(), 100_000, || {
+            select_integer(weights.iter().copied(), &mut bank).unwrap()
+        });
+        assert_counts_match(&counts, &weights);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn selected_index_is_always_nonzero_weight(
+            weights in proptest::collection::vec(0u32..100, 1..40),
+            seed in 0u64..1000,
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            if let Some(i) = select_f64(weights.iter().copied(), &mut rng) {
+                proptest::prop_assert!(weights[i] > 0);
+            } else {
+                proptest::prop_assert!(weights.iter().all(|&w| w == 0));
+            }
+            let mut bank = StreamBank::new(seed, 1);
+            if let Some(i) = select_integer(weights.iter().copied(), &mut bank) {
+                proptest::prop_assert!(weights[i] > 0);
+            } else {
+                proptest::prop_assert!(weights.iter().all(|&w| w == 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Walk applications: the dynamic weight update functions.
+//!
+//! A GDRW recalibrates transition probabilities at every step with an
+//! application-specific function `F` over the static edge weight and the
+//! walker's state (paper §2.1). Engines call [`WalkApp::weight`] once per
+//! candidate neighbor per step; the returned `u32` fixed-point weight
+//! feeds whichever sampler the engine uses.
+
+use lightrw_graph::VertexId;
+
+/// Fractional bits of the fixed-point dynamic weight representation.
+///
+/// Static weights are small integers (the paper initializes them uniformly
+/// at random, §6.1.4; ours are ≤ 64); 16 fractional bits leave 16 integer
+/// bits of headroom and make Node2Vec's `1/p`, `1/q` scalings exact to
+/// ~1.5e-5 — far below any observable sampling effect.
+pub const FX_FRAC_BITS: u32 = 16;
+
+/// Fixed-point one.
+pub const FX_ONE: u32 = 1 << FX_FRAC_BITS;
+
+/// Convert a reciprocal scaling `1/x` to a fixed-point multiplier.
+pub fn fx_recip(x: f64) -> u32 {
+    assert!(x > 0.0 && x.is_finite(), "scaling parameter must be positive");
+    let m = (FX_ONE as f64 / x).round();
+    assert!(m >= 1.0, "scaling parameter {x} too large for fixed point");
+    assert!(m <= u32::MAX as f64, "scaling parameter {x} too small for fixed point");
+    m as u32
+}
+
+/// Scale an *integer* static weight by a 16-frac multiplier, producing a
+/// 16-frac fixed-point dynamic weight (so `fx_scale(w, FX_ONE) == w << 16`,
+/// on the same scale as the unscaled `w << FX_FRAC_BITS` branches).
+/// Saturates instead of overflowing.
+#[inline]
+pub fn fx_scale(w_static: u32, mult: u32) -> u32 {
+    (w_static as u64 * mult as u64).min(u32::MAX as u64) as u32
+}
+
+/// Everything a weight update function may inspect about the current step —
+/// the walker state `V_{t-1}` of the paper, reduced to what the two
+/// evaluated applications actually read (step index + previous vertex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepContext {
+    /// Zero-based step index `t`.
+    pub step: u32,
+    /// Current vertex `a_t`.
+    pub cur: VertexId,
+    /// Previously traversed vertex `a_{t-1}` (None on the first step).
+    pub prev: Option<VertexId>,
+}
+
+/// The application-specific weight update function `F` (paper §2.1).
+///
+/// Implementations must be pure: the same inputs must give the same
+/// weight, because the accelerator evaluates them in a stateless pipelined
+/// Weight Updater unit.
+pub trait WalkApp: Send + Sync {
+    /// Application name for reports ("MetaPath", "Node2Vec", ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether [`WalkApp::weight`] reads `prev_is_neighbor` — i.e. whether
+    /// engines must intersect `N(a_t)` with `N(a_{t-1})` before updating
+    /// weights. True only for second-order walks (Node2Vec). Drives the
+    /// extra `row_index`/`col_index` traffic the paper observes for
+    /// Node2Vec (§6.4).
+    fn second_order(&self) -> bool;
+
+    /// Dynamic sampling weight `w^t_{a,b}` of moving to neighbor `nbr`.
+    ///
+    /// * `w_static` — the static edge weight `w*` from the CSR image;
+    /// * `relation` — the edge label `R(a,b)` (0 when untyped);
+    /// * `prev_is_neighbor` — whether `(a_{t-1}, nbr) ∈ E`; engines only
+    ///   need to compute it when [`WalkApp::second_order`] is true.
+    fn weight(
+        &self,
+        ctx: StepContext,
+        nbr: VertexId,
+        w_static: u32,
+        relation: u8,
+        prev_is_neighbor: bool,
+    ) -> u32;
+}
+
+/// MetaPath random walk (paper Eq. 1): follow a fixed relation sequence;
+/// an edge keeps its static weight iff its relation matches the current
+/// position of the relation path, otherwise weight 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaPath {
+    relation_path: Vec<u8>,
+}
+
+impl MetaPath {
+    /// Create from a non-empty relation path `R = R_1, R_2, …`.
+    /// Steps beyond the path length wrap around (the common "repeated
+    /// metapath" convention, which lets query length exceed path length).
+    pub fn new(relation_path: Vec<u8>) -> Self {
+        assert!(!relation_path.is_empty(), "relation path must be non-empty");
+        Self { relation_path }
+    }
+
+    /// The relation expected at step `t`.
+    #[inline]
+    pub fn relation_at(&self, step: u32) -> u8 {
+        self.relation_path[step as usize % self.relation_path.len()]
+    }
+
+    /// Length of the relation path.
+    pub fn path_len(&self) -> usize {
+        self.relation_path.len()
+    }
+}
+
+impl WalkApp for MetaPath {
+    fn name(&self) -> &'static str {
+        "MetaPath"
+    }
+
+    fn second_order(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn weight(
+        &self,
+        ctx: StepContext,
+        _nbr: VertexId,
+        w_static: u32,
+        relation: u8,
+        _prev_is_neighbor: bool,
+    ) -> u32 {
+        if relation == self.relation_at(ctx.step) {
+            // Promote the static weight to fixed point (Eq. 1a).
+            w_static << FX_FRAC_BITS
+        } else {
+            0 // Eq. 1b: relation mismatch — never sampled this step.
+        }
+    }
+}
+
+/// Node2Vec second-order walk (paper Eq. 2) with return parameter `p` and
+/// in-out parameter `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node2Vec {
+    /// Fixed-point multiplier for `1/p`.
+    inv_p: u32,
+    /// Fixed-point multiplier for `1/q`.
+    inv_q: u32,
+}
+
+impl Node2Vec {
+    /// Create with hyperparameters `p` (return) and `q` (in-out). The
+    /// paper's evaluation uses `p = 2, q = 0.5` (§6.1.4).
+    pub fn new(p: f64, q: f64) -> Self {
+        Self {
+            inv_p: fx_recip(p),
+            inv_q: fx_recip(q),
+        }
+    }
+
+    /// The paper's evaluation configuration (`p = 2`, `q = 0.5`).
+    pub fn paper_params() -> Self {
+        Self::new(2.0, 0.5)
+    }
+}
+
+impl WalkApp for Node2Vec {
+    fn name(&self) -> &'static str {
+        "Node2Vec"
+    }
+
+    fn second_order(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn weight(
+        &self,
+        ctx: StepContext,
+        nbr: VertexId,
+        w_static: u32,
+        _relation: u8,
+        prev_is_neighbor: bool,
+    ) -> u32 {
+        match ctx.prev {
+            // First step: no previous vertex; Node2Vec degenerates to a
+            // static weighted step (standard convention, matches the
+            // original node2vec implementation).
+            None => w_static << FX_FRAC_BITS,
+            Some(prev) => {
+                if nbr == prev {
+                    fx_scale(w_static, self.inv_p) // Eq. 2a: return edge
+                } else if prev_is_neighbor {
+                    w_static << FX_FRAC_BITS // Eq. 2b: distance-1 edge
+                } else {
+                    fx_scale(w_static, self.inv_q) // Eq. 2c: distance-2 edge
+                }
+            }
+        }
+    }
+}
+
+/// Unbiased random walk: every neighbor weight 1 (DeepWalk-style). Used as
+/// the no-dynamic-weight control in ablation benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Uniform;
+
+impl WalkApp for Uniform {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn second_order(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn weight(&self, _: StepContext, _: VertexId, _: u32, _: u8, _: bool) -> u32 {
+        FX_ONE
+    }
+}
+
+/// Static biased walk: transition probability proportional to the constant
+/// edge weight (no per-step recalibration) — the "static random walk"
+/// class of §2.1, used as a control.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticWeighted;
+
+impl WalkApp for StaticWeighted {
+    fn name(&self) -> &'static str {
+        "StaticWeighted"
+    }
+
+    fn second_order(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn weight(&self, _: StepContext, _: VertexId, w_static: u32, _: u8, _: bool) -> u32 {
+        w_static << FX_FRAC_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(step: u32, cur: VertexId, prev: Option<VertexId>) -> StepContext {
+        StepContext { step, cur, prev }
+    }
+
+    #[test]
+    fn fx_recip_known_values() {
+        assert_eq!(fx_recip(1.0), FX_ONE);
+        assert_eq!(fx_recip(2.0), FX_ONE / 2);
+        assert_eq!(fx_recip(0.5), FX_ONE * 2);
+        assert_eq!(fx_recip(4.0), FX_ONE / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fx_recip_rejects_zero() {
+        fx_recip(0.0);
+    }
+
+    #[test]
+    fn fx_scale_is_multiplicative() {
+        assert_eq!(fx_scale(10, FX_ONE), 10 << FX_FRAC_BITS);
+        assert_eq!(fx_scale(10, FX_ONE / 2), 5 << FX_FRAC_BITS);
+        assert_eq!(fx_scale(10, FX_ONE * 2), 20 << FX_FRAC_BITS);
+        assert_eq!(fx_scale(3, FX_ONE / 2), (3 << FX_FRAC_BITS) / 2);
+        assert_eq!(fx_scale(u32::MAX, FX_ONE * 2), u32::MAX); // saturation
+    }
+
+    #[test]
+    fn metapath_matches_relation_sequence() {
+        let mp = MetaPath::new(vec![0, 1, 2]);
+        // Step 0 expects relation 0.
+        assert_eq!(mp.weight(ctx(0, 0, None), 1, 5, 0, false), 5 << FX_FRAC_BITS);
+        assert_eq!(mp.weight(ctx(0, 0, None), 1, 5, 1, false), 0);
+        // Step 1 expects relation 1.
+        assert_eq!(mp.weight(ctx(1, 0, None), 1, 5, 1, false), 5 << FX_FRAC_BITS);
+        // Wraps after the path ends: step 3 expects relation 0 again.
+        assert_eq!(mp.weight(ctx(3, 0, None), 1, 5, 0, false), 5 << FX_FRAC_BITS);
+        assert!(!mp.second_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn metapath_rejects_empty_path() {
+        MetaPath::new(vec![]);
+    }
+
+    #[test]
+    fn node2vec_return_edge_scaled_by_inv_p() {
+        let nv = Node2Vec::new(2.0, 0.5);
+        // Neighbor == prev → w/p = w/2.
+        let w = nv.weight(ctx(1, 5, Some(3)), 3, 8, 0, true);
+        assert_eq!(w, (8 << FX_FRAC_BITS) / 2);
+    }
+
+    #[test]
+    fn node2vec_common_neighbor_keeps_weight() {
+        let nv = Node2Vec::new(2.0, 0.5);
+        let w = nv.weight(ctx(1, 5, Some(3)), 7, 8, 0, true);
+        assert_eq!(w, 8 << FX_FRAC_BITS);
+    }
+
+    #[test]
+    fn node2vec_far_neighbor_scaled_by_inv_q() {
+        let nv = Node2Vec::new(2.0, 0.5);
+        // 1/q = 2 → w*2.
+        let w = nv.weight(ctx(1, 5, Some(3)), 7, 8, 0, false);
+        assert_eq!(w, (8 << FX_FRAC_BITS) * 2);
+    }
+
+    #[test]
+    fn node2vec_first_step_is_static() {
+        let nv = Node2Vec::new(2.0, 0.5);
+        assert_eq!(nv.weight(ctx(0, 5, None), 7, 8, 0, false), 8 << FX_FRAC_BITS);
+        assert!(nv.second_order());
+    }
+
+    #[test]
+    fn node2vec_paper_params() {
+        assert_eq!(Node2Vec::paper_params(), Node2Vec::new(2.0, 0.5));
+    }
+
+    #[test]
+    fn uniform_ignores_everything() {
+        let u = Uniform;
+        assert_eq!(u.weight(ctx(3, 1, Some(0)), 9, 55, 3, true), FX_ONE);
+        assert_eq!(u.weight(ctx(0, 0, None), 0, 0, 0, false), FX_ONE);
+    }
+
+    #[test]
+    fn static_weighted_passes_through() {
+        let s = StaticWeighted;
+        assert_eq!(s.weight(ctx(2, 1, Some(0)), 9, 7, 3, true), 7 << FX_FRAC_BITS);
+    }
+}

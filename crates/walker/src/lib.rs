@@ -1,0 +1,38 @@
+//! # lightrw-walker — graph dynamic random walk definitions
+//!
+//! The application layer of the reproduction: what a GDRW *is*, independent
+//! of which engine (CPU baseline, reference, or simulated accelerator)
+//! executes it.
+//!
+//! - [`app`] defines the [`app::WalkApp`] trait — the paper's
+//!   application-specific weight update function `F` (§2.1) — and the two
+//!   evaluated applications: [`app::MetaPath`] (Eq. 1) and
+//!   [`app::Node2Vec`] (Eq. 2), plus [`app::Uniform`] and
+//!   [`app::StaticWeighted`] baselines for ablations.
+//! - [`query`] builds the paper's workloads: one query per non-isolated
+//!   vertex, shuffled (§6.1.4).
+//! - [`membership`] provides the sorted-adjacency intersection Node2Vec's
+//!   second-order weight rule needs (`(a_{t-1}, b) ∈ E`).
+//! - [`crate::reference`] is a simple sequential engine over any sampler — the
+//!   correctness oracle every other engine is tested against.
+//! - [`path`] stores walk outputs compactly and checks their validity.
+//!
+//! ## Fixed-point weights
+//!
+//! Dynamic weights are `u32` fixed-point values (16 fractional bits, see
+//! [`app::FX_FRAC_BITS`]) because the accelerator's acceptance test
+//! (Eq. 8) is integer. Node2Vec's `1/p` and `1/q` scalings become constant
+//! multipliers, exactly as a hardware Weight Updater would implement them.
+
+pub mod app;
+pub mod corpus_io;
+pub mod membership;
+pub mod path;
+pub mod query;
+pub mod reference;
+pub mod stats;
+
+pub use app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp};
+pub use path::WalkResults;
+pub use query::{Query, QuerySet};
+pub use reference::{AnySampler, ReferenceEngine, SamplerKind};

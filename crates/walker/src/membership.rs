@@ -1,0 +1,93 @@
+//! Sorted-adjacency intersection for second-order walks.
+//!
+//! Node2Vec's Eq. 2b needs `(a_{t-1}, b) ∈ E` for every candidate neighbor
+//! `b ∈ N(a_t)`. Because CSR adjacency lists are sorted, a single
+//! merge-join over `N(a_t)` and `N(a_{t-1})` answers all candidates in
+//! `O(|N(a_t)| + |N(a_{t-1})|)` — this is also how the accelerator's
+//! Weight Updater consumes the two neighbor streams, and why Node2Vec
+//! issues extra `row_index`/`col_index` traffic in the memory model.
+
+use lightrw_graph::{Graph, VertexId};
+
+/// Fill `mask[i] = (prev, N(cur)[i]) ∈ E` by merge-joining the two sorted
+/// adjacency lists. `mask` is resized to `deg(cur)`.
+pub fn common_neighbor_mask(g: &Graph, cur: VertexId, prev: VertexId, mask: &mut Vec<bool>) {
+    let cand = g.neighbors(cur);
+    let prev_adj = g.neighbors(prev);
+    mask.clear();
+    mask.resize(cand.len(), false);
+    let mut j = 0usize;
+    for (i, &b) in cand.iter().enumerate() {
+        while j < prev_adj.len() && prev_adj[j] < b {
+            j += 1;
+        }
+        if j < prev_adj.len() && prev_adj[j] == b {
+            mask[i] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::GraphBuilder;
+
+    fn fixture() -> Graph {
+        // 0-1, 0-2, 0-3, 1-2, 3-4 undirected.
+        GraphBuilder::undirected()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (3, 4)])
+            .build()
+    }
+
+    #[test]
+    fn mask_matches_binary_search() {
+        let g = fixture();
+        let mut mask = Vec::new();
+        for cur in 0..5u32 {
+            for prev in 0..5u32 {
+                common_neighbor_mask(&g, cur, prev, &mut mask);
+                let cand = g.neighbors(cur);
+                assert_eq!(mask.len(), cand.len());
+                for (i, &b) in cand.iter().enumerate() {
+                    assert_eq!(
+                        mask[i],
+                        g.has_edge(prev, b),
+                        "cur={cur} prev={prev} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let g = GraphBuilder::directed().num_vertices(3).edge(0, 1).build();
+        let mut mask = vec![true; 4];
+        common_neighbor_mask(&g, 2, 0, &mut mask);
+        assert!(mask.is_empty());
+    }
+
+    #[test]
+    fn prev_with_no_neighbors() {
+        let g = GraphBuilder::directed().num_vertices(3).edge(0, 1).build();
+        let mut mask = Vec::new();
+        common_neighbor_mask(&g, 0, 2, &mut mask);
+        assert_eq!(mask, vec![false]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn merge_join_equals_has_edge(seed in 0u64..50) {
+            let g = lightrw_graph::generators::rmat(7, 4, seed);
+            let mut mask = Vec::new();
+            // Sample a handful of (cur, prev) pairs per case.
+            for cur in (0..g.num_vertices() as u32).step_by(17) {
+                let prev = (cur * 31 + 7) % g.num_vertices() as u32;
+                common_neighbor_mask(&g, cur, prev, &mut mask);
+                for (i, &b) in g.neighbors(cur).iter().enumerate() {
+                    proptest::prop_assert_eq!(mask[i], g.has_edge(prev, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Compact storage and validation of walk outputs.
+//!
+//! A workload of |V| queries × 80 steps produces a lot of path data; we
+//! store all paths in one CSR-like (offsets, vertices) pair instead of a
+//! `Vec<Vec<_>>`, mirroring how the accelerator streams results back over
+//! PCIe as one contiguous buffer.
+
+use crate::app::{StepContext, WalkApp};
+use lightrw_graph::{Graph, VertexId};
+
+/// All result paths of a query set, indexed by query id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalkResults {
+    offsets: Vec<u64>,
+    verts: Vec<VertexId>,
+}
+
+impl WalkResults {
+    /// Empty result set; paths are appended in query-id order.
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            verts: Vec::new(),
+        }
+    }
+
+    /// Pre-size for `queries` paths of about `expected_len` vertices.
+    pub fn with_capacity(queries: usize, expected_len: usize) -> Self {
+        let mut offsets = Vec::with_capacity(queries + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            verts: Vec::with_capacity(queries * expected_len),
+        }
+    }
+
+    /// Append the next query's path.
+    pub fn push_path(&mut self, path: &[VertexId]) {
+        self.verts.extend_from_slice(path);
+        self.offsets.push(self.verts.len() as u64);
+    }
+
+    /// Begin a path in place: push vertices with [`WalkResults::push_vertex`],
+    /// then seal with [`WalkResults::end_path`].
+    pub fn push_vertex(&mut self, v: VertexId) {
+        self.verts.push(v);
+    }
+
+    /// Seal the in-progress path.
+    pub fn end_path(&mut self) {
+        self.offsets.push(self.verts.len() as u64);
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no paths are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The path of query `id`.
+    pub fn path(&self, id: usize) -> &[VertexId] {
+        &self.verts[self.offsets[id] as usize..self.offsets[id + 1] as usize]
+    }
+
+    /// Iterate all paths.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
+        (0..self.len()).map(move |i| self.path(i))
+    }
+
+    /// Total steps actually taken (excludes each path's starting vertex) —
+    /// the numerator of the steps/second throughput metric.
+    pub fn total_steps(&self) -> u64 {
+        self.verts.len() as u64 - self.len() as u64
+    }
+
+    /// Result buffer size in bytes (what travels back over PCIe).
+    pub fn result_bytes(&self) -> u64 {
+        (self.verts.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+}
+
+/// Why a path failed validation — see [`validate_path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathViolation {
+    /// The path is empty (every query emits at least its start vertex).
+    Empty,
+    /// Consecutive vertices are not connected in the graph.
+    NotAnEdge { step: u32, from: VertexId, to: VertexId },
+    /// The edge exists but its dynamic weight was zero at that step, so it
+    /// could never have been sampled.
+    ZeroWeightStep { step: u32, from: VertexId, to: VertexId },
+}
+
+/// Check that `path` is a valid realization of `app` on `g`: every hop is
+/// a real edge whose dynamic weight at that step was non-zero. This is the
+/// correctness oracle every engine's output is run through in tests.
+pub fn validate_path(g: &Graph, app: &dyn WalkApp, path: &[VertexId]) -> Result<(), PathViolation> {
+    if path.is_empty() {
+        return Err(PathViolation::Empty);
+    }
+    let mut prev: Option<VertexId> = None;
+    for (i, w) in path.windows(2).enumerate() {
+        let (from, to) = (w[0], w[1]);
+        let adj = g.neighbors(from);
+        let pos = match adj.binary_search(&to) {
+            Ok(p) => p,
+            Err(_) => {
+                return Err(PathViolation::NotAnEdge {
+                    step: i as u32,
+                    from,
+                    to,
+                })
+            }
+        };
+        let w_static = g.neighbor_weights(from)[pos];
+        let relation = g
+            .neighbor_relations(from)
+            .get(pos)
+            .copied()
+            .unwrap_or(0);
+        let prev_is_neighbor = prev.map(|p| g.has_edge(p, to)).unwrap_or(false);
+        let ctx = StepContext {
+            step: i as u32,
+            cur: from,
+            prev,
+        };
+        if app.weight(ctx, to, w_static, relation, prev_is_neighbor) == 0 {
+            return Err(PathViolation::ZeroWeightStep {
+                step: i as u32,
+                from,
+                to,
+            });
+        }
+        prev = Some(from);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{MetaPath, Uniform};
+    use lightrw_graph::GraphBuilder;
+
+    #[test]
+    fn push_and_read_paths() {
+        let mut r = WalkResults::new();
+        r.push_path(&[1, 2, 3]);
+        r.push_path(&[4]);
+        r.push_path(&[5, 6]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.path(0), &[1, 2, 3]);
+        assert_eq!(r.path(1), &[4]);
+        assert_eq!(r.path(2), &[5, 6]);
+        assert_eq!(r.total_steps(), 3); // 2 + 0 + 1
+        assert_eq!(r.result_bytes(), 6 * 4);
+    }
+
+    #[test]
+    fn incremental_path_building() {
+        let mut r = WalkResults::new();
+        r.push_vertex(7);
+        r.push_vertex(8);
+        r.end_path();
+        r.push_vertex(9);
+        r.end_path();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.path(0), &[7, 8]);
+        assert_eq!(r.path(1), &[9]);
+    }
+
+    #[test]
+    fn iter_visits_all_paths() {
+        let mut r = WalkResults::with_capacity(2, 2);
+        r.push_path(&[0, 1]);
+        r.push_path(&[2, 3]);
+        let v: Vec<Vec<u32>> = r.iter().map(|p| p.to_vec()).collect();
+        assert_eq!(v, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn validate_accepts_real_walk() {
+        let g = GraphBuilder::undirected().edges([(0, 1), (1, 2)]).build();
+        assert_eq!(validate_path(&g, &Uniform, &[0, 1, 2, 1, 0]), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_non_edge() {
+        let g = GraphBuilder::undirected().edges([(0, 1), (1, 2)]).build();
+        assert_eq!(
+            validate_path(&g, &Uniform, &[0, 2]),
+            Err(PathViolation::NotAnEdge {
+                step: 0,
+                from: 0,
+                to: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_weight_hop() {
+        // Edge (0,1) has relation 1 but the MetaPath expects relation 0 at
+        // step 0 → the hop could never be sampled.
+        let g = GraphBuilder::undirected().labeled_edge(0, 1, 1, 1).build();
+        let mp = MetaPath::new(vec![0]);
+        assert_eq!(
+            validate_path(&g, &mp, &[0, 1]),
+            Err(PathViolation::ZeroWeightStep {
+                step: 0,
+                from: 0,
+                to: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let g = GraphBuilder::undirected().edge(0, 1).build();
+        assert_eq!(validate_path(&g, &Uniform, &[]), Err(PathViolation::Empty));
+    }
+
+    #[test]
+    fn single_vertex_path_is_valid() {
+        let g = GraphBuilder::undirected().edge(0, 1).build();
+        assert_eq!(validate_path(&g, &Uniform, &[1]), Ok(()));
+    }
+}

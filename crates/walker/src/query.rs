@@ -1,0 +1,166 @@
+//! Random walk queries and workload construction.
+//!
+//! The paper's workload (§6.1.4): one query per vertex with non-zero
+//! degree, each with a unique starting vertex, shuffled; query length 5
+//! for MetaPath and 80 for Node2Vec.
+
+use lightrw_graph::{Graph, VertexId};
+use lightrw_rng::{Rng, SplitMix64};
+
+/// One random walk query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Stable query id (index into the result set).
+    pub id: u32,
+    /// Starting vertex.
+    pub start: VertexId,
+    /// Requested number of steps (result path has `length + 1` vertices
+    /// unless the walk dead-ends early).
+    pub length: u32,
+}
+
+/// A set of queries plus the workload metadata the harnesses report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySet {
+    queries: Vec<Query>,
+}
+
+impl QuerySet {
+    /// The paper's standard workload: one query per non-isolated vertex,
+    /// shuffled deterministically by `seed` (ThunderRW's query shuffling,
+    /// §6.1.4).
+    pub fn per_nonisolated_vertex(g: &Graph, length: u32, seed: u64) -> Self {
+        let mut starts = g.non_isolated_vertices();
+        let mut rng = SplitMix64::new(seed);
+        rng.shuffle(&mut starts);
+        Self::from_starts(starts, length)
+    }
+
+    /// A capped workload: `n` queries with distinct starting vertices drawn
+    /// from the non-isolated set (cycling if `n` exceeds it) — used by the
+    /// query-count sensitivity sweep (Fig. 16).
+    pub fn n_queries(g: &Graph, n: usize, length: u32, seed: u64) -> Self {
+        let mut starts = g.non_isolated_vertices();
+        assert!(!starts.is_empty(), "graph has no non-isolated vertices");
+        let mut rng = SplitMix64::new(seed);
+        rng.shuffle(&mut starts);
+        let starts: Vec<VertexId> = (0..n).map(|i| starts[i % starts.len()]).collect();
+        Self::from_starts(starts, length)
+    }
+
+    /// Build directly from explicit starting vertices.
+    pub fn from_starts(starts: Vec<VertexId>, length: u32) -> Self {
+        let queries = starts
+            .into_iter()
+            .enumerate()
+            .map(|(id, start)| Query {
+                id: id as u32,
+                start,
+                length,
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// The queries in execution order.
+    #[inline]
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Total requested steps (the denominator of the paper's steps/second
+    /// throughput metric, Figs. 16–17).
+    pub fn total_steps(&self) -> u64 {
+        self.queries.iter().map(|q| q.length as u64).sum()
+    }
+
+    /// Split round-robin across `n` partitions — how the multi-instance
+    /// deployment distributes queries evenly over accelerator instances
+    /// (§6.1.5).
+    pub fn partition(&self, n: usize) -> Vec<QuerySet> {
+        assert!(n >= 1);
+        let mut parts: Vec<Vec<Query>> = vec![Vec::new(); n];
+        for (i, q) in self.queries.iter().enumerate() {
+            parts[i % n].push(*q);
+        }
+        parts.into_iter().map(|queries| QuerySet { queries }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::{generators, GraphBuilder};
+
+    #[test]
+    fn per_vertex_workload_covers_every_nonisolated_vertex() {
+        let g = generators::rmat(8, 4, 1);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 42);
+        assert_eq!(qs.len(), g.non_isolated_vertices().len());
+        let mut starts: Vec<u32> = qs.queries().iter().map(|q| q.start).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, g.non_isolated_vertices());
+        assert_eq!(qs.total_steps(), 5 * qs.len() as u64);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_seed_sensitive() {
+        let g = generators::rmat(8, 4, 1);
+        let a = QuerySet::per_nonisolated_vertex(&g, 5, 42);
+        let b = QuerySet::per_nonisolated_vertex(&g, 5, 42);
+        let c = QuerySet::per_nonisolated_vertex(&g, 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn isolated_vertices_excluded() {
+        let g = GraphBuilder::directed().num_vertices(10).edge(0, 1).build();
+        let qs = QuerySet::per_nonisolated_vertex(&g, 3, 1);
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs.queries()[0].start, 0);
+    }
+
+    #[test]
+    fn n_queries_cycles_when_oversubscribed() {
+        let g = GraphBuilder::directed().edges([(0, 1), (1, 0)]).build();
+        let qs = QuerySet::n_queries(&g, 5, 2, 9);
+        assert_eq!(qs.len(), 5);
+        for q in qs.queries() {
+            assert!(q.start <= 1);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let qs = QuerySet::from_starts(vec![3, 1, 2], 4);
+        let ids: Vec<u32> = qs.queries().iter().map(|q| q.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        let qs = QuerySet::from_starts((0..10).collect(), 4);
+        let parts = qs.partition(4);
+        assert_eq!(parts.len(), 4);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let mut all: Vec<u32> = parts
+            .iter()
+            .flat_map(|p| p.queries().iter().map(|q| q.start))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,176 @@
+//! Walk-outcome analytics.
+//!
+//! Besides engine-health metrics (dead-end rate, coverage), this module
+//! empirically checks the theory behind the degree-aware cache (paper
+//! §5.1): the probability of a vertex being traversed follows a
+//! stationary distribution with `Pr[v] = Ω(N(v))` — visit frequency grows
+//! with degree. [`degree_visit_correlation`] measures exactly that on real
+//! walk output, which is what justifies degree-based replacement.
+
+use crate::path::WalkResults;
+use lightrw_graph::{Graph, VertexId};
+
+/// Aggregate statistics over a result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkStats {
+    /// Number of walks.
+    pub walks: usize,
+    /// Steps actually taken.
+    pub steps: u64,
+    /// Fraction of walks that ended before their requested length
+    /// (dead ends: no neighbor or all dynamic weights zero).
+    pub dead_end_rate: f64,
+    /// Distinct vertices visited / total vertices.
+    pub coverage: f64,
+    /// Mean path length (vertices per walk).
+    pub mean_length: f64,
+}
+
+/// Compute [`WalkStats`] for walks of requested length `requested`.
+pub fn walk_stats(g: &Graph, results: &WalkResults, requested: u32) -> WalkStats {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut dead = 0usize;
+    let mut total_len = 0u64;
+    for p in results.iter() {
+        total_len += p.len() as u64;
+        if (p.len() as u32) < requested + 1 {
+            dead += 1;
+        }
+        for &v in p {
+            visited[v as usize] = true;
+        }
+    }
+    let walks = results.len();
+    WalkStats {
+        walks,
+        steps: results.total_steps(),
+        dead_end_rate: if walks == 0 { 0.0 } else { dead as f64 / walks as f64 },
+        coverage: visited.iter().filter(|&&b| b).count() as f64 / g.num_vertices().max(1) as f64,
+        mean_length: if walks == 0 {
+            0.0
+        } else {
+            total_len as f64 / walks as f64
+        },
+    }
+}
+
+/// Per-vertex visit counts over a result set.
+pub fn visit_counts(g: &Graph, results: &WalkResults) -> Vec<u64> {
+    let mut counts = vec![0u64; g.num_vertices()];
+    for p in results.iter() {
+        for &v in p {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Pearson correlation between vertex degree and visit count — the
+/// empirical check of the paper's Eq. 9–11 analysis. Strongly positive on
+/// any graph with degree spread.
+pub fn degree_visit_correlation(g: &Graph, results: &WalkResults) -> f64 {
+    let counts = visit_counts(g, results);
+    let degrees: Vec<f64> = (0..g.num_vertices() as VertexId)
+        .map(|v| g.degree(v) as f64)
+        .collect();
+    let visits: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    lightrw_rng::stats::pearson(&degrees, &visits)
+}
+
+/// Share of all visits landing on the `top` highest-degree vertices — the
+/// quantity a degree-aware cache of `top` entries can theoretically serve.
+pub fn top_degree_visit_share(g: &Graph, results: &WalkResults, top: usize) -> f64 {
+    let counts = visit_counts(g, results);
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let hot: u64 = order
+        .iter()
+        .take(top)
+        .map(|&v| counts[v as usize])
+        .sum();
+    hot as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{StaticWeighted, Uniform};
+    use crate::query::QuerySet;
+    use crate::reference::{ReferenceEngine, SamplerKind};
+    use lightrw_graph::{generators, GraphBuilder};
+
+    fn run_uniform(g: &Graph, len: u32) -> WalkResults {
+        let qs = QuerySet::per_nonisolated_vertex(g, len, 3);
+        ReferenceEngine::new(g, &Uniform, SamplerKind::SequentialWrs, 7).run(&qs)
+    }
+
+    #[test]
+    fn stats_on_complete_graph_have_no_dead_ends() {
+        let g = generators::complete(12);
+        let res = run_uniform(&g, 10);
+        let s = walk_stats(&g, &res, 10);
+        assert_eq!(s.walks, 12);
+        assert_eq!(s.dead_end_rate, 0.0);
+        assert_eq!(s.mean_length, 11.0);
+        assert_eq!(s.coverage, 1.0);
+        assert_eq!(s.steps, 120);
+    }
+
+    #[test]
+    fn dead_ends_detected_on_dag() {
+        // Directed path: every walk longer than the remaining suffix dead-ends.
+        let g = GraphBuilder::directed().edges([(0, 1), (1, 2)]).build();
+        let qs = QuerySet::from_starts(vec![0, 1], 5);
+        let res = ReferenceEngine::new(&g, &Uniform, SamplerKind::SequentialWrs, 1).run(&qs);
+        let s = walk_stats(&g, &res, 5);
+        assert_eq!(s.dead_end_rate, 1.0);
+    }
+
+    #[test]
+    fn visits_correlate_with_degree_on_skewed_graphs() {
+        // The §5.1 claim: stationary visit frequency grows with degree.
+        let g = generators::rmat_dataset(11, 5);
+        let res = run_uniform(&g, 20);
+        let r = degree_visit_correlation(&g, &res);
+        assert!(r > 0.5, "degree-visit correlation only {r:.3}");
+    }
+
+    #[test]
+    fn static_weighted_walks_also_favor_hubs() {
+        let g = generators::rmat_dataset(10, 9);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 20, 5);
+        let res =
+            ReferenceEngine::new(&g, &StaticWeighted, SamplerKind::ParallelWrs { k: 8 }, 2)
+                .run(&qs);
+        let r = degree_visit_correlation(&g, &res);
+        assert!(r > 0.5, "correlation {r:.3}");
+    }
+
+    #[test]
+    fn top_degree_vertices_capture_visit_mass() {
+        // A cache-sized set of hub vertices must absorb far more than its
+        // population share of visits — the DAC's raison d'être.
+        let g = generators::rmat_dataset(12, 4);
+        let res = run_uniform(&g, 10);
+        let top = g.num_vertices() / 16;
+        let share = top_degree_visit_share(&g, &res, top);
+        assert!(
+            share > 3.0 * (top as f64 / g.num_vertices() as f64),
+            "top-{top} share {share:.3} not concentrated"
+        );
+    }
+
+    #[test]
+    fn no_visits_is_zero_share() {
+        let g = generators::ring(8, 1);
+        let empty = WalkResults::new();
+        assert_eq!(top_degree_visit_share(&g, &empty, 4), 0.0);
+        let s = walk_stats(&g, &empty, 5);
+        assert_eq!(s.walks, 0);
+        assert_eq!(s.mean_length, 0.0);
+    }
+}

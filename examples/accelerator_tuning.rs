@@ -1,0 +1,91 @@
+//! Design-space exploration: tune the accelerator configuration for a
+//! workload and check it still fits the board.
+//!
+//! ```text
+//! cargo run --release --example accelerator_tuning
+//! ```
+//!
+//! Sweeps the three configuration axes the paper evaluates — WRS
+//! parallelism `k` (Fig. 10a), dynamic burst strategy (Fig. 12) and row
+//! cache size (Fig. 11) — on one workload, reporting simulated runtime
+//! next to the resource-model cost of each point. This is the
+//! "capacity-planning" workflow a LightRW user would run before synthesis.
+
+use lightrw::platform::AppKind;
+use lightrw::prelude::*;
+use lightrw::resources;
+
+fn main() {
+    let graph = DatasetProfile::orkut().stand_in(13, 5);
+    let app = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let queries = QuerySet::per_nonisolated_vertex(&graph, 5, 9);
+    println!(
+        "workload: MetaPath x{} queries on an orkut-like graph ({} edges)\n",
+        queries.len(),
+        graph.num_edges()
+    );
+
+    let base = LightRwConfig::single_instance();
+    let run = |cfg: LightRwConfig| {
+        let sim = LightRwSim::new(&graph, &app, cfg).run(&queries);
+        let res = resources::estimate(&cfg, AppKind::MetaPath);
+        (sim, res)
+    };
+
+    println!("-- WRS parallelism k (burst b1+b32, cache 2^12) --");
+    println!("{:<6} {:>12} {:>14} {:>8} {:>8}", "k", "cycles", "Msteps/s(sim)", "LUT%", "DSP%");
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let (sim, res) = run(LightRwConfig { k, ..base });
+        println!(
+            "{:<6} {:>12} {:>14.2} {:>8.2} {:>8.2}",
+            k,
+            sim.cycles,
+            sim.steps_per_sec() / 1e6,
+            res.luts_pct,
+            res.dsps_pct
+        );
+    }
+
+    println!("\n-- dynamic burst strategy (k=16) --");
+    println!("{:<8} {:>12} {:>10} {:>12}", "strategy", "cycles", "speedup", "valid data");
+    let baseline = run(LightRwConfig {
+        burst: BurstConfig::short_only(),
+        ..base
+    })
+    .0;
+    for long in [0u64, 2, 8, 16, 32, 64] {
+        let cfg = LightRwConfig {
+            burst: if long == 0 {
+                BurstConfig::short_only()
+            } else {
+                BurstConfig::with_long(long)
+            },
+            ..base
+        };
+        let (sim, _) = run(cfg);
+        println!(
+            "{:<8} {:>12} {:>9.2}x {:>11.1}%",
+            cfg.burst.name(),
+            sim.cycles,
+            baseline.cycles as f64 / sim.cycles as f64,
+            sim.dram_total().valid_ratio() * 100.0
+        );
+    }
+
+    println!("\n-- row cache size (k=16, b1+b32) --");
+    println!("{:<10} {:>12} {:>10} {:>8}", "entries", "cycles", "hit rate", "BRAM%");
+    for bits in [8u32, 10, 12, 14, 16] {
+        let (sim, res) = run(LightRwConfig {
+            cache_index_bits: bits,
+            ..base
+        });
+        println!(
+            "2^{bits:<8} {:>12} {:>9.1}% {:>8.2}",
+            sim.cycles,
+            sim.cache_total().hit_ratio() * 100.0,
+            res.brams_pct
+        );
+    }
+
+    println!("\npaper configuration (k=16, b1+b32, 2^12) balances all three axes.");
+}

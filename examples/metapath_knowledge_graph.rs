@@ -1,0 +1,87 @@
+//! MetaPath random walks on a heterogeneous bibliographic graph.
+//!
+//! ```text
+//! cargo run --release --example metapath_knowledge_graph
+//! ```
+//!
+//! The motivating use case of MetaPath (paper §1-2): mining typed
+//! relationships in a knowledge graph. We build a small author/paper/venue
+//! network by hand with typed edges, then sample Author-Paper-Venue-Paper-
+//! Author ("APVPA") walks — the classic co-publication metapath — and show
+//! that every sampled path obeys the relation sequence.
+
+use lightrw::prelude::*;
+
+// Relation types.
+const WRITES: u8 = 0; // author  -> paper
+const WRITTEN_BY: u8 = 1; // paper -> author
+const PUBLISHED_IN: u8 = 2; // paper -> venue
+const PUBLISHES: u8 = 3; // venue  -> paper
+
+// Vertex layout: authors 0..4, papers 4..10, venues 10..12.
+const AUTHORS: [&str; 4] = ["ada", "grace", "barbara", "edsger"];
+const PAPERS: [&str; 6] = ["p-csr", "p-walk", "p-fpga", "p-wrs", "p-cache", "p-burst"];
+const VENUES: [&str; 2] = ["SIGMOD", "VLDB"];
+
+fn name_of(v: u32) -> &'static str {
+    match v {
+        0..=3 => AUTHORS[v as usize],
+        4..=9 => PAPERS[v as usize - 4],
+        _ => VENUES[v as usize - 10],
+    }
+}
+
+fn main() {
+    // Authorship (author, paper) and publication (paper, venue) facts.
+    let authorship: &[(u32, u32)] = &[
+        (0, 4), (0, 5), (1, 5), (1, 6), (1, 7), (2, 6), (2, 8), (3, 8), (3, 9), (0, 9),
+    ];
+    let publication: &[(u32, u32)] = &[(4, 10), (5, 10), (6, 11), (7, 10), (8, 11), (9, 11)];
+
+    let mut b = GraphBuilder::directed().num_vertices(12);
+    for &(a, p) in authorship {
+        b = b.labeled_edge(a, p, 1, WRITES).labeled_edge(p, a, 1, WRITTEN_BY);
+    }
+    for &(p, v) in publication {
+        b = b
+            .labeled_edge(p, v, 1, PUBLISHED_IN)
+            .labeled_edge(v, p, 1, PUBLISHES);
+    }
+    let graph = b.build();
+
+    // The APVPA metapath: writes, published-in, publishes, written-by.
+    let apvpa = MetaPath::new(vec![WRITES, PUBLISHED_IN, PUBLISHES, WRITTEN_BY]);
+
+    // Many walks from every author.
+    let starts: Vec<u32> = (0..4).flat_map(|a| std::iter::repeat_n(a, 8)).collect();
+    let queries = QuerySet::from_starts(starts, 4);
+
+    let engine = ReferenceEngine::new(&graph, &apvpa, SamplerKind::ParallelWrs { k: 4 }, 99);
+    let walks = engine.run(&queries);
+
+    println!("APVPA metapath walks (author -> paper -> venue -> paper -> author):\n");
+    let mut reached = 0;
+    for path in walks.iter() {
+        let pretty: Vec<&str> = path.iter().map(|&v| name_of(v)).collect();
+        if path.len() == 5 {
+            reached += 1;
+            println!("  {}", pretty.join(" -> "));
+        }
+        // Every hop must match the declared relation, whatever the length.
+        lightrw::walker::path::validate_path(&graph, &apvpa, path)
+            .expect("a sampled path violated the metapath");
+    }
+    println!(
+        "\n{reached}/{} walks completed the full metapath; every hop verified against the relation sequence.",
+        walks.len()
+    );
+
+    // The same workload on the accelerator model, for timing.
+    let report = LightRw::new(&graph, &apvpa, LightRwConfig::single_instance()).run(&queries);
+    println!(
+        "accelerator model: {} cycles ({:.2} µs at 300 MHz) for {} steps",
+        report.sim.cycles,
+        report.sim.seconds * 1e6,
+        report.sim.steps
+    );
+}

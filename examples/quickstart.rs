@@ -1,0 +1,67 @@
+//! Quickstart: run Node2Vec on the simulated LightRW accelerator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a liveJournal-like power-law graph (random weights, as in the
+//! paper's setup), issues one 20-step Node2Vec query per vertex, runs them
+//! on the 4-instance Alveo U250 model, and prints the end-to-end report:
+//! walks, simulated kernel time, memory-system behaviour and the PCIe
+//! breakdown.
+
+use lightrw::prelude::*;
+
+fn main() {
+    // 1. A graph. Stand-ins reproduce a real dataset's degree profile at a
+    //    chosen scale; lightrw::graph::io can load real SNAP edge lists.
+    let graph = DatasetProfile::livejournal().stand_in(14, 42);
+    println!(
+        "graph: {} vertices, {} edges, avg degree {:.1}, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.avg_degree(),
+        graph.max_degree()
+    );
+
+    // 2. A walk application: Node2Vec with the paper's p = 2, q = 0.5.
+    let app = Node2Vec::paper_params();
+
+    // 3. The paper's workload: one shuffled query per non-isolated vertex.
+    let queries = QuerySet::per_nonisolated_vertex(&graph, 20, 7);
+    println!("workload: {} queries x 20 steps", queries.len());
+
+    // 4. Deploy on the default U250 model (k=16, b1+b32, 2^12 DAC, 4
+    //    instances) and run end to end.
+    let accel = LightRw::new(&graph, &app, LightRwConfig::default());
+    let report = accel.run(&queries);
+
+    // 5. What came back: real sampled walks...
+    let m = report.metrics();
+    println!("\nfirst three walks:");
+    for i in 0..3 {
+        println!("  query {i}: {:?}", report.sim.results.path(i));
+    }
+
+    // ...and the accelerator-model report.
+    println!("\nsimulated kernel : {}", pretty(m.kernel_seconds));
+    println!("end-to-end       : {} ({:.1}% PCIe)", pretty(m.end_to_end_seconds), m.pcie_fraction * 100.0);
+    println!("throughput       : {:.1} M steps/s", m.steps_per_sec / 1e6);
+    println!("row-cache hits   : {:.1}%", m.cache_hit_ratio * 100.0);
+    println!("DRAM valid data  : {:.1}%", m.dram_valid_ratio * 100.0);
+    println!(
+        "resources        : {:.1}% LUTs, {:.1}% BRAM, {:.1}% DSP @ {:.0} MHz",
+        report.resources.luts_pct,
+        report.resources.brams_pct,
+        report.resources.dsps_pct,
+        report.resources.freq_mhz
+    );
+}
+
+fn pretty(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.2} ms", s * 1e3)
+    }
+}

@@ -1,0 +1,1 @@
+pub use lightrw; pub use lightrw_embed;

@@ -1,0 +1,124 @@
+//! Cross-engine agreement: the reference oracle, the ThunderRW-like CPU
+//! baseline and the accelerator model must sample from the same
+//! distribution and emit only valid walks — the property that makes the
+//! paper's Fig. 14 comparison meaningful (same answers, different speed).
+
+use lightrw::prelude::*;
+use lightrw::rng::stats::{chi_square_counts, chi_square_crit_999};
+use lightrw::walker::path::validate_path;
+use lightrw_repro as _;
+
+/// One-step empirical distribution from a weighted fan-out vertex, for an
+/// arbitrary engine closure.
+fn one_step_counts(n: usize, run: impl Fn(&QuerySet) -> WalkResults) -> Vec<u64> {
+    let qs = QuerySet::from_starts(vec![0; n], 1);
+    let res = run(&qs);
+    let mut counts = vec![0u64; 5];
+    for p in res.iter() {
+        assert_eq!(p.len(), 2, "one-step walk must have two vertices");
+        counts[p[1] as usize] += 1;
+    }
+    counts
+}
+
+fn weighted_fan() -> Graph {
+    GraphBuilder::directed()
+        .weighted_edges([(0, 1, 2), (0, 2, 3), (0, 3, 5), (0, 4, 10)])
+        .num_vertices(5)
+        .build()
+}
+
+#[test]
+fn all_three_engines_sample_the_same_distribution() {
+    let g = weighted_fan();
+    let probs = [0.0, 2.0, 3.0, 5.0, 10.0];
+    let n = 30_000;
+    let crit = chi_square_crit_999(3) * 1.2;
+
+    // Reference engine (oracle).
+    let counts = one_step_counts(n, |qs| {
+        ReferenceEngine::new(&g, &StaticWeighted, SamplerKind::InverseTransform, 1).run(qs)
+    });
+    let chi2 = chi_square_counts(&counts[..], &probs);
+    assert!(chi2 < crit, "reference: chi2 {chi2:.1} {counts:?}");
+
+    // CPU baseline (multi-threaded).
+    let counts = one_step_counts(n, |qs| {
+        CpuEngine::new(&g, &StaticWeighted, BaselineConfig::default())
+            .run(qs)
+            .0
+    });
+    let chi2 = chi_square_counts(&counts[..], &probs);
+    assert!(chi2 < crit, "baseline: chi2 {chi2:.1} {counts:?}");
+
+    // Accelerator model (4 instances, parallel WRS + integer test).
+    let counts = one_step_counts(n, |qs| {
+        LightRwSim::new(&g, &StaticWeighted, LightRwConfig::default())
+            .run(qs)
+            .results
+    });
+    let chi2 = chi_square_counts(&counts[..], &probs);
+    assert!(chi2 < crit, "hwsim: chi2 {chi2:.1} {counts:?}");
+}
+
+#[test]
+fn every_engine_emits_only_valid_node2vec_walks() {
+    let g = DatasetProfile::orkut().stand_in(9, 3);
+    let nv = Node2Vec::paper_params();
+    let qs = QuerySet::n_queries(&g, 200, 15, 5);
+
+    let reference = ReferenceEngine::new(&g, &nv, SamplerKind::ParallelWrs { k: 16 }, 7).run(&qs);
+    let (baseline, _) = CpuEngine::new(&g, &nv, BaselineConfig::default()).run(&qs);
+    let hwsim = LightRwSim::new(&g, &nv, LightRwConfig::default()).run(&qs).results;
+
+    for (name, results) in [
+        ("reference", &reference),
+        ("baseline", &baseline),
+        ("hwsim", &hwsim),
+    ] {
+        assert_eq!(results.len(), qs.len(), "{name}");
+        for p in results.iter() {
+            validate_path(&g, &nv, p)
+                .unwrap_or_else(|e| panic!("{name} produced invalid walk {p:?}: {e:?}"));
+        }
+    }
+}
+
+#[test]
+fn every_engine_respects_metapath_relations() {
+    let g = DatasetProfile::us_patents().stand_in(9, 11);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let qs = QuerySet::n_queries(&g, 300, 5, 2);
+
+    for (name, results) in [
+        (
+            "reference",
+            ReferenceEngine::new(&g, &mp, SamplerKind::Alias, 3).run(&qs),
+        ),
+        (
+            "baseline",
+            CpuEngine::new(&g, &mp, BaselineConfig::default()).run(&qs).0,
+        ),
+        (
+            "hwsim",
+            LightRwSim::new(&g, &mp, LightRwConfig::default()).run(&qs).results,
+        ),
+    ] {
+        for p in results.iter() {
+            validate_path(&g, &mp, p)
+                .unwrap_or_else(|e| panic!("{name} violated the metapath: {p:?}: {e:?}"));
+        }
+    }
+}
+
+#[test]
+fn step_counts_agree_between_results_and_reports() {
+    let g = DatasetProfile::youtube().stand_in(9, 1);
+    let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);
+
+    let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::default()).run(&qs);
+    assert_eq!(sim.steps, sim.results.total_steps());
+
+    let (res, stats) = CpuEngine::new(&g, &Uniform, BaselineConfig::default()).run(&qs);
+    assert_eq!(stats.steps, res.total_steps());
+}

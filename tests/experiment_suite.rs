@@ -1,0 +1,47 @@
+//! The full experiment harness at quick scale: every table/figure runner
+//! must execute and produce a well-formed report — this is what keeps the
+//! EXPERIMENTS.md regeneration path from rotting.
+
+use lightrw_bench::{experiments, Opts};
+use lightrw_repro as _;
+
+#[test]
+fn every_experiment_runs_at_quick_scale() {
+    let opts = Opts::quick();
+    for (id, runner) in experiments::all() {
+        let md = runner(&opts);
+        assert!(md.starts_with("## "), "{id}: report must start with a title");
+        assert!(md.contains('|'), "{id}: report must contain a table");
+        let data_rows = md
+            .lines()
+            .filter(|l| l.starts_with('|') && !l.starts_with("|-"))
+            .count();
+        assert!(data_rows >= 2, "{id}: table has no data rows");
+    }
+}
+
+#[test]
+fn experiment_list_covers_every_paper_artifact() {
+    let ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
+    for expected in [
+        "table1", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig17", "table3", "table4", "table5", "fig18", "ext_cluster",
+    ] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+    assert_eq!(ids.len(), 15);
+}
+
+#[test]
+fn reports_are_deterministic_per_seed() {
+    let opts = Opts::quick();
+    // Timing-free experiments must render byte-identical reports.
+    for id in ["fig6", "fig11", "table5"] {
+        let runner = experiments::all()
+            .into_iter()
+            .find(|(i, _)| *i == id)
+            .unwrap()
+            .1;
+        assert_eq!(runner(&opts), runner(&opts), "{id} not deterministic");
+    }
+}

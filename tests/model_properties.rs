@@ -1,0 +1,130 @@
+//! Property-based tests over the accelerator model: for arbitrary graphs,
+//! workloads and configurations, the simulator must uphold its structural
+//! invariants (valid walks, conservation of queries, monotone timing).
+
+use lightrw::prelude::*;
+use lightrw::walker::path::validate_path;
+use lightrw_repro as _;
+use proptest::prelude::*;
+
+/// Strategy: a random small directed graph as an edge list.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2u32..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..20), 1..120)).prop_map(
+        |(extra, edges)| {
+            GraphBuilder::directed()
+                .num_vertices(40 + extra as usize)
+                .weighted_edges(edges)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hwsim_walks_are_always_valid(
+        g in arb_graph(),
+        len in 1u32..12,
+        k in prop_oneof![Just(1usize), Just(4), Just(16)],
+        inflight in prop_oneof![Just(1usize), Just(8), Just(64)],
+        seed in 0u64..1000,
+    ) {
+        let starts = g.non_isolated_vertices();
+        prop_assume!(!starts.is_empty());
+        let qs = QuerySet::from_starts(starts, len);
+        let cfg = LightRwConfig {
+            k,
+            max_inflight: inflight,
+            instances: 2,
+            seed,
+            ..LightRwConfig::default()
+        };
+        let report = LightRwSim::new(&g, &StaticWeighted, cfg).run(&qs);
+        // Conservation: every query returns a path starting at its start.
+        prop_assert_eq!(report.results.len(), qs.len());
+        for (i, q) in qs.queries().iter().enumerate() {
+            let p = report.results.path(i);
+            prop_assert_eq!(p[0], q.start);
+            prop_assert!(p.len() as u32 <= q.length + 1);
+            validate_path(&g, &StaticWeighted, p).unwrap();
+        }
+        // Accounting: steps match, cycles positive when work happened.
+        prop_assert_eq!(report.steps, report.results.total_steps());
+        if report.steps > 0 {
+            prop_assert!(report.cycles > 0);
+            let lat_max = report.latencies.iter().copied().max().unwrap();
+            prop_assert!(lat_max <= report.cycles);
+        }
+    }
+
+    #[test]
+    fn cycles_monotone_in_walk_length(
+        seed in 0u64..50,
+        len in 2u32..10,
+    ) {
+        let g = lightrw::graph::generators::rmat_dataset(8, seed);
+        prop_assume!(!g.non_isolated_vertices().is_empty());
+        let short = QuerySet::per_nonisolated_vertex(&g, len - 1, 3);
+        let long = QuerySet::per_nonisolated_vertex(&g, len, 3);
+        let cfg = LightRwConfig::single_instance();
+        let a = LightRwSim::new(&g, &Uniform, cfg).run(&short);
+        let b = LightRwSim::new(&g, &Uniform, cfg).run(&long);
+        // More requested steps can never *reduce* executed steps.
+        prop_assert!(b.steps >= a.steps);
+    }
+
+    #[test]
+    fn dram_traffic_scales_with_work(
+        seed in 0u64..50,
+    ) {
+        let g = lightrw::graph::generators::rmat_dataset(9, seed);
+        let small = QuerySet::n_queries(&g, 64, 4, 1);
+        let big = QuerySet::n_queries(&g, 512, 4, 1);
+        let cfg = LightRwConfig::single_instance();
+        let a = LightRwSim::new(&g, &Uniform, cfg).run(&small);
+        let b = LightRwSim::new(&g, &Uniform, cfg).run(&big);
+        prop_assert!(b.dram_total().bytes > a.dram_total().bytes);
+        // Valid-data ratio is a property of the graph + burst config, not
+        // the workload size: must stay within a tight band.
+        let (ra, rb) = (a.dram_total().valid_ratio(), b.dram_total().valid_ratio());
+        prop_assert!((ra - rb).abs() < 0.25, "valid ratio drifted: {ra} vs {rb}");
+    }
+
+    #[test]
+    fn baseline_and_hwsim_agree_on_reachability(
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 1..60),
+        seed in 0u64..100,
+    ) {
+        // Walks can only visit vertices reachable from the start — same
+        // closure for every engine.
+        let g = GraphBuilder::directed().num_vertices(20).edges(edges).build();
+        let starts = g.non_isolated_vertices();
+        prop_assume!(!starts.is_empty());
+        let qs = QuerySet::from_starts(vec![starts[0]], 10);
+        let reach = reachable(&g, starts[0]);
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig {
+            seed,
+            ..LightRwConfig::single_instance()
+        }).run(&qs);
+        for &v in sim.results.path(0) {
+            prop_assert!(reach[v as usize], "visited unreachable vertex {v}");
+        }
+    }
+}
+
+/// Simple BFS closure.
+fn reachable(g: &Graph, start: u32) -> Vec<bool> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut stack = vec![start];
+    seen[start as usize] = true;
+    while let Some(v) = stack.pop() {
+        for &n in g.neighbors(v) {
+            if !seen[n as usize] {
+                seen[n as usize] = true;
+                stack.push(n);
+            }
+        }
+    }
+    seen
+}

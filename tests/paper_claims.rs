@@ -1,0 +1,151 @@
+//! The paper's headline claims as executable assertions, at reduced scale
+//! (direction and ordering, not absolute factors — DESIGN.md §1).
+
+use lightrw::memsim::bandwidth::{expected_valid_ratio, fig6_sweep};
+use lightrw::platform::AppKind;
+use lightrw::prelude::*;
+use lightrw::resources;
+use lightrw_repro as _;
+
+fn cycles(g: &Graph, app: &dyn WalkApp, len: u32, cfg: LightRwConfig) -> u64 {
+    let qs = QuerySet::per_nonisolated_vertex(g, len, 3);
+    LightRwSim::new(g, app, cfg).run(&qs).cycles
+}
+
+/// §3.2 / Fig. 13: fine-grained WRS pipelining is the largest single win.
+#[test]
+fn claim_wrs_pipelining_dominates_the_breakdown() {
+    let g = DatasetProfile::livejournal().stand_in(11, 9);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let base = LightRwConfig::single_instance();
+    let all_on = cycles(&g, &mp, 5, base);
+    let no_wrs = cycles(&g, &mp, 5, base.without_wrs_pipelining());
+    let no_dyb = cycles(&g, &mp, 5, base.without_dynamic_burst());
+    let no_dac = cycles(&g, &mp, 5, base.without_cache());
+    assert!(no_wrs as f64 > 1.5 * all_on as f64, "WRS win too small");
+    assert!(no_wrs > no_dyb && no_wrs > no_dac, "WRS must dominate");
+}
+
+/// Fig. 11: the degree-aware policy beats direct-mapped replacement once
+/// the graph outgrows the cache.
+#[test]
+fn claim_degree_aware_cache_beats_dmc() {
+    let g = lightrw::graph::generators::rmat_dataset(14, 5);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let qs = QuerySet::per_nonisolated_vertex(&g, 5, 1);
+    let run = |policy| {
+        let cfg = LightRwConfig {
+            cache_policy: policy,
+            instances: 1,
+            ..LightRwConfig::default()
+        };
+        LightRwSim::new(&g, &mp, cfg).run(&qs).cache_total().miss_ratio()
+    };
+    let dac = run(CachePolicy::DegreeAware);
+    let dmc = run(CachePolicy::AlwaysReplace);
+    assert!(
+        dac + 0.05 < dmc,
+        "DAC {dac:.3} must clearly beat DMC {dmc:.3}"
+    );
+}
+
+/// Fig. 6: valid-data ratio falls monotonically with burst length while
+/// bandwidth rises; Fig. 12: the dynamic split keeps the short-burst valid
+/// ratio.
+#[test]
+fn claim_fig6_tradeoff_and_dynamic_burst_resolution() {
+    let g = DatasetProfile::livejournal().stand_in(11, 2);
+    let dram = DramConfig::default();
+    let sweep = fig6_sweep(&g, &dram);
+    for w in sweep.windows(2).skip(1) {
+        assert!(w[0].valid_ratio >= w[1].valid_ratio - 1e-12);
+        assert!(w[0].bandwidth_gbps <= w[1].bandwidth_gbps + 1e-12);
+    }
+    // The dynamic engine's loaded bytes equal the b1 rounding (§5.2).
+    let b1 = expected_valid_ratio(&g, 1, &dram);
+    let dynamic = lightrw::memsim::bandwidth::expected_valid_ratio_dynamic(
+        &g,
+        BurstConfig::paper_best(),
+        &dram,
+    );
+    assert!((b1 - dynamic).abs() < 1e-12);
+}
+
+/// Fig. 14 shape: the simulated accelerator beats the measured CPU
+/// baseline on every stand-in for both applications.
+#[test]
+fn claim_lightrw_wins_on_every_dataset() {
+    use std::time::Instant;
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let nv = Node2Vec::paper_params();
+    for (app, len) in [(&mp as &dyn WalkApp, 5u32), (&nv as &dyn WalkApp, 16)] {
+        for p in DatasetProfile::all_real() {
+            let g = p.stand_in(10, 4);
+            let qs = QuerySet::per_nonisolated_vertex(&g, len, 6);
+            let t = Instant::now();
+            CpuEngine::new(&g, app, BaselineConfig::default()).run(&qs);
+            let cpu_s = t.elapsed().as_secs_f64();
+            let rep = LightRw::new(&g, app, LightRwConfig::default()).run(&qs);
+            assert!(
+                rep.end_to_end_s() < cpu_s,
+                "{} on {}: lightrw {:.4}s vs cpu {:.4}s",
+                app.name(),
+                p.name,
+                rep.end_to_end_s(),
+                cpu_s
+            );
+        }
+    }
+}
+
+/// Table 4 shape: MetaPath's short walks leave transfers visible, while
+/// Node2Vec's 80-step walks amortize them to near zero.
+#[test]
+fn claim_pcie_share_contrast() {
+    let g = DatasetProfile::livejournal().stand_in(10, 8);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let nv = Node2Vec::paper_params();
+    let mp_frac = LightRw::new(&g, &mp, LightRwConfig::default())
+        .run(&QuerySet::per_nonisolated_vertex(&g, 5, 1))
+        .pcie
+        .transfer_fraction();
+    let nv_frac = LightRw::new(&g, &nv, LightRwConfig::default())
+        .run(&QuerySet::per_nonisolated_vertex(&g, 80, 1))
+        .pcie
+        .transfer_fraction();
+    assert!(mp_frac > 2.0 * nv_frac, "MetaPath {mp_frac} vs Node2Vec {nv_frac}");
+}
+
+/// Table 5 shape: both bitstreams fit the U250 with ample headroom, and
+/// Node2Vec trades logic for BRAM relative to MetaPath.
+#[test]
+fn claim_resource_fit_and_inversion() {
+    let cfg = LightRwConfig::default();
+    let mp = resources::estimate(&cfg, AppKind::MetaPath);
+    let nv = resources::estimate(&cfg, AppKind::Node2Vec);
+    assert!(resources::fits_u250(&mp) && resources::fits_u250(&nv));
+    assert!(mp.luts_pct < 50.0 && nv.luts_pct < 50.0, "ample headroom");
+    assert!(nv.brams_pct > mp.brams_pct);
+    assert!(nv.luts_pct < mp.luts_pct);
+}
+
+/// Fig. 16 shape: accelerator throughput is roughly flat in query count,
+/// within a small factor between small and large batches.
+#[test]
+fn claim_throughput_flat_in_query_count() {
+    let g = DatasetProfile::livejournal().stand_in(11, 12);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let tp = |n: usize| {
+        let qs = QuerySet::n_queries(&g, n, 5, 3);
+        LightRwSim::new(&g, &mp, LightRwConfig::default())
+            .run(&qs)
+            .steps_per_sec()
+    };
+    let small = tp(1 << 10);
+    let large = tp(1 << 13);
+    let ratio = large / small;
+    assert!(
+        (0.5..2.5).contains(&ratio),
+        "throughput should be roughly flat, got ratio {ratio:.2}"
+    );
+}
