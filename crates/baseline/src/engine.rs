@@ -167,18 +167,18 @@ impl<'g> CpuEngine<'g> {
             while i < active.len() {
                 let qi = active[i];
                 let st = &mut states[qi];
-                let done = match Self::one_step(g, self.app, st, &mut sampler, &mut weights, &mut mask)
-                {
-                    Some(next) => {
-                        steps += 1;
-                        st.path.push(next);
-                        st.prev = Some(st.cur);
-                        st.cur = next;
-                        st.step += 1;
-                        st.step >= st.length
-                    }
-                    None => true, // dead end
-                };
+                let done =
+                    match Self::one_step(g, self.app, st, &mut sampler, &mut weights, &mut mask) {
+                        Some(next) => {
+                            steps += 1;
+                            st.path.push(next);
+                            st.prev = Some(st.cur);
+                            st.cur = next;
+                            st.step += 1;
+                            st.step >= st.length
+                        }
+                        None => true, // dead end
+                    };
                 if done {
                     active.swap_remove(i);
                 } else {
@@ -311,8 +311,7 @@ mod tests {
             threads: 1,
             ..BaselineConfig::with_pwrs(8)
         };
-        let (results, _) =
-            CpuEngine::new(&g, &lightrw_walker::StaticWeighted, cfg).run(&qs);
+        let (results, _) = CpuEngine::new(&g, &lightrw_walker::StaticWeighted, cfg).run(&qs);
         let mut counts = [0u64; 3];
         for p in results.iter() {
             counts[(p[1] - 1) as usize] += 1;

@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = LlcSim::new(1 << 14, 4); // 16 KB = 256 lines
-        // Stream 4096 distinct lines twice: second pass still misses.
+                                             // Stream 4096 distinct lines twice: second pass still misses.
         for pass in 0..2 {
             for i in 0..4096u64 {
                 let hit = c.access(i * 64);

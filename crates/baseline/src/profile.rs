@@ -180,12 +180,7 @@ mod tests {
     use lightrw_walker::app::{MetaPath, Node2Vec};
     use lightrw_walker::SamplerKind;
 
-    fn profile(
-        scale: u32,
-        app: &dyn WalkApp,
-        len: u32,
-        kind: SamplerKind,
-    ) -> TopDownProfile {
+    fn profile(scale: u32, app: &dyn WalkApp, len: u32, kind: SamplerKind) -> TopDownProfile {
         let g = DatasetProfile::livejournal().stand_in(scale, 11);
         let qs = QuerySet::n_queries(&g, 2000, len, 3);
         // LLC scaled with the graph: full LJ is ~2^22.2 vertices; scale 12

@@ -25,14 +25,10 @@ fn bench_baseline(c: &mut Criterion) {
             sampler: kind,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &cfg,
-            |b, cfg| {
-                let engine = CpuEngine::new(&g, &mp, *cfg);
-                b.iter(|| engine.run(&qs).1.steps);
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &cfg, |b, cfg| {
+            let engine = CpuEngine::new(&g, &mp, *cfg);
+            b.iter(|| engine.run(&qs).1.steps);
+        });
     }
     group.finish();
 
@@ -43,14 +39,10 @@ fn bench_baseline(c: &mut Criterion) {
             threads,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &cfg,
-            |b, cfg| {
-                let engine = CpuEngine::new(&g, &mp, *cfg);
-                b.iter(|| engine.run(&qs).1.steps);
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            let engine = CpuEngine::new(&g, &mp, *cfg);
+            b.iter(|| engine.run(&qs).1.steps);
+        });
     }
     group.finish();
 }

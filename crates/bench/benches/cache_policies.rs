@@ -54,7 +54,10 @@ fn bench_cache(c: &mut Criterion) {
         });
     }
     // 4-way set-associative variants (extension ablation).
-    for (name, policy) in [("dac_4way", CachePolicy::DegreeAware), ("lru_4way", CachePolicy::Lru)] {
+    for (name, policy) in [
+        ("dac_4way", CachePolicy::DegreeAware),
+        ("lru_4way", CachePolicy::Lru),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             b.iter(|| {
                 let mut cache = RowCache::set_associative(policy, 10, 4);

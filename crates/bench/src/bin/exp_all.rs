@@ -6,11 +6,17 @@ use std::time::Instant;
 
 fn main() {
     let opts = lightrw_bench::Opts::from_args();
-    println!("# LightRW reproduction — experiment suite (scale 2^{}, seed {})\n", opts.scale, opts.seed);
+    println!(
+        "# LightRW reproduction — experiment suite (scale 2^{}, seed {})\n",
+        opts.scale, opts.seed
+    );
     for (id, runner) in lightrw_bench::experiments::all() {
         let t = Instant::now();
         let report = runner(&opts);
         print!("{report}");
-        eprintln!("[exp_all] {id} finished in {:.1}s", t.elapsed().as_secs_f64());
+        eprintln!(
+            "[exp_all] {id} finished in {:.1}s",
+            t.elapsed().as_secs_f64()
+        );
     }
 }

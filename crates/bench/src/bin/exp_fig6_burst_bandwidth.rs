@@ -2,5 +2,8 @@
 
 fn main() {
     let opts = lightrw_bench::Opts::from_args();
-    print!("{}", lightrw_bench::experiments::fig06_burst_bandwidth::run(&opts));
+    print!(
+        "{}",
+        lightrw_bench::experiments::fig06_burst_bandwidth::run(&opts)
+    );
 }

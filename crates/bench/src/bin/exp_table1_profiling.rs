@@ -2,5 +2,8 @@
 
 fn main() {
     let opts = lightrw_bench::Opts::from_args();
-    print!("{}", lightrw_bench::experiments::table1_profiling::run(&opts));
+    print!(
+        "{}",
+        lightrw_bench::experiments::table1_profiling::run(&opts)
+    );
 }

@@ -27,8 +27,14 @@ pub fn rmat_series(scales: impl IntoIterator<Item = u32>, seed: u64) -> Vec<(Str
 pub fn paper_apps(quick: bool) -> Vec<(Box<dyn WalkApp>, u32)> {
     let n2v_len = if quick { 16 } else { 80 };
     vec![
-        (Box::new(MetaPath::new(vec![0, 1, 0, 1, 0])) as Box<dyn WalkApp>, 5),
-        (Box::new(Node2Vec::paper_params()) as Box<dyn WalkApp>, n2v_len),
+        (
+            Box::new(MetaPath::new(vec![0, 1, 0, 1, 0])) as Box<dyn WalkApp>,
+            5,
+        ),
+        (
+            Box::new(Node2Vec::paper_params()) as Box<dyn WalkApp>,
+            n2v_len,
+        ),
     ]
 }
 

@@ -2,8 +2,8 @@
 //! graph replication: kernel time and aggregate throughput for 1–8 boards
 //! on a fixed workload.
 
-use lightrw::LightRwCluster;
 use lightrw::prelude::*;
+use lightrw::LightRwCluster;
 
 use crate::table::Report;
 use crate::Opts;
@@ -18,7 +18,13 @@ pub fn run(opts: &Opts) -> String {
 
     let mut report = Report::new("Extension — multi-board scaling (replicated graph)");
     report.note("paper §8: terabyte graphs need multiple boards; walks are embarrassingly parallel under replication");
-    report.headers(["Boards", "Kernel (ms)", "End-to-end (ms)", "Steps/s", "Scaling"]);
+    report.headers([
+        "Boards",
+        "Kernel (ms)",
+        "End-to-end (ms)",
+        "Steps/s",
+        "Scaling",
+    ]);
 
     let mut base: Option<f64> = None;
     for boards in [1usize, 2, 4, 8] {

@@ -55,7 +55,12 @@ pub fn run(opts: &Opts) -> String {
         "memory line rate {:.2} GB/s; paper saturates at k = 16",
         dram.streaming_bandwidth(32) / 1e9
     ));
-    a.headers(["k", "Model sampling (GB/s)", "Memory line (GB/s)", "Software (Mitems/s)"]);
+    a.headers([
+        "k",
+        "Model sampling (GB/s)",
+        "Memory line (GB/s)",
+        "Software (Mitems/s)",
+    ]);
     for k in [1usize, 2, 4, 8, 16, 32] {
         a.row([
             k.to_string(),
@@ -67,7 +72,11 @@ pub fn run(opts: &Opts) -> String {
 
     let mut b = Report::new("Figure 10b — WRS sampler throughput vs stream length (k = 16)");
     b.note("pipeline fill overhead only matters for tiny streams (paper: negligible)");
-    b.headers(["Stream length", "Model throughput (GB/s)", "Software (Mitems/s)"]);
+    b.headers([
+        "Stream length",
+        "Model throughput (GB/s)",
+        "Software (Mitems/s)",
+    ]);
     let peak = model_throughput_gbps(16, &dram);
     for exp in [6u32, 8, 10, 12, 14, 16] {
         let n = 1usize << exp;
@@ -77,7 +86,10 @@ pub fn run(opts: &Opts) -> String {
         b.row([
             format!("2^{exp}"),
             format!("{:.2}", peak * eff),
-            format!("{:.1}", software_mitems_per_s(16, n, opts.seed ^ exp as u64)),
+            format!(
+                "{:.1}",
+                software_mitems_per_s(16, n, opts.seed ^ exp as u64)
+            ),
         ]);
     }
     format!("{}{}", a.render(), b.render())

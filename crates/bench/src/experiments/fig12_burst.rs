@@ -35,7 +35,11 @@ pub const STRATEGIES: [u64; 6] = [2, 4, 8, 16, 32, 64];
 /// Node2Vec sweep the paper omits as an extension table (DESIGN.md §3).
 pub fn run(opts: &Opts) -> String {
     let rmat_lo = if opts.quick { 8 } else { 10 };
-    let rmat_hi = if opts.quick { 10 } else { opts.scale.max(rmat_lo + 2) };
+    let rmat_hi = if opts.quick {
+        10
+    } else {
+        opts.scale.max(rmat_lo + 2)
+    };
     let mut graphs = crate::datasets::rmat_series((rmat_lo..=rmat_hi).step_by(2), opts.seed);
     graphs.extend(crate::datasets::standins(
         if opts.quick { 9 } else { opts.scale },
@@ -56,19 +60,36 @@ pub fn run(opts: &Opts) -> String {
             "Figure 12 ({}, {tag}) — dynamic burst strategy speedup over b1+b0",
             app.name()
         ));
-        report.note(format!("{} with query length {len}; baseline is short-burst-only", app.name()));
-        report.note("paper: b1+b32 wins everywhere, up to 4.24x on synthetics, up to 3.26x on real graphs");
+        report.note(format!(
+            "{} with query length {len}; baseline is short-burst-only",
+            app.name()
+        ));
+        report.note(
+            "paper: b1+b32 wins everywhere, up to 4.24x on synthetics, up to 3.26x on real graphs",
+        );
         let mut headers = vec!["Graph".to_string()];
         headers.extend(STRATEGIES.iter().map(|s| format!("b1+b{s}")));
         report.headers(headers);
 
         for (name, g) in &graphs {
-            let base =
-                cycles_with_burst(g, app, len, BurstConfig::short_only(), opts.quick, opts.seed);
+            let base = cycles_with_burst(
+                g,
+                app,
+                len,
+                BurstConfig::short_only(),
+                opts.quick,
+                opts.seed,
+            );
             let mut row = vec![name.clone()];
             for &s in &STRATEGIES {
-                let c =
-                    cycles_with_burst(g, app, len, BurstConfig::with_long(s), opts.quick, opts.seed);
+                let c = cycles_with_burst(
+                    g,
+                    app,
+                    len,
+                    BurstConfig::with_long(s),
+                    opts.quick,
+                    opts.seed,
+                );
                 row.push(format!("{:.2}x", base as f64 / c as f64));
             }
             report.row(row);

@@ -8,7 +8,14 @@ use lightrw::prelude::*;
 use crate::table::Report;
 use crate::Opts;
 
-fn cycles(g: &Graph, app: &dyn WalkApp, len: u32, cfg: LightRwConfig, quick: bool, seed: u64) -> u64 {
+fn cycles(
+    g: &Graph,
+    app: &dyn WalkApp,
+    len: u32,
+    cfg: LightRwConfig,
+    quick: bool,
+    seed: u64,
+) -> u64 {
     let qs = if quick {
         QuerySet::n_queries(g, (g.num_vertices() / 2).max(64), len, seed)
     } else {

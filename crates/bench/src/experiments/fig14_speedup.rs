@@ -73,9 +73,13 @@ pub fn run(opts: &Opts) -> String {
     let rows = measure(opts);
     let mut out = String::new();
     for app in ["MetaPath", "Node2Vec"] {
-        let mut report = Report::new(format!("Figure 14 ({app}) — speedup over ThunderRW-like baseline"));
+        let mut report = Report::new(format!(
+            "Figure 14 ({app}) — speedup over ThunderRW-like baseline"
+        ));
         report.note("baseline: measured wall-clock; LightRW: simulated kernel + modelled PCIe");
-        report.note("paper: LightRW 6.27x-9.55x (MetaPath), 5.17x-9.10x (Node2Vec); w/PWRS ~0.6x-1.8x");
+        report.note(
+            "paper: LightRW 6.27x-9.55x (MetaPath), 5.17x-9.10x (Node2Vec); w/PWRS ~0.6x-1.8x",
+        );
         report.headers([
             "Graph",
             "ThunderRW (s)",

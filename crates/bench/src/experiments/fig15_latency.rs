@@ -79,8 +79,7 @@ mod tests {
 
     #[test]
     fn quartiles_sorted_ascending() {
-        let (min, p25, med, p75, max) =
-            quartiles_us(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        let (min, p25, med, p75, max) = quartiles_us(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
         assert_eq!((min, p25, med, p75, max), (1.0, 2.0, 3.0, 4.0, 5.0));
     }
 

@@ -43,8 +43,7 @@ pub fn run(opts: &Opts) -> String {
             let hw_tp = sim.steps_per_sec();
 
             let t = Instant::now();
-            let (_, stats) =
-                CpuEngine::new(&g, app.as_ref(), BaselineConfig::default()).run(&qs);
+            let (_, stats) = CpuEngine::new(&g, app.as_ref(), BaselineConfig::default()).run(&qs);
             let cpu_tp = stats.steps as f64 / t.elapsed().as_secs_f64();
 
             report.row([

@@ -2,8 +2,8 @@
 //! breakdown of SNAP-style CPU link prediction vs the LightRW-accelerated
 //! flow (Node2Vec walks + SGNS learning + cosine scoring).
 
-use lightrw_embed::{run_case_study, SgnsConfig};
 use lightrw::prelude::*;
+use lightrw_embed::{run_case_study, SgnsConfig};
 
 use crate::table::Report;
 use crate::Opts;

@@ -16,7 +16,13 @@ pub fn run(opts: &Opts) -> String {
          (trace-driven proxy for vTune, DESIGN.md §1)",
         opts.scale
     ));
-    report.headers(["Application", "Graph", "LLC Miss", "Memory Bound", "Retiring Ratio"]);
+    report.headers([
+        "Application",
+        "Graph",
+        "LLC Miss",
+        "Memory Bound",
+        "Retiring Ratio",
+    ]);
 
     let graphs = [
         ("liveJournal", DatasetProfile::livejournal()),

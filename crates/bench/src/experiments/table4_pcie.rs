@@ -11,7 +11,14 @@ pub fn run(opts: &Opts) -> String {
     let scale = if opts.quick { 9 } else { opts.scale };
     let mut report = Report::new("Table 4 — PCIe transfer share of end-to-end time");
     report.note("paper: 16.5%-33.5% for MetaPath (short walks), 0.07%-1.1% for Node2Vec");
-    report.headers(["App", "youtube", "us-patents", "liveJournal", "orkut", "uk2002"]);
+    report.headers([
+        "App",
+        "youtube",
+        "us-patents",
+        "liveJournal",
+        "orkut",
+        "uk2002",
+    ]);
 
     for (app, len) in crate::datasets::paper_apps(opts.quick) {
         let mut row = vec![app.name().to_string()];

@@ -3,8 +3,8 @@
 //! reports.
 
 use lightrw::platform::AppKind;
-use lightrw::resources::{estimate, fits_u250};
 use lightrw::prelude::*;
+use lightrw::resources::{estimate, fits_u250};
 
 use crate::table::Report;
 use crate::Opts;
@@ -14,7 +14,9 @@ pub fn run(_opts: &Opts) -> String {
     let cfg = LightRwConfig::default();
     let mut report = Report::new("Table 5 — resource utilization model (Alveo U250)");
     report.note("parametric model anchored to the paper's synthesis results (DESIGN.md §1)");
-    report.note("paper: MetaPath 33.52/29.76/17.24/5.16 @300MHz; Node2Vec 20.84/18.20/36.12/2.62 @300MHz");
+    report.note(
+        "paper: MetaPath 33.52/29.76/17.24/5.16 @300MHz; Node2Vec 20.84/18.20/36.12/2.62 @300MHz",
+    );
     report.headers(["App", "LUTs", "REGs", "BRAMs", "DSPs", "Frequency", "Fits?"]);
     for (name, kind) in [
         ("MetaPath", AppKind::MetaPath),

@@ -46,8 +46,7 @@ impl<'g> LightRw<'g> {
         let sim = LightRwSim::new(self.graph, self.app, self.cfg).run(queries);
         // Each instance keeps a private graph copy (paper §6.1.5), but the
         // host uploads the image once per channel over the same link.
-        let upload = self.graph.csr_bytes() * self.cfg.instances as u64
-            + queries.len() as u64 * 16; // query descriptors
+        let upload = self.graph.csr_bytes() * self.cfg.instances as u64 + queries.len() as u64 * 16; // query descriptors
         let download = sim.results.result_bytes();
         let pcie = PcieBreakdown::model(&self.platform, upload, sim.seconds, download);
         let resources = resources::estimate(&self.cfg, AppKind::of(self.app));

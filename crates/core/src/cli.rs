@@ -316,7 +316,9 @@ mod tests {
         let gpath = tmp("pipeline.bin");
         let out = run(
             "generate",
-            &parse(&["--kind", "rmat", "--scale", "8", "--seed", "3", "-o", &gpath]),
+            &parse(&[
+                "--kind", "rmat", "--scale", "8", "--seed", "3", "-o", &gpath,
+            ]),
         )
         .unwrap();
         assert!(out.contains("256 vertices"), "{out}");
@@ -328,7 +330,9 @@ mod tests {
         let wpath = tmp("pipeline_walks.txt");
         let walk = run(
             "walk",
-            &parse(&[&gpath, "--app", "node2vec", "--length", "5", "--engine", "sim", "-o", &wpath]),
+            &parse(&[
+                &gpath, "--app", "node2vec", "--length", "5", "--engine", "sim", "-o", &wpath,
+            ]),
         )
         .unwrap();
         assert!(walk.contains("engine sim"), "{walk}");
@@ -346,7 +350,15 @@ mod tests {
         .unwrap();
         let out = run(
             "walk",
-            &parse(&[&gpath, "--engine", "cpu", "--length", "4", "--queries", "32"]),
+            &parse(&[
+                &gpath,
+                "--engine",
+                "cpu",
+                "--length",
+                "4",
+                "--queries",
+                "32",
+            ]),
         )
         .unwrap();
         assert!(out.contains("engine cpu"), "{out}");
@@ -371,13 +383,29 @@ mod tests {
     fn standin_generation_validates_dataset_name() {
         let err = run(
             "generate",
-            &parse(&["--kind", "standin", "--dataset", "nope", "-o", &tmp("x.bin")]),
+            &parse(&[
+                "--kind",
+                "standin",
+                "--dataset",
+                "nope",
+                "-o",
+                &tmp("x.bin"),
+            ]),
         )
         .unwrap_err();
         assert!(err.contains("unknown dataset"));
         let ok = run(
             "generate",
-            &parse(&["--kind", "standin", "--dataset", "orkut", "--scale", "8", "-o", &tmp("ok.bin")]),
+            &parse(&[
+                "--kind",
+                "standin",
+                "--dataset",
+                "orkut",
+                "--scale",
+                "8",
+                "-o",
+                &tmp("ok.bin"),
+            ]),
         )
         .unwrap();
         assert!(ok.contains("vertices"));
@@ -386,15 +414,25 @@ mod tests {
     #[test]
     fn helpful_errors() {
         assert!(run("info", &parse(&[])).unwrap_err().contains("graph file"));
-        assert!(run("nonsense", &Args::default()).unwrap_err().contains("unknown subcommand"));
-        assert!(run("walk", &parse(&["/no/such/file.bin"])).unwrap_err().contains("no such file"));
-        assert!(run("help", &Args::default()).unwrap().contains("subcommands"));
+        assert!(run("nonsense", &Args::default())
+            .unwrap_err()
+            .contains("unknown subcommand"));
+        assert!(run("walk", &parse(&["/no/such/file.bin"]))
+            .unwrap_err()
+            .contains("no such file"));
+        assert!(run("help", &Args::default())
+            .unwrap()
+            .contains("subcommands"));
     }
 
     #[test]
     fn metapath_requires_relations() {
         let gpath = tmp("unlabeled.bin");
-        run("generate", &parse(&["--kind", "er", "--scale", "6", "-o", &gpath])).unwrap();
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "6", "-o", &gpath]),
+        )
+        .unwrap();
         let err = run("walk", &parse(&[&gpath, "--app", "metapath"])).unwrap_err();
         assert!(err.contains("edge relations"));
     }

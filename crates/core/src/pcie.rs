@@ -74,8 +74,16 @@ mod tests {
         // kernel → smaller transfer fraction.
         let short = PcieBreakdown::model(&U250_PLATFORM, 1 << 28, 0.050, 1 << 24);
         let long = PcieBreakdown::model(&U250_PLATFORM, 1 << 28, 5.0, 1 << 26);
-        assert!(short.transfer_fraction() > 0.2, "{}", short.transfer_fraction());
-        assert!(long.transfer_fraction() < 0.02, "{}", long.transfer_fraction());
+        assert!(
+            short.transfer_fraction() > 0.2,
+            "{}",
+            short.transfer_fraction()
+        );
+        assert!(
+            long.transfer_fraction() < 0.02,
+            "{}",
+            long.transfer_fraction()
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub fn compare(
     PowerComparison {
         fpga: f,
         cpu: c,
-        efficiency_improvement: if f.joules > 0.0 { c.joules / f.joules } else { 0.0 },
+        efficiency_improvement: if f.joules > 0.0 {
+            c.joules / f.joules
+        } else {
+            0.0
+        },
     }
 }
 
@@ -75,13 +79,7 @@ mod tests {
     fn paper_scale_example() {
         // Paper reasoning check (§6.5.4): power ratio ≈ 2.6×, speedup up
         // to 9.55× ⇒ efficiency improvement ≈ 25× for MetaPath.
-        let cmp = compare(
-            AppKind::MetaPath,
-            &U250_PLATFORM,
-            &XEON_6246R,
-            1.0,
-            9.55,
-        );
+        let cmp = compare(AppKind::MetaPath, &U250_PLATFORM, &XEON_6246R, 1.0, 9.55);
         assert!(
             (20.0..30.0).contains(&cmp.efficiency_improvement),
             "{}",

@@ -102,10 +102,8 @@ mod tests {
             sim.seconds,
             sim.results.result_bytes(),
         );
-        let resources = crate::resources::estimate(
-            &LightRwConfig::default(),
-            crate::platform::AppKind::Other,
-        );
+        let resources =
+            crate::resources::estimate(&LightRwConfig::default(), crate::platform::AppKind::Other);
         let report = RunReport {
             sim,
             pcie,

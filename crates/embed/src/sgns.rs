@@ -144,8 +144,7 @@ impl SgnsTrainer {
                             continue;
                         }
                         seen_pairs += 1;
-                        let lr = cfg.lr
-                            * (1.0 - seen_pairs as f32 / total_pairs as f32).max(1e-4);
+                        let lr = cfg.lr * (1.0 - seen_pairs as f32 / total_pairs as f32).max(1e-4);
                         let context = path[j] as usize;
                         grad.fill(0.0);
                         // Positive pair + negatives.

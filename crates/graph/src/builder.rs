@@ -140,7 +140,9 @@ impl GraphBuilder {
             .map(|&(u, v, _, _)| u.max(v) as usize + 1)
             .max()
             .unwrap_or(0);
-        from_edges.max(self.min_vertices).max(self.vertex_labels.len())
+        from_edges
+            .max(self.min_vertices)
+            .max(self.vertex_labels.len())
     }
 
     /// Pack into CSR. Duplicate `(u,v)` edges are collapsed (first

@@ -131,7 +131,10 @@ mod tests {
     fn disjoint_cliques_are_separate_components() {
         let mut b = GraphBuilder::undirected().num_vertices(9);
         for base in [0u32, 3, 6] {
-            b = b.edge(base, base + 1).edge(base + 1, base + 2).edge(base, base + 2);
+            b = b
+                .edge(base, base + 1)
+                .edge(base + 1, base + 2)
+                .edge(base, base + 2);
         }
         let g = b.build();
         assert_eq!(num_components(&g), 3);

@@ -69,7 +69,12 @@ pub fn rmat_edges(
 pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Graph {
     GraphBuilder::directed()
         .num_vertices(1 << scale)
-        .edges(rmat_edges(scale, edge_factor, (RMAT_A, RMAT_B, RMAT_C), seed))
+        .edges(rmat_edges(
+            scale,
+            edge_factor,
+            (RMAT_A, RMAT_B, RMAT_C),
+            seed,
+        ))
         .build()
 }
 
@@ -86,7 +91,10 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
         }
         edges.push((u, v));
     }
-    GraphBuilder::undirected().num_vertices(n).edges(edges).build()
+    GraphBuilder::undirected()
+        .num_vertices(n)
+        .edges(edges)
+        .build()
 }
 
 /// Ring lattice: each vertex connected to its `k` clockwise successors

@@ -296,7 +296,9 @@ mod tests {
 
     #[test]
     fn binary_roundtrip_without_labels() {
-        let g = crate::GraphBuilder::directed().edges([(0, 1), (1, 2)]).build();
+        let g = crate::GraphBuilder::directed()
+            .edges([(0, 1), (1, 2)])
+            .build();
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(&buf[..]).unwrap();

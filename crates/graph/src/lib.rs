@@ -18,6 +18,19 @@
 //! - [`io`] — SNAP-style edge-list text and a binary CSR format;
 //! - [`stats`] / [`validate`] — degree-distribution summaries and
 //!   structural integrity checks.
+//!
+//! ```
+//! use lightrw_graph::GraphBuilder;
+//!
+//! let g = GraphBuilder::directed()
+//!     .num_vertices(3)
+//!     .weighted_edges(vec![(0, 1, 5), (0, 2, 1), (1, 2, 1)])
+//!     .build();
+//! assert_eq!(g.num_vertices(), 3);
+//! assert_eq!(g.num_edges(), 3);
+//! assert_eq!(g.neighbors(0), &[1, 2]);
+//! assert_eq!(g.degree(0), 2);
+//! ```
 
 pub mod builder;
 pub mod components;

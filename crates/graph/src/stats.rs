@@ -26,7 +26,11 @@ pub fn degree_histogram(g: &Graph) -> Vec<DegreeBucket> {
     let mut buckets: Vec<DegreeBucket> = Vec::new();
     for v in 0..g.num_vertices() as VertexId {
         let d = g.degree(v);
-        let b = if d == 0 { 0 } else { 32 - (d.leading_zeros() + 1) };
+        let b = if d == 0 {
+            0
+        } else {
+            32 - (d.leading_zeros() + 1)
+        };
         while buckets.len() <= b as usize {
             buckets.push(DegreeBucket {
                 bucket: buckets.len() as u32,
@@ -93,7 +97,7 @@ pub fn summarize(g: &Graph) -> GraphSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{erdos_renyi_gnm, rmat, ring, star};
+    use crate::generators::{erdos_renyi_gnm, ring, rmat, star};
 
     #[test]
     fn histogram_buckets_partition_vertices() {

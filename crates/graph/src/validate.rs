@@ -35,7 +35,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "row_index decreases at vertex {vertex}")
             }
             Self::OffsetsEdgeMismatch { last, edges } => {
-                write!(f, "row_index ends at {last} but col_index has {edges} entries")
+                write!(
+                    f,
+                    "row_index ends at {last} but col_index has {edges} entries"
+                )
             }
             Self::DanglingEdge { src, dst } => {
                 write!(f, "edge ({src},{dst}) points outside the vertex set")

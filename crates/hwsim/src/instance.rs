@@ -63,9 +63,7 @@ impl<'g> Instance<'g> {
     /// miss. Returns the cycle at which `{addr, degree}` is available.
     fn row_info(&mut self, v: VertexId, issue: u64) -> u64 {
         let g = self.graph;
-        let (outcome, _addr, _deg) = self
-            .cache
-            .lookup(v, || (g.row_entry_addr(v), g.degree(v)));
+        let (outcome, _addr, _deg) = self.cache.lookup(v, || (g.row_entry_addr(v), g.degree(v)));
         match outcome {
             CacheOutcome::Hit => issue + 1,
             CacheOutcome::Miss => {
@@ -130,14 +128,12 @@ impl<'g> Instance<'g> {
         }
 
         // --- Neighbor Loader (+ dynamic burst engine).
-        let (first_data, mut last_data) =
-            self.load_neighbors(deg * COL_ENTRY_BYTES, info_ready);
+        let (first_data, mut last_data) = self.load_neighbors(deg * COL_ENTRY_BYTES, info_ready);
         let mut items_total = deg;
         if second_order {
             let deg_prev = g.degree(prev.unwrap()) as u64;
             if deg_prev > 0 {
-                let (_, prev_last) =
-                    self.load_neighbors(deg_prev * COL_ENTRY_BYTES, info_ready);
+                let (_, prev_last) = self.load_neighbors(deg_prev * COL_ENTRY_BYTES, info_ready);
                 last_data = last_data.max(prev_last);
                 // The Weight Updater merge-joins both sorted streams at k
                 // elements/cycle total.
@@ -204,8 +200,7 @@ impl<'g> Instance<'g> {
             self.weights
                 .push(self.app.weight(ctx, nbr, statics[i], relation, pin));
         }
-        self.wrs
-            .select(neighbors, &self.weights)
+        self.wrs.select(neighbors, &self.weights)
     }
 
     /// Run a query set to completion on this instance.
@@ -409,8 +404,7 @@ mod tests {
         let g = generators::rmat_dataset(11, 5);
         let qs = QuerySet::per_nonisolated_vertex(&g, 6, 8);
         let (_, with_cache) = Instance::new(&g, &Uniform, small_cfg(), 3).run(&qs);
-        let (_, no_cache) =
-            Instance::new(&g, &Uniform, small_cfg().without_cache(), 3).run(&qs);
+        let (_, no_cache) = Instance::new(&g, &Uniform, small_cfg().without_cache(), 3).run(&qs);
         assert!(with_cache.cache.hits > 0);
         assert!(
             no_cache.cycles >= with_cache.cycles,

@@ -147,7 +147,10 @@ mod tests {
         let dynamic = expected_valid_ratio_dynamic(&g, BurstConfig::with_long(32), &dram);
         let fixed_short = expected_valid_ratio(&g, 1, &dram);
         let fixed_long = expected_valid_ratio(&g, 32, &dram);
-        assert!((dynamic - fixed_short).abs() < 1e-9, "dynamic {dynamic} short {fixed_short}");
+        assert!(
+            (dynamic - fixed_short).abs() < 1e-9,
+            "dynamic {dynamic} short {fixed_short}"
+        );
         assert!(dynamic > fixed_long + 0.1);
     }
 

@@ -117,13 +117,12 @@ impl BurstPlan {
     pub fn commands(&self) -> impl Iterator<Item = (u64, crate::dram::RequestKind)> + '_ {
         use crate::dram::RequestKind::{Cont, Long, Start};
         let no_longs = self.n_long == 0;
-        std::iter::repeat_n((self.long_beats, Long), self.n_long as usize)
-            .chain(
-                (0..self.n_short as usize).map(move |i| {
-                    let kind = if no_longs && i == 0 { Start } else { Cont };
-                    (self.short_beats, kind)
-                }),
-            )
+        std::iter::repeat_n((self.long_beats, Long), self.n_long as usize).chain(
+            (0..self.n_short as usize).map(move |i| {
+                let kind = if no_longs && i == 0 { Start } else { Cont };
+                (self.short_beats, kind)
+            }),
+        )
     }
 }
 

@@ -336,7 +336,10 @@ mod tests {
         // New entry with degree 50: replaces the degree-30 way, keeps 70.
         c.lookup(3, || (0, 50));
         assert_eq!(c.lookup(2, || panic!("70 evicted")).0, CacheOutcome::Hit);
-        assert_eq!(c.lookup(3, || panic!("50 not installed")).0, CacheOutcome::Hit);
+        assert_eq!(
+            c.lookup(3, || panic!("50 not installed")).0,
+            CacheOutcome::Hit
+        );
         let (o, _, _) = c.lookup(1, || (0, 30));
         assert_eq!(o, CacheOutcome::Miss);
     }

@@ -23,6 +23,19 @@
 //! software stand-in for the paper's TestU01 evidence).
 //!
 //! Everything is deterministic given a seed; no OS entropy is ever consumed.
+//!
+//! ```
+//! use lightrw_rng::{Rng, SplitMix64, StreamBank};
+//!
+//! // One shared-state advance yields a whole row of decorrelated lanes.
+//! let mut bank = StreamBank::new(42, 8);
+//! let mut row = [0u32; 8];
+//! bank.next_row(&mut row);
+//! assert!(row.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+//!
+//! // Scalar generation is deterministic per seed.
+//! assert_eq!(SplitMix64::new(7).next_u64(), SplitMix64::new(7).next_u64());
+//! ```
 
 pub mod decorrelator;
 pub mod mcg;

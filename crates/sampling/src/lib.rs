@@ -22,6 +22,18 @@
 //! All samplers are exercised against each other by distribution
 //! goodness-of-fit tests (see [`distribution`]); they must agree because
 //! the paper's Fig. 14 compares engines built on different samplers.
+//!
+//! ```
+//! use lightrw_sampling::ParallelWrs;
+//!
+//! // k = 4 lanes, as if the hardware consumed 4 weighted items per cycle.
+//! let mut wrs = ParallelWrs::new(7, 4);
+//! let items = [10u32, 20, 30, 40];
+//! // Only one item has nonzero weight, so it must be the sample.
+//! assert_eq!(wrs.select(&items, &[0, 0, 5, 0]), Some(30));
+//! // Zero total weight means nothing can be drawn.
+//! assert_eq!(wrs.select(&items, &[0, 0, 0, 0]), None);
+//! ```
 
 pub mod a_res;
 pub mod alias;

@@ -75,7 +75,7 @@ pub fn select_integer(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distribution::{counts_from, assert_counts_match};
+    use crate::distribution::{assert_counts_match, counts_from};
     use lightrw_rng::SplitMix64;
 
     #[test]

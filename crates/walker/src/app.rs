@@ -21,10 +21,16 @@ pub const FX_ONE: u32 = 1 << FX_FRAC_BITS;
 
 /// Convert a reciprocal scaling `1/x` to a fixed-point multiplier.
 pub fn fx_recip(x: f64) -> u32 {
-    assert!(x > 0.0 && x.is_finite(), "scaling parameter must be positive");
+    assert!(
+        x > 0.0 && x.is_finite(),
+        "scaling parameter must be positive"
+    );
     let m = (FX_ONE as f64 / x).round();
     assert!(m >= 1.0, "scaling parameter {x} too large for fixed point");
-    assert!(m <= u32::MAX as f64, "scaling parameter {x} too small for fixed point");
+    assert!(
+        m <= u32::MAX as f64,
+        "scaling parameter {x} too small for fixed point"
+    );
     m as u32
 }
 
@@ -276,12 +282,21 @@ mod tests {
     fn metapath_matches_relation_sequence() {
         let mp = MetaPath::new(vec![0, 1, 2]);
         // Step 0 expects relation 0.
-        assert_eq!(mp.weight(ctx(0, 0, None), 1, 5, 0, false), 5 << FX_FRAC_BITS);
+        assert_eq!(
+            mp.weight(ctx(0, 0, None), 1, 5, 0, false),
+            5 << FX_FRAC_BITS
+        );
         assert_eq!(mp.weight(ctx(0, 0, None), 1, 5, 1, false), 0);
         // Step 1 expects relation 1.
-        assert_eq!(mp.weight(ctx(1, 0, None), 1, 5, 1, false), 5 << FX_FRAC_BITS);
+        assert_eq!(
+            mp.weight(ctx(1, 0, None), 1, 5, 1, false),
+            5 << FX_FRAC_BITS
+        );
         // Wraps after the path ends: step 3 expects relation 0 again.
-        assert_eq!(mp.weight(ctx(3, 0, None), 1, 5, 0, false), 5 << FX_FRAC_BITS);
+        assert_eq!(
+            mp.weight(ctx(3, 0, None), 1, 5, 0, false),
+            5 << FX_FRAC_BITS
+        );
         assert!(!mp.second_order());
     }
 
@@ -317,7 +332,10 @@ mod tests {
     #[test]
     fn node2vec_first_step_is_static() {
         let nv = Node2Vec::new(2.0, 0.5);
-        assert_eq!(nv.weight(ctx(0, 5, None), 7, 8, 0, false), 8 << FX_FRAC_BITS);
+        assert_eq!(
+            nv.weight(ctx(0, 5, None), 7, 8, 0, false),
+            8 << FX_FRAC_BITS
+        );
         assert!(nv.second_order());
     }
 
@@ -336,6 +354,9 @@ mod tests {
     #[test]
     fn static_weighted_passes_through() {
         let s = StaticWeighted;
-        assert_eq!(s.weight(ctx(2, 1, Some(0)), 9, 7, 3, true), 7 << FX_FRAC_BITS);
+        assert_eq!(
+            s.weight(ctx(2, 1, Some(0)), 9, 7, 3, true),
+            7 << FX_FRAC_BITS
+        );
     }
 }

@@ -23,6 +23,21 @@
 //! [`app::FX_FRAC_BITS`]) because the accelerator's acceptance test
 //! (Eq. 8) is integer. Node2Vec's `1/p` and `1/q` scalings become constant
 //! multipliers, exactly as a hardware Weight Updater would implement them.
+//!
+//! ```
+//! use lightrw_graph::GraphBuilder;
+//! use lightrw_walker::{QuerySet, ReferenceEngine, SamplerKind, Uniform};
+//!
+//! // A 3-cycle: every vertex has exactly one out-neighbor, so the walk
+//! // is deterministic regardless of sampler or seed.
+//! let g = GraphBuilder::directed()
+//!     .num_vertices(3)
+//!     .edges(vec![(0, 1), (1, 2), (2, 0)])
+//!     .build();
+//! let queries = QuerySet::from_starts(vec![0], 3);
+//! let results = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 1).run(&queries);
+//! assert_eq!(results.path(0), &[0, 1, 2, 0]);
+//! ```
 
 pub mod app;
 pub mod corpus_io;

@@ -49,11 +49,7 @@ mod tests {
                 let cand = g.neighbors(cur);
                 assert_eq!(mask.len(), cand.len());
                 for (i, &b) in cand.iter().enumerate() {
-                    assert_eq!(
-                        mask[i],
-                        g.has_edge(prev, b),
-                        "cur={cur} prev={prev} b={b}"
-                    );
+                    assert_eq!(mask[i], g.has_edge(prev, b), "cur={cur} prev={prev} b={b}");
                 }
             }
         }

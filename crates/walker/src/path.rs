@@ -89,10 +89,18 @@ pub enum PathViolation {
     /// The path is empty (every query emits at least its start vertex).
     Empty,
     /// Consecutive vertices are not connected in the graph.
-    NotAnEdge { step: u32, from: VertexId, to: VertexId },
+    NotAnEdge {
+        step: u32,
+        from: VertexId,
+        to: VertexId,
+    },
     /// The edge exists but its dynamic weight was zero at that step, so it
     /// could never have been sampled.
-    ZeroWeightStep { step: u32, from: VertexId, to: VertexId },
+    ZeroWeightStep {
+        step: u32,
+        from: VertexId,
+        to: VertexId,
+    },
 }
 
 /// Check that `path` is a valid realization of `app` on `g`: every hop is
@@ -117,11 +125,7 @@ pub fn validate_path(g: &Graph, app: &dyn WalkApp, path: &[VertexId]) -> Result<
             }
         };
         let w_static = g.neighbor_weights(from)[pos];
-        let relation = g
-            .neighbor_relations(from)
-            .get(pos)
-            .copied()
-            .unwrap_or(0);
+        let relation = g.neighbor_relations(from).get(pos).copied().unwrap_or(0);
         let prev_is_neighbor = prev.map(|p| g.has_edge(p, to)).unwrap_or(false);
         let ctx = StepContext {
             step: i as u32,

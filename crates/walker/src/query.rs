@@ -94,7 +94,10 @@ impl QuerySet {
         for (i, q) in self.queries.iter().enumerate() {
             parts[i % n].push(*q);
         }
-        parts.into_iter().map(|queries| QuerySet { queries }).collect()
+        parts
+            .into_iter()
+            .map(|queries| QuerySet { queries })
+            .collect()
     }
 }
 

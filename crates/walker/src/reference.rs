@@ -12,9 +12,7 @@ use crate::path::WalkResults;
 use crate::query::QuerySet;
 use lightrw_graph::{Graph, VertexId};
 use lightrw_rng::{SplitMix64, StreamBank};
-use lightrw_sampling::{
-    reservoir, AliasTable, IndexSampler, InverseTransformTable, ParallelWrs,
-};
+use lightrw_sampling::{reservoir, AliasTable, IndexSampler, InverseTransformTable, ParallelWrs};
 
 /// Which weighted sampling method the engine uses per step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,8 +122,13 @@ impl<'g> ReferenceEngine<'g> {
     /// no neighbors) terminate early with a shorter path, as in
     /// Algorithm 2.1's `is_end`.
     pub fn run(&self, queries: &QuerySet) -> WalkResults {
-        let mut results =
-            WalkResults::with_capacity(queries.len(), queries.queries().first().map_or(1, |q| q.length as usize + 1));
+        let mut results = WalkResults::with_capacity(
+            queries.len(),
+            queries
+                .queries()
+                .first()
+                .map_or(1, |q| q.length as usize + 1),
+        );
         let mut state = AnySampler::new(self.sampler, self.seed);
         let mut weights: Vec<u32> = Vec::new();
         let mut mask: Vec<bool> = Vec::new();
@@ -209,9 +212,8 @@ mod tests {
             let res = eng.run(&qs);
             assert_eq!(res.len(), qs.len(), "{}", sk.name());
             for p in res.iter() {
-                validate_path(&g, &Uniform, p).unwrap_or_else(|e| {
-                    panic!("{}: invalid path {:?}: {:?}", sk.name(), p, e)
-                });
+                validate_path(&g, &Uniform, p)
+                    .unwrap_or_else(|e| panic!("{}: invalid path {:?}: {:?}", sk.name(), p, e));
             }
         }
     }
@@ -239,7 +241,10 @@ mod tests {
         let g = generators::rmat_dataset(8, 6);
         let nv = Node2Vec::paper_params();
         let qs = QuerySet::n_queries(&g, 64, 20, 4);
-        for sk in [SamplerKind::InverseTransform, SamplerKind::ParallelWrs { k: 8 }] {
+        for sk in [
+            SamplerKind::InverseTransform,
+            SamplerKind::ParallelWrs { k: 8 },
+        ] {
             let eng = ReferenceEngine::new(&g, &nv, sk, 13);
             let res = eng.run(&qs);
             for p in res.iter() {

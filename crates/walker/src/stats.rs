@@ -44,7 +44,11 @@ pub fn walk_stats(g: &Graph, results: &WalkResults, requested: u32) -> WalkStats
     WalkStats {
         walks,
         steps: results.total_steps(),
-        dead_end_rate: if walks == 0 { 0.0 } else { dead as f64 / walks as f64 },
+        dead_end_rate: if walks == 0 {
+            0.0
+        } else {
+            dead as f64 / walks as f64
+        },
         coverage: visited.iter().filter(|&&b| b).count() as f64 / g.num_vertices().max(1) as f64,
         mean_length: if walks == 0 {
             0.0
@@ -87,11 +91,7 @@ pub fn top_degree_visit_share(g: &Graph, results: &WalkResults, top: usize) -> f
     }
     let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
     order.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
-    let hot: u64 = order
-        .iter()
-        .take(top)
-        .map(|&v| counts[v as usize])
-        .sum();
+    let hot: u64 = order.iter().take(top).map(|&v| counts[v as usize]).sum();
     hot as f64 / total as f64
 }
 
@@ -143,9 +143,8 @@ mod tests {
     fn static_weighted_walks_also_favor_hubs() {
         let g = generators::rmat_dataset(10, 9);
         let qs = QuerySet::per_nonisolated_vertex(&g, 20, 5);
-        let res =
-            ReferenceEngine::new(&g, &StaticWeighted, SamplerKind::ParallelWrs { k: 8 }, 2)
-                .run(&qs);
+        let res = ReferenceEngine::new(&g, &StaticWeighted, SamplerKind::ParallelWrs { k: 8 }, 2)
+            .run(&qs);
         let r = degree_visit_correlation(&g, &res);
         assert!(r > 0.5, "correlation {r:.3}");
     }

@@ -33,7 +33,10 @@ fn main() {
     };
 
     println!("-- WRS parallelism k (burst b1+b32, cache 2^12) --");
-    println!("{:<6} {:>12} {:>14} {:>8} {:>8}", "k", "cycles", "Msteps/s(sim)", "LUT%", "DSP%");
+    println!(
+        "{:<6} {:>12} {:>14} {:>8} {:>8}",
+        "k", "cycles", "Msteps/s(sim)", "LUT%", "DSP%"
+    );
     for k in [1usize, 2, 4, 8, 16, 32] {
         let (sim, res) = run(LightRwConfig { k, ..base });
         println!(
@@ -47,7 +50,10 @@ fn main() {
     }
 
     println!("\n-- dynamic burst strategy (k=16) --");
-    println!("{:<8} {:>12} {:>10} {:>12}", "strategy", "cycles", "speedup", "valid data");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12}",
+        "strategy", "cycles", "speedup", "valid data"
+    );
     let baseline = run(LightRwConfig {
         burst: BurstConfig::short_only(),
         ..base
@@ -73,7 +79,10 @@ fn main() {
     }
 
     println!("\n-- row cache size (k=16, b1+b32) --");
-    println!("{:<10} {:>12} {:>10} {:>8}", "entries", "cycles", "hit rate", "BRAM%");
+    println!(
+        "{:<10} {:>12} {:>10} {:>8}",
+        "entries", "cycles", "hit rate", "BRAM%"
+    );
     for bits in [8u32, 10, 12, 14, 16] {
         let (sim, res) = run(LightRwConfig {
             cache_index_bits: bits,

@@ -34,13 +34,24 @@ fn name_of(v: u32) -> &'static str {
 fn main() {
     // Authorship (author, paper) and publication (paper, venue) facts.
     let authorship: &[(u32, u32)] = &[
-        (0, 4), (0, 5), (1, 5), (1, 6), (1, 7), (2, 6), (2, 8), (3, 8), (3, 9), (0, 9),
+        (0, 4),
+        (0, 5),
+        (1, 5),
+        (1, 6),
+        (1, 7),
+        (2, 6),
+        (2, 8),
+        (3, 8),
+        (3, 9),
+        (0, 9),
     ];
     let publication: &[(u32, u32)] = &[(4, 10), (5, 10), (6, 11), (7, 10), (8, 11), (9, 11)];
 
     let mut b = GraphBuilder::directed().num_vertices(12);
     for &(a, p) in authorship {
-        b = b.labeled_edge(a, p, 1, WRITES).labeled_edge(p, a, 1, WRITTEN_BY);
+        b = b
+            .labeled_edge(a, p, 1, WRITES)
+            .labeled_edge(p, a, 1, WRITTEN_BY);
     }
     for &(p, v) in publication {
         b = b

@@ -45,7 +45,11 @@ fn main() {
 
     // ...and the accelerator-model report.
     println!("\nsimulated kernel : {}", pretty(m.kernel_seconds));
-    println!("end-to-end       : {} ({:.1}% PCIe)", pretty(m.end_to_end_seconds), m.pcie_fraction * 100.0);
+    println!(
+        "end-to-end       : {} ({:.1}% PCIe)",
+        pretty(m.end_to_end_seconds),
+        m.pcie_fraction * 100.0
+    );
     println!("throughput       : {:.1} M steps/s", m.steps_per_sec / 1e6);
     println!("row-cache hits   : {:.1}%", m.cache_hit_ratio * 100.0);
     println!("DRAM valid data  : {:.1}%", m.dram_valid_ratio * 100.0);

@@ -1,1 +1,2 @@
-pub use lightrw; pub use lightrw_embed;
+pub use lightrw;
+pub use lightrw_embed;

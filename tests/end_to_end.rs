@@ -77,8 +77,16 @@ fn accelerated_walks_power_link_prediction() {
         ..Default::default()
     })
     .train(&sim.results, split.train.num_vertices());
-    let pos: Vec<f32> = split.test_pos.iter().map(|&(u, v)| emb.cosine(u, v)).collect();
-    let neg: Vec<f32> = split.test_neg.iter().map(|&(u, v)| emb.cosine(u, v)).collect();
+    let pos: Vec<f32> = split
+        .test_pos
+        .iter()
+        .map(|&(u, v)| emb.cosine(u, v))
+        .collect();
+    let neg: Vec<f32> = split
+        .test_neg
+        .iter()
+        .map(|&(u, v)| emb.cosine(u, v))
+        .collect();
     let score = auc(&pos, &neg);
     assert!(score > 0.7, "AUC {score:.3} too close to chance");
 }

@@ -69,7 +69,9 @@ fn every_engine_emits_only_valid_node2vec_walks() {
 
     let reference = ReferenceEngine::new(&g, &nv, SamplerKind::ParallelWrs { k: 16 }, 7).run(&qs);
     let (baseline, _) = CpuEngine::new(&g, &nv, BaselineConfig::default()).run(&qs);
-    let hwsim = LightRwSim::new(&g, &nv, LightRwConfig::default()).run(&qs).results;
+    let hwsim = LightRwSim::new(&g, &nv, LightRwConfig::default())
+        .run(&qs)
+        .results;
 
     for (name, results) in [
         ("reference", &reference),
@@ -97,11 +99,15 @@ fn every_engine_respects_metapath_relations() {
         ),
         (
             "baseline",
-            CpuEngine::new(&g, &mp, BaselineConfig::default()).run(&qs).0,
+            CpuEngine::new(&g, &mp, BaselineConfig::default())
+                .run(&qs)
+                .0,
         ),
         (
             "hwsim",
-            LightRwSim::new(&g, &mp, LightRwConfig::default()).run(&qs).results,
+            LightRwSim::new(&g, &mp, LightRwConfig::default())
+                .run(&qs)
+                .results,
         ),
     ] {
         for p in results.iter() {

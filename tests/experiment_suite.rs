@@ -10,7 +10,10 @@ fn every_experiment_runs_at_quick_scale() {
     let opts = Opts::quick();
     for (id, runner) in experiments::all() {
         let md = runner(&opts);
-        assert!(md.starts_with("## "), "{id}: report must start with a title");
+        assert!(
+            md.starts_with("## "),
+            "{id}: report must start with a title"
+        );
         assert!(md.contains('|'), "{id}: report must contain a table");
         let data_rows = md
             .lines()
@@ -24,8 +27,21 @@ fn every_experiment_runs_at_quick_scale() {
 fn experiment_list_covers_every_paper_artifact() {
     let ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
     for expected in [
-        "table1", "fig6", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "table3", "table4", "table5", "fig18", "ext_cluster",
+        "table1",
+        "fig6",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "table3",
+        "table4",
+        "table5",
+        "fig18",
+        "ext_cluster",
     ] {
         assert!(ids.contains(&expected), "missing experiment {expected}");
     }

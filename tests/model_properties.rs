@@ -9,14 +9,16 @@ use proptest::prelude::*;
 
 /// Strategy: a random small directed graph as an edge list.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2u32..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..20), 1..120)).prop_map(
-        |(extra, edges)| {
+    (
+        2u32..40,
+        proptest::collection::vec((0u32..40, 0u32..40, 1u32..20), 1..120),
+    )
+        .prop_map(|(extra, edges)| {
             GraphBuilder::directed()
                 .num_vertices(40 + extra as usize)
                 .weighted_edges(edges)
                 .build()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -39,7 +39,10 @@ fn claim_degree_aware_cache_beats_dmc() {
             instances: 1,
             ..LightRwConfig::default()
         };
-        LightRwSim::new(&g, &mp, cfg).run(&qs).cache_total().miss_ratio()
+        LightRwSim::new(&g, &mp, cfg)
+            .run(&qs)
+            .cache_total()
+            .miss_ratio()
     };
     let dac = run(CachePolicy::DegreeAware);
     let dmc = run(CachePolicy::AlwaysReplace);
@@ -113,7 +116,10 @@ fn claim_pcie_share_contrast() {
         .run(&QuerySet::per_nonisolated_vertex(&g, 80, 1))
         .pcie
         .transfer_fraction();
-    assert!(mp_frac > 2.0 * nv_frac, "MetaPath {mp_frac} vs Node2Vec {nv_frac}");
+    assert!(
+        mp_frac > 2.0 * nv_frac,
+        "MetaPath {mp_frac} vs Node2Vec {nv_frac}"
+    );
 }
 
 /// Table 5 shape: both bitstreams fit the U250 with ample headroom, and

@@ -1,0 +1,329 @@
+//! Offline stand-in for `criterion`, vendored because the build
+//! environment cannot reach crates.io. It mirrors the subset of the
+//! criterion 0.5 API the workspace's benches use — `criterion_group!`
+//! (struct form), `criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `Bencher`, `BenchmarkId`, `Throughput`, `black_box` — and actually
+//! times the closures with `std::time::Instant`, printing a one-line
+//! median per benchmark. No statistics, plotting or comparison: the goal
+//! is that `cargo bench` produces honest coarse numbers and
+//! `cargo bench --no-run` compiles every target.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal multiple display).
+    BytesDecimal(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`: (median, iters_per_sample).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, storing a median-of-samples estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, measuring the
+        // per-iteration cost to size the real samples.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || iters == 0 {
+            black_box(routine());
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(iters as u32)
+            .unwrap_or_default();
+
+        // Size each sample so the whole measurement fits the budget.
+        let samples = self.config.sample_size.max(2) as u64;
+        let budget_per_sample = self.config.measurement_time / samples as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1024
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+
+        let mut times: Vec<Duration> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(t.elapsed() / iters_per_sample as u32);
+        }
+        times.sort();
+        self.result = Some((times[times.len() / 2], iters_per_sample));
+    }
+}
+
+/// Measurement configuration shared by a `Criterion` instance.
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The benchmark manager. Mirrors criterion's builder API.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Set the number of samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// When invoked via `cargo test`/CI smoke mode, shrink budgets.
+    pub fn configure_from_args(self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(1))
+                .sample_size(2)
+        } else {
+            self
+        }
+    }
+
+    /// Open a named group of related benchmarks. The group gets its own
+    /// copy of the config, so group-level overrides don't leak into
+    /// later groups (matching real criterion's scoping).
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup {
+            config: self.config.clone(),
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Single benchmark without a group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.to_string();
+        run_one(&self.config, &name, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation and a
+/// group-scoped copy of the measurement config.
+pub struct BenchmarkGroup {
+    config: Config,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement time for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up time for this group only.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.config, &full, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I, F, T: ?Sized>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher<'_>, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.config, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report flushing is per-bench here, so a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    config: &Config,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, _)) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if !median.is_zero() => {
+                    format!("  ({:.2e} elem/s)", n as f64 / median.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if !median.is_zero() => {
+                    format!("  ({:.2e} B/s)", n as f64 / median.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench: {name:<50} {median:>12.2?}/iter{rate}");
+        }
+        None => println!("bench: {name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declare a group of benchmark functions. Supports both the plain list
+/// form and the `name/config/targets` struct form criterion offers.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for `serde`, vendored into the workspace because the
+//! build environment has no network access to crates.io.
+//!
+//! Only the surface this workspace actually uses is provided: the
+//! [`Serialize`] trait (with a simplified single-format contract: types
+//! know how to append their JSON encoding to a buffer) and the
+//! `#[derive(Serialize)]` macro re-exported from `serde_derive`. The
+//! derive generates impls of this trait for plain structs with named
+//! fields and for fieldless enums, which covers every derived type in
+//! the LightRW reproduction.
+//!
+//! The trait contract is intentionally *not* serde's visitor-based
+//! `Serializer` API: downstream code here only ever calls
+//! `serde_json::to_string`, so a direct JSON encoding keeps the vendored
+//! code a few hundred lines instead of a few tens of thousands.
+
+pub use serde_derive::Serialize;
+
+/// Types that can append a JSON encoding of themselves to a buffer.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! impl_display_num {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use core::fmt::Write;
+                write!(out, "{self}").expect("writing to a String cannot fail");
+            }
+        })*
+    };
+}
+
+impl_display_num!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            let mut s = format!("{self}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            out.push_str(&s);
+        } else {
+            // JSON has no NaN/Inf; serde_json emits null for them.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+/// JSON string escaping shared by `str` and `char`.
+pub fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {
+        $(impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        })*
+    };
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&0usize), "0");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&2.0f64), "2.0");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b\n"), "\"a\\\"b\\n\"");
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(5u8)), "5");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+    }
+}

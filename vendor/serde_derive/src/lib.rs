@@ -1,0 +1,213 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no `syn`/`quote` — the build environment cannot reach crates.io).
+//!
+//! Supports exactly the shapes the workspace derives on:
+//! - structs with named fields → JSON objects `{"field":value,...}`
+//! - fieldless enums → JSON strings `"VariantName"`
+//!
+//! Anything else (tuple structs, enums with payloads, generics) is a
+//! compile error pointing here, which is the desired failure mode for a
+//! vendored stub: extend it when a new shape appears.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let shape = parse(input)?;
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"\\\"{v}\\\"\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                         out.push_str(match self {{\n{arms}}});\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .map_err(|e| format!("serde_derive stub generated invalid code: {e:?}"))
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes, doc comments and visibility until `struct`/`enum`.
+    let mut kind = None;
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, `crate` path segments etc. — skip.
+            }
+            TokenTree::Punct(_) | TokenTree::Group(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    let kind = kind.ok_or_else(|| "expected struct or enum".to_string())?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    // Reject generics: the workspace never derives on generic types.
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub cannot derive Serialize for generic type {name}"
+        ));
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => continue,
+            None => {
+                return Err(format!(
+                    "serde stub cannot derive Serialize for {name}: no braced body (tuple/unit types unsupported)"
+                ))
+            }
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Shape::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        })
+    }
+}
+
+/// Field names of a named-field struct body. Commas inside angle brackets
+/// (e.g. `HashMap<K, V>`) do not split fields; groups are opaque tokens so
+/// only `<`/`>` depth needs tracking. The `>` of a `->` (fn-pointer return
+/// type) is not a closing bracket, and a stray `>` at depth 0 is a hard
+/// error rather than silent field loss.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut prev_was_minus = false;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let arrow_close =
+            prev_was_minus && matches!(&tt, TokenTree::Punct(p) if p.as_char() == '>');
+        prev_was_minus = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '-');
+        match &tt {
+            TokenTree::Punct(_) if arrow_close => {}
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                if angle_depth < 0 {
+                    return Err(
+                        "serde stub: unbalanced `>` in a field type; this type syntax is unsupported"
+                            .to_string(),
+                    );
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_field_start = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Field attribute or doc comment: consume the bracket group.
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) if at_field_start && angle_depth == 0 => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Visibility; a following `(crate)` group is skipped as
+                    // a generic token.
+                    continue;
+                }
+                // This ident must be the field name; a `:` must follow.
+                match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        fields.push(s);
+                        at_field_start = false;
+                    }
+                    _ => {
+                        return Err(format!(
+                            "serde stub: unsupported struct field syntax near `{s}`"
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut at_variant_start = true;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => at_variant_start = true,
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) if at_variant_start => {
+                variants.push(id.to_string());
+                at_variant_start = false;
+                // Payload or discriminant after the name is unsupported.
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "serde stub: enum variant {id} has a payload or discriminant ({other}), only fieldless enums are supported"
+                        ))
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(variants)
+}

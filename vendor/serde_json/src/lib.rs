@@ -1,0 +1,93 @@
+//! Offline stand-in for `serde_json`, vendored because the build
+//! environment has no crates.io access. Provides `to_string` /
+//! `to_string_pretty` over the vendored [`serde::Serialize`] trait —
+//! the only serde_json surface this workspace uses.
+
+use std::fmt;
+
+/// Error type kept for API compatibility; the simplified encoder is
+/// infallible, so this is never constructed today.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent a compact JSON string. Operates on the token structure (it
+/// respects string escapes), so it round-trips anything `to_string` emits.
+fn prettify(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if in_str {
+            out.push(c);
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_roundtrip() {
+        assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+        let pretty = super::to_string_pretty(&vec![1u8, 2]).unwrap();
+        assert!(pretty.contains('\n'));
+    }
+}
