@@ -5,8 +5,7 @@ use std::time::{Duration, Instant};
 use lightrw_graph::{Graph, VertexId};
 use lightrw_rng::splitmix::mix64;
 use lightrw_walker::app::StepContext;
-use lightrw_walker::membership::common_neighbor_mask;
-use lightrw_walker::{AnySampler, QuerySet, SamplerKind, WalkApp, WalkResults};
+use lightrw_walker::{HotStepper, QuerySet, SamplerKind, WalkApp, WalkResults};
 
 /// CPU engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,13 +72,36 @@ impl BaselineRunStats {
     }
 }
 
-/// Per-query walk state used by the round-robin scheduler.
-struct WalkState {
-    cur: VertexId,
-    prev: Option<VertexId>,
-    step: u32,
-    length: u32,
-    path: Vec<VertexId>,
+/// Per-worker walk state in structure-of-arrays layout: the round-robin
+/// scheduler touches `cur`/`prev`/`step` for every active query each
+/// sweep, so keeping them in dense parallel arrays (instead of an array
+/// of structs with inline path buffers) keeps the sweep's working set to
+/// a few cache lines per query.
+struct WalkStateSoA {
+    cur: Vec<VertexId>,
+    prev: Vec<Option<VertexId>>,
+    step: Vec<u32>,
+    /// Output paths, preallocated to full length at setup — the step loop
+    /// never allocates.
+    paths: Vec<Vec<VertexId>>,
+}
+
+impl WalkStateSoA {
+    fn new(qs: &[lightrw_walker::Query]) -> Self {
+        Self {
+            cur: qs.iter().map(|q| q.start).collect(),
+            prev: vec![None; qs.len()],
+            step: vec![0; qs.len()],
+            paths: qs
+                .iter()
+                .map(|q| {
+                    let mut p = Vec::with_capacity(q.length as usize + 1);
+                    p.push(q.start);
+                    p
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The ThunderRW-like engine.
@@ -97,9 +119,13 @@ impl<'g> CpuEngine<'g> {
 
     /// Execute all queries; returns paths in query order plus timing.
     pub fn run(&self, queries: &QuerySet) -> (WalkResults, BaselineRunStats) {
-        let threads = self.cfg.effective_threads().max(1);
+        // `effective_threads` already returns >= 1 for both branches.
+        let threads = self.cfg.effective_threads();
         let qs = queries.queries();
-        let chunk = qs.len().div_ceil(threads.max(1)).max(1);
+        let chunk = qs.len().div_ceil(threads).max(1);
+        // Hoisted out of the workers: one degree scan sizes every worker's
+        // sampler/bitset scratch for the whole run.
+        let max_degree = self.graph.max_degree() as usize;
         let start = Instant::now();
 
         // Contiguous chunks preserve query order on concatenation.
@@ -108,7 +134,7 @@ impl<'g> CpuEngine<'g> {
             let mut handles = Vec::new();
             for (t, chunk_qs) in qs.chunks(chunk).enumerate() {
                 let seed = mix64(self.cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                handles.push(scope.spawn(move || self.run_chunk(chunk_qs, seed)));
+                handles.push(scope.spawn(move || self.run_chunk(chunk_qs, seed, max_degree)));
             }
             for h in handles {
                 chunk_outputs.push(h.join().expect("worker thread panicked"));
@@ -135,50 +161,44 @@ impl<'g> CpuEngine<'g> {
     }
 
     /// One worker: advance its queries round-robin, one step per visit —
-    /// ThunderRW's step-centric interleaving.
-    fn run_chunk(&self, qs: &[lightrw_walker::Query], seed: u64) -> (WalkResults, u64) {
+    /// ThunderRW's step-centric interleaving. Worker setup allocates the
+    /// SoA walk state and the stepper's scratch once; each step is then a
+    /// single fused weight-calculation + sampling pass (Alg. 2.1's two
+    /// phases, streamed) with no heap allocation.
+    fn run_chunk(
+        &self,
+        qs: &[lightrw_walker::Query],
+        seed: u64,
+        max_degree: usize,
+    ) -> (WalkResults, u64) {
         let g = self.graph;
-        let mut sampler = AnySampler::new(self.cfg.sampler, seed);
-        let mut weights: Vec<u32> = Vec::new();
-        let mut mask: Vec<bool> = Vec::new();
+        let mut stepper = HotStepper::new(self.app, self.cfg.sampler, seed);
+        stepper.reserve(max_degree);
+        let mut st = WalkStateSoA::new(qs);
 
-        let mut states: Vec<WalkState> = qs
-            .iter()
-            .map(|q| WalkState {
-                cur: q.start,
-                prev: None,
-                step: 0,
-                length: q.length,
-                path: {
-                    let mut p = Vec::with_capacity(q.length as usize + 1);
-                    p.push(q.start);
-                    p
-                },
-            })
-            .collect();
-
-        let mut active: Vec<usize> = (0..states.len())
-            .filter(|&i| states[i].length > 0)
-            .collect();
+        let mut active: Vec<usize> = (0..qs.len()).filter(|&i| qs[i].length > 0).collect();
         let mut steps = 0u64;
 
         while !active.is_empty() {
             let mut i = 0;
             while i < active.len() {
                 let qi = active[i];
-                let st = &mut states[qi];
-                let done =
-                    match Self::one_step(g, self.app, st, &mut sampler, &mut weights, &mut mask) {
-                        Some(next) => {
-                            steps += 1;
-                            st.path.push(next);
-                            st.prev = Some(st.cur);
-                            st.cur = next;
-                            st.step += 1;
-                            st.step >= st.length
-                        }
-                        None => true, // dead end
-                    };
+                let ctx = StepContext {
+                    step: st.step[qi],
+                    cur: st.cur[qi],
+                    prev: st.prev[qi],
+                };
+                let done = match stepper.step(g, self.app, ctx) {
+                    Some(next) => {
+                        steps += 1;
+                        st.paths[qi].push(next);
+                        st.prev[qi] = Some(st.cur[qi]);
+                        st.cur[qi] = next;
+                        st.step[qi] += 1;
+                        st.step[qi] >= qs[qi].length
+                    }
+                    None => true, // dead end
+                };
                 if done {
                     active.swap_remove(i);
                 } else {
@@ -187,45 +207,11 @@ impl<'g> CpuEngine<'g> {
             }
         }
 
-        let mut results = WalkResults::with_capacity(states.len(), 8);
-        for st in &states {
-            results.push_path(&st.path);
+        let mut results = WalkResults::with_capacity(qs.len(), 8);
+        for p in &st.paths {
+            results.push_path(p);
         }
         (results, steps)
-    }
-
-    /// One Algorithm 2.1 step: weight_calculation + weighted_sampling.
-    fn one_step(
-        g: &Graph,
-        app: &dyn WalkApp,
-        st: &WalkState,
-        sampler: &mut AnySampler,
-        weights: &mut Vec<u32>,
-        mask: &mut Vec<bool>,
-    ) -> Option<VertexId> {
-        let neighbors = g.neighbors(st.cur);
-        if neighbors.is_empty() {
-            return None;
-        }
-        let need_mask = app.second_order() && st.prev.is_some();
-        if need_mask {
-            common_neighbor_mask(g, st.cur, st.prev.unwrap(), mask);
-        }
-        let ctx = StepContext {
-            step: st.step,
-            cur: st.cur,
-            prev: st.prev,
-        };
-        let statics = g.neighbor_weights(st.cur);
-        let relations = g.neighbor_relations(st.cur);
-        weights.clear();
-        weights.reserve(neighbors.len());
-        for (i, &nbr) in neighbors.iter().enumerate() {
-            let relation = relations.get(i).copied().unwrap_or(0);
-            let pin = need_mask && mask[i];
-            weights.push(app.weight(ctx, nbr, statics[i], relation, pin));
-        }
-        sampler.select_index(weights).map(|i| neighbors[i])
     }
 }
 

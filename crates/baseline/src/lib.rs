@@ -22,6 +22,21 @@
 //! the engine's memory reference stream, producing LLC-miss / memory-bound
 //! / retiring estimates in place of vTune's top-down counters (the machine
 //! substitution documented in DESIGN.md).
+//!
+//! The per-step path follows the hot-path conventions of DESIGN.md §5:
+//! workers keep SoA walk state and a `lightrw_walker::HotStepper` whose
+//! scratch is sized once at setup, so the steady-state walk loop performs
+//! no heap allocation — the engine measures sampling cost, not allocator
+//! cost. For *dynamic* apps (Node2Vec, and anything whose
+//! `weight_profile()` is `Dynamic`) the cost model is exactly
+//! Algorithm 2.1: stream the weights, pay the table kind's O(|N(v)|)
+//! initialization, draw. Static-profile apps (Uniform, StaticWeighted,
+//! MetaPath) take the same profile-driven fast paths as the other
+//! engines — the sampled walks are bit-identical either way (the §5
+//! RNG-identity contract), so this is a fair floor for the comparison;
+//! to measure the un-hinted cost, wrap the app in a profile-hiding
+//! adapter as `tests/hotpath_equivalence.rs` does, or drop the graph's
+//! prefix cache.
 
 pub mod engine;
 pub mod llc;

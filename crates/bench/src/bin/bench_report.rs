@@ -1,0 +1,289 @@
+//! Hot-path throughput report: quick steps/sec presets for the CPU
+//! baseline and the hwsim feeder, written as machine-readable JSON.
+//!
+//! This is the perf-trajectory seeder: CI runs `bench_report --quick` on
+//! every push and uploads `BENCH_hotpath.json`, so hot-path regressions in
+//! the per-step sampling loop (DESIGN.md §5) show up as a throughput drop
+//! in the artifact history rather than silently distorting the Fig. 14
+//! comparisons.
+//!
+//! ```text
+//! cargo run --release -p lightrw-bench --bin bench_report -- --quick
+//! cargo run --release -p lightrw-bench --bin bench_report -- --scale 13 \
+//!     --baseline BENCH_before.json --out BENCH_hotpath.json
+//! ```
+//!
+//! `--baseline PATH` embeds the `throughput` rows of a previous report (a
+//! file this binary wrote) under `"baseline"`, giving one file with
+//! machine-readable before/after numbers.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lightrw::graph::generators::rmat_dataset;
+use lightrw::prelude::*;
+
+/// One measured engine × app × dataset row.
+struct Row {
+    dataset: String,
+    app: &'static str,
+    engine: &'static str,
+    sampler: String,
+    threads: usize,
+    steps: u64,
+    secs: f64,
+}
+
+impl Row {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"app\": \"{}\", \"engine\": \"{}\", \"sampler\": \"{}\", \
+             \"threads\": {}, \"steps\": {}, \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
+            self.dataset,
+            self.app,
+            self.engine,
+            self.sampler,
+            self.threads,
+            self.steps,
+            self.secs,
+            self.steps_per_sec()
+        )
+    }
+}
+
+struct ReportOpts {
+    scale: u32,
+    seed: u64,
+    quick: bool,
+    out: String,
+    baseline: Option<String>,
+}
+
+impl ReportOpts {
+    fn from_args() -> Self {
+        let mut o = Self {
+            scale: 12,
+            seed: 42,
+            quick: false,
+            out: "BENCH_hotpath.json".to_string(),
+            baseline: None,
+        };
+        const USAGE: &str = "options: --scale N --seed N --quick --out PATH --baseline PATH";
+        fn die(msg: &str) -> ! {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2)
+        }
+        /// The flag's value: the next argument, required.
+        fn value(args: &[String], i: &mut usize, flag: &str) -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+                .clone()
+        }
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    o.scale = value(&args, &mut i, "--scale")
+                        .parse()
+                        .unwrap_or_else(|_| die("--scale needs an integer"));
+                }
+                "--seed" => {
+                    o.seed = value(&args, &mut i, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| die("--seed needs an integer"));
+                }
+                "--quick" => o.quick = true,
+                "--out" => o.out = value(&args, &mut i, "--out"),
+                "--baseline" => o.baseline = Some(value(&args, &mut i, "--baseline")),
+                "--help" | "-h" => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown option {other}")),
+            }
+            i += 1;
+        }
+        if o.quick {
+            o.scale = o.scale.min(10);
+        }
+        o
+    }
+}
+
+/// The quick preset apps: the three first-order profiles plus the
+/// second-order Node2Vec, each with its paper-ish walk length.
+fn apps(quick: bool) -> Vec<(Box<dyn WalkApp>, u32)> {
+    let n2v_len = if quick { 8 } else { 40 };
+    vec![
+        (Box::new(Uniform) as Box<dyn WalkApp>, 10),
+        (Box::new(StaticWeighted) as Box<dyn WalkApp>, 10),
+        (
+            Box::new(MetaPath::new(vec![0, 1, 0, 1, 0])) as Box<dyn WalkApp>,
+            5,
+        ),
+        (
+            Box::new(Node2Vec::paper_params()) as Box<dyn WalkApp>,
+            n2v_len,
+        ),
+    ]
+}
+
+fn measure(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<Row>) {
+    for (app, len) in apps(opts.quick) {
+        let qs = QuerySet::per_nonisolated_vertex(g, len, opts.seed);
+
+        // CPU baseline, single-threaded (the per-step path itself) and
+        // all-cores (what Fig. 14's wall-clock bars use).
+        for threads in [1usize, 0] {
+            let cfg = BaselineConfig {
+                threads,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let engine = CpuEngine::new(g, app.as_ref(), cfg);
+            let start = Instant::now();
+            let (_, stats) = engine.run(&qs);
+            let secs = start.elapsed().as_secs_f64();
+            rows.push(Row {
+                dataset: name.to_string(),
+                app: app.name(),
+                engine: "cpu",
+                sampler: cfg.sampler.name(),
+                threads: stats.threads,
+                steps: stats.steps,
+                secs,
+            });
+        }
+
+        // hwsim feeder: host wall-clock of the functional simulation — the
+        // software loop this PR's fusion optimizes (model cycles are a
+        // separate, unchanged story).
+        let sim = LightRwSim::new(g, app.as_ref(), LightRwConfig::default());
+        let start = Instant::now();
+        let report = sim.run(&qs);
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(Row {
+            dataset: name.to_string(),
+            app: app.name(),
+            engine: "hwsim-feeder",
+            sampler: format!("parallel-wrs(k={})", LightRwConfig::default().k),
+            threads: 1,
+            steps: report.steps,
+            secs,
+        });
+    }
+}
+
+/// Pull the `"throughput": [...]` rows (one per line, as this binary
+/// writes them) out of a previous report for the before/after embedding.
+fn extract_rows(json: &str) -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut in_rows = false;
+    for line in json.lines() {
+        let t = line.trim();
+        if t.starts_with("\"throughput\"") {
+            in_rows = true;
+            continue;
+        }
+        if in_rows {
+            if t == "]" || t == "]," {
+                break;
+            }
+            rows.push(t.trim_end_matches(',').to_string());
+        }
+    }
+    rows
+}
+
+fn main() {
+    let opts = ReportOpts::from_args();
+    let mut rows = Vec::new();
+
+    let datasets: Vec<(String, Graph)> = if opts.quick {
+        vec![(
+            format!("rmat-{}", opts.scale),
+            rmat_dataset(opts.scale, opts.seed),
+        )]
+    } else {
+        vec![
+            (
+                format!("rmat-{}", opts.scale),
+                rmat_dataset(opts.scale, opts.seed),
+            ),
+            (
+                "youtube".to_string(),
+                DatasetProfile::youtube().stand_in(opts.scale, opts.seed),
+            ),
+            (
+                "orkut".to_string(),
+                DatasetProfile::orkut().stand_in(opts.scale.saturating_sub(1), opts.seed),
+            ),
+        ]
+    };
+
+    for (name, g) in &datasets {
+        eprintln!(
+            "measuring {name}: |V|={} |E|={}",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        measure(name, g, &opts, &mut rows);
+    }
+
+    let baseline_rows = opts
+        .baseline
+        .as_ref()
+        .map(|p| extract_rows(&std::fs::read_to_string(p).expect("read --baseline file")))
+        .unwrap_or_default();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}}},",
+        opts.scale, opts.seed, opts.quick
+    );
+    if !baseline_rows.is_empty() {
+        json.push_str("  \"baseline\": [\n");
+        for (i, r) in baseline_rows.iter().enumerate() {
+            let sep = if i + 1 < baseline_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    {r}{sep}");
+        }
+        json.push_str("  ],\n");
+    }
+    json.push_str("  \"throughput\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{sep}", r.to_json());
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&opts.out, &json).expect("write report");
+
+    println!(
+        "{:<10} {:<15} {:<13} {:>8} {:>12}",
+        "dataset", "app", "engine", "threads", "steps/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<15} {:<13} {:>8} {:>12}",
+            r.dataset,
+            r.app,
+            r.engine,
+            r.threads,
+            lightrw_bench::fmt_rate(r.steps_per_sec())
+        );
+    }
+    eprintln!("wrote {}", opts.out);
+}

@@ -78,7 +78,7 @@ pub mod prelude {
     pub use lightrw_hwsim::{LightRwConfig, LightRwSim, SimReport};
     pub use lightrw_memsim::{BurstConfig, CachePolicy, DramConfig};
     pub use lightrw_walker::{
-        MetaPath, Node2Vec, Query, QuerySet, ReferenceEngine, SamplerKind, StaticWeighted, Uniform,
-        WalkApp, WalkResults,
+        HotStepper, MetaPath, Node2Vec, Query, QuerySet, ReferenceEngine, SamplerKind,
+        StaticWeighted, Uniform, WalkApp, WalkResults, WeightProfile,
     };
 }

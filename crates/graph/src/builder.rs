@@ -15,6 +15,7 @@ pub struct GraphBuilder {
     min_vertices: usize,
     edges: Vec<(VertexId, VertexId, u32, u8)>,
     vertex_labels: Vec<u8>,
+    prefix_cache: bool,
 }
 
 impl GraphBuilder {
@@ -25,6 +26,7 @@ impl GraphBuilder {
             min_vertices: 0,
             edges: Vec::new(),
             vertex_labels: Vec::new(),
+            prefix_cache: true,
         }
     }
 
@@ -39,6 +41,15 @@ impl GraphBuilder {
     /// Ensure the graph has at least `n` vertices even if some are isolated.
     pub fn num_vertices(mut self, n: usize) -> Self {
         self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Control whether [`GraphBuilder::build`] computes the static-weight
+    /// prefix cache (on by default; see [`Graph::build_prefix_cache`] and
+    /// DESIGN.md §5). Disable to save the 8 bytes/edge when no engine will
+    /// run static-weight or metapath walks on the graph.
+    pub fn prefix_cache(mut self, enabled: bool) -> Self {
+        self.prefix_cache = enabled;
         self
     }
 
@@ -182,14 +193,18 @@ impl GraphBuilder {
             vertex_labels.resize(n, 0);
         }
 
-        let g = Graph {
+        let mut g = Graph {
             row_index,
             col_index,
             weights,
             vertex_labels,
             edge_labels,
             directed: self.directed,
+            prefix: None,
         };
+        if self.prefix_cache {
+            g.build_prefix_cache();
+        }
         debug_assert!(crate::validate::validate(&g).is_ok());
         g
     }

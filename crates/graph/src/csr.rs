@@ -15,6 +15,73 @@ pub const ROW_ENTRY_BYTES: u64 = 8;
 /// and relation label), which is what the Weight Updater consumes.
 pub const COL_ENTRY_BYTES: u64 = 8;
 
+/// Largest static weight the prefix cache accepts.
+///
+/// Engines promote static weights to fixed point by shifting left 16 bits
+/// (`FX_FRAC_BITS` in `lightrw-walker`); the cached cumulative sums are
+/// over *raw* statics and must stay exact under that promotion, so the
+/// cache is only built when every weight fits in 16 bits (`w << 16` never
+/// wraps the `u32` dynamic weight).
+pub const MAX_PREFIX_STATIC_WEIGHT: u32 = (1 << 16) - 1;
+
+/// Most *distinct* edge-relation labels the per-relation prefix cache
+/// will materialize (one cumulative array per used label, each |E|
+/// entries). The paper's metapaths use ≤ 5 relations; graphs with more
+/// distinct labels fall back to the streaming path.
+pub const MAX_CACHED_RELATIONS: usize = 8;
+
+/// Precomputed per-vertex inclusive cumulative static weights — the
+/// static-weight prefix cache of DESIGN.md §5.
+///
+/// `all[e]` is the running sum of `weights` over the owning vertex's
+/// adjacency list (restarting at each vertex), so static-weight inverse
+/// transform sampling is a binary search instead of a per-step O(d)
+/// accumulation. `per_relation[r]` holds the same layout with weights of
+/// edges whose relation ≠ `r` zeroed — the MetaPath fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PrefixCache {
+    pub(crate) all: Vec<u64>,
+    pub(crate) per_relation: Vec<Vec<u64>>,
+}
+
+/// All per-neighbor CSR lanes of one vertex, fetched with a single
+/// `row_index` read — the software analogue of the 512-bit `{dst, weight,
+/// relation}` words the accelerator's Neighbor Loader streams (Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborView<'g> {
+    /// Destination vertices, sorted ascending.
+    pub targets: &'g [VertexId],
+    /// Static weights aligned with `targets`.
+    pub weights: &'g [u32],
+    /// Edge relations aligned with `targets`; empty when the graph is
+    /// untyped (use [`NeighborView::relation`] for the 0-default).
+    pub relations: &'g [u8],
+}
+
+impl<'g> NeighborView<'g> {
+    /// Number of candidates (the vertex's out-degree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the vertex has no out-edges (dead end).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Relation label of candidate `i`; 0 when the graph is untyped.
+    #[inline]
+    pub fn relation(&self, i: usize) -> u8 {
+        if self.relations.is_empty() {
+            0
+        } else {
+            self.relations[i]
+        }
+    }
+}
+
 /// An immutable CSR graph with optional vertex labels (MetaPath node
 /// types) and edge relations (MetaPath edge types).
 ///
@@ -26,7 +93,7 @@ pub const COL_ENTRY_BYTES: u64 = 8;
 /// - each adjacency list is sorted by destination and duplicate-free;
 /// - `weights.len() == col_index.len()`; label arrays, when present, are
 ///   aligned the same way.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     pub(crate) row_index: Vec<u64>,
     pub(crate) col_index: Vec<VertexId>,
@@ -38,7 +105,26 @@ pub struct Graph {
     /// Edge relation R(u,v) aligned with `col_index`. Empty if untyped.
     pub(crate) edge_labels: Vec<u8>,
     pub(crate) directed: bool,
+    /// Optional static-weight prefix cache (derived data; excluded from
+    /// equality — see the manual `PartialEq` below).
+    pub(crate) prefix: Option<PrefixCache>,
 }
+
+/// Structural equality only: the prefix cache is derived data, so two
+/// graphs with identical CSR content compare equal whether or not either
+/// carries the cache.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.row_index == other.row_index
+            && self.col_index == other.col_index
+            && self.weights == other.weights
+            && self.vertex_labels == other.vertex_labels
+            && self.edge_labels == other.edge_labels
+            && self.directed == other.directed
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Number of vertices.
@@ -118,6 +204,128 @@ impl Graph {
     #[inline]
     pub fn has_edge_labels(&self) -> bool {
         !self.edge_labels.is_empty()
+    }
+
+    /// All CSR lanes of `v`'s adjacency with one `row_index` read.
+    #[inline]
+    pub fn neighbor_view(&self, v: VertexId) -> NeighborView<'_> {
+        let v = v as usize;
+        let lo = self.row_index[v] as usize;
+        let hi = self.row_index[v + 1] as usize;
+        NeighborView {
+            targets: &self.col_index[lo..hi],
+            weights: &self.weights[lo..hi],
+            relations: if self.edge_labels.is_empty() {
+                &[]
+            } else {
+                &self.edge_labels[lo..hi]
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Static-weight prefix cache (DESIGN.md §5)
+    // ------------------------------------------------------------------
+
+    /// Whether the static-weight prefix cache is present.
+    #[inline]
+    pub fn has_prefix_cache(&self) -> bool {
+        self.prefix.is_some()
+    }
+
+    /// Inclusive cumulative static weights over `v`'s adjacency list, for
+    /// binary-search (inverse-transform) sampling of static-weight walks.
+    /// `None` when the cache was not built (see
+    /// [`Graph::build_prefix_cache`]).
+    #[inline]
+    pub fn static_prefix(&self, v: VertexId) -> Option<&[u64]> {
+        let cache = self.prefix.as_ref()?;
+        let v = v as usize;
+        Some(&cache.all[self.row_index[v] as usize..self.row_index[v + 1] as usize])
+    }
+
+    /// Like [`Graph::static_prefix`], but with weights of edges whose
+    /// relation ≠ `rel` zeroed — the MetaPath per-relation cumulative.
+    /// `None` when unavailable (no cache, label set too large, or `rel`
+    /// absent from the graph); callers fall back to the streaming path,
+    /// which yields the same selection.
+    #[inline]
+    pub fn relation_prefix(&self, v: VertexId, rel: u8) -> Option<&[u64]> {
+        let cache = self.prefix.as_ref()?;
+        if self.edge_labels.is_empty() {
+            // Untyped graphs carry the implicit relation 0 on every edge.
+            return if rel == 0 {
+                self.static_prefix(v)
+            } else {
+                None
+            };
+        }
+        let cum = cache.per_relation.get(rel as usize)?;
+        if cum.is_empty() {
+            return None; // label unused by the graph, or label set too large
+        }
+        let v = v as usize;
+        Some(&cum[self.row_index[v] as usize..self.row_index[v + 1] as usize])
+    }
+
+    /// Build (or rebuild) the static-weight prefix cache: one O(|E|) pass,
+    /// typically done right after construction. No-op (cache stays absent)
+    /// when any weight exceeds [`MAX_PREFIX_STATIC_WEIGHT`], because the
+    /// engines' 16-bit fixed-point promotion would wrap and the cached sums
+    /// would no longer match the streaming path bit for bit.
+    pub fn build_prefix_cache(&mut self) {
+        if self.weights.iter().any(|&w| w > MAX_PREFIX_STATIC_WEIGHT) {
+            self.prefix = None;
+            return;
+        }
+        let n = self.num_vertices();
+        let mut all = Vec::with_capacity(self.col_index.len());
+        for v in 0..n {
+            let (lo, hi) = (self.row_index[v] as usize, self.row_index[v + 1] as usize);
+            let mut acc = 0u64;
+            for e in lo..hi {
+                acc += self.weights[e] as u64;
+                all.push(acc);
+            }
+        }
+        // Per-relation copies: only for labels the graph actually uses, and
+        // only when there are few enough *distinct* labels (dense |E|-entry
+        // arrays per label are the cost being bounded). Unused label slots
+        // stay empty so `relation_prefix` can reject them cheaply.
+        let mut label_used = [false; 256];
+        for &r in &self.edge_labels {
+            label_used[r as usize] = true;
+        }
+        let distinct = label_used.iter().filter(|&&u| u).count();
+        let per_relation = match self.edge_labels.iter().copied().max() {
+            Some(max) if distinct <= MAX_CACHED_RELATIONS => (0..=max)
+                .map(|r| {
+                    if !label_used[r as usize] {
+                        return Vec::new();
+                    }
+                    let mut cum = Vec::with_capacity(self.col_index.len());
+                    for v in 0..n {
+                        let (lo, hi) = (self.row_index[v] as usize, self.row_index[v + 1] as usize);
+                        let mut acc = 0u64;
+                        for e in lo..hi {
+                            if self.edge_labels[e] == r {
+                                acc += self.weights[e] as u64;
+                            }
+                            cum.push(acc);
+                        }
+                    }
+                    cum
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        self.prefix = Some(PrefixCache { all, per_relation });
+    }
+
+    /// Drop the prefix cache (memory back, engines take the streaming
+    /// path; sampled walks are unchanged — see DESIGN.md §5).
+    pub fn drop_prefix_cache(&mut self) {
+        self.prefix = None;
     }
 
     /// Edge-existence test via binary search over the sorted adjacency of
@@ -284,6 +492,115 @@ mod tests {
         assert_eq!(edges.len(), 6);
         assert!(edges.contains(&(0, 1, 1)));
         assert!(edges.contains(&(2, 0, 1)));
+    }
+
+    #[test]
+    fn neighbor_view_matches_lane_accessors() {
+        let g = crate::GraphBuilder::undirected()
+            .labeled_edge(0, 1, 3, 1)
+            .labeled_edge(0, 2, 5, 2)
+            .labeled_edge(1, 2, 7, 1)
+            .build();
+        for v in 0..3u32 {
+            let view = g.neighbor_view(v);
+            assert_eq!(view.targets, g.neighbors(v));
+            assert_eq!(view.weights, g.neighbor_weights(v));
+            assert_eq!(view.relations, g.neighbor_relations(v));
+            assert_eq!(view.len(), g.degree(v) as usize);
+        }
+        // Untyped graphs report relation 0 through the view.
+        let u = triangle();
+        assert!(u.neighbor_view(0).relations.is_empty());
+        assert_eq!(u.neighbor_view(0).relation(1), 0);
+    }
+
+    #[test]
+    fn static_prefix_is_per_vertex_cumulative() {
+        let g = crate::GraphBuilder::directed()
+            .weighted_edges([(0, 1, 2), (0, 2, 3), (1, 2, 5)])
+            .num_vertices(3)
+            .build();
+        assert!(g.has_prefix_cache());
+        assert_eq!(g.static_prefix(0).unwrap(), &[2, 5]);
+        assert_eq!(g.static_prefix(1).unwrap(), &[5]); // restarts per vertex
+        assert_eq!(g.static_prefix(2).unwrap(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn relation_prefix_masks_other_relations() {
+        let g = crate::GraphBuilder::directed()
+            .labeled_edge(0, 1, 2, 0)
+            .labeled_edge(0, 2, 3, 1)
+            .labeled_edge(0, 3, 5, 0)
+            .num_vertices(4)
+            .build();
+        assert_eq!(g.relation_prefix(0, 0).unwrap(), &[2, 2, 7]);
+        assert_eq!(g.relation_prefix(0, 1).unwrap(), &[0, 3, 3]);
+        // A relation the graph never uses is not cached.
+        assert!(g.relation_prefix(0, 9).is_none());
+    }
+
+    #[test]
+    fn sparse_label_values_are_cached_by_distinct_count() {
+        // Labels {0, 9}: only two distinct relations, so both are cached
+        // even though the max label value exceeds MAX_CACHED_RELATIONS;
+        // the 8 unused slots in between stay empty.
+        let g = crate::GraphBuilder::directed()
+            .labeled_edge(0, 1, 2, 0)
+            .labeled_edge(0, 2, 3, 9)
+            .num_vertices(3)
+            .build();
+        assert_eq!(g.relation_prefix(0, 0).unwrap(), &[2, 2]);
+        assert_eq!(g.relation_prefix(0, 9).unwrap(), &[0, 3]);
+        assert!(g.relation_prefix(0, 4).is_none());
+        assert!(crate::validate::validate(&g).is_ok());
+    }
+
+    #[test]
+    fn too_many_distinct_labels_skip_per_relation_cache() {
+        let mut b = crate::GraphBuilder::directed().num_vertices(12);
+        for r in 0..9u8 {
+            b = b.labeled_edge(0, r as u32 + 1, 1, r);
+        }
+        let g = b.build();
+        assert!(g.has_prefix_cache()); // the all-weights cumulative still exists
+        assert!(g.static_prefix(0).is_some());
+        assert!(g.relation_prefix(0, 0).is_none()); // 9 distinct > MAX (8)
+    }
+
+    #[test]
+    fn untyped_graph_relation_zero_aliases_static_prefix() {
+        let g = triangle();
+        assert_eq!(g.relation_prefix(0, 0), g.static_prefix(0));
+        assert!(g.relation_prefix(0, 1).is_none());
+    }
+
+    #[test]
+    fn oversized_weights_skip_the_cache() {
+        let g = crate::GraphBuilder::directed()
+            .weighted_edge(0, 1, 1 << 16) // would wrap under the fixed-point promote
+            .build();
+        assert!(!g.has_prefix_cache());
+        assert!(g.static_prefix(0).is_none());
+        assert!(g.relation_prefix(0, 0).is_none());
+    }
+
+    #[test]
+    fn cache_can_be_dropped_and_rebuilt() {
+        let mut g = triangle();
+        assert!(g.has_prefix_cache());
+        g.drop_prefix_cache();
+        assert!(g.static_prefix(0).is_none());
+        g.build_prefix_cache();
+        assert_eq!(g.static_prefix(0).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn equality_ignores_the_cache() {
+        let with = triangle();
+        let mut without = triangle();
+        without.drop_prefix_cache();
+        assert_eq!(with, without);
     }
 
     #[test]

@@ -167,8 +167,18 @@ pub fn write_binary<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Deserialize a CSR image. The result is validated before being returned.
+/// Deserialize a CSR image. The result is validated before being
+/// returned, and carries the static-weight prefix cache (DESIGN.md §5);
+/// use [`read_binary_with`] to skip the cache build.
 pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
+    read_binary_with(reader, true)
+}
+
+/// Like [`read_binary`], but with explicit control over the prefix-cache
+/// build — loaders that will never run static-weight or metapath walks
+/// (e.g. pure memory-model experiments) can skip the extra O(|E|) pass
+/// and the cumulative arrays' memory.
+pub fn read_binary_with<R: Read>(reader: R, prefix_cache: bool) -> Result<Graph, IoError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -207,15 +217,21 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Graph, IoError> {
         r.read_exact(&mut edge_labels)?;
     }
 
-    let g = Graph {
+    let mut g = Graph {
         row_index,
         col_index,
         weights,
         vertex_labels,
         edge_labels,
         directed,
+        prefix: None,
     };
     validate(&g).map_err(IoError::Invalid)?;
+    if prefix_cache {
+        // `build_prefix_cache` itself skips (leaves the cache absent) when
+        // the on-disk weights exceed the 16-bit promote limit.
+        g.build_prefix_cache();
+    }
     Ok(g)
 }
 
@@ -224,9 +240,16 @@ pub fn save_binary<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), IoError> {
     write_binary(g, std::fs::File::create(path)?)
 }
 
-/// Load a binary CSR image from a file.
+/// Load a binary CSR image from a file (with the prefix cache; see
+/// [`load_binary_with`]).
 pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
     read_binary(std::fs::File::open(path)?)
+}
+
+/// Like [`load_binary`], but with explicit control over the prefix-cache
+/// build.
+pub fn load_binary_with<P: AsRef<Path>>(path: P, prefix_cache: bool) -> Result<Graph, IoError> {
+    read_binary_with(std::fs::File::open(path)?, prefix_cache)
 }
 
 #[cfg(test)]
@@ -292,6 +315,12 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(&buf[..]).unwrap();
         assert_eq!(g, g2);
+        // Loaded graphs carry the hot-path cache by default; the opt-out
+        // variant skips it (structural equality is unaffected).
+        assert!(g2.has_prefix_cache());
+        let g3 = read_binary_with(&buf[..], false).unwrap();
+        assert!(!g3.has_prefix_cache());
+        assert_eq!(g2, g3);
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! and the dynamic burst engine (`col_index`); the byte-address helpers on
 //! [`Graph`] are what the memory simulator uses to model those accesses.
 //!
+//! For the engines' hot path (DESIGN.md §5) the crate provides
+//! [`Graph::neighbor_view`] — all three CSR lanes of a vertex behind one
+//! `row_index` read — and the static-weight prefix cache
+//! ([`Graph::static_prefix`] / [`Graph::relation_prefix`], built at
+//! [`builder::GraphBuilder::build`]), which turns static-weight and
+//! metapath inverse-transform sampling into a binary search over
+//! precomputed cumulative weights.
+//!
 //! Beyond storage, the crate provides:
 //! - [`builder::GraphBuilder`] — edge-list ingestion (directed/undirected,
 //!   weights, vertex labels, edge relations for MetaPath);
@@ -42,5 +50,8 @@ pub mod stats;
 pub mod validate;
 
 pub use builder::GraphBuilder;
-pub use csr::{Graph, VertexId, COL_ENTRY_BYTES, ROW_ENTRY_BYTES};
+pub use csr::{
+    Graph, NeighborView, VertexId, COL_ENTRY_BYTES, MAX_CACHED_RELATIONS, MAX_PREFIX_STATIC_WEIGHT,
+    ROW_ENTRY_BYTES,
+};
 pub use generators::DatasetProfile;

@@ -25,6 +25,8 @@ pub enum ValidationError {
     VertexLabelsMisaligned { labels: usize, vertices: usize },
     /// Edge label array has wrong length.
     EdgeLabelsMisaligned { labels: usize, edges: usize },
+    /// The static-weight prefix cache is not aligned with `col_index`.
+    PrefixCacheMisaligned { entries: usize, edges: usize },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -54,6 +56,9 @@ impl std::fmt::Display for ValidationError {
             }
             Self::EdgeLabelsMisaligned { labels, edges } => {
                 write!(f, "{labels} edge labels for {edges} edges")
+            }
+            Self::PrefixCacheMisaligned { entries, edges } => {
+                write!(f, "{entries} prefix-cache entries for {edges} edges")
             }
         }
     }
@@ -96,6 +101,22 @@ pub fn validate(g: &Graph) -> Result<(), ValidationError> {
             labels: g.edge_labels.len(),
             edges: g.col_index.len(),
         });
+    }
+    if let Some(cache) = &g.prefix {
+        // Per-relation slots for labels the graph never uses stay empty.
+        let filled = cache
+            .per_relation
+            .iter()
+            .filter(|cum| !cum.is_empty())
+            .chain(std::iter::once(&cache.all));
+        for cum in filled {
+            if cum.len() != g.col_index.len() {
+                return Err(ValidationError::PrefixCacheMisaligned {
+                    entries: cum.len(),
+                    edges: g.col_index.len(),
+                });
+            }
+        }
     }
     for v in 0..n as VertexId {
         let adj = g.neighbors(v);

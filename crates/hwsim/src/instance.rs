@@ -5,10 +5,8 @@ use std::collections::BinaryHeap;
 
 use lightrw_graph::{Graph, VertexId, COL_ENTRY_BYTES, ROW_ENTRY_BYTES};
 use lightrw_memsim::{BurstPlan, CacheOutcome, DramChannel, RequestKind, RowCache};
-use lightrw_sampling::ParallelWrs;
 use lightrw_walker::app::StepContext;
-use lightrw_walker::membership::common_neighbor_mask;
-use lightrw_walker::{QuerySet, WalkApp, WalkResults};
+use lightrw_walker::{HotStepper, QuerySet, SamplerKind, WalkApp, WalkResults};
 
 use crate::config::LightRwConfig;
 use crate::report::InstanceReport;
@@ -28,15 +26,15 @@ pub struct Instance<'g> {
     cfg: LightRwConfig,
     dram: DramChannel,
     cache: RowCache,
-    wrs: ParallelWrs,
+    /// The functional Weight Updater + WRS Sampler: one fused streaming
+    /// pass per step through the shared hot path (DESIGN.md §5), with the
+    /// instance's k-lane parallel WRS underneath.
+    stepper: HotStepper,
     /// Query Controller occupancy (1 dispatch per cycle).
     dispatch_free: u64,
     /// WRS sampler occupancy (k items per cycle).
     sampler_free: u64,
     sampler_batches: u64,
-    // Reusable scratch.
-    weights: Vec<u32>,
-    mask: Vec<bool>,
 }
 
 impl<'g> Instance<'g> {
@@ -44,18 +42,18 @@ impl<'g> Instance<'g> {
     /// banks are independent.
     pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig, seed: u64) -> Self {
         let cfg = cfg.validated();
+        let mut stepper = HotStepper::new(app, SamplerKind::ParallelWrs { k: cfg.k }, seed);
+        stepper.reserve(graph.max_degree() as usize);
         Self {
             graph,
             app,
             cfg,
             dram: DramChannel::new(cfg.dram),
             cache: RowCache::direct_mapped(cfg.cache_policy, cfg.cache_index_bits),
-            wrs: ParallelWrs::new(seed, cfg.k),
+            stepper,
             dispatch_free: 0,
             sampler_free: 0,
             sampler_batches: 0,
-            weights: Vec::new(),
-            mask: Vec::new(),
         }
     }
 
@@ -141,8 +139,12 @@ impl<'g> Instance<'g> {
             }
         }
 
-        // --- Functional selection (Weight Updater + WRS Sampler).
-        let next = self.functional_select(cur, prev, step, second_order);
+        // --- Functional selection (Weight Updater + WRS Sampler): the
+        // fused streaming pass — weights are consumed lane by lane by the
+        // k-lane WRS, never materialized, exactly as the hardware does.
+        let next = self
+            .stepper
+            .step(g, self.app, StepContext { step, cur, prev });
 
         // --- Timing of the sampling path.
         let batches = items_total.div_ceil(cfg.k as u64);
@@ -174,33 +176,6 @@ impl<'g> Instance<'g> {
                 done,
             },
         )
-    }
-
-    /// The real weight computation + parallel WRS selection.
-    fn functional_select(
-        &mut self,
-        cur: VertexId,
-        prev: Option<VertexId>,
-        step: u32,
-        second_order: bool,
-    ) -> Option<VertexId> {
-        let g = self.graph;
-        let neighbors = g.neighbors(cur);
-        if second_order {
-            common_neighbor_mask(g, cur, prev.unwrap(), &mut self.mask);
-        }
-        let ctx = StepContext { step, cur, prev };
-        let statics = g.neighbor_weights(cur);
-        let relations = g.neighbor_relations(cur);
-        self.weights.clear();
-        self.weights.reserve(neighbors.len());
-        for (i, &nbr) in neighbors.iter().enumerate() {
-            let relation = relations.get(i).copied().unwrap_or(0);
-            let pin = second_order && self.mask[i];
-            self.weights
-                .push(self.app.weight(ctx, nbr, statics[i], relation, pin));
-        }
-        self.wrs.select(neighbors, &self.weights)
     }
 
     /// Run a query set to completion on this instance.

@@ -30,6 +30,13 @@
 //! false` re-introduces the CPU-style barriers and O(deg) intermediate
 //! tables; `cache_policy = None` and `burst = short_only()` disable DAC
 //! and DYB respectively.
+//!
+//! Functionally, each instance feeds its k-lane WRS through the shared
+//! fused hot path (`lightrw_walker::HotStepper`, DESIGN.md §5): weights
+//! stream lane by lane into the sampler with no per-step allocation —
+//! the software feeder works the way the hardware datapath does. Timing
+//! is computed from degrees alone and is unaffected by which functional
+//! strategy the stepper picks.
 
 pub mod config;
 pub mod instance;

@@ -22,46 +22,102 @@ pub struct AliasTable {
 impl AliasTable {
     /// Build from integer weights. Returns `None` if all weights are zero.
     pub fn build(weights: &[u32]) -> Option<Self> {
-        let n = weights.len();
-        let total: u64 = weights.iter().map(|&w| w as u64).sum();
-        if total == 0 {
+        let mut scratch = AliasScratch::new();
+        if !scratch.rebuild(weights.len(), |i| weights[i]) {
             return None;
         }
-        // Scaled probabilities: p_i * n.
-        let scale = n as f64 / total as f64;
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * scale).collect();
-        let mut prob = vec![0.0f64; n];
-        let mut alias = vec![0u32; n];
+        Some(Self {
+            prob: scratch.prob,
+            alias: scratch.alias,
+        })
+    }
+}
 
-        let mut small: Vec<usize> = Vec::with_capacity(n);
-        let mut large: Vec<usize> = Vec::with_capacity(n);
+/// Reusable Vose build state: rebuilds an alias table in place, so engines
+/// that sample through the alias method once per walk step do no per-step
+/// heap allocation in steady state (DESIGN.md §5). Sampling is
+/// draw-for-draw identical to [`AliasTable`] — `build` above delegates
+/// here, so there is exactly one Vose implementation.
+#[derive(Debug, Clone, Default)]
+pub struct AliasScratch {
+    scaled: Vec<f64>,
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+    small: Vec<usize>,
+    large: Vec<usize>,
+}
+
+impl AliasScratch {
+    /// Empty scratch; buffers grow to the largest candidate set seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size all buffers for candidate sets up to `n` (worker setup).
+    pub fn reserve(&mut self, n: usize) {
+        self.scaled.reserve(n);
+        self.prob.reserve(n);
+        self.alias.reserve(n);
+        self.small.reserve(n);
+        self.large.reserve(n);
+    }
+
+    /// Rebuild the table over weights `w(0), …, w(len-1)`. Returns `false`
+    /// when the total weight is zero (dead end; table left unusable).
+    pub fn rebuild(&mut self, len: usize, w: impl Fn(usize) -> u32) -> bool {
+        let total: u64 = (0..len).map(|i| w(i) as u64).sum();
+        if total == 0 {
+            return false;
+        }
+        // Scaled probabilities: p_i * n.
+        let scale = len as f64 / total as f64;
+        self.scaled.clear();
+        self.scaled.extend((0..len).map(|i| w(i) as f64 * scale));
+        self.prob.clear();
+        self.prob.resize(len, 0.0);
+        self.alias.clear();
+        self.alias.resize(len, 0);
+
+        let (scaled, prob, alias) = (&mut self.scaled, &mut self.prob, &mut self.alias);
+        self.small.clear();
+        self.large.clear();
         for (i, &p) in scaled.iter().enumerate() {
             if p < 1.0 {
-                small.push(i);
+                self.small.push(i);
             } else {
-                large.push(i);
+                self.large.push(i);
             }
         }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
-            large.pop();
+        while let (Some(&s), Some(&l)) = (self.small.last(), self.large.last()) {
+            self.small.pop();
+            self.large.pop();
             prob[s] = scaled[s];
             alias[s] = l as u32;
             scaled[l] = (scaled[l] + scaled[s]) - 1.0;
             if scaled[l] < 1.0 {
-                small.push(l);
+                self.small.push(l);
             } else {
-                large.push(l);
+                self.large.push(l);
             }
         }
         // Numerical leftovers: remaining slots are (up to fp error) exactly 1.
-        for &l in &large {
+        for &l in &self.large {
             prob[l] = 1.0;
         }
-        for &s in &small {
+        for &s in &self.small {
             prob[s] = 1.0;
         }
-        Some(Self { prob, alias })
+        true
+    }
+
+    /// Draw one category from the last [`AliasScratch::rebuild`] table.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let slot = rng.gen_index(self.prob.len());
+        if rng.next_f64() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
     }
 }
 
@@ -143,6 +199,24 @@ mod tests {
             (hits0 as f64 - expect).abs() < 4.0 * sigma,
             "hits0={hits0}, expect={expect}"
         );
+    }
+
+    #[test]
+    fn scratch_rebuild_matches_fresh_build() {
+        // Same weights through the reusable scratch and the one-shot build
+        // must give draw-for-draw identical samples.
+        let sets: [&[u32]; 4] = [&[3, 1, 4, 1, 5], &[1; 8], &[0, 7, 0, 2], &[10]];
+        let mut scratch = AliasScratch::new();
+        for weights in sets {
+            assert!(scratch.rebuild(weights.len(), |i| weights[i]));
+            let table = AliasTable::build(weights).unwrap();
+            let mut a = SplitMix64::new(77);
+            let mut b = SplitMix64::new(77);
+            for _ in 0..500 {
+                assert_eq!(scratch.sample(&mut a), table.sample(&mut b));
+            }
+        }
+        assert!(!scratch.rebuild(3, |_| 0));
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! goodness-of-fit tests (see [`distribution`]); they must agree because
 //! the paper's Fig. 14 compares engines built on different samplers.
 //!
+//! For the engines' allocation-free hot path (DESIGN.md §5), the crate
+//! also provides reusable-scratch variants: [`AliasScratch`] rebuilds a
+//! Vose table in place, and [`ParallelWrs::select_index_with`] consumes a
+//! weight *closure* lane by lane so callers never materialize a weight
+//! vector — both draw-for-draw identical to their one-shot counterparts.
+//!
 //! ```
 //! use lightrw_sampling::ParallelWrs;
 //!
@@ -44,7 +50,7 @@ pub mod prefix;
 pub mod reservoir;
 
 pub use a_res::AResSampler;
-pub use alias::AliasTable;
+pub use alias::{AliasScratch, AliasTable};
 pub use inverse_transform::InverseTransformTable;
 pub use parallel_wrs::{ParallelWrs, WrsState};
 

@@ -91,6 +91,10 @@ pub struct ParallelWrs {
     bank: StreamBank,
     prefix: Vec<u64>,
     row: Vec<u32>,
+    /// Reusable lane buffers for the index-streaming entry points, so a
+    /// selection allocates nothing in steady state.
+    idx_buf: Vec<u32>,
+    wbuf: Vec<u32>,
 }
 
 impl ParallelWrs {
@@ -101,6 +105,8 @@ impl ParallelWrs {
             bank: StreamBank::new(seed, k),
             prefix: Vec::with_capacity(k),
             row: vec![0; k],
+            idx_buf: Vec::with_capacity(k),
+            wbuf: Vec::with_capacity(k),
         }
     }
 
@@ -154,14 +160,33 @@ impl ParallelWrs {
 
     /// Like [`ParallelWrs::select`], but over indices `0..weights.len()`.
     pub fn select_index(&mut self, weights: &[u32]) -> Option<usize> {
+        self.select_index_with(weights.len(), |i| weights[i])
+    }
+
+    /// Streaming index selection: weights are produced lane by lane from
+    /// `w(i)` exactly as the hardware's Weight Updater feeds the sampler,
+    /// so callers never materialize a weight vector. Draw-for-draw
+    /// identical to [`ParallelWrs::select_index`] on the same weights
+    /// (one RNG row per non-empty batch, zero-weight lanes included).
+    pub fn select_index_with(&mut self, len: usize, w: impl Fn(usize) -> u32) -> Option<usize> {
         let mut state = WrsState::new();
         let k = self.k();
-        let mut idx_buf: Vec<u32> = Vec::with_capacity(k);
-        for (base, wb) in weights.chunks(k).enumerate() {
+        // Detach the lane scratch so `consume_batch` can re-borrow self;
+        // `mem::take` keeps the allocations across calls.
+        let mut idx_buf = std::mem::take(&mut self.idx_buf);
+        let mut wbuf = std::mem::take(&mut self.wbuf);
+        let mut base = 0usize;
+        while base < len {
+            let m = k.min(len - base);
             idx_buf.clear();
-            idx_buf.extend((0..wb.len()).map(|j| (base * k + j) as u32));
-            self.consume_batch(&mut state, &idx_buf, wb);
+            idx_buf.extend((base..base + m).map(|i| i as u32));
+            wbuf.clear();
+            wbuf.extend((base..base + m).map(&w));
+            self.consume_batch(&mut state, &idx_buf, &wbuf);
+            base += m;
         }
+        self.idx_buf = idx_buf;
+        self.wbuf = wbuf;
         state.reservoir.map(|v| v as usize)
     }
 }
@@ -249,6 +274,25 @@ mod tests {
         let draws = 100_000;
         let counts = counts_from(n, draws, || wrs.select_index(&weights).unwrap());
         assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn streaming_entry_matches_slice_entry_draw_for_draw() {
+        let weights = [5u32, 0, 1, 8, 3, 12, 2, 7, 1, 1, 0, 4];
+        for k in [1usize, 3, 4, 16] {
+            for seed in 0..10u64 {
+                let mut a = ParallelWrs::new(seed, k);
+                let mut b = ParallelWrs::new(seed, k);
+                for _ in 0..50 {
+                    assert_eq!(
+                        a.select_index(&weights),
+                        b.select_index_with(weights.len(), |i| weights[i]),
+                        "k={k} seed={seed}"
+                    );
+                }
+                assert_eq!(a.rows_consumed(), b.rows_consumed());
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,25 @@ pub struct StepContext {
     pub prev: Option<VertexId>,
 }
 
+/// How an application's dynamic weights relate to the static CSR weights —
+/// the hot-path hint engines use to pick a sampling strategy (DESIGN.md
+/// §5). Every strategy consumes the RNG identically to the generic
+/// streaming path, so the hint changes speed, never the sampled walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightProfile {
+    /// Every candidate gets the same constant weight at every step
+    /// (unbiased walks): engines may sample a degree-indexed uniform and
+    /// skip weighting entirely.
+    UniformStatic,
+    /// Dynamic weight is a pure per-edge function of the static weight
+    /// (optionally masked to [`WalkApp::static_relation`] at each step):
+    /// engines may binary-search the graph's static-weight prefix cache.
+    StaticOnly,
+    /// Weights depend on walker state (second-order rules etc.): engines
+    /// must stream `F` per candidate.
+    Dynamic,
+}
+
 /// The application-specific weight update function `F` (paper §2.1).
 ///
 /// Implementations must be pure: the same inputs must give the same
@@ -64,6 +83,24 @@ pub struct StepContext {
 pub trait WalkApp: Send + Sync {
     /// Application name for reports ("MetaPath", "Node2Vec", ...).
     fn name(&self) -> &'static str;
+
+    /// Hot-path hint: how this app's weights relate to the static CSR
+    /// weights. Defaults to [`WeightProfile::Dynamic`] (always correct,
+    /// never fast). Apps claiming a stronger profile must uphold its
+    /// contract: [`WeightProfile::UniformStatic`] promises
+    /// `weight(..) == FX_ONE` for every input; [`WeightProfile::StaticOnly`]
+    /// promises `weight(ctx, nbr, w, rel, _) == w << FX_FRAC_BITS` when
+    /// `static_relation(ctx.step)` is `None` or matches `rel`, else 0.
+    fn weight_profile(&self) -> WeightProfile {
+        WeightProfile::Dynamic
+    }
+
+    /// For [`WeightProfile::StaticOnly`] apps that mask by edge relation
+    /// (MetaPath): the single relation whose edges keep their static
+    /// weight at step `t`. `None` means all edges count.
+    fn static_relation(&self, _step: u32) -> Option<u8> {
+        None
+    }
 
     /// Whether [`WalkApp::weight`] reads `prev_is_neighbor` — i.e. whether
     /// engines must intersect `N(a_t)` with `N(a_{t-1})` before updating
@@ -120,6 +157,14 @@ impl MetaPath {
 impl WalkApp for MetaPath {
     fn name(&self) -> &'static str {
         "MetaPath"
+    }
+
+    fn weight_profile(&self) -> WeightProfile {
+        WeightProfile::StaticOnly
+    }
+
+    fn static_relation(&self, step: u32) -> Option<u8> {
+        Some(self.relation_at(step))
     }
 
     fn second_order(&self) -> bool {
@@ -216,6 +261,10 @@ impl WalkApp for Uniform {
         "Uniform"
     }
 
+    fn weight_profile(&self) -> WeightProfile {
+        WeightProfile::UniformStatic
+    }
+
     fn second_order(&self) -> bool {
         false
     }
@@ -235,6 +284,10 @@ pub struct StaticWeighted;
 impl WalkApp for StaticWeighted {
     fn name(&self) -> &'static str {
         "StaticWeighted"
+    }
+
+    fn weight_profile(&self) -> WeightProfile {
+        WeightProfile::StaticOnly
     }
 
     fn second_order(&self) -> bool {
@@ -342,6 +395,23 @@ mod tests {
     #[test]
     fn node2vec_paper_params() {
         assert_eq!(Node2Vec::paper_params(), Node2Vec::new(2.0, 0.5));
+    }
+
+    #[test]
+    fn weight_profiles_match_contracts() {
+        assert_eq!(Uniform.weight_profile(), WeightProfile::UniformStatic);
+        assert_eq!(StaticWeighted.weight_profile(), WeightProfile::StaticOnly);
+        assert_eq!(
+            Node2Vec::paper_params().weight_profile(),
+            WeightProfile::Dynamic
+        );
+        let mp = MetaPath::new(vec![2, 5]);
+        assert_eq!(mp.weight_profile(), WeightProfile::StaticOnly);
+        // static_relation follows the (wrapping) relation path.
+        assert_eq!(mp.static_relation(0), Some(2));
+        assert_eq!(mp.static_relation(1), Some(5));
+        assert_eq!(mp.static_relation(2), Some(2));
+        assert_eq!(StaticWeighted.static_relation(7), None);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The fused per-step hot path shared by every engine.
+//!
+//! Algorithm 4.1's point is that weight calculation and weighted sampling
+//! are one streaming pass with O(1) state, not two phases with an O(d)
+//! intermediate buffer. [`HotStepper`] is that pass in software: it owns
+//! the sampler (and its reusable table scratch) plus the word-packed
+//! common-neighbor bitset, picks the cheapest sampling strategy for the
+//! app's [`WeightProfile`], and performs zero heap allocations per step in
+//! steady state. See DESIGN.md §5 for the conventions and the
+//! RNG-identity contract that makes strategy choice invisible in the
+//! sampled walks.
+
+use crate::app::{StepContext, WalkApp, WeightProfile, FX_ONE};
+use crate::membership::{common_neighbor_bitset, NeighborBitset};
+use crate::reference::{AnySampler, SamplerKind};
+use lightrw_graph::{Graph, NeighborView, VertexId};
+
+/// One engine worker's sampling state: sampler + scratch, reused across
+/// every step the worker executes.
+pub struct HotStepper {
+    sampler: AnySampler,
+    mask: NeighborBitset,
+    profile: WeightProfile,
+    second_order: bool,
+}
+
+impl HotStepper {
+    /// Create a stepper for `app` with the given sampler kind and seed.
+    /// The weight profile is latched here; `app` must be the same object
+    /// (or at least profile-identical) on every [`HotStepper::step`] call.
+    pub fn new(app: &dyn WalkApp, kind: SamplerKind, seed: u64) -> Self {
+        Self {
+            sampler: AnySampler::new(kind, seed),
+            mask: NeighborBitset::new(),
+            profile: app.weight_profile(),
+            second_order: app.second_order(),
+        }
+    }
+
+    /// Pre-size all scratch for vertices of degree up to `max_degree`
+    /// (worker setup — keeps the step loop allocation-free from the first
+    /// step).
+    pub fn reserve(&mut self, max_degree: usize) {
+        self.sampler.reserve(max_degree);
+        self.mask.reserve(max_degree);
+    }
+
+    /// Execute one fused weight-calculation + sampling step from
+    /// `ctx.cur`: returns the sampled next vertex, or `None` on a dead end
+    /// (no out-edges, or every candidate weight zero).
+    pub fn step(&mut self, g: &Graph, app: &dyn WalkApp, ctx: StepContext) -> Option<VertexId> {
+        let view = g.neighbor_view(ctx.cur);
+        if view.is_empty() {
+            return None;
+        }
+        let idx = if let (true, Some(prev)) = (self.second_order, ctx.prev) {
+            // Second-order rule (Node2Vec): build the packed membership
+            // mask, then stream F lane by lane into the sampler.
+            common_neighbor_bitset(g, ctx.cur, prev, &mut self.mask);
+            let Self { sampler, mask, .. } = self;
+            sampler.select_weighted_with(view.len(), |i| {
+                app.weight(
+                    ctx,
+                    view.targets[i],
+                    view.weights[i],
+                    view.relation(i),
+                    mask.get(i),
+                )
+            })
+        } else {
+            match self.profile {
+                WeightProfile::UniformStatic => self.sampler.select_uniform(view.len(), FX_ONE),
+                WeightProfile::StaticOnly => {
+                    let prefix = match app.static_relation(ctx.step) {
+                        None => g.static_prefix(ctx.cur),
+                        Some(rel) => g.relation_prefix(ctx.cur, rel),
+                    };
+                    match prefix {
+                        Some(cum) => self.sampler.select_prefix(cum),
+                        // No cache (or uncached relation): stream F.
+                        None => self.generic(view, app, ctx),
+                    }
+                }
+                WeightProfile::Dynamic => self.generic(view, app, ctx),
+            }
+        };
+        idx.map(|i| view.targets[i])
+    }
+
+    /// The generic streaming pass: one `F` evaluation per candidate, fed
+    /// straight into the sampler. `prev_is_neighbor` is false here — this
+    /// branch only runs for first-order steps (second-order steps with a
+    /// previous vertex take the masked branch above).
+    fn generic(
+        &mut self,
+        view: NeighborView<'_>,
+        app: &dyn WalkApp,
+        ctx: StepContext,
+    ) -> Option<usize> {
+        self.sampler.select_weighted_with(view.len(), |i| {
+            app.weight(
+                ctx,
+                view.targets[i],
+                view.weights[i],
+                view.relation(i),
+                false,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{MetaPath, Node2Vec, StaticWeighted, Uniform};
+    use lightrw_graph::generators;
+
+    const KINDS: [SamplerKind; 4] = [
+        SamplerKind::InverseTransform,
+        SamplerKind::Alias,
+        SamplerKind::SequentialWrs,
+        SamplerKind::ParallelWrs { k: 8 },
+    ];
+
+    /// Delegating wrapper that hides an app's profile, forcing the generic
+    /// streaming path.
+    struct ForceDynamic<'a>(&'a dyn WalkApp);
+
+    impl WalkApp for ForceDynamic<'_> {
+        fn name(&self) -> &'static str {
+            "ForceDynamic"
+        }
+        fn second_order(&self) -> bool {
+            self.0.second_order()
+        }
+        fn weight(&self, ctx: StepContext, nbr: VertexId, w: u32, rel: u8, pin: bool) -> u32 {
+            self.0.weight(ctx, nbr, w, rel, pin)
+        }
+    }
+
+    #[test]
+    fn fast_paths_sample_identically_to_generic_streaming() {
+        // The RNG-identity contract, exercised at the single-step level:
+        // for every app × sampler kind, the profile-driven stepper and the
+        // forced-generic stepper must pick the same neighbor at every
+        // step, with and without the prefix cache.
+        let g = generators::rmat_dataset(8, 21);
+        let mut bare = g.clone();
+        bare.drop_prefix_cache();
+        let mp = MetaPath::new(vec![0, 1, 0]);
+        let nv = Node2Vec::paper_params();
+        let apps: [&dyn WalkApp; 4] = [&Uniform, &StaticWeighted, &mp, &nv];
+        for app in apps {
+            for kind in KINDS {
+                let forced = ForceDynamic(app);
+                let mut fast = HotStepper::new(app, kind, 5);
+                let mut slow = HotStepper::new(&forced, kind, 5);
+                let mut nocache = HotStepper::new(app, kind, 5);
+                for v in 0..g.num_vertices() as VertexId {
+                    let mut ctx = StepContext {
+                        step: v % 7,
+                        cur: v,
+                        prev: None,
+                    };
+                    for _ in 0..3 {
+                        let a = fast.step(&g, app, ctx);
+                        let b = slow.step(&g, &forced, ctx);
+                        let c = nocache.step(&bare, app, ctx);
+                        assert_eq!(a, b, "{} {:?} fast≠generic", app.name(), kind);
+                        assert_eq!(a, c, "{} {:?} cached≠uncached", app.name(), kind);
+                        match a {
+                            Some(next) => {
+                                ctx.prev = Some(ctx.cur);
+                                ctx.cur = next;
+                                ctx.step += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_ends_are_reported() {
+        let g = lightrw_graph::GraphBuilder::directed().edge(0, 1).build();
+        let mut s = HotStepper::new(&Uniform, SamplerKind::InverseTransform, 1);
+        let ctx = |cur| StepContext {
+            step: 0,
+            cur,
+            prev: None,
+        };
+        assert_eq!(s.step(&g, &Uniform, ctx(0)), Some(1));
+        assert_eq!(s.step(&g, &Uniform, ctx(1)), None);
+    }
+}

@@ -12,7 +12,13 @@
 //! - [`query`] builds the paper's workloads: one query per non-isolated
 //!   vertex, shuffled (§6.1.4).
 //! - [`membership`] provides the sorted-adjacency intersection Node2Vec's
-//!   second-order weight rule needs (`(a_{t-1}, b) ∈ E`).
+//!   second-order weight rule needs (`(a_{t-1}, b) ∈ E`) — the engines'
+//!   hot path uses its word-packed [`membership::NeighborBitset`] variant.
+//! - [`hotpath`] is the fused per-step pass shared by all three engines:
+//!   [`hotpath::HotStepper`] picks a sampling strategy from
+//!   [`app::WalkApp::weight_profile`] (degree-indexed uniform, prefix
+//!   cache, or generic streaming) under the RNG-identity contract of
+//!   DESIGN.md §5, with zero per-step heap allocation.
 //! - [`crate::reference`] is a simple sequential engine over any sampler — the
 //!   correctness oracle every other engine is tested against.
 //! - [`path`] stores walk outputs compactly and checks their validity.
@@ -41,13 +47,16 @@
 
 pub mod app;
 pub mod corpus_io;
+pub mod hotpath;
 pub mod membership;
 pub mod path;
 pub mod query;
 pub mod reference;
 pub mod stats;
 
-pub use app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp};
+pub use app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp, WeightProfile};
+pub use hotpath::HotStepper;
+pub use membership::NeighborBitset;
 pub use path::WalkResults;
 pub use query::{Query, QuerySet};
 pub use reference::{AnySampler, ReferenceEngine, SamplerKind};

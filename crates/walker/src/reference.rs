@@ -6,13 +6,13 @@
 //! accelerator model (`lightrw-hwsim`) are tested for distributional
 //! agreement against this engine.
 
-use crate::app::{StepContext, WalkApp};
-use crate::membership::common_neighbor_mask;
+use crate::app::{StepContext, WalkApp, FX_FRAC_BITS};
+use crate::hotpath::HotStepper;
 use crate::path::WalkResults;
 use crate::query::QuerySet;
 use lightrw_graph::{Graph, VertexId};
-use lightrw_rng::{SplitMix64, StreamBank};
-use lightrw_sampling::{reservoir, AliasTable, IndexSampler, InverseTransformTable, ParallelWrs};
+use lightrw_rng::{Rng, SplitMix64, StreamBank};
+use lightrw_sampling::{reservoir, AliasScratch, ParallelWrs};
 
 /// Which weighted sampling method the engine uses per step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,10 +49,22 @@ enum SamplerState {
 }
 
 /// A ready-to-use weighted sampler of any [`SamplerKind`]: builds per-step
-/// tables for the table-based kinds, streams for the reservoir kinds.
-/// Shared by the reference engine and the CPU baseline.
+/// tables for the table-based kinds (into reusable scratch, so the
+/// steady-state walk loop allocates nothing), streams for the reservoir
+/// kinds. Shared by all three engines via [`HotStepper`].
+///
+/// Beyond the generic [`AnySampler::select_weighted_with`], two fast
+/// entry points exist for the hot-path profiles (DESIGN.md §5):
+/// [`AnySampler::select_uniform`] and [`AnySampler::select_prefix`]. Both
+/// consume the RNG *identically* to the generic path on the weights they
+/// stand in for, so engines may switch entry points per step without
+/// changing a single sampled walk.
 pub struct AnySampler {
     state: SamplerState,
+    /// Inverse-transform cumulative scratch, reused across steps.
+    cum: Vec<u64>,
+    /// Vose alias build scratch, reused across steps.
+    alias: AliasScratch,
 }
 
 impl AnySampler {
@@ -65,25 +77,117 @@ impl AnySampler {
             SamplerKind::SequentialWrs => SamplerState::Sequential(StreamBank::new(seed, 1)),
             SamplerKind::ParallelWrs { k } => SamplerState::Parallel(ParallelWrs::new(seed, k)),
         };
-        Self { state }
+        Self {
+            state,
+            cum: Vec::new(),
+            alias: AliasScratch::new(),
+        }
+    }
+
+    /// Pre-size the table scratch for candidate sets up to `n` — worker
+    /// setup, so the step loop never grows a buffer.
+    pub fn reserve(&mut self, n: usize) {
+        match &self.state {
+            SamplerState::Table(_, SamplerKind::InverseTransform) => self.cum.reserve(n),
+            SamplerState::Table(_, SamplerKind::Alias) => self.alias.reserve(n),
+            _ => {}
+        }
     }
 
     /// Draw an index with probability proportional to `weights[i]`;
     /// `None` when all weights are zero (dead end).
     pub fn select_index(&mut self, weights: &[u32]) -> Option<usize> {
-        match &mut self.state {
+        self.select_weighted_with(weights.len(), |i| weights[i])
+    }
+
+    /// Streaming selection: weights are produced lane by lane from `w(i)`
+    /// — the fused weight-calculation + sampling pass of Alg. 4.1 — so no
+    /// caller ever materializes a weight vector. Reservoir kinds consume
+    /// the stream directly; table kinds accumulate into internal scratch.
+    /// Draw-for-draw identical to [`AnySampler::select_index`] on the same
+    /// weights.
+    pub fn select_weighted_with(&mut self, len: usize, w: impl Fn(usize) -> u32) -> Option<usize> {
+        let Self { state, cum, alias } = self;
+        match state {
             SamplerState::Table(rng, SamplerKind::InverseTransform) => {
-                InverseTransformTable::build(weights).map(|t| t.sample(rng))
+                cum.clear();
+                let mut acc = 0u64;
+                for i in 0..len {
+                    acc += w(i) as u64;
+                    cum.push(acc);
+                }
+                if acc == 0 {
+                    return None;
+                }
+                let r = rng.gen_range(acc);
+                Some(cum.partition_point(|&c| c <= r))
             }
             SamplerState::Table(rng, SamplerKind::Alias) => {
-                AliasTable::build(weights).map(|t| t.sample(rng))
+                if !alias.rebuild(len, w) {
+                    return None;
+                }
+                Some(alias.sample(rng))
             }
             SamplerState::Table(..) => unreachable!("table state built for table kinds only"),
-            SamplerState::Sequential(bank) => {
-                reservoir::select_integer(weights.iter().copied(), bank)
-            }
-            SamplerState::Parallel(wrs) => wrs.select_index(weights),
+            SamplerState::Sequential(bank) => reservoir::select_integer((0..len).map(w), bank),
+            SamplerState::Parallel(wrs) => wrs.select_index_with(len, w),
         }
+    }
+
+    /// Degree-indexed uniform fast path: all `len` candidates share the
+    /// same `weight`. For the table kinds this is O(1)/O(log 1) instead of
+    /// an O(len) table build; reservoir kinds delegate to the stream (they
+    /// must draw per lane regardless). RNG consumption is identical to
+    /// [`AnySampler::select_weighted_with`] with a constant closure, which
+    /// for the alias kind requires `weight` to be a power of two (the Vose
+    /// scaling is then exactly 1.0 per slot) — other weights fall back to
+    /// the generic path. Engines pass `FX_ONE`.
+    pub fn select_uniform(&mut self, len: usize, weight: u32) -> Option<usize> {
+        match &mut self.state {
+            SamplerState::Table(rng, SamplerKind::InverseTransform) => {
+                if len == 0 || weight == 0 {
+                    return None; // parity: generic path draws nothing on zero total
+                }
+                let r = rng.gen_range(len as u64 * weight as u64);
+                return Some((r / weight as u64) as usize);
+            }
+            SamplerState::Table(rng, SamplerKind::Alias) if weight.is_power_of_two() && len > 0 => {
+                // Equal power-of-two weights scale to exactly 1.0 per Vose
+                // slot, so the column draw decides and the coin always
+                // accepts; the coin flip is still drawn for RNG parity.
+                let slot = rng.gen_index(len);
+                let _ = rng.next_f64();
+                return Some(slot);
+            }
+            _ => {}
+        }
+        self.select_weighted_with(len, |_| weight)
+    }
+
+    /// Prefix-cache fast path: select over the *static* weights whose
+    /// per-vertex inclusive cumulative sums are `cumulative` (from
+    /// `Graph::static_prefix` / `Graph::relation_prefix`), with each
+    /// weight promoted by `FX_FRAC_BITS` as `StaticWeighted`/`MetaPath`
+    /// do. Inverse transform becomes a single binary search; other kinds
+    /// stream the adjacent differences. RNG-identical to the generic path
+    /// over the promoted weights (the cache is only built when no
+    /// promotion can wrap — `MAX_PREFIX_STATIC_WEIGHT`).
+    pub fn select_prefix(&mut self, cumulative: &[u64]) -> Option<usize> {
+        let total = match cumulative.last() {
+            Some(&t) => t,
+            None => return None,
+        };
+        if let SamplerState::Table(rng, SamplerKind::InverseTransform) = &mut self.state {
+            if total == 0 {
+                return None;
+            }
+            let r = rng.gen_range(total << FX_FRAC_BITS);
+            return Some(cumulative.partition_point(|&c| (c << FX_FRAC_BITS) <= r));
+        }
+        self.select_weighted_with(cumulative.len(), |i| {
+            let prev = if i == 0 { 0 } else { cumulative[i - 1] };
+            ((cumulative[i] - prev) as u32) << FX_FRAC_BITS
+        })
     }
 
     /// Bytes of intermediate table state the kind materializes per step for
@@ -120,7 +224,8 @@ impl<'g> ReferenceEngine<'g> {
     /// Execute all queries sequentially, returning their paths in query-id
     /// order. Walks that reach a dead end (all candidate weights zero, or
     /// no neighbors) terminate early with a shorter path, as in
-    /// Algorithm 2.1's `is_end`.
+    /// Algorithm 2.1's `is_end`. Each step is one fused
+    /// weight-calculation + sampling pass through [`HotStepper`].
     pub fn run(&self, queries: &QuerySet) -> WalkResults {
         let mut results = WalkResults::with_capacity(
             queries.len(),
@@ -129,16 +234,16 @@ impl<'g> ReferenceEngine<'g> {
                 .first()
                 .map_or(1, |q| q.length as usize + 1),
         );
-        let mut state = AnySampler::new(self.sampler, self.seed);
-        let mut weights: Vec<u32> = Vec::new();
-        let mut mask: Vec<bool> = Vec::new();
+        let mut stepper = HotStepper::new(self.app, self.sampler, self.seed);
+        stepper.reserve(self.graph.max_degree() as usize);
 
         for q in queries.queries() {
             let mut cur = q.start;
             let mut prev: Option<VertexId> = None;
             results.push_vertex(cur);
             for step in 0..q.length {
-                match self.step(cur, prev, step, &mut state, &mut weights, &mut mask) {
+                let ctx = StepContext { step, cur, prev };
+                match stepper.step(self.graph, self.app, ctx) {
                     Some(next) => {
                         results.push_vertex(next);
                         prev = Some(cur);
@@ -150,40 +255,6 @@ impl<'g> ReferenceEngine<'g> {
             results.end_path();
         }
         results
-    }
-
-    /// One step of Algorithm 3.1: weight_calculation fused with
-    /// weighted_sampling.
-    fn step(
-        &self,
-        cur: VertexId,
-        prev: Option<VertexId>,
-        step: u32,
-        state: &mut AnySampler,
-        weights: &mut Vec<u32>,
-        mask: &mut Vec<bool>,
-    ) -> Option<VertexId> {
-        let g = self.graph;
-        let neighbors = g.neighbors(cur);
-        if neighbors.is_empty() {
-            return None;
-        }
-        // Second-order membership (Node2Vec only).
-        let need_mask = self.app.second_order() && prev.is_some();
-        if need_mask {
-            common_neighbor_mask(g, cur, prev.unwrap(), mask);
-        }
-        let ctx = StepContext { step, cur, prev };
-        let statics = g.neighbor_weights(cur);
-        let relations = g.neighbor_relations(cur);
-        weights.clear();
-        weights.reserve(neighbors.len());
-        for (i, &nbr) in neighbors.iter().enumerate() {
-            let relation = relations.get(i).copied().unwrap_or(0);
-            let pin = need_mask && mask[i];
-            weights.push(self.app.weight(ctx, nbr, statics[i], relation, pin));
-        }
-        state.select_index(weights).map(|i| neighbors[i])
     }
 }
 
