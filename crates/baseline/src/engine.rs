@@ -1,11 +1,19 @@
 //! The step-centric multi-threaded CPU engine.
+//!
+//! Since the session refactor (DESIGN.md §6) all mutable walk state —
+//! per-worker SoA arrays, samplers, sweep cursors — lives in
+//! [`CpuSession`], so sessions are re-entrant: two sessions over one
+//! [`CpuEngine`] (and one graph) can interleave freely. The monolithic
+//! [`CpuEngine::run`] is now a thin convenience over one session driven
+//! to completion.
 
 use std::time::{Duration, Instant};
 
 use lightrw_graph::{Graph, VertexId};
 use lightrw_rng::splitmix::mix64;
 use lightrw_walker::app::StepContext;
-use lightrw_walker::{HotStepper, QuerySet, SamplerKind, WalkApp, WalkResults};
+use lightrw_walker::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
+use lightrw_walker::{HotStepper, Query, QuerySet, SamplerKind, WalkApp, WalkResults};
 
 /// CPU engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,23 +80,42 @@ impl BaselineRunStats {
     }
 }
 
-/// Per-worker walk state in structure-of-arrays layout: the round-robin
+/// One worker's walk state in structure-of-arrays layout: the round-robin
 /// scheduler touches `cur`/`prev`/`step` for every active query each
 /// sweep, so keeping them in dense parallel arrays (instead of an array
 /// of structs with inline path buffers) keeps the sweep's working set to
-/// a few cache lines per query.
-struct WalkStateSoA {
+/// a few cache lines per query. Each chunk also owns its stepper (seeded
+/// per chunk, so thread interleaving never changes sampled walks) and the
+/// sweep cursor that lets a session pause mid-sweep and resume exactly
+/// where it stopped.
+struct ChunkState {
+    stepper: HotStepper,
+    queries: Vec<Query>,
     cur: Vec<VertexId>,
     prev: Vec<Option<VertexId>>,
     step: Vec<u32>,
     /// Output paths, preallocated to full length at setup — the step loop
-    /// never allocates.
+    /// never allocates. A path's buffer is released (taken) once emitted.
     paths: Vec<Vec<VertexId>>,
+    done: Vec<bool>,
+    /// Local indices of queries still walking.
+    active: Vec<usize>,
+    /// Position within the current round-robin sweep over `active`.
+    cursor: usize,
 }
 
-impl WalkStateSoA {
-    fn new(qs: &[lightrw_walker::Query]) -> Self {
+impl ChunkState {
+    fn new(
+        qs: &[Query],
+        app: &dyn WalkApp,
+        sampler: SamplerKind,
+        seed: u64,
+        max_degree: usize,
+    ) -> Self {
+        let mut stepper = HotStepper::new(app, sampler, seed);
+        stepper.reserve(max_degree);
         Self {
+            stepper,
             cur: qs.iter().map(|q| q.start).collect(),
             prev: vec![None; qs.len()],
             step: vec![0; qs.len()],
@@ -100,7 +127,52 @@ impl WalkStateSoA {
                     p
                 })
                 .collect(),
+            done: vec![false; qs.len()],
+            active: (0..qs.len()).collect(),
+            cursor: 0,
+            queries: qs.to_vec(),
         }
+    }
+
+    /// Advance this worker's queries round-robin, one step per visit —
+    /// ThunderRW's step-centric interleaving — for up to `budget` visits.
+    /// The visit order is identical to the pre-session engine's nested
+    /// sweep loop for every budget schedule (the cursor persists across
+    /// calls), so batching never changes a sampled walk. Returns steps
+    /// executed (dead-end visits consume budget but no step).
+    fn advance(&mut self, budget: u64, g: &Graph, app: &dyn WalkApp) -> u64 {
+        let mut attempts = 0u64;
+        let mut steps = 0u64;
+        while attempts < budget && !self.active.is_empty() {
+            if self.cursor >= self.active.len() {
+                self.cursor = 0; // new sweep
+            }
+            let qi = self.active[self.cursor];
+            let ctx = StepContext {
+                step: self.step[qi],
+                cur: self.cur[qi],
+                prev: self.prev[qi],
+            };
+            let done = match self.stepper.step(g, app, ctx) {
+                Some(next) => {
+                    steps += 1;
+                    self.paths[qi].push(next);
+                    self.prev[qi] = Some(self.cur[qi]);
+                    self.cur[qi] = next;
+                    self.step[qi] += 1;
+                    self.step[qi] >= self.queries[qi].length
+                }
+                None => true, // dead end
+            };
+            if done {
+                self.done[qi] = true;
+                self.active.swap_remove(self.cursor);
+            } else {
+                self.cursor += 1;
+            }
+            attempts += 1;
+        }
+        steps
     }
 }
 
@@ -117,101 +189,177 @@ impl<'g> CpuEngine<'g> {
         Self { graph, app, cfg }
     }
 
+    /// Start a batched streaming session (concrete type; the
+    /// [`WalkEngine`] impl boxes the same thing).
+    pub fn session(&self, queries: &QuerySet) -> CpuSession<'_> {
+        CpuSession::new(self, queries)
+    }
+
     /// Execute all queries; returns paths in query order plus timing.
+    /// One session driven to completion in a single full-budget batch, so
+    /// worker threads are spawned exactly once, as before the session
+    /// refactor.
     pub fn run(&self, queries: &QuerySet) -> (WalkResults, BaselineRunStats) {
-        // `effective_threads` already returns >= 1 for both branches.
         let threads = self.cfg.effective_threads();
-        let qs = queries.queries();
-        let chunk = qs.len().div_ceil(threads).max(1);
-        // Hoisted out of the workers: one degree scan sizes every worker's
-        // sampler/bitset scratch for the whole run.
-        let max_degree = self.graph.max_degree() as usize;
         let start = Instant::now();
-
-        // Contiguous chunks preserve query order on concatenation.
-        let mut chunk_outputs: Vec<(WalkResults, u64)> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, chunk_qs) in qs.chunks(chunk).enumerate() {
-                let seed = mix64(self.cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                handles.push(scope.spawn(move || self.run_chunk(chunk_qs, seed, max_degree)));
-            }
-            for h in handles {
-                chunk_outputs.push(h.join().expect("worker thread panicked"));
-            }
-        });
-
-        let elapsed = start.elapsed();
-        let mut results = WalkResults::with_capacity(qs.len(), 8);
-        let mut steps = 0u64;
-        for (chunk_res, chunk_steps) in &chunk_outputs {
-            for p in chunk_res.iter() {
-                results.push_path(p);
-            }
-            steps += chunk_steps;
+        let mut session = self.session(queries);
+        let mut results = WalkResults::with_capacity(queries.len(), 8);
+        while !session.finished() {
+            session.advance(u64::MAX, &mut results);
         }
+        let elapsed = start.elapsed();
         (
             results,
             BaselineRunStats {
-                steps,
+                steps: session.steps_done(),
                 elapsed,
                 threads,
             },
         )
     }
+}
 
-    /// One worker: advance its queries round-robin, one step per visit —
-    /// ThunderRW's step-centric interleaving. Worker setup allocates the
-    /// SoA walk state and the stepper's scratch once; each step is then a
-    /// single fused weight-calculation + sampling pass (Alg. 2.1's two
-    /// phases, streamed) with no heap allocation.
-    fn run_chunk(
-        &self,
-        qs: &[lightrw_walker::Query],
-        seed: u64,
-        max_degree: usize,
-    ) -> (WalkResults, u64) {
-        let g = self.graph;
-        let mut stepper = HotStepper::new(self.app, self.cfg.sampler, seed);
-        stepper.reserve(max_degree);
-        let mut st = WalkStateSoA::new(qs);
+impl WalkEngine for CpuEngine<'_> {
+    fn label(&self) -> String {
+        format!("cpu({})", self.cfg.sampler.name())
+    }
 
-        let mut active: Vec<usize> = (0..qs.len()).filter(|&i| qs[i].length > 0).collect();
-        let mut steps = 0u64;
+    fn start_session<'s>(&'s self, queries: &QuerySet) -> Box<dyn WalkSession + 's> {
+        Box::new(self.session(queries))
+    }
+}
 
-        while !active.is_empty() {
-            let mut i = 0;
-            while i < active.len() {
-                let qi = active[i];
-                let ctx = StepContext {
-                    step: st.step[qi],
-                    cur: st.cur[qi],
-                    prev: st.prev[qi],
-                };
-                let done = match stepper.step(g, self.app, ctx) {
-                    Some(next) => {
-                        steps += 1;
-                        st.paths[qi].push(next);
-                        st.prev[qi] = Some(st.cur[qi]);
-                        st.cur[qi] = next;
-                        st.step[qi] += 1;
-                        st.step[qi] >= qs[qi].length
-                    }
-                    None => true, // dead end
-                };
-                if done {
-                    active.swap_remove(i);
-                } else {
-                    i += 1;
-                }
+/// A batched session of the CPU engine: queries are split into contiguous
+/// per-worker chunks exactly as the monolithic run does (same chunk
+/// boundaries, same derived per-chunk seeds), and every
+/// [`WalkSession::advance`] gives each worker up to `max_steps` visits —
+/// executed on scoped threads when more than one chunk still has work.
+/// Completed paths are emitted in global query-id order; because chunks
+/// are contiguous, a chunk's paths emit once all earlier chunks have
+/// drained, and each emitted path's buffer is released immediately.
+pub struct CpuSession<'s> {
+    graph: &'s Graph,
+    app: &'s dyn WalkApp,
+    chunks: Vec<ChunkState>,
+    /// Queries per chunk (all chunks but the last).
+    chunk_len: usize,
+    total: usize,
+    /// Next global query id to emit.
+    emit_next: usize,
+    steps_done: u64,
+}
+
+impl<'s> CpuSession<'s> {
+    fn new(engine: &CpuEngine<'s>, queries: &QuerySet) -> Self {
+        let threads = engine.cfg.effective_threads();
+        let qs = queries.queries();
+        let chunk_len = qs.len().div_ceil(threads).max(1);
+        // Hoisted out of the workers: one degree scan sizes every worker's
+        // sampler/bitset scratch for the whole session.
+        let max_degree = engine.graph.max_degree() as usize;
+        let chunks = qs
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(t, chunk_qs)| {
+                let seed = mix64(engine.cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                ChunkState::new(chunk_qs, engine.app, engine.cfg.sampler, seed, max_degree)
+            })
+            .collect();
+        Self {
+            graph: engine.graph,
+            app: engine.app,
+            chunks,
+            chunk_len,
+            total: qs.len(),
+            emit_next: 0,
+            steps_done: 0,
+        }
+    }
+
+    /// Emit every completed-but-unemitted path whose predecessors are all
+    /// emitted, releasing path buffers as they go out.
+    fn drain_ready(&mut self, sink: &mut dyn WalkSink) -> usize {
+        let mut emitted = 0;
+        while self.emit_next < self.total {
+            let chunk = &mut self.chunks[self.emit_next / self.chunk_len];
+            let local = self.emit_next % self.chunk_len;
+            if !chunk.done[local] {
+                break;
             }
+            let path = std::mem::take(&mut chunk.paths[local]);
+            sink.emit(self.emit_next as u32, &path);
+            self.emit_next += 1;
+            emitted += 1;
         }
+        emitted
+    }
+}
 
-        let mut results = WalkResults::with_capacity(qs.len(), 8);
-        for p in &st.paths {
-            results.push_path(p);
+impl WalkSession for CpuSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let budget = max_steps.max(1);
+        let (graph, app) = (self.graph, self.app);
+        let busy = self.chunks.iter().filter(|c| !c.active.is_empty()).count();
+        let batch_steps: u64 = if busy > 1 {
+            // One scoped thread per chunk with remaining work — the same
+            // parallelism shape as the monolithic run, re-spawned per
+            // batch.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .chunks
+                    .iter_mut()
+                    .filter(|c| !c.active.is_empty())
+                    .map(|c| scope.spawn(move || c.advance(budget, graph, app)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .sum()
+            })
+        } else {
+            self.chunks
+                .iter_mut()
+                .map(|c| c.advance(budget, graph, app))
+                .sum()
+        };
+        self.steps_done += batch_steps;
+        let paths_completed = self.drain_ready(sink);
+        BatchProgress {
+            steps: batch_steps,
+            paths_completed,
+            finished: self.finished(),
         }
-        (results, steps)
+    }
+
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
+        for chunk in &mut self.chunks {
+            for &qi in &chunk.active {
+                chunk.done[qi] = true;
+            }
+            chunk.active.clear();
+        }
+        let paths_completed = self.drain_ready(sink);
+        BatchProgress {
+            steps: 0,
+            paths_completed,
+            finished: true,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.emit_next >= self.total
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    fn paths_completed(&self) -> usize {
+        self.emit_next
+    }
+
+    fn diagnostics(&self) -> Option<String> {
+        Some(format!("{} worker threads", self.chunks.len()))
     }
 }
 
@@ -220,6 +368,7 @@ mod tests {
     use super::*;
     use lightrw_graph::{generators, GraphBuilder};
     use lightrw_rng::stats::{chi_square_counts, chi_square_crit_999};
+    use lightrw_rng::{Rng, SplitMix64};
     use lightrw_walker::app::{MetaPath, Node2Vec, Uniform};
     use lightrw_walker::path::validate_path;
 
@@ -338,5 +487,76 @@ mod tests {
         let (_, stats) = CpuEngine::new(&g, &Uniform, one_thread()).run(&qs);
         assert!(stats.steps > 0);
         assert!(stats.steps_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn batched_sessions_are_bit_identical_to_run() {
+        // The session contract: any max_steps schedule reproduces the
+        // monolithic run exactly, across thread counts and apps.
+        let g = generators::rmat_dataset(8, 7);
+        let nv = Node2Vec::paper_params();
+        let apps: [&dyn WalkApp; 2] = [&Uniform, &nv];
+        let mut batch_rng = SplitMix64::new(123);
+        for app in apps {
+            for threads in [1usize, 3, 8] {
+                let cfg = BaselineConfig {
+                    threads,
+                    ..Default::default()
+                };
+                let engine = CpuEngine::new(&g, app, cfg);
+                let qs = QuerySet::per_nonisolated_vertex(&g, 9, 2);
+                let (whole, stats) = engine.run(&qs);
+                let mut batched = WalkResults::new();
+                let mut session = engine.session(&qs);
+                while !session.finished() {
+                    session.advance(1 + batch_rng.gen_range(17), &mut batched);
+                }
+                assert_eq!(whole, batched, "{} threads={threads}", app.name());
+                assert_eq!(stats.steps, session.steps_done());
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_interleave_on_one_engine() {
+        let g = generators::rmat_dataset(8, 9);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 3);
+        let cfg = BaselineConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let engine = CpuEngine::new(&g, &Uniform, cfg);
+        let (whole, _) = engine.run(&qs);
+        let mut a = WalkResults::new();
+        let mut b = WalkResults::new();
+        let mut sa = engine.session(&qs);
+        let mut sb = engine.session(&qs);
+        while !sa.finished() || !sb.finished() {
+            sa.advance(5, &mut a);
+            sb.advance(11, &mut b);
+        }
+        assert_eq!(a, whole);
+        assert_eq!(b, whole);
+    }
+
+    #[test]
+    fn cancel_flushes_every_path_exactly_once() {
+        let g = generators::rmat_dataset(8, 10);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 40, 4);
+        let cfg = BaselineConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let engine = CpuEngine::new(&g, &Uniform, cfg);
+        let mut session = engine.session(&qs);
+        let mut results = WalkResults::new();
+        session.advance(3, &mut results);
+        let progress = session.cancel(&mut results);
+        assert!(progress.finished);
+        assert_eq!(results.len(), qs.len());
+        // Partial paths are still valid walks.
+        for p in results.iter() {
+            validate_path(&g, &Uniform, p).unwrap();
+        }
     }
 }

@@ -37,11 +37,19 @@
 //! to measure the un-hinted cost, wrap the app in a profile-hiding
 //! adapter as `tests/hotpath_equivalence.rs` does, or drop the graph's
 //! prefix cache.
+//!
+//! [`CpuEngine`] also implements the engine-agnostic
+//! `lightrw_walker::WalkEngine` trait (DESIGN.md §6): all mutable walk
+//! state lives in a per-session [`CpuSession`] (so sessions are
+//! re-entrant and interleave on one graph), batches execute up to
+//! `max_steps` visits per worker on scoped threads, and finished paths
+//! stream out in query-id order — bit-identical to [`CpuEngine::run`]
+//! for every batch schedule.
 
 pub mod engine;
 pub mod llc;
 pub mod profile;
 
-pub use engine::{BaselineConfig, BaselineRunStats, CpuEngine};
+pub use engine::{BaselineConfig, BaselineRunStats, CpuEngine, CpuSession};
 pub use llc::LlcSim;
 pub use profile::{profile_top_down, TopDownProfile};

@@ -7,6 +7,13 @@
 //! in the artifact history rather than silently distorting the Fig. 14
 //! comparisons.
 //!
+//! Besides the per-engine `throughput` rows, the report carries a
+//! `mixed_engine` section: all three backends (reference, CPU, simulated
+//! accelerator) run **concurrently as interleaved batched sessions**
+//! behind `&dyn WalkEngine` (DESIGN.md §6) — the multi-tenant batching
+//! shape a serving host uses — and each reports its share of the
+//! multiplexed wall clock.
+//!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
 //! cargo run --release -p lightrw-bench --bin bench_report -- --scale 13 \
@@ -185,6 +192,105 @@ fn measure(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<Row>) {
     }
 }
 
+/// One engine's share of the mixed-engine interleaved-session scenario.
+struct MixedRow {
+    engine: String,
+    batch: u64,
+    steps: u64,
+    /// Wall seconds this engine's `advance` calls consumed inside the
+    /// multiplexing loop.
+    secs: f64,
+    batches: u64,
+}
+
+impl MixedRow {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"engine\": \"{}\", \"batch\": {}, \"batches\": {}, \"steps\": {}, \
+             \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
+            self.engine,
+            self.batch,
+            self.batches,
+            self.steps,
+            self.secs,
+            self.steps_per_sec()
+        )
+    }
+}
+
+/// The batched mixed-engine scenario: one session per backend over the
+/// same workload, advanced round-robin one bounded batch at a time —
+/// no engine gets the host to itself, exactly like a multi-backend
+/// serving tier. Walks stay bit-identical to each engine's monolithic
+/// run (the session contract), so this measures pure batching overhead.
+fn measure_mixed(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<MixedRow>) {
+    let app = Node2Vec::paper_params();
+    let len = if opts.quick { 8 } else { 40 };
+    let qs = QuerySet::per_nonisolated_vertex(g, len, opts.seed);
+    let batch = 4096u64;
+
+    let engines: Vec<Box<dyn WalkEngine + '_>> = vec![
+        Box::new(ReferenceEngine::new(
+            g,
+            &app,
+            SamplerKind::InverseTransform,
+            opts.seed,
+        )),
+        Box::new(CpuEngine::new(
+            g,
+            &app,
+            BaselineConfig {
+                seed: opts.seed,
+                ..Default::default()
+            },
+        )),
+        Box::new(LightRwSim::new(
+            g,
+            &app,
+            LightRwConfig {
+                seed: opts.seed,
+                ..LightRwConfig::default()
+            },
+        )),
+    ];
+
+    let mut sessions: Vec<_> = engines.iter().map(|e| e.start_session(&qs)).collect();
+    let mut counters: Vec<CountingSink> = vec![CountingSink::default(); sessions.len()];
+    let mut secs = vec![0.0f64; sessions.len()];
+    let mut batches = vec![0u64; sessions.len()];
+    let mut sinks: Vec<&mut dyn WalkSink> = counters
+        .iter_mut()
+        .map(|c| c as &mut dyn WalkSink)
+        .collect();
+    lightrw::walker::engine::multiplex_sessions(&mut sessions, &mut sinks, batch, |i, s, _| {
+        secs[i] += s;
+        batches[i] += 1;
+    });
+    drop(sinks);
+    for ((engine, session), (counter, (s, b))) in engines
+        .iter()
+        .zip(&sessions)
+        .zip(counters.iter().zip(secs.iter().zip(&batches)))
+    {
+        assert_eq!(counter.paths, qs.len(), "every path emitted exactly once");
+        rows.push(MixedRow {
+            engine: format!("{name}/{}", engine.label()),
+            batch,
+            steps: session.steps_done(),
+            secs: *s,
+            batches: *b,
+        });
+    }
+}
+
 /// Pull the `"throughput": [...]` rows (one per line, as this binary
 /// writes them) out of a previous report for the before/after embedding.
 fn extract_rows(json: &str) -> Vec<String> {
@@ -232,6 +338,7 @@ fn main() {
         ]
     };
 
+    let mut mixed_rows = Vec::new();
     for (name, g) in &datasets {
         eprintln!(
             "measuring {name}: |V|={} |E|={}",
@@ -239,6 +346,7 @@ fn main() {
             g.num_edges()
         );
         measure(name, g, &opts, &mut rows);
+        measure_mixed(name, g, &opts, &mut mixed_rows);
     }
 
     let baseline_rows = opts
@@ -268,6 +376,12 @@ fn main() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(json, "    {}{sep}", r.to_json());
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"mixed_engine\": [\n");
+    for (i, r) in mixed_rows.iter().enumerate() {
+        let sep = if i + 1 < mixed_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{sep}", r.to_json());
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&opts.out, &json).expect("write report");
 
@@ -282,6 +396,20 @@ fn main() {
             r.app,
             r.engine,
             r.threads,
+            lightrw_bench::fmt_rate(r.steps_per_sec())
+        );
+    }
+    println!();
+    println!(
+        "{:<38} {:>7} {:>9} {:>12}",
+        "mixed-engine (interleaved sessions)", "batches", "steps", "steps/s"
+    );
+    for r in &mixed_rows {
+        println!(
+            "{:<38} {:>7} {:>9} {:>12}",
+            r.engine,
+            r.batches,
+            r.steps,
             lightrw_bench::fmt_rate(r.steps_per_sec())
         );
     }

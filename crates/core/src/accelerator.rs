@@ -8,7 +8,12 @@ use crate::report::RunReport;
 use crate::resources;
 use lightrw_graph::Graph;
 use lightrw_hwsim::{LightRwConfig, LightRwSim};
-use lightrw_walker::{QuerySet, WalkApp};
+use lightrw_walker::engine::{CountingSink, WalkSession, WalkSink};
+use lightrw_walker::{QuerySet, WalkApp, WalkResults};
+
+/// Steps per session batch when the host streams results out as the
+/// kernel runs.
+const STREAM_BATCH: u64 = 8192;
 
 /// A configured LightRW deployment over a graph.
 pub struct LightRw<'g> {
@@ -40,14 +45,51 @@ impl<'g> LightRw<'g> {
         &self.cfg
     }
 
+    /// The simulated board as an engine value — dispatchable anywhere a
+    /// `&dyn WalkEngine` is accepted (the cluster layer, the CLI, SGNS
+    /// streaming training).
+    pub fn engine(&self) -> LightRwSim<'g> {
+        LightRwSim::new(self.graph, self.app, self.cfg)
+    }
+
     /// Execute a workload end to end: modelled upload, simulated kernel,
     /// modelled download.
     pub fn run(&self, queries: &QuerySet) -> RunReport {
-        let sim = LightRwSim::new(self.graph, self.app, self.cfg).run(queries);
+        let sim = self.engine().run(queries);
+        self.finish_report(queries, sim.results.result_bytes(), sim)
+    }
+
+    /// Execute a workload end to end while **streaming** finished walks
+    /// into `sink` as the kernel produces them, instead of materializing
+    /// a result set — the session contract of DESIGN.md §6 applied to the
+    /// host façade. The returned report's `sim.results` is empty (the
+    /// paths went to the sink); the PCIe download is modelled from the
+    /// bytes actually streamed, so it matches [`LightRw::run`] on the
+    /// same workload exactly.
+    pub fn run_streaming(&self, queries: &QuerySet, sink: &mut dyn WalkSink) -> RunReport {
+        let engine = self.engine();
+        let mut session = engine.session(queries);
+        let mut counted = CountingTee {
+            inner: sink,
+            counter: CountingSink::default(),
+        };
+        while !session.finished() {
+            session.advance(STREAM_BATCH, &mut counted);
+        }
+        let download = counted.counter.bytes;
+        let sim = session.into_report(WalkResults::new());
+        self.finish_report(queries, download, sim)
+    }
+
+    fn finish_report(
+        &self,
+        queries: &QuerySet,
+        download: u64,
+        sim: lightrw_hwsim::SimReport,
+    ) -> RunReport {
         // Each instance keeps a private graph copy (paper §6.1.5), but the
         // host uploads the image once per channel over the same link.
         let upload = self.graph.csr_bytes() * self.cfg.instances as u64 + queries.len() as u64 * 16; // query descriptors
-        let download = sim.results.result_bytes();
         let pcie = PcieBreakdown::model(&self.platform, upload, sim.seconds, download);
         let resources = resources::estimate(&self.cfg, AppKind::of(self.app));
         RunReport {
@@ -55,6 +97,20 @@ impl<'g> LightRw<'g> {
             pcie,
             resources,
         }
+    }
+}
+
+/// Forwards every path to the caller's sink while counting the download
+/// bytes the PCIe model charges.
+struct CountingTee<'a> {
+    inner: &'a mut dyn WalkSink,
+    counter: CountingSink,
+}
+
+impl WalkSink for CountingTee<'_> {
+    fn emit(&mut self, query_id: u32, path: &[lightrw_graph::VertexId]) {
+        self.counter.emit(query_id, path);
+        self.inner.emit(query_id, path);
     }
 }
 
@@ -79,6 +135,23 @@ mod tests {
         assert!(report.pcie.upload_s > 0.0);
         assert!(report.end_to_end_s() > report.sim.seconds);
         assert!(crate::resources::fits_u250(&report.resources));
+    }
+
+    #[test]
+    fn streaming_run_matches_collected_run() {
+        let g = DatasetProfile::youtube().stand_in(9, 6);
+        let mp = MetaPath::new(vec![0, 1, 2, 3, 0]);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 4);
+        let accel = LightRw::new(&g, &mp, LightRwConfig::default());
+        let collected = accel.run(&qs);
+        let mut streamed = lightrw_walker::WalkResults::new();
+        let report = accel.run_streaming(&qs, &mut streamed);
+        // Same walks, same kernel time, same modelled PCIe phases.
+        assert_eq!(streamed, collected.sim.results);
+        assert!(report.sim.results.is_empty(), "paths went to the sink");
+        assert_eq!(report.sim.cycles, collected.sim.cycles);
+        assert_eq!(report.pcie.download_s, collected.pcie.download_s);
+        assert_eq!(report.pcie.upload_s, collected.pcie.upload_s);
     }
 
     #[test]

@@ -11,10 +11,17 @@
 //! lightrw-cli convert --input edges.txt --directed -o g.bin
 //! lightrw-cli info g.bin
 //! lightrw-cli walk g.bin --app node2vec --length 80 --engine sim -o walks.txt
+//! lightrw-cli walk g.bin --engine reference --batch 64
 //! ```
+//!
+//! `walk` dispatches over the engine-agnostic session layer
+//! (DESIGN.md §6): the backend behind `--engine` is a `&dyn WalkEngine`,
+//! and `--batch` sets the per-batch step budget the driver hands each
+//! `advance` call — walks are bit-identical for every batch size.
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::time::Instant;
 
 use crate::prelude::*;
 use lightrw_graph::{components, io as gio, stats};
@@ -105,8 +112,8 @@ pub fn usage() -> &'static str {
      convert  --input EDGELIST [--directed|--undirected] -o FILE\n\
      info     GRAPH.bin\n\
      walk     GRAPH.bin --app uniform|static|metapath|node2vec\n\
-     \x20        [--length N] [--queries N] [--engine sim|cpu] [--seed N]\n\
-     \x20        [--binary] [-o FILE]\n"
+     \x20        [--length N] [--queries N] [--engine sim|cpu|reference]\n\
+     \x20        [--batch N] [--seed N] [--binary] [-o FILE]\n"
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -213,6 +220,9 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
         .ok_or("walk requires a graph file argument")?;
     let g = load_graph(path)?;
     let length = args.get_u64("length", 20)? as u32;
+    if length == 0 {
+        return Err("--length must be at least 1 (zero-step walks are rejected)".into());
+    }
     let seed = args.get_u64("seed", 42)?;
     let n_queries = args.get_u64("queries", 0)? as usize;
     let queries = if n_queries == 0 {
@@ -234,40 +244,57 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
         other => return Err(format!("unknown --app {other:?}")),
     };
 
-    let (walks, summary) = match args.get("engine").unwrap_or("sim") {
-        "sim" => {
-            let cfg = LightRwConfig {
-                seed,
-                ..LightRwConfig::default()
+    // Engine-agnostic dispatch: any backend behind `&dyn WalkEngine`,
+    // driven as a batched session (DESIGN.md §6).
+    let engine_name = args.get("engine").unwrap_or("sim");
+    let backend = Backend::parse(engine_name)?;
+    let batch = args.get_u64("batch", 1 << 16)?;
+    let engine = backend.build(&g, app.as_ref(), seed);
+    let engine: &dyn WalkEngine = engine.as_ref();
+
+    let mut walks = WalkResults::with_capacity(queries.len(), length as usize + 1);
+    let t = Instant::now();
+    let mut sessions = vec![engine.start_session(&queries)];
+    let mut batches = 0u64;
+    {
+        let mut sinks: Vec<&mut dyn WalkSink> = vec![&mut walks];
+        lightrw_walker::multiplex_sessions(&mut sessions, &mut sinks, batch, |_, _, _| {
+            batches += 1
+        });
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    let session = &sessions[0];
+    let steps = session.steps_done();
+    let mut summary = format!(
+        "engine {engine_name}: {steps} steps in {batches} batches via {}, {:.3} ms wall",
+        engine.label(),
+        wall_s * 1e3,
+    );
+    match session.model_seconds() {
+        Some(model_s) => {
+            let rate = if model_s > 0.0 {
+                steps as f64 / model_s
+            } else {
+                0.0
             };
-            let r = LightRwSim::new(&g, app.as_ref(), cfg).run(&queries);
-            let line = format!(
-                "engine sim: {} steps in {:.3} ms simulated ({:.1} M steps/s), cache hit {:.1}%",
-                r.steps,
-                r.seconds * 1e3,
-                r.steps_per_sec() / 1e6,
-                r.cache_total().hit_ratio() * 100.0
+            summary += &format!(
+                ", {:.3} ms simulated ({:.1} M steps/s)",
+                model_s * 1e3,
+                rate / 1e6
             );
-            (r.results, line)
         }
-        "cpu" => {
-            let cfg = BaselineConfig {
-                seed,
-                ..Default::default()
+        None => {
+            let rate = if wall_s > 0.0 {
+                steps as f64 / wall_s
+            } else {
+                0.0
             };
-            let t = std::time::Instant::now();
-            let (res, st) = CpuEngine::new(&g, app.as_ref(), cfg).run(&queries);
-            let line = format!(
-                "engine cpu: {} steps in {:.3} ms wall ({:.1} M steps/s, {} threads)",
-                st.steps,
-                t.elapsed().as_secs_f64() * 1e3,
-                st.steps_per_sec() / 1e6,
-                st.threads
-            );
-            (res, line)
+            summary += &format!(" ({:.1} M steps/s)", rate / 1e6);
         }
-        other => return Err(format!("unknown --engine {other:?}")),
-    };
+    }
+    if let Some(diag) = session.diagnostics() {
+        summary += &format!(", {diag}");
+    }
 
     let mut out_line = String::new();
     if let Some(out) = args.get("out") {
@@ -362,6 +389,36 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("engine cpu"), "{out}");
+    }
+
+    #[test]
+    fn walk_on_reference_engine_with_batches() {
+        let gpath = tmp("reference.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let out = run(
+            "walk",
+            &parse(&[
+                &gpath,
+                "--engine",
+                "reference",
+                "--length",
+                "4",
+                "--queries",
+                "16",
+                "--batch",
+                "7",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("engine reference"), "{out}");
+        assert!(out.contains("batches"), "{out}");
+        // Unknown engines surface the parse error.
+        let err = run("walk", &parse(&[&gpath, "--engine", "fpga"])).unwrap_err();
+        assert!(err.contains("unknown --engine"), "{err}");
     }
 
     #[test]

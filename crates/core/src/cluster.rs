@@ -8,27 +8,53 @@
 //! never communicate during execution (random walk queries are
 //! embarrassingly parallel under full replication), so scaling costs are
 //! the per-board PCIe pushes and the straggler board.
+//!
+//! Since the session refactor (DESIGN.md §6) a board is *any*
+//! [`WalkEngine`] — simulated accelerators, CPU engines and the reference
+//! oracle can serve side by side in one cluster ([`LightRwCluster::from_engines`]),
+//! and the cluster drives all boards as interleaved batched sessions, the
+//! way a multiplexing host would. A board's kernel time is its simulated
+//! clock when it has a timing model (`model_seconds`) and its measured
+//! wall clock otherwise.
 
 use crate::pcie::PcieBreakdown;
 use crate::platform::{FpgaPlatform, U250_PLATFORM};
 use lightrw_graph::Graph;
-use lightrw_hwsim::{LightRwConfig, LightRwSim, SimReport};
-use lightrw_walker::{QuerySet, WalkApp};
+use lightrw_hwsim::{LightRwConfig, LightRwSim};
+use lightrw_walker::{multiplex_sessions, QuerySet, WalkApp, WalkEngine, WalkResults, WalkSink};
 
-/// A cluster of identical LightRW boards with full graph replication.
+/// Steps each board session executes per multiplexing turn.
+const BOARD_BATCH: u64 = 8192;
+
+/// A cluster of LightRW boards with full graph replication; each board is
+/// an independent [`WalkEngine`].
 pub struct LightRwCluster<'g> {
     graph: &'g Graph,
-    app: &'g dyn WalkApp,
-    cfg: LightRwConfig,
-    boards: usize,
+    boards: Vec<Box<dyn WalkEngine + 'g>>,
     platform: FpgaPlatform,
+}
+
+/// Outcome of one board's share of a cluster run.
+#[derive(Debug)]
+pub struct BoardReport {
+    /// The board's engine label.
+    pub engine: String,
+    /// The board's walk outputs, in its partition's local query order.
+    pub results: WalkResults,
+    /// Steps the board executed.
+    pub steps: u64,
+    /// Kernel seconds: simulated clock for modelled engines, measured
+    /// wall clock otherwise.
+    pub kernel_s: f64,
+    /// True when `kernel_s` comes from a timing model.
+    pub modelled: bool,
 }
 
 /// Outcome of a cluster run.
 #[derive(Debug)]
 pub struct ClusterReport {
-    /// Per-board simulation outcomes, board-major.
-    pub boards: Vec<SimReport>,
+    /// Per-board outcomes, board-major.
+    pub boards: Vec<BoardReport>,
     /// Kernel seconds = the straggler board.
     pub kernel_s: f64,
     /// End-to-end seconds including per-board uploads (hosts push over
@@ -50,41 +76,100 @@ impl ClusterReport {
 }
 
 impl<'g> LightRwCluster<'g> {
-    /// Deploy `boards` boards of configuration `cfg` each.
+    /// Deploy `boards` simulated boards of configuration `cfg` each, with
+    /// per-board derived seeds — the paper-faithful deployment.
     pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig, boards: usize) -> Self {
         assert!(boards >= 1, "cluster needs at least one board");
+        let cfg = cfg.validated();
+        let engines = (0..boards)
+            .map(|b| {
+                let board_cfg = LightRwConfig {
+                    seed: cfg.seed ^ (b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    ..cfg
+                };
+                Box::new(LightRwSim::new(graph, app, board_cfg)) as Box<dyn WalkEngine + 'g>
+            })
+            .collect();
         Self {
             graph,
-            app,
-            cfg: cfg.validated(),
+            boards: engines,
+            platform: U250_PLATFORM,
+        }
+    }
+
+    /// Deploy an explicit set of boards — any mix of backends. Each
+    /// board's PCIe upload is modelled from its own
+    /// [`WalkEngine::graph_images`] (one image for software engines, one
+    /// per DRAM channel for multi-instance simulated accelerators).
+    pub fn from_engines(graph: &'g Graph, boards: Vec<Box<dyn WalkEngine + 'g>>) -> Self {
+        assert!(!boards.is_empty(), "cluster needs at least one board");
+        Self {
+            graph,
             boards,
             platform: U250_PLATFORM,
         }
     }
 
-    /// Execute a workload across the cluster.
+    /// Number of boards.
+    pub fn num_boards(&self) -> usize {
+        self.boards.len()
+    }
+
+    /// Execute a workload across the cluster: every board runs its
+    /// round-robin partition as a batched session, advanced in
+    /// interleaved turns until all boards drain.
     pub fn run(&self, queries: &QuerySet) -> ClusterReport {
-        let parts = queries.partition(self.boards);
-        let mut boards = Vec::with_capacity(self.boards);
-        for (b, part) in parts.iter().enumerate() {
-            let cfg = LightRwConfig {
-                seed: self.cfg.seed ^ (b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ..self.cfg
-            };
-            boards.push(LightRwSim::new(self.graph, self.app, cfg).run(part));
-        }
-        let kernel_s = boards.iter().map(|r| r.seconds).fold(0.0, f64::max);
-        let steps = boards.iter().map(|r| r.steps).sum();
+        let parts = queries.partition(self.boards.len());
+        let mut sessions: Vec<_> = self
+            .boards
+            .iter()
+            .zip(&parts)
+            .map(|(engine, part)| engine.start_session(part))
+            .collect();
+        let mut results: Vec<WalkResults> = parts
+            .iter()
+            .map(|p| WalkResults::with_capacity(p.len(), 8))
+            .collect();
+        let mut wall = vec![0.0f64; sessions.len()];
+
+        // Interleaved multiplexing: one bounded batch per board per turn,
+        // so no board's session monopolizes the host thread.
+        let mut sinks: Vec<&mut dyn WalkSink> =
+            results.iter_mut().map(|r| r as &mut dyn WalkSink).collect();
+        multiplex_sessions(&mut sessions, &mut sinks, BOARD_BATCH, |idx, secs, _| {
+            wall[idx] += secs
+        });
+
+        let boards: Vec<BoardReport> = sessions
+            .iter()
+            .zip(results)
+            .zip(&wall)
+            .zip(&self.boards)
+            .map(|(((session, results), &wall_s), engine)| {
+                let model = session.model_seconds();
+                BoardReport {
+                    engine: engine.label(),
+                    steps: session.steps_done(),
+                    kernel_s: model.unwrap_or(wall_s),
+                    modelled: model.is_some(),
+                    results,
+                }
+            })
+            .collect();
+
+        let kernel_s = boards.iter().map(|b| b.kernel_s).fold(0.0, f64::max);
+        let steps = boards.iter().map(|b| b.steps).sum();
         // Each board's host link moves its own replica + results; links are
         // independent, so the end-to-end critical path is the slowest board.
         let end_to_end_s = boards
             .iter()
-            .map(|r| {
+            .zip(&self.boards)
+            .map(|(b, engine)| {
                 PcieBreakdown::model(
                     &self.platform,
-                    self.graph.csr_bytes() * self.cfg.instances as u64,
-                    r.seconds,
-                    r.results.result_bytes(),
+                    self.graph.csr_bytes() * engine.graph_images(),
+                    b.kernel_s,
+                    b.results.result_bytes(),
                 )
                 .end_to_end_s()
             })
@@ -101,9 +186,10 @@ impl<'g> LightRwCluster<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lightrw_baseline::{BaselineConfig, CpuEngine};
     use lightrw_graph::DatasetProfile;
     use lightrw_walker::path::validate_path;
-    use lightrw_walker::Uniform;
+    use lightrw_walker::{ReferenceEngine, SamplerKind, Uniform};
 
     #[test]
     fn cluster_scales_kernel_time_down() {
@@ -129,6 +215,7 @@ mod tests {
         let total: usize = rep.boards.iter().map(|b| b.results.len()).sum();
         assert_eq!(total, qs.len());
         for board in &rep.boards {
+            assert!(board.modelled, "simulated boards report model time");
             for p in board.results.iter() {
                 validate_path(&g, &Uniform, p).unwrap();
             }
@@ -147,5 +234,47 @@ mod tests {
         assert_eq!(cluster.boards.len(), 1);
         let ratio = cluster.kernel_s / plain.seconds;
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn mixed_backend_cluster_serves_any_engine() {
+        // The session layer's point: a cluster is no longer sim-only. One
+        // simulated board, one CPU board and the reference oracle split a
+        // workload three ways and every path still validates.
+        let g = DatasetProfile::youtube().stand_in(9, 4);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 8);
+        let cpu_cfg = BaselineConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let boards: Vec<Box<dyn WalkEngine + '_>> = vec![
+            Box::new(LightRwSim::new(&g, &Uniform, LightRwConfig::default())),
+            Box::new(CpuEngine::new(&g, &Uniform, cpu_cfg)),
+            Box::new(ReferenceEngine::new(
+                &g,
+                &Uniform,
+                SamplerKind::InverseTransform,
+                77,
+            )),
+        ];
+        let cluster = LightRwCluster::from_engines(&g, boards);
+        assert_eq!(cluster.num_boards(), 3);
+        let rep = cluster.run(&qs);
+        let total: usize = rep.boards.iter().map(|b| b.results.len()).sum();
+        assert_eq!(total, qs.len());
+        assert!(rep.boards[0].modelled, "sim board has a clock model");
+        assert!(!rep.boards[1].modelled, "cpu board is wall-clock");
+        assert!(!rep.boards[2].modelled, "reference board is wall-clock");
+        assert!(rep.kernel_s > 0.0);
+        assert!(rep.steps > 0);
+        for board in &rep.boards {
+            for p in board.results.iter() {
+                validate_path(&g, &Uniform, p).unwrap();
+            }
+        }
+        // Labels identify the backends for operators.
+        assert!(rep.boards[0].engine.starts_with("sim"));
+        assert!(rep.boards[1].engine.starts_with("cpu"));
+        assert!(rep.boards[2].engine.starts_with("reference"));
     }
 }

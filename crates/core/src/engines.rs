@@ -1,0 +1,115 @@
+//! Backend selection: construct any walk engine behind `&dyn WalkEngine`.
+//!
+//! The host layers (CLI, cluster, serving code) dispatch over the
+//! engine-agnostic session trait of DESIGN.md §6; this module is the one
+//! place that knows how to turn a backend name into a concrete engine —
+//! the reference oracle, the ThunderRW-like CPU engine, or the simulated
+//! accelerator.
+
+use lightrw_baseline::{BaselineConfig, CpuEngine};
+use lightrw_graph::Graph;
+use lightrw_hwsim::{LightRwConfig, LightRwSim};
+use lightrw_walker::{ReferenceEngine, SamplerKind, WalkApp, WalkEngine};
+
+/// A walk execution backend, selectable by name (the CLI's `--engine`
+/// flag) or constructed programmatically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// The sequential reference oracle (`lightrw_walker::ReferenceEngine`).
+    Reference {
+        /// Per-step weighted sampling method.
+        sampler: SamplerKind,
+    },
+    /// The multi-threaded CPU engine (`lightrw_baseline::CpuEngine`).
+    Cpu {
+        /// Worker threads; 0 = one per core.
+        threads: usize,
+    },
+    /// The simulated accelerator (`lightrw_hwsim::LightRwSim`).
+    Sim {
+        /// Board configuration (instances, k, cache, burst, ...).
+        cfg: LightRwConfig,
+    },
+}
+
+impl Backend {
+    /// Parse a backend name: `sim`, `cpu` or `reference`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "sim" => Ok(Self::Sim {
+                cfg: LightRwConfig::default(),
+            }),
+            "cpu" => Ok(Self::Cpu { threads: 0 }),
+            "reference" => Ok(Self::Reference {
+                sampler: SamplerKind::InverseTransform,
+            }),
+            other => Err(format!(
+                "unknown --engine {other:?} (expected sim, cpu or reference)"
+            )),
+        }
+    }
+
+    /// Build the engine for `app` on `graph`, seeding every backend from
+    /// the same `seed` namespace.
+    pub fn build<'g>(
+        &self,
+        graph: &'g Graph,
+        app: &'g dyn WalkApp,
+        seed: u64,
+    ) -> Box<dyn WalkEngine + 'g> {
+        match *self {
+            Self::Reference { sampler } => {
+                Box::new(ReferenceEngine::new(graph, app, sampler, seed))
+            }
+            Self::Cpu { threads } => Box::new(CpuEngine::new(
+                graph,
+                app,
+                BaselineConfig {
+                    threads,
+                    seed,
+                    ..Default::default()
+                },
+            )),
+            Self::Sim { cfg } => {
+                Box::new(LightRwSim::new(graph, app, LightRwConfig { seed, ..cfg }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::generators;
+    use lightrw_walker::path::validate_path;
+    use lightrw_walker::{QuerySet, Uniform, WalkEngineExt};
+
+    #[test]
+    fn parse_covers_all_backends_and_rejects_junk() {
+        assert!(matches!(Backend::parse("sim"), Ok(Backend::Sim { .. })));
+        assert!(matches!(
+            Backend::parse("cpu"),
+            Ok(Backend::Cpu { threads: 0 })
+        ));
+        assert!(matches!(
+            Backend::parse("reference"),
+            Ok(Backend::Reference { .. })
+        ));
+        assert!(Backend::parse("fpga").unwrap_err().contains("--engine"));
+    }
+
+    #[test]
+    fn every_backend_builds_a_working_engine() {
+        let g = generators::rmat_dataset(7, 3);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 1);
+        for name in ["sim", "cpu", "reference"] {
+            let backend = Backend::parse(name).unwrap();
+            let engine = backend.build(&g, &Uniform, 9);
+            let results = engine.run_collected(&qs);
+            assert_eq!(results.len(), qs.len(), "{name}");
+            for p in results.iter() {
+                validate_path(&g, &Uniform, p).unwrap();
+            }
+        }
+    }
+}

@@ -48,6 +48,7 @@
 pub mod accelerator;
 pub mod cli;
 pub mod cluster;
+pub mod engines;
 pub mod pcie;
 pub mod platform;
 pub mod power;
@@ -55,7 +56,8 @@ pub mod report;
 pub mod resources;
 
 pub use accelerator::LightRw;
-pub use cluster::LightRwCluster;
+pub use cluster::{BoardReport, ClusterReport, LightRwCluster};
+pub use engines::Backend;
 pub use platform::{AppKind, U250_PLATFORM, XEON_6246R};
 pub use report::RunReport;
 
@@ -71,14 +73,17 @@ pub use lightrw_walker as walker;
 /// One-line imports for applications and examples.
 pub mod prelude {
     pub use crate::accelerator::LightRw;
+    pub use crate::cluster::{BoardReport, ClusterReport, LightRwCluster};
+    pub use crate::engines::Backend;
     pub use crate::platform::{AppKind, U250_PLATFORM, XEON_6246R};
     pub use crate::report::RunReport;
-    pub use lightrw_baseline::{BaselineConfig, CpuEngine};
+    pub use lightrw_baseline::{BaselineConfig, CpuEngine, CpuSession};
     pub use lightrw_graph::{generators, DatasetProfile, Graph, GraphBuilder};
     pub use lightrw_hwsim::{LightRwConfig, LightRwSim, SimReport};
     pub use lightrw_memsim::{BurstConfig, CachePolicy, DramConfig};
     pub use lightrw_walker::{
-        HotStepper, MetaPath, Node2Vec, Query, QuerySet, ReferenceEngine, SamplerKind,
-        StaticWeighted, Uniform, WalkApp, WalkResults, WeightProfile,
+        BatchProgress, CountingSink, HotStepper, MetaPath, Node2Vec, Query, QuerySet,
+        ReferenceEngine, SamplerKind, StaticWeighted, Uniform, WalkApp, WalkEngine, WalkEngineExt,
+        WalkResults, WalkSession, WalkSink, WeightProfile,
     };
 }

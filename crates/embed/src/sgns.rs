@@ -5,10 +5,19 @@
 //! two embedding matrices (input/context), sliding window over each walk,
 //! `negatives` corrupted pairs per positive, SGD with linear learning-rate
 //! decay. Single-threaded and seeded: reproducible to the bit.
+//!
+//! Walks can come from a materialized corpus ([`SgnsTrainer::train`]) or
+//! be **streamed straight out of any walk engine's session**
+//! ([`SgnsTrainer::train_from_engine`], DESIGN.md §6) — the node2vec
+//! corpus is then never materialized, and both paths produce bit-identical
+//! embeddings.
 
 use crate::vocab::Vocab;
 use lightrw_rng::{Rng, SplitMix64};
-use lightrw_walker::WalkResults;
+use lightrw_walker::{QuerySet, VertexId, WalkEngine, WalkEngineExt, WalkResults};
+
+/// Steps per session batch when walks are streamed from an engine.
+const STREAM_BATCH: u64 = 4096;
 
 /// Trainer hyperparameters (defaults follow node2vec's reference setup,
 /// scaled down for the reproduction's graph sizes).
@@ -100,83 +109,164 @@ impl SgnsTrainer {
         Self { cfg }
     }
 
-    /// Train embeddings from a walk corpus over `num_vertices` vertices.
+    /// Train embeddings from a materialized walk corpus over
+    /// `num_vertices` vertices.
     pub fn train(&self, walks: &WalkResults, num_vertices: usize) -> Embeddings {
         let cfg = self.cfg;
-        let d = cfg.dim;
         let vocab = Vocab::from_walks(walks, num_vertices);
-        let mut rng = SplitMix64::new(cfg.seed);
-
-        // Word2Vec init: input uniform in [-0.5/d, 0.5/d), context zero.
-        let mut w_in: Vec<f32> = (0..num_vertices * d)
-            .map(|_| (rng.next_f64() as f32 - 0.5) / d as f32)
-            .collect();
-        let mut w_ctx: Vec<f32> = vec![0.0; num_vertices * d];
-
         // Total positive pairs for lr decay.
         let pairs_per_epoch: u64 = walks
             .iter()
-            .map(|p| {
-                let n = p.len();
-                (0..n)
-                    .map(|i| {
-                        let lo = i.saturating_sub(cfg.window);
-                        let hi = (i + cfg.window).min(n - 1);
-                        (hi - lo) as u64
-                    })
-                    .sum::<u64>()
-            })
+            .map(|p| window_pairs(p.len(), cfg.window))
             .sum();
-        let total_pairs = (pairs_per_epoch * cfg.epochs as u64).max(1);
-        let mut seen_pairs = 0u64;
-        let mut grad = vec![0.0f32; d];
-
-        #[allow(clippy::needless_range_loop)] // i/j are positions, not just indices
+        let mut state = TrainState::new(cfg, vocab, num_vertices, pairs_per_epoch);
         for _epoch in 0..cfg.epochs {
             for path in walks.iter() {
-                let n = path.len();
-                for i in 0..n {
-                    let center = path[i] as usize;
-                    let lo = i.saturating_sub(cfg.window);
-                    let hi = (i + cfg.window).min(n - 1);
-                    for j in lo..=hi {
-                        if j == i {
-                            continue;
-                        }
-                        seen_pairs += 1;
-                        let lr = cfg.lr * (1.0 - seen_pairs as f32 / total_pairs as f32).max(1e-4);
-                        let context = path[j] as usize;
-                        grad.fill(0.0);
-                        // Positive pair + negatives.
-                        for neg in 0..=cfg.negatives {
-                            let (target, label) = if neg == 0 {
-                                (context, 1.0f32)
-                            } else {
-                                (vocab.sample_negative(&mut rng) as usize, 0.0f32)
-                            };
-                            if neg > 0 && target == center {
-                                continue;
-                            }
-                            let (ci, ti) = (center * d, target * d);
-                            let mut dot = 0.0f32;
-                            for x in 0..d {
-                                dot += w_in[ci + x] * w_ctx[ti + x];
-                            }
-                            let g = (label - sigmoid(dot)) * lr;
-                            for x in 0..d {
-                                grad[x] += g * w_ctx[ti + x];
-                                w_ctx[ti + x] += g * w_in[ci + x];
-                            }
-                        }
-                        let ci = center * d;
-                        for x in 0..d {
-                            w_in[ci + x] += grad[x];
-                        }
+                state.train_path(path);
+            }
+        }
+        state.into_embeddings()
+    }
+
+    /// Train embeddings **streamed from a walk engine** — the node2vec
+    /// corpus is never materialized (DESIGN.md §6). One counting pass
+    /// builds the vocabulary and the lr-decay pair total from paths as
+    /// they are emitted, then each epoch replays the deterministic
+    /// session (same engine, same queries, same seed ⇒ the same walks the
+    /// hardware would stream back) and applies SGD per emitted path.
+    ///
+    /// Because sessions emit paths in query-id order, the SGD update
+    /// sequence is identical to [`SgnsTrainer::train`] on the collected
+    /// corpus: the resulting embeddings are bit-identical, for any
+    /// backend behind the `&dyn WalkEngine`.
+    pub fn train_from_engine(
+        &self,
+        engine: &dyn WalkEngine,
+        queries: &QuerySet,
+        num_vertices: usize,
+    ) -> Embeddings {
+        let cfg = self.cfg;
+        // Pass 0: stream once to count vertex frequencies and window
+        // pairs — O(|V|) state, no stored paths.
+        let mut counts = vec![0u64; num_vertices];
+        let mut pairs_per_epoch = 0u64;
+        let mut counting = |_id: u32, path: &[VertexId]| {
+            for &v in path {
+                counts[v as usize] += 1;
+            }
+            pairs_per_epoch += window_pairs(path.len(), cfg.window);
+        };
+        engine.stream_into(queries, STREAM_BATCH, &mut counting);
+
+        let vocab = Vocab::from_counts(counts);
+        let mut state = TrainState::new(cfg, vocab, num_vertices, pairs_per_epoch);
+        for _epoch in 0..cfg.epochs {
+            let mut training = |_id: u32, path: &[VertexId]| state.train_path(path);
+            engine.stream_into(queries, STREAM_BATCH, &mut training);
+        }
+        state.into_embeddings()
+    }
+}
+
+/// Positive skip-gram pairs a path of `n` tokens contributes per epoch.
+fn window_pairs(n: usize, window: usize) -> u64 {
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window).min(n - 1);
+            (hi - lo) as u64
+        })
+        .sum()
+}
+
+/// The SGD state shared by materialized and streaming training: both
+/// drive [`TrainState::train_path`] with paths in the same order, so the
+/// two entry points produce bit-identical embeddings.
+struct TrainState {
+    cfg: SgnsConfig,
+    vocab: Vocab,
+    rng: SplitMix64,
+    w_in: Vec<f32>,
+    w_ctx: Vec<f32>,
+    grad: Vec<f32>,
+    seen_pairs: u64,
+    total_pairs: u64,
+}
+
+impl TrainState {
+    fn new(cfg: SgnsConfig, vocab: Vocab, num_vertices: usize, pairs_per_epoch: u64) -> Self {
+        let d = cfg.dim;
+        let mut rng = SplitMix64::new(cfg.seed);
+        // Word2Vec init: input uniform in [-0.5/d, 0.5/d), context zero.
+        let w_in: Vec<f32> = (0..num_vertices * d)
+            .map(|_| (rng.next_f64() as f32 - 0.5) / d as f32)
+            .collect();
+        Self {
+            cfg,
+            vocab,
+            rng,
+            w_in,
+            w_ctx: vec![0.0; num_vertices * d],
+            grad: vec![0.0f32; d],
+            seen_pairs: 0,
+            total_pairs: (pairs_per_epoch * cfg.epochs as u64).max(1),
+        }
+    }
+
+    /// Slide the skip-gram window over one path, applying one SGD update
+    /// per positive pair (+ `negatives` corrupted pairs each).
+    #[allow(clippy::needless_range_loop)] // i/j are positions, not just indices
+    fn train_path(&mut self, path: &[VertexId]) {
+        let cfg = self.cfg;
+        let d = cfg.dim;
+        let n = path.len();
+        for i in 0..n {
+            let center = path[i] as usize;
+            let lo = i.saturating_sub(cfg.window);
+            let hi = (i + cfg.window).min(n - 1);
+            for j in lo..=hi {
+                if j == i {
+                    continue;
+                }
+                self.seen_pairs += 1;
+                let lr =
+                    cfg.lr * (1.0 - self.seen_pairs as f32 / self.total_pairs as f32).max(1e-4);
+                let context = path[j] as usize;
+                self.grad.fill(0.0);
+                // Positive pair + negatives.
+                for neg in 0..=cfg.negatives {
+                    let (target, label) = if neg == 0 {
+                        (context, 1.0f32)
+                    } else {
+                        (self.vocab.sample_negative(&mut self.rng) as usize, 0.0f32)
+                    };
+                    if neg > 0 && target == center {
+                        continue;
                     }
+                    let (ci, ti) = (center * d, target * d);
+                    let mut dot = 0.0f32;
+                    for x in 0..d {
+                        dot += self.w_in[ci + x] * self.w_ctx[ti + x];
+                    }
+                    let g = (label - sigmoid(dot)) * lr;
+                    for x in 0..d {
+                        self.grad[x] += g * self.w_ctx[ti + x];
+                        self.w_ctx[ti + x] += g * self.w_in[ci + x];
+                    }
+                }
+                let ci = center * d;
+                for x in 0..d {
+                    self.w_in[ci + x] += self.grad[x];
                 }
             }
         }
-        Embeddings { dim: d, vecs: w_in }
+    }
+
+    fn into_embeddings(self) -> Embeddings {
+        Embeddings {
+            dim: self.cfg.dim,
+            vecs: self.w_in,
+        }
     }
 }
 
@@ -256,6 +346,57 @@ mod tests {
         };
         let emb = SgnsTrainer::new(cfg).train(&community_corpus(), 6);
         assert!((emb.cosine(1, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn streaming_training_is_bit_identical_to_materialized_for_every_backend() {
+        // The acceptance property of the session refactor: `sgns` can
+        // train straight from any engine's sink without an intermediate
+        // `WalkResults`, and the embeddings match the materialized path
+        // bit for bit (sessions emit in query-id order; the corpus replay
+        // per epoch is deterministic).
+        use lightrw::prelude::*;
+
+        let g = DatasetProfile::youtube().stand_in(8, 3);
+        let nv = Node2Vec::paper_params();
+        let qs = QuerySet::per_nonisolated_vertex(&g, 10, 5);
+        let cfg = SgnsConfig {
+            dim: 12,
+            window: 3,
+            epochs: 2,
+            ..Default::default()
+        };
+        let trainer = SgnsTrainer::new(cfg);
+        let n = g.num_vertices();
+
+        let engines: Vec<Box<dyn WalkEngine + '_>> = vec![
+            Box::new(ReferenceEngine::new(
+                &g,
+                &nv,
+                SamplerKind::InverseTransform,
+                7,
+            )),
+            Box::new(CpuEngine::new(
+                &g,
+                &nv,
+                BaselineConfig {
+                    threads: 2,
+                    ..Default::default()
+                },
+            )),
+            Box::new(LightRwSim::new(&g, &nv, LightRwConfig::default())),
+        ];
+        for engine in &engines {
+            let corpus = engine.run_collected(&qs);
+            let materialized = trainer.train(&corpus, n);
+            let streamed = trainer.train_from_engine(engine.as_ref(), &qs, n);
+            assert_eq!(
+                materialized.vecs,
+                streamed.vecs,
+                "stream ≠ materialize on {}",
+                engine.label()
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,13 @@ impl Vocab {
                 counts[v as usize] += 1;
             }
         }
+        Self::from_counts(counts)
+    }
+
+    /// Build from precomputed per-vertex frequencies — what a streaming
+    /// counting pass over a `WalkSink` produces (DESIGN.md §6), so a
+    /// vocabulary never requires a materialized corpus.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
         let total = counts.iter().sum();
         // Word2Vec negative sampling: P(v) ∝ count(v)^0.75, discretized
         // into integer weights for the alias table.

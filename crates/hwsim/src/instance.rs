@@ -1,4 +1,13 @@
 //! One accelerator instance: the Fig. 3 datapath bound to one DRAM channel.
+//!
+//! [`Instance`] is the immutable deployment spec (graph, app, config,
+//! seed); all run state — DRAM channel, row cache, sampler bank, the
+//! discrete-event ready heap — lives in [`InstanceSession`], created per
+//! query set. The session exposes the engine-agnostic batching contract
+//! of DESIGN.md §6 at **event-heap granularity**: one `advance` budget
+//! unit is one heap pop, i.e. one walk step of one in-flight query, so a
+//! host can interleave the simulated kernel with other work at exactly
+//! the resolution the hardware's Query Controller re-queues walks.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -6,7 +15,8 @@ use std::collections::BinaryHeap;
 use lightrw_graph::{Graph, VertexId, COL_ENTRY_BYTES, ROW_ENTRY_BYTES};
 use lightrw_memsim::{BurstPlan, CacheOutcome, DramChannel, RequestKind, RowCache};
 use lightrw_walker::app::StepContext;
-use lightrw_walker::{HotStepper, QuerySet, SamplerKind, WalkApp, WalkResults};
+use lightrw_walker::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
+use lightrw_walker::{HotStepper, Query, QuerySet, SamplerKind, WalkApp, WalkResults};
 
 use crate::config::LightRwConfig;
 use crate::report::InstanceReport;
@@ -24,6 +34,62 @@ pub struct Instance<'g> {
     graph: &'g Graph,
     app: &'g dyn WalkApp,
     cfg: LightRwConfig,
+    seed: u64,
+}
+
+impl<'g> Instance<'g> {
+    /// Build an instance. `seed` must differ across instances so their WRS
+    /// banks are independent.
+    pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig, seed: u64) -> Self {
+        Self {
+            graph,
+            app,
+            cfg: cfg.validated(),
+            seed,
+        }
+    }
+
+    /// Start a session over `queries` (concrete type; the [`WalkEngine`]
+    /// impl boxes the same thing). Sessions are independent — each gets
+    /// its own DRAM channel, cache and sampler bank — so two sessions may
+    /// interleave on one instance spec.
+    pub fn session(&self, queries: &QuerySet) -> InstanceSession<'g> {
+        InstanceSession::new(self.graph, self.app, self.cfg, self.seed, queries)
+    }
+
+    /// Run a query set to completion on this instance.
+    pub fn run(&self, queries: &QuerySet) -> (WalkResults, InstanceReport) {
+        let mut session = self.session(queries);
+        let mut results = WalkResults::with_capacity(
+            queries.len(),
+            queries
+                .queries()
+                .first()
+                .map_or(1, |q| q.length as usize + 1),
+        );
+        while !session.finished() {
+            session.advance(u64::MAX, &mut results);
+        }
+        let report = session.into_report();
+        (results, report)
+    }
+}
+
+impl WalkEngine for Instance<'_> {
+    fn label(&self) -> String {
+        format!("sim-instance(k={})", self.cfg.k)
+    }
+
+    fn start_session<'s>(&'s self, queries: &QuerySet) -> Box<dyn WalkSession + 's> {
+        Box::new(self.session(queries))
+    }
+}
+
+/// The discrete-event execution of one query set on one instance.
+pub struct InstanceSession<'g> {
+    graph: &'g Graph,
+    app: &'g dyn WalkApp,
+    cfg: LightRwConfig,
     dram: DramChannel,
     cache: RowCache,
     /// The functional Weight Updater + WRS Sampler: one fused streaming
@@ -35,15 +101,52 @@ pub struct Instance<'g> {
     /// WRS sampler occupancy (k items per cycle).
     sampler_free: u64,
     sampler_batches: u64,
+
+    // Per-query walk state.
+    queries: Vec<Query>,
+    cur: Vec<VertexId>,
+    prev: Vec<Option<VertexId>>,
+    step: Vec<u32>,
+    paths: Vec<Vec<VertexId>>,
+    done: Vec<bool>,
+    first_dispatch: Vec<u64>,
+    completion: Vec<u64>,
+
+    /// Ready heap: (cycle, local index) min-ordered; the index breaks
+    /// ties deterministically. The Query Scheduler admits at most
+    /// `max_inflight` queries into the pipeline; the rest queue at the
+    /// input and enter as slots retire (hardware FIFO depth) — this is
+    /// what keeps per-query latency bounded and consistent (Fig. 15).
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Next not-yet-admitted query index.
+    next_pending: usize,
+    /// Next query id to emit (paths emit in id order).
+    emit_next: usize,
+    steps_executed: u64,
+    /// Latest model cycle any executed event reached — the session's
+    /// clock, valid mid-stream (unlike completion times, which only
+    /// exist for retired queries).
+    horizon: u64,
 }
 
-impl<'g> Instance<'g> {
-    /// Build an instance. `seed` must differ across instances so their WRS
-    /// banks are independent.
-    pub fn new(graph: &'g Graph, app: &'g dyn WalkApp, cfg: LightRwConfig, seed: u64) -> Self {
-        let cfg = cfg.validated();
+impl<'g> InstanceSession<'g> {
+    fn new(
+        graph: &'g Graph,
+        app: &'g dyn WalkApp,
+        cfg: LightRwConfig,
+        seed: u64,
+        queries: &QuerySet,
+    ) -> Self {
         let mut stepper = HotStepper::new(app, SamplerKind::ParallelWrs { k: cfg.k }, seed);
         stepper.reserve(graph.max_degree() as usize);
+        let qs = queries.queries();
+        let n = qs.len();
+        let max_inflight = cfg.max_inflight;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(max_inflight);
+        let next_pending = n.min(max_inflight);
+        for i in 0..next_pending {
+            heap.push(Reverse((0, i as u32)));
+        }
         Self {
             graph,
             app,
@@ -54,6 +157,19 @@ impl<'g> Instance<'g> {
             dispatch_free: 0,
             sampler_free: 0,
             sampler_batches: 0,
+            queries: qs.to_vec(),
+            cur: qs.iter().map(|q| q.start).collect(),
+            prev: vec![None; n],
+            step: vec![0; n],
+            paths: qs.iter().map(|q| vec![q.start]).collect(),
+            done: vec![false; n],
+            first_dispatch: vec![0; n],
+            completion: vec![0; n],
+            heap,
+            next_pending,
+            emit_next: 0,
+            steps_executed: 0,
+            horizon: 0,
         }
     }
 
@@ -178,81 +294,155 @@ impl<'g> Instance<'g> {
         )
     }
 
-    /// Run a query set to completion on this instance.
-    pub fn run(&mut self, queries: &QuerySet) -> (WalkResults, InstanceReport) {
-        let qs = queries.queries();
-        let n = qs.len();
-        let mut cur: Vec<VertexId> = qs.iter().map(|q| q.start).collect();
-        let mut prev: Vec<Option<VertexId>> = vec![None; n];
-        let mut step: Vec<u32> = vec![0; n];
-        let mut paths: Vec<Vec<VertexId>> = qs.iter().map(|q| vec![q.start]).collect();
-        let mut first_dispatch: Vec<u64> = vec![0; n];
-        let mut completion: Vec<u64> = vec![0; n];
-        let mut steps_executed = 0u64;
-
-        // Ready heap: (cycle, local index) min-ordered; the index breaks
-        // ties deterministically. The Query Scheduler admits at most
-        // `max_inflight` queries into the pipeline; the rest queue at the
-        // input and enter as slots retire (hardware FIFO depth) — this is
-        // what keeps per-query latency bounded and consistent (Fig. 15).
-        let max_inflight = self.cfg.max_inflight;
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(max_inflight);
-        let mut pending = (0..n).filter(|&i| qs[i].length > 0);
-        for _ in 0..max_inflight {
-            match pending.next() {
-                Some(i) => heap.push(Reverse((0, i as u32))),
-                None => break,
+    /// Pop and execute one ready event. Returns whether a step executed
+    /// (false only on a dead-end probe).
+    fn pop_event(&mut self) -> bool {
+        let Some(Reverse((ready, i))) = self.heap.pop() else {
+            return false;
+        };
+        let i = i as usize;
+        let (next, timing) = self.execute_step(ready, self.cur[i], self.prev[i], self.step[i]);
+        self.horizon = self.horizon.max(timing.done);
+        if self.step[i] == 0 {
+            self.first_dispatch[i] = timing.dispatched;
+        }
+        let stepped = next.is_some();
+        let continues = match next {
+            Some(v) => {
+                self.steps_executed += 1;
+                self.paths[i].push(v);
+                self.prev[i] = Some(self.cur[i]);
+                self.cur[i] = v;
+                self.step[i] += 1;
+                self.step[i] < self.queries[i].length
+            }
+            None => false, // dead end
+        };
+        if continues {
+            self.heap.push(Reverse((timing.done, i as u32)));
+        } else {
+            self.completion[i] = timing.done;
+            self.done[i] = true;
+            // Retire this query's slot; admit the next pending one.
+            if self.next_pending < self.queries.len() {
+                self.heap
+                    .push(Reverse((timing.done, self.next_pending as u32)));
+                self.next_pending += 1;
             }
         }
+        stepped
+    }
 
-        while let Some(Reverse((ready, i))) = heap.pop() {
-            let i = i as usize;
-            let (next, timing) = self.execute_step(ready, cur[i], prev[i], step[i]);
-            if step[i] == 0 {
-                first_dispatch[i] = timing.dispatched;
-            }
-            let continues = match next {
-                Some(v) => {
-                    steps_executed += 1;
-                    paths[i].push(v);
-                    prev[i] = Some(cur[i]);
-                    cur[i] = v;
-                    step[i] += 1;
-                    step[i] < qs[i].length
-                }
-                None => false, // dead end
-            };
-            if continues {
-                heap.push(Reverse((timing.done, i as u32)));
-            } else {
-                completion[i] = timing.done;
-                // Retire this query's slot; admit the next pending one.
-                if let Some(j) = pending.next() {
-                    heap.push(Reverse((timing.done, j as u32)));
-                }
-            }
+    /// Emit completed paths in id order, releasing their buffers.
+    fn drain_ready(&mut self, sink: &mut dyn WalkSink) -> usize {
+        let mut emitted = 0;
+        while self.emit_next < self.queries.len() && self.done[self.emit_next] {
+            let path = std::mem::take(&mut self.paths[self.emit_next]);
+            sink.emit(self.emit_next as u32, &path);
+            self.emit_next += 1;
+            emitted += 1;
         }
+        emitted
+    }
 
-        let cycles = completion.iter().copied().max().unwrap_or(0);
-        let latencies: Vec<u64> = completion
+    /// Row-cache statistics so far.
+    pub fn cache_stats(&self) -> lightrw_memsim::CacheStats {
+        *self.cache.stats()
+    }
+
+    /// Wall cycles so far: the latest model cycle any executed event
+    /// reached, whether or not its query has retired. For a drained
+    /// session this equals the maximum completion time (each query's
+    /// event times increase monotonically, so the last event of some
+    /// query sets the horizon).
+    pub fn cycles(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Consume the session into its timing/traffic report. Callable at
+    /// any point; cancelled or unfinished queries report the latency they
+    /// accumulated so far.
+    pub fn into_report(self) -> InstanceReport {
+        let latencies: Vec<u64> = self
+            .completion
             .iter()
-            .zip(&first_dispatch)
+            .zip(&self.first_dispatch)
             .map(|(&c, &f)| c.saturating_sub(f))
             .collect();
-
-        let mut results = WalkResults::with_capacity(n, paths.first().map_or(1, |p| p.len()));
-        for p in &paths {
-            results.push_path(p);
-        }
-        let report = InstanceReport {
-            cycles,
-            steps: steps_executed,
+        InstanceReport {
+            cycles: self.horizon,
+            steps: self.steps_executed,
             dram: *self.dram.stats(),
             cache: *self.cache.stats(),
             sampler_batches: self.sampler_batches,
             latencies,
-        };
-        (results, report)
+        }
+    }
+}
+
+impl WalkSession for InstanceSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let budget = max_steps.max(1);
+        let mut steps = 0u64;
+        let mut popped = 0u64;
+        while popped < budget && !self.heap.is_empty() {
+            if self.pop_event() {
+                steps += 1;
+            }
+            popped += 1;
+        }
+        let paths_completed = self.drain_ready(sink);
+        BatchProgress {
+            steps,
+            paths_completed,
+            finished: self.finished(),
+        }
+    }
+
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
+        let horizon = self.cycles();
+        while let Some(Reverse((_, i))) = self.heap.pop() {
+            let i = i as usize;
+            self.done[i] = true;
+            // A query still in the heap with no steps taken never popped
+            // an event: it accumulated zero cycles, so its latency stays
+            // zero rather than inheriting the session horizon.
+            self.completion[i] = if self.step[i] > 0 { horizon } else { 0 };
+        }
+        // Never-admitted queries terminate at their start vertex.
+        while self.next_pending < self.queries.len() {
+            self.done[self.next_pending] = true;
+            self.next_pending += 1;
+        }
+        let paths_completed = self.drain_ready(sink);
+        BatchProgress {
+            steps: 0,
+            paths_completed,
+            finished: true,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.emit_next >= self.queries.len()
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_executed
+    }
+
+    fn paths_completed(&self) -> usize {
+        self.emit_next
+    }
+
+    fn model_seconds(&self) -> Option<f64> {
+        Some(self.cycles() as f64 * self.cfg.dram.cycle_seconds())
+    }
+
+    fn diagnostics(&self) -> Option<String> {
+        Some(format!(
+            "cache hit {:.1}%",
+            self.cache.stats().hit_ratio() * 100.0
+        ))
     }
 }
 
@@ -260,6 +450,7 @@ impl<'g> Instance<'g> {
 mod tests {
     use super::*;
     use lightrw_graph::{generators, GraphBuilder};
+    use lightrw_rng::{Rng, SplitMix64};
     use lightrw_walker::app::{MetaPath, Node2Vec, Uniform};
     use lightrw_walker::path::validate_path;
 
@@ -271,7 +462,7 @@ mod tests {
     fn produces_valid_paths() {
         let g = generators::rmat_dataset(9, 4);
         let qs = QuerySet::per_nonisolated_vertex(&g, 8, 3);
-        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 7);
+        let inst = Instance::new(&g, &Uniform, small_cfg(), 7);
         let (results, report) = inst.run(&qs);
         assert_eq!(results.len(), qs.len());
         for p in results.iter() {
@@ -286,7 +477,7 @@ mod tests {
         let g = generators::rmat_dataset(8, 5);
         let mp = MetaPath::new(vec![0, 1, 2, 3, 0]);
         let qs = QuerySet::per_nonisolated_vertex(&g, 5, 1);
-        let mut inst = Instance::new(&g, &mp, small_cfg(), 9);
+        let inst = Instance::new(&g, &mp, small_cfg(), 9);
         let (results, _) = inst.run(&qs);
         for p in results.iter() {
             validate_path(&g, &mp, p).expect("metapath violation");
@@ -298,7 +489,7 @@ mod tests {
         let g = generators::rmat_dataset(8, 6);
         let nv = Node2Vec::paper_params();
         let qs = QuerySet::n_queries(&g, 128, 12, 2);
-        let mut inst = Instance::new(&g, &nv, small_cfg(), 11);
+        let inst = Instance::new(&g, &nv, small_cfg(), 11);
         let (results, report) = inst.run(&qs);
         for p in results.iter() {
             validate_path(&g, &nv, p).expect("node2vec violation");
@@ -312,33 +503,82 @@ mod tests {
     fn dead_end_terminates_walk() {
         let g = GraphBuilder::directed().edges([(0, 1), (1, 2)]).build();
         let qs = QuerySet::from_starts(vec![0], 99);
-        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 1);
+        let inst = Instance::new(&g, &Uniform, small_cfg(), 1);
         let (results, report) = inst.run(&qs);
         assert_eq!(results.path(0), &[0, 1, 2]);
         assert_eq!(report.steps, 2);
     }
 
     #[test]
-    fn zero_length_queries_cost_nothing() {
-        let g = GraphBuilder::undirected().edge(0, 1).build();
-        let qs = QuerySet::from_starts(vec![0, 1], 0);
-        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 1);
-        let (results, report) = inst.run(&qs);
-        assert_eq!(results.len(), 2);
-        assert_eq!(report.cycles, 0);
-        assert_eq!(report.steps, 0);
-    }
-
-    #[test]
     fn deterministic_given_seed() {
         let g = generators::rmat_dataset(8, 8);
         let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);
-        let run = |seed| {
-            let mut inst = Instance::new(&g, &Uniform, small_cfg(), seed);
-            inst.run(&qs).0
-        };
+        let run = |seed| Instance::new(&g, &Uniform, small_cfg(), seed).run(&qs).0;
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn event_granular_batches_are_bit_identical_to_run() {
+        // The session contract at event-heap granularity: any pop-budget
+        // schedule — including single-event batches — reproduces the
+        // monolithic run exactly, walks and model time alike.
+        let g = generators::rmat_dataset(8, 12);
+        let nv = Node2Vec::paper_params();
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 9);
+        let inst = Instance::new(&g, &nv, small_cfg(), 3);
+        let (whole, report) = inst.run(&qs);
+        let mut batch_rng = SplitMix64::new(7);
+        let mut batched = WalkResults::new();
+        let mut session = inst.session(&qs);
+        while !session.finished() {
+            session.advance(1 + batch_rng.gen_range(9), &mut batched);
+        }
+        assert_eq!(whole, batched);
+        let session_report = session.into_report();
+        assert_eq!(report.cycles, session_report.cycles);
+        assert_eq!(report.steps, session_report.steps);
+        assert_eq!(report.latencies, session_report.latencies);
+    }
+
+    #[test]
+    fn single_event_advance_pops_exactly_one_event() {
+        let g = generators::rmat_dataset(7, 2);
+        let qs = QuerySet::n_queries(&g, 16, 4, 1);
+        let inst = Instance::new(&g, &Uniform, small_cfg(), 2);
+        let mut session = inst.session(&qs);
+        let mut results = WalkResults::new();
+        let mut total_steps = 0u64;
+        while !session.finished() {
+            let p = session.advance(1, &mut results);
+            assert!(p.steps <= 1, "one pop executes at most one step");
+            total_steps += p.steps;
+        }
+        assert_eq!(total_steps, results.total_steps());
+        assert_eq!(results.len(), qs.len());
+    }
+
+    #[test]
+    fn cancel_emits_partial_paths_and_reports_model_time() {
+        let g = generators::rmat_dataset(8, 3);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 50, 5);
+        let inst = Instance::new(&g, &Uniform, small_cfg(), 4);
+        let mut session = inst.session(&qs);
+        let mut results = WalkResults::new();
+        session.advance(200, &mut results);
+        // Mid-stream the clock already moved, even if no path finished.
+        assert!(session.model_seconds().unwrap() > 0.0);
+        let progress = session.cancel(&mut results);
+        let cancelled_cycles = session.cycles();
+        assert!(cancelled_cycles > 0, "cancelled run keeps its horizon");
+        assert!(progress.finished);
+        assert_eq!(results.len(), qs.len(), "every query emitted exactly once");
+        for p in results.iter() {
+            validate_path(&g, &Uniform, p).unwrap();
+        }
+        // Cancelling again emits nothing further.
+        let again = session.cancel(&mut results);
+        assert_eq!(again.paths_completed, 0);
     }
 
     #[test]
@@ -347,9 +587,9 @@ mod tests {
         // pipeline must be substantially faster than the staged flow.
         let g = generators::rmat_dataset(10, 2);
         let qs = QuerySet::per_nonisolated_vertex(&g, 6, 8);
-        let mut fast = Instance::new(&g, &Uniform, small_cfg(), 3);
+        let fast = Instance::new(&g, &Uniform, small_cfg(), 3);
         let (_, fast_rep) = fast.run(&qs);
-        let mut slow = Instance::new(&g, &Uniform, small_cfg().without_wrs_pipelining(), 3);
+        let slow = Instance::new(&g, &Uniform, small_cfg().without_wrs_pipelining(), 3);
         let (_, slow_rep) = slow.run(&qs);
         assert!(
             slow_rep.cycles as f64 > 1.3 * fast_rep.cycles as f64,
@@ -393,7 +633,7 @@ mod tests {
     fn latencies_recorded_per_query() {
         let g = generators::rmat_dataset(8, 1);
         let qs = QuerySet::n_queries(&g, 32, 4, 1);
-        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 2);
+        let inst = Instance::new(&g, &Uniform, small_cfg(), 2);
         let (_, report) = inst.run(&qs);
         assert_eq!(report.latencies.len(), 32);
         assert!(report.latencies.iter().all(|&l| l > 0));
@@ -406,7 +646,7 @@ mod tests {
         // traversal, not the whole batch makespan.
         let g = generators::rmat_dataset(10, 4);
         let qs = QuerySet::n_queries(&g, 4096, 8, 1);
-        let mut inst = Instance::new(&g, &Uniform, small_cfg(), 2);
+        let inst = Instance::new(&g, &Uniform, small_cfg(), 2);
         let (_, report) = inst.run(&qs);
         let median = {
             let mut v = report.latencies.clone();
@@ -430,7 +670,7 @@ mod tests {
             max_inflight: 4,
             ..small_cfg()
         };
-        let mut inst = Instance::new(&g, &Uniform, narrow, 5);
+        let inst = Instance::new(&g, &Uniform, narrow, 5);
         let (results, report) = inst.run(&qs);
         assert_eq!(results.len(), qs.len());
         assert_eq!(report.steps, results.total_steps());

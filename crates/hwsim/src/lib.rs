@@ -37,6 +37,17 @@
 //! the software feeder works the way the hardware datapath does. Timing
 //! is computed from degrees alone and is unaffected by which functional
 //! strategy the stepper picks.
+//!
+//! ## Streaming sessions
+//!
+//! Both [`Instance`] and [`LightRwSim`] implement the engine-agnostic
+//! [`lightrw_walker::WalkEngine`] trait (DESIGN.md §6): all mutable run
+//! state lives in per-session objects ([`instance::InstanceSession`],
+//! [`multi::SimSession`]), batch boundaries fall at event-heap
+//! granularity (one budget unit = one heap pop = one step of one
+//! in-flight query), finished paths are emitted incrementally in
+//! query-id order, and `model_seconds` exposes the simulated clock so
+//! engine-agnostic hosts can still reason about board time.
 
 pub mod config;
 pub mod instance;
@@ -44,6 +55,6 @@ pub mod multi;
 pub mod report;
 
 pub use config::LightRwConfig;
-pub use instance::Instance;
-pub use multi::LightRwSim;
+pub use instance::{Instance, InstanceSession};
+pub use multi::{LightRwSim, SimSession};
 pub use report::{InstanceReport, SimReport};

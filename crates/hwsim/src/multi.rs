@@ -1,11 +1,14 @@
 //! Multi-instance deployment: one LightRW instance per DRAM channel with
 //! queries distributed evenly (paper §6.1.5, Fig. 9).
 
-use lightrw_graph::Graph;
+use std::collections::VecDeque;
+
+use lightrw_graph::{Graph, VertexId};
+use lightrw_walker::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
 use lightrw_walker::{QuerySet, WalkApp, WalkResults};
 
 use crate::config::LightRwConfig;
-use crate::instance::Instance;
+use crate::instance::{Instance, InstanceSession};
 use crate::report::SimReport;
 
 /// The full simulated accelerator: `cfg.instances` independent instances,
@@ -33,37 +36,111 @@ impl<'g> LightRwSim<'g> {
         &self.cfg
     }
 
+    /// Start a batched streaming session over all instances (concrete
+    /// type; the [`WalkEngine`] impl boxes the same thing).
+    pub fn session(&self, queries: &QuerySet) -> SimSession<'g> {
+        SimSession::new(self, queries)
+    }
+
     /// Run the workload. Queries are split round-robin across instances;
     /// instances execute concurrently in hardware, so wall cycles are the
-    /// maximum over instances.
+    /// maximum over instances. One session driven to completion.
     pub fn run(&self, queries: &QuerySet) -> SimReport {
-        let parts = queries.partition(self.cfg.instances);
-        let mut part_results: Vec<WalkResults> = Vec::with_capacity(parts.len());
-        let mut instance_reports = Vec::with_capacity(parts.len());
-        for (idx, part) in parts.iter().enumerate() {
-            let mut inst = Instance::new(
-                self.graph,
-                self.app,
-                self.cfg,
-                self.cfg.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let (results, report) = inst.run(part);
-            part_results.push(results);
-            instance_reports.push(report);
-        }
-
-        // Merge results back into global query-id order (round-robin split:
-        // global index i lives at parts[i % n] position i / n).
-        let n = parts.len();
-        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let total: usize = queries.len();
         let mut results = WalkResults::with_capacity(total, 8);
-        for i in 0..total {
-            results.push_path(part_results[i % n].path(i / n));
+        let mut session = self.session(queries);
+        while !session.finished() {
+            session.advance(u64::MAX, &mut results);
         }
+        session.into_report(results)
+    }
+}
 
-        let cycles = instance_reports.iter().map(|r| r.cycles).max().unwrap_or(0);
-        let steps = instance_reports.iter().map(|r| r.steps).sum();
-        let latencies: Vec<u64> = instance_reports
+impl WalkEngine for LightRwSim<'_> {
+    fn label(&self) -> String {
+        format!("sim(x{})", self.cfg.instances)
+    }
+
+    fn start_session<'s>(&'s self, queries: &QuerySet) -> Box<dyn WalkSession + 's> {
+        Box::new(self.session(queries))
+    }
+
+    fn graph_images(&self) -> u64 {
+        // One replica per DRAM channel (paper §6.1.5).
+        self.cfg.instances as u64
+    }
+}
+
+/// A streaming session of the whole simulated board: each instance runs
+/// its round-robin share as an [`InstanceSession`]; completed paths are
+/// re-interleaved and emitted in **global** query-id order (round-robin
+/// split: global id `i` lives at instance `i % n`, local position
+/// `i / n`). Per-instance reordering is bounded by `max_inflight`, so the
+/// buffer stays small regardless of workload size.
+pub struct SimSession<'g> {
+    cfg: LightRwConfig,
+    sessions: Vec<InstanceSession<'g>>,
+    /// Paths emitted by each instance, in local order, awaiting global
+    /// in-order emission.
+    queues: Vec<VecDeque<Vec<VertexId>>>,
+    total: usize,
+    emit_next: usize,
+}
+
+impl<'g> SimSession<'g> {
+    fn new(sim: &LightRwSim<'g>, queries: &QuerySet) -> Self {
+        let parts = queries.partition(sim.cfg.instances);
+        let sessions = parts
+            .iter()
+            .enumerate()
+            .map(|(idx, part)| {
+                Instance::new(
+                    sim.graph,
+                    sim.app,
+                    sim.cfg,
+                    sim.cfg.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+                .session(part)
+            })
+            .collect::<Vec<_>>();
+        let queues = vec![VecDeque::new(); sessions.len()];
+        Self {
+            cfg: sim.cfg,
+            sessions,
+            queues,
+            total: queries.len(),
+            emit_next: 0,
+        }
+    }
+
+    /// Emit globally in-order paths buffered by the instance queues.
+    fn drain_ready(&mut self, sink: &mut dyn WalkSink) -> usize {
+        let n = self.queues.len();
+        let mut emitted = 0;
+        while self.emit_next < self.total {
+            let Some(path) = self.queues[self.emit_next % n].pop_front() else {
+                break;
+            };
+            sink.emit(self.emit_next as u32, &path);
+            self.emit_next += 1;
+            emitted += 1;
+        }
+        emitted
+    }
+
+    /// Wall cycles so far — the slowest instance.
+    pub fn cycles(&self) -> u64 {
+        self.sessions.iter().map(|s| s.cycles()).max().unwrap_or(0)
+    }
+
+    /// Consume the session into the aggregate [`SimReport`], attaching
+    /// the collected `results` (which may be empty when paths were
+    /// streamed elsewhere).
+    pub fn into_report(self, results: WalkResults) -> SimReport {
+        let instances: Vec<_> = self.sessions.into_iter().map(|s| s.into_report()).collect();
+        let cycles = instances.iter().map(|r| r.cycles).max().unwrap_or(0);
+        let steps = instances.iter().map(|r| r.steps).sum();
+        let latencies: Vec<u64> = instances
             .iter()
             .flat_map(|r| r.latencies.iter().copied())
             .collect();
@@ -72,9 +149,93 @@ impl<'g> LightRwSim<'g> {
             seconds: cycles as f64 * self.cfg.dram.cycle_seconds(),
             steps,
             results,
-            instances: instance_reports,
+            instances,
             latencies,
         }
+    }
+}
+
+impl WalkSession for SimSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let Self {
+            sessions,
+            queues,
+            emit_next,
+            total,
+            ..
+        } = self;
+        let n = queues.len();
+        let emitted_before = *emit_next;
+        let mut steps = 0u64;
+        for (idx, s) in sessions.iter_mut().enumerate() {
+            if s.finished() {
+                continue;
+            }
+            // Forward a path straight to the caller when it is the next
+            // global id (the common case, and the only case when
+            // `instances == 1`); buffer only genuinely out-of-order
+            // completions.
+            let mut local = |_id: u32, path: &[u32]| {
+                if *emit_next < *total && *emit_next % n == idx && queues[idx].is_empty() {
+                    sink.emit(*emit_next as u32, path);
+                    *emit_next += 1;
+                } else {
+                    queues[idx].push_back(path.to_vec());
+                }
+            };
+            steps += s.advance(max_steps, &mut local).steps;
+        }
+        self.drain_ready(sink);
+        BatchProgress {
+            steps,
+            paths_completed: self.emit_next - emitted_before,
+            finished: self.finished(),
+        }
+    }
+
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
+        for (s, queue) in self.sessions.iter_mut().zip(&mut self.queues) {
+            let mut local = |_id: u32, path: &[u32]| queue.push_back(path.to_vec());
+            s.cancel(&mut local);
+        }
+        let paths_completed = self.drain_ready(sink);
+        BatchProgress {
+            steps: 0,
+            paths_completed,
+            finished: true,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.emit_next >= self.total
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.sessions.iter().map(|s| s.steps_done()).sum()
+    }
+
+    fn paths_completed(&self) -> usize {
+        self.emit_next
+    }
+
+    fn model_seconds(&self) -> Option<f64> {
+        Some(self.cycles() as f64 * self.cfg.dram.cycle_seconds())
+    }
+
+    fn diagnostics(&self) -> Option<String> {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for s in &self.sessions {
+            let c = s.cache_stats();
+            hits += c.hits;
+            misses += c.misses;
+        }
+        let lookups = hits + misses;
+        let ratio = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        Some(format!("cache hit {:.1}%", ratio * 100.0))
     }
 }
 
@@ -82,7 +243,8 @@ impl<'g> LightRwSim<'g> {
 mod tests {
     use super::*;
     use lightrw_graph::generators;
-    use lightrw_walker::app::Uniform;
+    use lightrw_rng::{Rng, SplitMix64};
+    use lightrw_walker::app::{Node2Vec, Uniform};
     use lightrw_walker::path::validate_path;
 
     #[test]
@@ -146,5 +308,42 @@ mod tests {
             r.instances.iter().map(|i| i.dram.requests).sum::<u64>()
         );
         assert_eq!(r.latencies.len(), qs.len());
+    }
+
+    #[test]
+    fn batched_multi_instance_sessions_match_run() {
+        // Global-order re-interleaving under arbitrary batch schedules
+        // must reproduce the monolithic run bit for bit, timing included.
+        let g = generators::rmat_dataset(8, 6);
+        let nv = Node2Vec::paper_params();
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 7);
+        let sim = LightRwSim::new(&g, &nv, LightRwConfig::default());
+        let whole = sim.run(&qs);
+        let mut batch_rng = SplitMix64::new(31);
+        let mut batched = WalkResults::new();
+        let mut session = sim.session(&qs);
+        while !session.finished() {
+            session.advance(1 + batch_rng.gen_range(7), &mut batched);
+        }
+        assert_eq!(whole.results, batched);
+        let report = session.into_report(batched);
+        assert_eq!(whole.cycles, report.cycles);
+        assert_eq!(whole.steps, report.steps);
+        assert_eq!(whole.latencies, report.latencies);
+    }
+
+    #[test]
+    fn sim_session_reports_model_time() {
+        let g = generators::rmat_dataset(8, 7);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 2);
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::default());
+        let whole = sim.run(&qs);
+        let mut sink = |_id: u32, _p: &[u32]| {};
+        let mut session = sim.session(&qs);
+        while !session.finished() {
+            session.advance(64, &mut sink);
+        }
+        let model = session.model_seconds().expect("sim has a timing model");
+        assert!((model - whole.seconds).abs() < 1e-12);
     }
 }

@@ -1,0 +1,511 @@
+//! The engine-agnostic streaming execution layer: sessions and sinks.
+//!
+//! The paper's Query Controller keeps many walks in flight and emits
+//! finished paths incrementally; this module is the host-side mirror of
+//! that contract (DESIGN.md §6). A [`WalkEngine`] turns a [`QuerySet`]
+//! into a [`WalkSession`]; the session executes in bounded batches
+//! ([`WalkSession::advance`]) and pushes each completed path **exactly
+//! once** into a [`WalkSink`], in query-id order. [`WalkResults`] is just
+//! the default collecting sink — downstream consumers (SGNS training,
+//! serving layers, the CLI) can process paths as they finish instead of
+//! waiting for a fully materialized result set.
+//!
+//! All three engines implement the trait: the sequential
+//! [`crate::ReferenceEngine`] (here), the ThunderRW-like CPU engine
+//! (`lightrw-baseline`) and the accelerator model (`lightrw-hwsim`).
+//! Batching never changes a sampled walk: a session consumes the RNG in
+//! exactly the order the engine's monolithic `run` does, whatever
+//! `max_steps` schedule drives it (`tests/engine_agreement.rs` pins this).
+//!
+//! ```
+//! use lightrw_graph::GraphBuilder;
+//! use lightrw_walker::engine::{WalkEngine, WalkEngineExt};
+//! use lightrw_walker::{QuerySet, ReferenceEngine, SamplerKind, Uniform, WalkResults};
+//!
+//! let g = GraphBuilder::directed()
+//!     .num_vertices(3)
+//!     .edges(vec![(0, 1), (1, 2), (2, 0)])
+//!     .build();
+//! let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 1);
+//! let queries = QuerySet::from_starts(vec![0, 1], 4);
+//!
+//! // Streaming: advance in 3-step batches, collecting into the default sink.
+//! let mut results = WalkResults::new();
+//! let mut session = engine.start_session(&queries);
+//! while !session.finished() {
+//!     let batch = session.advance(3, &mut results);
+//!     assert!(batch.steps <= 3);
+//! }
+//! assert_eq!(results, engine.run(&queries)); // batching is invisible
+//! ```
+
+use crate::app::StepContext;
+use crate::hotpath::HotStepper;
+use crate::path::WalkResults;
+use crate::query::{Query, QuerySet};
+use crate::reference::ReferenceEngine;
+use lightrw_graph::VertexId;
+
+/// A consumer of completed walk paths.
+///
+/// Sessions call [`WalkSink::emit`] once per finished path, in ascending
+/// `query_id` order (ids are dense, starting at 0 within a session's
+/// [`QuerySet`]). A path is final when emitted: it either reached its
+/// requested length or dead-ended early (see [`Query::length`]), or the
+/// session was cancelled with the walk still in flight.
+pub trait WalkSink {
+    /// Receive the completed path of query `query_id`.
+    fn emit(&mut self, query_id: u32, path: &[VertexId]);
+}
+
+/// [`WalkResults`] is the default collecting sink: paths are appended in
+/// emission order, which sessions guarantee is query-id order, so
+/// `results.path(id)` indexing stays correct.
+impl WalkSink for WalkResults {
+    fn emit(&mut self, _query_id: u32, path: &[VertexId]) {
+        self.push_path(path);
+    }
+}
+
+/// Any `FnMut(u32, &[VertexId])` closure is a sink.
+impl<F: FnMut(u32, &[VertexId])> WalkSink for F {
+    fn emit(&mut self, query_id: u32, path: &[VertexId]) {
+        self(query_id, path)
+    }
+}
+
+/// A sink that counts without storing — used to verify the
+/// one-emission-per-path guarantee and to size downstream buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Paths emitted.
+    pub paths: usize,
+    /// Steps across emitted paths (vertices minus one per path).
+    pub steps: u64,
+    /// Result bytes the emitted paths would occupy (the PCIe download
+    /// accounting of `WalkResults::result_bytes`).
+    pub bytes: u64,
+}
+
+impl WalkSink for CountingSink {
+    fn emit(&mut self, _query_id: u32, path: &[VertexId]) {
+        self.paths += 1;
+        // Saturate rather than trust every emitter: in-repo sessions
+        // always emit the start vertex, but the trait is a public seam.
+        self.steps += (path.len() as u64).saturating_sub(1);
+        self.bytes += std::mem::size_of_val(path) as u64;
+    }
+}
+
+/// Progress of one [`WalkSession::advance`] or [`WalkSession::cancel`]
+/// call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchProgress {
+    /// Walk steps executed by this batch (successful samples; dead-end
+    /// probes consume a visit but no step).
+    pub steps: u64,
+    /// Paths completed and emitted by this batch.
+    pub paths_completed: usize,
+    /// True when the session has emitted every path.
+    pub finished: bool,
+}
+
+/// An in-flight execution of one [`QuerySet`] on one engine.
+///
+/// The batching contract (DESIGN.md §6):
+///
+/// - [`WalkSession::advance`] executes at most `max_steps` step attempts
+///   *per internal worker lane* (the reference engine has one lane; the
+///   CPU engine one per worker thread; the accelerator model counts
+///   event-heap pops), then returns. `max_steps = 0` is clamped to 1 so
+///   every call makes progress.
+/// - Each completed path is emitted into the sink **exactly once**, in
+///   query-id order; a path completed out of order is buffered until its
+///   predecessors finish.
+/// - [`WalkSession::cancel`] finalizes every unfinished walk at its
+///   current position and emits it, preserving the one-emission
+///   guarantee; the session is finished afterwards.
+/// - Batch boundaries never change sampled walks: the RNG draw order is
+///   identical to the engine's monolithic `run` for every `max_steps`
+///   schedule.
+pub trait WalkSession {
+    /// Execute up to `max_steps` step attempts per worker lane, emitting
+    /// completed paths into `sink`.
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress;
+
+    /// Terminate every in-flight walk where it stands and emit the
+    /// partial paths (each still exactly once). Finished and idempotent
+    /// afterwards.
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress;
+
+    /// True once every path has been emitted (by completion or
+    /// cancellation).
+    fn finished(&self) -> bool;
+
+    /// Cumulative steps executed so far.
+    fn steps_done(&self) -> u64;
+
+    /// Cumulative paths emitted so far.
+    fn paths_completed(&self) -> usize;
+
+    /// Simulated seconds consumed so far, for engines with a timing model
+    /// (the accelerator simulator); `None` for wall-clock engines.
+    fn model_seconds(&self) -> Option<f64> {
+        None
+    }
+
+    /// A short engine-specific diagnostic for operators (e.g. the sim's
+    /// row-cache hit ratio, the CPU engine's worker count); `None` when
+    /// the backend has nothing beyond the generic progress counters.
+    fn diagnostics(&self) -> Option<String> {
+        None
+    }
+}
+
+/// An engine that executes walk queries in batched streaming sessions.
+///
+/// Object-safe on purpose: consumers (`lightrw_cli`, the cluster layer,
+/// SGNS training) dispatch over `&dyn WalkEngine` and never know which
+/// backend runs the walks.
+pub trait WalkEngine {
+    /// Engine label for reports and CLI output.
+    fn label(&self) -> String;
+
+    /// Begin executing `queries`. Sessions are independent: two sessions
+    /// of one engine may interleave arbitrarily (all mutable walk state
+    /// is per-session).
+    fn start_session<'s>(&'s self, queries: &QuerySet) -> Box<dyn WalkSession + 's>;
+
+    /// How many graph images this engine's host pushes over one PCIe
+    /// link when deployed on a board — 1 for software engines; the
+    /// multi-instance accelerator keeps one replica per DRAM channel
+    /// (paper §6.1.5). Used by the cluster layer's upload model.
+    fn graph_images(&self) -> u64 {
+        1
+    }
+}
+
+/// Convenience drivers over any [`WalkEngine`] (blanket-implemented, also
+/// for `dyn WalkEngine`).
+pub trait WalkEngineExt: WalkEngine {
+    /// Run `queries` to completion, collecting paths in query-id order.
+    fn run_collected(&self, queries: &QuerySet) -> WalkResults {
+        let mut results = WalkResults::with_capacity(
+            queries.len(),
+            queries
+                .queries()
+                .first()
+                .map_or(1, |q| q.length as usize + 1),
+        );
+        self.stream_into(queries, u64::MAX, &mut results);
+        results
+    }
+
+    /// Run `queries` to completion in `max_steps` batches, emitting into
+    /// `sink`; returns (total steps, simulated seconds if modelled).
+    fn stream_into(
+        &self,
+        queries: &QuerySet,
+        max_steps: u64,
+        sink: &mut dyn WalkSink,
+    ) -> (u64, Option<f64>) {
+        let mut session = self.start_session(queries);
+        while !session.finished() {
+            session.advance(max_steps, sink);
+        }
+        (session.steps_done(), session.model_seconds())
+    }
+}
+
+impl<E: WalkEngine + ?Sized> WalkEngineExt for E {}
+
+/// Drive a set of sessions as interleaved bounded batches — the
+/// multi-tenant multiplexing loop shared by the cluster layer, the CLI
+/// driver and the mixed-engine bench. Each turn gives every unfinished
+/// session one `advance(max_steps)` into its paired sink;
+/// `observe(index, elapsed_seconds, progress)` runs after each advance
+/// so callers can account per-session wall clock and batch counts.
+/// Returns once every session is finished.
+pub fn multiplex_sessions<'s>(
+    sessions: &mut [Box<dyn WalkSession + 's>],
+    sinks: &mut [&mut dyn WalkSink],
+    max_steps: u64,
+    mut observe: impl FnMut(usize, f64, BatchProgress),
+) {
+    assert_eq!(sessions.len(), sinks.len(), "one sink per session required");
+    loop {
+        let mut any = false;
+        for (idx, (session, sink)) in sessions.iter_mut().zip(sinks.iter_mut()).enumerate() {
+            if session.finished() {
+                continue;
+            }
+            any = true;
+            let t = std::time::Instant::now();
+            let progress = session.advance(max_steps, &mut **sink);
+            observe(idx, t.elapsed().as_secs_f64(), progress);
+        }
+        if !any {
+            break;
+        }
+    }
+}
+
+// --- Reference engine session -------------------------------------------
+
+/// Streaming session of the sequential [`ReferenceEngine`]: one query in
+/// flight at a time, paths emitted the moment they complete — the fully
+/// incremental end of the session spectrum (a single reusable path
+/// buffer, no corpus materialization).
+struct ReferenceSession<'s> {
+    engine: &'s ReferenceEngine<'s>,
+    stepper: HotStepper,
+    queries: Vec<Query>,
+    /// Index of the in-flight query.
+    qi: usize,
+    /// The in-flight query's partial path (starts at its start vertex).
+    path: Vec<VertexId>,
+    prev: Option<VertexId>,
+    steps_done: u64,
+}
+
+impl<'s> ReferenceSession<'s> {
+    fn new(engine: &'s ReferenceEngine<'s>, queries: &QuerySet) -> Self {
+        let mut stepper = HotStepper::new(engine.app(), engine.sampler(), engine.seed());
+        stepper.reserve(engine.graph().max_degree() as usize);
+        let queries = queries.queries().to_vec();
+        let mut path = Vec::new();
+        if let Some(q) = queries.first() {
+            path.reserve(q.length as usize + 1);
+            path.push(q.start);
+        }
+        Self {
+            engine,
+            stepper,
+            queries,
+            qi: 0,
+            path,
+            prev: None,
+            steps_done: 0,
+        }
+    }
+
+    /// Seal the in-flight query's path, emit it, and arm the next query.
+    /// Emits the session-local index (dense from 0), not `Query::id` —
+    /// the sink contract all engines share, which differs only for
+    /// partitioned query sets (partitions keep their original ids).
+    fn finish_current(&mut self, sink: &mut dyn WalkSink) {
+        sink.emit(self.qi as u32, &self.path);
+        self.qi += 1;
+        self.path.clear();
+        self.prev = None;
+        if let Some(q) = self.queries.get(self.qi) {
+            self.path.push(q.start);
+        }
+    }
+}
+
+impl WalkSession for ReferenceSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let budget = max_steps.max(1);
+        let mut progress = BatchProgress::default();
+        let mut attempts = 0u64;
+        while attempts < budget && self.qi < self.queries.len() {
+            let q = self.queries[self.qi];
+            let cur = *self.path.last().expect("in-flight path holds the start");
+            let ctx = StepContext {
+                step: self.path.len() as u32 - 1,
+                cur,
+                prev: self.prev,
+            };
+            attempts += 1;
+            let done = match self
+                .stepper
+                .step(self.engine.graph(), self.engine.app(), ctx)
+            {
+                Some(next) => {
+                    self.path.push(next);
+                    self.prev = Some(cur);
+                    self.steps_done += 1;
+                    progress.steps += 1;
+                    self.path.len() as u32 > q.length
+                }
+                None => true, // dead end
+            };
+            if done {
+                self.finish_current(sink);
+                progress.paths_completed += 1;
+            }
+        }
+        progress.finished = self.finished();
+        progress
+    }
+
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
+        let mut progress = BatchProgress::default();
+        while self.qi < self.queries.len() {
+            self.finish_current(sink);
+            progress.paths_completed += 1;
+        }
+        progress.finished = true;
+        progress
+    }
+
+    fn finished(&self) -> bool {
+        self.qi >= self.queries.len()
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    fn paths_completed(&self) -> usize {
+        self.qi
+    }
+}
+
+impl WalkEngine for ReferenceEngine<'_> {
+    fn label(&self) -> String {
+        format!("reference({})", self.sampler().name())
+    }
+
+    fn start_session<'s>(&'s self, queries: &QuerySet) -> Box<dyn WalkSession + 's> {
+        Box::new(ReferenceSession::new(self, queries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp};
+    use crate::reference::SamplerKind;
+    use lightrw_graph::{generators, GraphBuilder};
+    use lightrw_rng::{Rng, SplitMix64};
+
+    const KINDS: [SamplerKind; 5] = [
+        SamplerKind::InverseTransform,
+        SamplerKind::Alias,
+        SamplerKind::SequentialWrs,
+        SamplerKind::ParallelWrs { k: 4 },
+        SamplerKind::ParallelWrs { k: 16 },
+    ];
+
+    #[test]
+    fn randomized_batches_match_monolithic_run_for_all_apps_and_kinds() {
+        let g = generators::rmat_dataset(8, 17);
+        let mp = MetaPath::new(vec![0, 1, 0]);
+        let nv = Node2Vec::paper_params();
+        let apps: [&dyn WalkApp; 4] = [&Uniform, &StaticWeighted, &mp, &nv];
+        let qs = QuerySet::per_nonisolated_vertex(&g, 7, 3);
+        let mut batch_rng = SplitMix64::new(99);
+        for app in apps {
+            for kind in KINDS {
+                let engine = ReferenceEngine::new(&g, app, kind, 11);
+                let whole = engine.run(&qs);
+                let mut batched = WalkResults::new();
+                let mut session = engine.start_session(&qs);
+                while !session.finished() {
+                    session.advance(1 + batch_rng.gen_range(13), &mut batched);
+                }
+                assert_eq!(whole, batched, "{} {:?}", app.name(), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn run_collected_equals_run() {
+        let g = generators::rmat_dataset(7, 5);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 2);
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::Alias, 4);
+        assert_eq!(engine.run(&qs), engine.run_collected(&qs));
+        // Through the object too.
+        let dynamic: &dyn WalkEngine = &engine;
+        assert_eq!(engine.run(&qs), dynamic.run_collected(&qs));
+        assert!(dynamic.label().starts_with("reference("));
+    }
+
+    #[test]
+    fn each_path_emitted_exactly_once_in_id_order() {
+        let g = generators::rmat_dataset(7, 9);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 6);
+        let engine = ReferenceEngine::new(&g, &StaticWeighted, SamplerKind::InverseTransform, 2);
+        let mut session = engine.start_session(&qs);
+        let mut seen = Vec::new();
+        let mut sink = |id: u32, _path: &[VertexId]| seen.push(id);
+        while !session.finished() {
+            session.advance(5, &mut sink);
+        }
+        let expect: Vec<u32> = (0..qs.len() as u32).collect();
+        assert_eq!(seen, expect);
+        assert_eq!(session.paths_completed(), qs.len());
+    }
+
+    #[test]
+    fn counting_sink_matches_results_accounting() {
+        let g = generators::rmat_dataset(7, 4);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 1);
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::SequentialWrs, 8);
+        let results = engine.run_collected(&qs);
+        let mut counter = CountingSink::default();
+        engine.stream_into(&qs, 16, &mut counter);
+        assert_eq!(counter.paths, results.len());
+        assert_eq!(counter.steps, results.total_steps());
+        assert_eq!(counter.bytes, results.result_bytes());
+    }
+
+    #[test]
+    fn cancel_emits_partial_paths_once_and_finishes() {
+        // 3-cycle: walks never dead-end, so cancellation is the only way
+        // to stop early.
+        let g = GraphBuilder::directed()
+            .num_vertices(3)
+            .edges(vec![(0, 1), (1, 2), (2, 0)])
+            .build();
+        let qs = QuerySet::from_starts(vec![0, 1, 2], 50);
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 1);
+        let mut session = engine.start_session(&qs);
+        let mut results = WalkResults::new();
+        session.advance(10, &mut results); // 10 steps into query 0
+        assert!(!session.finished());
+        let progress = session.cancel(&mut results);
+        assert!(progress.finished);
+        assert!(session.finished());
+        assert_eq!(results.len(), 3, "every query emitted exactly once");
+        assert_eq!(results.path(0).len(), 11, "partial path kept its steps");
+        assert_eq!(results.path(1), &[1], "undispatched query = start only");
+        // Idempotent: cancelling again emits nothing.
+        let again = session.cancel(&mut results);
+        assert_eq!(again.paths_completed, 0);
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn sessions_are_reentrant_on_one_engine() {
+        let g = generators::rmat_dataset(7, 8);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 4);
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 3);
+        let mut a = WalkResults::new();
+        let mut b = WalkResults::new();
+        let mut sa = engine.start_session(&qs);
+        let mut sb = engine.start_session(&qs);
+        // Interleave the two sessions; both must match the monolithic run.
+        while !sa.finished() || !sb.finished() {
+            sa.advance(3, &mut a);
+            sb.advance(7, &mut b);
+        }
+        let whole = engine.run(&qs);
+        assert_eq!(a, whole);
+        assert_eq!(b, whole);
+    }
+
+    #[test]
+    fn zero_max_steps_still_progresses() {
+        let g = GraphBuilder::directed().edge(0, 1).build();
+        let qs = QuerySet::from_starts(vec![0], 1);
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 1);
+        let mut session = engine.start_session(&qs);
+        let mut results = WalkResults::new();
+        let progress = session.advance(0, &mut results);
+        assert_eq!(progress.steps, 1, "max_steps=0 clamps to one attempt");
+        assert!(progress.finished);
+    }
+}

@@ -19,8 +19,15 @@
 //!   [`app::WalkApp::weight_profile`] (degree-indexed uniform, prefix
 //!   cache, or generic streaming) under the RNG-identity contract of
 //!   DESIGN.md §5, with zero per-step heap allocation.
+//! - [`engine`] is the streaming execution seam every backend plugs into:
+//!   [`engine::WalkEngine`] starts [`engine::WalkSession`]s that run in
+//!   bounded batches and emit each finished path exactly once into a
+//!   [`engine::WalkSink`] (DESIGN.md §6). The CPU baseline
+//!   (`lightrw-baseline`) and the accelerator model (`lightrw-hwsim`)
+//!   implement the same trait.
 //! - [`crate::reference`] is a simple sequential engine over any sampler — the
-//!   correctness oracle every other engine is tested against.
+//!   correctness oracle every other engine is tested against; it doubles
+//!   as the fully incremental [`engine::WalkEngine`] implementation.
 //! - [`path`] stores walk outputs compactly and checks their validity.
 //!
 //! ## Fixed-point weights
@@ -47,6 +54,7 @@
 
 pub mod app;
 pub mod corpus_io;
+pub mod engine;
 pub mod hotpath;
 pub mod membership;
 pub mod path;
@@ -55,7 +63,12 @@ pub mod reference;
 pub mod stats;
 
 pub use app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp, WeightProfile};
+pub use engine::{
+    multiplex_sessions, BatchProgress, CountingSink, WalkEngine, WalkEngineExt, WalkSession,
+    WalkSink,
+};
 pub use hotpath::HotStepper;
+pub use lightrw_graph::VertexId;
 pub use membership::NeighborBitset;
 pub use path::WalkResults;
 pub use query::{Query, QuerySet};

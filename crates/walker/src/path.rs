@@ -25,6 +25,30 @@ impl WalkResults {
     }
 
     /// Pre-size for `queries` paths of about `expected_len` vertices.
+    ///
+    /// Paths can be built incrementally — push vertices as an engine
+    /// samples them, then seal the path — which is exactly how the
+    /// streaming sessions of DESIGN.md §6 collect their output:
+    ///
+    /// ```
+    /// use lightrw_walker::WalkResults;
+    ///
+    /// let mut r = WalkResults::with_capacity(2, 3);
+    /// assert!(r.is_empty());
+    ///
+    /// r.push_vertex(4); // a walk starting at vertex 4...
+    /// r.push_vertex(7); // ...steps to 7...
+    /// r.end_path();     // ...and dead-ends: the 2-vertex path is sealed.
+    /// r.push_vertex(9);
+    /// r.end_path();     // a walk that dead-ended at its start
+    ///
+    /// assert!(!r.is_empty());
+    /// assert_eq!(r.len(), 2);
+    /// assert_eq!(r.path(0), &[4, 7]);
+    /// let lens: Vec<usize> = r.iter().map(|p| p.len()).collect();
+    /// assert_eq!(lens, vec![2, 1]);
+    /// assert_eq!(r.total_steps(), 1);
+    /// ```
     pub fn with_capacity(queries: usize, expected_len: usize) -> Self {
         let mut offsets = Vec::with_capacity(queries + 1);
         offsets.push(0);
@@ -67,8 +91,27 @@ impl WalkResults {
     }
 
     /// Iterate all paths.
-    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
-        (0..self.len()).map(move |i| self.path(i))
+    ///
+    /// ```
+    /// use lightrw_walker::WalkResults;
+    ///
+    /// let mut r = WalkResults::new();
+    /// r.push_path(&[0, 1]);
+    /// r.push_path(&[2]);
+    /// // `&WalkResults` also implements `IntoIterator`, so `for` loops
+    /// // work directly — the sinks of DESIGN.md §6 rely on both forms.
+    /// let mut verts = 0;
+    /// for p in &r {
+    ///     verts += p.len();
+    /// }
+    /// assert_eq!(verts, 3);
+    /// assert_eq!(r.iter().count(), 2);
+    /// ```
+    pub fn iter(&self) -> PathsIter<'_> {
+        PathsIter {
+            results: self,
+            next: 0,
+        }
     }
 
     /// Total steps actually taken (excludes each path's starting vertex) —
@@ -80,6 +123,42 @@ impl WalkResults {
     /// Result buffer size in bytes (what travels back over PCIe).
     pub fn result_bytes(&self) -> u64 {
         (self.verts.len() * std::mem::size_of::<VertexId>()) as u64
+    }
+}
+
+/// Iterator over a result set's paths (see [`WalkResults::iter`]).
+#[derive(Debug, Clone)]
+pub struct PathsIter<'a> {
+    results: &'a WalkResults,
+    next: usize,
+}
+
+impl<'a> Iterator for PathsIter<'a> {
+    type Item = &'a [VertexId];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.results.len() {
+            return None;
+        }
+        let p = self.results.path(self.next);
+        self.next += 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.results.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PathsIter<'_> {}
+
+impl<'a> IntoIterator for &'a WalkResults {
+    type Item = &'a [VertexId];
+    type IntoIter = PathsIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 

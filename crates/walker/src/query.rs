@@ -14,8 +14,20 @@ pub struct Query {
     pub id: u32,
     /// Starting vertex.
     pub start: VertexId,
-    /// Requested number of steps (result path has `length + 1` vertices
-    /// unless the walk dead-ends early).
+    /// Requested number of steps, always ≥ 1 (enforced at [`QuerySet`]
+    /// construction).
+    ///
+    /// # Early-termination contract
+    ///
+    /// The result path has `length + 1` vertices unless the walk hits a
+    /// **dead end** first: a current vertex with no out-edges, or one
+    /// where every candidate's dynamic weight is zero (e.g. a MetaPath
+    /// step whose relation no incident edge carries). A dead-ended walk
+    /// terminates immediately with the vertices sampled so far — at
+    /// minimum the starting vertex — and engines count only the steps
+    /// actually taken. Zero-length queries are rejected up front rather
+    /// than silently producing 1-vertex paths, so a 1-vertex path always
+    /// *means* "dead-ended at the start".
     pub length: u32,
 }
 
@@ -49,7 +61,20 @@ impl QuerySet {
     }
 
     /// Build directly from explicit starting vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `length == 0`: a zero-step query has no sampling work
+    /// and would emit a degenerate 1-vertex path indistinguishable from a
+    /// genuine dead end (see [`Query::length`]). All `QuerySet`
+    /// constructors funnel through here, so the invariant holds
+    /// set-wide.
     pub fn from_starts(starts: Vec<VertexId>, length: u32) -> Self {
+        assert!(
+            length >= 1,
+            "zero-length walk queries are rejected: a query must request at \
+             least one step (see the Query::length contract)"
+        );
         let queries = starts
             .into_iter()
             .enumerate()
@@ -143,6 +168,19 @@ mod tests {
         for q in qs.queries() {
             assert!(q.start <= 1);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length walk queries are rejected")]
+    fn zero_length_queries_are_rejected() {
+        let _ = QuerySet::from_starts(vec![0, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length walk queries are rejected")]
+    fn zero_length_rejection_covers_derived_constructors() {
+        let g = GraphBuilder::directed().edge(0, 1).build();
+        let _ = QuerySet::per_nonisolated_vertex(&g, 0, 1);
     }
 
     #[test]

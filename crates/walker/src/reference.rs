@@ -221,6 +221,26 @@ impl<'g> ReferenceEngine<'g> {
         }
     }
 
+    /// The graph this engine walks.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The application whose weight function drives the walks.
+    pub fn app(&self) -> &'g dyn WalkApp {
+        self.app
+    }
+
+    /// The configured sampler kind.
+    pub fn sampler(&self) -> SamplerKind {
+        self.sampler
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Execute all queries sequentially, returning their paths in query-id
     /// order. Walks that reach a dead end (all candidate weights zero, or
     /// no neighbors) terminate early with a shorter path, as in

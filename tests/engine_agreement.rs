@@ -2,9 +2,17 @@
 //! baseline and the accelerator model must sample from the same
 //! distribution and emit only valid walks — the property that makes the
 //! paper's Fig. 14 comparison meaningful (same answers, different speed).
+//!
+//! Since the session refactor all three engines also implement
+//! `WalkEngine` (DESIGN.md §6), and the second half of this suite pins
+//! the batching contract: for every app × sampler kind, driving a
+//! session through `&dyn WalkEngine` with a *randomized* `max_steps`
+//! schedule reproduces the monolithic `run` bit for bit — the
+//! RNG-identity contract of DESIGN.md §5 survives batching.
 
 use lightrw::prelude::*;
 use lightrw::rng::stats::{chi_square_counts, chi_square_crit_999};
+use lightrw::rng::{Rng, SplitMix64};
 use lightrw::walker::path::validate_path;
 use lightrw_repro as _;
 
@@ -114,6 +122,139 @@ fn every_engine_respects_metapath_relations() {
             validate_path(&g, &mp, p)
                 .unwrap_or_else(|e| panic!("{name} violated the metapath: {p:?}: {e:?}"));
         }
+    }
+}
+
+/// Drive any engine through the object-safe session layer with a
+/// pseudo-random batch schedule (batch sizes 1..=max_batch).
+fn run_batched(
+    engine: &dyn WalkEngine,
+    qs: &QuerySet,
+    rng: &mut SplitMix64,
+    max_batch: u64,
+) -> WalkResults {
+    let mut results = WalkResults::new();
+    let mut session = engine.start_session(qs);
+    while !session.finished() {
+        session.advance(1 + rng.gen_range(max_batch), &mut results);
+    }
+    results
+}
+
+const ALL_SAMPLERS: [SamplerKind; 5] = [
+    SamplerKind::InverseTransform,
+    SamplerKind::Alias,
+    SamplerKind::SequentialWrs,
+    SamplerKind::ParallelWrs { k: 4 },
+    SamplerKind::ParallelWrs { k: 16 },
+];
+
+#[test]
+fn randomized_batches_replay_monolithic_walks_for_every_app_and_sampler() {
+    // The acceptance property of the session refactor: for every
+    // app × sampler kind and every engine, a batched session (any
+    // max_steps schedule) is bit-identical to the seed's monolithic run.
+    let g = generators::rmat_dataset(8, 14);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let nv = Node2Vec::paper_params();
+    let apps: [&dyn WalkApp; 4] = [&Uniform, &StaticWeighted, &mp, &nv];
+    let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);
+    let mut batch_rng = SplitMix64::new(0xBA7C);
+
+    for app in apps {
+        // Reference + CPU take every sampler kind...
+        for kind in ALL_SAMPLERS {
+            let reference = ReferenceEngine::new(&g, app, kind, 21);
+            let whole = reference.run(&qs);
+            let batched = run_batched(&reference, &qs, &mut batch_rng, 19);
+            assert_eq!(whole, batched, "reference {} {:?}", app.name(), kind);
+
+            let cfg = BaselineConfig {
+                threads: 3,
+                sampler: kind,
+                ..Default::default()
+            };
+            let cpu = CpuEngine::new(&g, app, cfg);
+            let (whole, _) = cpu.run(&qs);
+            let batched = run_batched(&cpu, &qs, &mut batch_rng, 19);
+            assert_eq!(whole, batched, "cpu {} {:?}", app.name(), kind);
+        }
+        // ...the accelerator is parallel-WRS by construction.
+        let sim = LightRwSim::new(&g, app, LightRwConfig::default());
+        let whole = sim.run(&qs).results;
+        let batched = run_batched(&sim, &qs, &mut batch_rng, 19);
+        assert_eq!(whole, batched, "sim {}", app.name());
+    }
+}
+
+#[test]
+fn sessions_emit_each_path_exactly_once_across_backends() {
+    let g = DatasetProfile::youtube().stand_in(8, 5);
+    let qs = QuerySet::per_nonisolated_vertex(&g, 5, 3);
+    let engines: Vec<Box<dyn WalkEngine + '_>> = vec![
+        Box::new(ReferenceEngine::new(
+            &g,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            1,
+        )),
+        Box::new(CpuEngine::new(&g, &Uniform, BaselineConfig::default())),
+        Box::new(LightRwSim::new(&g, &Uniform, LightRwConfig::default())),
+    ];
+    for engine in &engines {
+        // Ids must arrive dense and ascending, once each.
+        let mut next_expected = 0u32;
+        let mut sink = |id: u32, path: &[u32]| {
+            assert_eq!(
+                id,
+                next_expected,
+                "{}: out-of-order emission",
+                engine.label()
+            );
+            assert!(!path.is_empty());
+            next_expected += 1;
+        };
+        let mut session = engine.start_session(&qs);
+        while !session.finished() {
+            session.advance(37, &mut sink);
+        }
+        assert_eq!(next_expected as usize, qs.len(), "{}", engine.label());
+        // Progress counters agree with the emission record.
+        assert_eq!(session.paths_completed(), qs.len());
+    }
+}
+
+#[test]
+fn cancellation_flushes_partial_walks_on_every_backend() {
+    let g = DatasetProfile::youtube().stand_in(8, 9);
+    let qs = QuerySet::per_nonisolated_vertex(&g, 60, 6);
+    let engines: Vec<Box<dyn WalkEngine + '_>> = vec![
+        Box::new(ReferenceEngine::new(
+            &g,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            2,
+        )),
+        Box::new(CpuEngine::new(&g, &Uniform, BaselineConfig::default())),
+        Box::new(LightRwSim::new(&g, &Uniform, LightRwConfig::default())),
+    ];
+    for engine in &engines {
+        let mut results = WalkResults::new();
+        let mut session = engine.start_session(&qs);
+        session.advance(50, &mut results);
+        let progress = session.cancel(&mut results);
+        assert!(progress.finished, "{}", engine.label());
+        assert_eq!(results.len(), qs.len(), "{}", engine.label());
+        for p in results.iter() {
+            validate_path(&g, &Uniform, p)
+                .unwrap_or_else(|e| panic!("{}: invalid partial walk: {e:?}", engine.label()));
+        }
+        // Cancelled early: strictly fewer steps than the full workload.
+        assert!(
+            results.total_steps() < qs.total_steps(),
+            "{}",
+            engine.label()
+        );
     }
 }
 
