@@ -540,6 +540,83 @@ mod tests {
     }
 
     #[test]
+    fn multi_lane_jobs_cannot_outrun_the_weighted_share() {
+        // The service fairness invariant on a *multi-lane* backend
+        // (DESIGN.md §7): advance budgets are per worker chunk, so a job
+        // spanning 8 chunks executes up to 8× its budget in one turn —
+        // the scheduler must borrow that overshoot (credit goes
+        // negative, turns are skipped) so equal-weight jobs still get
+        // equal step shares, chunk counts notwithstanding.
+        use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+        let g = lightrw_graph::GraphBuilder::directed()
+            .num_vertices(4)
+            .edges(vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let cfg = BaselineConfig {
+            threads: 8,
+            ..Default::default()
+        };
+        let engine = CpuEngine::new(&g, &Uniform, cfg);
+        let workers: Vec<&dyn lightrw_walker::WalkEngine> = vec![&engine];
+        let mut service = WalkService::new(
+            workers,
+            ServiceConfig {
+                quantum: 8,
+                ..Default::default()
+            },
+        );
+        // Same weight, wildly different lane counts: 1 chunk vs 8 chunks.
+        let narrow = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0], 100_000));
+        let wide = service.submit(
+            JobSpec::tenant(1),
+            QuerySet::from_starts(vec![1; 64], 10_000),
+        );
+        for _ in 0..400 {
+            service.tick();
+        }
+        assert!(!service.status(narrow).is_terminal());
+        assert!(!service.status(wide).is_terminal());
+        let ratio = service.job_steps(wide) as f64 / service.job_steps(narrow) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "lane count leaked into the fair share: wide/narrow = {ratio:.2} \
+             (wide {} vs narrow {})",
+            service.job_steps(wide),
+            service.job_steps(narrow)
+        );
+    }
+
+    #[test]
+    fn cancel_before_first_advance_emits_start_only_paths() {
+        // Empty-batch cancel (DESIGN.md §6): no chunk has taken a step,
+        // so every query flushes exactly once as its start vertex alone —
+        // across all worker chunk layouts.
+        let g = generators::rmat_dataset(8, 11);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 25, 6);
+        for threads in [1usize, 3, 8] {
+            let cfg = BaselineConfig {
+                threads,
+                ..Default::default()
+            };
+            let engine = CpuEngine::new(&g, &Uniform, cfg);
+            let mut session = engine.session(&qs);
+            let mut results = WalkResults::new();
+            let progress = session.cancel(&mut results);
+            assert!(progress.finished, "threads={threads}");
+            assert_eq!(progress.steps, 0);
+            assert_eq!(progress.paths_completed, qs.len());
+            assert_eq!(results.len(), qs.len(), "threads={threads}");
+            for (q, p) in qs.queries().iter().zip(results.iter()) {
+                assert_eq!(p, &[q.start], "threads={threads}");
+            }
+            assert_eq!(session.steps_done(), 0);
+            // Idempotent afterwards.
+            let again = session.cancel(&mut results);
+            assert_eq!(again.paths_completed, 0);
+        }
+    }
+
+    #[test]
     fn cancel_flushes_every_path_exactly_once() {
         let g = generators::rmat_dataset(8, 10);
         let qs = QuerySet::per_nonisolated_vertex(&g, 40, 4);

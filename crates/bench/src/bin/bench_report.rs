@@ -14,6 +14,14 @@
 //! shape a serving host uses — and each reports its share of the
 //! multiplexed wall clock.
 //!
+//! A second file, `BENCH_service.json` (`--out-service PATH`), carries
+//! the `service_saturation` sweep: a fixed workload split across 1 → 8
+//! concurrent tenants on the CPU backend, scheduled by the multi-tenant
+//! `WalkService` (DESIGN.md §7). Aggregate steps/s must hold (or improve)
+//! as tenancy grows — scheduler overhead showing up as a throughput cliff
+//! is exactly the regression this artifact is meant to catch — while the
+//! p50/p99 rows track how tail latency degrades with contention.
+//!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
 //! cargo run --release -p lightrw-bench --bin bench_report -- --scale 13 \
@@ -29,6 +37,7 @@ use std::time::Instant;
 
 use lightrw::graph::generators::rmat_dataset;
 use lightrw::prelude::*;
+use lightrw::service::{ServiceConfig, WalkService};
 
 /// One measured engine × app × dataset row.
 struct Row {
@@ -71,6 +80,7 @@ struct ReportOpts {
     seed: u64,
     quick: bool,
     out: String,
+    out_service: String,
     baseline: Option<String>,
 }
 
@@ -81,9 +91,11 @@ impl ReportOpts {
             seed: 42,
             quick: false,
             out: "BENCH_hotpath.json".to_string(),
+            out_service: "BENCH_service.json".to_string(),
             baseline: None,
         };
-        const USAGE: &str = "options: --scale N --seed N --quick --out PATH --baseline PATH";
+        const USAGE: &str =
+            "options: --scale N --seed N --quick --out PATH --out-service PATH --baseline PATH";
         fn die(msg: &str) -> ! {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -112,6 +124,7 @@ impl ReportOpts {
                 }
                 "--quick" => o.quick = true,
                 "--out" => o.out = value(&args, &mut i, "--out"),
+                "--out-service" => o.out_service = value(&args, &mut i, "--out-service"),
                 "--baseline" => o.baseline = Some(value(&args, &mut i, "--baseline")),
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
@@ -291,6 +304,113 @@ fn measure_mixed(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<MixedR
     }
 }
 
+/// One tenancy level of the `service_saturation` sweep.
+struct SaturationRow {
+    tenants: usize,
+    jobs: usize,
+    steps: u64,
+    secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl SaturationRow {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"tenants\": {}, \"jobs\": {}, \"steps\": {}, \"secs\": {:.6}, \
+             \"steps_per_sec\": {:.1}, \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}}}",
+            self.tenants,
+            self.jobs,
+            self.steps,
+            self.secs,
+            self.steps_per_sec(),
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+}
+
+/// The `service_saturation` scenario: a fixed node2vec workload split
+/// across 1 → 8 concurrent tenants (two jobs each) on the CPU backend,
+/// scheduled by the multi-tenant `WalkService`. Total work is constant
+/// across tenancy levels, so aggregate steps/s isolates scheduler cost:
+/// it must stay flat (or improve) as tenancy grows, while p50/p99 job
+/// latency records the tail cost of contention. Each level keeps the
+/// better of two repetitions to damp wall-clock noise on shared CI
+/// runners.
+fn measure_service_saturation(
+    name: &str,
+    g: &Graph,
+    opts: &ReportOpts,
+    rows: &mut Vec<SaturationRow>,
+) {
+    let app = Node2Vec::paper_params();
+    let len = if opts.quick { 8 } else { 40 };
+    let total_queries = 4096usize;
+    let backend = Backend::Cpu { threads: 0 };
+    for tenants in [1usize, 2, 4, 8] {
+        let mut best: Option<SaturationRow> = None;
+        for rep in 0..2 {
+            let pool = backend.build_pool(g, &app, opts.seed + rep, 1);
+            let workers: Vec<&dyn WalkEngine> = pool.iter().map(|e| e.as_ref()).collect();
+            let mut service = WalkService::new(
+                workers,
+                ServiceConfig {
+                    quantum: 2048,
+                    ..Default::default()
+                },
+            );
+            let jobs_per_tenant = 2usize;
+            let per_job = total_queries / (tenants * jobs_per_tenant);
+            let t = Instant::now();
+            for tenant in 0..tenants {
+                for j in 0..jobs_per_tenant {
+                    let qs = QuerySet::n_queries(
+                        g,
+                        per_job,
+                        len,
+                        opts.seed ^ (((tenant * jobs_per_tenant + j) as u64) << 8),
+                    );
+                    service.submit(JobSpec::tenant(tenant as u32), qs);
+                }
+            }
+            service.run_until_idle();
+            let secs = t.elapsed().as_secs_f64();
+            let stats = service.stats();
+            let row = SaturationRow {
+                tenants,
+                jobs: tenants * jobs_per_tenant,
+                steps: stats.total_steps,
+                secs,
+                p50_ms: stats.p50_latency_s * 1e3,
+                p99_ms: stats.p99_latency_s * 1e3,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| row.steps_per_sec() > b.steps_per_sec())
+            {
+                best = Some(row);
+            }
+        }
+        let best = best.expect("two repetitions ran");
+        eprintln!(
+            "service_saturation {name}: {} tenants -> {} ({:.2} ms p99)",
+            best.tenants,
+            lightrw_bench::fmt_rate(best.steps_per_sec()),
+            best.p99_ms
+        );
+        rows.push(best);
+    }
+}
+
 /// Pull the `"throughput": [...]` rows (one per line, as this binary
 /// writes them) out of a previous report for the before/after embedding.
 fn extract_rows(json: &str) -> Vec<String> {
@@ -349,6 +469,14 @@ fn main() {
         measure_mixed(name, g, &opts, &mut mixed_rows);
     }
 
+    // The saturation sweep runs on the lead dataset only: it measures the
+    // scheduler, not the graph.
+    let mut saturation_rows = Vec::new();
+    {
+        let (name, g) = &datasets[0];
+        measure_service_saturation(name, g, &opts, &mut saturation_rows);
+    }
+
     let baseline_rows = opts
         .baseline
         .as_ref()
@@ -385,6 +513,28 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&opts.out, &json).expect("write report");
 
+    // The service artifact: one file per concern, so the soak/saturation
+    // history diffs independently of the hot-path numbers.
+    let mut service_json = String::from("{\n");
+    let _ = writeln!(service_json, "  \"bench\": \"service_saturation\",");
+    let _ = writeln!(
+        service_json,
+        "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}, \
+         \"backend\": \"cpu\", \"dataset\": \"{}\"}},",
+        opts.scale, opts.seed, opts.quick, datasets[0].0
+    );
+    service_json.push_str("  \"saturation\": [\n");
+    for (i, r) in saturation_rows.iter().enumerate() {
+        let sep = if i + 1 < saturation_rows.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(service_json, "    {}{sep}", r.to_json());
+    }
+    service_json.push_str("  ]\n}\n");
+    std::fs::write(&opts.out_service, &service_json).expect("write service report");
+
     println!(
         "{:<10} {:<15} {:<13} {:>8} {:>12}",
         "dataset", "app", "engine", "threads", "steps/s"
@@ -413,5 +563,20 @@ fn main() {
             lightrw_bench::fmt_rate(r.steps_per_sec())
         );
     }
-    eprintln!("wrote {}", opts.out);
+    println!();
+    println!(
+        "{:<28} {:>6} {:>12} {:>11} {:>11}",
+        "service saturation (cpu)", "jobs", "steps/s", "p50 ms", "p99 ms"
+    );
+    for r in &saturation_rows {
+        println!(
+            "{:<28} {:>6} {:>12} {:>11.3} {:>11.3}",
+            format!("{} tenant(s)", r.tenants),
+            r.jobs,
+            lightrw_bench::fmt_rate(r.steps_per_sec()),
+            r.p50_ms,
+            r.p99_ms
+        );
+    }
+    eprintln!("wrote {} and {}", opts.out, opts.out_service);
 }

@@ -12,12 +12,21 @@
 //! lightrw-cli info g.bin
 //! lightrw-cli walk g.bin --app node2vec --length 80 --engine sim -o walks.txt
 //! lightrw-cli walk g.bin --engine reference --batch 64
+//! lightrw-cli serve g.bin --jobs spec.json --engine cpu --workers 2
+//! lightrw-cli serve g.bin --synthetic-tenants 4 --jobs-per-tenant 2
 //! ```
 //!
 //! `walk` dispatches over the engine-agnostic session layer
 //! (DESIGN.md §6): the backend behind `--engine` is a `&dyn WalkEngine`,
 //! and `--batch` sets the per-batch step budget the driver hands each
 //! `advance` call — walks are bit-identical for every batch size.
+//!
+//! `serve` replays a multi-tenant job trace (see [`crate::jobspec`])
+//! through a [`lightrw_walker::service::WalkService`] over a pool of
+//! backend workers (DESIGN.md §7), then audits the output — every job
+//! must emit exactly one path per query, in order — and prints per-tenant
+//! throughput plus p50/p99 job latency. A dropped or duplicated path is a
+//! hard error, which is what the CI `service-soak` step relies on.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -97,6 +106,7 @@ pub fn run(subcommand: &str, args: &Args) -> Result<String, String> {
         "convert" => cmd_convert(args),
         "info" => cmd_info(args),
         "walk" => cmd_walk(args),
+        "serve" => cmd_serve(args),
         "help" | "--help" => Ok(usage().to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
@@ -113,7 +123,11 @@ pub fn usage() -> &'static str {
      info     GRAPH.bin\n\
      walk     GRAPH.bin --app uniform|static|metapath|node2vec\n\
      \x20        [--length N] [--queries N] [--engine sim|cpu|reference]\n\
-     \x20        [--batch N] [--seed N] [--binary] [-o FILE]\n"
+     \x20        [--batch N] [--seed N] [--binary] [-o FILE]\n\
+     serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N)\n\
+     \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
+     \x20        [--app NAME] [--engine sim|cpu|reference] [--workers N]\n\
+     \x20        [--quantum N] [--tenant-budget N] [--seed N]\n"
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -213,6 +227,22 @@ fn cmd_info(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Parse the shared `--app` option against a loaded graph.
+fn parse_app(args: &Args, g: &Graph) -> Result<Box<dyn WalkApp>, String> {
+    match args.get("app").unwrap_or("uniform") {
+        "uniform" => Ok(Box::new(Uniform)),
+        "static" => Ok(Box::new(StaticWeighted)),
+        "metapath" => {
+            if !g.has_edge_labels() {
+                return Err("metapath needs a graph with edge relations".into());
+            }
+            Ok(Box::new(MetaPath::new(vec![0, 1, 0, 1, 0])))
+        }
+        "node2vec" => Ok(Box::new(Node2Vec::paper_params())),
+        other => Err(format!("unknown --app {other:?}")),
+    }
+}
+
 fn cmd_walk(args: &Args) -> Result<String, String> {
     let path = args
         .positional
@@ -231,18 +261,7 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
         QuerySet::n_queries(&g, n_queries, length, seed)
     };
 
-    let app: Box<dyn WalkApp> = match args.get("app").unwrap_or("uniform") {
-        "uniform" => Box::new(Uniform),
-        "static" => Box::new(StaticWeighted),
-        "metapath" => {
-            if !g.has_edge_labels() {
-                return Err("metapath needs a graph with edge relations".into());
-            }
-            Box::new(MetaPath::new(vec![0, 1, 0, 1, 0]))
-        }
-        "node2vec" => Box::new(Node2Vec::paper_params()),
-        other => return Err(format!("unknown --app {other:?}")),
-    };
+    let app = parse_app(args, &g)?;
 
     // Engine-agnostic dispatch: any backend behind `&dyn WalkEngine`,
     // driven as a batched session (DESIGN.md §6).
@@ -307,6 +326,137 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
         out_line = format!("\nwrote {} walks to {out}", walks.len());
     }
     Ok(format!("{summary}{out_line}"))
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    use crate::jobspec::{self, TraceJob};
+    use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+
+    let path = args
+        .positional
+        .first()
+        .ok_or("serve requires a graph file argument")?;
+    let g = load_graph(path)?;
+    let app = parse_app(args, &g)?;
+
+    // The trace: an explicit spec file, or a synthetic homogeneous one.
+    let trace: Vec<TraceJob> = match args.get("jobs") {
+        Some(spec_path) => {
+            let text = std::fs::read_to_string(spec_path)
+                .map_err(|e| format!("read --jobs {spec_path}: {e}"))?;
+            jobspec::parse_trace(&text)?
+        }
+        None => {
+            let tenants = args.get_u64("synthetic-tenants", 0)? as u32;
+            if tenants == 0 {
+                return Err("serve needs --jobs SPEC.json or --synthetic-tenants N".into());
+            }
+            jobspec::synthetic_trace(
+                tenants,
+                args.get_u64("jobs-per-tenant", 2)? as usize,
+                args.get_u64("queries", 64)? as usize,
+                args.get_u64("length", 10)? as u32,
+            )
+        }
+    };
+    if trace.is_empty() {
+        return Err("the job trace is empty".into());
+    }
+
+    let backend = Backend::parse(args.get("engine").unwrap_or("cpu"))?;
+    let workers = args.get_u64("workers", 2)? as usize;
+    let seed = args.get_u64("seed", 42)?;
+    let cfg = ServiceConfig {
+        quantum: args.get_u64("quantum", 4096)?.max(1),
+        tenant_pending_steps: args.get_u64("tenant-budget", u64::MAX)?,
+    };
+
+    let pool = backend.build_pool(&g, app.as_ref(), seed, workers.max(1));
+    let mut service = WalkService::new(pool.iter().map(|e| e.as_ref()).collect(), cfg);
+
+    // Submit the whole trace, remembering each job's expected output shape
+    // for the exactly-once audit below.
+    let t_wall = Instant::now();
+    let mut handles = Vec::with_capacity(trace.len());
+    for job in &trace {
+        let queries = QuerySet::n_queries(&g, job.queries, job.length, job.seed);
+        let starts: Vec<u32> = queries.queries().iter().map(|q| q.start).collect();
+        let mut spec = JobSpec::tenant(job.tenant).weight(job.weight);
+        if let Some(d) = job.deadline {
+            spec = spec.deadline(d);
+        }
+        handles.push((service.submit(spec, queries), starts));
+    }
+    service.run_until_idle();
+    let wall_s = t_wall.elapsed().as_secs_f64();
+
+    // The soak audit: every job must have emitted exactly one path per
+    // query, in query order (fewer = dropped, more = duplicated, wrong
+    // start = misrouted). Deadline-expired jobs still flush every path.
+    let mut audited_paths = 0usize;
+    for (i, (job, starts)) in handles.iter().enumerate() {
+        let results = service
+            .take_results(*job)
+            .ok_or_else(|| format!("job #{i}: no result set"))?;
+        if results.len() != starts.len() {
+            return Err(format!(
+                "job #{i}: dropped or duplicated paths ({} emitted, {} queries)",
+                results.len(),
+                starts.len()
+            ));
+        }
+        for (qi, (&start, p)) in starts.iter().zip(results.iter()).enumerate() {
+            if p.first() != Some(&start) {
+                return Err(format!(
+                    "job #{i} query {qi}: path misrouted (starts at {:?}, expected {start})",
+                    p.first()
+                ));
+            }
+        }
+        audited_paths += results.len();
+    }
+
+    let stats = service.stats();
+    let mut out = format!(
+        "served {} jobs ({} tenants) over {} {} worker(s): \
+         {} steps in {:.3} ms wall ({:.2} M steps/s)\n",
+        trace.len(),
+        stats.tenants.len(),
+        pool.len(),
+        pool[0].label(),
+        stats.total_steps,
+        wall_s * 1e3,
+        if wall_s > 0.0 {
+            stats.total_steps as f64 / wall_s / 1e6
+        } else {
+            0.0
+        },
+    );
+    out += &format!(
+        "job latency p50 {:.3} ms, p99 {:.3} ms; scheduler turns {}\n",
+        stats.p50_latency_s * 1e3,
+        stats.p99_latency_s * 1e3,
+        stats.ticks,
+    );
+    out += "tenant   jobs done/cancel/expire        steps      steps/s\n";
+    for t in &stats.tenants {
+        out += &format!(
+            "{:<8} {:>6} {:>4}/{:>6}/{:>6} {:>12} {:>12.0}\n",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.cancelled,
+            t.expired,
+            t.steps,
+            t.steps_per_sec(),
+        );
+    }
+    out += &format!(
+        "audit: {} jobs, {} paths — no dropped or duplicated paths",
+        trace.len(),
+        audited_paths
+    );
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -418,6 +568,97 @@ mod tests {
         assert!(out.contains("batches"), "{out}");
         // Unknown engines surface the parse error.
         let err = run("walk", &parse(&[&gpath, "--engine", "fpga"])).unwrap_err();
+        assert!(err.contains("unknown --engine"), "{err}");
+    }
+
+    #[test]
+    fn serve_replays_a_spec_file_and_audits_paths() {
+        let gpath = tmp("serve.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let spec = tmp("serve_spec.json");
+        std::fs::write(
+            &spec,
+            r#"{ "jobs": [
+                {"tenant": 0, "queries": 16, "length": 6},
+                {"tenant": 0, "queries": 8, "length": 4, "weight": 2},
+                {"tenant": 1, "queries": 12, "length": 5, "seed": 9}
+            ] }"#,
+        )
+        .unwrap();
+        let out = run(
+            "serve",
+            &parse(&[
+                &gpath,
+                "--jobs",
+                &spec,
+                "--engine",
+                "reference",
+                "--workers",
+                "2",
+                "--quantum",
+                "7",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("served 3 jobs (2 tenants)"), "{out}");
+        assert!(out.contains("no dropped or duplicated paths"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+    }
+
+    #[test]
+    fn serve_synthesizes_traces_and_respects_quotas() {
+        let gpath = tmp("serve_syn.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "rmat", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let out = run(
+            "serve",
+            &parse(&[
+                &gpath,
+                "--synthetic-tenants",
+                "3",
+                "--jobs-per-tenant",
+                "2",
+                "--queries",
+                "10",
+                "--length",
+                "4",
+                "--engine",
+                "cpu",
+                "--tenant-budget",
+                "40",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("served 6 jobs (3 tenants)"), "{out}");
+        assert!(out.contains("audit: 6 jobs"), "{out}");
+    }
+
+    #[test]
+    fn serve_surfaces_spec_errors() {
+        let gpath = tmp("serve_err.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "6", "-o", &gpath]),
+        )
+        .unwrap();
+        let err = run("serve", &parse(&[&gpath])).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let spec = tmp("bad_spec.json");
+        std::fs::write(&spec, r#"{"jobs": [{"tenant": 0}]}"#).unwrap();
+        let err = run("serve", &parse(&[&gpath, "--jobs", &spec])).unwrap_err();
+        assert!(err.contains("required"), "{err}");
+        let err = run(
+            "serve",
+            &parse(&[&gpath, "--synthetic-tenants", "1", "--engine", "fpga"]),
+        )
+        .unwrap_err();
         assert!(err.contains("unknown --engine"), "{err}");
     }
 

@@ -115,6 +115,16 @@ impl<'g> LightRwCluster<'g> {
         self.boards.len()
     }
 
+    /// The boards as a service worker pool: hand this to
+    /// [`lightrw_walker::service::WalkService::new`] to serve concurrent
+    /// multi-tenant jobs over the cluster instead of running one
+    /// partitioned batch ([`LightRwCluster::run`]). Jobs land on boards
+    /// least-loaded-first and advance as weighted-fair interleaved
+    /// sessions (DESIGN.md §7).
+    pub fn workers(&self) -> Vec<&dyn WalkEngine> {
+        self.boards.iter().map(|b| b.as_ref()).collect()
+    }
+
     /// Execute a workload across the cluster: every board runs its
     /// round-robin partition as a batched session, advanced in
     /// interleaved turns until all boards drain.
@@ -234,6 +244,40 @@ mod tests {
         assert_eq!(cluster.boards.len(), 1);
         let ratio = cluster.kernel_s / plain.seconds;
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn cluster_boards_serve_multi_tenant_jobs() {
+        use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+        // The §7 serving story: the same boards that run partitioned
+        // batches also serve as a WalkService pool — here one simulated
+        // board and one CPU board share three tenants' jobs.
+        let g = DatasetProfile::youtube().stand_in(9, 6);
+        let cpu_cfg = BaselineConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let boards: Vec<Box<dyn WalkEngine + '_>> = vec![
+            Box::new(LightRwSim::new(&g, &Uniform, LightRwConfig::default())),
+            Box::new(CpuEngine::new(&g, &Uniform, cpu_cfg)),
+        ];
+        let cluster = LightRwCluster::from_engines(&g, boards);
+        let mut service = WalkService::new(cluster.workers(), ServiceConfig::default());
+        let qs = QuerySet::n_queries(&g, 60, 6, 3);
+        let jobs: Vec<_> = (0..3)
+            .map(|t| service.submit(JobSpec::tenant(t), qs.clone()))
+            .collect();
+        service.run_until_idle();
+        let stats = service.stats();
+        assert_eq!(stats.completed_jobs, 3);
+        assert_eq!(stats.tenants.len(), 3);
+        for job in jobs {
+            let results = service.take_results(job).unwrap();
+            assert_eq!(results.len(), qs.len());
+            for p in results.iter() {
+                validate_path(&g, &Uniform, p).unwrap();
+            }
+        }
     }
 
     #[test]

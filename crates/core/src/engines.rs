@@ -75,6 +75,31 @@ impl Backend {
             }
         }
     }
+
+    /// Build a pool of `workers` independent engines of this backend —
+    /// the worker set a `lightrw_walker::service::WalkService` schedules
+    /// over. Each worker gets a seed derived from `seed` (the same
+    /// derivation the multi-board cluster uses), so their walk streams
+    /// are decorrelated while the pool as a whole stays reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn build_pool<'g>(
+        &self,
+        graph: &'g Graph,
+        app: &'g dyn WalkApp,
+        seed: u64,
+        workers: usize,
+    ) -> Vec<Box<dyn WalkEngine + 'g>> {
+        assert!(workers >= 1, "a service pool needs at least one worker");
+        (0..workers)
+            .map(|w| {
+                let worker_seed = seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                self.build(graph, app, worker_seed)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +121,44 @@ mod tests {
             Ok(Backend::Reference { .. })
         ));
         assert!(Backend::parse("fpga").unwrap_err().contains("--engine"));
+    }
+
+    #[test]
+    fn pools_build_decorrelated_workers_for_every_backend() {
+        let g = generators::rmat_dataset(7, 5);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 2);
+        for name in ["sim", "cpu", "reference"] {
+            let pool = Backend::parse(name).unwrap().build_pool(&g, &Uniform, 3, 3);
+            assert_eq!(pool.len(), 3, "{name}");
+            let runs: Vec<_> = pool.iter().map(|e| e.run_collected(&qs)).collect();
+            for r in &runs {
+                assert_eq!(r.len(), qs.len(), "{name}");
+            }
+            // Derived seeds: distinct workers sample distinct walks.
+            assert_ne!(runs[0], runs[1], "{name}: workers share a seed");
+        }
+    }
+
+    #[test]
+    fn pool_workers_serve_a_walk_service() {
+        use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+        let g = generators::rmat_dataset(7, 8);
+        let pool = Backend::parse("reference")
+            .unwrap()
+            .build_pool(&g, &Uniform, 11, 2);
+        let workers: Vec<&dyn WalkEngine> = pool.iter().map(|e| e.as_ref()).collect();
+        let mut service = WalkService::new(workers, ServiceConfig::default());
+        let qs = QuerySet::per_nonisolated_vertex(&g, 5, 4);
+        let a = service.submit(JobSpec::tenant(0), qs.clone());
+        let b = service.submit(JobSpec::tenant(1), qs.clone());
+        service.run_until_idle();
+        for job in [a, b] {
+            let results = service.take_results(job).unwrap();
+            assert_eq!(results.len(), qs.len());
+            for p in results.iter() {
+                validate_path(&g, &Uniform, p).unwrap();
+            }
+        }
     }
 
     #[test]

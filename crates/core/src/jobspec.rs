@@ -1,0 +1,480 @@
+//! Job-trace specs for the `serve` subcommand.
+//!
+//! A trace is a JSON document describing the jobs a
+//! [`lightrw_walker::service::WalkService`] replays against a graph:
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     {"tenant": 0, "queries": 64, "length": 20},
+//!     {"tenant": 1, "queries": 32, "length": 10, "weight": 2,
+//!      "seed": 7, "deadline": 0.25}
+//!   ]
+//! }
+//! ```
+//!
+//! `tenant`, `queries` and `length` are required; `weight` defaults to 1,
+//! `seed` to the job's index, and `deadline` (model-or-wall seconds) to
+//! none. A bare top-level array is accepted as shorthand for the object
+//! form. Numeric fields are strictly validated: negatives, fractions and
+//! out-of-range values are errors, never silent truncations — in
+//! particular `seed` must stay ≤ 2^53, the largest integer a JSON double
+//! carries exactly.
+//!
+//! The vendored `serde_json` stand-in only serializes (see DESIGN.md §4),
+//! so parsing is a small recursive-descent reader over exactly the JSON
+//! subset above — objects, arrays, numbers, strings, booleans and null —
+//! with line-precise errors. [`synthetic_trace`] generates the homogeneous
+//! traces the CI soak and the saturation bench replay.
+
+use std::fmt::Write as _;
+
+/// One job of a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceJob {
+    /// Quota/accounting tenant.
+    pub tenant: u32,
+    /// Fair-share weight (≥ 1).
+    pub weight: u32,
+    /// Number of walk queries (distinct start vertices, cycling).
+    pub queries: usize,
+    /// Requested walk length (steps).
+    pub length: u32,
+    /// Start-vertex shuffle seed.
+    pub seed: u64,
+    /// Optional deadline in model-or-wall seconds.
+    pub deadline: Option<f64>,
+}
+
+/// A homogeneous trace: `jobs_per_tenant` jobs for each of `tenants`
+/// tenants, every job `queries` × `length` steps, with per-job derived
+/// seeds — the workload shape the `service-soak` CI step and the
+/// `service_saturation` bench sweep replay.
+pub fn synthetic_trace(
+    tenants: u32,
+    jobs_per_tenant: usize,
+    queries: usize,
+    length: u32,
+) -> Vec<TraceJob> {
+    (0..tenants)
+        .flat_map(|tenant| {
+            (0..jobs_per_tenant).map(move |j| TraceJob {
+                tenant,
+                weight: 1,
+                queries,
+                length,
+                // Distinct per (tenant, job) and comfortably below the
+                // spec format's 2^53 exact-seed ceiling for any tenant id
+                // (collisions would need > 2^20 jobs per tenant).
+                seed: ((tenant as u64) << 20) + j as u64,
+                deadline: None,
+            })
+        })
+        .collect()
+}
+
+/// Render a trace as the JSON document [`parse_trace`] reads.
+pub fn to_json(jobs: &[TraceJob]) -> String {
+    let mut out = String::from("{\n  \"jobs\": [\n");
+    for (i, j) in jobs.iter().enumerate() {
+        let sep = if i + 1 < jobs.len() { "," } else { "" };
+        let deadline = j
+            .deadline
+            .map(|d| format!(", \"deadline\": {d}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    {{\"tenant\": {}, \"weight\": {}, \"queries\": {}, \"length\": {}, \
+             \"seed\": {}{deadline}}}{sep}",
+            j.tenant, j.weight, j.queries, j.length, j.seed
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a trace document. Errors carry the offending line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceJob>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after the trace document"));
+    }
+    let jobs_value = match root {
+        Value::Array(items) => items,
+        Value::Object(fields) => {
+            let jobs = fields
+                .into_iter()
+                .find(|(k, _)| k == "jobs")
+                .ok_or("trace object needs a \"jobs\" array")?
+                .1;
+            match jobs {
+                Value::Array(items) => items,
+                _ => return Err("\"jobs\" must be an array".into()),
+            }
+        }
+        _ => return Err("trace must be an object with \"jobs\" or a bare array".into()),
+    };
+    jobs_value
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| trace_job(i, v))
+        .collect()
+}
+
+/// Largest `queries` value a spec may request: beyond ~16M queries per
+/// job the workload is a config mistake, not a trace (and `as`-casting
+/// arbitrary doubles would silently saturate instead of erroring).
+const MAX_QUERIES_PER_JOB: u64 = 1 << 24;
+
+/// Largest `seed` a spec may carry: JSON numbers parse through f64,
+/// which represents integers exactly only up to 2^53 — and 2^53 itself
+/// must be excluded, because 2^53 + 1 rounds *to* 2^53 during parsing
+/// and would otherwise slip through the equality-based checks.
+const MAX_EXACT_SEED: u64 = (1 << 53) - 1;
+
+fn trace_job(index: usize, v: Value) -> Result<TraceJob, String> {
+    let Value::Object(fields) = v else {
+        return Err(format!("job #{index}: expected an object"));
+    };
+    let mut job = TraceJob {
+        tenant: 0,
+        weight: 1,
+        queries: 0,
+        length: 0,
+        seed: index as u64,
+        deadline: None,
+    };
+    let (mut saw_tenant, mut saw_queries, mut saw_length) = (false, false, false);
+    for (key, value) in fields {
+        let num = |what: &str| match value {
+            Value::Number(n) => Ok(n),
+            _ => Err(format!("job #{index}: {what} must be a number")),
+        };
+        // Checked integer extraction: rejects negatives, fractions and
+        // out-of-range values instead of silently truncating them.
+        let int = |what: &str, max: u64| -> Result<u64, String> {
+            let n = num(what)?;
+            if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= max as f64) {
+                return Err(format!(
+                    "job #{index}: {what} must be an integer in 0..={max} (got {n})"
+                ));
+            }
+            Ok(n as u64)
+        };
+        match key.as_str() {
+            "tenant" => {
+                job.tenant = int("tenant", u32::MAX as u64)? as u32;
+                saw_tenant = true;
+            }
+            "weight" => job.weight = (int("weight", u32::MAX as u64)? as u32).max(1),
+            "queries" => {
+                job.queries = int("queries", MAX_QUERIES_PER_JOB)? as usize;
+                saw_queries = true;
+            }
+            "length" => {
+                job.length = int("length", u32::MAX as u64)? as u32;
+                saw_length = true;
+            }
+            // Numbers travel through f64, which is exact only up to 2^53;
+            // larger seeds would be silently rounded, so reject them.
+            "seed" => job.seed = int("seed", MAX_EXACT_SEED)?,
+            "deadline" => {
+                let d = num("deadline")?;
+                if !(d.is_finite() && d >= 0.0) {
+                    return Err(format!(
+                        "job #{index}: deadline must be a non-negative number of seconds"
+                    ));
+                }
+                job.deadline = Some(d);
+            }
+            other => return Err(format!("job #{index}: unknown field {other:?}")),
+        }
+    }
+    if !(saw_tenant && saw_queries && saw_length) {
+        return Err(format!(
+            "job #{index}: \"tenant\", \"queries\" and \"length\" are required"
+        ));
+    }
+    if job.queries == 0 || job.length == 0 {
+        return Err(format!(
+            "job #{index}: \"queries\" and \"length\" must be positive \
+             (zero-length walk queries are rejected set-wide)"
+        ));
+    }
+    Ok(job)
+}
+
+/// Minimal JSON value tree (objects keep insertion order).
+enum Value {
+    Null,
+    Bool(#[allow(dead_code)] bool),
+    Number(f64),
+    String(#[allow(dead_code)] String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        let line = 1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        format!("trace line {line}: {msg}")
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Number)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        // Accumulate raw bytes: unescaped spans are copied verbatim (the
+        // input is a &str, so they are valid UTF-8 already) and escapes
+        // only ever insert ASCII, so the final from_utf8 cannot fail.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(String::from_utf8(out).expect("copied valid UTF-8"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    out.push(match esc {
+                        b'"' => b'"',
+                        b'\\' => b'\\',
+                        b'/' => b'/',
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        _ => return Err(self.err("unsupported string escape")),
+                    });
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_object_form_with_all_fields() {
+        let jobs = parse_trace(
+            r#"{ "jobs": [
+                {"tenant": 0, "queries": 64, "length": 20},
+                {"tenant": 1, "weight": 2, "queries": 32, "length": 10,
+                 "seed": 7, "deadline": 0.25}
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(
+            jobs[0],
+            TraceJob {
+                tenant: 0,
+                weight: 1,
+                queries: 64,
+                length: 20,
+                seed: 0,
+                deadline: None
+            }
+        );
+        assert_eq!(jobs[1].weight, 2);
+        assert_eq!(jobs[1].seed, 7);
+        assert_eq!(jobs[1].deadline, Some(0.25));
+    }
+
+    #[test]
+    fn parses_bare_array_form() {
+        let jobs = parse_trace(r#"[{"tenant": 3, "queries": 1, "length": 5}]"#).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].tenant, 3);
+    }
+
+    #[test]
+    fn roundtrips_through_to_json() {
+        let mut trace = synthetic_trace(3, 2, 16, 8);
+        trace[4].deadline = Some(1.5);
+        trace[5].weight = 4;
+        let parsed = parse_trace(&to_json(&trace)).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn synthetic_trace_covers_all_tenants_with_distinct_seeds() {
+        let trace = synthetic_trace(4, 3, 8, 10);
+        assert_eq!(trace.len(), 12);
+        let mut seeds: Vec<u64> = trace.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "per-job seeds must be distinct");
+        for t in 0..4u32 {
+            assert_eq!(trace.iter().filter(|j| j.tenant == t).count(), 3);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_field_context() {
+        let err = parse_trace("{\n  \"jobs\": [\n    {\"tenant\": }\n  ]\n}").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let err = parse_trace(r#"{"jobs": [{"tenant": 0, "queries": 4}]}"#).unwrap_err();
+        assert!(err.contains("required"), "{err}");
+        let err =
+            parse_trace(r#"{"jobs": [{"tenant": 0, "queries": 4, "length": 0}]}"#).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_trace(r#"{"jobs": [{"nope": 1}]}"#).unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
+        let err = parse_trace("[1, 2]").unwrap_err();
+        assert!(err.contains("expected an object"), "{err}");
+        // Checked integer extraction: negatives, fractions and absurd
+        // magnitudes are rejected, never silently truncated.
+        for bad in [
+            r#"[{"tenant": -1, "queries": 4, "length": 5}]"#,
+            r#"[{"tenant": 0, "queries": 2.7, "length": 5}]"#,
+            r#"[{"tenant": 0, "queries": 1e12, "length": 5}]"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "weight": 5000000000}]"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline": -2}]"#,
+            // Above 2^53 a JSON double can no longer carry the seed
+            // exactly; rejected rather than silently rounded.
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "seed": 9007199254740993}]"#,
+        ] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("must be"), "{bad}: {err}");
+        }
+        // Non-ASCII field names survive into the error message intact.
+        let err = parse_trace("[{\"t\u{e9}nant\": 1}]").unwrap_err();
+        assert!(err.contains("t\u{e9}nant"), "{err}");
+        let err = parse_trace("42").unwrap_err();
+        assert!(err.contains("bare array"), "{err}");
+        let err = parse_trace("{\"jobs\": []} extra").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+    }
+}

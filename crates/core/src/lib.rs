@@ -49,6 +49,7 @@ pub mod accelerator;
 pub mod cli;
 pub mod cluster;
 pub mod engines;
+pub mod jobspec;
 pub mod pcie;
 pub mod platform;
 pub mod power;
@@ -70,6 +71,12 @@ pub use lightrw_rng as rng;
 pub use lightrw_sampling as sampling;
 pub use lightrw_walker as walker;
 
+/// The multi-tenant serving layer (DESIGN.md §7), re-exported from
+/// `lightrw_walker::service`: schedule concurrent [`service::WalkService`]
+/// jobs over any pool of engines — including [`Backend::build_pool`]
+/// workers and [`LightRwCluster::workers`] boards.
+pub use lightrw_walker::service;
+
 /// One-line imports for applications and examples.
 pub mod prelude {
     pub use crate::accelerator::LightRw;
@@ -82,8 +89,9 @@ pub mod prelude {
     pub use lightrw_hwsim::{LightRwConfig, LightRwSim, SimReport};
     pub use lightrw_memsim::{BurstConfig, CachePolicy, DramConfig};
     pub use lightrw_walker::{
-        BatchProgress, CountingSink, HotStepper, MetaPath, Node2Vec, Query, QuerySet,
-        ReferenceEngine, SamplerKind, StaticWeighted, Uniform, WalkApp, WalkEngine, WalkEngineExt,
-        WalkResults, WalkSession, WalkSink, WeightProfile,
+        BatchProgress, CountingSink, HotStepper, JobId, JobSpec, JobStatus, MetaPath, Node2Vec,
+        Query, QuerySet, ReferenceEngine, SamplerKind, ServiceConfig, ServiceStats, StaticWeighted,
+        TenantId, TenantStats, Uniform, WalkApp, WalkEngine, WalkEngineExt, WalkResults,
+        WalkService, WalkSession, WalkSink, WeightProfile,
     };
 }

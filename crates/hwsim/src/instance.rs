@@ -582,6 +582,38 @@ mod tests {
     }
 
     #[test]
+    fn cancel_before_first_advance_emits_each_start_once() {
+        // Empty-batch cancel at instance granularity, including queries
+        // beyond the admission window (`max_inflight`): admitted and
+        // never-admitted queries alike flush as start-only paths, exactly
+        // once, with zero latency and zero cycles.
+        let g = generators::rmat_dataset(7, 6);
+        let qs = QuerySet::n_queries(&g, 64, 10, 4);
+        let narrow = LightRwConfig {
+            max_inflight: 4, // most queries never enter the pipeline
+            ..small_cfg()
+        };
+        let inst = Instance::new(&g, &Uniform, narrow, 5);
+        let mut session = inst.session(&qs);
+        let progress = {
+            let mut results = WalkResults::new();
+            let p = session.cancel(&mut results);
+            assert_eq!(results.len(), qs.len());
+            for (q, path) in qs.queries().iter().zip(results.iter()) {
+                assert_eq!(path, &[q.start]);
+            }
+            p
+        };
+        assert!(progress.finished);
+        assert_eq!(progress.steps, 0);
+        assert_eq!(progress.paths_completed, qs.len());
+        assert_eq!(session.cycles(), 0, "no event executed, no model time");
+        let report = session.into_report();
+        assert_eq!(report.steps, 0);
+        assert!(report.latencies.iter().all(|&l| l == 0));
+    }
+
+    #[test]
     fn pipelined_beats_staged_flow() {
         // The core paper claim (Fig. 13 WRS bar): the fine-grained
         // pipeline must be substantially faster than the staged flow.

@@ -333,6 +333,73 @@ mod tests {
     }
 
     #[test]
+    fn cancel_before_first_advance_flushes_start_only_paths() {
+        // The empty-batch cancel contract (DESIGN.md §6): cancelling a
+        // session that never advanced emits every query exactly once as a
+        // start-vertex-only path, with zero steps and zero model time —
+        // identical to the software engines' behaviour (the cross-engine
+        // pin lives in tests/engine_agreement.rs).
+        let g = generators::rmat_dataset(7, 8);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 9, 3);
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::default());
+        let mut session = sim.session(&qs);
+        let mut results = WalkResults::new();
+        let progress = session.cancel(&mut results);
+        assert!(progress.finished);
+        assert_eq!(progress.paths_completed, qs.len());
+        assert_eq!(progress.steps, 0);
+        assert_eq!(results.len(), qs.len());
+        for (q, p) in qs.queries().iter().zip(results.iter()) {
+            assert_eq!(p, &[q.start], "start-only partial path");
+        }
+        assert_eq!(session.steps_done(), 0);
+        assert_eq!(session.model_seconds(), Some(0.0), "no event ever popped");
+        // Per-instance latency accounting stays all-zero too.
+        let report = session.into_report(results);
+        assert!(report.latencies.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn interleaved_sessions_share_the_board_weighted_fairly() {
+        // Session fairness under multi-tenant interleaving: two jobs on
+        // one simulated board, scheduled by the service's deficit
+        // round-robin with 3:1 weights, must execute steps in ~that ratio
+        // while both stay active — and both model clocks must advance
+        // (neither tenant starves the other off the simulated hardware).
+        use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+        let g = generators::rmat_dataset(9, 11);
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::single_instance());
+        let workers: Vec<&dyn WalkEngine> = vec![&sim];
+        let mut service = WalkService::new(
+            workers,
+            ServiceConfig {
+                quantum: 64,
+                ..Default::default()
+            },
+        );
+        let heavy = service.submit(
+            JobSpec::tenant(0).weight(3),
+            QuerySet::n_queries(&g, 256, 200, 1),
+        );
+        let light = service.submit(
+            JobSpec::tenant(1).weight(1),
+            QuerySet::n_queries(&g, 256, 200, 2),
+        );
+        for _ in 0..80 {
+            service.tick();
+        }
+        assert!(service.job_steps(heavy) > 0 && service.job_steps(light) > 0);
+        let ratio = service.job_steps(heavy) as f64 / service.job_steps(light) as f64;
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "weighted interleaving off: heavy/light = {ratio:.2}"
+        );
+        // Both sessions carry their own model clock forward.
+        assert!(service.job_clock_s(heavy) > 0.0);
+        assert!(service.job_clock_s(light) > 0.0);
+    }
+
+    #[test]
     fn sim_session_reports_model_time() {
         let g = generators::rmat_dataset(8, 7);
         let qs = QuerySet::per_nonisolated_vertex(&g, 4, 2);

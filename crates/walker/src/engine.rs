@@ -124,7 +124,11 @@ pub struct BatchProgress {
 ///   predecessors finish.
 /// - [`WalkSession::cancel`] finalizes every unfinished walk at its
 ///   current position and emits it, preserving the one-emission
-///   guarantee; the session is finished afterwards.
+///   guarantee; the session is finished afterwards. This holds for the
+///   **empty batch** too: cancelling before the first `advance` emits one
+///   start-vertex-only path per query, with zero steps and (for modelled
+///   engines) zero model time — identically on every backend
+///   (`tests/engine_agreement.rs` pins the cross-engine equality).
 /// - Batch boundaries never change sampled walks: the RNG draw order is
 ///   identical to the engine's monolithic `run` for every `max_steps`
 ///   schedule.
@@ -476,6 +480,26 @@ mod tests {
         let again = session.cancel(&mut results);
         assert_eq!(again.paths_completed, 0);
         assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn cancel_before_first_advance_emits_start_only_paths() {
+        // Empty-batch cancel (DESIGN.md §6): nothing has stepped, so the
+        // partial flush is one start-vertex path per query, exactly once.
+        let g = generators::rmat_dataset(7, 6);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 12, 5);
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 8);
+        let mut session = engine.start_session(&qs);
+        let mut results = WalkResults::new();
+        let progress = session.cancel(&mut results);
+        assert!(progress.finished);
+        assert_eq!(progress.steps, 0);
+        assert_eq!(progress.paths_completed, qs.len());
+        assert_eq!(results.len(), qs.len());
+        for (q, p) in qs.queries().iter().zip(results.iter()) {
+            assert_eq!(p, &[q.start]);
+        }
+        assert_eq!(session.steps_done(), 0);
     }
 
     #[test]

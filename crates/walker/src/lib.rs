@@ -25,6 +25,11 @@
 //!   [`engine::WalkSink`] (DESIGN.md §6). The CPU baseline
 //!   (`lightrw-baseline`) and the accelerator model (`lightrw-hwsim`)
 //!   implement the same trait.
+//! - [`service`] multiplexes many concurrent tenant jobs onto a shared
+//!   pool of those engines: [`service::WalkService`] schedules per-job
+//!   sessions with weighted-fair deficit round-robin, per-tenant
+//!   admission quotas, cancellation/deadlines, and a
+//!   [`service::ServiceStats`] snapshot (DESIGN.md §7).
 //! - [`crate::reference`] is a simple sequential engine over any sampler — the
 //!   correctness oracle every other engine is tested against; it doubles
 //!   as the fully incremental [`engine::WalkEngine`] implementation.
@@ -60,6 +65,7 @@ pub mod membership;
 pub mod path;
 pub mod query;
 pub mod reference;
+pub mod service;
 pub mod stats;
 
 pub use app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp, WeightProfile};
@@ -73,3 +79,6 @@ pub use membership::NeighborBitset;
 pub use path::WalkResults;
 pub use query::{Query, QuerySet};
 pub use reference::{AnySampler, ReferenceEngine, SamplerKind};
+pub use service::{
+    JobId, JobSpec, JobStatus, ServiceConfig, ServiceStats, TenantId, TenantStats, WalkService,
+};

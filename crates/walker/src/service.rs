@@ -1,0 +1,1000 @@
+//! Multi-tenant walk serving: many concurrent jobs over a shared engine
+//! pool.
+//!
+//! The ROADMAP's target is a server, not a batch harness: many independent
+//! clients submit walk workloads at once and share the execution
+//! resources. ThunderRW and the paper's Query Controller both get their
+//! throughput from *interleaving* — many walks in flight on one engine —
+//! and the session layer (DESIGN.md §6) exposes exactly the seam needed to
+//! extend that idea across jobs: a [`crate::engine::WalkSession`] advances
+//! in bounded batches, so a scheduler can multiplex any number of jobs
+//! onto a pool of engines one batch at a time.
+//!
+//! [`WalkService`] is that scheduler (DESIGN.md §7):
+//!
+//! - **Jobs.** A [`JobSpec`] names a tenant, a fair-share `weight`, and an
+//!   optional `deadline`; [`WalkService::submit`] pairs it with a
+//!   [`QuerySet`] and a per-job sink. Each job runs as one session on one
+//!   pool worker (least-loaded placement at submit time).
+//! - **Weighted-fair interleaving.** Each [`WalkService::tick`] serves the
+//!   next job in a deficit round-robin ring: the job's credit grows by
+//!   `quantum × weight` and the session advances with the credit as its
+//!   step budget; executed steps are charged back. Budgets are per engine
+//!   lane, so a multi-lane backend can overshoot — the charge drives the
+//!   credit negative and the job skips turns until repaid. Over any
+//!   window where a set of jobs stays active, executed steps therefore
+//!   converge to the ratio of their weights regardless of lane counts
+//!   (fairness is defined in steps, the unit all backends share —
+//!   model-clock engines and wall-clock engines multiplex on equal
+//!   terms).
+//! - **Quotas and backpressure.** Per tenant, at most
+//!   [`ServiceConfig::tenant_pending_steps`] requested-but-unfinished
+//!   steps may be admitted; jobs beyond the budget wait in a FIFO queue
+//!   (other tenants' jobs overtake a quota-blocked head, so one tenant's
+//!   backlog never stalls another).
+//! - **Cancellation.** [`WalkService::cancel`] flushes the job's partial
+//!   paths through its own sink (each exactly once — the session-cancel
+//!   contract) and releases its quota; other jobs are untouched. Deadlines
+//!   do the same automatically when a job's clock (model seconds where the
+//!   backend has a timing model, its accumulated wall service time
+//!   otherwise) passes `deadline`.
+//! - **Observability.** [`WalkService::stats`] snapshots per-tenant
+//!   steps/s, queue depths and p50/p99 completed-job latency
+//!   ([`ServiceStats`]).
+//!
+//! ```
+//! use lightrw_graph::GraphBuilder;
+//! use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+//! use lightrw_walker::{QuerySet, ReferenceEngine, SamplerKind, Uniform, WalkEngine};
+//!
+//! let g = GraphBuilder::directed()
+//!     .num_vertices(3)
+//!     .edges(vec![(0, 1), (1, 2), (2, 0)])
+//!     .build();
+//! let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 1);
+//! let workers: Vec<&dyn WalkEngine> = vec![&engine];
+//! let mut service = WalkService::new(workers, ServiceConfig::default());
+//!
+//! let a = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0, 1], 4));
+//! let b = service.submit(JobSpec::tenant(1), QuerySet::from_starts(vec![2], 4));
+//! service.run_until_idle();
+//!
+//! assert_eq!(service.take_results(a).unwrap().len(), 2);
+//! assert_eq!(service.take_results(b).unwrap().len(), 1);
+//! assert_eq!(service.stats().completed_jobs, 2);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use crate::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
+use crate::path::WalkResults;
+use crate::query::QuerySet;
+
+/// A tenant identity: jobs with the same id share one quota and one row in
+/// [`ServiceStats`].
+pub type TenantId = u32;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Deficit added per scheduler turn for a weight-1 job, in step
+    /// attempts per engine lane (the [`crate::engine::WalkSession::advance`]
+    /// budget unit). Larger quanta amortize batch overhead; smaller quanta
+    /// tighten the fairness granularity.
+    pub quantum: u64,
+    /// Per-tenant admission budget: the sum of *requested* steps of a
+    /// tenant's admitted-but-unfinished jobs never exceeds this. A job
+    /// larger than the whole budget is still admitted once the tenant has
+    /// nothing else in flight (so an oversized job degrades to serial
+    /// execution instead of deadlocking).
+    pub tenant_pending_steps: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            quantum: 4096,
+            tenant_pending_steps: u64::MAX,
+        }
+    }
+}
+
+/// What a client asks for, independent of the query payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Quota/accounting identity.
+    pub tenant: TenantId,
+    /// Fair-share weight (≥ 1; 0 is clamped to 1). A weight-3 job receives
+    /// 3× the steps of a weight-1 job while both are active.
+    pub weight: u32,
+    /// Optional latency budget in the job's clock (model seconds for
+    /// engines with a timing model, accumulated wall service seconds
+    /// otherwise). When exceeded, the job is cancelled with its partial
+    /// paths flushed, and reported as [`JobStatus::Expired`].
+    pub deadline: Option<f64>,
+}
+
+impl JobSpec {
+    /// A weight-1, no-deadline job for `tenant`.
+    pub fn tenant(tenant: TenantId) -> Self {
+        Self {
+            tenant,
+            weight: 1,
+            deadline: None,
+        }
+    }
+
+    /// Set the fair-share weight.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the deadline (model-or-wall seconds).
+    pub fn deadline(mut self, seconds: f64) -> Self {
+        self.deadline = Some(seconds);
+        self
+    }
+}
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(u32);
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Queued; not yet admitted (tenant quota or submission order).
+    Waiting,
+    /// Admitted; its session advances in scheduler turns.
+    Running,
+    /// Every path emitted at full length (or natural dead end).
+    Completed,
+    /// Cancelled by the client; partial paths were flushed.
+    Cancelled,
+    /// Deadline exceeded; partial paths were flushed.
+    Expired,
+}
+
+impl JobStatus {
+    /// True once the job will never emit again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Self::Completed | Self::Cancelled | Self::Expired)
+    }
+}
+
+/// Where a job's paths go.
+enum JobSink<'s> {
+    /// Service-owned collecting sink, retrievable via
+    /// [`WalkService::take_results`].
+    Collect(WalkResults),
+    /// Caller-provided streaming sink.
+    External(Box<dyn WalkSink + 's>),
+}
+
+impl JobSink<'_> {
+    fn as_sink(&mut self) -> &mut dyn WalkSink {
+        match self {
+            Self::Collect(results) => results,
+            Self::External(sink) => &mut **sink,
+        }
+    }
+}
+
+/// One job's scheduler state.
+struct JobEntry<'s> {
+    tenant: TenantId,
+    weight: u64,
+    deadline: Option<f64>,
+    /// Query payload, kept until the session starts (and for
+    /// cancel-while-waiting, which still emits one path per query).
+    queries: Option<QuerySet>,
+    /// Requested steps, charged against the tenant quota while admitted.
+    requested_steps: u64,
+    worker: usize,
+    status: JobStatus,
+    session: Option<Box<dyn WalkSession + 's>>,
+    sink: JobSink<'s>,
+    /// Deficit round-robin credit, in steps. Signed: multi-lane engines
+    /// execute up to `lanes × budget` steps per `advance`, and the
+    /// overshoot is *borrowed* — the credit goes negative and the job
+    /// skips turns until repaid — so long-run step shares follow the
+    /// weights whatever each backend's lane count is.
+    credit: i64,
+    /// Wall seconds this job's `advance`/`cancel` calls consumed.
+    service_secs: f64,
+    /// The job's clock at termination (model-or-wall; see [`JobSpec`]).
+    final_clock: Option<f64>,
+    submitted_at: Instant,
+    /// Wall seconds from submission to termination.
+    latency_s: Option<f64>,
+    steps: u64,
+    paths: usize,
+    results_taken: bool,
+}
+
+impl JobEntry<'_> {
+    /// The job's clock: model seconds when the backend has a timing model,
+    /// accumulated wall service seconds otherwise.
+    fn clock(&self) -> f64 {
+        self.final_clock.unwrap_or_else(|| {
+            self.session
+                .as_ref()
+                .and_then(|s| s.model_seconds())
+                .unwrap_or(self.service_secs)
+        })
+    }
+}
+
+/// Outcome of one scheduler turn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickOutcome {
+    /// The job served this turn; `None` when nothing was runnable.
+    pub job: Option<JobId>,
+    /// The served session's batch progress (zeroed when idle).
+    pub progress: BatchProgress,
+}
+
+/// Per-tenant service counters (one [`ServiceStats`] row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Jobs ever submitted.
+    pub submitted: usize,
+    /// Jobs completed at full length.
+    pub completed: usize,
+    /// Jobs cancelled by the client.
+    pub cancelled: usize,
+    /// Jobs terminated by their deadline.
+    pub expired: usize,
+    /// Jobs currently running.
+    pub running: usize,
+    /// Jobs queued behind the quota (the backpressure depth).
+    pub waiting: usize,
+    /// Requested steps currently admitted (quota in use).
+    pub pending_steps: u64,
+    /// Steps executed across all of the tenant's jobs.
+    pub steps: u64,
+    /// Model-or-wall seconds consumed across the tenant's jobs.
+    pub service_secs: f64,
+}
+
+impl TenantStats {
+    /// Executed steps per model-or-wall second of service time.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.service_secs > 0.0 {
+            self.steps as f64 / self.service_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Per-tenant rows, ascending tenant id.
+    pub tenants: Vec<TenantStats>,
+    /// Scheduler turns taken so far (idle turns excluded).
+    pub ticks: u64,
+    /// Steps executed across all jobs.
+    pub total_steps: u64,
+    /// Jobs currently admitted.
+    pub running_jobs: usize,
+    /// Jobs queued for admission.
+    pub waiting_jobs: usize,
+    /// Jobs that reached [`JobStatus::Completed`].
+    pub completed_jobs: usize,
+    /// Median submit→terminate latency over terminated jobs, wall
+    /// seconds (0 when none terminated yet).
+    pub p50_latency_s: f64,
+    /// 99th-percentile submit→terminate latency, wall seconds.
+    pub p99_latency_s: f64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (`q` in `[0, 1]`);
+/// 0 for an empty slice. Backs the [`ServiceStats`] latency percentiles;
+/// public so consumers can derive other quantiles from their own latency
+/// samples with the same convention.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The multi-tenant scheduler over a pool of engines. See the module docs
+/// for the scheduling model.
+///
+/// # Job retention
+///
+/// Job records are kept for the service's lifetime so [`JobId`]s stay
+/// valid, but heavy state is released as jobs retire: the per-session
+/// engine state (SoA buffers, DRAM models) drops at termination and a
+/// collecting job's paths are freed by [`WalkService::take_results`].
+/// What remains per terminal job is a small constant-size accounting
+/// record; a service that must bound even that should be recreated per
+/// epoch (ids are not meaningful across instances anyway).
+pub struct WalkService<'s> {
+    workers: Vec<&'s dyn WalkEngine>,
+    /// Jobs assigned per worker (running or waiting), for placement.
+    worker_load: Vec<usize>,
+    cfg: ServiceConfig,
+    jobs: Vec<JobEntry<'s>>,
+    /// Deficit round-robin ring of running jobs.
+    ring: VecDeque<JobId>,
+    /// Admission queue, submission order.
+    waiting: VecDeque<JobId>,
+    /// Requested steps currently admitted per tenant (the quota in use),
+    /// maintained incrementally so admission never rescans the job list.
+    pending: HashMap<TenantId, u64>,
+    ticks: u64,
+}
+
+impl<'s> WalkService<'s> {
+    /// Create a service over `workers`. The pool is any mix of backends —
+    /// every worker is just a [`WalkEngine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pool or a zero `cfg.quantum`.
+    pub fn new(workers: Vec<&'s dyn WalkEngine>, cfg: ServiceConfig) -> Self {
+        assert!(!workers.is_empty(), "service needs at least one worker");
+        assert!(cfg.quantum >= 1, "quantum must be at least 1 step");
+        let worker_load = vec![0; workers.len()];
+        Self {
+            workers,
+            worker_load,
+            cfg,
+            jobs: Vec::new(),
+            ring: VecDeque::new(),
+            waiting: VecDeque::new(),
+            pending: HashMap::new(),
+            ticks: 0,
+        }
+    }
+
+    /// Number of pool workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job whose paths are collected service-side; retrieve them
+    /// with [`WalkService::take_results`] once terminal.
+    pub fn submit(&mut self, spec: JobSpec, queries: QuerySet) -> JobId {
+        let sink = JobSink::Collect(WalkResults::with_capacity(
+            queries.len(),
+            queries
+                .queries()
+                .first()
+                .map_or(1, |q| q.length as usize + 1),
+        ));
+        self.submit_with_sink(spec, queries, sink)
+    }
+
+    /// Submit a job that streams paths into a caller-provided sink (each
+    /// path exactly once, in query-id order — the session contract).
+    pub fn submit_streaming(
+        &mut self,
+        spec: JobSpec,
+        queries: QuerySet,
+        sink: Box<dyn WalkSink + 's>,
+    ) -> JobId {
+        self.submit_with_sink(spec, queries, JobSink::External(sink))
+    }
+
+    fn submit_with_sink(&mut self, spec: JobSpec, queries: QuerySet, sink: JobSink<'s>) -> JobId {
+        // Least-loaded placement, ties to the lowest worker index.
+        let worker = (0..self.workers.len())
+            .min_by_key(|&w| self.worker_load[w])
+            .expect("non-empty pool");
+        self.worker_load[worker] += 1;
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(JobEntry {
+            tenant: spec.tenant,
+            weight: spec.weight.max(1) as u64,
+            deadline: spec.deadline,
+            requested_steps: queries.total_steps(),
+            queries: Some(queries),
+            worker,
+            status: JobStatus::Waiting,
+            session: None,
+            sink,
+            credit: 0,
+            service_secs: 0.0,
+            final_clock: None,
+            submitted_at: Instant::now(),
+            latency_s: None,
+            steps: 0,
+            paths: 0,
+            results_taken: false,
+        });
+        self.waiting.push_back(id);
+        self.admit();
+        id
+    }
+
+    /// Move every admissible waiting job into the run ring. FIFO per
+    /// tenant; a quota-blocked job does not block other tenants behind it.
+    fn admit(&mut self) {
+        let mut still_waiting = VecDeque::new();
+        // Tenants already skipped this pass: keeps per-tenant FIFO order
+        // (a tenant's later job must not overtake its blocked earlier one).
+        let mut blocked_tenants = Vec::new();
+        while let Some(id) = self.waiting.pop_front() {
+            let tenant = self.jobs[id.0 as usize].tenant;
+            if blocked_tenants.contains(&tenant) {
+                still_waiting.push_back(id);
+                continue;
+            }
+            let pending = self.pending.get(&tenant).copied().unwrap_or(0);
+            let job = &mut self.jobs[id.0 as usize];
+            let fits = pending.saturating_add(job.requested_steps) <= self.cfg.tenant_pending_steps
+                || pending == 0; // an oversized lone job must not deadlock
+            if !fits {
+                blocked_tenants.push(tenant);
+                still_waiting.push_back(id);
+                continue;
+            }
+            let queries = job.queries.take().expect("waiting job keeps its queries");
+            job.session = Some(self.workers[job.worker].start_session(&queries));
+            job.status = JobStatus::Running;
+            *self.pending.entry(tenant).or_insert(0) += job.requested_steps;
+            self.ring.push_back(id);
+        }
+        self.waiting = still_waiting;
+    }
+
+    /// Serve one scheduler turn: the next job in the deficit round-robin
+    /// ring advances with its accumulated deficit as the step budget.
+    /// Returns what ran; `job: None` means the service is idle (nothing
+    /// running or admissible).
+    pub fn tick(&mut self) -> TickOutcome {
+        self.admit();
+        let Some(id) = self.ring.pop_front() else {
+            return TickOutcome {
+                job: None,
+                progress: BatchProgress::default(),
+            };
+        };
+        self.ticks += 1;
+        let job = &mut self.jobs[id.0 as usize];
+        let grant = self.cfg.quantum.saturating_mul(job.weight);
+        job.credit = job.credit.saturating_add(grant.min(i64::MAX as u64) as i64);
+        if job.credit <= 0 {
+            // Still repaying an earlier multi-lane overshoot: this turn
+            // only accrues credit, so lane-rich jobs cannot outrun the
+            // weighted share.
+            self.ring.push_back(id);
+            return TickOutcome {
+                job: Some(id),
+                progress: BatchProgress::default(),
+            };
+        }
+        let session = job.session.as_mut().expect("running job has a session");
+        let t = Instant::now();
+        let progress = session.advance(job.credit as u64, job.sink.as_sink());
+        job.service_secs += t.elapsed().as_secs_f64();
+        // Charge executed steps (at least one per served turn, so
+        // dead-end-only batches still drain the credit). The budget is
+        // per engine lane, so a multi-lane backend may overshoot; the
+        // signed credit carries that debt into the following turns.
+        let charge = progress.steps.max(1).min(i64::MAX as u64) as i64;
+        job.credit = job.credit.saturating_sub(charge);
+        job.steps += progress.steps;
+        job.paths += progress.paths_completed;
+        if progress.finished {
+            self.finish(id, JobStatus::Completed);
+        } else if job.deadline.is_some_and(|d| job.clock() > d) {
+            self.terminate(id, JobStatus::Expired);
+        } else {
+            self.ring.push_back(id);
+        }
+        TickOutcome {
+            job: Some(id),
+            progress,
+        }
+    }
+
+    /// Drive ticks until no job is running or admissible.
+    pub fn run_until_idle(&mut self) {
+        while self.tick().job.is_some() {}
+    }
+
+    /// True when nothing is running and nothing waits for admission.
+    pub fn is_idle(&self) -> bool {
+        self.ring.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Cancel a job: its unfinished walks are finalized where they stand
+    /// and flushed through its sink (each exactly once), its quota is
+    /// released, and nothing else is touched. Cancelling a waiting job
+    /// starts-and-cancels its session, so it still emits one start-vertex
+    /// path per query — the cancel-before-first-`advance` contract every
+    /// engine shares (DESIGN.md §6). Terminal jobs are left unchanged.
+    pub fn cancel(&mut self, id: JobId) {
+        match self.jobs[id.0 as usize].status {
+            JobStatus::Waiting => {
+                let job = &mut self.jobs[id.0 as usize];
+                let queries = job.queries.take().expect("waiting job keeps its queries");
+                job.session = Some(self.workers[job.worker].start_session(&queries));
+                self.waiting.retain(|&w| w != id);
+                self.terminate(id, JobStatus::Cancelled);
+            }
+            JobStatus::Running => {
+                self.ring.retain(|&r| r != id);
+                self.terminate(id, JobStatus::Cancelled);
+            }
+            _ => {}
+        }
+    }
+
+    /// Flush a job's session via `cancel` and record it terminal with
+    /// `status`. The caller has already detached `id` from ring/queue.
+    fn terminate(&mut self, id: JobId, status: JobStatus) {
+        let job = &mut self.jobs[id.0 as usize];
+        let session = job.session.as_mut().expect("terminating job has a session");
+        let t = Instant::now();
+        let progress = session.cancel(job.sink.as_sink());
+        job.service_secs += t.elapsed().as_secs_f64();
+        job.paths += progress.paths_completed;
+        self.finish(id, status);
+    }
+
+    /// Record a job terminal: latency, final clock, load release. Admits
+    /// newly fitting jobs (quota was freed).
+    fn finish(&mut self, id: JobId, status: JobStatus) {
+        let job = &mut self.jobs[id.0 as usize];
+        // Only admitted jobs hold quota; a cancelled-while-waiting job
+        // reaches here straight from `Waiting` and never charged any.
+        if job.status == JobStatus::Running {
+            let pending = self
+                .pending
+                .get_mut(&job.tenant)
+                .expect("running job holds tenant quota");
+            *pending = pending.saturating_sub(job.requested_steps);
+        }
+        job.status = status;
+        job.latency_s = Some(job.submitted_at.elapsed().as_secs_f64());
+        job.final_clock = Some(
+            job.session
+                .as_ref()
+                .and_then(|s| s.model_seconds())
+                .unwrap_or(job.service_secs),
+        );
+        // The session borrows the engine, not the service, so it could
+        // stay; dropping it eagerly releases per-session state (SoA
+        // buffers, DRAM models) as jobs retire.
+        job.session = None;
+        self.worker_load[job.worker] -= 1;
+        self.admit();
+    }
+
+    /// A job's current status.
+    pub fn status(&self, id: JobId) -> JobStatus {
+        self.jobs[id.0 as usize].status
+    }
+
+    /// Steps a job has executed so far.
+    pub fn job_steps(&self, id: JobId) -> u64 {
+        self.jobs[id.0 as usize].steps
+    }
+
+    /// Paths a job has emitted so far.
+    pub fn job_paths(&self, id: JobId) -> usize {
+        self.jobs[id.0 as usize].paths
+    }
+
+    /// Submit→terminate wall latency of a terminal job.
+    pub fn job_latency_s(&self, id: JobId) -> Option<f64> {
+        self.jobs[id.0 as usize].latency_s
+    }
+
+    /// Model-or-wall seconds the job consumed (see [`JobSpec::deadline`]).
+    pub fn job_clock_s(&self, id: JobId) -> f64 {
+        self.jobs[id.0 as usize].clock()
+    }
+
+    /// Take a collecting job's results once it is terminal. `None` for
+    /// streaming jobs, non-terminal jobs, or results already taken.
+    pub fn take_results(&mut self, id: JobId) -> Option<WalkResults> {
+        let job = &mut self.jobs[id.0 as usize];
+        if !job.status.is_terminal() || job.results_taken {
+            return None;
+        }
+        match &mut job.sink {
+            // (`mem::replace` with a fresh empty set, not `mem::take`:
+            // the derived `Default` has no leading offset sentinel.)
+            JobSink::Collect(results) => {
+                job.results_taken = true;
+                Some(std::mem::replace(results, WalkResults::new()))
+            }
+            JobSink::External(_) => None,
+        }
+    }
+
+    /// Snapshot the service: per-tenant rates and depths, global latency
+    /// percentiles.
+    pub fn stats(&self) -> ServiceStats {
+        let mut tenants: Vec<TenantStats> = Vec::new();
+        let mut index: HashMap<TenantId, usize> = HashMap::new();
+        for job in &self.jobs {
+            let slot = *index.entry(job.tenant).or_insert_with(|| {
+                tenants.push(TenantStats {
+                    tenant: job.tenant,
+                    submitted: 0,
+                    completed: 0,
+                    cancelled: 0,
+                    expired: 0,
+                    running: 0,
+                    waiting: 0,
+                    pending_steps: 0,
+                    steps: 0,
+                    service_secs: 0.0,
+                });
+                tenants.len() - 1
+            });
+            let row = &mut tenants[slot];
+            row.submitted += 1;
+            row.steps += job.steps;
+            row.service_secs += job.clock();
+            match job.status {
+                JobStatus::Waiting => row.waiting += 1,
+                JobStatus::Running => {
+                    row.running += 1;
+                    row.pending_steps += job.requested_steps;
+                }
+                JobStatus::Completed => row.completed += 1,
+                JobStatus::Cancelled => row.cancelled += 1,
+                JobStatus::Expired => row.expired += 1,
+            }
+        }
+        tenants.sort_by_key(|t| t.tenant);
+        let mut latencies: Vec<f64> = self.jobs.iter().filter_map(|j| j.latency_s).collect();
+        latencies.sort_by(f64::total_cmp);
+        ServiceStats {
+            ticks: self.ticks,
+            total_steps: self.jobs.iter().map(|j| j.steps).sum(),
+            running_jobs: self.ring.len(),
+            waiting_jobs: self.waiting.len(),
+            completed_jobs: self
+                .jobs
+                .iter()
+                .filter(|j| j.status == JobStatus::Completed)
+                .count(),
+            p50_latency_s: quantile(&latencies, 0.50),
+            p99_latency_s: quantile(&latencies, 0.99),
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Uniform;
+    use crate::reference::{ReferenceEngine, SamplerKind};
+    use lightrw_graph::{generators, GraphBuilder};
+    use lightrw_graph::{Graph, VertexId};
+
+    fn ring_graph() -> Graph {
+        // Every vertex has exactly one out-neighbor: walks never dead-end
+        // and are deterministic, so step accounting is exact.
+        GraphBuilder::directed()
+            .num_vertices(4)
+            .edges(vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build()
+    }
+
+    fn reference(g: &Graph) -> ReferenceEngine<'_> {
+        ReferenceEngine::new(g, &Uniform, SamplerKind::InverseTransform, 7)
+    }
+
+    #[test]
+    fn jobs_complete_with_exact_results() {
+        let g = generators::rmat_dataset(7, 3);
+        let engine = reference(&g);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 2);
+        let mut service = WalkService::new(vec![&engine], ServiceConfig::default());
+        let job = service.submit(JobSpec::tenant(0), qs.clone());
+        assert_eq!(service.status(job), JobStatus::Running);
+        service.run_until_idle();
+        assert_eq!(service.status(job), JobStatus::Completed);
+        // A single job on a single worker is just a batched session, so
+        // results are bit-identical to the monolithic run.
+        assert_eq!(service.take_results(job).unwrap(), engine.run(&qs));
+        assert_eq!(service.take_results(job), None, "results taken once");
+    }
+
+    #[test]
+    fn interleaved_jobs_each_match_their_monolithic_run() {
+        let g = generators::rmat_dataset(7, 5);
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 3, // force many interleavings
+                ..Default::default()
+            },
+        );
+        let qa = QuerySet::per_nonisolated_vertex(&g, 5, 1);
+        let qb = QuerySet::per_nonisolated_vertex(&g, 8, 2);
+        let a = service.submit(JobSpec::tenant(0), qa.clone());
+        let b = service.submit(JobSpec::tenant(1), qb.clone());
+        service.run_until_idle();
+        assert_eq!(service.take_results(a).unwrap(), engine.run(&qa));
+        assert_eq!(service.take_results(b).unwrap(), engine.run(&qb));
+    }
+
+    #[test]
+    fn weighted_fairness_in_steps() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 8,
+                ..Default::default()
+            },
+        );
+        // Two long jobs; weight 3 vs 1. Stop while both still run.
+        let heavy = service.submit(
+            JobSpec::tenant(0).weight(3),
+            QuerySet::from_starts(vec![0; 64], 1000),
+        );
+        let light = service.submit(
+            JobSpec::tenant(1).weight(1),
+            QuerySet::from_starts(vec![1; 64], 1000),
+        );
+        for _ in 0..200 {
+            service.tick();
+        }
+        assert_eq!(service.status(heavy), JobStatus::Running);
+        assert_eq!(service.status(light), JobStatus::Running);
+        let ratio = service.job_steps(heavy) as f64 / service.job_steps(light) as f64;
+        assert!(
+            (2.4..3.6).contains(&ratio),
+            "weighted share off: heavy/light = {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn tenant_quota_backpressures_without_starving_others() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 16,
+                // Exactly one 10×10-step job per tenant in flight.
+                tenant_pending_steps: 100,
+            },
+        );
+        let qs = || QuerySet::from_starts(vec![0; 10], 10);
+        let a1 = service.submit(JobSpec::tenant(0), qs());
+        let a2 = service.submit(JobSpec::tenant(0), qs());
+        let b1 = service.submit(JobSpec::tenant(1), qs());
+        // Tenant 0's second job is quota-blocked; tenant 1 admits past it.
+        assert_eq!(service.status(a1), JobStatus::Running);
+        assert_eq!(service.status(a2), JobStatus::Waiting);
+        assert_eq!(service.status(b1), JobStatus::Running);
+        let depths = service.stats();
+        let t0 = &depths.tenants[0];
+        assert_eq!((t0.running, t0.waiting, t0.pending_steps), (1, 1, 100));
+        service.run_until_idle();
+        for j in [a1, a2, b1] {
+            assert_eq!(service.status(j), JobStatus::Completed);
+            assert_eq!(service.take_results(j).unwrap().len(), 10);
+        }
+    }
+
+    #[test]
+    fn oversized_job_admits_alone_instead_of_deadlocking() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 64,
+                tenant_pending_steps: 5, // smaller than any job below
+            },
+        );
+        let big = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0], 50));
+        let big2 = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![1], 50));
+        assert_eq!(service.status(big), JobStatus::Running, "lone job admits");
+        assert_eq!(service.status(big2), JobStatus::Waiting, "second waits");
+        service.run_until_idle();
+        assert_eq!(service.status(big2), JobStatus::Completed);
+    }
+
+    #[test]
+    fn cancel_flushes_partials_and_leaves_other_tenants_alone() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 4,
+                ..Default::default()
+            },
+        );
+        let doomed = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0; 4], 500));
+        let safe = service.submit(JobSpec::tenant(1), QuerySet::from_starts(vec![1; 4], 20));
+        for _ in 0..6 {
+            service.tick();
+        }
+        service.cancel(doomed);
+        assert_eq!(service.status(doomed), JobStatus::Cancelled);
+        let partial = service.take_results(doomed).unwrap();
+        assert_eq!(partial.len(), 4, "every query flushed exactly once");
+        assert!(partial.total_steps() < 4 * 500, "paths are partial");
+        // The other tenant's job is untouched and completes in full.
+        service.run_until_idle();
+        assert_eq!(service.status(safe), JobStatus::Completed);
+        let full = service.take_results(safe).unwrap();
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.total_steps(), 4 * 20);
+        // Cancelling a terminal job is a no-op.
+        service.cancel(doomed);
+        assert_eq!(service.status(doomed), JobStatus::Cancelled);
+    }
+
+    #[test]
+    fn cancel_while_waiting_emits_start_only_paths() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 8,
+                tenant_pending_steps: 10,
+            },
+        );
+        let running = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0], 10));
+        let queued = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![2, 3], 10));
+        assert_eq!(service.status(queued), JobStatus::Waiting);
+        service.cancel(queued);
+        assert_eq!(service.status(queued), JobStatus::Cancelled);
+        let flushed = service.take_results(queued).unwrap();
+        assert_eq!(flushed.len(), 2, "one path per query, exactly once");
+        assert_eq!(flushed.path(0), &[2], "start-only partial path");
+        assert_eq!(flushed.path(1), &[3]);
+        service.run_until_idle();
+        assert_eq!(service.status(running), JobStatus::Completed);
+    }
+
+    #[test]
+    fn deadline_expires_job_with_partial_flush() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 2,
+                ..Default::default()
+            },
+        );
+        // Wall-clock backend: any positive service time exceeds a zero
+        // deadline on the first turn.
+        let job = service.submit(
+            JobSpec::tenant(3).deadline(0.0),
+            QuerySet::from_starts(vec![0; 8], 1000),
+        );
+        service.run_until_idle();
+        assert_eq!(service.status(job), JobStatus::Expired);
+        let partial = service.take_results(job).unwrap();
+        assert_eq!(partial.len(), 8, "expiry still flushes every query once");
+        assert!(partial.total_steps() < 8 * 1000);
+        let stats = service.stats();
+        assert_eq!(stats.tenants[0].expired, 1);
+    }
+
+    #[test]
+    fn streaming_sink_receives_ordered_exactly_once_emissions() {
+        let g = generators::rmat_dataset(7, 9);
+        let engine = reference(&g);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 6);
+        let n = qs.len();
+        let mut seen: Vec<u32> = Vec::new();
+        {
+            let mut service = WalkService::new(
+                vec![&engine],
+                ServiceConfig {
+                    quantum: 5,
+                    ..Default::default()
+                },
+            );
+            let sink = Box::new(|id: u32, _p: &[VertexId]| seen.push(id));
+            let job = service.submit_streaming(JobSpec::tenant(0), qs, sink);
+            service.run_until_idle();
+            assert_eq!(service.status(job), JobStatus::Completed);
+            assert_eq!(service.job_paths(job), n);
+            assert_eq!(service.take_results(job), None, "streaming job");
+        }
+        let expect: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(seen, expect, "dense ascending ids, once each");
+    }
+
+    #[test]
+    fn pool_places_jobs_least_loaded() {
+        let g = ring_graph();
+        let e1 = reference(&g);
+        let e2 = ReferenceEngine::new(&g, &Uniform, SamplerKind::Alias, 9);
+        let mut service = WalkService::new(vec![&e1, &e2], ServiceConfig::default());
+        assert_eq!(service.num_workers(), 2);
+        for i in 0..4 {
+            service.submit(JobSpec::tenant(i), QuerySet::from_starts(vec![0], 5));
+        }
+        // 4 jobs over 2 workers → 2 each.
+        assert_eq!(service.worker_load, vec![2, 2]);
+        service.run_until_idle();
+        assert_eq!(service.worker_load, vec![0, 0]);
+        assert_eq!(service.stats().completed_jobs, 4);
+    }
+
+    #[test]
+    fn stats_snapshot_counts_and_percentiles() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(vec![&engine], ServiceConfig::default());
+        let a = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0; 3], 7));
+        let b = service.submit(JobSpec::tenant(1), QuerySet::from_starts(vec![1; 2], 9));
+        service.run_until_idle();
+        let stats = service.stats();
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.tenants[0].tenant, 0);
+        assert_eq!(stats.tenants[0].steps, 3 * 7);
+        assert_eq!(stats.tenants[1].steps, 2 * 9);
+        assert_eq!(stats.total_steps, 3 * 7 + 2 * 9);
+        assert_eq!(stats.completed_jobs, 2);
+        assert!(stats.p50_latency_s > 0.0);
+        assert!(stats.p99_latency_s >= stats.p50_latency_s);
+        assert!(stats.tenants[0].steps_per_sec() > 0.0);
+        for j in [a, b] {
+            assert!(service.job_latency_s(j).unwrap() > 0.0);
+            assert!(service.job_clock_s(j) > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_query_set_job_completes_and_takes_once() {
+        // An empty QuerySet is legal (only zero *length* is rejected);
+        // the job must terminate with zero paths, and take_results must
+        // still honour the take-once contract.
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(vec![&engine], ServiceConfig::default());
+        let job = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![], 5));
+        service.run_until_idle();
+        assert_eq!(service.status(job), JobStatus::Completed);
+        assert_eq!(service.job_steps(job), 0);
+        let results = service.take_results(job).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(service.take_results(job), None, "taken exactly once");
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert_eq!(quantile(&xs, 0.75), 3.0);
+        assert_eq!(quantile(&xs, 0.99), 4.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn idle_service_reports_idle_ticks() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(vec![&engine], ServiceConfig::default());
+        let out = service.tick();
+        assert_eq!(out.job, None);
+        assert!(service.is_idle());
+        assert_eq!(service.stats().ticks, 0, "idle turns are not counted");
+    }
+}

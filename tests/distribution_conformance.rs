@@ -1,0 +1,213 @@
+//! Statistical conformance: every engine samples the *specified*
+//! transition distribution, not merely a valid one.
+//!
+//! The bit-equivalence suites (`engine_agreement.rs`,
+//! `hotpath_equivalence.rs`) pin engines against each other; this suite
+//! pins them against **closed-form probabilities** derived by hand from
+//! the paper's weight rules on small fixed graphs — a chi-square
+//! goodness-of-fit of empirical next-hop frequencies for the uniform,
+//! static-weighted, and node2vec (p = 2, q = 0.5) samplers, run
+//! identically against all three engines and every sampler kind.
+//!
+//! ## Significance threshold (why this is not flaky)
+//!
+//! Every run uses a fixed seed, so each statistic below is a
+//! *deterministic number*, not a random variable: the assertions compare
+//! that number against `chi_square_crit_999(dof) × 1.2` — the ~99.9%
+//! critical value (Wilson–Hilferty approximation) with 20% headroom, the
+//! same convention the sampler unit tests use. A conforming sampler lands
+//! far below the bound with n = 30 000 draws; a systematically biased one
+//! (wrong weights, a broken lane merge, a misrouted prefix cache) lands
+//! orders of magnitude above it. Re-running can never flip the outcome;
+//! changing a seed moves the statistic by O(dof), far less than the
+//! headroom.
+
+use lightrw::prelude::*;
+use lightrw::rng::stats::{chi_square_counts, chi_square_crit_999};
+use lightrw_repro as _;
+
+const N_WALKS: usize = 30_000;
+
+const ALL_SAMPLERS: [SamplerKind; 5] = [
+    SamplerKind::InverseTransform,
+    SamplerKind::Alias,
+    SamplerKind::SequentialWrs,
+    SamplerKind::ParallelWrs { k: 4 },
+    SamplerKind::ParallelWrs { k: 16 },
+];
+
+/// Every engine × sampler combination under test: the reference oracle
+/// and the CPU engine with each sampler kind, plus the simulated
+/// accelerator (parallel WRS by construction).
+fn all_engines<'g>(g: &'g Graph, app: &'g dyn WalkApp) -> Vec<(String, Box<dyn WalkEngine + 'g>)> {
+    let mut engines: Vec<(String, Box<dyn WalkEngine + 'g>)> = Vec::new();
+    for (i, kind) in ALL_SAMPLERS.into_iter().enumerate() {
+        let seed = 100 + i as u64;
+        engines.push((
+            format!("reference/{}", kind.name()),
+            Box::new(ReferenceEngine::new(g, app, kind, seed)),
+        ));
+        let cfg = BaselineConfig {
+            threads: 4,
+            sampler: kind,
+            seed: 200 + i as u64,
+        };
+        engines.push((
+            format!("cpu/{}", kind.name()),
+            Box::new(CpuEngine::new(g, app, cfg)),
+        ));
+    }
+    engines.push((
+        "sim/parallel-wrs".to_string(),
+        Box::new(LightRwSim::new(
+            g,
+            app,
+            LightRwConfig {
+                seed: 300,
+                ..LightRwConfig::default()
+            },
+        )),
+    ));
+    engines
+}
+
+/// Assert empirical `counts` fit `probs` at the documented threshold.
+fn assert_fits(label: &str, what: &str, counts: &[u64], probs: &[f64]) {
+    let dof = probs.iter().filter(|&&p| p > 0.0).count() - 1;
+    let chi2 = chi_square_counts(counts, probs);
+    let crit = chi_square_crit_999(dof) * 1.2;
+    assert!(
+        chi2 < crit,
+        "{label} {what}: chi2 {chi2:.1} over threshold {crit:.1} (counts {counts:?})"
+    );
+}
+
+/// One-step empirical next-hop histogram from vertex 0 over 5 targets.
+fn one_step_counts(engine: &dyn WalkEngine) -> Vec<u64> {
+    let qs = QuerySet::from_starts(vec![0; N_WALKS], 1);
+    let results = engine.run_collected(&qs);
+    let mut counts = vec![0u64; 5];
+    for p in results.iter() {
+        assert_eq!(p.len(), 2, "one-step walk");
+        counts[p[1] as usize] += 1;
+    }
+    counts
+}
+
+/// A weighted fan: vertex 0 with out-edges of static weights 2, 3, 5, 10.
+fn weighted_fan() -> Graph {
+    GraphBuilder::directed()
+        .weighted_edges([(0, 1, 2), (0, 2, 3), (0, 3, 5), (0, 4, 10)])
+        .num_vertices(5)
+        .build()
+}
+
+#[test]
+fn uniform_sampler_conforms_on_every_engine() {
+    // The Uniform app ignores static weights entirely: the closed-form
+    // next-hop law on the weighted fan is uniform over the 4 targets.
+    // (Running it on a *weighted* graph makes the test sharp: an engine
+    // that wrongly consulted static weights would skew 2:3:5:10 and land
+    // ~3 orders of magnitude over the threshold.)
+    let g = weighted_fan();
+    let probs = [0.0, 1.0, 1.0, 1.0, 1.0];
+    for (label, engine) in all_engines(&g, &Uniform) {
+        let counts = one_step_counts(engine.as_ref());
+        assert_fits(&label, "uniform", &counts, &probs);
+    }
+}
+
+#[test]
+fn static_weighted_sampler_conforms_on_every_engine() {
+    // StaticWeighted: next-hop probability proportional to the static
+    // edge weight — 2 : 3 : 5 : 10 on the fan.
+    let g = weighted_fan();
+    let probs = [0.0, 2.0, 3.0, 5.0, 10.0];
+    for (label, engine) in all_engines(&g, &StaticWeighted) {
+        let counts = one_step_counts(engine.as_ref());
+        assert_fits(&label, "static-weighted", &counts, &probs);
+    }
+}
+
+#[test]
+fn node2vec_sampler_conforms_on_every_engine() {
+    // Node2Vec (p = 2, q = 0.5) on the "kite" graph, unit weights:
+    //
+    //      0 —— 1 —— 3
+    //       \  /
+    //        2
+    //
+    // Two-step walks from 0; the closed-form joint law of (v1, v2),
+    // derived by hand from Eq. 2:
+    //
+    // - Step 1 has no previous vertex, so it is static-uniform over
+    //   N(0) = {1, 2}: P(v1) = 1/2 each.
+    // - From v1 = 1 (prev 0), N(1) = {0, 2, 3}:
+    //     0 is the return edge        → w = 1/p = 1/2   (Eq. 2a)
+    //     2 is a neighbour of prev 0  → w = 1           (Eq. 2b)
+    //     3 is at distance 2 from 0   → w = 1/q = 2     (Eq. 2c)
+    //   normalized: P(0|1) = 1/7, P(2|1) = 2/7, P(3|1) = 4/7.
+    // - From v1 = 2 (prev 0), N(2) = {0, 1}:
+    //     0 return → 1/2; 1 neighbour of 0 → 1
+    //   normalized: P(0|2) = 1/3, P(1|2) = 2/3.
+    //
+    // Joint over the five reachable (v1, v2) pairs:
+    //   (1,0) = 1/14, (1,2) = 1/7, (1,3) = 2/7, (2,0) = 1/6, (2,1) = 1/3.
+    //
+    // Both scalings (1/p = 1/2, 1/q = 2) are exact in the 16-bit
+    // fixed-point weight representation, so the law above is exact, not
+    // approximate.
+    let g = GraphBuilder::undirected()
+        .edges([(0, 1), (0, 2), (1, 2), (1, 3)])
+        .build();
+    let nv = Node2Vec::paper_params(); // p = 2, q = 0.5
+    let pairs = [(1u32, 0u32), (1, 2), (1, 3), (2, 0), (2, 1)];
+    let probs = [1.0 / 14.0, 1.0 / 7.0, 2.0 / 7.0, 1.0 / 6.0, 1.0 / 3.0];
+    for (label, engine) in all_engines(&g, &nv) {
+        let qs = QuerySet::from_starts(vec![0; N_WALKS], 2);
+        let results = engine.run_collected(&qs);
+        let mut counts = vec![0u64; pairs.len()];
+        for p in results.iter() {
+            assert_eq!(p.len(), 3, "{label}: two-step walk on the kite");
+            let pair = (p[1], p[2]);
+            let slot = pairs
+                .iter()
+                .position(|&x| x == pair)
+                .unwrap_or_else(|| panic!("{label}: impossible transition {pair:?}"));
+            counts[slot] += 1;
+        }
+        assert_fits(&label, "node2vec", &counts, &probs);
+    }
+}
+
+#[test]
+fn conformance_holds_through_batched_service_scheduling() {
+    // The serving layer must not perturb distributions either: the same
+    // static-weighted fan, sampled through a WalkService with a tiny
+    // quantum (maximal interleaving of two concurrent tenants), matches
+    // the same closed-form law. (Scheduling never touches the RNG — this
+    // is the statistical restatement of the bit-identity contract.)
+    use lightrw::service::{JobSpec, ServiceConfig, WalkService};
+    let g = weighted_fan();
+    let probs = [0.0, 2.0, 3.0, 5.0, 10.0];
+    let engine = ReferenceEngine::new(&g, &StaticWeighted, SamplerKind::InverseTransform, 77);
+    let workers: Vec<&dyn WalkEngine> = vec![&engine];
+    let mut service = WalkService::new(
+        workers,
+        ServiceConfig {
+            quantum: 3,
+            ..Default::default()
+        },
+    );
+    let qs = QuerySet::from_starts(vec![0; N_WALKS / 2], 1);
+    let a = service.submit(JobSpec::tenant(0), qs.clone());
+    let b = service.submit(JobSpec::tenant(1), qs);
+    service.run_until_idle();
+    let mut counts = vec![0u64; 5];
+    for job in [a, b] {
+        for p in service.take_results(job).unwrap().iter() {
+            counts[p[1] as usize] += 1;
+        }
+    }
+    assert_fits("service/reference", "static-weighted", &counts, &probs);
+}

@@ -259,6 +259,54 @@ fn cancellation_flushes_partial_walks_on_every_backend() {
 }
 
 #[test]
+fn empty_batch_cancel_is_identical_across_backends() {
+    // Regression pin for the cancel-before-first-`advance` contract
+    // (DESIGN.md §6): with zero batches executed, cancel must flush one
+    // start-vertex-only path per query — the *same* result set on every
+    // backend, with identical BatchProgress, zero steps, and zero model
+    // time where a timing model exists. The serving layer relies on this
+    // when a queued job is cancelled before its first scheduler turn.
+    let g = DatasetProfile::youtube().stand_in(8, 2);
+    let qs = QuerySet::per_nonisolated_vertex(&g, 30, 7);
+    let engines: Vec<Box<dyn WalkEngine + '_>> = vec![
+        Box::new(ReferenceEngine::new(
+            &g,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            4,
+        )),
+        Box::new(CpuEngine::new(&g, &Uniform, BaselineConfig::default())),
+        Box::new(LightRwSim::new(&g, &Uniform, LightRwConfig::default())),
+    ];
+    let mut flushes: Vec<WalkResults> = Vec::new();
+    for engine in &engines {
+        let mut session = engine.start_session(&qs);
+        let mut results = WalkResults::new();
+        let progress = session.cancel(&mut results);
+        let label = engine.label();
+        assert!(progress.finished, "{label}");
+        assert_eq!(progress.steps, 0, "{label}");
+        assert_eq!(progress.paths_completed, qs.len(), "{label}");
+        assert_eq!(session.steps_done(), 0, "{label}");
+        assert_eq!(session.paths_completed(), qs.len(), "{label}");
+        if let Some(model_s) = session.model_seconds() {
+            assert_eq!(model_s, 0.0, "{label}: no work, no model time");
+        }
+        // Idempotent: a second cancel emits nothing more.
+        let again = session.cancel(&mut results);
+        assert_eq!(again.paths_completed, 0, "{label}");
+        assert_eq!(results.len(), qs.len(), "{label}");
+        flushes.push(results);
+    }
+    // The flush is bit-identical across backends: [start] per query.
+    assert_eq!(flushes[0], flushes[1]);
+    assert_eq!(flushes[1], flushes[2]);
+    for (q, p) in qs.queries().iter().zip(flushes[0].iter()) {
+        assert_eq!(p, &[q.start]);
+    }
+}
+
+#[test]
 fn step_counts_agree_between_results_and_reports() {
     let g = DatasetProfile::youtube().stand_in(9, 1);
     let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);

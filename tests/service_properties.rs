@@ -1,0 +1,189 @@
+//! Property tests for the multi-tenant service layer (DESIGN.md §7).
+//!
+//! Random job mixes — tenants, weights, workloads, quanta, quota budgets
+//! and cancel points — must always preserve the serving invariants:
+//!
+//! 1. **Exactly-once, id-ordered emission per job**: every job's sink
+//!    receives query ids `0..n`, dense and ascending, whether the job
+//!    completes, is cancelled mid-flight, or is cancelled while still
+//!    queued.
+//! 2. **Tenant isolation**: cancelling one tenant's jobs never drops,
+//!    duplicates or truncates another tenant's emissions, and never
+//!    changes another job's terminal status.
+//! 3. **Liveness**: whatever the quota budget, the scheduler drains every
+//!    job to a terminal state in bounded turns (no admission deadlock).
+//! 4. **Paths stay valid**: cancelled jobs flush walk *prefixes* — every
+//!    flushed path still validates against the app's weight rules.
+//!
+//! The vendored proptest stand-in is deterministic (fixed entropy, no
+//! shrinking), so failures reproduce exactly by case index.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lightrw::prelude::*;
+use lightrw::service::{JobSpec, ServiceConfig, WalkService};
+use lightrw::walker::path::validate_path;
+use lightrw_repro as _;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One generated job: (tenant, weight, queries, length, start-seed).
+type GenJob = (u32, u32, usize, u32, u64);
+
+/// Per-job emission log captured by a streaming sink.
+#[derive(Default)]
+struct EmissionLog {
+    ids: Vec<u32>,
+    paths: Vec<Vec<u32>>,
+}
+
+fn job_strategy() -> impl Strategy<Value = GenJob> {
+    (0u32..3, 1u32..4, 1usize..6, 1u32..9, 0u64..1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_job_mixes_preserve_service_invariants(
+        jobs in vec(job_strategy(), 1..8),
+        cancels in vec((0usize..8, 0usize..25), 0..4),
+        quantum in 1u64..40,
+        budget_scale in 1u64..30,
+        workers in 1usize..3,
+    ) {
+        let g = lightrw::graph::generators::rmat_dataset(6, 13);
+        // A mixed-backend pool: the reference oracle plus a 2-thread CPU
+        // engine, exercised through the same object-safe seam.
+        let reference = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 5);
+        let cpu = CpuEngine::new(
+            &g,
+            &Uniform,
+            BaselineConfig { threads: 2, ..Default::default() },
+        );
+        let pool: Vec<&dyn WalkEngine> = [&reference as &dyn WalkEngine, &cpu]
+            .into_iter()
+            .cycle()
+            .take(workers)
+            .collect();
+        let mut service = WalkService::new(
+            pool,
+            ServiceConfig {
+                quantum,
+                // Sometimes generous, sometimes tight enough to queue
+                // several jobs behind the per-tenant budget.
+                tenant_pending_steps: budget_scale * 4,
+            },
+        );
+
+        // Submit every job with a recording streaming sink.
+        let mut handles = Vec::new();
+        for &(tenant, weight, queries, length, seed) in &jobs {
+            let starts: Vec<u32> = (0..queries)
+                .map(|i| {
+                    let noniso = g.non_isolated_vertices();
+                    noniso[(seed as usize + i) % noniso.len()]
+                })
+                .collect();
+            let qs = QuerySet::from_starts(starts, length);
+            let log = Rc::new(RefCell::new(EmissionLog::default()));
+            let sink_log = Rc::clone(&log);
+            let sink = Box::new(move |id: u32, path: &[u32]| {
+                let mut log = sink_log.borrow_mut();
+                log.ids.push(id);
+                log.paths.push(path.to_vec());
+            });
+            let id = service.submit_streaming(JobSpec::tenant(tenant).weight(weight), qs, sink);
+            handles.push((id, queries, tenant, log));
+        }
+
+        // Interleave ticks with the generated cancellations (job indices
+        // wrap onto the submitted set; ticks may hit any phase: queued,
+        // running, already terminal).
+        let mut cancels = cancels.clone();
+        cancels.sort_by_key(|&(_, at_tick)| at_tick);
+        let mut cancelled_jobs = Vec::new();
+        let mut next_cancel = 0;
+        for tick_no in 0..25usize {
+            while next_cancel < cancels.len() && cancels[next_cancel].1 <= tick_no {
+                let (raw, _) = cancels[next_cancel];
+                let (id, _, tenant, _) = handles[raw % handles.len()];
+                if !service.status(id).is_terminal() {
+                    cancelled_jobs.push((id, tenant));
+                }
+                service.cancel(id);
+                next_cancel += 1;
+            }
+            service.tick();
+        }
+        // Liveness: draining must terminate in bounded turns whatever the
+        // quota/cancel interleaving did.
+        let mut guard = 0u32;
+        while !service.is_idle() {
+            service.tick();
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "scheduler failed to drain");
+        }
+
+        for (id, queries, _tenant, log) in &handles {
+            let status = service.status(*id);
+            prop_assert!(status.is_terminal(), "job not terminal at idle");
+            let log = log.borrow();
+            // Invariant 1: exactly-once, query-id-ordered emission.
+            let expect: Vec<u32> = (0..*queries as u32).collect();
+            prop_assert_eq!(&log.ids, &expect);
+            // Invariant 2/4: cancellation only ever shortens paths, and
+            // what is flushed is still a valid walk prefix.
+            for path in &log.paths {
+                prop_assert!(!path.is_empty());
+                prop_assert!(validate_path(&g, &Uniform, path).is_ok());
+            }
+            // Isolation: a job is Cancelled only if *it* was cancelled.
+            if status == JobStatus::Cancelled {
+                prop_assert!(
+                    cancelled_jobs.iter().any(|(c, _)| c == id),
+                    "job cancelled without a client cancel"
+                );
+            } else {
+                prop_assert_eq!(status, JobStatus::Completed);
+            }
+        }
+        prop_assert_eq!(service.stats().total_steps, {
+            let s: u64 = handles
+                .iter()
+                .map(|(_, _, _, log)| {
+                    log.borrow().paths.iter().map(|p| p.len() as u64 - 1).sum::<u64>()
+                })
+                .sum();
+            s
+        });
+    }
+
+    #[test]
+    fn random_batch_schedules_never_change_session_output(
+        budgets in vec(1u64..23, 1..40),
+        threads in 1usize..5,
+        length in 1u32..12,
+    ) {
+        // The session half of the layer, under service-shaped schedules:
+        // an arbitrary advance-budget sequence (resuming with u64::MAX
+        // once the generated schedule runs out) reproduces the monolithic
+        // run bit for bit on the CPU engine — the contract the scheduler's
+        // deficit-sized batches lean on.
+        let g = lightrw::graph::generators::rmat_dataset(6, 21);
+        let cfg = BaselineConfig { threads, ..Default::default() };
+        let engine = CpuEngine::new(&g, &Uniform, cfg);
+        let qs = QuerySet::per_nonisolated_vertex(&g, length, 9);
+        let (whole, _) = engine.run(&qs);
+        let mut batched = WalkResults::new();
+        let mut session = engine.start_session(&qs);
+        let mut i = 0;
+        while !session.finished() {
+            let budget = budgets.get(i).copied().unwrap_or(u64::MAX);
+            session.advance(budget, &mut batched);
+            i += 1;
+        }
+        prop_assert_eq!(whole, batched);
+    }
+}

@@ -22,6 +22,32 @@ fn facade_reexports_resolve() {
 }
 
 #[test]
+fn facade_service_layer_resolves() {
+    // The multi-tenant serving layer (DESIGN.md §7) through the facade:
+    // prelude names (WalkService, JobSpec, ServiceConfig) and the
+    // `lightrw::service` / `lightrw::jobspec` module re-exports.
+    let graph = GraphBuilder::directed()
+        .num_vertices(3)
+        .edges(vec![(0, 1), (1, 2), (2, 0)])
+        .build();
+    let engine = ReferenceEngine::new(&graph, &Uniform, SamplerKind::InverseTransform, 1);
+    let workers: Vec<&dyn WalkEngine> = vec![&engine];
+    let mut service = WalkService::new(workers, ServiceConfig::default());
+    let job = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0], 4));
+    service.run_until_idle();
+    assert_eq!(service.status(job), JobStatus::Completed);
+    assert_eq!(service.take_results(job).unwrap().len(), 1);
+
+    // The deeper module paths resolve too.
+    use lightrw_repro::lightrw::jobspec;
+    let trace = jobspec::synthetic_trace(2, 1, 4, 5);
+    let parsed = jobspec::parse_trace(&jobspec::to_json(&trace)).unwrap();
+    assert_eq!(parsed, trace);
+    let stats: lightrw_repro::lightrw::service::ServiceStats = service.stats();
+    assert_eq!(stats.completed_jobs, 1);
+}
+
+#[test]
 fn facade_platform_models_resolve() {
     // Deeper, non-prelude paths through the facade.
     use lightrw_repro::lightrw::{self, platform::AppKind};
