@@ -11,8 +11,8 @@ use std::time::{Duration, Instant};
 
 use lightrw_graph::{Graph, VertexId};
 use lightrw_rng::splitmix::mix64;
-use lightrw_walker::app::StepContext;
 use lightrw_walker::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
+use lightrw_walker::program::{StepOutcome, WalkProgram, WalkState};
 use lightrw_walker::{HotStepper, Query, QuerySet, SamplerKind, WalkApp, WalkResults};
 
 /// CPU engine configuration.
@@ -93,7 +93,11 @@ struct ChunkState {
     queries: Vec<Query>,
     cur: Vec<VertexId>,
     prev: Vec<Option<VertexId>>,
-    step: Vec<u32>,
+    /// Step budget consumed per query (moves + teleports).
+    taken: Vec<u32>,
+    /// Step index within the current restart segment (resets on teleport)
+    /// — the `t` the weight rules see.
+    seg: Vec<u32>,
     /// Output paths, preallocated to full length at setup — the step loop
     /// never allocates. A path's buffer is released (taken) once emitted.
     paths: Vec<Vec<VertexId>>,
@@ -118,7 +122,8 @@ impl ChunkState {
             stepper,
             cur: qs.iter().map(|q| q.start).collect(),
             prev: vec![None; qs.len()],
-            step: vec![0; qs.len()],
+            taken: vec![0; qs.len()],
+            seg: vec![0; qs.len()],
             paths: qs
                 .iter()
                 .map(|q| {
@@ -134,13 +139,16 @@ impl ChunkState {
         }
     }
 
-    /// Advance this worker's queries round-robin, one step per visit —
-    /// ThunderRW's step-centric interleaving — for up to `budget` visits.
-    /// The visit order is identical to the pre-session engine's nested
-    /// sweep loop for every budget schedule (the cursor persists across
-    /// calls), so batching never changes a sampled walk. Returns steps
-    /// executed (dead-end visits consume budget but no step).
-    fn advance(&mut self, budget: u64, g: &Graph, app: &dyn WalkApp) -> u64 {
+    /// Advance this worker's queries round-robin, one step attempt per
+    /// visit — ThunderRW's step-centric interleaving — for up to `budget`
+    /// visits, each attempt one turn of the shared [`WalkProgram`] state
+    /// machine. The visit order is identical to the pre-session engine's
+    /// nested sweep loop for every budget schedule (the cursor persists
+    /// across calls), so batching never changes a sampled walk. Returns
+    /// steps executed (truncating dead-end and target-at-start visits
+    /// consume budget but no step; teleports count as steps, keeping
+    /// step totals equal to emitted path lengths).
+    fn advance(&mut self, budget: u64, g: &Graph, app: &dyn WalkApp, program: &WalkProgram) -> u64 {
         let mut attempts = 0u64;
         let mut steps = 0u64;
         while attempts < budget && !self.active.is_empty() {
@@ -148,21 +156,26 @@ impl ChunkState {
                 self.cursor = 0; // new sweep
             }
             let qi = self.active[self.cursor];
-            let ctx = StepContext {
-                step: self.step[qi],
+            let q = self.queries[qi];
+            let mut st = WalkState {
                 cur: self.cur[qi],
                 prev: self.prev[qi],
+                taken: self.taken[qi],
+                seg: self.seg[qi],
             };
-            let done = match self.stepper.step(g, app, ctx) {
-                Some(next) => {
+            let outcome = program.step_attempt(g, app, &mut self.stepper, &q, &mut st);
+            self.cur[qi] = st.cur;
+            self.prev[qi] = st.prev;
+            self.taken[qi] = st.taken;
+            self.seg[qi] = st.seg;
+            let done = match outcome {
+                StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
                     steps += 1;
-                    self.paths[qi].push(next);
-                    self.prev[qi] = Some(self.cur[qi]);
-                    self.cur[qi] = next;
-                    self.step[qi] += 1;
-                    self.step[qi] >= self.queries[qi].length
+                    let v = outcome.appended(q.start).expect("advancing outcome");
+                    self.paths[qi].push(v);
+                    done
                 }
-                None => true, // dead end
+                StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
             };
             if done {
                 self.done[qi] = true;
@@ -240,6 +253,7 @@ impl WalkEngine for CpuEngine<'_> {
 pub struct CpuSession<'s> {
     graph: &'s Graph,
     app: &'s dyn WalkApp,
+    program: WalkProgram,
     chunks: Vec<ChunkState>,
     /// Queries per chunk (all chunks but the last).
     chunk_len: usize,
@@ -268,6 +282,7 @@ impl<'s> CpuSession<'s> {
         Self {
             graph: engine.graph,
             app: engine.app,
+            program: queries.program().clone(),
             chunks,
             chunk_len,
             total: qs.len(),
@@ -299,6 +314,7 @@ impl WalkSession for CpuSession<'_> {
     fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
         let budget = max_steps.max(1);
         let (graph, app) = (self.graph, self.app);
+        let program = &self.program;
         let busy = self.chunks.iter().filter(|c| !c.active.is_empty()).count();
         let batch_steps: u64 = if busy > 1 {
             // One scoped thread per chunk with remaining work — the same
@@ -309,7 +325,7 @@ impl WalkSession for CpuSession<'_> {
                     .chunks
                     .iter_mut()
                     .filter(|c| !c.active.is_empty())
-                    .map(|c| scope.spawn(move || c.advance(budget, graph, app)))
+                    .map(|c| scope.spawn(move || c.advance(budget, graph, app, program)))
                     .collect();
                 handles
                     .into_iter()
@@ -319,7 +335,7 @@ impl WalkSession for CpuSession<'_> {
         } else {
             self.chunks
                 .iter_mut()
-                .map(|c| c.advance(budget, graph, app))
+                .map(|c| c.advance(budget, graph, app, program))
                 .sum()
         };
         self.steps_done += batch_steps;

@@ -38,6 +38,14 @@
 //! adapter as `tests/hotpath_equivalence.rs` does, or drop the graph's
 //! prefix cache.
 //!
+//! Walk **control flow** — restarts, target termination, dead-end
+//! policies — comes from the query set's
+//! [`lightrw_walker::program::WalkProgram`] (DESIGN.md §8): each worker
+//! visit runs one `step_attempt` of the shared program state machine, so
+//! PPR and target-terminated workloads interleave step-centrically
+//! exactly like fixed-length ones, and fixed-length programs stay
+//! bit-identical to the pre-program engine.
+//!
 //! [`CpuEngine`] also implements the engine-agnostic
 //! `lightrw_walker::WalkEngine` trait (DESIGN.md §6): all mutable walk
 //! state lives in a per-session [`CpuSession`] (so sessions are

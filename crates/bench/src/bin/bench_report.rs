@@ -22,17 +22,30 @@
 //! is exactly the regression this artifact is meant to catch — while the
 //! p50/p99 rows track how tail latency degrades with contention.
 //!
+//! A third file, `BENCH_programs.json` (`--out-programs PATH`), carries
+//! the `program_mix` scenario: the walk-program surface (DESIGN.md §8) —
+//! fixed-length, PPR restarts, dead-end restarts, target termination —
+//! measured per program × backend on one workload, so control-flow
+//! overhead on the hot path (the restart draw, the target probe) shows up
+//! as a steps/s delta against the fixed-length row.
+//!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
+//! cargo run --release -p lightrw-bench --bin bench_report -- program_mix --quick
 //! cargo run --release -p lightrw-bench --bin bench_report -- --scale 13 \
 //!     --baseline BENCH_before.json --out BENCH_hotpath.json
 //! ```
+//!
+//! Positional arguments select scenarios (`hotpath`, `service`,
+//! `program_mix`); none selects the default `hotpath` + `service` pair,
+//! and each scenario writes only its own JSON file.
 //!
 //! `--baseline PATH` embeds the `throughput` rows of a previous report (a
 //! file this binary wrote) under `"baseline"`, giving one file with
 //! machine-readable before/after numbers.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use lightrw::graph::generators::rmat_dataset;
@@ -81,7 +94,11 @@ struct ReportOpts {
     quick: bool,
     out: String,
     out_service: String,
+    out_programs: String,
     baseline: Option<String>,
+    /// Scenario names to run (`hotpath`, `service`, `program_mix`);
+    /// empty = the default `hotpath` + `service` pair.
+    scenarios: Vec<String>,
 }
 
 impl ReportOpts {
@@ -92,10 +109,13 @@ impl ReportOpts {
             quick: false,
             out: "BENCH_hotpath.json".to_string(),
             out_service: "BENCH_service.json".to_string(),
+            out_programs: "BENCH_programs.json".to_string(),
             baseline: None,
+            scenarios: Vec::new(),
         };
-        const USAGE: &str =
-            "options: --scale N --seed N --quick --out PATH --out-service PATH --baseline PATH";
+        const USAGE: &str = "usage: bench_report [hotpath|service|program_mix ...] \
+             --scale N --seed N --quick --out PATH --out-service PATH \
+             --out-programs PATH --baseline PATH";
         fn die(msg: &str) -> ! {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -125,19 +145,30 @@ impl ReportOpts {
                 "--quick" => o.quick = true,
                 "--out" => o.out = value(&args, &mut i, "--out"),
                 "--out-service" => o.out_service = value(&args, &mut i, "--out-service"),
+                "--out-programs" => o.out_programs = value(&args, &mut i, "--out-programs"),
                 "--baseline" => o.baseline = Some(value(&args, &mut i, "--baseline")),
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                other => die(&format!("unknown option {other}")),
+                name @ ("hotpath" | "service" | "program_mix") => {
+                    o.scenarios.push(name.to_string())
+                }
+                other => die(&format!("unknown option or scenario {other}")),
             }
             i += 1;
         }
         if o.quick {
             o.scale = o.scale.min(10);
         }
+        if o.scenarios.is_empty() {
+            o.scenarios = vec!["hotpath".to_string(), "service".to_string()];
+        }
         o
+    }
+
+    fn runs(&self, scenario: &str) -> bool {
+        self.scenarios.iter().any(|s| s == scenario)
     }
 }
 
@@ -411,6 +442,94 @@ fn measure_service_saturation(
     }
 }
 
+/// One program × engine row of the `program_mix` scenario.
+struct ProgramRow {
+    program: String,
+    engine: &'static str,
+    steps: u64,
+    paths: usize,
+    secs: f64,
+}
+
+impl ProgramRow {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"program\": \"{}\", \"engine\": \"{}\", \"steps\": {}, \"paths\": {}, \
+             \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
+            self.program,
+            self.engine,
+            self.steps,
+            self.paths,
+            self.secs,
+            self.steps_per_sec()
+        )
+    }
+}
+
+/// The `program_mix` scenario: the composable walk-program surface
+/// (DESIGN.md §8) on one workload — fixed-length (the control row), PPR
+/// restarts, dead-end restarts and target termination — per backend.
+/// Control flow rides the same hot path as the fixed walk, so the
+/// fixed-vs-program steps/s gap isolates the cost of the restart draw
+/// and the target probe.
+fn measure_program_mix(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<ProgramRow>) {
+    let cap = if opts.quick { 16 } else { 64 };
+    let targets = Arc::new(NeighborBitset::from_members(
+        g.num_vertices(),
+        (0..g.num_vertices()).step_by(13),
+    ));
+    let programs = [
+        WalkProgram::fixed(cap),
+        WalkProgram::ppr(0.15, cap),
+        WalkProgram::ppr(0.15, cap).with_dead_end(DeadEndPolicy::Restart),
+        WalkProgram::fixed(cap).with_targets(targets),
+    ];
+    for program in &programs {
+        let qs = QuerySet::per_nonisolated_vertex(g, 1, opts.seed).with_program(program.clone());
+
+        let cfg = BaselineConfig {
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let engine = CpuEngine::new(g, &Uniform, cfg);
+        let start = Instant::now();
+        let (results, stats) = engine.run(&qs);
+        rows.push(ProgramRow {
+            program: format!("{name}/{program}"),
+            engine: "cpu",
+            steps: stats.steps,
+            paths: results.len(),
+            secs: start.elapsed().as_secs_f64(),
+        });
+
+        let sim = LightRwSim::new(
+            g,
+            &Uniform,
+            LightRwConfig {
+                seed: opts.seed,
+                ..LightRwConfig::default()
+            },
+        );
+        let start = Instant::now();
+        let report = sim.run(&qs);
+        rows.push(ProgramRow {
+            program: format!("{name}/{program}"),
+            engine: "hwsim-feeder",
+            steps: report.steps,
+            paths: report.results.len(),
+            secs: start.elapsed().as_secs_f64(),
+        });
+    }
+}
+
 /// Pull the `"throughput": [...]` rows (one per line, as this binary
 /// writes them) out of a previous report for the before/after embedding.
 fn extract_rows(json: &str) -> Vec<String> {
@@ -458,125 +577,183 @@ fn main() {
         ]
     };
 
+    let mut written: Vec<&str> = Vec::new();
     let mut mixed_rows = Vec::new();
-    for (name, g) in &datasets {
-        eprintln!(
-            "measuring {name}: |V|={} |E|={}",
-            g.num_vertices(),
-            g.num_edges()
-        );
-        measure(name, g, &opts, &mut rows);
-        measure_mixed(name, g, &opts, &mut mixed_rows);
+    if opts.runs("hotpath") {
+        for (name, g) in &datasets {
+            eprintln!(
+                "measuring {name}: |V|={} |E|={}",
+                g.num_vertices(),
+                g.num_edges()
+            );
+            measure(name, g, &opts, &mut rows);
+            measure_mixed(name, g, &opts, &mut mixed_rows);
+        }
     }
 
     // The saturation sweep runs on the lead dataset only: it measures the
     // scheduler, not the graph.
     let mut saturation_rows = Vec::new();
-    {
+    if opts.runs("service") {
         let (name, g) = &datasets[0];
         measure_service_saturation(name, g, &opts, &mut saturation_rows);
     }
 
-    let baseline_rows = opts
-        .baseline
-        .as_ref()
-        .map(|p| extract_rows(&std::fs::read_to_string(p).expect("read --baseline file")))
-        .unwrap_or_default();
+    // The program mix likewise: it measures control-flow overhead on the
+    // hot path, not the graph.
+    let mut program_rows = Vec::new();
+    if opts.runs("program_mix") {
+        let (name, g) = &datasets[0];
+        measure_program_mix(name, g, &opts, &mut program_rows);
+    }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
-    let _ = writeln!(
-        json,
-        "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}}},",
-        opts.scale, opts.seed, opts.quick
-    );
-    if !baseline_rows.is_empty() {
-        json.push_str("  \"baseline\": [\n");
-        for (i, r) in baseline_rows.iter().enumerate() {
-            let sep = if i + 1 < baseline_rows.len() { "," } else { "" };
-            let _ = writeln!(json, "    {r}{sep}");
+    if opts.runs("hotpath") {
+        let baseline_rows = opts
+            .baseline
+            .as_ref()
+            .map(|p| extract_rows(&std::fs::read_to_string(p).expect("read --baseline file")))
+            .unwrap_or_default();
+
+        let mut json = String::new();
+        json.push_str("{\n");
+        let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+        let _ = writeln!(
+            json,
+            "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}}},",
+            opts.scale, opts.seed, opts.quick
+        );
+        if !baseline_rows.is_empty() {
+            json.push_str("  \"baseline\": [\n");
+            for (i, r) in baseline_rows.iter().enumerate() {
+                let sep = if i + 1 < baseline_rows.len() { "," } else { "" };
+                let _ = writeln!(json, "    {r}{sep}");
+            }
+            json.push_str("  ],\n");
+        }
+        json.push_str("  \"throughput\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    {}{sep}", r.to_json());
         }
         json.push_str("  ],\n");
+        json.push_str("  \"mixed_engine\": [\n");
+        for (i, r) in mixed_rows.iter().enumerate() {
+            let sep = if i + 1 < mixed_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    {}{sep}", r.to_json());
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&opts.out, &json).expect("write report");
+        written.push(&opts.out);
     }
-    json.push_str("  \"throughput\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(json, "    {}{sep}", r.to_json());
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"mixed_engine\": [\n");
-    for (i, r) in mixed_rows.iter().enumerate() {
-        let sep = if i + 1 < mixed_rows.len() { "," } else { "" };
-        let _ = writeln!(json, "    {}{sep}", r.to_json());
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&opts.out, &json).expect("write report");
 
     // The service artifact: one file per concern, so the soak/saturation
     // history diffs independently of the hot-path numbers.
-    let mut service_json = String::from("{\n");
-    let _ = writeln!(service_json, "  \"bench\": \"service_saturation\",");
-    let _ = writeln!(
-        service_json,
-        "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}, \
-         \"backend\": \"cpu\", \"dataset\": \"{}\"}},",
-        opts.scale, opts.seed, opts.quick, datasets[0].0
-    );
-    service_json.push_str("  \"saturation\": [\n");
-    for (i, r) in saturation_rows.iter().enumerate() {
-        let sep = if i + 1 < saturation_rows.len() {
-            ","
-        } else {
-            ""
-        };
-        let _ = writeln!(service_json, "    {}{sep}", r.to_json());
+    if opts.runs("service") {
+        let mut service_json = String::from("{\n");
+        let _ = writeln!(service_json, "  \"bench\": \"service_saturation\",");
+        let _ = writeln!(
+            service_json,
+            "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}, \
+             \"backend\": \"cpu\", \"dataset\": \"{}\"}},",
+            opts.scale, opts.seed, opts.quick, datasets[0].0
+        );
+        service_json.push_str("  \"saturation\": [\n");
+        for (i, r) in saturation_rows.iter().enumerate() {
+            let sep = if i + 1 < saturation_rows.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(service_json, "    {}{sep}", r.to_json());
+        }
+        service_json.push_str("  ]\n}\n");
+        std::fs::write(&opts.out_service, &service_json).expect("write service report");
+        written.push(&opts.out_service);
     }
-    service_json.push_str("  ]\n}\n");
-    std::fs::write(&opts.out_service, &service_json).expect("write service report");
 
-    println!(
-        "{:<10} {:<15} {:<13} {:>8} {:>12}",
-        "dataset", "app", "engine", "threads", "steps/s"
-    );
-    for r in &rows {
+    // The program artifact: the walk-program surface per backend.
+    if opts.runs("program_mix") {
+        let mut program_json = String::from("{\n");
+        let _ = writeln!(program_json, "  \"bench\": \"program_mix\",");
+        let _ = writeln!(
+            program_json,
+            "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}, \
+             \"dataset\": \"{}\"}},",
+            opts.scale, opts.seed, opts.quick, datasets[0].0
+        );
+        program_json.push_str("  \"programs\": [\n");
+        for (i, r) in program_rows.iter().enumerate() {
+            let sep = if i + 1 < program_rows.len() { "," } else { "" };
+            let _ = writeln!(program_json, "    {}{sep}", r.to_json());
+        }
+        program_json.push_str("  ]\n}\n");
+        std::fs::write(&opts.out_programs, &program_json).expect("write program report");
+        written.push(&opts.out_programs);
+    }
+
+    if opts.runs("hotpath") {
         println!(
             "{:<10} {:<15} {:<13} {:>8} {:>12}",
-            r.dataset,
-            r.app,
-            r.engine,
-            r.threads,
-            lightrw_bench::fmt_rate(r.steps_per_sec())
+            "dataset", "app", "engine", "threads", "steps/s"
         );
-    }
-    println!();
-    println!(
-        "{:<38} {:>7} {:>9} {:>12}",
-        "mixed-engine (interleaved sessions)", "batches", "steps", "steps/s"
-    );
-    for r in &mixed_rows {
+        for r in &rows {
+            println!(
+                "{:<10} {:<15} {:<13} {:>8} {:>12}",
+                r.dataset,
+                r.app,
+                r.engine,
+                r.threads,
+                lightrw_bench::fmt_rate(r.steps_per_sec())
+            );
+        }
+        println!();
         println!(
             "{:<38} {:>7} {:>9} {:>12}",
-            r.engine,
-            r.batches,
-            r.steps,
-            lightrw_bench::fmt_rate(r.steps_per_sec())
+            "mixed-engine (interleaved sessions)", "batches", "steps", "steps/s"
         );
+        for r in &mixed_rows {
+            println!(
+                "{:<38} {:>7} {:>9} {:>12}",
+                r.engine,
+                r.batches,
+                r.steps,
+                lightrw_bench::fmt_rate(r.steps_per_sec())
+            );
+        }
+        println!();
     }
-    println!();
-    println!(
-        "{:<28} {:>6} {:>12} {:>11} {:>11}",
-        "service saturation (cpu)", "jobs", "steps/s", "p50 ms", "p99 ms"
-    );
-    for r in &saturation_rows {
+    if opts.runs("service") {
         println!(
-            "{:<28} {:>6} {:>12} {:>11.3} {:>11.3}",
-            format!("{} tenant(s)", r.tenants),
-            r.jobs,
-            lightrw_bench::fmt_rate(r.steps_per_sec()),
-            r.p50_ms,
-            r.p99_ms
+            "{:<28} {:>6} {:>12} {:>11} {:>11}",
+            "service saturation (cpu)", "jobs", "steps/s", "p50 ms", "p99 ms"
         );
+        for r in &saturation_rows {
+            println!(
+                "{:<28} {:>6} {:>12} {:>11.3} {:>11.3}",
+                format!("{} tenant(s)", r.tenants),
+                r.jobs,
+                lightrw_bench::fmt_rate(r.steps_per_sec()),
+                r.p50_ms,
+                r.p99_ms
+            );
+        }
+        println!();
     }
-    eprintln!("wrote {} and {}", opts.out, opts.out_service);
+    if opts.runs("program_mix") {
+        println!(
+            "{:<48} {:<13} {:>9} {:>7} {:>12}",
+            "program mix", "engine", "steps", "paths", "steps/s"
+        );
+        for r in &program_rows {
+            println!(
+                "{:<48} {:<13} {:>9} {:>7} {:>12}",
+                r.program,
+                r.engine,
+                r.steps,
+                r.paths,
+                lightrw_bench::fmt_rate(r.steps_per_sec())
+            );
+        }
+    }
+    eprintln!("wrote {}", written.join(" and "));
 }

@@ -12,6 +12,7 @@
 //! lightrw-cli info g.bin
 //! lightrw-cli walk g.bin --app node2vec --length 80 --engine sim -o walks.txt
 //! lightrw-cli walk g.bin --engine reference --batch 64
+//! lightrw-cli walk g.bin --program ppr:alpha=0.15,max=80 --engine cpu
 //! lightrw-cli serve g.bin --jobs spec.json --engine cpu --workers 2
 //! lightrw-cli serve g.bin --synthetic-tenants 4 --jobs-per-tenant 2
 //! ```
@@ -20,6 +21,12 @@
 //! (DESIGN.md §6): the backend behind `--engine` is a `&dyn WalkEngine`,
 //! and `--batch` sets the per-batch step budget the driver hands each
 //! `advance` call — walks are bit-identical for every batch size.
+//! `--program` runs a composable walk program (DESIGN.md §8) instead of
+//! the default fixed-length walk: `fixed:len=N` (today's behavior),
+//! `ppr:alpha=A,max=N` (personalized PageRank restarts), either with
+//! `,deadend=restart`. Malformed programs fail with actionable errors;
+//! `--program` and `--length` are mutually exclusive because the program
+//! carries its own step cap.
 //!
 //! `serve` replays a multi-tenant job trace (see [`crate::jobspec`])
 //! through a [`lightrw_walker::service::WalkService`] over a pool of
@@ -122,8 +129,10 @@ pub fn usage() -> &'static str {
      convert  --input EDGELIST [--directed|--undirected] -o FILE\n\
      info     GRAPH.bin\n\
      walk     GRAPH.bin --app uniform|static|metapath|node2vec\n\
-     \x20        [--length N] [--queries N] [--engine sim|cpu|reference]\n\
-     \x20        [--batch N] [--seed N] [--binary] [-o FILE]\n\
+     \x20        [--length N | --program SPEC] [--queries N]\n\
+     \x20        [--engine sim|cpu|reference] [--batch N] [--seed N]\n\
+     \x20        [--binary] [-o FILE]\n\
+     \x20        SPEC: fixed:len=N | ppr:alpha=A,max=N [,deadend=restart]\n\
      serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N)\n\
      \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
      \x20        [--app NAME] [--engine sim|cpu|reference] [--workers N]\n\
@@ -249,17 +258,36 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
         .first()
         .ok_or("walk requires a graph file argument")?;
     let g = load_graph(path)?;
-    let length = args.get_u64("length", 20)? as u32;
-    if length == 0 {
-        return Err("--length must be at least 1 (zero-step walks are rejected)".into());
-    }
+    // The walk definition: a fixed-length program from --length (the
+    // default), or any composable program from --program (DESIGN.md §8).
+    let program = match args.get("program") {
+        Some(spec) => {
+            if args.get("length").is_some() {
+                return Err(
+                    "--program and --length are mutually exclusive (the program \
+                     carries its own step cap, e.g. ppr:alpha=0.15,max=80)"
+                        .into(),
+                );
+            }
+            WalkProgram::parse(spec)?
+        }
+        None => {
+            let length = args.get_u64("length", 20)? as u32;
+            if length == 0 {
+                return Err("--length must be at least 1 (zero-step walks are rejected)".into());
+            }
+            WalkProgram::fixed(length)
+        }
+    };
+    let length = program.max_steps();
     let seed = args.get_u64("seed", 42)?;
     let n_queries = args.get_u64("queries", 0)? as usize;
     let queries = if n_queries == 0 {
         QuerySet::per_nonisolated_vertex(&g, length, seed)
     } else {
         QuerySet::n_queries(&g, n_queries, length, seed)
-    };
+    }
+    .with_program(program.clone());
 
     let app = parse_app(args, &g)?;
 
@@ -285,7 +313,8 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     let session = &sessions[0];
     let steps = session.steps_done();
     let mut summary = format!(
-        "engine {engine_name}: {steps} steps in {batches} batches via {}, {:.3} ms wall",
+        "engine {engine_name}: program {program}, {steps} steps in {batches} batches via {}, \
+         {:.3} ms wall",
         engine.label(),
         wall_s * 1e3,
     );
@@ -379,7 +408,10 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let t_wall = Instant::now();
     let mut handles = Vec::with_capacity(trace.len());
     for job in &trace {
-        let queries = QuerySet::n_queries(&g, job.queries, job.length, job.seed);
+        let mut queries = QuerySet::n_queries(&g, job.queries, job.length, job.seed);
+        if let Some(program) = &job.program {
+            queries = queries.with_program(program.clone());
+        }
         let starts: Vec<u32> = queries.queries().iter().map(|q| q.start).collect();
         let mut spec = JobSpec::tenant(job.tenant).weight(job.weight);
         if let Some(d) = job.deadline {
@@ -569,6 +601,83 @@ mod tests {
         // Unknown engines surface the parse error.
         let err = run("walk", &parse(&[&gpath, "--engine", "fpga"])).unwrap_err();
         assert!(err.contains("unknown --engine"), "{err}");
+    }
+
+    #[test]
+    fn walk_accepts_programs_on_every_engine() {
+        let gpath = tmp("program.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "rmat", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        for engine in ["reference", "cpu", "sim"] {
+            let out = run(
+                "walk",
+                &parse(&[
+                    &gpath,
+                    "--engine",
+                    engine,
+                    "--program",
+                    "ppr:alpha=0.2,max=12",
+                    "--queries",
+                    "16",
+                ]),
+            )
+            .unwrap();
+            assert!(out.contains("program ppr:alpha=0.2,max=12"), "{out}");
+        }
+        // Fixed programs label the default path too.
+        let out = run("walk", &parse(&[&gpath, "--length", "4"])).unwrap();
+        assert!(out.contains("program fixed:len=4"), "{out}");
+    }
+
+    #[test]
+    fn walk_rejects_malformed_or_conflicting_programs() {
+        let gpath = tmp("program_err.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "6", "-o", &gpath]),
+        )
+        .unwrap();
+        let err = run("walk", &parse(&[&gpath, "--program", "ppr:alpha=2,max=5"])).unwrap_err();
+        assert!(err.contains("(0, 1]"), "{err}");
+        let err = run(
+            "walk",
+            &parse(&[&gpath, "--program", "ppr:alpha=0.1,max=5", "--length", "9"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run("walk", &parse(&[&gpath, "--program", "warp:len=3"])).unwrap_err();
+        assert!(err.contains("unknown program"), "{err}");
+    }
+
+    #[test]
+    fn serve_replays_program_jobs() {
+        let gpath = tmp("serve_program.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "rmat", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let spec = tmp("serve_program_spec.json");
+        std::fs::write(
+            &spec,
+            r#"{ "jobs": [
+                {"tenant": 0, "queries": 12,
+                 "program": {"kind": "ppr", "alpha": 0.2, "max": 16}},
+                {"tenant": 1, "queries": 8, "program": "fixed:len=6,deadend=restart"},
+                {"tenant": 1, "queries": 8, "length": 5}
+            ] }"#,
+        )
+        .unwrap();
+        let out = run(
+            "serve",
+            &parse(&[&gpath, "--jobs", &spec, "--engine", "reference"]),
+        )
+        .unwrap();
+        assert!(out.contains("served 3 jobs (2 tenants)"), "{out}");
+        assert!(out.contains("no dropped or duplicated paths"), "{out}");
     }
 
     #[test]

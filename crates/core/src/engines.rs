@@ -162,6 +162,34 @@ mod tests {
     }
 
     #[test]
+    fn pool_workers_run_program_query_sets() {
+        // Programs ride inside the QuerySet, so every pooled backend
+        // executes them through the same object-safe seam: a PPR job must
+        // respect its step cap and record teleports as start-vertex
+        // reappearances; a completed fixed job stays exact.
+        use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+        use lightrw_walker::WalkProgram;
+        let g = generators::rmat_dataset(7, 4);
+        for name in ["sim", "cpu", "reference"] {
+            let pool = Backend::parse(name).unwrap().build_pool(&g, &Uniform, 5, 2);
+            let workers: Vec<&dyn WalkEngine> = pool.iter().map(|e| e.as_ref()).collect();
+            let mut service = WalkService::new(workers, ServiceConfig::default());
+            let ppr = QuerySet::n_queries(&g, 24, 16, 3).with_program(WalkProgram::ppr(0.3, 16));
+            let fixed = QuerySet::n_queries(&g, 24, 16, 3);
+            let a = service.submit(JobSpec::tenant(0), ppr.clone());
+            let b = service.submit(JobSpec::tenant(1), fixed);
+            service.run_until_idle();
+            let ppr_results = service.take_results(a).unwrap();
+            assert_eq!(ppr_results.len(), ppr.len(), "{name}");
+            for (q, p) in ppr.queries().iter().zip(ppr_results.iter()) {
+                assert!(p.len() <= 17, "{name}: cap exceeded");
+                assert_eq!(p[0], q.start, "{name}");
+            }
+            assert_eq!(service.take_results(b).unwrap().len(), 24, "{name}");
+        }
+    }
+
+    #[test]
     fn every_backend_builds_a_working_engine() {
         let g = generators::rmat_dataset(7, 3);
         let qs = QuerySet::per_nonisolated_vertex(&g, 4, 1);

@@ -8,18 +8,26 @@
 //!   "jobs": [
 //!     {"tenant": 0, "queries": 64, "length": 20},
 //!     {"tenant": 1, "queries": 32, "length": 10, "weight": 2,
-//!      "seed": 7, "deadline": 0.25}
+//!      "seed": 7, "deadline": 0.25},
+//!     {"tenant": 2, "queries": 16,
+//!      "program": {"kind": "ppr", "alpha": 0.15, "max": 80}},
+//!     {"tenant": 2, "queries": 16, "program": "ppr:alpha=0.2,max=40"}
 //!   ]
 //! }
 //! ```
 //!
-//! `tenant`, `queries` and `length` are required; `weight` defaults to 1,
-//! `seed` to the job's index, and `deadline` (model-or-wall seconds) to
-//! none. A bare top-level array is accepted as shorthand for the object
-//! form. Numeric fields are strictly validated: negatives, fractions and
-//! out-of-range values are errors, never silent truncations — in
-//! particular `seed` must stay ≤ 2^53, the largest integer a JSON double
-//! carries exactly.
+//! `tenant` and `queries` are required, plus exactly one of `length` (a
+//! fixed-length walk) or `program` (a composable
+//! [`lightrw_walker::WalkProgram`], DESIGN.md §8 — given either as an
+//! object with `kind`/`alpha`/`max`/`len`/`deadend` fields or as the
+//! CLI's compact program string). `weight` defaults to 1, `seed` to the
+//! job's index, and `deadline` (model-or-wall seconds) to none. A bare
+//! top-level array is accepted as shorthand for the object form. Numeric
+//! fields are strictly validated: negatives, fractions and out-of-range
+//! values are errors, never silent truncations — in particular `seed`
+//! must stay ≤ 2^53, the largest integer a JSON double carries exactly —
+//! and malformed programs (unknown kind or key, α outside `(0, 1]`,
+//! `max = 0`) fail with the program parser's actionable messages.
 //!
 //! The vendored `serde_json` stand-in only serializes (see DESIGN.md §4),
 //! so parsing is a small recursive-descent reader over exactly the JSON
@@ -29,8 +37,10 @@
 
 use std::fmt::Write as _;
 
+use lightrw_walker::WalkProgram;
+
 /// One job of a trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceJob {
     /// Quota/accounting tenant.
     pub tenant: u32,
@@ -38,12 +48,17 @@ pub struct TraceJob {
     pub weight: u32,
     /// Number of walk queries (distinct start vertices, cycling).
     pub queries: usize,
-    /// Requested walk length (steps).
+    /// Requested step budget per walk. For a plain `length` job this is
+    /// the fixed walk length; for a `program` job it mirrors the
+    /// program's `max` cap.
     pub length: u32,
     /// Start-vertex shuffle seed.
     pub seed: u64,
     /// Optional deadline in model-or-wall seconds.
     pub deadline: Option<f64>,
+    /// Optional walk program (restarts, variable length, dead-end
+    /// policy); `None` runs the fixed-length `length` walk.
+    pub program: Option<WalkProgram>,
 }
 
 /// A homogeneous trace: `jobs_per_tenant` jobs for each of `tenants`
@@ -68,12 +83,21 @@ pub fn synthetic_trace(
                 // (collisions would need > 2^20 jobs per tenant).
                 seed: ((tenant as u64) << 20) + j as u64,
                 deadline: None,
+                program: None,
             })
         })
         .collect()
 }
 
-/// Render a trace as the JSON document [`parse_trace`] reads.
+/// Render a trace as the JSON document [`parse_trace`] reads. Programs
+/// serialize in their compact string form (the canonical
+/// `WalkProgram::to_string`), which round-trips through the parser for
+/// every program [`parse_trace`] can produce. A hand-built [`TraceJob`]
+/// whose program carries a *target set* is the one exception: target
+/// sets are not expressible in the trace format (see
+/// [`WalkProgram::parse`]), so its serialized form will not re-parse —
+/// attach targets programmatically via `QuerySet::with_program` instead
+/// of routing them through a trace.
 pub fn to_json(jobs: &[TraceJob]) -> String {
     let mut out = String::from("{\n  \"jobs\": [\n");
     for (i, j) in jobs.iter().enumerate() {
@@ -82,11 +106,15 @@ pub fn to_json(jobs: &[TraceJob]) -> String {
             .deadline
             .map(|d| format!(", \"deadline\": {d}"))
             .unwrap_or_default();
+        let (len_or_program, len_value) = match &j.program {
+            Some(p) => ("program", format!("\"{p}\"")),
+            None => ("length", j.length.to_string()),
+        };
         let _ = writeln!(
             out,
-            "    {{\"tenant\": {}, \"weight\": {}, \"queries\": {}, \"length\": {}, \
-             \"seed\": {}{deadline}}}{sep}",
-            j.tenant, j.weight, j.queries, j.length, j.seed
+            "    {{\"tenant\": {}, \"weight\": {}, \"queries\": {}, \"{len_or_program}\": \
+             {len_value}, \"seed\": {}{deadline}}}{sep}",
+            j.tenant, j.weight, j.queries, j.seed
         );
     }
     out.push_str("  ]\n}\n");
@@ -138,6 +166,51 @@ const MAX_QUERIES_PER_JOB: u64 = 1 << 24;
 /// and would otherwise slip through the equality-based checks.
 const MAX_EXACT_SEED: u64 = (1 << 53) - 1;
 
+/// Build a [`WalkProgram`] from a trace `program` value: either the
+/// compact string form or an object with `kind` plus the program's keys.
+/// Both funnel through [`WalkProgram::parse`], so the validation (and its
+/// actionable errors) is shared with the CLI `--program` flag.
+fn program_value(index: usize, v: Value) -> Result<WalkProgram, String> {
+    let text = match v {
+        Value::String(s) => s,
+        Value::Object(fields) => {
+            let mut kind: Option<String> = None;
+            let mut pairs: Vec<String> = Vec::new();
+            for (key, value) in fields {
+                let rendered = match value {
+                    Value::Number(n) => n.to_string(),
+                    Value::String(s) => s,
+                    _ => {
+                        return Err(format!(
+                            "job #{index}: program {key:?} must be a number or string"
+                        ))
+                    }
+                };
+                if key == "kind" {
+                    kind = Some(rendered);
+                } else {
+                    pairs.push(format!("{key}={rendered}"));
+                }
+            }
+            let kind = kind.ok_or_else(|| {
+                format!("job #{index}: program object needs a \"kind\" (\"fixed\" or \"ppr\")")
+            })?;
+            if pairs.is_empty() {
+                kind
+            } else {
+                format!("{kind}:{}", pairs.join(","))
+            }
+        }
+        _ => {
+            return Err(format!(
+                "job #{index}: program must be an object or a program string \
+                 (e.g. \"ppr:alpha=0.15,max=80\")"
+            ))
+        }
+    };
+    WalkProgram::parse(&text).map_err(|e| format!("job #{index}: {e}"))
+}
+
 fn trace_job(index: usize, v: Value) -> Result<TraceJob, String> {
     let Value::Object(fields) = v else {
         return Err(format!("job #{index}: expected an object"));
@@ -149,9 +222,14 @@ fn trace_job(index: usize, v: Value) -> Result<TraceJob, String> {
         length: 0,
         seed: index as u64,
         deadline: None,
+        program: None,
     };
     let (mut saw_tenant, mut saw_queries, mut saw_length) = (false, false, false);
     for (key, value) in fields {
+        if key == "program" {
+            job.program = Some(program_value(index, value)?);
+            continue;
+        }
         let num = |what: &str| match value {
             Value::Number(n) => Ok(n),
             _ => Err(format!("job #{index}: {what} must be a number")),
@@ -196,10 +274,27 @@ fn trace_job(index: usize, v: Value) -> Result<TraceJob, String> {
             other => return Err(format!("job #{index}: unknown field {other:?}")),
         }
     }
-    if !(saw_tenant && saw_queries && saw_length) {
+    if !(saw_tenant && saw_queries) {
         return Err(format!(
-            "job #{index}: \"tenant\", \"queries\" and \"length\" are required"
+            "job #{index}: \"tenant\" and \"queries\" are required"
         ));
+    }
+    match (&job.program, saw_length) {
+        (Some(_), true) => {
+            return Err(format!(
+                "job #{index}: \"length\" conflicts with \"program\" \
+                 (the program carries its own step cap)"
+            ))
+        }
+        // The program's cap doubles as the per-walk budget the service
+        // admits quota against.
+        (Some(p), false) => job.length = p.max_steps(),
+        (None, false) => {
+            return Err(format!(
+                "job #{index}: either \"length\" or \"program\" is required"
+            ))
+        }
+        (None, true) => {}
     }
     if job.queries == 0 || job.length == 0 {
         return Err(format!(
@@ -215,7 +310,7 @@ enum Value {
     Null,
     Bool(#[allow(dead_code)] bool),
     Number(f64),
-    String(#[allow(dead_code)] String),
+    String(String),
     Array(Vec<Value>),
     Object(Vec<(String, Value)>),
 }
@@ -404,7 +499,8 @@ mod tests {
                 queries: 64,
                 length: 20,
                 seed: 0,
-                deadline: None
+                deadline: None,
+                program: None
             }
         );
         assert_eq!(jobs[1].weight, 2);
@@ -424,8 +520,65 @@ mod tests {
         let mut trace = synthetic_trace(3, 2, 16, 8);
         trace[4].deadline = Some(1.5);
         trace[5].weight = 4;
+        // A program job serializes as the compact string form; `length`
+        // mirrors the program's cap on the way back in.
+        trace[2].program = Some(WalkProgram::ppr(0.15, 8));
         let parsed = parse_trace(&to_json(&trace)).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parses_program_objects_and_strings() {
+        let jobs = parse_trace(
+            r#"{ "jobs": [
+                {"tenant": 0, "queries": 8,
+                 "program": {"kind": "ppr", "alpha": 0.25, "max": 40}},
+                {"tenant": 1, "queries": 4, "program": "fixed:len=6,deadend=restart"},
+                {"tenant": 2, "queries": 4,
+                 "program": {"kind": "fixed", "len": 12, "deadend": "restart"}}
+            ] }"#,
+        )
+        .unwrap();
+        assert_eq!(jobs[0].program, Some(WalkProgram::ppr(0.25, 40)));
+        assert_eq!(jobs[0].length, 40, "length mirrors the program cap");
+        let restart_fixed = lightrw_walker::WalkProgram::parse("fixed:len=6,deadend=restart");
+        assert_eq!(jobs[1].program, Some(restart_fixed.unwrap()));
+        assert_eq!(jobs[2].program.as_ref().unwrap().max_steps(), 12);
+    }
+
+    #[test]
+    fn malformed_programs_are_rejected_with_context() {
+        for (bad, needle) in [
+            (
+                r#"[{"tenant": 0, "queries": 4, "length": 5, "program": "ppr:alpha=0.1,max=5"}]"#,
+                "conflicts",
+            ),
+            (
+                r#"[{"tenant": 0, "queries": 4, "program": "ppr:alpha=0,max=5"}]"#,
+                "(0, 1]",
+            ),
+            (
+                r#"[{"tenant": 0, "queries": 4, "program": "ppr:alpha=0.5,max=0"}]"#,
+                "at least one step",
+            ),
+            (
+                r#"[{"tenant": 0, "queries": 4, "program": "warp:max=5"}]"#,
+                "unknown program",
+            ),
+            (
+                r#"[{"tenant": 0, "queries": 4, "program": {"alpha": 0.5}}]"#,
+                "kind",
+            ),
+            (
+                r#"[{"tenant": 0, "queries": 4, "program": 7}]"#,
+                "object or a program string",
+            ),
+            (r#"[{"tenant": 0, "queries": 4}]"#, "required"),
+        ] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("job #0"), "{bad}: {err}");
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
     }
 
     #[test]

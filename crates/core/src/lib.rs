@@ -89,9 +89,10 @@ pub mod prelude {
     pub use lightrw_hwsim::{LightRwConfig, LightRwSim, SimReport};
     pub use lightrw_memsim::{BurstConfig, CachePolicy, DramConfig};
     pub use lightrw_walker::{
-        BatchProgress, CountingSink, HotStepper, JobId, JobSpec, JobStatus, MetaPath, Node2Vec,
-        Query, QuerySet, ReferenceEngine, SamplerKind, ServiceConfig, ServiceStats, StaticWeighted,
-        TenantId, TenantStats, Uniform, WalkApp, WalkEngine, WalkEngineExt, WalkResults,
-        WalkService, WalkSession, WalkSink, WeightProfile,
+        BatchProgress, Control, CountingSink, DeadEndPolicy, HotStepper, JobId, JobSpec, JobStatus,
+        MetaPath, NeighborBitset, Node2Vec, Query, QuerySet, ReferenceEngine, SamplerKind,
+        ServiceConfig, ServiceStats, StaticWeighted, TenantId, TenantStats, Uniform, WalkApp,
+        WalkEngine, WalkEngineExt, WalkProgram, WalkResults, WalkService, WalkSession, WalkSink,
+        WeightProfile,
     };
 }

@@ -14,8 +14,8 @@ use std::collections::BinaryHeap;
 
 use lightrw_graph::{Graph, VertexId, COL_ENTRY_BYTES, ROW_ENTRY_BYTES};
 use lightrw_memsim::{BurstPlan, CacheOutcome, DramChannel, RequestKind, RowCache};
-use lightrw_walker::app::StepContext;
 use lightrw_walker::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
+use lightrw_walker::program::{StepOutcome, WalkProgram, WalkState};
 use lightrw_walker::{HotStepper, Query, QuerySet, SamplerKind, WalkApp, WalkResults};
 
 use crate::config::LightRwConfig;
@@ -103,10 +103,14 @@ pub struct InstanceSession<'g> {
     sampler_batches: u64,
 
     // Per-query walk state.
+    program: WalkProgram,
     queries: Vec<Query>,
     cur: Vec<VertexId>,
     prev: Vec<Option<VertexId>>,
-    step: Vec<u32>,
+    /// Step budget consumed (moves + teleports).
+    taken: Vec<u32>,
+    /// Step index within the current restart segment.
+    seg: Vec<u32>,
     paths: Vec<Vec<VertexId>>,
     done: Vec<bool>,
     first_dispatch: Vec<u64>,
@@ -157,10 +161,12 @@ impl<'g> InstanceSession<'g> {
             dispatch_free: 0,
             sampler_free: 0,
             sampler_batches: 0,
+            program: queries.program().clone(),
             queries: qs.to_vec(),
             cur: qs.iter().map(|q| q.start).collect(),
             prev: vec![None; n],
-            step: vec![0; n],
+            taken: vec![0; n],
+            seg: vec![0; n],
             paths: qs.iter().map(|q| vec![q.start]).collect(),
             done: vec![false; n],
             first_dispatch: vec![0; n],
@@ -206,20 +212,50 @@ impl<'g> InstanceSession<'g> {
         (first, last)
     }
 
-    /// Execute one step of a query both functionally and in model time.
-    fn execute_step(
+    /// Model time of one step attempt, charged according to what the
+    /// attempt actually did. The functional decision has already been
+    /// made ([`WalkProgram::step_attempt`]); `cur`/`prev` are the
+    /// *pre-attempt* position.
+    fn step_timing(
         &mut self,
         ready: u64,
         cur: VertexId,
         prev: Option<VertexId>,
-        step: u32,
-    ) -> (Option<VertexId>, StepTiming) {
-        let g = self.graph;
-        let cfg = self.cfg;
-
-        // --- Query Controller: one dispatch per cycle.
+        outcome: &StepOutcome,
+    ) -> StepTiming {
+        // --- Query Controller: one dispatch per cycle, whatever the
+        // control decision.
         let t1 = ready.max(self.dispatch_free);
         self.dispatch_free = t1 + 1;
+        match outcome {
+            // A restart draw never leaves the Query Controller: the walk
+            // re-queues at its start vertex one cycle later, with no
+            // memory traffic.
+            StepOutcome::Teleported {
+                after_dead_end: false,
+                ..
+            } => StepTiming {
+                dispatched: t1,
+                done: t1 + 1,
+            },
+            // A target hit at the start vertex only writes the result out
+            // (the target probe is query metadata, not a graph access).
+            StepOutcome::TargetAtStart => StepTiming {
+                dispatched: t1,
+                done: t1 + self.cfg.output_latency,
+            },
+            // Everything else ran the load + sample pipeline: sampled
+            // moves, truncating dead ends, and dead-end restarts (which
+            // probed the neighbor list before teleporting).
+            _ => self.memory_timing(t1, cur, prev),
+        }
+    }
+
+    /// The Fig. 3 datapath timing: Neighbor Info Loader, Neighbor Loader
+    /// bursts and WRS sampler occupancy for one step from `cur`.
+    fn memory_timing(&mut self, t1: u64, cur: VertexId, prev: Option<VertexId>) -> StepTiming {
+        let g = self.graph;
+        let cfg = self.cfg;
 
         // --- Neighbor Info Loader (+ degree-aware cache).
         // Only the freshly sampled vertex needs a row_index fetch; the
@@ -232,13 +268,10 @@ impl<'g> InstanceSession<'g> {
         let deg = g.degree(cur) as u64;
         if deg == 0 {
             // Dead end before any loading.
-            return (
-                None,
-                StepTiming {
-                    dispatched: t1,
-                    done: info_ready + cfg.output_latency,
-                },
-            );
+            return StepTiming {
+                dispatched: t1,
+                done: info_ready + cfg.output_latency,
+            };
         }
 
         // --- Neighbor Loader (+ dynamic burst engine).
@@ -255,14 +288,8 @@ impl<'g> InstanceSession<'g> {
             }
         }
 
-        // --- Functional selection (Weight Updater + WRS Sampler): the
-        // fused streaming pass — weights are consumed lane by lane by the
-        // k-lane WRS, never materialized, exactly as the hardware does.
-        let next = self
-            .stepper
-            .step(g, self.app, StepContext { step, cur, prev });
-
-        // --- Timing of the sampling path.
+        // --- Timing of the sampling path (the functional selection
+        // already streamed through the shared hot path).
         let batches = items_total.div_ceil(cfg.k as u64);
         self.sampler_batches += batches;
         let done = if cfg.pipelined_sampling {
@@ -285,40 +312,56 @@ impl<'g> InstanceSession<'g> {
             read_done + init + gen + cfg.output_latency
         };
 
-        (
-            next,
-            StepTiming {
-                dispatched: t1,
-                done,
-            },
-        )
+        StepTiming {
+            dispatched: t1,
+            done,
+        }
     }
 
-    /// Pop and execute one ready event. Returns whether a step executed
-    /// (false only on a dead-end probe).
+    /// Pop and execute one ready event: one program step attempt of one
+    /// in-flight query, functionally (Weight Updater + WRS through the
+    /// shared hot path, control decisions included) and in model time.
+    /// Returns whether a step executed (false only on a halting probe —
+    /// truncating dead end or target-at-start).
     fn pop_event(&mut self) -> bool {
         let Some(Reverse((ready, i))) = self.heap.pop() else {
             return false;
         };
         let i = i as usize;
-        let (next, timing) = self.execute_step(ready, self.cur[i], self.prev[i], self.step[i]);
+        let q = self.queries[i];
+        let first_attempt = self.taken[i] == 0;
+        let (cur, prev) = (self.cur[i], self.prev[i]);
+        let mut st = WalkState {
+            cur,
+            prev,
+            taken: self.taken[i],
+            seg: self.seg[i],
+        };
+        // Functional decision first (control draw + fused sampling pass);
+        // the memory model then charges exactly what happened.
+        let outcome =
+            self.program
+                .step_attempt(self.graph, self.app, &mut self.stepper, &q, &mut st);
+        self.cur[i] = st.cur;
+        self.prev[i] = st.prev;
+        self.taken[i] = st.taken;
+        self.seg[i] = st.seg;
+        let timing = self.step_timing(ready, cur, prev, &outcome);
         self.horizon = self.horizon.max(timing.done);
-        if self.step[i] == 0 {
+        if first_attempt {
             self.first_dispatch[i] = timing.dispatched;
         }
-        let stepped = next.is_some();
-        let continues = match next {
-            Some(v) => {
-                self.steps_executed += 1;
-                self.paths[i].push(v);
-                self.prev[i] = Some(self.cur[i]);
-                self.cur[i] = v;
-                self.step[i] += 1;
-                self.step[i] < self.queries[i].length
-            }
-            None => false, // dead end
+        let (appended, walk_done) = match outcome {
+            StepOutcome::Moved { next, done } => (Some(next), done),
+            StepOutcome::Teleported { done, .. } => (Some(q.start), done),
+            StepOutcome::DeadEnd | StepOutcome::TargetAtStart => (None, true),
         };
-        if continues {
+        let stepped = appended.is_some();
+        if let Some(v) = appended {
+            self.steps_executed += 1;
+            self.paths[i].push(v);
+        }
+        if stepped && !walk_done {
             self.heap.push(Reverse((timing.done, i as u32)));
         } else {
             self.completion[i] = timing.done;
@@ -407,7 +450,7 @@ impl WalkSession for InstanceSession<'_> {
             // A query still in the heap with no steps taken never popped
             // an event: it accumulated zero cycles, so its latency stays
             // zero rather than inheriting the session horizon.
-            self.completion[i] = if self.step[i] > 0 { horizon } else { 0 };
+            self.completion[i] = if self.taken[i] > 0 { horizon } else { 0 };
         }
         // Never-admitted queries terminate at their start vertex.
         while self.next_pending < self.queries.len() {

@@ -38,6 +38,16 @@
 //! is computed from degrees alone and is unaffected by which functional
 //! strategy the stepper picks.
 //!
+//! Walk control flow comes from the query set's
+//! [`lightrw_walker::program::WalkProgram`] (DESIGN.md §8): every heap
+//! pop runs one `step_attempt` of the shared program state machine, and
+//! the timing model charges what the attempt actually did — a restart
+//! draw never leaves the Query Controller (1-cycle requeue, no DRAM), a
+//! target hit only pays the output write, while sampled moves and
+//! dead-end probes pay the full load + sample pipeline. Fixed-length
+//! programs are bit-identical to the pre-program model, cycles and
+//! latencies included.
+//!
 //! ## Streaming sessions
 //!
 //! Both [`Instance`] and [`LightRwSim`] implement the engine-agnostic

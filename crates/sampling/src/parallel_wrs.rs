@@ -122,6 +122,16 @@ impl ParallelWrs {
         self.bank.rows_generated()
     }
 
+    /// Draw one 32-bit uniform from lane 0 of the bank — the walk-program
+    /// *restart draw* entry point (DESIGN.md §8). Costs one shared-state
+    /// advance (one row, like any hardware cycle), so programs that never
+    /// restart consume nothing and stay bit-identical to the pre-program
+    /// sampler stream.
+    #[inline]
+    pub fn control_draw(&mut self) -> u32 {
+        self.bank.next_u32_lane(0)
+    }
+
     /// Consume one batch of at most `k` (item, weight) pairs.
     pub fn consume_batch(&mut self, state: &mut WrsState, items: &[u32], weights: &[u32]) {
         assert_eq!(items.len(), weights.len(), "items/weights misaligned");

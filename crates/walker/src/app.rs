@@ -19,19 +19,41 @@ pub const FX_FRAC_BITS: u32 = 16;
 /// Fixed-point one.
 pub const FX_ONE: u32 = 1 << FX_FRAC_BITS;
 
+/// Smallest reciprocal input `fx_recip` represents without clamping:
+/// below this (≈ 1.526e-5, i.e. `FX_ONE / u32::MAX`) the multiplier
+/// `FX_ONE / x` would overflow `u32` and saturates to `u32::MAX` instead.
+pub const FX_RECIP_MIN_INPUT: f64 = FX_ONE as f64 / u32::MAX as f64;
+
+/// Largest reciprocal input `fx_recip` represents without clamping:
+/// above this (`2 · FX_ONE` = 131072) the multiplier `FX_ONE / x` rounds
+/// below 1 and clamps to 1 — the smallest non-zero scaling, ≈ 1.526e-5 of
+/// the static weight.
+pub const FX_RECIP_MAX_INPUT: f64 = 2.0 * FX_ONE as f64;
+
 /// Convert a reciprocal scaling `1/x` to a fixed-point multiplier.
+///
+/// # Clamp bounds
+///
+/// The multiplier is **clamped**, never wrapped: inputs below
+/// [`FX_RECIP_MIN_INPUT`] saturate it to `u32::MAX` (the strongest
+/// representable up-scaling, ≈ 65535× the static weight — and
+/// [`fx_scale`] saturates again above that, so extreme `p`/`q` such as
+/// `p < 1e-9` degrade gracefully to "this edge class always wins"
+/// instead of overflowing); inputs above [`FX_RECIP_MAX_INPUT`] clamp it
+/// to 1 (≈ 1.526e-5×, "this edge class almost never wins"). Inside
+/// `[FX_RECIP_MIN_INPUT, FX_RECIP_MAX_INPUT]` the conversion is exact to
+/// the 16-fractional-bit resolution. The unit tests pin both bounds.
+///
+/// # Panics
+///
+/// Panics on non-positive or non-finite `x` — those are configuration
+/// errors, not extreme-but-meaningful hyperparameters.
 pub fn fx_recip(x: f64) -> u32 {
     assert!(
         x > 0.0 && x.is_finite(),
         "scaling parameter must be positive"
     );
-    let m = (FX_ONE as f64 / x).round();
-    assert!(m >= 1.0, "scaling parameter {x} too large for fixed point");
-    assert!(
-        m <= u32::MAX as f64,
-        "scaling parameter {x} too small for fixed point"
-    );
-    m as u32
+    (FX_ONE as f64 / x).round().clamp(1.0, u32::MAX as f64) as u32
 }
 
 /// Scale an *integer* static weight by a 16-frac multiplier, producing a
@@ -201,7 +223,10 @@ pub struct Node2Vec {
 
 impl Node2Vec {
     /// Create with hyperparameters `p` (return) and `q` (in-out). The
-    /// paper's evaluation uses `p = 2, q = 0.5` (§6.1.4).
+    /// paper's evaluation uses `p = 2, q = 0.5` (§6.1.4). Extreme values
+    /// outside `[`[`FX_RECIP_MIN_INPUT`]`, `[`FX_RECIP_MAX_INPUT`]`]`
+    /// clamp to the fixed-point range (see [`fx_recip`]) rather than
+    /// overflowing the multiplier.
     pub fn new(p: f64, q: f64) -> Self {
         Self {
             inv_p: fx_recip(p),
@@ -320,6 +345,45 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn fx_recip_rejects_zero() {
         fx_recip(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fx_recip_rejects_nan() {
+        fx_recip(f64::NAN);
+    }
+
+    #[test]
+    fn fx_recip_clamps_at_the_documented_bounds() {
+        // Below FX_RECIP_MIN_INPUT the multiplier saturates to u32::MAX
+        // instead of overflowing — extreme p/q stay well-defined.
+        assert_eq!(fx_recip(FX_RECIP_MIN_INPUT), u32::MAX);
+        assert_eq!(fx_recip(1e-9), u32::MAX);
+        assert_eq!(fx_recip(f64::MIN_POSITIVE), u32::MAX);
+        // Above FX_RECIP_MAX_INPUT the multiplier clamps to 1 (the
+        // smallest non-zero scaling), never to 0.
+        assert_eq!(fx_recip(FX_RECIP_MAX_INPUT), 1);
+        assert_eq!(fx_recip(1e12), 1);
+        assert_eq!(fx_recip(f64::MAX), 1);
+        // Just inside the bounds the conversion is exact, not clamped.
+        assert_eq!(fx_recip(FX_ONE as f64), 1);
+        assert_eq!(
+            fx_recip(2.0 / u32::MAX as f64 * FX_ONE as f64),
+            u32::MAX / 2 + 1
+        );
+    }
+
+    #[test]
+    fn extreme_node2vec_params_saturate_not_overflow() {
+        // p < 1e-9: the 1/p multiplier saturates; combined with fx_scale's
+        // own saturation the return edge weight pins at u32::MAX instead
+        // of wrapping to a tiny value.
+        let nv = Node2Vec::new(1e-12, 1e12);
+        let w = nv.weight(ctx(1, 5, Some(3)), 3, 8, 0, true); // return edge
+        assert_eq!(w, u32::MAX, "saturated, not wrapped");
+        let far = nv.weight(ctx(1, 5, Some(3)), 7, 8, 0, false); // 1/q edge
+        assert_eq!(far, 8, "clamped multiplier 1 scales w into the frac bits");
+        assert_eq!(fx_scale(u32::MAX, u32::MAX), u32::MAX);
     }
 
     #[test]

@@ -39,9 +39,9 @@
 //! assert_eq!(results, engine.run(&queries)); // batching is invisible
 //! ```
 
-use crate::app::StepContext;
 use crate::hotpath::HotStepper;
 use crate::path::WalkResults;
+use crate::program::{StepOutcome, WalkProgram, WalkState};
 use crate::query::{Query, QuerySet};
 use crate::reference::ReferenceEngine;
 use lightrw_graph::VertexId;
@@ -263,12 +263,14 @@ pub fn multiplex_sessions<'s>(
 struct ReferenceSession<'s> {
     engine: &'s ReferenceEngine<'s>,
     stepper: HotStepper,
+    program: WalkProgram,
     queries: Vec<Query>,
     /// Index of the in-flight query.
     qi: usize,
     /// The in-flight query's partial path (starts at its start vertex).
     path: Vec<VertexId>,
-    prev: Option<VertexId>,
+    /// The in-flight query's program state.
+    st: WalkState,
     steps_done: u64,
 }
 
@@ -276,19 +278,23 @@ impl<'s> ReferenceSession<'s> {
     fn new(engine: &'s ReferenceEngine<'s>, queries: &QuerySet) -> Self {
         let mut stepper = HotStepper::new(engine.app(), engine.sampler(), engine.seed());
         stepper.reserve(engine.graph().max_degree() as usize);
+        let program = queries.program().clone();
         let queries = queries.queries().to_vec();
         let mut path = Vec::new();
+        let mut st = WalkState::start(0);
         if let Some(q) = queries.first() {
             path.reserve(q.length as usize + 1);
             path.push(q.start);
+            st = WalkState::start(q.start);
         }
         Self {
             engine,
             stepper,
+            program,
             queries,
             qi: 0,
             path,
-            prev: None,
+            st,
             steps_done: 0,
         }
     }
@@ -301,9 +307,9 @@ impl<'s> ReferenceSession<'s> {
         sink.emit(self.qi as u32, &self.path);
         self.qi += 1;
         self.path.clear();
-        self.prev = None;
         if let Some(q) = self.queries.get(self.qi) {
             self.path.push(q.start);
+            self.st = WalkState::start(q.start);
         }
     }
 }
@@ -315,25 +321,23 @@ impl WalkSession for ReferenceSession<'_> {
         let mut attempts = 0u64;
         while attempts < budget && self.qi < self.queries.len() {
             let q = self.queries[self.qi];
-            let cur = *self.path.last().expect("in-flight path holds the start");
-            let ctx = StepContext {
-                step: self.path.len() as u32 - 1,
-                cur,
-                prev: self.prev,
-            };
             attempts += 1;
-            let done = match self
-                .stepper
-                .step(self.engine.graph(), self.engine.app(), ctx)
-            {
-                Some(next) => {
-                    self.path.push(next);
-                    self.prev = Some(cur);
+            let outcome = self.program.step_attempt(
+                self.engine.graph(),
+                self.engine.app(),
+                &mut self.stepper,
+                &q,
+                &mut self.st,
+            );
+            let done = match outcome {
+                StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
+                    let v = outcome.appended(q.start).expect("advancing outcome");
+                    self.path.push(v);
                     self.steps_done += 1;
                     progress.steps += 1;
-                    self.path.len() as u32 > q.length
+                    done
                 }
-                None => true, // dead end
+                StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
             };
             if done {
                 self.finish_current(sink);

@@ -45,6 +45,15 @@ impl HotStepper {
         self.mask.reserve(max_degree);
     }
 
+    /// Draw one 32-bit control uniform from the sampler's stream — used by
+    /// [`crate::program::WalkProgram`] for restart decisions. See
+    /// [`AnySampler::control_draw`] for the stream contract; fixed-length
+    /// programs never call this.
+    #[inline]
+    pub fn control_draw(&mut self) -> u32 {
+        self.sampler.control_draw()
+    }
+
     /// Execute one fused weight-calculation + sampling step from
     /// `ctx.cur`: returns the sampled next vertex, or `None` on a dead end
     /// (no out-edges, or every candidate weight zero).

@@ -9,8 +9,15 @@
 //!   evaluated applications: [`app::MetaPath`] (Eq. 1) and
 //!   [`app::Node2Vec`] (Eq. 2), plus [`app::Uniform`] and
 //!   [`app::StaticWeighted`] baselines for ablations.
+//! - [`program`] composes those weight rules with per-step **control
+//!   flow**: [`program::WalkProgram`] covers fixed-length walks (the
+//!   paper's shape, bit-identical to the pre-program engines),
+//!   personalized PageRank restarts, target-set termination and dead-end
+//!   policies, executed by all engines through one shared
+//!   [`program::WalkProgram::step_attempt`] state machine (DESIGN.md §8).
 //! - [`query`] builds the paper's workloads: one query per non-isolated
-//!   vertex, shuffled (§6.1.4).
+//!   vertex, shuffled (§6.1.4); a [`query::QuerySet`] carries the
+//!   [`program::WalkProgram`] its queries execute.
 //! - [`membership`] provides the sorted-adjacency intersection Node2Vec's
 //!   second-order weight rule needs (`(a_{t-1}, b) ∈ E`) — the engines'
 //!   hot path uses its word-packed [`membership::NeighborBitset`] variant.
@@ -63,6 +70,7 @@ pub mod engine;
 pub mod hotpath;
 pub mod membership;
 pub mod path;
+pub mod program;
 pub mod query;
 pub mod reference;
 pub mod service;
@@ -77,6 +85,7 @@ pub use hotpath::HotStepper;
 pub use lightrw_graph::VertexId;
 pub use membership::NeighborBitset;
 pub use path::WalkResults;
+pub use program::{Control, DeadEndPolicy, StepOutcome, WalkProgram, WalkState};
 pub use query::{Query, QuerySet};
 pub use reference::{AnySampler, ReferenceEngine, SamplerKind};
 pub use service::{

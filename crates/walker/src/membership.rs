@@ -35,7 +35,13 @@ pub fn common_neighbor_mask(g: &Graph, cur: VertexId, prev: VertexId, mask: &mut
 /// Word-packed candidate mask: one bit per element of `N(cur)`, reused
 /// across steps so the second-order hot path does no per-step allocation
 /// once the word buffer has grown to the largest degree seen.
-#[derive(Debug, Clone, Default)]
+///
+/// Doubles as the target-set representation of
+/// [`crate::program::WalkProgram`]: a bitset over vertex ids built with
+/// [`NeighborBitset::from_members`], probed once per step by the control
+/// rule (equality compares the held bits, so two sets with the same
+/// members are equal whatever buffer capacity each grew to).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NeighborBitset {
     words: Vec<u64>,
     len: usize,
@@ -45,6 +51,22 @@ impl NeighborBitset {
     /// Empty bitset.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A bitset of `len` bits with exactly the `members` set — the
+    /// vertex-set constructor walk programs use for target termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member index is `>= len`.
+    pub fn from_members(len: usize, members: impl IntoIterator<Item = usize>) -> Self {
+        let mut bits = Self::new();
+        bits.clear_resize(len);
+        for m in members {
+            assert!(m < len, "bitset member {m} out of range 0..{len}");
+            bits.set(m);
+        }
+        bits
     }
 
     /// Pre-size for candidate sets up to `bits` (worker setup).

@@ -2,8 +2,13 @@
 //!
 //! The paper's workload (§6.1.4): one query per vertex with non-zero
 //! degree, each with a unique starting vertex, shuffled; query length 5
-//! for MetaPath and 80 for Node2Vec.
+//! for MetaPath and 80 for Node2Vec. Since the program redesign
+//! (DESIGN.md §8) a [`QuerySet`] also carries the
+//! [`WalkProgram`] its queries execute — the fixed-length constructors
+//! attach [`WalkProgram::fixed`], which reproduces the pre-program
+//! behavior bit for bit.
 
+use crate::program::WalkProgram;
 use lightrw_graph::{Graph, VertexId};
 use lightrw_rng::{Rng, SplitMix64};
 
@@ -14,27 +19,41 @@ pub struct Query {
     pub id: u32,
     /// Starting vertex.
     pub start: VertexId,
-    /// Requested number of steps, always ≥ 1 (enforced at [`QuerySet`]
-    /// construction).
+    /// This query's **step budget**, always ≥ 1 (enforced at [`QuerySet`]
+    /// construction). Under a fixed-length program this is exactly the
+    /// requested number of steps; under a restarting or target-terminated
+    /// program it is the hard cap on steps-plus-teleports. Defaults to
+    /// the set's [`WalkProgram::max_steps`]; override per query with
+    /// [`QuerySet::set_budget`].
     ///
     /// # Early-termination contract
     ///
-    /// The result path has `length + 1` vertices unless the walk hits a
-    /// **dead end** first: a current vertex with no out-edges, or one
-    /// where every candidate's dynamic weight is zero (e.g. a MetaPath
-    /// step whose relation no incident edge carries). A dead-ended walk
-    /// terminates immediately with the vertices sampled so far — at
-    /// minimum the starting vertex — and engines count only the steps
-    /// actually taken. Zero-length queries are rejected up front rather
-    /// than silently producing 1-vertex paths, so a 1-vertex path always
-    /// *means* "dead-ended at the start".
+    /// The result path has `length + 1` vertices unless the program halts
+    /// the walk first:
+    ///
+    /// - a **dead end** — a current vertex with no out-edges, or one
+    ///   where every candidate's dynamic weight is zero (e.g. a MetaPath
+    ///   step whose relation no incident edge carries) — truncates the
+    ///   walk under [`crate::program::DeadEndPolicy::Truncate`] (teleports
+    ///   instead under `Restart`);
+    /// - arriving on a **target vertex** of the program's target set
+    ///   halts immediately (a query *starting* on a target emits its
+    ///   start-only path).
+    ///
+    /// A halted walk keeps the vertices sampled so far — at minimum the
+    /// starting vertex — and engines count only the steps (moves and
+    /// teleports) actually taken. Zero-budget queries are rejected up
+    /// front rather than silently producing 1-vertex paths, so a 1-vertex
+    /// path always *means* "halted at the start".
     pub length: u32,
 }
 
-/// A set of queries plus the workload metadata the harnesses report.
+/// A set of queries plus the [`WalkProgram`] they execute and the
+/// workload metadata the harnesses report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuerySet {
     queries: Vec<Query>,
+    program: WalkProgram,
 }
 
 impl QuerySet {
@@ -60,21 +79,35 @@ impl QuerySet {
         Self::from_starts(starts, length)
     }
 
-    /// Build directly from explicit starting vertices.
+    /// Build directly from explicit starting vertices, executing a
+    /// fixed-length program of `length` steps.
     ///
     /// # Panics
     ///
     /// Panics when `length == 0`: a zero-step query has no sampling work
     /// and would emit a degenerate 1-vertex path indistinguishable from a
     /// genuine dead end (see [`Query::length`]). All `QuerySet`
-    /// constructors funnel through here, so the invariant holds
-    /// set-wide.
+    /// constructors funnel through here (or through
+    /// [`QuerySet::with_program`], whose program enforces the same bound),
+    /// so the invariant holds set-wide.
     pub fn from_starts(starts: Vec<VertexId>, length: u32) -> Self {
         assert!(
             length >= 1,
             "zero-length walk queries are rejected: a query must request at \
              least one step (see the Query::length contract)"
         );
+        Self::build(starts, WalkProgram::fixed(length))
+    }
+
+    /// Build from explicit starting vertices executing `program`; every
+    /// query's step budget defaults to the program's
+    /// [`WalkProgram::max_steps`].
+    pub fn from_starts_with_program(starts: Vec<VertexId>, program: WalkProgram) -> Self {
+        Self::build(starts, program)
+    }
+
+    fn build(starts: Vec<VertexId>, program: WalkProgram) -> Self {
+        let length = program.max_steps();
         let queries = starts
             .into_iter()
             .enumerate()
@@ -84,7 +117,38 @@ impl QuerySet {
                 length,
             })
             .collect();
-        Self { queries }
+        Self { queries, program }
+    }
+
+    /// Replace the set's program, resetting every query's step budget to
+    /// the new program's default (override individual queries afterwards
+    /// with [`QuerySet::set_budget`]).
+    pub fn with_program(mut self, program: WalkProgram) -> Self {
+        let length = program.max_steps();
+        for q in &mut self.queries {
+            q.length = length;
+        }
+        self.program = program;
+        self
+    }
+
+    /// The program every query in this set executes.
+    #[inline]
+    pub fn program(&self) -> &WalkProgram {
+        &self.program
+    }
+
+    /// Override one query's step budget (a per-query cap below or above
+    /// the program default — e.g. a tighter PPR cap for a latency-bound
+    /// tenant).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget == 0` (the [`Query::length`] contract) or `id`
+    /// is out of range.
+    pub fn set_budget(&mut self, id: usize, budget: u32) {
+        assert!(budget >= 1, "zero-budget walk queries are rejected");
+        self.queries[id].length = budget;
     }
 
     /// The queries in execution order.
@@ -104,15 +168,18 @@ impl QuerySet {
         self.queries.is_empty()
     }
 
-    /// Total requested steps (the denominator of the paper's steps/second
-    /// throughput metric, Figs. 16–17).
+    /// Total requested step budget (the denominator of the paper's
+    /// steps/second throughput metric, Figs. 16–17). For fixed-length
+    /// programs this is exact; for restarting or target-terminated
+    /// programs it is the upper bound the serving layer admits quota
+    /// against.
     pub fn total_steps(&self) -> u64 {
         self.queries.iter().map(|q| q.length as u64).sum()
     }
 
     /// Split round-robin across `n` partitions — how the multi-instance
     /// deployment distributes queries evenly over accelerator instances
-    /// (§6.1.5).
+    /// (§6.1.5). Every partition carries the set's program.
     pub fn partition(&self, n: usize) -> Vec<QuerySet> {
         assert!(n >= 1);
         let mut parts: Vec<Vec<Query>> = vec![Vec::new(); n];
@@ -121,7 +188,10 @@ impl QuerySet {
         }
         parts
             .into_iter()
-            .map(|queries| QuerySet { queries })
+            .map(|queries| QuerySet {
+                queries,
+                program: self.program.clone(),
+            })
             .collect()
     }
 }
@@ -188,6 +258,45 @@ mod tests {
         let qs = QuerySet::from_starts(vec![3, 1, 2], 4);
         let ids: Vec<u32> = qs.queries().iter().map(|q| q.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fixed_constructors_attach_a_fixed_program() {
+        let qs = QuerySet::from_starts(vec![0, 1], 9);
+        assert_eq!(qs.program(), &WalkProgram::fixed(9));
+        assert!(qs.program().is_fixed_length());
+    }
+
+    #[test]
+    fn with_program_resets_budgets_to_the_program_default() {
+        let qs = QuerySet::from_starts(vec![0, 1, 2], 5).with_program(WalkProgram::ppr(0.25, 40));
+        assert_eq!(qs.program().max_steps(), 40);
+        assert!(qs.queries().iter().all(|q| q.length == 40));
+        assert_eq!(qs.total_steps(), 3 * 40);
+    }
+
+    #[test]
+    fn per_query_budget_overrides() {
+        let mut qs = QuerySet::from_starts_with_program(vec![0, 1], WalkProgram::ppr(0.5, 10));
+        qs.set_budget(1, 3);
+        assert_eq!(qs.queries()[0].length, 10);
+        assert_eq!(qs.queries()[1].length, 3);
+        assert_eq!(qs.total_steps(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-budget")]
+    fn zero_budget_override_is_rejected() {
+        let mut qs = QuerySet::from_starts(vec![0], 5);
+        qs.set_budget(0, 0);
+    }
+
+    #[test]
+    fn partitions_inherit_the_program() {
+        let qs = QuerySet::from_starts((0..6).collect(), 4).with_program(WalkProgram::ppr(0.1, 8));
+        for part in qs.partition(3) {
+            assert_eq!(part.program(), qs.program());
+        }
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! accelerator model (`lightrw-hwsim`) are tested for distributional
 //! agreement against this engine.
 
-use crate::app::{StepContext, WalkApp, FX_FRAC_BITS};
+use crate::app::{WalkApp, FX_FRAC_BITS};
 use crate::hotpath::HotStepper;
 use crate::path::WalkResults;
+use crate::program::{StepOutcome, WalkState};
 use crate::query::QuerySet;
-use lightrw_graph::{Graph, VertexId};
+use lightrw_graph::Graph;
 use lightrw_rng::{Rng, SplitMix64, StreamBank};
 use lightrw_sampling::{reservoir, AliasScratch, ParallelWrs};
 
@@ -190,6 +191,23 @@ impl AnySampler {
         })
     }
 
+    /// Draw one 32-bit uniform from this sampler's own stream — the walk
+    /// program *control draw* (DESIGN.md §8). Each kind taps the stream it
+    /// already owns (table kinds: the scalar RNG; reservoir kinds: lane 0
+    /// of the bank, one row like any sampling cycle), so the draw is
+    /// deterministic per seed and interleaves with the sampling draws in a
+    /// fixed, documented order. Programs that cannot restart never call
+    /// this, which is what keeps fixed-length walks bit-identical to the
+    /// pre-program engines.
+    #[inline]
+    pub fn control_draw(&mut self) -> u32 {
+        match &mut self.state {
+            SamplerState::Table(rng, _) => rng.next_u32(),
+            SamplerState::Sequential(bank) => bank.next_u32_lane(0),
+            SamplerState::Parallel(wrs) => wrs.control_draw(),
+        }
+    }
+
     /// Bytes of intermediate table state the kind materializes per step for
     /// `n` candidates (0 for the streaming reservoir kinds) — the paper's
     /// Inefficiency 1 accounting, used by the Table 1 profiling proxy.
@@ -242,10 +260,12 @@ impl<'g> ReferenceEngine<'g> {
     }
 
     /// Execute all queries sequentially, returning their paths in query-id
-    /// order. Walks that reach a dead end (all candidate weights zero, or
-    /// no neighbors) terminate early with a shorter path, as in
-    /// Algorithm 2.1's `is_end`. Each step is one fused
-    /// weight-calculation + sampling pass through [`HotStepper`].
+    /// order. Each step attempt runs the query set's
+    /// [`crate::program::WalkProgram`] state machine — control decision
+    /// (restart draw, target halt), then one fused weight-calculation +
+    /// sampling pass through [`HotStepper`] — so fixed-length programs
+    /// reproduce Algorithm 2.1 exactly (dead ends truncate, as in its
+    /// `is_end`) and richer programs share the identical hot path.
     pub fn run(&self, queries: &QuerySet) -> WalkResults {
         let mut results = WalkResults::with_capacity(
             queries.len(),
@@ -256,20 +276,26 @@ impl<'g> ReferenceEngine<'g> {
         );
         let mut stepper = HotStepper::new(self.app, self.sampler, self.seed);
         stepper.reserve(self.graph.max_degree() as usize);
+        let program = queries.program();
 
         for q in queries.queries() {
-            let mut cur = q.start;
-            let mut prev: Option<VertexId> = None;
-            results.push_vertex(cur);
-            for step in 0..q.length {
-                let ctx = StepContext { step, cur, prev };
-                match stepper.step(self.graph, self.app, ctx) {
-                    Some(next) => {
+            let mut st = WalkState::start(q.start);
+            results.push_vertex(q.start);
+            while st.taken < q.length {
+                match program.step_attempt(self.graph, self.app, &mut stepper, q, &mut st) {
+                    StepOutcome::Moved { next, done } => {
                         results.push_vertex(next);
-                        prev = Some(cur);
-                        cur = next;
+                        if done {
+                            break;
+                        }
                     }
-                    None => break, // dead end
+                    StepOutcome::Teleported { done, .. } => {
+                        results.push_vertex(q.start);
+                        if done {
+                            break;
+                        }
+                    }
+                    StepOutcome::DeadEnd | StepOutcome::TargetAtStart => break,
                 }
             }
             results.end_path();

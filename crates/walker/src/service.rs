@@ -15,7 +15,14 @@
 //! - **Jobs.** A [`JobSpec`] names a tenant, a fair-share `weight`, and an
 //!   optional `deadline`; [`WalkService::submit`] pairs it with a
 //!   [`QuerySet`] and a per-job sink. Each job runs as one session on one
-//!   pool worker (least-loaded placement at submit time).
+//!   pool worker (least-loaded placement at submit time). The walk
+//!   *definition* — fixed-length, PPR restarts, target termination —
+//!   rides inside the query set as its
+//!   [`crate::program::WalkProgram`] (DESIGN.md §8), so heterogeneous
+//!   program mixes multiplex on one pool with no scheduler involvement;
+//!   the per-tenant quota charges the program's step *cap*
+//!   ([`QuerySet::total_steps`]), an upper bound for early-halting
+//!   programs.
 //! - **Weighted-fair interleaving.** Each [`WalkService::tick`] serves the
 //!   next job in a deficit round-robin ring: the job's credit grows by
 //!   `quantum × weight` and the session advances with the credit as its

@@ -306,6 +306,146 @@ fn empty_batch_cancel_is_identical_across_backends() {
     }
 }
 
+/// Validate a program walk: every hop is either a sampleable edge (the
+/// plain `validate_path` rule) or a teleport back to the walk's start
+/// vertex (restart draws and dead-end restarts re-enter there), and the
+/// path respects the step cap.
+fn validate_program_path(g: &Graph, app: &dyn WalkApp, path: &[u32], start: u32, cap: u32) {
+    assert!(!path.is_empty() && path[0] == start);
+    assert!(path.len() as u32 <= cap + 1, "cap exceeded: {path:?}");
+    let mut seg_start = 0usize;
+    for i in 1..path.len() {
+        if path[i] == start && !g.has_edge(path[i - 1], path[i]) {
+            // Teleport: the segment so far must itself be a valid walk.
+            validate_path(g, app, &path[seg_start..i]).unwrap();
+            seg_start = i;
+        }
+    }
+    validate_path(g, app, &path[seg_start..]).unwrap();
+}
+
+#[test]
+fn program_sessions_replay_monolithic_runs_on_every_engine() {
+    // The batching contract extends to every program shape: restart
+    // draws, dead-end restarts and target termination consume the RNG in
+    // a fixed per-attempt order (DESIGN.md §8), so any max_steps schedule
+    // reproduces the monolithic run bit for bit on all three backends.
+    let g = generators::rmat_dataset(8, 14);
+    let targets = std::sync::Arc::new(lightrw::walker::NeighborBitset::from_members(
+        g.num_vertices(),
+        (0..g.num_vertices()).step_by(17),
+    ));
+    let programs = [
+        WalkProgram::ppr(0.2, 9),
+        WalkProgram::ppr(1.0, 4),
+        WalkProgram::fixed(9).with_dead_end(DeadEndPolicy::Restart),
+        WalkProgram::ppr(0.3, 12).with_dead_end(DeadEndPolicy::Restart),
+        WalkProgram::fixed(20).with_targets(std::sync::Arc::clone(&targets)),
+        WalkProgram::ppr(0.15, 30).with_targets(targets),
+    ];
+    let nv = Node2Vec::paper_params();
+    let apps: [&dyn WalkApp; 2] = [&Uniform, &nv];
+    let mut batch_rng = SplitMix64::new(0x5150);
+    for program in &programs {
+        let qs = QuerySet::per_nonisolated_vertex(&g, 1, 4).with_program(program.clone());
+        for app in apps {
+            for kind in [
+                SamplerKind::InverseTransform,
+                SamplerKind::ParallelWrs { k: 8 },
+            ] {
+                let reference = ReferenceEngine::new(&g, app, kind, 21);
+                let whole = reference.run(&qs);
+                let batched = run_batched(&reference, &qs, &mut batch_rng, 7);
+                assert_eq!(whole, batched, "reference {program} {}", app.name());
+                for (q, p) in qs.queries().iter().zip(whole.iter()) {
+                    validate_program_path(&g, app, p, q.start, q.length);
+                }
+
+                let cfg = BaselineConfig {
+                    threads: 3,
+                    sampler: kind,
+                    ..Default::default()
+                };
+                let cpu = CpuEngine::new(&g, app, cfg);
+                let (whole, _) = cpu.run(&qs);
+                let batched = run_batched(&cpu, &qs, &mut batch_rng, 7);
+                assert_eq!(whole, batched, "cpu {program} {}", app.name());
+            }
+            let sim = LightRwSim::new(&g, app, LightRwConfig::default());
+            let whole = sim.run(&qs).results;
+            let batched = run_batched(&sim, &qs, &mut batch_rng, 7);
+            assert_eq!(whole, batched, "sim {program} {}", app.name());
+            for (q, p) in qs.queries().iter().zip(whole.iter()) {
+                validate_program_path(&g, app, p, q.start, q.length);
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_program_query_sets_are_the_pre_program_workload() {
+    // The acceptance pin for the redesign: a QuerySet built by the
+    // length-based constructors carries WalkProgram::fixed and produces
+    // byte-identical results to any explicitly-attached fixed program —
+    // there is no hidden behavioral fork between the two spellings.
+    let g = generators::rmat_dataset(8, 3);
+    let implicit = QuerySet::per_nonisolated_vertex(&g, 6, 4);
+    let explicit = implicit.clone().with_program(WalkProgram::fixed(6));
+    assert!(implicit.program().is_fixed_length());
+    for engine in [
+        Box::new(ReferenceEngine::new(
+            &g,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            9,
+        )) as Box<dyn WalkEngine + '_>,
+        Box::new(CpuEngine::new(&g, &Uniform, BaselineConfig::default())),
+        Box::new(LightRwSim::new(&g, &Uniform, LightRwConfig::default())),
+    ] {
+        assert_eq!(
+            engine.run_collected(&implicit),
+            engine.run_collected(&explicit),
+            "{}",
+            engine.label()
+        );
+    }
+}
+
+#[test]
+fn ppr_walks_respect_the_cap_and_teleport_home_on_every_engine() {
+    let g = DatasetProfile::youtube().stand_in(8, 4);
+    let program = WalkProgram::ppr(0.25, 14);
+    let qs = QuerySet::n_queries(&g, 200, 1, 6).with_program(program);
+    let nv = Node2Vec::paper_params();
+    let engines: Vec<Box<dyn WalkEngine + '_>> = vec![
+        Box::new(ReferenceEngine::new(
+            &g,
+            &nv,
+            SamplerKind::ParallelWrs { k: 8 },
+            3,
+        )),
+        Box::new(CpuEngine::new(&g, &nv, BaselineConfig::default())),
+        Box::new(LightRwSim::new(&g, &nv, LightRwConfig::default())),
+    ];
+    for engine in &engines {
+        let results = engine.run_collected(&qs);
+        assert_eq!(results.len(), qs.len(), "{}", engine.label());
+        let mut teleports = 0usize;
+        for (q, p) in qs.queries().iter().zip(results.iter()) {
+            validate_program_path(&g, &nv, p, q.start, q.length);
+            teleports += (1..p.len())
+                .filter(|&i| p[i] == q.start && !g.has_edge(p[i - 1], p[i]))
+                .count();
+        }
+        // With α = 0.25 over 200 capped walks, restarts are plentiful.
+        assert!(
+            teleports > 50,
+            "{}: only {teleports} teleports",
+            engine.label()
+        );
+    }
+}
+
 #[test]
 fn step_counts_agree_between_results_and_reports() {
     let g = DatasetProfile::youtube().stand_in(9, 1);

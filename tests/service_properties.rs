@@ -161,6 +161,109 @@ proptest! {
     }
 
     #[test]
+    fn every_walk_program_terminates_and_emits_exactly_once(
+        // The stand-in proptest has no Option strategies: 0 encodes None
+        // for alpha (fixed-length program), strides < 3 encode "no
+        // targets", cancel points ≥ 30 encode "never cancel".
+        alpha_pct in 0u32..=100,
+        max in 1u32..12,
+        restart_sel in 0u32..2,
+        target_stride_raw in 0usize..9,
+        n_queries in 1usize..6,
+        start_seed in 0u64..500,
+        budgets in vec(1u64..20, 1..30),
+        cancel_raw in 0usize..60,
+        engine_pick in 0usize..3,
+    ) {
+        let alpha_bits = (alpha_pct > 0).then_some(alpha_pct);
+        let restart_dead_ends = restart_sel == 1;
+        let target_stride = (target_stride_raw >= 3).then_some(target_stride_raw);
+        let cancel_at = (cancel_raw < 30).then_some(cancel_raw);
+        // The program-termination half of the redesign (DESIGN.md §8):
+        // for a *random point of the program space* — restart probability,
+        // step cap, dead-end policy, target set — every engine drains the
+        // walk in bounded attempts and emits each path exactly once, in
+        // id order, under a random batch schedule with an optional cancel
+        // point. The cap bound (path ≤ budget + 1 vertices) holds for
+        // completed and cancelled walks alike.
+        let g = lightrw::graph::generators::rmat_dataset(6, 29);
+        let mut program = match alpha_bits {
+            Some(b) => WalkProgram::ppr(b as f64 / 100.0, max),
+            None => WalkProgram::fixed(max),
+        };
+        if restart_dead_ends {
+            program = program.with_dead_end(DeadEndPolicy::Restart);
+        }
+        if let Some(stride) = target_stride {
+            program = program.with_targets(std::sync::Arc::new(
+                lightrw::walker::NeighborBitset::from_members(
+                    g.num_vertices(),
+                    (0..g.num_vertices()).step_by(stride),
+                ),
+            ));
+        }
+        let noniso = g.non_isolated_vertices();
+        let starts: Vec<u32> = (0..n_queries)
+            .map(|i| noniso[(start_seed as usize + i * 7) % noniso.len()])
+            .collect();
+        let qs = QuerySet::from_starts_with_program(starts.clone(), program);
+
+        let reference = ReferenceEngine::new(&g, &Uniform, SamplerKind::SequentialWrs, 11);
+        let cpu = CpuEngine::new(
+            &g,
+            &Uniform,
+            BaselineConfig { threads: 2, ..Default::default() },
+        );
+        let sim = LightRwSim::new(&g, &Uniform, LightRwConfig::single_instance());
+        let engine: &dyn WalkEngine = match engine_pick {
+            0 => &reference,
+            1 => &cpu,
+            _ => &sim,
+        };
+
+        let mut emitted: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut sink = |id: u32, path: &[u32]| emitted.push((id, path.to_vec()));
+        let mut session = engine.start_session(&qs);
+        let mut guard = 0u32;
+        let mut i = 0usize;
+        while !session.finished() {
+            if cancel_at == Some(i) {
+                session.cancel(&mut sink);
+                break;
+            }
+            let budget = budgets[i % budgets.len()];
+            session.advance(budget, &mut sink);
+            i += 1;
+            guard += 1;
+            // Liveness: every program halts within the cap, so a session
+            // over n queries of budget `max` needs at most
+            // n·(max+1)/min_batch advances (plus slack for multi-lane
+            // rounding) — far below this guard.
+            prop_assert!(guard < 50_000, "session failed to drain: {}", engine.label());
+        }
+        // Exactly-once, id-ordered emission, from completion or cancel.
+        let ids: Vec<u32> = emitted.iter().map(|(id, _)| *id).collect();
+        let expect: Vec<u32> = (0..qs.len() as u32).collect();
+        prop_assert_eq!(&ids, &expect);
+        prop_assert_eq!(session.paths_completed(), qs.len());
+        for ((_, path), (start, q)) in emitted.iter().zip(starts.iter().zip(qs.queries())) {
+            prop_assert!(!path.is_empty());
+            prop_assert_eq!(path[0], *start);
+            prop_assert!(
+                path.len() as u64 <= q.length as u64 + 1,
+                "cap exceeded on {}: {:?}",
+                engine.label(),
+                path
+            );
+        }
+        // A second cancel after the drain emits nothing further.
+        let before = emitted.len();
+        let mut sink = |id: u32, path: &[u32]| emitted.push((id, path.to_vec()));
+        session.cancel(&mut sink);
+        prop_assert_eq!(emitted.len(), before);
+    }
+
+    #[test]
     fn random_batch_schedules_never_change_session_output(
         budgets in vec(1u64..23, 1..40),
         threads in 1usize..5,
