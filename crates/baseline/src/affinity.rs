@@ -1,0 +1,159 @@
+//! Best-effort CPU core pinning for worker lanes.
+//!
+//! ThunderRW pins one worker per core so the step-centric interleaving's
+//! cache-residency argument holds (a migrated worker re-warms its ring's
+//! CSR rows from scratch). We hand-roll the two Linux syscall wrappers the
+//! `core_affinity` crate would provide — `sched_getaffinity` /
+//! `sched_setaffinity` via their libc symbols, which Rust's std already
+//! links on Linux — because the build is offline and vendored-only.
+//!
+//! The contract is **degrade, never fail** (DESIGN.md §9): every function
+//! here returns a plain `bool`/empty-vec on any error — unsupported OS,
+//! cgroup-restricted mask, raced CPU hotplug — and callers treat an unpinned
+//! worker as merely slower, not broken. Pinning is also *mask-relative*:
+//! lane `i` pins to the `i % n`-th CPU the process is *allowed* to run on,
+//! so container cpusets (e.g. a 2-core quota on a 64-core host) spread
+//! lanes over the granted cores instead of asking for forbidden ones.
+
+/// Maximum CPUs representable in our affinity mask (16 × 64 = 1024,
+/// matching glibc's `CPU_SETSIZE`).
+const MASK_WORDS: usize = 16;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::MASK_WORDS;
+
+    /// Mirror of glibc's `cpu_set_t`: a 1024-bit CPU mask.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct CpuSet {
+        bits: [u64; MASK_WORDS],
+    }
+
+    extern "C" {
+        fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut CpuSet) -> i32;
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+
+    /// CPU ids the calling thread is currently allowed to run on, in
+    /// ascending order. Empty on syscall failure.
+    pub fn allowed_cpus() -> Vec<usize> {
+        let mut set = CpuSet {
+            bits: [0; MASK_WORDS],
+        };
+        // SAFETY: `set` is a properly sized, writable cpu_set_t; pid 0
+        // means the calling thread.
+        let rc = unsafe { sched_getaffinity(0, std::mem::size_of::<CpuSet>(), &mut set) };
+        if rc != 0 {
+            return Vec::new();
+        }
+        let mut cpus = Vec::new();
+        for (w, &word) in set.bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                cpus.push(w * 64 + b);
+                word &= word - 1;
+            }
+        }
+        cpus
+    }
+
+    /// Pin the calling thread to a single allowed CPU; false on failure.
+    pub fn pin_to(cpu: usize) -> bool {
+        if cpu >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut set = CpuSet {
+            bits: [0; MASK_WORDS],
+        };
+        set.bits[cpu / 64] = 1u64 << (cpu % 64);
+        // SAFETY: `set` is a properly sized cpu_set_t with one bit set;
+        // pid 0 means the calling thread.
+        unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    /// Non-Linux stub: no affinity control, report nothing allowed.
+    pub fn allowed_cpus() -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Non-Linux stub: pinning always degrades to unpinned.
+    pub fn pin_to(_cpu: usize) -> bool {
+        false
+    }
+}
+
+/// CPU ids this thread may run on (empty when affinity is unsupported).
+/// Benchmarks record this as `host_cores` so scaling curves carry their
+/// hardware context.
+pub fn allowed_cores() -> Vec<usize> {
+    imp::allowed_cpus()
+}
+
+/// Pin the calling thread to the `index % n`-th of its `n` allowed CPUs.
+///
+/// Returns whether the pin took effect; `false` (unsupported OS, empty
+/// mask, raced hotplug) means the thread simply stays unpinned. Callers
+/// pass a stable lane index so re-spawned per-batch workers land on the
+/// same core each batch.
+pub fn pin_current_thread(index: usize) -> bool {
+    let allowed = imp::allowed_cpus();
+    if allowed.is_empty() {
+        return false;
+    }
+    imp::pin_to(allowed[index % allowed.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_cores_are_sorted_and_bounded() {
+        let cores = allowed_cores();
+        assert!(cores.windows(2).all(|w| w[0] < w[1]));
+        assert!(cores.iter().all(|&c| c < MASK_WORDS * 64));
+        if cfg!(target_os = "linux") {
+            assert!(!cores.is_empty(), "linux must report at least one cpu");
+        }
+    }
+
+    #[test]
+    fn pinning_restricts_a_spawned_worker_to_one_core() {
+        // Pin inside a dedicated thread so the test harness thread keeps
+        // its full mask.
+        let pinned = std::thread::spawn(|| {
+            if !pin_current_thread(0) {
+                return None; // degraded environment: nothing to assert
+            }
+            Some(allowed_cores())
+        })
+        .join()
+        .unwrap();
+        if let Some(cores) = pinned {
+            assert_eq!(cores.len(), 1, "pinned thread sees one allowed cpu");
+        }
+    }
+
+    #[test]
+    fn lane_indices_wrap_around_the_allowed_mask() {
+        // Any huge lane index maps back into the mask instead of failing.
+        let outcome = std::thread::spawn(|| pin_current_thread(usize::MAX))
+            .join()
+            .unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(outcome, "wrapping pin must succeed on linux");
+        } else {
+            assert!(!outcome);
+        }
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected_not_panicked() {
+        assert!(!imp::pin_to(MASK_WORDS * 64 + 7));
+    }
+}

@@ -9,11 +9,14 @@
 
 use std::time::{Duration, Instant};
 
-use lightrw_graph::{Graph, VertexId};
+use lightrw_graph::Graph;
 use lightrw_rng::splitmix::mix64;
-use lightrw_walker::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
-use lightrw_walker::program::{StepOutcome, WalkProgram, WalkState};
-use lightrw_walker::{HotStepper, Query, QuerySet, SamplerKind, WalkApp, WalkResults};
+use lightrw_walker::engine::{BatchProgress, InOrderEmitter, WalkEngine, WalkSession, WalkSink};
+use lightrw_walker::program::WalkProgram;
+use lightrw_walker::{QuerySet, SamplerKind, WalkApp, WalkResults};
+
+use crate::affinity;
+use crate::lanes::{resolve_workers, LanePlan, WorkerLane};
 
 /// CPU engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,11 +52,7 @@ impl BaselineConfig {
     }
 
     fn effective_threads(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        }
+        resolve_workers(self.threads)
     }
 }
 
@@ -77,115 +76,6 @@ impl BaselineRunStats {
         } else {
             self.steps as f64 / s
         }
-    }
-}
-
-/// One worker's walk state in structure-of-arrays layout: the round-robin
-/// scheduler touches `cur`/`prev`/`step` for every active query each
-/// sweep, so keeping them in dense parallel arrays (instead of an array
-/// of structs with inline path buffers) keeps the sweep's working set to
-/// a few cache lines per query. Each chunk also owns its stepper (seeded
-/// per chunk, so thread interleaving never changes sampled walks) and the
-/// sweep cursor that lets a session pause mid-sweep and resume exactly
-/// where it stopped.
-struct ChunkState {
-    stepper: HotStepper,
-    queries: Vec<Query>,
-    cur: Vec<VertexId>,
-    prev: Vec<Option<VertexId>>,
-    /// Step budget consumed per query (moves + teleports).
-    taken: Vec<u32>,
-    /// Step index within the current restart segment (resets on teleport)
-    /// — the `t` the weight rules see.
-    seg: Vec<u32>,
-    /// Output paths, preallocated to full length at setup — the step loop
-    /// never allocates. A path's buffer is released (taken) once emitted.
-    paths: Vec<Vec<VertexId>>,
-    done: Vec<bool>,
-    /// Local indices of queries still walking.
-    active: Vec<usize>,
-    /// Position within the current round-robin sweep over `active`.
-    cursor: usize,
-}
-
-impl ChunkState {
-    fn new(
-        qs: &[Query],
-        app: &dyn WalkApp,
-        sampler: SamplerKind,
-        seed: u64,
-        max_degree: usize,
-    ) -> Self {
-        let mut stepper = HotStepper::new(app, sampler, seed);
-        stepper.reserve(max_degree);
-        Self {
-            stepper,
-            cur: qs.iter().map(|q| q.start).collect(),
-            prev: vec![None; qs.len()],
-            taken: vec![0; qs.len()],
-            seg: vec![0; qs.len()],
-            paths: qs
-                .iter()
-                .map(|q| {
-                    let mut p = Vec::with_capacity(q.length as usize + 1);
-                    p.push(q.start);
-                    p
-                })
-                .collect(),
-            done: vec![false; qs.len()],
-            active: (0..qs.len()).collect(),
-            cursor: 0,
-            queries: qs.to_vec(),
-        }
-    }
-
-    /// Advance this worker's queries round-robin, one step attempt per
-    /// visit — ThunderRW's step-centric interleaving — for up to `budget`
-    /// visits, each attempt one turn of the shared [`WalkProgram`] state
-    /// machine. The visit order is identical to the pre-session engine's
-    /// nested sweep loop for every budget schedule (the cursor persists
-    /// across calls), so batching never changes a sampled walk. Returns
-    /// steps executed (truncating dead-end and target-at-start visits
-    /// consume budget but no step; teleports count as steps, keeping
-    /// step totals equal to emitted path lengths).
-    fn advance(&mut self, budget: u64, g: &Graph, app: &dyn WalkApp, program: &WalkProgram) -> u64 {
-        let mut attempts = 0u64;
-        let mut steps = 0u64;
-        while attempts < budget && !self.active.is_empty() {
-            if self.cursor >= self.active.len() {
-                self.cursor = 0; // new sweep
-            }
-            let qi = self.active[self.cursor];
-            let q = self.queries[qi];
-            let mut st = WalkState {
-                cur: self.cur[qi],
-                prev: self.prev[qi],
-                taken: self.taken[qi],
-                seg: self.seg[qi],
-            };
-            let outcome = program.step_attempt(g, app, &mut self.stepper, &q, &mut st);
-            self.cur[qi] = st.cur;
-            self.prev[qi] = st.prev;
-            self.taken[qi] = st.taken;
-            self.seg[qi] = st.seg;
-            let done = match outcome {
-                StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
-                    steps += 1;
-                    let v = outcome.appended(q.start).expect("advancing outcome");
-                    self.paths[qi].push(v);
-                    done
-                }
-                StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
-            };
-            if done {
-                self.done[qi] = true;
-                self.active.swap_remove(self.cursor);
-            } else {
-                self.cursor += 1;
-            }
-            attempts += 1;
-        }
-        steps
     }
 }
 
@@ -243,70 +133,61 @@ impl WalkEngine for CpuEngine<'_> {
 }
 
 /// A batched session of the CPU engine: queries are split into contiguous
-/// per-worker chunks exactly as the monolithic run does (same chunk
-/// boundaries, same derived per-chunk seeds), and every
-/// [`WalkSession::advance`] gives each worker up to `max_steps` visits —
-/// executed on scoped threads when more than one chunk still has work.
-/// Completed paths are emitted in global query-id order; because chunks
-/// are contiguous, a chunk's paths emit once all earlier chunks have
-/// drained, and each emitted path's buffer is released immediately.
+/// per-worker lanes by a [`LanePlan`] with exactly the monolithic run's
+/// boundaries and derived per-lane seeds, and every
+/// [`WalkSession::advance`] gives each [`WorkerLane`] up to `max_steps`
+/// Gather–Move–Update visits — executed on scoped threads (each pinned
+/// best-effort to a stable core) when more than one lane still has work.
+/// Completed paths are emitted in global query-id order through an
+/// [`InOrderEmitter`]; because lanes are contiguous, a lane's paths emit
+/// once all earlier lanes have drained, and each emitted path's buffer is
+/// released immediately.
 pub struct CpuSession<'s> {
     graph: &'s Graph,
     app: &'s dyn WalkApp,
     program: WalkProgram,
-    chunks: Vec<ChunkState>,
-    /// Queries per chunk (all chunks but the last).
-    chunk_len: usize,
-    total: usize,
-    /// Next global query id to emit.
-    emit_next: usize,
+    lanes: Vec<WorkerLane>,
+    /// Queries per lane (all lanes but the last).
+    lane_len: usize,
+    emitter: InOrderEmitter,
     steps_done: u64,
+    /// Workers successfully core-pinned in the last parallel batch.
+    pinned: usize,
 }
 
 impl<'s> CpuSession<'s> {
     fn new(engine: &CpuEngine<'s>, queries: &QuerySet) -> Self {
-        let threads = engine.cfg.effective_threads();
         let qs = queries.queries();
-        let chunk_len = qs.len().div_ceil(threads).max(1);
+        let plan = LanePlan::plan(engine.cfg.threads, qs.len());
         // Hoisted out of the workers: one degree scan sizes every worker's
         // sampler/bitset scratch for the whole session.
         let max_degree = engine.graph.max_degree() as usize;
-        let chunks = qs
-            .chunks(chunk_len)
+        let lanes = qs
+            .chunks(plan.lane_len)
             .enumerate()
-            .map(|(t, chunk_qs)| {
+            .map(|(t, lane_qs)| {
                 let seed = mix64(engine.cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                ChunkState::new(chunk_qs, engine.app, engine.cfg.sampler, seed, max_degree)
+                WorkerLane::new(lane_qs, engine.app, engine.cfg.sampler, seed, max_degree)
             })
             .collect();
         Self {
             graph: engine.graph,
             app: engine.app,
             program: queries.program().clone(),
-            chunks,
-            chunk_len,
-            total: qs.len(),
-            emit_next: 0,
+            lanes,
+            lane_len: plan.lane_len,
+            emitter: InOrderEmitter::new(qs.len()),
             steps_done: 0,
+            pinned: 0,
         }
     }
 
     /// Emit every completed-but-unemitted path whose predecessors are all
     /// emitted, releasing path buffers as they go out.
     fn drain_ready(&mut self, sink: &mut dyn WalkSink) -> usize {
-        let mut emitted = 0;
-        while self.emit_next < self.total {
-            let chunk = &mut self.chunks[self.emit_next / self.chunk_len];
-            let local = self.emit_next % self.chunk_len;
-            if !chunk.done[local] {
-                break;
-            }
-            let path = std::mem::take(&mut chunk.paths[local]);
-            sink.emit(self.emit_next as u32, &path);
-            self.emit_next += 1;
-            emitted += 1;
-        }
-        emitted
+        let (lanes, lane_len) = (&mut self.lanes, self.lane_len);
+        self.emitter
+            .drain(sink, |id| lanes[id / lane_len].take_path(id % lane_len))
     }
 }
 
@@ -315,27 +196,42 @@ impl WalkSession for CpuSession<'_> {
         let budget = max_steps.max(1);
         let (graph, app) = (self.graph, self.app);
         let program = &self.program;
-        let busy = self.chunks.iter().filter(|c| !c.active.is_empty()).count();
+        let busy = self.lanes.iter().filter(|l| !l.is_idle()).count();
         let batch_steps: u64 = if busy > 1 {
-            // One scoped thread per chunk with remaining work — the same
+            // One scoped thread per lane with remaining work — the same
             // parallelism shape as the monolithic run, re-spawned per
-            // batch.
-            std::thread::scope(|scope| {
+            // batch. Workers pin to their *lane index*'s core (stable
+            // across batches); the enumerate-before-filter keeps that
+            // index stable as lanes drain. Pinning is best-effort — a
+            // false return means the worker runs unpinned.
+            let (steps, pinned) = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
-                    .chunks
+                    .lanes
                     .iter_mut()
-                    .filter(|c| !c.active.is_empty())
-                    .map(|c| scope.spawn(move || c.advance(budget, graph, app, program)))
+                    .enumerate()
+                    .filter(|(_, l)| !l.is_idle())
+                    .map(|(i, l)| {
+                        scope.spawn(move || {
+                            let pinned = affinity::pin_current_thread(i);
+                            (l.advance(budget, graph, app, program), pinned)
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker thread panicked"))
-                    .sum()
-            })
+                    .fold((0u64, 0usize), |(s, p), (steps, pinned)| {
+                        (s + steps, p + pinned as usize)
+                    })
+            });
+            self.pinned = pinned;
+            steps
         } else {
-            self.chunks
+            // Single busy lane: run inline on the caller's thread, which
+            // is never pinned (it belongs to the embedding application).
+            self.lanes
                 .iter_mut()
-                .map(|c| c.advance(budget, graph, app, program))
+                .map(|l| l.advance(budget, graph, app, program))
                 .sum()
         };
         self.steps_done += batch_steps;
@@ -348,11 +244,8 @@ impl WalkSession for CpuSession<'_> {
     }
 
     fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
-        for chunk in &mut self.chunks {
-            for &qi in &chunk.active {
-                chunk.done[qi] = true;
-            }
-            chunk.active.clear();
+        for lane in &mut self.lanes {
+            lane.cancel();
         }
         let paths_completed = self.drain_ready(sink);
         BatchProgress {
@@ -363,7 +256,7 @@ impl WalkSession for CpuSession<'_> {
     }
 
     fn finished(&self) -> bool {
-        self.emit_next >= self.total
+        self.emitter.finished()
     }
 
     fn steps_done(&self) -> u64 {
@@ -371,11 +264,15 @@ impl WalkSession for CpuSession<'_> {
     }
 
     fn paths_completed(&self) -> usize {
-        self.emit_next
+        self.emitter.emitted()
     }
 
     fn diagnostics(&self) -> Option<String> {
-        Some(format!("{} worker threads", self.chunks.len()))
+        Some(format!(
+            "{} worker lanes, {} pinned",
+            self.lanes.len(),
+            self.pinned
+        ))
     }
 }
 

@@ -9,10 +9,12 @@
 //!   run a table-based sampler's initialization (the O(|N(v)|) table), then
 //!   its generation phase.
 //! - **Step-centric multi-query interleaving**: each worker thread owns a
-//!   batch of queries and advances them round-robin one step at a time —
-//!   ThunderRW's scheduling shape (its software prefetching has no direct
-//!   Rust equivalent; the hardware prefetcher gets the same interleaved
-//!   access pattern to chew on).
+//!   [`lanes::WorkerLane`] of queries and advances them round-robin one
+//!   Gather–Move–Update visit at a time — ThunderRW's scheduling shape,
+//!   including its distance-1 software prefetch of the next walker's CSR
+//!   row (`_mm_prefetch` on x86-64) and best-effort one-worker-per-core
+//!   pinning ([`affinity`]); both degrade gracefully where unsupported
+//!   (DESIGN.md §9).
 //! - **Configurable sampler**: inverse transformation sampling is the
 //!   paper's configuration (§6.1.4); alias, sequential WRS and the
 //!   parallel-WRS-on-CPU of Fig. 14's "ThunderRW w/PWRS" bars are a flag
@@ -54,10 +56,13 @@
 //! stream out in query-id order — bit-identical to [`CpuEngine::run`]
 //! for every batch schedule.
 
+pub mod affinity;
 pub mod engine;
+pub mod lanes;
 pub mod llc;
 pub mod profile;
 
 pub use engine::{BaselineConfig, BaselineRunStats, CpuEngine, CpuSession};
+pub use lanes::{LanePlan, WorkerLane};
 pub use llc::LlcSim;
 pub use profile::{profile_top_down, TopDownProfile};

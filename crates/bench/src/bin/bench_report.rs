@@ -7,6 +7,16 @@
 //! in the artifact history rather than silently distorting the Fig. 14
 //! comparisons.
 //!
+//! The `throughput` rows sweep CPU worker lanes 1 → N (deduped by the
+//! *resolved* worker count, so a small host never writes duplicate rows)
+//! and add a single-threaded rejection-sampler row for second-order apps.
+//! Two derived sections ride along: `node2vec_gap` (the uniform-vs-
+//! Node2Vec per-step cost ratio per sampler — the §9 acceptance gate is
+//! a sub-5× gap with rejection) and `sim_instance_scaling` (1 → 4 hwsim
+//! pipeline instances in **model time**, the scaling curve that stays
+//! meaningful on a single-core CI host). The config line records
+//! `host_cores` so readers can interpret the lane sweep.
+//!
 //! Besides the per-engine `throughput` rows, the report carries a
 //! `mixed_engine` section: all three backends (reference, CPU, simulated
 //! accelerator) run **concurrently as interleaved batched sessions**
@@ -190,15 +200,35 @@ fn apps(quick: bool) -> Vec<(Box<dyn WalkApp>, u32)> {
     ]
 }
 
+/// Requested CPU worker counts for the lane-scaling sweep: explicit
+/// 1 → N plus the auto row (`0` = one lane per core). Quick keeps CI
+/// cheap.
+fn thread_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2, 0]
+    } else {
+        vec![1, 2, 4, 8, 0]
+    }
+}
+
 fn measure(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<Row>) {
     for (app, len) in apps(opts.quick) {
         let qs = QuerySet::per_nonisolated_vertex(g, len, opts.seed);
 
-        // CPU baseline, single-threaded (the per-step path itself) and
-        // all-cores (what Fig. 14's wall-clock bars use).
-        for threads in [1usize, 0] {
+        // CPU lane scaling, 1 → N worker lanes (threads = 1 is the
+        // per-step path itself; the sweep is what Fig. 14's wall-clock
+        // bars and the thread-scaling curve use). Deduped by *resolved*
+        // worker count: the old `[1, 0]` pair wrote two identical rows on
+        // a single-core host because both requests resolve to one worker.
+        let mut resolved_seen: Vec<usize> = Vec::new();
+        for requested in thread_sweep(opts.quick) {
+            let resolved = lightrw::baseline::lanes::resolve_workers(requested);
+            if resolved_seen.contains(&resolved) {
+                continue;
+            }
+            resolved_seen.push(resolved);
             let cfg = BaselineConfig {
-                threads,
+                threads: requested,
                 seed: opts.seed,
                 ..Default::default()
             };
@@ -214,6 +244,32 @@ fn measure(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<Row>) {
                 threads: stats.threads,
                 steps: stats.steps,
                 secs,
+            });
+        }
+
+        // Second-order apps only: the rejection-sampling fast path
+        // (DESIGN.md §9), single-threaded so the node2vec_gap section
+        // compares per-step cost, not parallelism.
+        if matches!(
+            app.weight_profile(),
+            WeightProfile::SecondOrderEnvelope { .. }
+        ) {
+            let cfg = BaselineConfig {
+                threads: 1,
+                sampler: SamplerKind::Rejection,
+                seed: opts.seed,
+            };
+            let engine = CpuEngine::new(g, app.as_ref(), cfg);
+            let start = Instant::now();
+            let (_, stats) = engine.run(&qs);
+            rows.push(Row {
+                dataset: name.to_string(),
+                app: app.name(),
+                engine: "cpu",
+                sampler: cfg.sampler.name(),
+                threads: stats.threads,
+                steps: stats.steps,
+                secs: start.elapsed().as_secs_f64(),
             });
         }
 
@@ -335,6 +391,117 @@ fn measure_mixed(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<MixedR
     }
 }
 
+/// One instance count of the `sim_instance_scaling` sweep. `secs` is
+/// **simulated model time** (`SimReport::seconds`), not host wall clock:
+/// the hwsim prices its processing-pipeline instances in the modeled
+/// clock, so this is the scaling curve the accelerator would show, and
+/// it stays meaningful on a single-core CI host where wall-clock lane
+/// scaling cannot.
+struct SimScaleRow {
+    dataset: String,
+    instances: usize,
+    steps: u64,
+    secs: f64,
+}
+
+impl SimScaleRow {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"instances\": {}, \"steps\": {}, \
+             \"model_secs\": {:.6}, \"model_steps_per_sec\": {:.1}}}",
+            self.dataset,
+            self.instances,
+            self.steps,
+            self.secs,
+            self.steps_per_sec()
+        )
+    }
+}
+
+/// The `sim_instance_scaling` sweep: the Uniform workload across 1 → 4
+/// simulated processing-pipeline instances, in model time.
+fn measure_sim_scaling(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<SimScaleRow>) {
+    let qs = QuerySet::per_nonisolated_vertex(g, 10, opts.seed);
+    for instances in [1usize, 2, 4] {
+        let cfg = LightRwConfig {
+            instances,
+            seed: opts.seed,
+            ..LightRwConfig::default()
+        };
+        let report = LightRwSim::new(g, &Uniform, cfg).run(&qs);
+        rows.push(SimScaleRow {
+            dataset: name.to_string(),
+            instances,
+            steps: report.steps,
+            secs: report.seconds,
+        });
+    }
+}
+
+/// One dataset's uniform-vs-node2vec per-step cost ratio at a fixed
+/// sampler, single-threaded. The rejection row is the ISSUE acceptance
+/// gate: the second-order gap must stay under 5× with the envelope
+/// fast path.
+struct GapRow {
+    dataset: String,
+    sampler: String,
+    uniform_sps: f64,
+    node2vec_sps: f64,
+}
+
+impl GapRow {
+    fn gap(&self) -> f64 {
+        if self.node2vec_sps > 0.0 {
+            self.uniform_sps / self.node2vec_sps
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"sampler\": \"{}\", \"uniform_steps_per_sec\": {:.1}, \
+             \"node2vec_steps_per_sec\": {:.1}, \"gap\": {:.3}}}",
+            self.dataset,
+            self.sampler,
+            self.uniform_sps,
+            self.node2vec_sps,
+            self.gap()
+        )
+    }
+}
+
+/// Derive the `node2vec_gap` section from the measured throughput rows:
+/// for each dataset, pair every single-threaded CPU node2vec row with
+/// the single-threaded uniform row (always inverse-transform — uniform
+/// rows don't vary by sampler in the sweep) and report the ratio.
+fn node2vec_gaps(rows: &[Row]) -> Vec<GapRow> {
+    let single = |r: &&Row| r.engine == "cpu" && r.threads == 1;
+    rows.iter()
+        .filter(single)
+        .filter(|r| r.app == "Node2Vec")
+        .filter_map(|n2v| {
+            rows.iter()
+                .filter(single)
+                .find(|r| r.app == "Uniform" && r.dataset == n2v.dataset)
+                .map(|uni| GapRow {
+                    dataset: n2v.dataset.clone(),
+                    sampler: n2v.sampler.clone(),
+                    uniform_sps: uni.steps_per_sec(),
+                    node2vec_sps: n2v.steps_per_sec(),
+                })
+        })
+        .collect()
+}
+
 /// One tenancy level of the `service_saturation` sweep.
 struct SaturationRow {
     tenants: usize,
@@ -386,7 +553,10 @@ fn measure_service_saturation(
     let app = Node2Vec::paper_params();
     let len = if opts.quick { 8 } else { 40 };
     let total_queries = 4096usize;
-    let backend = Backend::Cpu { threads: 0 };
+    let backend = Backend::Cpu {
+        threads: 0,
+        sampler: SamplerKind::InverseTransform,
+    };
     for tenants in [1usize, 2, 4, 8] {
         let mut best: Option<SaturationRow> = None;
         for rep in 0..2 {
@@ -579,6 +749,7 @@ fn main() {
 
     let mut written: Vec<&str> = Vec::new();
     let mut mixed_rows = Vec::new();
+    let mut sim_scale_rows = Vec::new();
     if opts.runs("hotpath") {
         for (name, g) in &datasets {
             eprintln!(
@@ -589,6 +760,10 @@ fn main() {
             measure(name, g, &opts, &mut rows);
             measure_mixed(name, g, &opts, &mut mixed_rows);
         }
+        // Instance scaling on the lead dataset only: it measures the
+        // modeled pipeline replication, not the graph.
+        let (name, g) = &datasets[0];
+        measure_sim_scaling(name, g, &opts, &mut sim_scale_rows);
     }
 
     // The saturation sweep runs on the lead dataset only: it measures the
@@ -617,10 +792,15 @@ fn main() {
         let mut json = String::new();
         json.push_str("{\n");
         let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+        // host_cores contextualizes the thread-scaling rows: on a 1-core
+        // CI runner every requested worker count resolves to one lane, so
+        // readers (and the artifact diff) need the host size to interpret
+        // the sweep.
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let _ = writeln!(
             json,
-            "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}}},",
-            opts.scale, opts.seed, opts.quick
+            "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}, \"host_cores\": {}}},",
+            opts.scale, opts.seed, opts.quick, host_cores
         );
         if !baseline_rows.is_empty() {
             json.push_str("  \"baseline\": [\n");
@@ -633,6 +813,23 @@ fn main() {
         json.push_str("  \"throughput\": [\n");
         for (i, r) in rows.iter().enumerate() {
             let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    {}{sep}", r.to_json());
+        }
+        json.push_str("  ],\n");
+        let gap_rows = node2vec_gaps(&rows);
+        json.push_str("  \"node2vec_gap\": [\n");
+        for (i, r) in gap_rows.iter().enumerate() {
+            let sep = if i + 1 < gap_rows.len() { "," } else { "" };
+            let _ = writeln!(json, "    {}{sep}", r.to_json());
+        }
+        json.push_str("  ],\n");
+        json.push_str("  \"sim_instance_scaling\": [\n");
+        for (i, r) in sim_scale_rows.iter().enumerate() {
+            let sep = if i + 1 < sim_scale_rows.len() {
+                ","
+            } else {
+                ""
+            };
             let _ = writeln!(json, "    {}{sep}", r.to_json());
         }
         json.push_str("  ],\n");
@@ -706,6 +903,22 @@ fn main() {
                 lightrw_bench::fmt_rate(r.steps_per_sec())
             );
         }
+        println!();
+        println!("{:<10} {:<16} {:>8}", "dataset", "node2vec gap", "uni/n2v");
+        for r in &node2vec_gaps(&rows) {
+            println!("{:<10} {:<16} {:>7.2}x", r.dataset, r.sampler, r.gap());
+        }
+        println!();
+        println!("{:<10} {:>9} {:>12}", "sim scale", "instances", "steps/s*");
+        for r in &sim_scale_rows {
+            println!(
+                "{:<10} {:>9} {:>12}",
+                r.dataset,
+                r.instances,
+                lightrw_bench::fmt_rate(r.steps_per_sec())
+            );
+        }
+        println!("(* model time, not host wall clock)");
         println!();
         println!(
             "{:<38} {:>7} {:>9} {:>12}",

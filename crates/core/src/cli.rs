@@ -131,11 +131,14 @@ pub fn usage() -> &'static str {
      walk     GRAPH.bin --app uniform|static|metapath|node2vec\n\
      \x20        [--length N | --program SPEC] [--queries N]\n\
      \x20        [--engine sim|cpu|reference] [--batch N] [--seed N]\n\
-     \x20        [--binary] [-o FILE]\n\
+     \x20        [--threads N] [--sampler NAME] [--binary] [-o FILE]\n\
      \x20        SPEC: fixed:len=N | ppr:alpha=A,max=N [,deadend=restart]\n\
+     \x20        NAME: inverse-transform|alias|sequential-wrs|pwrs|rejection\n\
+     \x20        --threads is cpu-only (0 = one worker lane per core)\n\
      serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N)\n\
      \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
      \x20        [--app NAME] [--engine sim|cpu|reference] [--workers N]\n\
+     \x20        [--threads N] [--sampler NAME]\n\
      \x20        [--quantum N] [--tenant-budget N] [--seed N]\n"
 }
 
@@ -294,7 +297,14 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     // Engine-agnostic dispatch: any backend behind `&dyn WalkEngine`,
     // driven as a batched session (DESIGN.md §6).
     let engine_name = args.get("engine").unwrap_or("sim");
-    let backend = Backend::parse(engine_name)?;
+    let mut backend = Backend::parse(engine_name)?;
+    if let Some(t) = args.get("threads") {
+        let t: usize = t.parse().map_err(|_| "--threads must be an integer")?;
+        backend = backend.with_threads(t)?;
+    }
+    if let Some(name) = args.get("sampler") {
+        backend = backend.with_sampler(Backend::parse_sampler(name)?);
+    }
     let batch = args.get_u64("batch", 1 << 16)?;
     let engine = backend.build(&g, app.as_ref(), seed);
     let engine: &dyn WalkEngine = engine.as_ref();
@@ -358,7 +368,7 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<String, String> {
-    use crate::jobspec::{self, TraceJob};
+    use crate::jobspec;
     use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
 
     let path = args
@@ -369,7 +379,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let app = parse_app(args, &g)?;
 
     // The trace: an explicit spec file, or a synthetic homogeneous one.
-    let trace: Vec<TraceJob> = match args.get("jobs") {
+    let trace: jobspec::Trace = match args.get("jobs") {
         Some(spec_path) => {
             let text = std::fs::read_to_string(spec_path)
                 .map_err(|e| format!("read --jobs {spec_path}: {e}"))?;
@@ -380,19 +390,36 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             if tenants == 0 {
                 return Err("serve needs --jobs SPEC.json or --synthetic-tenants N".into());
             }
-            jobspec::synthetic_trace(
+            jobspec::Trace::from_jobs(jobspec::synthetic_trace(
                 tenants,
                 args.get_u64("jobs-per-tenant", 2)? as usize,
                 args.get_u64("queries", 64)? as usize,
                 args.get_u64("length", 10)? as u32,
-            )
+            ))
         }
     };
-    if trace.is_empty() {
+    if trace.jobs.is_empty() {
         return Err("the job trace is empty".into());
     }
 
-    let backend = Backend::parse(args.get("engine").unwrap_or("cpu"))?;
+    let mut backend = Backend::parse(args.get("engine").unwrap_or("cpu"))?;
+    // Worker sizing flows through one knob: an explicit --threads wins,
+    // else the trace's own `threads` field — both land in
+    // Backend::with_threads, so every pool engine's LanePlan agrees with
+    // what the spec asked for.
+    let threads = match args.get("threads") {
+        Some(t) => Some(
+            t.parse::<usize>()
+                .map_err(|_| "--threads must be an integer".to_string())?,
+        ),
+        None => trace.threads,
+    };
+    if let Some(t) = threads {
+        backend = backend.with_threads(t)?;
+    }
+    if let Some(name) = args.get("sampler") {
+        backend = backend.with_sampler(Backend::parse_sampler(name)?);
+    }
     let workers = args.get_u64("workers", 2)? as usize;
     let seed = args.get_u64("seed", 42)?;
     let cfg = ServiceConfig {
@@ -406,8 +433,8 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     // Submit the whole trace, remembering each job's expected output shape
     // for the exactly-once audit below.
     let t_wall = Instant::now();
-    let mut handles = Vec::with_capacity(trace.len());
-    for job in &trace {
+    let mut handles = Vec::with_capacity(trace.jobs.len());
+    for job in &trace.jobs {
         let mut queries = QuerySet::n_queries(&g, job.queries, job.length, job.seed);
         if let Some(program) = &job.program {
             queries = queries.with_program(program.clone());
@@ -452,7 +479,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let mut out = format!(
         "served {} jobs ({} tenants) over {} {} worker(s): \
          {} steps in {:.3} ms wall ({:.2} M steps/s)\n",
-        trace.len(),
+        trace.jobs.len(),
         stats.tenants.len(),
         pool.len(),
         pool[0].label(),
@@ -485,7 +512,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     }
     out += &format!(
         "audit: {} jobs, {} paths — no dropped or duplicated paths",
-        trace.len(),
+        trace.jobs.len(),
         audited_paths
     );
     Ok(out)
@@ -601,6 +628,107 @@ mod tests {
         // Unknown engines surface the parse error.
         let err = run("walk", &parse(&[&gpath, "--engine", "fpga"])).unwrap_err();
         assert!(err.contains("unknown --engine"), "{err}");
+    }
+
+    #[test]
+    fn walk_threads_and_sampler_flags() {
+        let gpath = tmp("threads.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let out = run(
+            "walk",
+            &parse(&[
+                &gpath,
+                "--engine",
+                "cpu",
+                "--threads",
+                "2",
+                "--length",
+                "4",
+                "--queries",
+                "32",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("worker lanes"), "{out}");
+        let out = run(
+            "walk",
+            &parse(&[
+                &gpath,
+                "--engine",
+                "cpu",
+                "--sampler",
+                "rejection",
+                "--app",
+                "node2vec",
+                "--length",
+                "4",
+                "--queries",
+                "16",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("cpu(rejection)"), "{out}");
+        // --threads only fits engines with a threads knob.
+        let err = run(
+            "walk",
+            &parse(&[&gpath, "--engine", "sim", "--threads", "2"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let err = run("walk", &parse(&[&gpath, "--sampler", "dice"])).unwrap_err();
+        assert!(err.contains("--sampler"), "{err}");
+    }
+
+    #[test]
+    fn serve_honors_trace_and_cli_thread_settings() {
+        let gpath = tmp("serve_threads.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "rmat", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        let spec = tmp("serve_threads_spec.json");
+        std::fs::write(
+            &spec,
+            r#"{ "threads": 2, "jobs": [
+                {"tenant": 0, "queries": 12, "length": 5}
+            ] }"#,
+        )
+        .unwrap();
+        let out = run(
+            "serve",
+            &parse(&[&gpath, "--jobs", &spec, "--engine", "cpu"]),
+        )
+        .unwrap();
+        assert!(out.contains("served 1 jobs"), "{out}");
+        // A trace threads field only fits engines with a threads knob.
+        let err = run(
+            "serve",
+            &parse(&[&gpath, "--jobs", &spec, "--engine", "reference"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        // The CLI flag (and --sampler) override the trace's settings.
+        let out = run(
+            "serve",
+            &parse(&[
+                &gpath,
+                "--jobs",
+                &spec,
+                "--engine",
+                "cpu",
+                "--threads",
+                "1",
+                "--sampler",
+                "rejection",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("cpu(rejection)"), "{out}");
     }
 
     #[test]

@@ -22,8 +22,12 @@ pub enum Backend {
     },
     /// The multi-threaded CPU engine (`lightrw_baseline::CpuEngine`).
     Cpu {
-        /// Worker threads; 0 = one per core.
+        /// Worker threads; 0 = one per core. Resolved by the engine's
+        /// `LanePlan` (the DESIGN.md §9 double clamp), so the CLI and a
+        /// service pool built from the same spec agree on worker counts.
         threads: usize,
+        /// Per-step weighted sampling method.
+        sampler: SamplerKind,
     },
     /// The simulated accelerator (`lightrw_hwsim::LightRwSim`).
     Sim {
@@ -39,13 +43,62 @@ impl Backend {
             "sim" => Ok(Self::Sim {
                 cfg: LightRwConfig::default(),
             }),
-            "cpu" => Ok(Self::Cpu { threads: 0 }),
+            "cpu" => Ok(Self::Cpu {
+                threads: 0,
+                sampler: SamplerKind::InverseTransform,
+            }),
             "reference" => Ok(Self::Reference {
                 sampler: SamplerKind::InverseTransform,
             }),
             other => Err(format!(
                 "unknown --engine {other:?} (expected sim, cpu or reference)"
             )),
+        }
+    }
+
+    /// Parse a sampler name (the CLI's `--sampler` flag).
+    pub fn parse_sampler(name: &str) -> Result<SamplerKind, String> {
+        match name {
+            "inverse-transform" | "it" => Ok(SamplerKind::InverseTransform),
+            "alias" => Ok(SamplerKind::Alias),
+            "sequential-wrs" => Ok(SamplerKind::SequentialWrs),
+            "pwrs" | "parallel-wrs" => Ok(SamplerKind::ParallelWrs { k: 16 }),
+            "rejection" => Ok(SamplerKind::Rejection),
+            other => Err(format!(
+                "unknown --sampler {other:?} (expected inverse-transform, \
+                 alias, sequential-wrs, pwrs or rejection)"
+            )),
+        }
+    }
+
+    /// Set the CPU worker thread count. Errors for backends that have no
+    /// threads knob: the sim scales via `instances`, the reference engine
+    /// is sequential by design.
+    pub fn with_threads(self, threads: usize) -> Result<Self, String> {
+        match self {
+            Self::Cpu { sampler, .. } => Ok(Self::Cpu { threads, sampler }),
+            Self::Reference { .. } => {
+                Err("--threads only applies to --engine cpu (reference is sequential)".into())
+            }
+            Self::Sim { .. } => {
+                Err("--threads only applies to --engine cpu (the sim scales via instances)".into())
+            }
+        }
+    }
+
+    /// Swap the per-step sampling method. On the sim this is a
+    /// *functional* override (the timing model still prices the WRS
+    /// datapath — see `LightRwConfig::sampler`).
+    pub fn with_sampler(self, sampler: SamplerKind) -> Self {
+        match self {
+            Self::Reference { .. } => Self::Reference { sampler },
+            Self::Cpu { threads, .. } => Self::Cpu { threads, sampler },
+            Self::Sim { cfg } => Self::Sim {
+                cfg: LightRwConfig {
+                    sampler: Some(sampler),
+                    ..cfg
+                },
+            },
         }
     }
 
@@ -61,13 +114,13 @@ impl Backend {
             Self::Reference { sampler } => {
                 Box::new(ReferenceEngine::new(graph, app, sampler, seed))
             }
-            Self::Cpu { threads } => Box::new(CpuEngine::new(
+            Self::Cpu { threads, sampler } => Box::new(CpuEngine::new(
                 graph,
                 app,
                 BaselineConfig {
                     threads,
+                    sampler,
                     seed,
-                    ..Default::default()
                 },
             )),
             Self::Sim { cfg } => {
@@ -114,13 +167,61 @@ mod tests {
         assert!(matches!(Backend::parse("sim"), Ok(Backend::Sim { .. })));
         assert!(matches!(
             Backend::parse("cpu"),
-            Ok(Backend::Cpu { threads: 0 })
+            Ok(Backend::Cpu { threads: 0, .. })
         ));
         assert!(matches!(
             Backend::parse("reference"),
             Ok(Backend::Reference { .. })
         ));
         assert!(Backend::parse("fpga").unwrap_err().contains("--engine"));
+    }
+
+    #[test]
+    fn threads_knob_applies_to_cpu_only() {
+        let cpu = Backend::parse("cpu").unwrap().with_threads(3).unwrap();
+        assert!(matches!(cpu, Backend::Cpu { threads: 3, .. }));
+        for name in ["sim", "reference"] {
+            let err = Backend::parse(name).unwrap().with_threads(3).unwrap_err();
+            assert!(err.contains("--threads"), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn sampler_knob_applies_to_every_backend() {
+        let kind = Backend::parse_sampler("rejection").unwrap();
+        assert_eq!(kind, SamplerKind::Rejection);
+        assert!(Backend::parse_sampler("dice")
+            .unwrap_err()
+            .contains("--sampler"));
+        match Backend::parse("cpu").unwrap().with_sampler(kind) {
+            Backend::Cpu { sampler, .. } => assert_eq!(sampler, SamplerKind::Rejection),
+            other => panic!("{other:?}"),
+        }
+        match Backend::parse("reference").unwrap().with_sampler(kind) {
+            Backend::Reference { sampler } => assert_eq!(sampler, SamplerKind::Rejection),
+            other => panic!("{other:?}"),
+        }
+        match Backend::parse("sim").unwrap().with_sampler(kind) {
+            Backend::Sim { cfg } => assert_eq!(cfg.sampler, Some(SamplerKind::Rejection)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejection_backends_produce_valid_walks() {
+        let g = generators::rmat_dataset(7, 6);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 2);
+        let nv = lightrw_walker::Node2Vec::paper_params();
+        for name in ["sim", "cpu", "reference"] {
+            let backend = Backend::parse(name)
+                .unwrap()
+                .with_sampler(SamplerKind::Rejection);
+            let results = backend.build(&g, &nv, 5).run_collected(&qs);
+            assert_eq!(results.len(), qs.len(), "{name}");
+            for p in results.iter() {
+                validate_path(&g, &nv, p).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!
 //! ```json
 //! {
+//!   "threads": 4,
 //!   "jobs": [
 //!     {"tenant": 0, "queries": 64, "length": 20},
 //!     {"tenant": 1, "queries": 32, "length": 10, "weight": 2,
@@ -15,6 +16,13 @@
 //!   ]
 //! }
 //! ```
+//!
+//! The optional top-level `threads` field sizes each CPU worker's lane
+//! plan (`0` = one per core) — it flows into `Backend::with_threads`
+//! before `Backend::build_pool`, so a replayed trace and the CLI agree on
+//! worker counts by construction (`--threads` on the command line takes
+//! precedence). It is a property of the *trace*, not of a job, because
+//! every job in a service run shares the same engine pool.
 //!
 //! `tenant` and `queries` are required, plus exactly one of `length` (a
 //! fixed-length walk) or `program` (a composable
@@ -38,6 +46,26 @@
 use std::fmt::Write as _;
 
 use lightrw_walker::WalkProgram;
+
+/// A parsed trace: the jobs plus the trace-wide engine settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// CPU worker threads per pool engine (`0` = one per core); `None`
+    /// leaves the backend's own default in place.
+    pub threads: Option<usize>,
+    /// The jobs, in submission order.
+    pub jobs: Vec<TraceJob>,
+}
+
+impl Trace {
+    /// Wrap bare jobs with no trace-wide settings.
+    pub fn from_jobs(jobs: Vec<TraceJob>) -> Self {
+        Self {
+            threads: None,
+            jobs,
+        }
+    }
+}
 
 /// One job of a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,10 +126,14 @@ pub fn synthetic_trace(
 /// [`WalkProgram::parse`]), so its serialized form will not re-parse —
 /// attach targets programmatically via `QuerySet::with_program` instead
 /// of routing them through a trace.
-pub fn to_json(jobs: &[TraceJob]) -> String {
-    let mut out = String::from("{\n  \"jobs\": [\n");
-    for (i, j) in jobs.iter().enumerate() {
-        let sep = if i + 1 < jobs.len() { "," } else { "" };
+pub fn to_json(trace: &Trace) -> String {
+    let mut out = String::from("{\n");
+    if let Some(t) = trace.threads {
+        let _ = writeln!(out, "  \"threads\": {t},");
+    }
+    out.push_str("  \"jobs\": [\n");
+    for (i, j) in trace.jobs.iter().enumerate() {
+        let sep = if i + 1 < trace.jobs.len() { "," } else { "" };
         let deadline = j
             .deadline
             .map(|d| format!(", \"deadline\": {d}"))
@@ -122,7 +154,7 @@ pub fn to_json(jobs: &[TraceJob]) -> String {
 }
 
 /// Parse a trace document. Errors carry the offending line number.
-pub fn parse_trace(text: &str) -> Result<Vec<TraceJob>, String> {
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -133,27 +165,51 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceJob>, String> {
     if p.pos < p.bytes.len() {
         return Err(p.err("trailing content after the trace document"));
     }
+    let mut threads = None;
     let jobs_value = match root {
         Value::Array(items) => items,
         Value::Object(fields) => {
-            let jobs = fields
-                .into_iter()
-                .find(|(k, _)| k == "jobs")
-                .ok_or("trace object needs a \"jobs\" array")?
-                .1;
-            match jobs {
+            let mut jobs_value = None;
+            for (key, value) in fields {
+                match key.as_str() {
+                    "jobs" => jobs_value = Some(value),
+                    "threads" => match value {
+                        Value::Number(n)
+                            if n.is_finite()
+                                && n >= 0.0
+                                && n.fract() == 0.0
+                                && n <= MAX_TRACE_THREADS as f64 =>
+                        {
+                            threads = Some(n as usize)
+                        }
+                        _ => {
+                            return Err(format!(
+                                "trace \"threads\" must be an integer in \
+                                 0..={MAX_TRACE_THREADS} (0 = one per core)"
+                            ))
+                        }
+                    },
+                    other => return Err(format!("unknown trace field {other:?}")),
+                }
+            }
+            match jobs_value.ok_or("trace object needs a \"jobs\" array")? {
                 Value::Array(items) => items,
                 _ => return Err("\"jobs\" must be an array".into()),
             }
         }
         _ => return Err("trace must be an object with \"jobs\" or a bare array".into()),
     };
-    jobs_value
+    let jobs = jobs_value
         .into_iter()
         .enumerate()
         .map(|(i, v)| trace_job(i, v))
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Trace { threads, jobs })
 }
+
+/// Largest `threads` value a trace may request: beyond 1024 workers the
+/// spec is a config mistake (and matches the affinity mask's CPU ceiling).
+const MAX_TRACE_THREADS: u64 = 1024;
 
 /// Largest `queries` value a spec may request: beyond ~16M queries per
 /// job the workload is a config mistake, not a trace (and `as`-casting
@@ -482,14 +538,15 @@ mod tests {
 
     #[test]
     fn parses_object_form_with_all_fields() {
-        let jobs = parse_trace(
+        let jobs = &parse_trace(
             r#"{ "jobs": [
                 {"tenant": 0, "queries": 64, "length": 20},
                 {"tenant": 1, "weight": 2, "queries": 32, "length": 10,
                  "seed": 7, "deadline": 0.25}
             ] }"#,
         )
-        .unwrap();
+        .unwrap()
+        .jobs;
         assert_eq!(jobs.len(), 2);
         assert_eq!(
             jobs[0],
@@ -510,21 +567,47 @@ mod tests {
 
     #[test]
     fn parses_bare_array_form() {
-        let jobs = parse_trace(r#"[{"tenant": 3, "queries": 1, "length": 5}]"#).unwrap();
-        assert_eq!(jobs.len(), 1);
-        assert_eq!(jobs[0].tenant, 3);
+        let trace = parse_trace(r#"[{"tenant": 3, "queries": 1, "length": 5}]"#).unwrap();
+        assert_eq!(trace.jobs.len(), 1);
+        assert_eq!(trace.jobs[0].tenant, 3);
+        assert_eq!(trace.threads, None, "bare arrays carry no trace settings");
     }
 
     #[test]
     fn roundtrips_through_to_json() {
-        let mut trace = synthetic_trace(3, 2, 16, 8);
-        trace[4].deadline = Some(1.5);
-        trace[5].weight = 4;
+        let mut trace = Trace::from_jobs(synthetic_trace(3, 2, 16, 8));
+        trace.threads = Some(4);
+        trace.jobs[4].deadline = Some(1.5);
+        trace.jobs[5].weight = 4;
         // A program job serializes as the compact string form; `length`
         // mirrors the program's cap on the way back in.
-        trace[2].program = Some(WalkProgram::ppr(0.15, 8));
+        trace.jobs[2].program = Some(WalkProgram::ppr(0.15, 8));
         let parsed = parse_trace(&to_json(&trace)).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn trace_threads_field_is_parsed_and_validated() {
+        let trace =
+            parse_trace(r#"{"threads": 8, "jobs": [{"tenant": 0, "queries": 1, "length": 2}]}"#)
+                .unwrap();
+        assert_eq!(trace.threads, Some(8));
+        // 0 is meaningful: one worker per core, the engine default.
+        let auto =
+            parse_trace(r#"{"threads": 0, "jobs": [{"tenant": 0, "queries": 1, "length": 2}]}"#)
+                .unwrap();
+        assert_eq!(auto.threads, Some(0));
+        for bad in [
+            r#"{"threads": -1, "jobs": []}"#,
+            r#"{"threads": 2.5, "jobs": []}"#,
+            r#"{"threads": 4096, "jobs": []}"#,
+            r#"{"threads": "four", "jobs": []}"#,
+        ] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("threads"), "{bad}: {err}");
+        }
+        let err = parse_trace(r#"{"workers": 2, "jobs": []}"#).unwrap_err();
+        assert!(err.contains("unknown trace field"), "{err}");
     }
 
     #[test]
@@ -538,7 +621,8 @@ mod tests {
                  "program": {"kind": "fixed", "len": 12, "deadend": "restart"}}
             ] }"#,
         )
-        .unwrap();
+        .unwrap()
+        .jobs;
         assert_eq!(jobs[0].program, Some(WalkProgram::ppr(0.25, 40)));
         assert_eq!(jobs[0].length, 40, "length mirrors the program cap");
         let restart_fixed = lightrw_walker::WalkProgram::parse("fixed:len=6,deadend=restart");

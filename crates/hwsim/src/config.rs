@@ -1,6 +1,7 @@
 //! Accelerator configuration.
 
 use lightrw_memsim::{BurstConfig, CachePolicy, DramConfig};
+use lightrw_walker::SamplerKind;
 
 /// Configuration of one LightRW deployment (paper §6.1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +37,15 @@ pub struct LightRwConfig {
     /// buys a 2x saturation margin while keeping Fig. 15's low, consistent
     /// per-query latencies.
     pub max_inflight: usize,
+    /// **Functional** sampler override for conformance studies: `None`
+    /// (the default, and the modeled hardware) samples with the paper's
+    /// parallel WRS datapath at this config's `k`; `Some(kind)` swaps the
+    /// sampling *function* — e.g. `SamplerKind::Rejection` to validate
+    /// the second-order fast path's distribution on the sim engine. The
+    /// timing model is unchanged either way: cycles are still priced as
+    /// the WRS datapath, so override runs answer "what would this
+    /// distribution look like", never "how fast would that hardware be".
+    pub sampler: Option<SamplerKind>,
 }
 
 impl Default for LightRwConfig {
@@ -51,6 +61,7 @@ impl Default for LightRwConfig {
             seed: 0x11_917,
             output_latency: 4,
             max_inflight: 16,
+            sampler: None,
         }
     }
 }

@@ -141,7 +141,11 @@ impl<'g> InstanceSession<'g> {
         seed: u64,
         queries: &QuerySet,
     ) -> Self {
-        let mut stepper = HotStepper::new(app, SamplerKind::ParallelWrs { k: cfg.k }, seed);
+        // The modeled hardware samples with parallel WRS at width k; a
+        // cfg.sampler override swaps the sampling function only — the
+        // cycle model below still prices the WRS datapath.
+        let kind = cfg.sampler.unwrap_or(SamplerKind::ParallelWrs { k: cfg.k });
+        let mut stepper = HotStepper::new(app, kind, seed);
         stepper.reserve(graph.max_degree() as usize);
         let qs = queries.queries();
         let n = qs.len();

@@ -11,6 +11,7 @@
 //! | [`AliasTable`] | classic alternative (§2.2) | O(n) | O(1) | yes (init/gen) |
 //! | [`reservoir`] (sequential WRS) | single-pass sampler (§3.2) | — | O(n) stream | no |
 //! | [`ParallelWrs`] | **the contribution**: k items/cycle (§4, Alg. 4.1) | — | O(n/k + log k) | no |
+//! | [`rejection`] | KnightKing-style envelope accept/reject (related work) | — | expected O(log n) | no |
 //!
 //! The parallel WRS implementation follows the hardware exactly:
 //! a per-batch prefix sum (Eq. 5 decomposition) computed with a
@@ -47,6 +48,7 @@ pub mod distribution;
 pub mod inverse_transform;
 pub mod parallel_wrs;
 pub mod prefix;
+pub mod rejection;
 pub mod reservoir;
 
 pub use a_res::AResSampler;

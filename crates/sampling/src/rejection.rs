@@ -1,0 +1,215 @@
+//! Rejection sampling against a per-candidate envelope (KnightKing-style).
+//!
+//! Second-order weight rules (Node2Vec's Eq. 2) force every streaming
+//! sampler to evaluate `F` for all `deg(a_t)` candidates per step. When the
+//! rule is bounded by a *static envelope* — `F(i) ≤ w_static(i) ·
+//! max_weight` for every candidate `i` — the step can instead run an
+//! accept/reject loop: propose a candidate with probability proportional
+//! to its static weight (one binary search over the CSR prefix cache),
+//! then accept with probability `F(i) / envelope(i)`. Each round evaluates
+//! `F` for exactly one candidate, so the expected cost per step is
+//! O(log deg / acceptance-rate) instead of O(deg) — the KnightKing
+//! observation that makes second-order walks degree-independent.
+//!
+//! # RNG-stream contract
+//!
+//! Every round consumes exactly **two** draws from the scalar stream, in
+//! this order: one [`Rng::gen_range`]`(total)` for the proposal, one
+//! [`Rng::next_u64`] for the acceptance test. The loop is bounded by
+//! `max_rounds`; callers must finish an [`RejectionOutcome::Exhausted`]
+//! step by other means (the engines fall back to one exact streaming
+//! pass), so the per-step draw count is bounded. This stream is *not*
+//! draw-compatible with any other sampling method — which is why engines
+//! expose rejection sampling as an explicit opt-in validated by
+//! goodness-of-fit, not by bit-equality (DESIGN.md §9).
+//!
+//! # Exactness
+//!
+//! The acceptance test is the division-free 64-bit comparison
+//! `(u · envelope) >> 64 < F(i)` with `u` a 64-bit uniform, i.e. accept
+//! with probability `ceil(F(i)·2^64 / envelope) / 2^64` — within `2^-64`
+//! of the real ratio, far below any observable sampling effect. The
+//! envelope is computed in 64-bit (`w_static · max_weight` cannot wrap),
+//! so the proposal × acceptance product is proportional to `F(i)` even
+//! when the app's own 32-bit weight saturates.
+
+use lightrw_rng::Rng;
+
+/// Default bound on accept/reject rounds per step. At the paper's Node2Vec
+/// parameters (`p = 2, q = 0.5`) the acceptance probability is at least
+/// `min(1/p, 1, 1/q) / max(1/p, 1, 1/q) = 1/4`, so 64 rounds fail with
+/// probability under `(3/4)^64 ≈ 1e-8` — the exact-fallback path exists
+/// for degenerate rows (e.g. all dynamic weights zero), not for luck.
+pub const MAX_REJECTION_ROUNDS: u32 = 64;
+
+/// Result of a bounded rejection-sampling attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectionOutcome {
+    /// Candidate `i` was proposed and accepted.
+    Accepted(usize),
+    /// The static total is zero: nothing can ever be proposed.
+    DeadEnd,
+    /// `max_rounds` rounds all rejected; the caller must finish the step
+    /// exactly (one streaming pass) to keep the walk unbiased.
+    Exhausted,
+}
+
+/// Draw an index with probability proportional to `weight_of(i)`, where
+/// `cumulative` holds the *inclusive* cumulative static weights of the
+/// candidates (the CSR prefix-cache layout) and every dynamic weight is
+/// bounded by its envelope: `weight_of(i) ≤ (cumulative[i] -
+/// cumulative[i-1]) · max_weight` (64-bit product, no saturation).
+///
+/// `weight_of` is evaluated once per round, for the proposed candidate
+/// only. Zero-static candidates are never proposed (their prefix span is
+/// empty), matching the streaming samplers, which can never select a
+/// candidate whose weight is 0 — and an envelope of 0 forces
+/// `weight_of(i) == 0` anyway.
+pub fn select_from_prefix<R: Rng>(
+    rng: &mut R,
+    cumulative: &[u64],
+    max_weight: u32,
+    max_rounds: u32,
+    weight_of: impl Fn(usize) -> u32,
+) -> RejectionOutcome {
+    let total = match cumulative.last() {
+        Some(&t) if t > 0 => t,
+        _ => return RejectionOutcome::DeadEnd,
+    };
+    for _ in 0..max_rounds {
+        // Proposal: one candidate, ∝ static weight (draw 1 of 2).
+        let r = rng.gen_range(total);
+        let i = cumulative.partition_point(|&c| c <= r);
+        let w_static = cumulative[i] - if i == 0 { 0 } else { cumulative[i - 1] };
+        let envelope = w_static * max_weight as u64;
+        // Acceptance: dynamic weight vs envelope (draw 2 of 2).
+        let u = rng.next_u64();
+        if (u as u128 * envelope as u128) >> 64 < weight_of(i) as u128 {
+            return RejectionOutcome::Accepted(i);
+        }
+    }
+    RejectionOutcome::Exhausted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_rng::stats::{chi_square_counts, chi_square_crit_999};
+    use lightrw_rng::SplitMix64;
+
+    /// Inclusive cumulative sums of `weights`.
+    fn prefix(weights: &[u32]) -> Vec<u64> {
+        let mut acc = 0u64;
+        weights
+            .iter()
+            .map(|&w| {
+                acc += w as u64;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_the_target_distribution() {
+        // Statics {1, 2, 3, 4} with a dynamic rule that scales candidate i
+        // by multiplier m_i ∈ {4, 1, 2, 3} ≤ max_weight = 4: the sampled
+        // law must be ∝ static · m.
+        let statics = [1u32, 2, 3, 4];
+        let mults = [4u32, 1, 2, 3];
+        let cum = prefix(&statics);
+        let mut rng = SplitMix64::new(42);
+        let mut counts = [0u64; 4];
+        for _ in 0..60_000 {
+            match select_from_prefix(&mut rng, &cum, 4, MAX_REJECTION_ROUNDS, |i| {
+                statics[i] * mults[i]
+            }) {
+                RejectionOutcome::Accepted(i) => counts[i] += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let expected: Vec<f64> = statics
+            .iter()
+            .zip(&mults)
+            .map(|(&s, &m)| (s * m) as f64)
+            .collect();
+        let chi2 = chi_square_counts(&counts, &expected);
+        assert!(chi2 < chi_square_crit_999(3), "chi2={chi2:.1} {counts:?}");
+    }
+
+    #[test]
+    fn zero_static_candidates_are_never_proposed() {
+        let cum = prefix(&[0, 5, 0, 5]);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1_000 {
+            match select_from_prefix(&mut rng, &cum, 1, MAX_REJECTION_ROUNDS, |i| {
+                assert!(i == 1 || i == 3, "proposed zero-static candidate {i}");
+                5
+            }) {
+                RejectionOutcome::Accepted(i) => assert!(i == 1 || i == 3),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_rows_are_dead_ends() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(
+            select_from_prefix(&mut rng, &[], 1, 4, |_| 1),
+            RejectionOutcome::DeadEnd
+        );
+        assert_eq!(
+            select_from_prefix(&mut rng, &prefix(&[0, 0]), 1, 4, |_| 1),
+            RejectionOutcome::DeadEnd
+        );
+    }
+
+    #[test]
+    fn all_zero_dynamic_weights_exhaust() {
+        // Positive statics but a dynamic rule that vetoes everything
+        // (MetaPath with no matching relation): every round rejects and
+        // the bounded loop reports exhaustion for the caller's exact pass.
+        let cum = prefix(&[3, 4]);
+        let mut rng = SplitMix64::new(9);
+        assert_eq!(
+            select_from_prefix(&mut rng, &cum, 8, 16, |_| 0),
+            RejectionOutcome::Exhausted
+        );
+    }
+
+    #[test]
+    fn consumes_exactly_two_draws_per_round() {
+        // The documented stream contract: a first-round accept leaves the
+        // RNG exactly two draws ahead of where it started.
+        let cum = prefix(&[1, 1]);
+        let mut rng = SplitMix64::new(3);
+        let mut twin = SplitMix64::new(3);
+        // max_weight 1 and full-weight candidates: accepts on round one.
+        let got = select_from_prefix(&mut rng, &cum, 1, 4, |_| 1);
+        assert!(matches!(got, RejectionOutcome::Accepted(_)));
+        let _ = twin.gen_range(2);
+        let _ = twin.next_u64();
+        assert_eq!(rng.next_u64(), twin.next_u64());
+    }
+
+    #[test]
+    fn saturated_app_weights_stay_proportional() {
+        // Envelope arithmetic is 64-bit: statics {1, 2} with a huge
+        // max_weight whose 32-bit dynamic weights saturate equal at
+        // u32::MAX must sample ∝ the dynamic weights — i.e. *uniformly*,
+        // because proposal ∝ static cancels against acceptance
+        // w / (static · max_weight). A 32-bit (saturating) envelope would
+        // instead leak the static bias through.
+        let cum = prefix(&[1, 2]);
+        let mut rng = SplitMix64::new(11);
+        let mut counts = [0u64; 2];
+        for _ in 0..40_000 {
+            match select_from_prefix(&mut rng, &cum, u32::MAX, 1 << 14, |_| u32::MAX) {
+                RejectionOutcome::Accepted(i) => counts[i] += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let chi2 = chi_square_counts(&counts, &[1.0, 1.0]);
+        assert!(chi2 < chi_square_crit_999(1), "chi2={chi2:.1} {counts:?}");
+    }
+}

@@ -92,6 +92,21 @@ pub enum WeightProfile {
     /// (optionally masked to [`WalkApp::static_relation`] at each step):
     /// engines may binary-search the graph's static-weight prefix cache.
     StaticOnly,
+    /// Second-order weights bounded by a static envelope: for every input,
+    /// `weight(ctx, nbr, w, rel, pin) ≤ w · max_weight` (computed in
+    /// 64-bit — the bound must hold even where the app's own 32-bit
+    /// weight saturates), and on the first step (`ctx.prev == None`) the
+    /// weight is exactly `w << FX_FRAC_BITS`. Engines running a
+    /// rejection-capable sampler may propose from the static prefix cache
+    /// and accept against the envelope (expected O(1) weight evaluations
+    /// per step, KnightKing-style); every other sampler treats this
+    /// profile exactly as [`WeightProfile::Dynamic`], so the hint is
+    /// invisible outside the explicit rejection opt-in (DESIGN.md §9).
+    SecondOrderEnvelope {
+        /// Fixed-point (16-frac) multiplier bounding the dynamic weight
+        /// relative to the static weight. Never zero.
+        max_weight: u32,
+    },
     /// Weights depend on walker state (second-order rules etc.): engines
     /// must stream `F` per candidate.
     Dynamic,
@@ -243,6 +258,16 @@ impl Node2Vec {
 impl WalkApp for Node2Vec {
     fn name(&self) -> &'static str {
         "Node2Vec"
+    }
+
+    fn weight_profile(&self) -> WeightProfile {
+        // Every Eq. 2 branch scales the static weight by one of
+        // {1/p, 1, 1/q} (saturating), so the largest of those multipliers
+        // is a valid rejection envelope; at the paper's p = 2, q = 0.5 the
+        // acceptance rate is at least 1/4 per round.
+        WeightProfile::SecondOrderEnvelope {
+            max_weight: self.inv_p.max(self.inv_q).max(FX_ONE),
+        }
     }
 
     fn second_order(&self) -> bool {
@@ -465,9 +490,13 @@ mod tests {
     fn weight_profiles_match_contracts() {
         assert_eq!(Uniform.weight_profile(), WeightProfile::UniformStatic);
         assert_eq!(StaticWeighted.weight_profile(), WeightProfile::StaticOnly);
+        // Node2Vec(p=2, q=0.5) is enveloped by its largest multiplier,
+        // 1/q = 2 in fixed point.
         assert_eq!(
             Node2Vec::paper_params().weight_profile(),
-            WeightProfile::Dynamic
+            WeightProfile::SecondOrderEnvelope {
+                max_weight: 2 * FX_ONE
+            }
         );
         let mp = MetaPath::new(vec![2, 5]);
         assert_eq!(mp.weight_profile(), WeightProfile::StaticOnly);
@@ -476,6 +505,35 @@ mod tests {
         assert_eq!(mp.static_relation(1), Some(5));
         assert_eq!(mp.static_relation(2), Some(2));
         assert_eq!(StaticWeighted.static_relation(7), None);
+    }
+
+    #[test]
+    fn node2vec_envelope_bounds_every_branch() {
+        // The SecondOrderEnvelope contract: every Eq. 2 branch stays under
+        // the 64-bit envelope `w_static · max_weight`, and the first step
+        // is exactly the static promotion — including at extreme p/q where
+        // the 32-bit weight itself saturates.
+        for (p, q) in [(2.0, 0.5), (0.5, 2.0), (1.0, 1.0), (1e-12, 1e12)] {
+            let nv = Node2Vec::new(p, q);
+            let WeightProfile::SecondOrderEnvelope { max_weight } = nv.weight_profile() else {
+                panic!("Node2Vec must advertise a rejection envelope");
+            };
+            assert!(max_weight >= FX_ONE);
+            for w_static in [0u32, 1, 3, 64] {
+                let env = w_static as u64 * max_weight as u64;
+                for (nbr, pin) in [(3u32, true), (7, true), (7, false)] {
+                    let w = nv.weight(ctx(1, 5, Some(3)), nbr, w_static, 0, pin);
+                    assert!(
+                        (w as u64) <= env,
+                        "p={p} q={q} w*={w_static} nbr={nbr}: {w} > {env}"
+                    );
+                }
+                assert_eq!(
+                    nv.weight(ctx(0, 5, None), 7, w_static, 0, false),
+                    w_static << FX_FRAC_BITS
+                );
+            }
+        }
     }
 
     #[test]

@@ -254,6 +254,61 @@ pub fn multiplex_sessions<'s>(
     }
 }
 
+/// Exactly-once, id-ordered emission bookkeeping for sessions whose
+/// walkers finish out of order (interleaved worker lanes, event heaps).
+///
+/// The emitter owns only the watermark: the next query id to emit. Each
+/// [`InOrderEmitter::drain`] call repeatedly asks the session for the path
+/// of that id (`take_ready` returns `None` while it is still walking,
+/// `Some(path)` exactly once when done — sessions `std::mem::take` the
+/// buffer, which is what makes double emission structurally impossible)
+/// and pushes it into the sink. Because the watermark only moves forward,
+/// any interleaving of lane progress, batch boundaries and cancellation
+/// yields each path exactly once, in ascending id order — the
+/// [`WalkSink`] contract (DESIGN.md §6).
+#[derive(Debug, Clone, Copy)]
+pub struct InOrderEmitter {
+    next: usize,
+    total: usize,
+}
+
+impl InOrderEmitter {
+    /// An emitter over query ids `0..total`.
+    pub fn new(total: usize) -> Self {
+        Self { next: 0, total }
+    }
+
+    /// Paths emitted so far (the watermark).
+    pub fn emitted(&self) -> usize {
+        self.next
+    }
+
+    /// True once every path has been emitted.
+    pub fn finished(&self) -> bool {
+        self.next >= self.total
+    }
+
+    /// Emit every ready path at the watermark: while `take_ready(id)`
+    /// yields the finished path of the next id, hand it to `sink` and
+    /// advance. Returns how many paths were emitted by this call.
+    pub fn drain(
+        &mut self,
+        sink: &mut dyn WalkSink,
+        mut take_ready: impl FnMut(usize) -> Option<Vec<VertexId>>,
+    ) -> usize {
+        let mut emitted = 0;
+        while self.next < self.total {
+            let Some(path) = take_ready(self.next) else {
+                break;
+            };
+            sink.emit(self.next as u32, &path);
+            self.next += 1;
+            emitted += 1;
+        }
+        emitted
+    }
+}
+
 // --- Reference engine session -------------------------------------------
 
 /// Streaming session of the sequential [`ReferenceEngine`]: one query in

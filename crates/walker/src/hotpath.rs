@@ -20,6 +20,7 @@ use lightrw_graph::{Graph, NeighborView, VertexId};
 pub struct HotStepper {
     sampler: AnySampler,
     mask: NeighborBitset,
+    kind: SamplerKind,
     profile: WeightProfile,
     second_order: bool,
 }
@@ -32,6 +33,7 @@ impl HotStepper {
         Self {
             sampler: AnySampler::new(kind, seed),
             mask: NeighborBitset::new(),
+            kind,
             profile: app.weight_profile(),
             second_order: app.second_order(),
         }
@@ -63,19 +65,45 @@ impl HotStepper {
             return None;
         }
         let idx = if let (true, Some(prev)) = (self.second_order, ctx.prev) {
-            // Second-order rule (Node2Vec): build the packed membership
-            // mask, then stream F lane by lane into the sampler.
-            common_neighbor_bitset(g, ctx.cur, prev, &mut self.mask);
-            let Self { sampler, mask, .. } = self;
-            sampler.select_weighted_with(view.len(), |i| {
-                app.weight(
-                    ctx,
-                    view.targets[i],
-                    view.weights[i],
-                    view.relation(i),
-                    mask.get(i),
-                )
-            })
+            let envelope = match (self.kind, self.profile) {
+                // Rejection fast path (DESIGN.md §9): only with the
+                // explicit opt-in sampler, an app-advertised envelope, and
+                // the prefix cache to propose from.
+                (SamplerKind::Rejection, WeightProfile::SecondOrderEnvelope { max_weight }) => {
+                    g.static_prefix(ctx.cur).map(|cum| (cum, max_weight))
+                }
+                _ => None,
+            };
+            if let Some((cum, max_weight)) = envelope {
+                // Propose ∝ static weight via the prefix cache, accept
+                // against the envelope. Membership is probed per *proposed*
+                // candidate (one `has_edge` binary search each, expected
+                // O(1) proposals) instead of building the full
+                // common-neighbor bitset over both adjacency lists.
+                self.sampler.select_envelope(cum, max_weight, |i| {
+                    app.weight(
+                        ctx,
+                        view.targets[i],
+                        view.weights[i],
+                        view.relation(i),
+                        g.has_edge(prev, view.targets[i]),
+                    )
+                })
+            } else {
+                // Second-order rule (Node2Vec): build the packed membership
+                // mask, then stream F lane by lane into the sampler.
+                common_neighbor_bitset(g, ctx.cur, prev, &mut self.mask);
+                let Self { sampler, mask, .. } = self;
+                sampler.select_weighted_with(view.len(), |i| {
+                    app.weight(
+                        ctx,
+                        view.targets[i],
+                        view.weights[i],
+                        view.relation(i),
+                        mask.get(i),
+                    )
+                })
+            }
         } else {
             match self.profile {
                 WeightProfile::UniformStatic => self.sampler.select_uniform(view.len(), FX_ONE),
@@ -90,6 +118,14 @@ impl HotStepper {
                         None => self.generic(view, app, ctx),
                     }
                 }
+                // First-order step of an enveloped second-order app: the
+                // profile contract fixes the weight to the plain static
+                // promotion, so the prefix fast path applies and stays
+                // RNG-identical to streaming.
+                WeightProfile::SecondOrderEnvelope { .. } => match g.static_prefix(ctx.cur) {
+                    Some(cum) => self.sampler.select_prefix(cum),
+                    None => self.generic(view, app, ctx),
+                },
                 WeightProfile::Dynamic => self.generic(view, app, ctx),
             }
         };
@@ -115,6 +151,121 @@ impl HotStepper {
                 false,
             )
         })
+    }
+}
+
+/// Software-prefetch the head of `v`'s CSR adjacency into cache.
+///
+/// The step-centric lane driver calls this during a walker's **Gather**
+/// phase for the *following* walker in the ring (prefetch distance 1): by
+/// the time the ring returns to that walker, its `col_index`/`weights`
+/// lines have had one full Move+Update of latency to arrive — ThunderRW's
+/// interleaving trick for hiding DRAM latency on CPUs. Resolving the view
+/// here also touches the two `row_index` entries, which is the useful part
+/// on architectures without an explicit prefetch instruction.
+#[inline]
+pub fn prefetch_row(g: &Graph, v: VertexId) {
+    let view = g.neighbor_view(v);
+    #[cfg(target_arch = "x86_64")]
+    if !view.targets.is_empty() {
+        // SAFETY: prefetch has no memory effects; any address is allowed.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(view.targets.as_ptr().cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(view.weights.as_ptr().cast::<i8>(), _MM_HINT_T0);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = view;
+}
+
+/// The multi-walker lane driver: a persistent round-robin ring over the
+/// walkers one worker owns, visiting each active walker once per sweep
+/// (step-centric interleaving) and retiring walkers in place.
+///
+/// The ring is pure scheduling state — walker data stays wherever the
+/// engine keeps it (SoA arrays in the CPU lanes); slots index into those
+/// arrays. The visit order is exactly the classic cursor + `swap_remove`
+/// sweep the engines used walker-at-a-time, so a driver upgrade never
+/// changes which walker steps next — the bit-identity regression in
+/// tests/engine_agreement.rs pins this.
+#[derive(Debug, Clone)]
+pub struct WalkerRing {
+    /// Slots of walkers still walking.
+    active: Vec<usize>,
+    /// Position within the current sweep over `active`.
+    cursor: usize,
+}
+
+impl WalkerRing {
+    /// A ring over walker slots `0..n`, all active.
+    pub fn full(n: usize) -> Self {
+        Self {
+            active: (0..n).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Number of walkers still active.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether every walker has retired.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// The slots still active, in ring order (cancel paths flush these).
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Begin a visit: wrap the sweep cursor and return the current
+    /// walker's slot, or `None` when the ring has drained.
+    #[inline]
+    pub fn current(&mut self) -> Option<usize> {
+        if self.active.is_empty() {
+            return None;
+        }
+        if self.cursor >= self.active.len() {
+            self.cursor = 0; // new sweep
+        }
+        Some(self.active[self.cursor])
+    }
+
+    /// The slot the ring will visit after the current one — the Gather
+    /// phase's prefetch target. A hint only: when the current walker
+    /// retires, `swap_remove` visits a different slot next, and a
+    /// mispredicted prefetch costs nothing.
+    #[inline]
+    pub fn upcoming(&self) -> Option<usize> {
+        if self.active.len() < 2 {
+            return None;
+        }
+        let next = if self.cursor + 1 >= self.active.len() {
+            0
+        } else {
+            self.cursor + 1
+        };
+        Some(self.active[next])
+    }
+
+    /// End a visit keeping the current walker: advance to the next slot.
+    #[inline]
+    pub fn keep(&mut self) {
+        self.cursor += 1;
+    }
+
+    /// End a visit retiring the current walker from the ring.
+    #[inline]
+    pub fn retire(&mut self) {
+        self.active.swap_remove(self.cursor);
+    }
+
+    /// Retire every remaining walker (cancellation).
+    pub fn clear(&mut self) {
+        self.active.clear();
     }
 }
 
@@ -202,5 +353,146 @@ mod tests {
         };
         assert_eq!(s.step(&g, &Uniform, ctx(0)), Some(1));
         assert_eq!(s.step(&g, &Uniform, ctx(1)), None);
+    }
+
+    #[test]
+    fn rejection_kind_matches_inverse_transform_off_the_envelope_path() {
+        // Away from enveloped second-order steps the rejection kind is
+        // draw-for-draw inverse transform: first-order apps must sample
+        // bit-identical walks under either kind, every profile branch.
+        let g = generators::rmat_dataset(8, 21);
+        let mp = MetaPath::new(vec![0, 1, 0]);
+        let apps: [&dyn WalkApp; 3] = [&Uniform, &StaticWeighted, &mp];
+        for app in apps {
+            let mut it = HotStepper::new(app, SamplerKind::InverseTransform, 5);
+            let mut rj = HotStepper::new(app, SamplerKind::Rejection, 5);
+            for v in 0..g.num_vertices() as VertexId {
+                let mut ctx = StepContext {
+                    step: v % 5,
+                    cur: v,
+                    prev: None,
+                };
+                for _ in 0..3 {
+                    let a = it.step(&g, app, ctx);
+                    let b = rj.step(&g, app, ctx);
+                    assert_eq!(a, b, "{} rejection≠inverse-transform", app.name());
+                    match a {
+                        Some(next) => {
+                            ctx.prev = Some(ctx.cur);
+                            ctx.cur = next;
+                            ctx.step += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_second_order_steps_stay_on_real_edges() {
+        // The fast path proposes from the prefix cache and probes
+        // membership per candidate; every sampled hop must still be a CSR
+        // neighbor, with or without the cache (without it the stepper
+        // falls back to the masked streaming branch).
+        let g = generators::rmat_dataset(8, 22);
+        let mut bare = g.clone();
+        bare.drop_prefix_cache();
+        let nv = Node2Vec::paper_params();
+        for graph in [&g, &bare] {
+            let mut s = HotStepper::new(&nv, SamplerKind::Rejection, 17);
+            s.reserve(graph.max_degree() as usize);
+            for v in 0..graph.num_vertices() as VertexId {
+                let mut ctx = StepContext {
+                    step: 0,
+                    cur: v,
+                    prev: None,
+                };
+                for _ in 0..4 {
+                    match s.step(graph, &nv, ctx) {
+                        Some(next) => {
+                            assert!(
+                                graph.neighbors(ctx.cur).contains(&next),
+                                "sampled non-edge {} -> {next}",
+                                ctx.cur
+                            );
+                            ctx.prev = Some(ctx.cur);
+                            ctx.cur = next;
+                            ctx.step += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walker_ring_replays_the_cursor_sweep_order() {
+        // The ring must visit walkers exactly like the classic
+        // cursor + swap_remove sweep. Retire walkers on a fixed schedule
+        // and compare the full visit trace against an inline oracle.
+        let n = 7usize;
+        let retire_after = [3u32, 1, 4, 2, 5, 1, 3]; // visits per slot
+        let mut ring = WalkerRing::full(n);
+        let mut visits = vec![0u32; n];
+        let mut trace = Vec::new();
+        while let Some(slot) = ring.current() {
+            trace.push(slot);
+            visits[slot] += 1;
+            if visits[slot] >= retire_after[slot] {
+                ring.retire();
+            } else {
+                ring.keep();
+            }
+        }
+        // Oracle: the pre-refactor loop shape.
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut cursor = 0usize;
+        let mut visits = vec![0u32; n];
+        let mut expect = Vec::new();
+        while !active.is_empty() {
+            if cursor >= active.len() {
+                cursor = 0;
+            }
+            let slot = active[cursor];
+            expect.push(slot);
+            visits[slot] += 1;
+            if visits[slot] >= retire_after[slot] {
+                active.swap_remove(cursor);
+            } else {
+                cursor += 1;
+            }
+        }
+        assert_eq!(trace, expect);
+        assert!(ring.is_empty());
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn walker_ring_upcoming_is_the_next_visit_when_keeping() {
+        let mut ring = WalkerRing::full(4);
+        // While no walker retires, upcoming() always predicts the slot
+        // current() returns after keep() — including the sweep wrap.
+        for _ in 0..10 {
+            let _ = ring.current().unwrap();
+            let predicted = ring.upcoming().unwrap();
+            ring.keep();
+            assert_eq!(ring.current(), Some(predicted));
+        }
+        // Down to one walker there is nothing left to prefetch.
+        let mut small = WalkerRing::full(1);
+        assert_eq!(small.current(), Some(0));
+        assert_eq!(small.upcoming(), None);
+        small.retire();
+        assert_eq!(small.current(), None);
+    }
+
+    #[test]
+    fn prefetch_row_touches_any_vertex_safely() {
+        let g = generators::rmat_dataset(6, 2);
+        for v in 0..g.num_vertices() as VertexId {
+            prefetch_row(&g, v); // includes isolated (empty-row) vertices
+        }
     }
 }

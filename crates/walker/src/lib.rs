@@ -78,10 +78,10 @@ pub mod stats;
 
 pub use app::{MetaPath, Node2Vec, StaticWeighted, Uniform, WalkApp, WeightProfile};
 pub use engine::{
-    multiplex_sessions, BatchProgress, CountingSink, WalkEngine, WalkEngineExt, WalkSession,
-    WalkSink,
+    multiplex_sessions, BatchProgress, CountingSink, InOrderEmitter, WalkEngine, WalkEngineExt,
+    WalkSession, WalkSink,
 };
-pub use hotpath::HotStepper;
+pub use hotpath::{prefetch_row, HotStepper, WalkerRing};
 pub use lightrw_graph::VertexId;
 pub use membership::NeighborBitset;
 pub use path::WalkResults;

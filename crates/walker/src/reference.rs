@@ -29,6 +29,17 @@ pub enum SamplerKind {
         /// Degree of parallelism.
         k: usize,
     },
+    /// KnightKing-style envelope rejection sampling (related work, see
+    /// PAPERS.md): second-order steps whose app advertises
+    /// [`crate::app::WeightProfile::SecondOrderEnvelope`] propose from the
+    /// static prefix cache and accept against the envelope — expected O(1)
+    /// weight evaluations per step instead of O(degree). Everywhere else
+    /// this kind behaves draw-for-draw like
+    /// [`SamplerKind::InverseTransform`]. Explicit opt-in: its RNG stream
+    /// is *not* draw-compatible with any other kind on enveloped steps, so
+    /// walks differ bit-wise (while agreeing in distribution — the
+    /// conformance suite checks exactly that).
+    Rejection,
 }
 
 impl SamplerKind {
@@ -39,6 +50,7 @@ impl SamplerKind {
             Self::Alias => "alias".to_string(),
             Self::SequentialWrs => "sequential-wrs".to_string(),
             Self::ParallelWrs { k } => format!("parallel-wrs(k={k})"),
+            Self::Rejection => "rejection".to_string(),
         }
     }
 }
@@ -72,7 +84,7 @@ impl AnySampler {
     /// Instantiate a sampler of the given kind.
     pub fn new(kind: SamplerKind, seed: u64) -> Self {
         let state = match kind {
-            SamplerKind::InverseTransform | SamplerKind::Alias => {
+            SamplerKind::InverseTransform | SamplerKind::Alias | SamplerKind::Rejection => {
                 SamplerState::Table(SplitMix64::new(seed), kind)
             }
             SamplerKind::SequentialWrs => SamplerState::Sequential(StreamBank::new(seed, 1)),
@@ -89,7 +101,9 @@ impl AnySampler {
     /// setup, so the step loop never grows a buffer.
     pub fn reserve(&mut self, n: usize) {
         match &self.state {
-            SamplerState::Table(_, SamplerKind::InverseTransform) => self.cum.reserve(n),
+            SamplerState::Table(_, SamplerKind::InverseTransform | SamplerKind::Rejection) => {
+                self.cum.reserve(n)
+            }
             SamplerState::Table(_, SamplerKind::Alias) => self.alias.reserve(n),
             _ => {}
         }
@@ -110,7 +124,7 @@ impl AnySampler {
     pub fn select_weighted_with(&mut self, len: usize, w: impl Fn(usize) -> u32) -> Option<usize> {
         let Self { state, cum, alias } = self;
         match state {
-            SamplerState::Table(rng, SamplerKind::InverseTransform) => {
+            SamplerState::Table(rng, SamplerKind::InverseTransform | SamplerKind::Rejection) => {
                 cum.clear();
                 let mut acc = 0u64;
                 for i in 0..len {
@@ -145,7 +159,7 @@ impl AnySampler {
     /// the generic path. Engines pass `FX_ONE`.
     pub fn select_uniform(&mut self, len: usize, weight: u32) -> Option<usize> {
         match &mut self.state {
-            SamplerState::Table(rng, SamplerKind::InverseTransform) => {
+            SamplerState::Table(rng, SamplerKind::InverseTransform | SamplerKind::Rejection) => {
                 if len == 0 || weight == 0 {
                     return None; // parity: generic path draws nothing on zero total
                 }
@@ -178,7 +192,9 @@ impl AnySampler {
             Some(&t) => t,
             None => return None,
         };
-        if let SamplerState::Table(rng, SamplerKind::InverseTransform) = &mut self.state {
+        if let SamplerState::Table(rng, SamplerKind::InverseTransform | SamplerKind::Rejection) =
+            &mut self.state
+        {
             if total == 0 {
                 return None;
             }
@@ -189,6 +205,45 @@ impl AnySampler {
             let prev = if i == 0 { 0 } else { cumulative[i - 1] };
             ((cumulative[i] - prev) as u32) << FX_FRAC_BITS
         })
+    }
+
+    /// Second-order envelope entry point (DESIGN.md §9): draw an index
+    /// with probability proportional to `weight_of(i)`, where `cumulative`
+    /// is the candidate row's inclusive static prefix (from
+    /// `Graph::static_prefix`) and the app guarantees the
+    /// [`crate::app::WeightProfile::SecondOrderEnvelope`] bound
+    /// `weight_of(i) ≤ static_i · max_weight`.
+    ///
+    /// [`SamplerKind::Rejection`] runs the bounded accept/reject loop
+    /// (expected O(1) `weight_of` evaluations; two draws per round — see
+    /// `lightrw_sampling::rejection`), finishing a statistically
+    /// negligible exhausted step with one exact streaming pass. Every
+    /// other kind ignores the envelope and evaluates all candidates,
+    /// draw-for-draw identical to [`AnySampler::select_weighted_with`].
+    pub fn select_envelope(
+        &mut self,
+        cumulative: &[u64],
+        max_weight: u32,
+        weight_of: impl Fn(usize) -> u32,
+    ) -> Option<usize> {
+        use lightrw_sampling::rejection::{self, RejectionOutcome};
+        if let SamplerState::Table(rng, SamplerKind::Rejection) = &mut self.state {
+            match rejection::select_from_prefix(
+                rng,
+                cumulative,
+                max_weight,
+                rejection::MAX_REJECTION_ROUNDS,
+                &weight_of,
+            ) {
+                RejectionOutcome::Accepted(i) => return Some(i),
+                RejectionOutcome::DeadEnd => return None,
+                // Pathological acceptance rate (e.g. every dynamic weight
+                // zero): finish exactly, keeping the step unbiased and the
+                // per-step draw count bounded.
+                RejectionOutcome::Exhausted => {}
+            }
+        }
+        self.select_weighted_with(cumulative.len(), weight_of)
     }
 
     /// Draw one 32-bit uniform from this sampler's own stream — the walk
@@ -215,7 +270,12 @@ impl AnySampler {
         match kind {
             SamplerKind::InverseTransform => 8 * n as u64,
             SamplerKind::Alias => 12 * n as u64, // prob f64/f32 + alias u32
-            SamplerKind::SequentialWrs | SamplerKind::ParallelWrs { .. } => 0,
+            // Rejection's fast path materializes nothing (the prefix cache
+            // is shared graph state, not per-step scratch); its exact
+            // fallback is too rare to charge.
+            SamplerKind::SequentialWrs
+            | SamplerKind::ParallelWrs { .. }
+            | SamplerKind::Rejection => 0,
         }
     }
 }
@@ -312,12 +372,13 @@ mod tests {
     use lightrw_graph::{generators, GraphBuilder};
     use lightrw_rng::stats::{chi_square_counts, chi_square_crit_999};
 
-    const ALL_SAMPLERS: [SamplerKind; 5] = [
+    const ALL_SAMPLERS: [SamplerKind; 6] = [
         SamplerKind::InverseTransform,
         SamplerKind::Alias,
         SamplerKind::SequentialWrs,
         SamplerKind::ParallelWrs { k: 4 },
         SamplerKind::ParallelWrs { k: 16 },
+        SamplerKind::Rejection,
     ];
 
     #[test]
@@ -447,27 +508,38 @@ mod tests {
         let nv = Node2Vec::paper_params();
         let n = 60_000;
         let qs = QuerySet::from_starts(vec![0; n], 2);
-        let eng = ReferenceEngine::new(&g, &nv, SamplerKind::ParallelWrs { k: 4 }, 31);
-        let res = eng.run(&qs);
-        let mut counts = [0u64; 3]; // second hop to 0, 2, 3
-        for p in res.iter() {
-            if p.len() == 3 && p[1] == 1 {
-                match p[2] {
-                    0 => counts[0] += 1,
-                    2 => counts[1] += 1,
-                    3 => counts[2] += 1,
-                    other => panic!("impossible second hop {other}"),
+        // ParallelWrs streams every candidate; Rejection proposes from the
+        // prefix cache and accepts against the p/q envelope. Both must
+        // match the closed-form law (the rejection kind is validated by
+        // conformance, not bit-equality — DESIGN.md §9).
+        for sk in [SamplerKind::ParallelWrs { k: 4 }, SamplerKind::Rejection] {
+            let eng = ReferenceEngine::new(&g, &nv, sk, 31);
+            let res = eng.run(&qs);
+            let mut counts = [0u64; 3]; // second hop to 0, 2, 3
+            for p in res.iter() {
+                if p.len() == 3 && p[1] == 1 {
+                    match p[2] {
+                        0 => counts[0] += 1,
+                        2 => counts[1] += 1,
+                        3 => counts[2] += 1,
+                        other => panic!("impossible second hop {other}"),
+                    }
                 }
             }
+            // Second step from cur=1, prev=0 over neighbors {0,2,3} with
+            // static weights {50,1,1}: w = {50/p, 1 (common), 1/q} =
+            // {25, 1, 2}.
+            let expected = [25.0, 1.0, 2.0];
+            let total: u64 = counts.iter().sum();
+            assert!(total > n as u64 / 2, "conditioning kept too few walks");
+            let chi2 = chi_square_counts(&counts, &expected);
+            let crit = chi_square_crit_999(2) * 1.2;
+            assert!(
+                chi2 < crit,
+                "{}: chi2={chi2:.1} counts={counts:?}",
+                sk.name()
+            );
         }
-        // Second step from cur=1, prev=0 over neighbors {0,2,3} with static
-        // weights {50,1,1}: w = {50/p, 1 (common), 1/q} = {25, 1, 2}.
-        let expected = [25.0, 1.0, 2.0];
-        let total: u64 = counts.iter().sum();
-        assert!(total > n as u64 / 2, "conditioning kept too few walks");
-        let chi2 = chi_square_counts(&counts, &expected);
-        let crit = chi_square_crit_999(2) * 1.2;
-        assert!(chi2 < crit, "chi2={chi2:.1} counts={counts:?}");
     }
 
     #[test]

@@ -28,12 +28,13 @@ use lightrw_repro as _;
 
 const N_WALKS: usize = 30_000;
 
-const ALL_SAMPLERS: [SamplerKind; 5] = [
+const ALL_SAMPLERS: [SamplerKind; 6] = [
     SamplerKind::InverseTransform,
     SamplerKind::Alias,
     SamplerKind::SequentialWrs,
     SamplerKind::ParallelWrs { k: 4 },
     SamplerKind::ParallelWrs { k: 16 },
+    SamplerKind::Rejection,
 ];
 
 /// Every engine × sampler combination under test: the reference oracle
@@ -177,6 +178,71 @@ fn node2vec_sampler_conforms_on_every_engine() {
             counts[slot] += 1;
         }
         assert_fits(&label, "node2vec", &counts, &probs);
+    }
+}
+
+#[test]
+fn rejection_sampler_conforms_on_node2vec_for_all_three_engines() {
+    // The KnightKing-style rejection fast path (DESIGN.md §9) draws a
+    // *different* RNG stream than inverse transform on enveloped
+    // second-order steps — bit-identity suites cannot pin it, so the
+    // chi-square against the hand-derived kite law (see
+    // `node2vec_sampler_conforms_on_every_engine` for the derivation) is
+    // its correctness gate. All three backends run it explicitly: the
+    // reference oracle, the CPU lanes (multi-threaded, so the per-lane
+    // RNG split is exercised too), and the hwsim via its functional
+    // sampler override.
+    let g = GraphBuilder::undirected()
+        .edges([(0, 1), (0, 2), (1, 2), (1, 3)])
+        .build();
+    let nv = Node2Vec::paper_params(); // p = 2, q = 0.5
+    let pairs = [(1u32, 0u32), (1, 2), (1, 3), (2, 0), (2, 1)];
+    let probs = [1.0 / 14.0, 1.0 / 7.0, 2.0 / 7.0, 1.0 / 6.0, 1.0 / 3.0];
+
+    let engines: Vec<(&str, Box<dyn WalkEngine + '_>)> = vec![
+        (
+            "reference/rejection",
+            Box::new(ReferenceEngine::new(&g, &nv, SamplerKind::Rejection, 910)),
+        ),
+        (
+            "cpu/rejection",
+            Box::new(CpuEngine::new(
+                &g,
+                &nv,
+                BaselineConfig {
+                    threads: 4,
+                    sampler: SamplerKind::Rejection,
+                    seed: 920,
+                },
+            )),
+        ),
+        (
+            "sim/rejection",
+            Box::new(LightRwSim::new(
+                &g,
+                &nv,
+                LightRwConfig {
+                    seed: 930,
+                    sampler: Some(SamplerKind::Rejection),
+                    ..LightRwConfig::default()
+                },
+            )),
+        ),
+    ];
+    for (label, engine) in engines {
+        let qs = QuerySet::from_starts(vec![0; N_WALKS], 2);
+        let results = engine.run_collected(&qs);
+        let mut counts = vec![0u64; pairs.len()];
+        for p in results.iter() {
+            assert_eq!(p.len(), 3, "{label}: two-step walk on the kite");
+            let pair = (p[1], p[2]);
+            let slot = pairs
+                .iter()
+                .position(|&x| x == pair)
+                .unwrap_or_else(|| panic!("{label}: impossible transition {pair:?}"));
+            counts[slot] += 1;
+        }
+        assert_fits(label, "node2vec-rejection", &counts, &probs);
     }
 }
 

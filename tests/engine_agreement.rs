@@ -141,12 +141,13 @@ fn run_batched(
     results
 }
 
-const ALL_SAMPLERS: [SamplerKind; 5] = [
+const ALL_SAMPLERS: [SamplerKind; 6] = [
     SamplerKind::InverseTransform,
     SamplerKind::Alias,
     SamplerKind::SequentialWrs,
     SamplerKind::ParallelWrs { k: 4 },
     SamplerKind::ParallelWrs { k: 16 },
+    SamplerKind::Rejection,
 ];
 
 #[test]
@@ -184,6 +185,99 @@ fn randomized_batches_replay_monolithic_walks_for_every_app_and_sampler() {
         let whole = sim.run(&qs).results;
         let batched = run_batched(&sim, &qs, &mut batch_rng, 19);
         assert_eq!(whole, batched, "sim {}", app.name());
+    }
+}
+
+/// The pre-lane CPU engine's inner loop, inlined as an oracle: one
+/// `HotStepper` on chunk 0's RNG stream (`mix64(seed ^ 0·φ)` =
+/// `mix64(seed)`) driving a walker-at-a-time cursor + `swap_remove`
+/// sweep. This is the sequential semantics the step-centric lanes must
+/// replay exactly — kept here, independent of `WorkerLane`, so a lane
+/// regression (ring order, seed derivation, prefetch gone wrong) cannot
+/// hide by changing oracle and engine in lockstep.
+fn sequential_oracle(
+    g: &Graph,
+    app: &dyn WalkApp,
+    kind: SamplerKind,
+    seed: u64,
+    qs: &QuerySet,
+) -> WalkResults {
+    use lightrw::rng::splitmix::mix64;
+    use lightrw::walker::program::{StepOutcome, WalkState};
+    let program = qs.program();
+    let queries = qs.queries();
+    let mut stepper = HotStepper::new(app, kind, mix64(seed));
+    stepper.reserve(g.max_degree() as usize);
+
+    let mut cur: Vec<u32> = queries.iter().map(|q| q.start).collect();
+    let mut prev: Vec<Option<u32>> = vec![None; queries.len()];
+    let mut taken = vec![0u32; queries.len()];
+    let mut seg = vec![0u32; queries.len()];
+    let mut paths: Vec<Vec<u32>> = queries.iter().map(|q| vec![q.start]).collect();
+
+    let mut active: Vec<usize> = (0..queries.len()).collect();
+    let mut cursor = 0usize;
+    while !active.is_empty() {
+        if cursor >= active.len() {
+            cursor = 0;
+        }
+        let qi = active[cursor];
+        let q = queries[qi];
+        let mut st = WalkState {
+            cur: cur[qi],
+            prev: prev[qi],
+            taken: taken[qi],
+            seg: seg[qi],
+        };
+        let outcome = program.step_attempt(g, app, &mut stepper, &q, &mut st);
+        cur[qi] = st.cur;
+        prev[qi] = st.prev;
+        taken[qi] = st.taken;
+        seg[qi] = st.seg;
+        let done = match outcome {
+            StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
+                paths[qi].push(outcome.appended(q.start).expect("advancing outcome"));
+                done
+            }
+            StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
+        };
+        if done {
+            active.swap_remove(cursor);
+        } else {
+            cursor += 1;
+        }
+    }
+    let mut results = WalkResults::new();
+    for (i, p) in paths.into_iter().enumerate() {
+        results.emit(i as u32, &p);
+    }
+    results
+}
+
+#[test]
+fn single_lane_engine_replays_the_sequential_oracle_for_every_app_and_sampler() {
+    // The lane refactor's regression pin: with threads = 1, the
+    // interleaved Gather–Move–Update lane must be bit-identical to the
+    // pre-refactor sequential walk loop for every app × sampler —
+    // including Rejection, whose RNG stream differs from inverse
+    // transform only inside a step, never across walkers.
+    let g = generators::rmat_dataset(8, 14);
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let nv = Node2Vec::paper_params();
+    let apps: [&dyn WalkApp; 4] = [&Uniform, &StaticWeighted, &mp, &nv];
+    let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);
+    let seed = 0xC0FFEE;
+    for app in apps {
+        for kind in ALL_SAMPLERS {
+            let oracle = sequential_oracle(&g, app, kind, seed, &qs);
+            let cfg = BaselineConfig {
+                threads: 1,
+                sampler: kind,
+                seed,
+            };
+            let (lanes, _) = CpuEngine::new(&g, app, cfg).run(&qs);
+            assert_eq!(oracle, lanes, "{} {:?}", app.name(), kind);
+        }
     }
 }
 

@@ -264,6 +264,65 @@ proptest! {
     }
 
     #[test]
+    fn interleaved_lanes_emit_exactly_once_under_random_schedules(
+        threads in 1usize..6,
+        length in 1u32..10,
+        n_queries in 1usize..40,
+        budgets in vec(1u64..17, 1..30),
+        cancel_raw in 0usize..40,
+        sampler_pick in 0usize..3,
+        start_seed in 0u64..400,
+    ) {
+        // The step-centric worker lanes (DESIGN.md §9) under adversarial
+        // schedules: a random lane count, a random advance-budget
+        // sequence, and an optional mid-flight cancel must preserve
+        // exactly-once id-ordered emission — the `InOrderEmitter`
+        // watermark over per-lane completion is the machinery under
+        // test. Node2Vec with the rejection sampler in the mix drives
+        // the second-order envelope fast path through the same lanes.
+        let cancel_at = (cancel_raw < 20).then_some(cancel_raw);
+        let sampler = match sampler_pick {
+            0 => SamplerKind::InverseTransform,
+            1 => SamplerKind::Alias,
+            _ => SamplerKind::Rejection,
+        };
+        let g = lightrw::graph::generators::rmat_dataset(6, 17);
+        let app = Node2Vec::paper_params();
+        let engine = CpuEngine::new(&g, &app, BaselineConfig { threads, sampler, seed: 31 });
+        let noniso = g.non_isolated_vertices();
+        let starts: Vec<u32> = (0..n_queries)
+            .map(|i| noniso[(start_seed as usize + i * 3) % noniso.len()])
+            .collect();
+        let qs = QuerySet::from_starts(starts.clone(), length);
+
+        let mut emitted: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut sink = |id: u32, path: &[u32]| emitted.push((id, path.to_vec()));
+        let mut session = engine.start_session(&qs);
+        let mut i = 0usize;
+        while !session.finished() {
+            if cancel_at == Some(i) {
+                session.cancel(&mut sink);
+                break;
+            }
+            session.advance(budgets[i % budgets.len()], &mut sink);
+            i += 1;
+            prop_assert!(i < 50_000, "lanes failed to drain");
+        }
+        // Exactly-once, id-ordered — whether the session completed or a
+        // cancel flushed the remaining walkers as prefixes.
+        let ids: Vec<u32> = emitted.iter().map(|(id, _)| *id).collect();
+        let expect: Vec<u32> = (0..qs.len() as u32).collect();
+        prop_assert_eq!(&ids, &expect);
+        prop_assert_eq!(session.paths_completed(), qs.len());
+        for ((_, path), start) in emitted.iter().zip(&starts) {
+            prop_assert!(!path.is_empty());
+            prop_assert_eq!(path[0], *start);
+            prop_assert!(path.len() as u64 <= length as u64 + 1);
+            prop_assert!(validate_path(&g, &app, path).is_ok());
+        }
+    }
+
+    #[test]
     fn random_batch_schedules_never_change_session_output(
         budgets in vec(1u64..23, 1..40),
         threads in 1usize..5,

@@ -40,7 +40,7 @@ fn facade_service_layer_resolves() {
 
     // The deeper module paths resolve too.
     use lightrw_repro::lightrw::jobspec;
-    let trace = jobspec::synthetic_trace(2, 1, 4, 5);
+    let trace = jobspec::Trace::from_jobs(jobspec::synthetic_trace(2, 1, 4, 5));
     let parsed = jobspec::parse_trace(&jobspec::to_json(&trace)).unwrap();
     assert_eq!(parsed, trace);
     let stats: lightrw_repro::lightrw::service::ServiceStats = service.stats();
