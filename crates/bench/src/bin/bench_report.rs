@@ -39,6 +39,15 @@
 //! overhead on the hot path (the restart draw, the target probe) shows up
 //! as a steps/s delta against the fixed-length row.
 //!
+//! A fourth file, `BENCH_scale.json` (`--out-scale PATH`, scenario
+//! `graph_scale`), carries the out-of-core sweep (DESIGN.md §10):
+//! per RMAT scale 12 → 22 (`--quick`: 8 → 10), stream-pack to a temp
+//! `.lrwpak`, load it back via `mmap`, and run a multi-thread weighted
+//! walk straight off the mapping — recording pack time, file size,
+//! per-phase peak RSS and steps/s. The headline column is
+//! `walk_rss_over_file`: the walk's resident footprint as a fraction of
+//! the packed file, which must stay well below 1 at large scales.
+//!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
 //! cargo run --release -p lightrw-bench --bin bench_report -- program_mix --quick
@@ -47,8 +56,8 @@
 //! ```
 //!
 //! Positional arguments select scenarios (`hotpath`, `service`,
-//! `program_mix`); none selects the default `hotpath` + `service` pair,
-//! and each scenario writes only its own JSON file.
+//! `program_mix`, `graph_scale`); none selects the default `hotpath` +
+//! `service` pair, and each scenario writes only its own JSON file.
 //!
 //! `--baseline PATH` embeds the `throughput` rows of a previous report (a
 //! file this binary wrote) under `"baseline"`, giving one file with
@@ -105,9 +114,10 @@ struct ReportOpts {
     out: String,
     out_service: String,
     out_programs: String,
+    out_scale: String,
     baseline: Option<String>,
-    /// Scenario names to run (`hotpath`, `service`, `program_mix`);
-    /// empty = the default `hotpath` + `service` pair.
+    /// Scenario names to run (`hotpath`, `service`, `program_mix`,
+    /// `graph_scale`); empty = the default `hotpath` + `service` pair.
     scenarios: Vec<String>,
 }
 
@@ -120,12 +130,13 @@ impl ReportOpts {
             out: "BENCH_hotpath.json".to_string(),
             out_service: "BENCH_service.json".to_string(),
             out_programs: "BENCH_programs.json".to_string(),
+            out_scale: "BENCH_scale.json".to_string(),
             baseline: None,
             scenarios: Vec::new(),
         };
-        const USAGE: &str = "usage: bench_report [hotpath|service|program_mix ...] \
+        const USAGE: &str = "usage: bench_report [hotpath|service|program_mix|graph_scale ...] \
              --scale N --seed N --quick --out PATH --out-service PATH \
-             --out-programs PATH --baseline PATH";
+             --out-programs PATH --out-scale PATH --baseline PATH";
         fn die(msg: &str) -> ! {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -156,12 +167,13 @@ impl ReportOpts {
                 "--out" => o.out = value(&args, &mut i, "--out"),
                 "--out-service" => o.out_service = value(&args, &mut i, "--out-service"),
                 "--out-programs" => o.out_programs = value(&args, &mut i, "--out-programs"),
+                "--out-scale" => o.out_scale = value(&args, &mut i, "--out-scale"),
                 "--baseline" => o.baseline = Some(value(&args, &mut i, "--baseline")),
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                name @ ("hotpath" | "service" | "program_mix") => {
+                name @ ("hotpath" | "service" | "program_mix" | "graph_scale") => {
                     o.scenarios.push(name.to_string())
                 }
                 other => die(&format!("unknown option or scenario {other}")),
@@ -700,6 +712,153 @@ fn measure_program_mix(name: &str, g: &Graph, opts: &ReportOpts, rows: &mut Vec<
     }
 }
 
+/// One scale of the `graph_scale` out-of-core sweep: a streamed pack to
+/// a temp `.lrwpak`, then an mmap-backed multi-thread walk off that
+/// file. `walk_peak_rss` vs `file_bytes` is the headline — the walk's
+/// resident footprint must stay well below the file it samples from.
+struct ScaleRow {
+    dataset: String,
+    sampler: String,
+    vertices: usize,
+    edges: usize,
+    file_bytes: u64,
+    pack_secs: f64,
+    pack_peak_rss: u64,
+    /// Sections backed by a live mapping (false = heap fallback host).
+    mapped: bool,
+    /// Resident bytes right after `load_packed`, before any walk.
+    load_rss: u64,
+    steps: u64,
+    secs: f64,
+    walk_peak_rss: u64,
+}
+
+impl ScaleRow {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Walk-phase peak RSS as a fraction of the packed file size; the
+    /// out-of-core promise is that this stays < 1 at large scales.
+    fn rss_over_file(&self) -> f64 {
+        if self.file_bytes > 0 {
+            self.walk_peak_rss as f64 / self.file_bytes as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"sampler\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+             \"file_bytes\": {}, \"pack_secs\": {:.3}, \"pack_peak_rss\": {}, \
+             \"mapped\": {}, \"load_rss\": {}, \"steps\": {}, \"secs\": {:.6}, \
+             \"steps_per_sec\": {:.1}, \"walk_peak_rss\": {}, \"walk_rss_over_file\": {:.4}}}",
+            self.dataset,
+            self.sampler,
+            self.vertices,
+            self.edges,
+            self.file_bytes,
+            self.pack_secs,
+            self.pack_peak_rss,
+            self.mapped,
+            self.load_rss,
+            self.steps,
+            self.secs,
+            self.steps_per_sec(),
+            self.walk_peak_rss,
+            self.rss_over_file()
+        )
+    }
+}
+
+/// The `graph_scale` scenario: the out-of-core pipeline end to end, per
+/// scale — stream-pack an RMAT dataset to a temp `.lrwpak` (bounded by
+/// the sort chunk, DESIGN.md §10), mmap it back, and run a multi-thread
+/// weighted walk per sampler straight off the mapping. RSS is probed
+/// per phase (`VmHWM`, reset between phases) so the pack chunk cannot
+/// mask the walk footprint. The temp file is removed per scale, so the
+/// sweep's disk high-water mark is one packed graph.
+fn measure_graph_scale(opts: &ReportOpts, rows: &mut Vec<ScaleRow>) {
+    use lightrw::graph::pack::{pack_rmat_dataset, PackOptions};
+    use lightrw::graph::packed::load_packed;
+    use lightrw::graph::LoadMode;
+    use lightrw_bench::rss;
+
+    let scales: Vec<u32> = if opts.quick {
+        vec![8, 10]
+    } else {
+        vec![12, 14, 16, 18, 20, 22]
+    };
+    for scale in scales {
+        let name = format!("rmat-{scale}");
+        let path = std::env::temp_dir().join(format!(
+            "lightrw_scale_{scale}_{}.lrwpak",
+            std::process::id()
+        ));
+
+        rss::reset_peak_rss();
+        let t = Instant::now();
+        let stats = pack_rmat_dataset(scale, opts.seed, &path, &PackOptions::default())
+            .expect("pack rmat dataset");
+        let pack_secs = t.elapsed().as_secs_f64();
+        let pack_peak_rss = rss::peak_rss_bytes();
+        eprintln!(
+            "graph_scale {name}: packed |V|={} |E|={} -> {} bytes in {}",
+            stats.vertices,
+            stats.edges,
+            stats.file_bytes,
+            lightrw_bench::fmt_secs(pack_secs)
+        );
+
+        for sampler in [SamplerKind::InverseTransform, SamplerKind::AExpJ] {
+            rss::reset_peak_rss();
+            let loaded = load_packed(&path, LoadMode::Auto).expect("load packed graph");
+            let load_rss = rss::current_rss_bytes();
+            let g = &loaded.graph;
+            let queries = if opts.quick { 10_000 } else { 100_000 }.min(g.num_vertices());
+            let qs = QuerySet::n_queries(g, queries, 10, opts.seed);
+            let cfg = BaselineConfig {
+                threads: 0,
+                sampler,
+                seed: opts.seed,
+            };
+            let engine = CpuEngine::new(g, &StaticWeighted, cfg);
+            let t = Instant::now();
+            let (_, wstats) = engine.run(&qs);
+            let row = ScaleRow {
+                dataset: name.clone(),
+                sampler: sampler.name(),
+                vertices: stats.vertices,
+                edges: stats.edges,
+                file_bytes: stats.file_bytes,
+                pack_secs,
+                pack_peak_rss,
+                mapped: loaded.mapped,
+                load_rss,
+                steps: wstats.steps,
+                secs: t.elapsed().as_secs_f64(),
+                walk_peak_rss: rss::peak_rss_bytes(),
+            };
+            eprintln!(
+                "graph_scale {name}/{}: {} over {} threads, walk peak RSS {} MB \
+                 ({:.0}% of file)",
+                row.sampler,
+                lightrw_bench::fmt_rate(row.steps_per_sec()),
+                wstats.threads,
+                row.walk_peak_rss >> 20,
+                row.rss_over_file() * 100.0
+            );
+            rows.push(row);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
 /// Pull the `"throughput": [...]` rows (one per line, as this binary
 /// writes them) out of a previous report for the before/after embedding.
 fn extract_rows(json: &str) -> Vec<String> {
@@ -725,7 +884,12 @@ fn main() {
     let opts = ReportOpts::from_args();
     let mut rows = Vec::new();
 
-    let datasets: Vec<(String, Graph)> = if opts.quick {
+    // `graph_scale` builds its own packed datasets on disk; only the
+    // in-memory scenarios need the stand-in graphs materialized here.
+    let needs_datasets = opts.runs("hotpath") || opts.runs("service") || opts.runs("program_mix");
+    let datasets: Vec<(String, Graph)> = if !needs_datasets {
+        Vec::new()
+    } else if opts.quick {
         vec![(
             format!("rmat-{}", opts.scale),
             rmat_dataset(opts.scale, opts.seed),
@@ -780,6 +944,12 @@ fn main() {
     if opts.runs("program_mix") {
         let (name, g) = &datasets[0];
         measure_program_mix(name, g, &opts, &mut program_rows);
+    }
+
+    // The out-of-core sweep packs its own datasets to disk.
+    let mut scale_rows = Vec::new();
+    if opts.runs("graph_scale") {
+        measure_graph_scale(&opts, &mut scale_rows);
     }
 
     if opts.runs("hotpath") {
@@ -888,6 +1058,26 @@ fn main() {
         written.push(&opts.out_programs);
     }
 
+    // The out-of-core artifact: the pack → mmap → walk sweep per scale.
+    if opts.runs("graph_scale") {
+        let mut scale_json = String::from("{\n");
+        let _ = writeln!(scale_json, "  \"bench\": \"graph_scale\",");
+        let _ = writeln!(
+            scale_json,
+            "  \"config\": {{\"seed\": {}, \"quick\": {}, \"app\": \"StaticWeighted\", \
+             \"engine\": \"cpu\", \"threads\": 0}},",
+            opts.seed, opts.quick
+        );
+        scale_json.push_str("  \"scales\": [\n");
+        for (i, r) in scale_rows.iter().enumerate() {
+            let sep = if i + 1 < scale_rows.len() { "," } else { "" };
+            let _ = writeln!(scale_json, "    {}{sep}", r.to_json());
+        }
+        scale_json.push_str("  ]\n}\n");
+        std::fs::write(&opts.out_scale, &scale_json).expect("write scale report");
+        written.push(&opts.out_scale);
+    }
+
     if opts.runs("hotpath") {
         println!(
             "{:<10} {:<15} {:<13} {:>8} {:>12}",
@@ -967,6 +1157,31 @@ fn main() {
                 lightrw_bench::fmt_rate(r.steps_per_sec())
             );
         }
+    }
+    if opts.runs("graph_scale") {
+        println!(
+            "{:<10} {:<18} {:>10} {:>11} {:>12} {:>13} {:>9}",
+            "out-of-core",
+            "sampler",
+            "file MB",
+            "pack RSS MB",
+            "steps/s",
+            "walk RSS MB",
+            "RSS/file"
+        );
+        for r in &scale_rows {
+            println!(
+                "{:<10} {:<18} {:>10} {:>11} {:>12} {:>13} {:>8.0}%",
+                r.dataset,
+                r.sampler,
+                r.file_bytes >> 20,
+                r.pack_peak_rss >> 20,
+                lightrw_bench::fmt_rate(r.steps_per_sec()),
+                r.walk_peak_rss >> 20,
+                r.rss_over_file() * 100.0
+            );
+        }
+        println!();
     }
     eprintln!("wrote {}", written.join(" and "));
 }

@@ -16,6 +16,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod rss;
 pub mod table;
 
 /// Common experiment options parsed from `std::env::args`.

@@ -1,0 +1,77 @@
+//! Resident-set-size probes for the out-of-core bench (`graph_scale`).
+//!
+//! Linux only (reads `/proc/self/status`); other platforms report zero,
+//! which the report records honestly as "not measured". Peak tracking
+//! uses `VmHWM`, reset between phases by writing `5` to
+//! `/proc/self/clear_refs` so each phase's high-water mark is its own —
+//! without the reset, the pack phase's sort chunk would mask the (much
+//! smaller) mmap walk footprint that the scenario exists to demonstrate.
+
+/// Current resident set size in bytes (`VmRSS`), or 0 off-Linux.
+pub fn current_rss_bytes() -> u64 {
+    read_status_kib("VmRSS:") * 1024
+}
+
+/// Peak resident set size in bytes (`VmHWM`), or 0 off-Linux.
+pub fn peak_rss_bytes() -> u64 {
+    read_status_kib("VmHWM:") * 1024
+}
+
+/// Reset the peak-RSS water mark to the current RSS, so a following
+/// [`peak_rss_bytes`] reads this phase's own maximum. Best-effort: a
+/// kernel without `CONFIG_PROC_PAGE_MONITOR` (or a non-Linux host)
+/// leaves the old mark in place, which only ever *over*-reports.
+pub fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    {
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn read_status_kib(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kib| kib.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn read_status_kib(_field: &str) -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(not(target_os = "linux"), ignore = "procfs probe is linux-only")]
+    fn rss_probes_report_plausible_values() {
+        let rss = current_rss_bytes();
+        let peak = peak_rss_bytes();
+        // A running test binary holds at least a megabyte and the peak
+        // can never trail the current value by more than scheduling skew.
+        assert!(rss > 1 << 20, "VmRSS={rss}");
+        assert!(peak >= rss / 2, "VmHWM={peak} < VmRSS={rss}");
+    }
+
+    #[test]
+    #[cfg_attr(not(target_os = "linux"), ignore = "procfs probe is linux-only")]
+    fn peak_reset_tracks_new_allocations() {
+        reset_peak_rss();
+        // Touch a fresh 32 MB so the new high-water mark must include it.
+        let mut buf = vec![0u8; 32 << 20];
+        for page in buf.chunks_mut(4096) {
+            page[0] = 1;
+        }
+        let peak = peak_rss_bytes();
+        assert!(peak > 16 << 20, "VmHWM={peak} after touching 32 MB");
+        drop(buf);
+    }
+}

@@ -40,7 +40,8 @@ use std::path::Path;
 use std::time::Instant;
 
 use crate::prelude::*;
-use lightrw_graph::{components, io as gio, stats};
+use lightrw_graph::reorder::Relabeling;
+use lightrw_graph::{components, io as gio, pack, packed, stats, LoadMode};
 use lightrw_walker::corpus_io;
 
 /// A parsed command line: positional arguments and `--key value` /
@@ -54,7 +55,15 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["directed", "undirected", "binary", "help"];
+const BOOL_FLAGS: &[&str] = &[
+    "directed",
+    "undirected",
+    "binary",
+    "help",
+    "relabel",
+    "no-prefix",
+    "in-memory",
+];
 
 impl Args {
     /// Parse raw arguments (not including program name / subcommand).
@@ -73,6 +82,10 @@ impl Args {
                         .ok_or_else(|| format!("option --{name} needs a value"))?;
                     args.options.insert(name.to_string(), v.clone());
                 }
+            } else if a == "-" {
+                // Bare `-` is a positional (serve uses it to defer to the
+                // trace's "graph" field).
+                args.positional.push(a.clone());
             } else if let Some(name) = a.strip_prefix('-') {
                 // -o FILE shorthand.
                 if name == "o" {
@@ -111,6 +124,7 @@ pub fn run(subcommand: &str, args: &Args) -> Result<String, String> {
     match subcommand {
         "generate" => cmd_generate(args),
         "convert" => cmd_convert(args),
+        "graph" => cmd_graph(args),
         "info" => cmd_info(args),
         "walk" => cmd_walk(args),
         "serve" => cmd_serve(args),
@@ -127,6 +141,11 @@ pub fn usage() -> &'static str {
      generate --kind rmat|er|standin [--scale N] [--edge-factor N]\n\
      \x20        [--dataset NAME] [--seed N] -o FILE\n\
      convert  --input EDGELIST [--directed|--undirected] -o FILE\n\
+     graph    pack (rmat:SCALE[:SEED] | GRAPH.bin) -o FILE.lrwpak\n\
+     \x20        [--relabel] [--no-prefix] [--chunk-records N]\n\
+     \x20        rmat inputs stream in bounded memory (external sort)\n\
+     graph    stats FILE.lrwpak  — header, sections, degree histogram\n\
+     \x20        (reads via mmap; never materializes the CSR on heap)\n\
      info     GRAPH.bin\n\
      walk     GRAPH.bin --app uniform|static|metapath|node2vec\n\
      \x20        [--length N | --program SPEC] [--queries N]\n\
@@ -134,12 +153,19 @@ pub fn usage() -> &'static str {
      \x20        [--threads N] [--sampler NAME] [--binary] [-o FILE]\n\
      \x20        SPEC: fixed:len=N | ppr:alpha=A,max=N [,deadend=restart]\n\
      \x20        NAME: inverse-transform|alias|sequential-wrs|pwrs|rejection\n\
+     \x20              |a-expj\n\
      \x20        --threads is cpu-only (0 = one worker lane per core)\n\
      serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N)\n\
      \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
      \x20        [--app NAME] [--engine sim|cpu|reference] [--workers N]\n\
      \x20        [--threads N] [--sampler NAME]\n\
-     \x20        [--quantum N] [--tenant-budget N] [--seed N]\n"
+     \x20        [--quantum N] [--tenant-budget N] [--seed N]\n\
+     \n\
+     walk, serve and info auto-detect packed (.lrwpak) graphs and load\n\
+     them via mmap (use --in-memory to copy to heap, or a packed: prefix\n\
+     to force the format); a serve positional of - defers to the trace's\n\
+     \"graph\" field. Walks on --relabel-packed graphs are emitted in\n\
+     original vertex ids.\n"
 }
 
 fn cmd_generate(args: &Args) -> Result<String, String> {
@@ -198,11 +224,194 @@ fn cmd_convert(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn load_graph(path: &str) -> Result<Graph, String> {
+/// A loaded graph plus its provenance: `relabeling` maps a pack-time
+/// degree renumbering back to original vertex ids (so emitted walks can
+/// be translated), `mapped` is true when the CSR sections borrow an
+/// mmap region instead of living on the heap.
+struct LoadedGraph {
+    graph: Graph,
+    relabeling: Option<Relabeling>,
+    mapped: bool,
+}
+
+/// Load any graph the CLI accepts: a classic CSR image, or a packed
+/// (.lrwpak) file served via mmap. The format is sniffed from the magic
+/// bytes; a `packed:` prefix forces the packed loader, `in_memory`
+/// forces a heap copy instead of the mapping.
+fn load_graph_spec(spec: &str, in_memory: bool) -> Result<LoadedGraph, String> {
+    let (path, force_packed) = match spec.strip_prefix("packed:") {
+        Some(p) => (p, true),
+        None => (spec, false),
+    };
     if !Path::new(path).exists() {
         return Err(format!("no such file: {path}"));
     }
-    gio::load_binary(path).map_err(|e| e.to_string())
+    if force_packed || packed::is_packed_file(path) {
+        let mode = if in_memory {
+            LoadMode::Heap
+        } else {
+            LoadMode::Auto
+        };
+        let p = packed::load_packed(path, mode).map_err(|e| e.to_string())?;
+        Ok(LoadedGraph {
+            mapped: p.mapped,
+            relabeling: p.relabeling,
+            graph: p.graph,
+        })
+    } else {
+        let graph = gio::load_binary(path).map_err(|e| e.to_string())?;
+        Ok(LoadedGraph {
+            graph,
+            relabeling: None,
+            mapped: false,
+        })
+    }
+}
+
+fn load_graph(args: &Args) -> Result<LoadedGraph, String> {
+    let spec = args
+        .positional
+        .first()
+        .ok_or("this subcommand requires a graph file argument")?;
+    load_graph_spec(spec, args.flag("in-memory"))
+}
+
+fn cmd_graph(args: &Args) -> Result<String, String> {
+    match args.positional.first().map(|s| s.as_str()) {
+        Some("pack") => cmd_graph_pack(args),
+        Some("stats") => cmd_graph_stats(args),
+        other => Err(format!(
+            "graph needs a subcommand (pack or stats), got {other:?}"
+        )),
+    }
+}
+
+fn cmd_graph_pack(args: &Args) -> Result<String, String> {
+    let input = args
+        .positional
+        .get(1)
+        .ok_or("graph pack requires an input: rmat:SCALE[:SEED] or GRAPH.bin")?;
+    let out = args.get("out").ok_or("graph pack requires -o FILE")?;
+    let relabel = args.flag("relabel");
+    let t = Instant::now();
+
+    if let Some(rest) = input.strip_prefix("rmat:") {
+        // The out-of-core path: the rmat edge stream is packed through
+        // the external-sort pipeline without ever materializing the
+        // graph — memory stays bounded by --chunk-records.
+        let mut parts = rest.split(':');
+        let scale: u32 = parts
+            .next()
+            .unwrap_or_default()
+            .parse()
+            .map_err(|_| format!("bad rmat spec {input:?} (want rmat:SCALE[:SEED])"))?;
+        if !(4..=26).contains(&scale) {
+            return Err("rmat scale must be in 4..=26".into());
+        }
+        let seed: u64 = match parts.next() {
+            None => 42,
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("bad rmat seed in {input:?}"))?,
+        };
+        if parts.next().is_some() {
+            return Err(format!("bad rmat spec {input:?} (want rmat:SCALE[:SEED])"));
+        }
+        let opts = pack::PackOptions {
+            relabel,
+            chunk_records: args.get_u64("chunk-records", 4 << 20)?.max(2) as usize,
+            prefix_cache: !args.flag("no-prefix"),
+        };
+        let st = pack::pack_rmat_dataset(scale, seed, Path::new(out), &opts)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "packed rmat-{scale} (seed {seed}) -> {out}: {} vertices, {} edges, \
+             {} duplicate records collapsed, {} spilled runs, {} bytes, \
+             relabel={relabel}, {:.3} s",
+            st.vertices,
+            st.edges,
+            st.duplicates,
+            st.runs,
+            st.file_bytes,
+            t.elapsed().as_secs_f64(),
+        ))
+    } else {
+        // Small-graph convenience: load a CSR image and pack it whole.
+        if !Path::new(input).exists() {
+            return Err(format!("no such file: {input}"));
+        }
+        let mut g = gio::load_binary(input).map_err(|e| e.to_string())?;
+        let bytes = pack::pack_graph(&mut g, relabel, Path::new(out)).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "packed {input} -> {out}: {} vertices, {} edges, {bytes} bytes, \
+             relabel={relabel}, {:.3} s",
+            g.num_vertices(),
+            g.num_edges(),
+            t.elapsed().as_secs_f64(),
+        ))
+    }
+}
+
+fn cmd_graph_stats(args: &Args) -> Result<String, String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("graph stats requires a packed graph file")?;
+    if !Path::new(path.as_str()).exists() {
+        return Err(format!("no such file: {path}"));
+    }
+    // Always map (with the non-mmap fallback reading into an aligned
+    // buffer): stats never promotes a section to heap, so huge files are
+    // inspected at page-cache cost only.
+    let p = packed::load_packed(path, LoadMode::Auto).map_err(|e| e.to_string())?;
+    let g = &p.graph;
+    let mut out = format!(
+        "{path}\n\
+         packed file     : {} bytes\n\
+         loaded via      : {}\n\
+         vertices        : {}\n\
+         stored edges    : {}\n\
+         directed        : {}\n\
+         avg degree      : {:.2}\n\
+         max degree      : {}\n\
+         vertex labels   : {}\n\
+         edge relations  : {}\n\
+         prefix cache    : {}\n\
+         degree-relabeled: {}\n",
+        p.file_bytes,
+        if p.mapped {
+            "mmap"
+        } else {
+            "heap (no mmap on this platform)"
+        },
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_directed(),
+        g.avg_degree(),
+        g.max_degree(),
+        g.has_vertex_labels(),
+        g.has_edge_labels(),
+        g.has_prefix_cache(),
+        p.relabeling.is_some(),
+    );
+    out += "sections:\n";
+    for &(id, offset, len) in &p.sections {
+        out += &format!(
+            "  {:<14} {:>14} bytes @ {offset}\n",
+            packed::section_name(id),
+            len
+        );
+    }
+    out += "degree histogram (log2 buckets):\n";
+    for b in stats::degree_histogram(g) {
+        let lo = if b.bucket == 0 { 0 } else { 1u64 << b.bucket };
+        let hi = (1u64 << (b.bucket + 1)) - 1;
+        out += &format!(
+            "  degree {lo:>8}..{hi:<10} {:>12} vertices {:>14} edges\n",
+            b.count, b.edges
+        );
+    }
+    Ok(out)
 }
 
 fn cmd_info(args: &Args) -> Result<String, String> {
@@ -210,7 +419,7 @@ fn cmd_info(args: &Args) -> Result<String, String> {
         .positional
         .first()
         .ok_or("info requires a graph file argument")?;
-    let g = load_graph(path)?;
+    let g = load_graph(args)?.graph;
     let s = stats::summarize(&g);
     let comps = components::num_components(&g);
     Ok(format!(
@@ -256,11 +465,11 @@ fn parse_app(args: &Args, g: &Graph) -> Result<Box<dyn WalkApp>, String> {
 }
 
 fn cmd_walk(args: &Args) -> Result<String, String> {
-    let path = args
-        .positional
-        .first()
-        .ok_or("walk requires a graph file argument")?;
-    let g = load_graph(path)?;
+    if args.positional.is_empty() {
+        return Err("walk requires a graph file argument".into());
+    }
+    let loaded = load_graph(args)?;
+    let g = loaded.graph;
     // The walk definition: a fixed-length program from --length (the
     // default), or any composable program from --program (DESIGN.md §8).
     let program = match args.get("program") {
@@ -353,9 +562,28 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     if let Some(diag) = session.diagnostics() {
         summary += &format!(", {diag}");
     }
+    if loaded.mapped {
+        summary += ", graph mmap-backed";
+    }
 
     let mut out_line = String::new();
     if let Some(out) = args.get("out") {
+        // A relabel-packed graph walks in its renumbered id space; emit
+        // the corpus in *original* ids so downstream consumers never see
+        // the pack-time permutation.
+        let walks = match &loaded.relabeling {
+            Some(map) => {
+                let mut original = WalkResults::with_capacity(walks.len(), length as usize + 1);
+                for p in walks.iter() {
+                    for &v in p {
+                        original.push_vertex(map.old_id(v));
+                    }
+                    original.end_path();
+                }
+                original
+            }
+            None => walks,
+        };
         let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
         if args.flag("binary") {
             corpus_io::write_binary(&walks, f).map_err(|e| e.to_string())?;
@@ -371,12 +599,10 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     use crate::jobspec;
     use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
 
-    let path = args
+    let positional = args
         .positional
         .first()
-        .ok_or("serve requires a graph file argument")?;
-    let g = load_graph(path)?;
-    let app = parse_app(args, &g)?;
+        .ok_or("serve requires a graph file argument (or - to use the trace's \"graph\" field)")?;
 
     // The trace: an explicit spec file, or a synthetic homogeneous one.
     let trace: jobspec::Trace = match args.get("jobs") {
@@ -401,6 +627,20 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     if trace.jobs.is_empty() {
         return Err("the job trace is empty".into());
     }
+
+    // Graph resolution: the CLI positional wins; `-` explicitly defers
+    // to the trace's own "graph" field.
+    let gspec = if positional == "-" {
+        trace.graph.as_deref().ok_or(
+            "serve positional is - but the trace has no \"graph\" field; \
+             name a graph in the spec or on the command line",
+        )?
+    } else {
+        positional.as_str()
+    };
+    let loaded = load_graph_spec(gspec, args.flag("in-memory"))?;
+    let g = loaded.graph;
+    let app = parse_app(args, &g)?;
 
     let mut backend = Backend::parse(args.get("engine").unwrap_or("cpu"))?;
     // Worker sizing flows through one knob: an explicit --threads wins,
@@ -491,6 +731,9 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             0.0
         },
     );
+    if loaded.mapped {
+        out.insert_str(out.len() - 1, " [graph mmap-backed]");
+    }
     out += &format!(
         "job latency p50 {:.3} ms, p99 {:.3} ms; scheduler turns {}\n",
         stats.p50_latency_s * 1e3,
@@ -897,6 +1140,155 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("unknown --engine"), "{err}");
+    }
+
+    #[test]
+    fn graph_pack_stats_and_packed_walk_pipeline() {
+        let packed_path = tmp("pipeline.lrwpak");
+        let out = run(
+            "graph",
+            &parse(&[
+                "pack",
+                "rmat:7:3",
+                "--chunk-records",
+                "500",
+                "-o",
+                &packed_path,
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("128 vertices"), "{out}");
+        assert!(out.contains("spilled runs"), "{out}");
+
+        let st = run("graph", &parse(&["stats", &packed_path])).unwrap();
+        assert!(st.contains("vertices        : 128"), "{st}");
+        assert!(st.contains("row_index"), "{st}");
+        assert!(st.contains("prefix_all"), "{st}");
+        assert!(st.contains("degree histogram"), "{st}");
+
+        // info sniffs the packed magic too.
+        let info = run("info", &parse(&[&packed_path])).unwrap();
+        assert!(info.contains("vertices        : 128"), "{info}");
+
+        // Walks run straight off the packed file (mmap on linux), with
+        // the a-expj sampler exercising the prefix-jump fast path.
+        let wpath = tmp("pipeline_packed_walks.txt");
+        let walk = run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--engine",
+                "cpu",
+                "--sampler",
+                "a-expj",
+                "--app",
+                "static",
+                "--length",
+                "5",
+                "--queries",
+                "32",
+                "-o",
+                &wpath,
+            ]),
+        )
+        .unwrap();
+        assert!(walk.contains("cpu(a-expj)"), "{walk}");
+        if cfg!(target_os = "linux") {
+            assert!(walk.contains("mmap-backed"), "{walk}");
+        }
+        let corpus = corpus_io::read_text(std::fs::File::open(&wpath).unwrap()).unwrap();
+        assert_eq!(corpus.len(), 32);
+    }
+
+    #[test]
+    fn relabeled_packed_walks_emit_original_ids() {
+        // Pack with --relabel, then walk both the packed file and the
+        // in-memory original: the packed corpus must stay inside the
+        // original id space and start at the original start vertices.
+        let packed_path = tmp("relabel.lrwpak");
+        run(
+            "graph",
+            &parse(&["pack", "rmat:7:9", "--relabel", "-o", &packed_path]),
+        )
+        .unwrap();
+        let wpath = tmp("relabel_walks.txt");
+        run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--engine",
+                "reference",
+                "--length",
+                "4",
+                "--queries",
+                "16",
+                "-o",
+                &wpath,
+            ]),
+        )
+        .unwrap();
+        let corpus = corpus_io::read_text(std::fs::File::open(&wpath).unwrap()).unwrap();
+        let g = lightrw_graph::generators::rmat_dataset(7, 9);
+        for p in corpus.iter() {
+            for win in p.windows(2) {
+                assert!(
+                    g.has_edge(win[0], win[1]),
+                    "walk edge {win:?} not in the original graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_subcommand_surfaces_errors() {
+        let err = run("graph", &parse(&["polish"])).unwrap_err();
+        assert!(err.contains("pack or stats"), "{err}");
+        let err = run("graph", &parse(&["pack", "rmat:99", "-o", "x"])).unwrap_err();
+        assert!(err.contains("4..=26"), "{err}");
+        let err = run("graph", &parse(&["pack", "rmat:8"])).unwrap_err();
+        assert!(err.contains("-o"), "{err}");
+        let err = run("graph", &parse(&["stats", "/no/such.lrwpak"])).unwrap_err();
+        assert!(err.contains("no such file"), "{err}");
+        // stats on a non-packed file reports the bad magic.
+        let gpath = tmp("not_packed.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "6", "-o", &gpath]),
+        )
+        .unwrap();
+        let err = run("graph", &parse(&["stats", &gpath])).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn serve_defers_to_trace_graph_field() {
+        let packed_path = tmp("serve_trace.lrwpak");
+        run("graph", &parse(&["pack", "rmat:7:4", "-o", &packed_path])).unwrap();
+        let spec = tmp("serve_trace_graph.json");
+        std::fs::write(
+            &spec,
+            format!(
+                r#"{{ "graph": "{packed_path}", "jobs": [
+                    {{"tenant": 0, "queries": 12, "length": 5}}
+                ] }}"#
+            ),
+        )
+        .unwrap();
+        let out = run(
+            "serve",
+            &parse(&["-", "--jobs", &spec, "--engine", "reference"]),
+        )
+        .unwrap();
+        assert!(out.contains("served 1 jobs"), "{out}");
+        // `-` without a graph field is an actionable error.
+        let bare = tmp("serve_trace_bare.json");
+        std::fs::write(
+            &bare,
+            r#"{ "jobs": [{"tenant": 0, "queries": 4, "length": 3}] }"#,
+        )
+        .unwrap();
+        let err = run("serve", &parse(&["-", "--jobs", &bare])).unwrap_err();
+        assert!(err.contains("\"graph\""), "{err}");
     }
 
     #[test]

@@ -64,9 +64,10 @@ impl Backend {
             "sequential-wrs" => Ok(SamplerKind::SequentialWrs),
             "pwrs" | "parallel-wrs" => Ok(SamplerKind::ParallelWrs { k: 16 }),
             "rejection" => Ok(SamplerKind::Rejection),
+            "a-expj" | "aexpj" => Ok(SamplerKind::AExpJ),
             other => Err(format!(
                 "unknown --sampler {other:?} (expected inverse-transform, \
-                 alias, sequential-wrs, pwrs or rejection)"
+                 alias, sequential-wrs, pwrs, rejection or a-expj)"
             )),
         }
     }

@@ -53,6 +53,10 @@ pub struct Trace {
     /// CPU worker threads per pool engine (`0` = one per core); `None`
     /// leaves the backend's own default in place.
     pub threads: Option<usize>,
+    /// Graph the trace should run on (any path `lightrw-cli` accepts,
+    /// including `packed:` files); the CLI positional overrides it, and
+    /// a positional of `-` explicitly defers to this field.
+    pub graph: Option<String>,
     /// The jobs, in submission order.
     pub jobs: Vec<TraceJob>,
 }
@@ -62,6 +66,7 @@ impl Trace {
     pub fn from_jobs(jobs: Vec<TraceJob>) -> Self {
         Self {
             threads: None,
+            graph: None,
             jobs,
         }
     }
@@ -131,6 +136,9 @@ pub fn to_json(trace: &Trace) -> String {
     if let Some(t) = trace.threads {
         let _ = writeln!(out, "  \"threads\": {t},");
     }
+    if let Some(g) = &trace.graph {
+        let _ = writeln!(out, "  \"graph\": \"{g}\",");
+    }
     out.push_str("  \"jobs\": [\n");
     for (i, j) in trace.jobs.iter().enumerate() {
         let sep = if i + 1 < trace.jobs.len() { "," } else { "" };
@@ -166,6 +174,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         return Err(p.err("trailing content after the trace document"));
     }
     let mut threads = None;
+    let mut graph = None;
     let jobs_value = match root {
         Value::Array(items) => items,
         Value::Object(fields) => {
@@ -189,6 +198,10 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
                             ))
                         }
                     },
+                    "graph" => match value {
+                        Value::String(s) if !s.is_empty() => graph = Some(s),
+                        _ => return Err("trace \"graph\" must be a non-empty string".into()),
+                    },
                     other => return Err(format!("unknown trace field {other:?}")),
                 }
             }
@@ -204,7 +217,11 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         .enumerate()
         .map(|(i, v)| trace_job(i, v))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Trace { threads, jobs })
+    Ok(Trace {
+        threads,
+        graph,
+        jobs,
+    })
 }
 
 /// Largest `threads` value a trace may request: beyond 1024 workers the

@@ -194,11 +194,11 @@ impl GraphBuilder {
         }
 
         let mut g = Graph {
-            row_index,
-            col_index,
-            weights,
-            vertex_labels,
-            edge_labels,
+            row_index: row_index.into(),
+            col_index: col_index.into(),
+            weights: weights.into(),
+            vertex_labels: vertex_labels.into(),
+            edge_labels: edge_labels.into(),
             directed: self.directed,
             prefix: None,
         };
@@ -210,8 +210,10 @@ impl GraphBuilder {
     }
 }
 
-/// Stable mixing of (seed, a, b) into a per-pair RNG seed.
-fn rng_key(seed: u64, a: u64, b: u64) -> u64 {
+/// Stable mixing of (seed, a, b) into a per-pair RNG seed. Shared with
+/// the streaming pack pipeline (`crate::pack`), which must reproduce the
+/// builder's per-pair attribute draws without materializing the edges.
+pub(crate) fn rng_key(seed: u64, a: u64, b: u64) -> u64 {
     use lightrw_rng::splitmix::mix64;
     mix64(seed ^ mix64(a.wrapping_mul(0x9E3779B97F4A7C15) ^ b))
 }

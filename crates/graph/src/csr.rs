@@ -1,4 +1,11 @@
 //! Compressed sparse row graph storage.
+//!
+//! Every array lives in a [`Section`](crate::store::Section): owned heap
+//! memory when built in process, or a borrowed window of a memory-mapped
+//! packed file (see `crate::packed` and DESIGN.md §10). Accessors return
+//! plain slices either way.
+
+use crate::store::Section;
 
 /// Vertex identifier. 32 bits, as in the paper's hardware (vertex ids and
 /// edge targets travel over 32-bit lanes of the 512-bit memory bus).
@@ -40,8 +47,8 @@ pub const MAX_CACHED_RELATIONS: usize = 8;
 /// edges whose relation ≠ `r` zeroed — the MetaPath fast path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct PrefixCache {
-    pub(crate) all: Vec<u64>,
-    pub(crate) per_relation: Vec<Vec<u64>>,
+    pub(crate) all: Section<u64>,
+    pub(crate) per_relation: Vec<Section<u64>>,
 }
 
 /// All per-neighbor CSR lanes of one vertex, fetched with a single
@@ -95,15 +102,15 @@ impl<'g> NeighborView<'g> {
 ///   aligned the same way.
 #[derive(Debug, Clone)]
 pub struct Graph {
-    pub(crate) row_index: Vec<u64>,
-    pub(crate) col_index: Vec<VertexId>,
+    pub(crate) row_index: Section<u64>,
+    pub(crate) col_index: Section<VertexId>,
     /// Static edge weight w* (paper §2.1); 1 for unweighted graphs.
-    pub(crate) weights: Vec<u32>,
+    pub(crate) weights: Section<u32>,
     /// Vertex label L(v) for heterogeneous graphs (MetaPath). Empty if the
     /// graph is homogeneous.
-    pub(crate) vertex_labels: Vec<u8>,
+    pub(crate) vertex_labels: Section<u8>,
     /// Edge relation R(u,v) aligned with `col_index`. Empty if untyped.
-    pub(crate) edge_labels: Vec<u8>,
+    pub(crate) edge_labels: Section<u8>,
     pub(crate) directed: bool,
     /// Optional static-weight prefix cache (derived data; excluded from
     /// equality — see the manual `PartialEq` below).
@@ -268,12 +275,19 @@ impl Graph {
         Some(&cum[self.row_index[v] as usize..self.row_index[v + 1] as usize])
     }
 
-    /// Build (or rebuild) the static-weight prefix cache: one O(|E|) pass,
-    /// typically done right after construction. No-op (cache stays absent)
-    /// when any weight exceeds [`MAX_PREFIX_STATIC_WEIGHT`], because the
-    /// engines' 16-bit fixed-point promotion would wrap and the cached sums
-    /// would no longer match the streaming path bit for bit.
+    /// Build the static-weight prefix cache: one O(|E|) pass, typically
+    /// done right after construction. No-op when the cache is already
+    /// present — in particular, packed graphs (`crate::packed`) arrive
+    /// with the cumulative arrays precomputed into the file, so loading
+    /// them never re-materializes the cache on the heap. Also a no-op
+    /// (cache stays absent) when any weight exceeds
+    /// [`MAX_PREFIX_STATIC_WEIGHT`], because the engines' 16-bit
+    /// fixed-point promotion would wrap and the cached sums would no
+    /// longer match the streaming path bit for bit.
     pub fn build_prefix_cache(&mut self) {
+        if self.prefix.is_some() {
+            return;
+        }
         if self.weights.iter().any(|&w| w > MAX_PREFIX_STATIC_WEIGHT) {
             self.prefix = None;
             return;
@@ -293,7 +307,7 @@ impl Graph {
         // arrays per label are the cost being bounded). Unused label slots
         // stay empty so `relation_prefix` can reject them cheaply.
         let mut label_used = [false; 256];
-        for &r in &self.edge_labels {
+        for &r in self.edge_labels.iter() {
             label_used[r as usize] = true;
         }
         let distinct = label_used.iter().filter(|&&u| u).count();
@@ -301,7 +315,7 @@ impl Graph {
             Some(max) if distinct <= MAX_CACHED_RELATIONS => (0..=max)
                 .map(|r| {
                     if !label_used[r as usize] {
-                        return Vec::new();
+                        return Section::default();
                     }
                     let mut cum = Vec::with_capacity(self.col_index.len());
                     for v in 0..n {
@@ -314,12 +328,22 @@ impl Graph {
                             cum.push(acc);
                         }
                     }
-                    cum
+                    cum.into()
                 })
                 .collect(),
             _ => Vec::new(),
         };
-        self.prefix = Some(PrefixCache { all, per_relation });
+        self.prefix = Some(PrefixCache {
+            all: all.into(),
+            per_relation,
+        });
+    }
+
+    /// Whether any CSR section borrows a mapped (or heap-fallback) file
+    /// region instead of owning its memory — true for graphs loaded via
+    /// `crate::packed`.
+    pub fn is_out_of_core(&self) -> bool {
+        self.row_index.is_borrowed() || self.col_index.is_borrowed()
     }
 
     /// Drop the prefix cache (memory back, engines take the streaming

@@ -33,15 +33,27 @@ pub const RMAT_C: f64 = 0.19;
 pub fn rmat_edges(
     scale: u32,
     edge_factor: usize,
-    (a, b, c): (f64, f64, f64),
+    skew: (f64, f64, f64),
     seed: u64,
 ) -> Vec<(VertexId, VertexId)> {
+    rmat_edge_stream(scale, edge_factor, skew, seed).collect()
+}
+
+/// Streaming form of [`rmat_edges`]: yields the identical edge sequence
+/// (same RNG draws, same order) without materializing the list. The
+/// out-of-core pack pipeline (`crate::pack`) consumes this so an rmat-22+
+/// dataset can be packed in bounded memory.
+pub fn rmat_edge_stream(
+    scale: u32,
+    edge_factor: usize,
+    (a, b, c): (f64, f64, f64),
+    seed: u64,
+) -> impl Iterator<Item = (VertexId, VertexId)> {
     assert!(scale < 32, "scale must fit in u32 vertex ids");
     assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0);
     let n_edges = edge_factor << scale;
     let mut rng = SplitMix64::new(seed);
-    let mut edges = Vec::with_capacity(n_edges);
-    for _ in 0..n_edges {
+    (0..n_edges).map(move |_| {
         let (mut u, mut v) = (0u32, 0u32);
         for _ in 0..scale {
             u <<= 1;
@@ -58,9 +70,8 @@ pub fn rmat_edges(
                 v |= 1;
             }
         }
-        edges.push((u, v));
-    }
-    edges
+        (u, v)
+    })
 }
 
 /// R-MAT graph with Graph500 parameters, built directed (each sampled edge

@@ -25,7 +25,12 @@
 //!   paper's five real-world datasets;
 //! - [`io`] — SNAP-style edge-list text and a binary CSR format;
 //! - [`stats`] / [`validate`] — degree-distribution summaries and
-//!   structural integrity checks.
+//!   structural integrity checks;
+//! - [`pack`] / [`packed`] / [`store`] — the out-of-core path
+//!   (DESIGN.md §10): a bounded-memory streaming pack pipeline into a
+//!   packed on-disk CSR (`LRWPAK01`), loaded back through `mmap` as
+//!   borrowed [`store::Section`] views so engines walk the file without
+//!   a resident copy.
 //!
 //! ```
 //! use lightrw_graph::GraphBuilder;
@@ -45,8 +50,11 @@ pub mod components;
 pub mod csr;
 pub mod generators;
 pub mod io;
+pub mod pack;
+pub mod packed;
 pub mod reorder;
 pub mod stats;
+pub mod store;
 pub mod validate;
 
 pub use builder::GraphBuilder;
@@ -55,3 +63,4 @@ pub use csr::{
     ROW_ENTRY_BYTES,
 };
 pub use generators::DatasetProfile;
+pub use packed::{LoadMode, PackedGraph};

@@ -1,0 +1,860 @@
+//! Streaming pack pipeline: edge stream → packed on-disk CSR, in
+//! bounded memory (DESIGN.md §10).
+//!
+//! The pipeline never holds the edge list in memory. Its phases:
+//!
+//! 1. **Ingest + run generation.** Edge records (24 bytes: endpoints,
+//!    weight, relation, input sequence number) are buffered in a
+//!    fixed-capacity chunk; each full chunk is sorted by `(u, v, seq)`
+//!    and spilled to a temporary run file. Undirected inputs are
+//!    mirrored at ingest, exactly like `GraphBuilder`.
+//! 2. **K-way merge + dedup + stats.** All runs merge into one sorted
+//!    stream; duplicate `(u, v)` pairs collapse keeping the lowest
+//!    sequence number (the input's first occurrence — deterministic,
+//!    where the in-memory builder's unstable sort leaves the survivor
+//!    unspecified when duplicate attributes differ). The surviving
+//!    records stream to a merged temp file while one O(|V|) pass of
+//!    state accumulates: per-vertex degrees, max weight, the relation
+//!    histogram — everything needed to size the section table.
+//! 3. **(Optional) degree relabeling.** With `PackOptions::relabel`,
+//!    vertices are renumbered in descending-degree order (ties by old
+//!    id — the same order as `reorder::by_degree_descending`) and the
+//!    merged records are re-sorted externally under the new ids; the
+//!    `new_to_old` permutation is persisted in the file.
+//! 4. **Section streaming.** The output file is sized up front; one
+//!    seeked write handle per section (col_index, weights, labels, each
+//!    prefix cumulative) consumes the merged stream in a single linear
+//!    pass, so the prefix caches are computed on the fly and
+//!    `build_prefix_cache` is a no-op on load.
+//!
+//! Peak memory is `O(chunk + |V|)`: the sort chunk (configurable,
+//! default 4 Mi records ≈ 96 MB) plus one `u32` degree per vertex —
+//! independent of |E|.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use lightrw_rng::{Rng, SplitMix64};
+
+use crate::builder::rng_key;
+use crate::csr::{Graph, VertexId, MAX_CACHED_RELATIONS, MAX_PREFIX_STATIC_WEIGHT};
+use crate::generators::{rmat_edge_stream, RMAT_A, RMAT_B, RMAT_C};
+use crate::io::IoError;
+use crate::packed::{
+    assign_offsets, write_header, write_packed, FLAG_DIRECTED, FLAG_ELABELS, FLAG_PREFIX,
+    FLAG_RELABEL, FLAG_VLABELS, SEC_COL, SEC_ELABELS, SEC_NEW_TO_OLD, SEC_PREFIX_ALL,
+    SEC_REL_PREFIX_BASE, SEC_ROW, SEC_VLABELS, SEC_WEIGHTS,
+};
+use crate::reorder::{by_degree_descending, Relabeling};
+
+/// Knobs for the streaming pipeline.
+#[derive(Debug, Clone)]
+pub struct PackOptions {
+    /// Renumber vertices in descending-degree order at pack time and
+    /// persist the relabeling in the file.
+    pub relabel: bool,
+    /// Sort-chunk capacity in records (24 bytes each). Bounds the
+    /// pipeline's memory; smaller values spill more runs.
+    pub chunk_records: usize,
+    /// Precompute prefix cumulative sections into the file (skipped
+    /// automatically when any weight exceeds the 16-bit promote limit).
+    pub prefix_cache: bool,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        Self {
+            relabel: false,
+            chunk_records: 4 << 20,
+            prefix_cache: true,
+        }
+    }
+}
+
+/// What the pipeline did, for logs and tests.
+#[derive(Debug, Clone)]
+pub struct PackStats {
+    pub vertices: usize,
+    /// Stored (directed) edges after dedup.
+    pub edges: usize,
+    /// Duplicate `(u, v)` records collapsed.
+    pub duplicates: usize,
+    /// Sorted runs spilled to disk (0 when one chunk held everything).
+    pub runs: usize,
+    /// Total size of the packed output file.
+    pub file_bytes: u64,
+}
+
+/// A 24-byte edge record: the unit the external sort works in.
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    u: u32,
+    v: u32,
+    w: u32,
+    rel: u32,
+    seq: u64,
+}
+
+impl Rec {
+    fn key(&self) -> (u32, u32, u64) {
+        (self.u, self.v, self.seq)
+    }
+
+    fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        let mut b = [0u8; 24];
+        b[0..4].copy_from_slice(&self.u.to_le_bytes());
+        b[4..8].copy_from_slice(&self.v.to_le_bytes());
+        b[8..12].copy_from_slice(&self.w.to_le_bytes());
+        b[12..16].copy_from_slice(&self.rel.to_le_bytes());
+        b[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        out.write_all(&b)
+    }
+
+    /// `Ok(None)` on clean EOF; mid-record EOF is an error.
+    fn read_from(r: &mut impl Read) -> io::Result<Option<Rec>> {
+        let mut b = [0u8; 24];
+        match r.read_exact(&mut b) {
+            Ok(()) => Ok(Some(Rec {
+                u: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+                v: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+                w: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+                rel: u32::from_le_bytes(b[12..16].try_into().unwrap()),
+                seq: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            })),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// One source of sorted records for the k-way merge: a spilled run file
+/// or the final in-memory chunk (kept unspilled when it is the only
+/// run's worth of leftover data).
+enum Cursor {
+    File(BufReader<File>),
+    Mem(std::vec::IntoIter<Rec>),
+}
+
+impl Cursor {
+    fn next(&mut self) -> io::Result<Option<Rec>> {
+        match self {
+            Cursor::File(r) => Rec::read_from(r),
+            Cursor::Mem(it) => Ok(it.next()),
+        }
+    }
+}
+
+/// `(record sort key, cursor index)` — min-heap entries for the k-way merge.
+type MergeEntry = Reverse<((u32, u32, u64), usize)>;
+
+/// Merge any number of sorted cursors into one sorted stream.
+struct Merge {
+    cursors: Vec<Cursor>,
+    heap: BinaryHeap<MergeEntry>,
+    pending: Vec<Option<Rec>>,
+}
+
+impl Merge {
+    fn new(mut cursors: Vec<Cursor>) -> io::Result<Self> {
+        let mut heap = BinaryHeap::with_capacity(cursors.len());
+        let mut pending = Vec::with_capacity(cursors.len());
+        for (i, c) in cursors.iter_mut().enumerate() {
+            let first = c.next()?;
+            if let Some(rec) = first {
+                heap.push(Reverse((rec.key(), i)));
+            }
+            pending.push(first);
+        }
+        Ok(Self {
+            cursors,
+            heap,
+            pending,
+        })
+    }
+
+    fn next(&mut self) -> io::Result<Option<Rec>> {
+        let Some(Reverse((_, i))) = self.heap.pop() else {
+            return Ok(None);
+        };
+        let rec = self.pending[i]
+            .take()
+            .expect("heap entry backed by a record");
+        if let Some(next) = self.cursors[i].next()? {
+            self.heap.push(Reverse((next.key(), i)));
+            self.pending[i] = Some(next);
+        }
+        Ok(Some(rec))
+    }
+}
+
+/// Chunked sorter: buffers records, spills sorted runs, hands the final
+/// set of cursors to a [`Merge`].
+struct Sorter<'t> {
+    buf: Vec<Rec>,
+    cap: usize,
+    runs: Vec<PathBuf>,
+    tmp_base: PathBuf,
+    temps: &'t mut Vec<PathBuf>,
+}
+
+impl<'t> Sorter<'t> {
+    fn new(cap: usize, tmp_base: PathBuf, temps: &'t mut Vec<PathBuf>) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap.min(1 << 22)),
+            cap: cap.max(2),
+            runs: Vec::new(),
+            tmp_base,
+            temps,
+        }
+    }
+
+    fn push(&mut self, rec: Rec) -> io::Result<()> {
+        self.buf.push(rec);
+        if self.buf.len() >= self.cap {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> io::Result<()> {
+        self.buf.sort_unstable_by_key(Rec::key);
+        let path = self
+            .tmp_base
+            .with_extension(format!("run{}.tmp", self.runs.len()));
+        let mut out = BufWriter::new(File::create(&path)?);
+        for rec in &self.buf {
+            rec.write_to(&mut out)?;
+        }
+        out.flush()?;
+        self.temps.push(path.clone());
+        self.runs.push(path);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Finish ingestion: returns merge cursors (spilled runs plus the
+    /// sorted in-memory remainder) and the number of spilled runs.
+    fn into_merge(mut self) -> io::Result<(Merge, usize)> {
+        self.buf.sort_unstable_by_key(Rec::key);
+        let n_runs = self.runs.len();
+        let mut cursors: Vec<Cursor> = Vec::with_capacity(n_runs + 1);
+        for path in &self.runs {
+            cursors.push(Cursor::File(BufReader::new(File::open(path)?)));
+        }
+        if !self.buf.is_empty() {
+            cursors.push(Cursor::Mem(std::mem::take(&mut self.buf).into_iter()));
+        }
+        Ok((Merge::new(cursors)?, n_runs))
+    }
+}
+
+/// A section writer: its own handle on the output file, seeked to the
+/// section's offset. Multiple live at once so one linear pass over the
+/// merged edge stream can fill every edge-indexed section.
+struct SecWriter {
+    out: BufWriter<File>,
+}
+
+impl SecWriter {
+    fn at(path: &Path, offset: u64) -> io::Result<Self> {
+        let mut f = OpenOptions::new().write(true).open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        Ok(Self {
+            out: BufWriter::new(f),
+        })
+    }
+
+    fn put_u32(&mut self, x: u32) -> io::Result<()> {
+        self.out.write_all(&x.to_le_bytes())
+    }
+
+    fn put_u64(&mut self, x: u64) -> io::Result<()> {
+        self.out.write_all(&x.to_le_bytes())
+    }
+
+    fn put_u8(&mut self, x: u8) -> io::Result<()> {
+        self.out.write_all(&[x])
+    }
+
+    fn finish(mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Everything phase 2 learns about the edge set.
+struct StreamStats {
+    degree: Vec<u32>,
+    max_endpoint: Option<u32>,
+    max_weight: u32,
+    label_used: [bool; 256],
+    /// Any record (pre-dedup, like `GraphBuilder`) carried a non-zero
+    /// relation ⇒ the file stores an edge-label section.
+    any_rel: bool,
+    edges: usize,
+    duplicates: usize,
+}
+
+impl StreamStats {
+    fn new() -> Self {
+        Self {
+            degree: Vec::new(),
+            max_endpoint: None,
+            max_weight: 0,
+            label_used: [false; 256],
+            any_rel: false,
+            edges: 0,
+            duplicates: 0,
+        }
+    }
+
+    fn see_kept(&mut self, rec: &Rec) {
+        let hi = rec.u.max(rec.v);
+        self.max_endpoint = Some(self.max_endpoint.map_or(hi, |m| m.max(hi)));
+        if self.degree.len() <= rec.u as usize {
+            self.degree.resize(rec.u as usize + 1, 0);
+        }
+        self.degree[rec.u as usize] += 1;
+        self.max_weight = self.max_weight.max(rec.w);
+        self.label_used[(rec.rel & 0xFF) as usize] = true;
+        self.edges += 1;
+    }
+}
+
+/// Pack an edge stream into a packed CSR file at `out`.
+///
+/// `records` yields `(u, v, weight, relation)` in input order;
+/// undirected inputs are mirrored internally. `vertex_labels`, when
+/// given, is called once with the final vertex count and must return
+/// that many labels (in *original* ids; the pipeline permutes them
+/// itself under `relabel`). The resulting file loads to a graph equal
+/// to `GraphBuilder` fed the same stream — see the dedup caveat in the
+/// module docs.
+pub fn pack_edge_stream<I>(
+    records: I,
+    directed: bool,
+    min_vertices: usize,
+    vertex_labels: Option<Box<dyn FnOnce(usize) -> Vec<u8>>>,
+    out: &Path,
+    opts: &PackOptions,
+) -> Result<PackStats, IoError>
+where
+    I: IntoIterator<Item = (u32, u32, u32, u8)>,
+{
+    let mut temps: Vec<PathBuf> = Vec::new();
+    let result = pack_edge_stream_inner(
+        records,
+        directed,
+        min_vertices,
+        vertex_labels,
+        out,
+        opts,
+        &mut temps,
+    );
+    for p in temps {
+        std::fs::remove_file(p).ok();
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_edge_stream_inner<I>(
+    records: I,
+    directed: bool,
+    min_vertices: usize,
+    vertex_labels: Option<Box<dyn FnOnce(usize) -> Vec<u8>>>,
+    out: &Path,
+    opts: &PackOptions,
+    temps: &mut Vec<PathBuf>,
+) -> Result<PackStats, IoError>
+where
+    I: IntoIterator<Item = (u32, u32, u32, u8)>,
+{
+    // ---- Phase 1: ingest, mirror, chunk-sort, spill. ----
+    let mut sorter = Sorter::new(opts.chunk_records, out.to_path_buf(), temps);
+    let mut seq = 0u64;
+    let mut any_rel = false;
+    for (u, v, w, rel) in records {
+        any_rel |= rel != 0;
+        sorter.push(Rec {
+            u,
+            v,
+            w,
+            rel: rel as u32,
+            seq,
+        })?;
+        seq += 1;
+        if !directed {
+            sorter.push(Rec {
+                u: v,
+                v: u,
+                w,
+                rel: rel as u32,
+                seq,
+            })?;
+            seq += 1;
+        }
+    }
+
+    // ---- Phase 2: merge, dedup (min seq wins), stats, merged spool. ----
+    let (mut merge, n_runs) = sorter.into_merge()?;
+    let merged_path = out.with_extension("merged.tmp");
+    temps.push(merged_path.clone());
+    let mut merged_out = BufWriter::new(File::create(&merged_path)?);
+    let mut stats = StreamStats::new();
+    stats.any_rel = any_rel;
+    let mut last: Option<(u32, u32)> = None;
+    while let Some(rec) = merge.next()? {
+        if last == Some((rec.u, rec.v)) {
+            stats.duplicates += 1;
+            continue;
+        }
+        last = Some((rec.u, rec.v));
+        stats.see_kept(&rec);
+        Rec { seq: 0, ..rec }.write_to(&mut merged_out)?;
+    }
+    merged_out.flush()?;
+    drop(merged_out);
+
+    let n = stats
+        .degree
+        .len()
+        .max(stats.max_endpoint.map_or(0, |m| m as usize + 1))
+        .max(min_vertices);
+    stats.degree.resize(n, 0);
+    let m = stats.edges;
+
+    // ---- Phase 3 (optional): degree relabeling + external re-sort. ----
+    let mut relabeling: Option<Relabeling> = None;
+    let mut edge_source = merged_path.clone();
+    if opts.relabel {
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        order.sort_by_key(|&v| (Reverse(stats.degree[v as usize]), v));
+        let map = Relabeling::from_new_to_old(order);
+
+        let mut resort = Sorter::new(opts.chunk_records, out.with_extension("relabel"), temps);
+        let mut merged_in = BufReader::new(File::open(&merged_path)?);
+        while let Some(rec) = Rec::read_from(&mut merged_in)? {
+            resort.push(Rec {
+                u: map.new_id(rec.u),
+                v: map.new_id(rec.v),
+                ..rec
+            })?;
+        }
+        let (mut remerge, _) = resort.into_merge()?;
+        let relabeled_path = out.with_extension("relabeled.tmp");
+        temps.push(relabeled_path.clone());
+        let mut relabeled_out = BufWriter::new(File::create(&relabeled_path)?);
+        while let Some(rec) = remerge.next()? {
+            rec.write_to(&mut relabeled_out)?;
+        }
+        relabeled_out.flush()?;
+
+        let old_degree = std::mem::take(&mut stats.degree);
+        stats.degree = map
+            .new_to_old()
+            .iter()
+            .map(|&old| old_degree[old as usize])
+            .collect();
+        edge_source = relabeled_path;
+        relabeling = Some(map);
+    }
+
+    // ---- Phase 4: lay out sections and stream them out. ----
+    let n64 = n as u64;
+    let m64 = m as u64;
+    let mut vlabels = vertex_labels.map(|f| f(n));
+    if let Some(labels) = &mut vlabels {
+        assert_eq!(labels.len(), n, "vertex-label closure length mismatch");
+        if let Some(map) = &relabeling {
+            let orig = std::mem::take(labels);
+            *labels = map.new_to_old().iter().map(|&o| orig[o as usize]).collect();
+        }
+    }
+    let distinct = stats.label_used.iter().filter(|&&u| u).count();
+    let max_label = (0..256).rev().find(|&r| stats.label_used[r]);
+    let with_prefix = opts.prefix_cache && stats.max_weight <= MAX_PREFIX_STATIC_WEIGHT;
+    // Per-relation cumulatives mirror `Graph::build_prefix_cache`: only
+    // for typed graphs with few enough distinct labels, only for labels
+    // actually used.
+    let rel_prefix_labels: Vec<usize> =
+        if with_prefix && stats.any_rel && distinct <= MAX_CACHED_RELATIONS {
+            (0..=max_label.unwrap_or(0))
+                .filter(|&r| stats.label_used[r])
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+    let mut flags = 0u64;
+    if directed {
+        flags |= FLAG_DIRECTED;
+    }
+    let mut lens: Vec<(u64, u64)> = vec![
+        (SEC_ROW, (n64 + 1) * 8),
+        (SEC_COL, m64 * 4),
+        (SEC_WEIGHTS, m64 * 4),
+    ];
+    if vlabels.is_some() {
+        flags |= FLAG_VLABELS;
+        lens.push((SEC_VLABELS, n64));
+    }
+    if stats.any_rel {
+        flags |= FLAG_ELABELS;
+        lens.push((SEC_ELABELS, m64));
+    }
+    if with_prefix {
+        flags |= FLAG_PREFIX;
+        lens.push((SEC_PREFIX_ALL, m64 * 8));
+        for &r in &rel_prefix_labels {
+            lens.push((SEC_REL_PREFIX_BASE + r as u64, m64 * 8));
+        }
+    }
+    if relabeling.is_some() {
+        flags |= FLAG_RELABEL;
+        lens.push((SEC_NEW_TO_OLD, n64 * 4));
+    }
+    let (table, total) = assign_offsets(&lens);
+    let offset_of = |id: u64| -> u64 {
+        table
+            .iter()
+            .find(|&&(tid, _, _)| tid == id)
+            .expect("section laid out")
+            .1
+    };
+
+    {
+        let file = File::create(out)?;
+        file.set_len(total)?; // zero-fills, which also provides padding
+        let mut head = BufWriter::new(file);
+        write_header(&mut head, flags, n64, m64, &table)?;
+        head.flush()?;
+    }
+
+    // row_index: prefix sum over degrees, written directly.
+    {
+        let mut row = SecWriter::at(out, offset_of(SEC_ROW))?;
+        let mut acc = 0u64;
+        row.put_u64(0)?;
+        for &d in &stats.degree {
+            acc += d as u64;
+            row.put_u64(acc)?;
+        }
+        debug_assert_eq!(acc, m64);
+        row.finish()?;
+    }
+    if let Some(labels) = &vlabels {
+        let mut w = SecWriter::at(out, offset_of(SEC_VLABELS))?;
+        w.out.write_all(labels)?;
+        w.finish()?;
+    }
+    if let Some(map) = &relabeling {
+        let mut w = SecWriter::at(out, offset_of(SEC_NEW_TO_OLD))?;
+        for &old in map.new_to_old() {
+            w.put_u32(old)?;
+        }
+        w.finish()?;
+    }
+
+    // One linear pass over the merged (possibly relabeled) records fills
+    // every edge-indexed section in parallel.
+    {
+        let mut col = SecWriter::at(out, offset_of(SEC_COL))?;
+        let mut wts = SecWriter::at(out, offset_of(SEC_WEIGHTS))?;
+        let mut elb = if stats.any_rel {
+            Some(SecWriter::at(out, offset_of(SEC_ELABELS))?)
+        } else {
+            None
+        };
+        let mut pfx = if with_prefix {
+            Some(SecWriter::at(out, offset_of(SEC_PREFIX_ALL))?)
+        } else {
+            None
+        };
+        let mut rel_pfx: Vec<(usize, u64, SecWriter)> = Vec::new();
+        for &r in &rel_prefix_labels {
+            rel_pfx.push((
+                r,
+                0,
+                SecWriter::at(out, offset_of(SEC_REL_PREFIX_BASE + r as u64))?,
+            ));
+        }
+
+        let mut cur_u: Option<u32> = None;
+        let mut acc = 0u64;
+        let mut reader = BufReader::new(File::open(&edge_source)?);
+        while let Some(rec) = Rec::read_from(&mut reader)? {
+            if cur_u != Some(rec.u) {
+                cur_u = Some(rec.u);
+                acc = 0;
+                for entry in rel_pfx.iter_mut() {
+                    entry.1 = 0;
+                }
+            }
+            col.put_u32(rec.v)?;
+            wts.put_u32(rec.w)?;
+            if let Some(e) = elb.as_mut() {
+                e.put_u8(rec.rel as u8)?;
+            }
+            if let Some(p) = pfx.as_mut() {
+                acc += rec.w as u64;
+                p.put_u64(acc)?;
+            }
+            for (r, racc, w) in rel_pfx.iter_mut() {
+                if rec.rel as usize == *r {
+                    *racc += rec.w as u64;
+                }
+                w.put_u64(*racc)?;
+            }
+        }
+        col.finish()?;
+        wts.finish()?;
+        if let Some(e) = elb {
+            e.finish()?;
+        }
+        if let Some(p) = pfx {
+            p.finish()?;
+        }
+        for (_, _, w) in rel_pfx {
+            w.finish()?;
+        }
+    }
+
+    Ok(PackStats {
+        vertices: n,
+        edges: m,
+        duplicates: stats.duplicates,
+        runs: n_runs,
+        file_bytes: total,
+    })
+}
+
+/// Pack an in-memory graph (the small-graph convenience path). Builds
+/// the prefix cache in place first (no-op if present or ineligible) so
+/// the file carries it; with `relabel`, the graph is reordered via
+/// [`by_degree_descending`] and the relabeling persisted.
+pub fn pack_graph(g: &mut Graph, relabel: bool, out: &Path) -> Result<u64, IoError> {
+    g.build_prefix_cache();
+    if relabel {
+        let (mut reordered, map) = by_degree_descending(g);
+        reordered.build_prefix_cache();
+        write_packed(&reordered, Some(&map), out)
+    } else {
+        write_packed(g, None, out)
+    }
+}
+
+/// Stream-pack the `generators::rmat_dataset` synthetic without ever
+/// materializing it: the packed file loads to a graph **equal** to
+/// `rmat_dataset(scale, seed)` (same edges, weights, labels), because
+/// the per-pair attribute draws reuse the builder's `rng_key` mixing.
+pub fn pack_rmat_dataset(
+    scale: u32,
+    seed: u64,
+    out: &Path,
+    opts: &PackOptions,
+) -> Result<PackStats, IoError> {
+    let wseed = seed ^ 0x5EED_0001;
+    let eseed = seed ^ 0x5EED_0002;
+    let vseed = seed ^ 0x5EED_0003;
+    let records = rmat_edge_stream(scale, 8, (RMAT_A, RMAT_B, RMAT_C), seed).map(move |(u, v)| {
+        let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+        let w = 1 + SplitMix64::new(rng_key(wseed, a, b)).gen_range(64) as u32;
+        let rel = SplitMix64::new(rng_key(eseed ^ 0xA5A5, a, b)).gen_range(2) as u8;
+        (u, v, w, rel)
+    });
+    let vlabels: Box<dyn FnOnce(usize) -> Vec<u8>> = Box::new(move |n| {
+        let mut rng = SplitMix64::new(vseed);
+        (0..n).map(|_| rng.gen_range(4) as u8).collect()
+    });
+    pack_edge_stream(records, true, 1usize << scale, Some(vlabels), out, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::packed::{load_packed, LoadMode};
+    use crate::GraphBuilder;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lightrw_pack_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn no_temps_left(out: &Path) {
+        let dir = out.parent().unwrap();
+        let stem = out.file_stem().unwrap().to_str().unwrap().to_string();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(
+                !(name.starts_with(&stem) && name.ends_with(".tmp")),
+                "leftover temp file {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_pack_equals_builder_with_spilling() {
+        // Tiny chunks force multiple runs and a real k-way merge.
+        let edges: Vec<(u32, u32, u32, u8)> = (0..200u32)
+            .map(|i| {
+                let u = (i * 7) % 50;
+                let v = (i * 13 + 1) % 50;
+                (u, v, 1 + (i % 9), (i % 3) as u8)
+            })
+            .collect();
+        for directed in [true, false] {
+            let mut b = if directed {
+                GraphBuilder::directed()
+            } else {
+                GraphBuilder::undirected()
+            };
+            b = b.num_vertices(60);
+            // Dedup differs only when duplicate attrs differ; feed the
+            // builder the same first-wins survivors by deduping here.
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v, w, rel) in &edges {
+                if seen.insert((u, v)) {
+                    b.push_edge(u, v, w, rel);
+                    if !directed {
+                        seen.insert((v, u));
+                    }
+                }
+            }
+            let expected = b.build();
+
+            let out = tmp(&format!("builder_eq_{directed}.lrwpak"));
+            let opts = PackOptions {
+                chunk_records: 16,
+                ..PackOptions::default()
+            };
+            let dedup_in: Vec<_> = {
+                let mut seen = std::collections::HashSet::new();
+                edges
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v, _, _)| {
+                        let fresh = seen.insert((u, v));
+                        if fresh && !directed {
+                            seen.insert((v, u));
+                        }
+                        fresh
+                    })
+                    .collect()
+            };
+            let st = pack_edge_stream(dedup_in, directed, 60, None, &out, &opts).unwrap();
+            assert!(st.runs > 1, "expected spilled runs, got {}", st.runs);
+            let loaded = load_packed(&out, LoadMode::Heap).unwrap();
+            assert_eq!(loaded.graph, expected, "directed={directed}");
+            // Prefix cumulatives must match the in-memory build too.
+            for v in 0..expected.num_vertices() as u32 {
+                assert_eq!(loaded.graph.static_prefix(v), expected.static_prefix(v));
+                for r in 0..3 {
+                    assert_eq!(
+                        loaded.graph.relation_prefix(v, r),
+                        expected.relation_prefix(v, r)
+                    );
+                }
+            }
+            no_temps_left(&out);
+            std::fs::remove_file(&out).ok();
+        }
+    }
+
+    #[test]
+    fn duplicate_collapse_keeps_first_occurrence() {
+        let records = vec![(0u32, 1u32, 5u32, 0u8), (0, 2, 1, 0), (0, 1, 9, 0)];
+        let out = tmp("dups.lrwpak");
+        let st = pack_edge_stream(records, true, 0, None, &out, &PackOptions::default()).unwrap();
+        assert_eq!(st.duplicates, 1);
+        assert_eq!(st.edges, 2);
+        let g = load_packed(&out, LoadMode::Heap).unwrap().graph;
+        assert_eq!(g.neighbor_weights(0), &[5, 1]); // first (0,1) wins
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn streamed_rmat_pack_is_bit_identical_to_in_memory_dataset() {
+        for seed in [3u64, 11] {
+            let expected = generators::rmat_dataset(7, seed);
+            let out = tmp(&format!("rmat7_{seed}.lrwpak"));
+            let opts = PackOptions {
+                chunk_records: 500, // force external sorting
+                ..PackOptions::default()
+            };
+            let st = pack_rmat_dataset(7, seed, &out, &opts).unwrap();
+            assert_eq!(st.vertices, 1 << 7);
+            assert_eq!(st.edges, expected.num_edges());
+            let loaded = load_packed(&out, LoadMode::Auto).unwrap();
+            assert_eq!(loaded.graph, expected);
+            assert!(loaded.graph.has_prefix_cache());
+            for v in 0..expected.num_vertices() as u32 {
+                assert_eq!(loaded.graph.static_prefix(v), expected.static_prefix(v));
+                for r in 0..2 {
+                    assert_eq!(
+                        loaded.graph.relation_prefix(v, r),
+                        expected.relation_prefix(v, r)
+                    );
+                }
+                assert_eq!(loaded.graph.vertex_label(v), expected.vertex_label(v));
+            }
+            std::fs::remove_file(&out).ok();
+        }
+    }
+
+    #[test]
+    fn relabeled_pack_matches_reorder_by_degree() {
+        let seed = 5u64;
+        let g = generators::rmat_dataset(7, seed);
+        let (expected, map) = by_degree_descending(&g);
+        let out = tmp("rmat7_relabel.lrwpak");
+        let opts = PackOptions {
+            relabel: true,
+            chunk_records: 300,
+            ..PackOptions::default()
+        };
+        pack_rmat_dataset(7, seed, &out, &opts).unwrap();
+        let loaded = load_packed(&out, LoadMode::Auto).unwrap();
+        assert_eq!(loaded.graph, expected);
+        let lm = loaded.relabeling.expect("relabeling persisted");
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(lm.new_id(v), map.new_id(v));
+            assert_eq!(lm.old_id(v), map.old_id(v));
+        }
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn pack_graph_convenience_roundtrips() {
+        let mut g = generators::rmat_dataset(6, 9);
+        let out = tmp("conv.lrwpak");
+        let bytes = pack_graph(&mut g, false, &out).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&out).unwrap().len());
+        assert_eq!(load_packed(&out, LoadMode::Auto).unwrap().graph, g);
+        // And the relabeled flavor.
+        let out2 = tmp("conv_rl.lrwpak");
+        pack_graph(&mut g, true, &out2).unwrap();
+        let loaded = load_packed(&out2, LoadMode::Auto).unwrap();
+        let (expected, _) = by_degree_descending(&g);
+        assert_eq!(loaded.graph, expected);
+        assert!(loaded.relabeling.is_some());
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&out2).ok();
+    }
+
+    #[test]
+    fn empty_stream_packs_an_empty_graph() {
+        let out = tmp("empty.lrwpak");
+        let st =
+            pack_edge_stream(Vec::new(), true, 4, None, &out, &PackOptions::default()).unwrap();
+        assert_eq!((st.vertices, st.edges), (4, 0));
+        let g = load_packed(&out, LoadMode::Heap).unwrap().graph;
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        std::fs::remove_file(&out).ok();
+    }
+}

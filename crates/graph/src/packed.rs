@@ -1,0 +1,641 @@
+//! Packed on-disk CSR: the out-of-core graph format (DESIGN.md §10).
+//!
+//! A packed file is a section-table image designed to be consumed by
+//! `mmap(2)` without any decode step: every CSR lane of [`Graph`] —
+//! including the static-weight prefix cumulatives — is stored exactly as
+//! its in-memory little-endian layout, 8-byte aligned, so loading a graph
+//! is a header parse plus O(sections) [`Section`](crate::store::Section)
+//! window constructions. Peak heap cost of a load is a few hundred bytes
+//! of header/table regardless of graph size; the kernel pages CSR data in
+//! on demand as walks touch it.
+//!
+//! Layout (all words little-endian u64):
+//!
+//! ```text
+//! magic    8 bytes  "LRWPAK01"
+//! version  u64      1
+//! flags    u64      bit0 directed, bit1 vertex labels, bit2 edge labels,
+//!                   bit3 prefix cache, bit4 relabeling
+//! n        u64      vertex count
+//! m        u64      stored (directed) edge count
+//! count    u64      number of section-table entries
+//! table    count × { id u64, offset u64, len u64 }   (lens in bytes)
+//! ...      sections, each starting at an 8-byte-aligned offset
+//! ```
+//!
+//! Section ids: 1 `row_index` ((n+1)×u64) · 2 `col_index` (m×u32) ·
+//! 3 `weights` (m×u32) · 4 vertex labels (n×u8) · 5 edge labels (m×u8) ·
+//! 6 prefix cumulative (m×u64) · 7 `new_to_old` relabeling (n×u32) ·
+//! 16+r per-relation prefix cumulative for relation `r` (m×u64).
+//!
+//! The loader performs **light** validation only (magic/version, table
+//! bounds and alignment, section sizes against `n`/`m`, and the CSR
+//! endpoints `row[0] == 0`, `row[n] == m`): touching every page of a
+//! multi-GB file to re-validate adjacency sorting on each load would
+//! defeat the out-of-core design. Files are produced exclusively by
+//! [`write_packed`] / [`crate::pack`], which pack validated graphs.
+
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::csr::{Graph, PrefixCache};
+use crate::io::IoError;
+use crate::reorder::Relabeling;
+use crate::store::{Region, Section};
+
+pub(crate) const MAGIC: &[u8; 8] = b"LRWPAK01";
+pub(crate) const VERSION: u64 = 1;
+
+pub(crate) const FLAG_DIRECTED: u64 = 1 << 0;
+pub(crate) const FLAG_VLABELS: u64 = 1 << 1;
+pub(crate) const FLAG_ELABELS: u64 = 1 << 2;
+pub(crate) const FLAG_PREFIX: u64 = 1 << 3;
+pub(crate) const FLAG_RELABEL: u64 = 1 << 4;
+
+pub(crate) const SEC_ROW: u64 = 1;
+pub(crate) const SEC_COL: u64 = 2;
+pub(crate) const SEC_WEIGHTS: u64 = 3;
+pub(crate) const SEC_VLABELS: u64 = 4;
+pub(crate) const SEC_ELABELS: u64 = 5;
+pub(crate) const SEC_PREFIX_ALL: u64 = 6;
+pub(crate) const SEC_NEW_TO_OLD: u64 = 7;
+pub(crate) const SEC_REL_PREFIX_BASE: u64 = 16;
+
+/// One section-table entry: `(id, byte offset, byte length)`.
+pub type SectionEntry = (u64, u64, u64);
+
+/// Sniff whether `path` starts with the packed-CSR magic (so CLIs can
+/// auto-detect the format without an extension convention).
+pub fn is_packed_file<P: AsRef<Path>>(path: P) -> bool {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut head = [0u8; 8];
+    f.read_exact(&mut head).is_ok() && &head == MAGIC
+}
+
+/// Human-readable name for a section id (for `graph stats` listings).
+pub fn section_name(id: u64) -> String {
+    match id {
+        SEC_ROW => "row_index".into(),
+        SEC_COL => "col_index".into(),
+        SEC_WEIGHTS => "weights".into(),
+        SEC_VLABELS => "vertex_labels".into(),
+        SEC_ELABELS => "edge_labels".into(),
+        SEC_PREFIX_ALL => "prefix_all".into(),
+        SEC_NEW_TO_OLD => "new_to_old".into(),
+        r if r >= SEC_REL_PREFIX_BASE => format!("prefix_rel{}", r - SEC_REL_PREFIX_BASE),
+        other => format!("section{other}"),
+    }
+}
+
+pub(crate) fn align8(x: u64) -> u64 {
+    x.div_ceil(8) * 8
+}
+
+/// Lay out sections `(id, len_bytes)` after the header+table, assigning
+/// 8-aligned offsets in order. Returns the table and the total file size.
+pub(crate) fn assign_offsets(lens: &[(u64, u64)]) -> (Vec<SectionEntry>, u64) {
+    let mut off = 48 + 24 * lens.len() as u64; // already 8-aligned
+    let mut table = Vec::with_capacity(lens.len());
+    for &(id, len) in lens {
+        table.push((id, off, len));
+        off = align8(off + len);
+    }
+    (table, off)
+}
+
+/// Write the fixed header and section table.
+pub(crate) fn write_header<W: Write>(
+    out: &mut W,
+    flags: u64,
+    n: u64,
+    m: u64,
+    table: &[SectionEntry],
+) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&flags.to_le_bytes())?;
+    out.write_all(&n.to_le_bytes())?;
+    out.write_all(&m.to_le_bytes())?;
+    out.write_all(&(table.len() as u64).to_le_bytes())?;
+    for &(id, off, len) in table {
+        out.write_all(&id.to_le_bytes())?;
+        out.write_all(&off.to_le_bytes())?;
+        out.write_all(&len.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// View a Pod slice as raw little-endian bytes (little-endian hosts only;
+/// the cfg guard keeps big-endian builds on the per-element path).
+#[cfg(target_endian = "little")]
+pub(crate) fn lane_bytes<T: crate::store::Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: Pod types have no padding or invalid bit patterns; reading
+    // a slice's memory as bytes is always sound.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+fn write_u64_lane<W: Write>(out: &mut W, s: &[u64]) -> std::io::Result<()> {
+    #[cfg(target_endian = "little")]
+    return out.write_all(lane_bytes(s));
+    #[cfg(target_endian = "big")]
+    {
+        for &x in s {
+            out.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+fn write_u32_lane<W: Write>(out: &mut W, s: &[u32]) -> std::io::Result<()> {
+    #[cfg(target_endian = "little")]
+    return out.write_all(lane_bytes(s));
+    #[cfg(target_endian = "big")]
+    {
+        for &x in s {
+            out.write_all(&x.to_le_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Pad `out` to the next 8-byte boundary after writing `len` bytes at
+/// 8-aligned `off`.
+fn pad_to_align<W: Write>(out: &mut W, off: u64, len: u64) -> std::io::Result<()> {
+    let end = off + len;
+    let pad = align8(end) - end;
+    out.write_all(&[0u8; 8][..pad as usize])
+}
+
+/// Serialize an in-memory graph (plus an optional relabeling that
+/// produced it) into a packed file. The prefix cache is written as-is
+/// when present, so loading the file makes `build_prefix_cache` a no-op.
+pub fn write_packed<P: AsRef<Path>>(
+    g: &Graph,
+    relabeling: Option<&Relabeling>,
+    path: P,
+) -> Result<u64, IoError> {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    if let Some(map) = relabeling {
+        assert_eq!(map.new_to_old().len() as u64, n, "relabeling size mismatch");
+    }
+
+    let mut flags = 0u64;
+    if g.is_directed() {
+        flags |= FLAG_DIRECTED;
+    }
+    let mut lens: Vec<(u64, u64)> = vec![
+        (SEC_ROW, (n + 1) * 8),
+        (SEC_COL, m * 4),
+        (SEC_WEIGHTS, m * 4),
+    ];
+    if g.has_vertex_labels() {
+        flags |= FLAG_VLABELS;
+        lens.push((SEC_VLABELS, n));
+    }
+    if g.has_edge_labels() {
+        flags |= FLAG_ELABELS;
+        lens.push((SEC_ELABELS, m));
+    }
+    if let Some(cache) = &g.prefix {
+        flags |= FLAG_PREFIX;
+        lens.push((SEC_PREFIX_ALL, m * 8));
+        for (r, cum) in cache.per_relation.iter().enumerate() {
+            if !cum.is_empty() {
+                lens.push((SEC_REL_PREFIX_BASE + r as u64, m * 8));
+            }
+        }
+    }
+    if relabeling.is_some() {
+        flags |= FLAG_RELABEL;
+        lens.push((SEC_NEW_TO_OLD, n * 4));
+    }
+
+    let (table, total) = assign_offsets(&lens);
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    write_header(&mut out, flags, n, m, &table)?;
+    for &(id, off, len) in &table {
+        match id {
+            SEC_ROW => write_u64_lane(&mut out, &g.row_index)?,
+            SEC_COL => write_u32_lane(&mut out, &g.col_index)?,
+            SEC_WEIGHTS => write_u32_lane(&mut out, &g.weights)?,
+            SEC_VLABELS => out.write_all(&g.vertex_labels)?,
+            SEC_ELABELS => out.write_all(&g.edge_labels)?,
+            SEC_PREFIX_ALL => write_u64_lane(&mut out, &g.prefix.as_ref().expect("flagged").all)?,
+            SEC_NEW_TO_OLD => write_u32_lane(&mut out, relabeling.expect("flagged").new_to_old())?,
+            r => {
+                let rel = (r - SEC_REL_PREFIX_BASE) as usize;
+                write_u64_lane(
+                    &mut out,
+                    &g.prefix.as_ref().expect("flagged").per_relation[rel],
+                )?
+            }
+        }
+        pad_to_align(&mut out, off, len)?;
+    }
+    out.flush()?;
+    Ok(total)
+}
+
+/// How [`load_packed`] should back the graph's sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// `mmap` where available, falling back to an aligned heap read.
+    Auto,
+    /// Force the aligned heap read (also exercises the borrowed-section
+    /// machinery without a live mapping — useful in tests).
+    Heap,
+}
+
+/// A graph loaded from a packed file, with its provenance.
+#[derive(Debug)]
+pub struct PackedGraph {
+    pub graph: Graph,
+    /// Present when the file was packed with degree relabeling; maps the
+    /// packed (new) vertex ids back to the original input ids.
+    pub relabeling: Option<Relabeling>,
+    /// Total size of the packed file in bytes.
+    pub file_bytes: u64,
+    /// Whether the sections are backed by a live `mmap` mapping.
+    pub mapped: bool,
+    /// The file's section table `(id, offset, len_bytes)`.
+    pub sections: Vec<SectionEntry>,
+}
+
+fn corrupt(offset: u64, what: &'static str) -> IoError {
+    IoError::CorruptAt { offset, what }
+}
+
+fn u64_at(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+/// Construct a `u64` section: a zero-copy region window on little-endian
+/// hosts, an owned byte-swapped decode on big-endian hosts.
+fn sec_u64(region: &Arc<Region>, off: usize, len: usize) -> Option<Section<u64>> {
+    #[cfg(target_endian = "little")]
+    {
+        Section::from_region(region, off, len)
+    }
+    #[cfg(target_endian = "big")]
+    {
+        let bytes = region
+            .bytes()
+            .get(off..off.checked_add(len.checked_mul(8)?)?)?;
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    }
+}
+
+fn sec_u32(region: &Arc<Region>, off: usize, len: usize) -> Option<Section<u32>> {
+    #[cfg(target_endian = "little")]
+    {
+        Section::from_region(region, off, len)
+    }
+    #[cfg(target_endian = "big")]
+    {
+        let bytes = region
+            .bytes()
+            .get(off..off.checked_add(len.checked_mul(4)?)?)?;
+        Some(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    }
+}
+
+fn sec_u8(region: &Arc<Region>, off: usize, len: usize) -> Option<Section<u8>> {
+    Section::from_region(region, off, len)
+}
+
+/// Load a packed graph file. The heavy sections are *borrowed* from the
+/// file region (mmap or aligned heap buffer); nothing CSR-sized is
+/// copied onto the heap in `Auto` mode on Linux.
+pub fn load_packed<P: AsRef<Path>>(path: P, mode: LoadMode) -> Result<PackedGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let region = Region::from_file(&file, mode == LoadMode::Heap)?;
+    let bytes = region.bytes();
+    let file_len = bytes.len() as u64;
+    if bytes.len() < 48 {
+        return Err(corrupt(file_len, "file shorter than the packed header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = u64_at(bytes, 8);
+    if version != VERSION {
+        return Err(IoError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let flags = u64_at(bytes, 16);
+    let n64 = u64_at(bytes, 24);
+    let m64 = u64_at(bytes, 32);
+    let count = u64_at(bytes, 40);
+    if n64 > u32::MAX as u64 || m64 > u32::MAX as u64 {
+        return Err(corrupt(
+            24,
+            "vertex or edge count exceeds the 32-bit id space",
+        ));
+    }
+    let (n, m) = (n64 as usize, m64 as usize);
+    let table_end = 48u64
+        .checked_add(
+            count
+                .checked_mul(24)
+                .ok_or_else(|| corrupt(40, "section count overflows"))?,
+        )
+        .ok_or_else(|| corrupt(40, "section count overflows"))?;
+    if table_end > file_len {
+        return Err(corrupt(40, "section table extends past end of file"));
+    }
+
+    let mut sections = Vec::with_capacity(count as usize);
+    let mut by_id: HashMap<u64, (u64, u64)> = HashMap::new();
+    for i in 0..count as usize {
+        let base = 48 + i * 24;
+        let (id, off, len) = (
+            u64_at(bytes, base),
+            u64_at(bytes, base + 8),
+            u64_at(bytes, base + 16),
+        );
+        if off % 8 != 0 {
+            return Err(corrupt(base as u64 + 8, "section offset not 8-aligned"));
+        }
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| corrupt(base as u64 + 16, "section length overflows"))?;
+        if end > file_len {
+            return Err(corrupt(
+                base as u64 + 16,
+                "section extends past end of file",
+            ));
+        }
+        if by_id.insert(id, (off, len)).is_some() {
+            return Err(corrupt(base as u64, "duplicate section id"));
+        }
+        sections.push((id, off, len));
+    }
+
+    let expect = |id: u64, want_len: u64, what: &'static str| -> Result<(u64, u64), IoError> {
+        let &(off, len) = by_id
+            .get(&id)
+            .ok_or_else(|| corrupt(48, "required section missing"))?;
+        if len != want_len {
+            return Err(corrupt(off, what));
+        }
+        Ok((off, len))
+    };
+
+    let (row_off, _) = expect(
+        SEC_ROW,
+        (n as u64 + 1) * 8,
+        "row_index section has wrong size",
+    )?;
+    let (col_off, _) = expect(SEC_COL, m as u64 * 4, "col_index section has wrong size")?;
+    let (w_off, _) = expect(SEC_WEIGHTS, m as u64 * 4, "weights section has wrong size")?;
+
+    let bad = || corrupt(row_off, "section window rejected (bounds or alignment)");
+    let row_index = sec_u64(&region, row_off as usize, n + 1).ok_or_else(bad)?;
+    let col_index = sec_u32(&region, col_off as usize, m).ok_or_else(bad)?;
+    let weights = sec_u32(&region, w_off as usize, m).ok_or_else(bad)?;
+
+    // CSR endpoint checks: O(1) reads, catches header/section mismatch.
+    if row_index[0] != 0 {
+        return Err(corrupt(row_off, "row_index does not start at 0"));
+    }
+    if row_index[n] != m as u64 {
+        return Err(corrupt(
+            row_off + n as u64 * 8,
+            "row_index end disagrees with edge count",
+        ));
+    }
+
+    let vertex_labels = if flags & FLAG_VLABELS != 0 {
+        let (off, _) = expect(SEC_VLABELS, n as u64, "vertex-label section has wrong size")?;
+        sec_u8(&region, off as usize, n).ok_or_else(bad)?
+    } else {
+        Section::default()
+    };
+    let edge_labels = if flags & FLAG_ELABELS != 0 {
+        let (off, _) = expect(SEC_ELABELS, m as u64, "edge-label section has wrong size")?;
+        sec_u8(&region, off as usize, m).ok_or_else(bad)?
+    } else {
+        Section::default()
+    };
+
+    let prefix = if flags & FLAG_PREFIX != 0 {
+        let (off, _) = expect(
+            SEC_PREFIX_ALL,
+            m as u64 * 8,
+            "prefix section has wrong size",
+        )?;
+        let all = sec_u64(&region, off as usize, m).ok_or_else(bad)?;
+        let max_rel = by_id
+            .keys()
+            .filter(|&&id| id >= SEC_REL_PREFIX_BASE)
+            .map(|&id| id - SEC_REL_PREFIX_BASE)
+            .max();
+        let per_relation = match max_rel {
+            Some(max) => {
+                let mut v = Vec::with_capacity(max as usize + 1);
+                for r in 0..=max {
+                    v.push(match by_id.get(&(SEC_REL_PREFIX_BASE + r)) {
+                        Some(&(off, len)) => {
+                            if len != m as u64 * 8 {
+                                return Err(corrupt(
+                                    off,
+                                    "per-relation prefix section has wrong size",
+                                ));
+                            }
+                            sec_u64(&region, off as usize, m).ok_or_else(bad)?
+                        }
+                        None => Section::default(),
+                    });
+                }
+                v
+            }
+            None => Vec::new(),
+        };
+        Some(PrefixCache { all, per_relation })
+    } else {
+        None
+    };
+
+    let relabeling = if flags & FLAG_RELABEL != 0 {
+        let (off, _) = expect(
+            SEC_NEW_TO_OLD,
+            n as u64 * 4,
+            "relabel section has wrong size",
+        )?;
+        let sec = sec_u32(&region, off as usize, n).ok_or_else(bad)?;
+        Some(Relabeling::from_new_to_old(sec.to_vec()))
+    } else {
+        None
+    };
+
+    let graph = Graph {
+        row_index,
+        col_index,
+        weights,
+        vertex_labels,
+        edge_labels,
+        directed: flags & FLAG_DIRECTED != 0,
+        prefix,
+    };
+    Ok(PackedGraph {
+        graph,
+        relabeling,
+        file_bytes: file_len,
+        mapped: region.is_mapped(),
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lightrw_packed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn packed_roundtrip_is_exact_in_both_modes() {
+        let g = generators::rmat_dataset(8, 5);
+        let path = tmp("roundtrip.lrwpak");
+        let total = write_packed(&g, None, &path).unwrap();
+        assert_eq!(total, std::fs::metadata(&path).unwrap().len());
+        for mode in [LoadMode::Auto, LoadMode::Heap] {
+            let loaded = load_packed(&path, mode).unwrap();
+            assert_eq!(loaded.graph, g);
+            assert!(loaded.graph.is_out_of_core());
+            assert!(loaded.relabeling.is_none());
+            // The prefix cache travels in the file: building it again is
+            // a no-op and the cumulative arrays match the in-memory build.
+            assert!(loaded.graph.has_prefix_cache());
+            let mut reloaded = loaded.graph;
+            reloaded.build_prefix_cache();
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(reloaded.static_prefix(v), g.static_prefix(v));
+                for r in 0..2 {
+                    assert_eq!(reloaded.relation_prefix(v, r), g.relation_prefix(v, r));
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn packed_preserves_labels_and_direction() {
+        let g = crate::GraphBuilder::undirected()
+            .labeled_edge(0, 1, 3, 1)
+            .labeled_edge(1, 2, 5, 2)
+            .vertex_labels(vec![7, 8, 9])
+            .build();
+        let path = tmp("labels.lrwpak");
+        write_packed(&g, None, &path).unwrap();
+        let loaded = load_packed(&path, LoadMode::Heap).unwrap().graph;
+        assert_eq!(loaded, g);
+        assert!(!loaded.is_directed());
+        assert_eq!(loaded.vertex_label(2), 9);
+        assert_eq!(loaded.neighbor_relations(1), g.neighbor_relations(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn relabeling_roundtrips_through_the_file() {
+        let g = generators::rmat_dataset(7, 3);
+        let (reordered, map) = crate::reorder::by_degree_descending(&g);
+        let path = tmp("relabel.lrwpak");
+        write_packed(&reordered, Some(&map), &path).unwrap();
+        let loaded = load_packed(&path, LoadMode::Auto).unwrap();
+        assert_eq!(loaded.graph, reordered);
+        let lm = loaded.relabeling.unwrap();
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(lm.old_id(v), map.old_id(v));
+            assert_eq!(lm.new_id(v), map.new_id(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loader_rejects_corruption_loudly() {
+        let g = generators::rmat_dataset(6, 1);
+        let path = tmp("corrupt.lrwpak");
+        write_packed(&g, None, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut buf = clean.clone();
+        buf[0] ^= 0xFF;
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            load_packed(&path, LoadMode::Heap),
+            Err(IoError::BadMagic)
+        ));
+
+        // Unsupported version.
+        let mut buf = clean.clone();
+        buf[8..16].copy_from_slice(&9u64.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            load_packed(&path, LoadMode::Heap),
+            Err(IoError::UnsupportedVersion { found: 9, .. })
+        ));
+
+        // Truncated file: some section now extends past EOF.
+        let mut buf = clean.clone();
+        buf.truncate(buf.len() - 16);
+        std::fs::write(&path, &buf).unwrap();
+        assert!(load_packed(&path, LoadMode::Heap).is_err());
+
+        // Vertex count bumped: row_index size check fires.
+        let mut buf = clean.clone();
+        let n = g.num_vertices() as u64;
+        buf[24..32].copy_from_slice(&(n + 1).to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        assert!(load_packed(&path, LoadMode::Heap).is_err());
+
+        // Tiny file.
+        std::fs::write(&path, b"LRWPAK01").unwrap();
+        assert!(matches!(
+            load_packed(&path, LoadMode::Heap),
+            Err(IoError::CorruptAt { .. })
+        ));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn untyped_unweighted_graph_packs() {
+        let g = crate::GraphBuilder::directed()
+            .edges([(0, 1), (1, 2)])
+            .build();
+        let path = tmp("plain.lrwpak");
+        write_packed(&g, None, &path).unwrap();
+        let loaded = load_packed(&path, LoadMode::Auto).unwrap().graph;
+        assert_eq!(loaded, g);
+        assert!(!loaded.has_vertex_labels());
+        assert!(!loaded.has_edge_labels());
+        assert_eq!(loaded.relation_prefix(0, 0), g.relation_prefix(0, 0));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -23,6 +23,31 @@ pub struct Relabeling {
 }
 
 impl Relabeling {
+    /// Rebuild a relabeling from its `new_to_old` permutation (how packed
+    /// files persist it — see `crate::packed`). Panics if `new_to_old` is
+    /// not a permutation of `0..n`.
+    pub fn from_new_to_old(new_to_old: Vec<VertexId>) -> Self {
+        let n = new_to_old.len();
+        let mut old_to_new = vec![VertexId::MAX; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            assert!(
+                (old as usize) < n && old_to_new[old as usize] == VertexId::MAX,
+                "new_to_old is not a permutation of 0..{n}"
+            );
+            old_to_new[old as usize] = new as VertexId;
+        }
+        Self {
+            old_to_new,
+            new_to_old,
+        }
+    }
+
+    /// The `new_to_old` permutation (what packed files persist).
+    #[inline]
+    pub fn new_to_old(&self) -> &[VertexId] {
+        &self.new_to_old
+    }
+
     /// New id of an old vertex.
     #[inline]
     pub fn new_id(&self, old: VertexId) -> VertexId {

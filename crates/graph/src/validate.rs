@@ -151,14 +151,14 @@ mod tests {
     #[test]
     fn detects_bad_header() {
         let mut g = good();
-        g.row_index[0] = 1;
+        g.row_index.to_mut()[0] = 1;
         assert_eq!(validate(&g), Err(ValidationError::BadOffsetsHeader));
     }
 
     #[test]
     fn detects_non_monotone_offsets() {
         let mut g = good();
-        g.row_index[2] = 0;
+        g.row_index.to_mut()[2] = 0;
         assert!(matches!(
             validate(&g),
             Err(ValidationError::NonMonotoneOffsets { .. })
@@ -169,7 +169,7 @@ mod tests {
     fn detects_offset_edge_mismatch() {
         let mut g = good();
         let last = g.row_index.len() - 1;
-        g.row_index[last] += 1;
+        g.row_index.to_mut()[last] += 1;
         // also bump the one before so monotonicity holds
         assert!(matches!(
             validate(&g),
@@ -181,7 +181,7 @@ mod tests {
     fn detects_dangling_edge() {
         let mut g = good();
         let n = g.col_index.len();
-        g.col_index[n - 1] = 99;
+        g.col_index.to_mut()[n - 1] = 99;
         assert!(matches!(
             validate(&g),
             Err(ValidationError::DanglingEdge { .. })
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn detects_unsorted_adjacency() {
         let mut g = GraphBuilder::directed().edges([(0, 1), (0, 2)]).build();
-        g.col_index.swap(0, 1);
+        g.col_index.to_mut().swap(0, 1);
         assert_eq!(
             validate(&g),
             Err(ValidationError::UnsortedAdjacency { vertex: 0 })
@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn detects_duplicate_adjacency() {
         let mut g = GraphBuilder::directed().edges([(0, 1), (0, 2)]).build();
-        g.col_index[1] = 1;
+        g.col_index.to_mut()[1] = 1;
         assert_eq!(
             validate(&g),
             Err(ValidationError::UnsortedAdjacency { vertex: 0 })
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn detects_weight_misalignment() {
         let mut g = good();
-        g.weights.pop();
+        g.weights.to_mut().pop();
         assert!(matches!(
             validate(&g),
             Err(ValidationError::WeightsMisaligned { .. })
@@ -221,13 +221,13 @@ mod tests {
     #[test]
     fn detects_label_misalignment() {
         let mut g = good();
-        g.vertex_labels = vec![0; 1];
+        g.vertex_labels = vec![0; 1].into();
         assert!(matches!(
             validate(&g),
             Err(ValidationError::VertexLabelsMisaligned { .. })
         ));
         let mut g2 = good();
-        g2.edge_labels = vec![0; 1];
+        g2.edge_labels = vec![0; 1].into();
         assert!(matches!(
             validate(&g2),
             Err(ValidationError::EdgeLabelsMisaligned { .. })

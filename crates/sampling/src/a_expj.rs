@@ -1,0 +1,467 @@
+//! A-ExpJ: Efraimidis–Espirakis weighted reservoir sampling *with
+//! exponential jumps* — the skip-ahead variant of [`crate::a_res`].
+//!
+//! A-Res draws one uniform per stream item. A-ExpJ instead draws the
+//! *amount of weight* the current reservoir survives (an exponential in
+//! the key domain) and jumps over every item inside that span, touching
+//! the RNG only `O(k log(n/k))` times in expectation. On the huge
+//! adjacency rows an out-of-core graph serves via the prefix cache, the
+//! jump becomes a binary search over the cumulative weights: expected
+//! `O(log d)` work per draw with *no* per-step table build — the same
+//! "initialization-free" property the paper prizes in WRS (§3.2), but
+//! sublinear in degree.
+//!
+//! Three single-sample (`n_res = 1`) entry points mirror the walker's
+//! hot-path shapes and are **bit-identical** to one another on the same
+//! weight sequence (same selections, same RNG consumption):
+//!
+//! * [`select_index_with`] — streaming weights, linear scan between jumps;
+//! * [`select_prefix`] — jumps by binary search over an inclusive
+//!   cumulative-weight array (promoted by `shift`, matching the walker's
+//!   fixed-point static weights);
+//! * [`select_uniform`] — constant weights, jumps by implicit binary
+//!   search over the index range.
+//!
+//! The identity holds because the jump target is compared against exact
+//! integer cumulative sums converted to `f64`: the scan's running `u64`
+//! total at item `i` equals `cum[i] << shift` exactly (power-of-two
+//! promotion cannot round), and `u64 → f64` conversion is monotone, so a
+//! binary search over converted cumulative values finds precisely the
+//! scan's first crossing. Zero-weight items never consume randomness in
+//! either form.
+//!
+//! [`AExpJSampler`] is the general `n_res ≥ 1` reservoir, offered the
+//! stream item by item like [`crate::AResSampler`] and validated against
+//! it distributionally.
+
+use lightrw_rng::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Floor uniforms away from zero so `ln` stays finite.
+#[inline]
+fn positive_uniform<R: Rng>(rng: &mut R) -> f64 {
+    rng.next_f64().max(f64::MIN_POSITIVE)
+}
+
+/// Draw the log-key for a first-seen item: `ln(u) / w`.
+#[inline]
+fn fresh_ln_key<R: Rng>(rng: &mut R, weight: f64) -> f64 {
+    positive_uniform(rng).ln() / weight
+}
+
+/// Draw the replacement log-key at a crossing item of weight `w`:
+/// uniform in `(t, 1)` with `t = key^w`, i.e. conditioned to beat the
+/// incumbent.
+#[inline]
+fn replacement_ln_key<R: Rng>(rng: &mut R, ln_key: f64, weight: f64) -> f64 {
+    let t = (ln_key * weight).exp();
+    let u = (t + (1.0 - t) * rng.next_f64()).max(f64::MIN_POSITIVE);
+    u.ln() / weight
+}
+
+/// The jump target: cumulative weight at which the incumbent's key is
+/// overtaken. Strictly greater than `cum` (both logs are negative).
+#[inline]
+fn jump_target<R: Rng>(rng: &mut R, cum: f64, ln_key: f64) -> f64 {
+    cum + positive_uniform(rng).ln() / ln_key
+}
+
+/// Single-sample A-ExpJ over streamed weights: an index drawn with
+/// probability `w(i) / Σw`, or `None` when every weight is zero.
+/// Evaluates every weight once (the cumulative total is needed to place
+/// jumps) but touches the RNG only at jump crossings.
+pub fn select_index_with<R: Rng>(
+    rng: &mut R,
+    len: usize,
+    w: impl Fn(usize) -> u32,
+) -> Option<usize> {
+    let mut i = 0usize;
+    let first_w = loop {
+        if i == len {
+            return None;
+        }
+        let wi = w(i);
+        if wi > 0 {
+            break wi;
+        }
+        i += 1;
+    };
+    let mut cum = first_w as u64;
+    let mut ln_key = fresh_ln_key(rng, first_w as f64);
+    let mut selected = i;
+    let mut target = jump_target(rng, cum as f64, ln_key);
+    i += 1;
+    while i < len {
+        let wi = w(i);
+        if wi == 0 {
+            i += 1;
+            continue;
+        }
+        cum += wi as u64;
+        if (cum as f64) > target {
+            ln_key = replacement_ln_key(rng, ln_key, wi as f64);
+            selected = i;
+            target = jump_target(rng, cum as f64, ln_key);
+        }
+        i += 1;
+    }
+    Some(selected)
+}
+
+/// Single-sample A-ExpJ over an inclusive cumulative-weight array, each
+/// weight promoted by `shift` bits (the walker's fixed-point promotion).
+/// Jumps advance by binary search, so expected cost is `O(log len)` —
+/// this is the huge-row fast path. Bit-identical to
+/// [`select_index_with`] over `(cum[i] - cum[i-1]) << shift`.
+pub fn select_prefix<R: Rng>(rng: &mut R, cumulative: &[u64], shift: u32) -> Option<usize> {
+    match cumulative.last() {
+        None | Some(0) => return None,
+        Some(_) => {}
+    }
+    // First positive-weight item: the first nonzero cumulative value.
+    let mut selected = cumulative.partition_point(|&c| c == 0);
+    // Its predecessor's cumulative is zero, so its weight IS cum[selected].
+    let mut ln_key = fresh_ln_key(rng, (cumulative[selected] << shift) as f64);
+    loop {
+        let target = jump_target(rng, (cumulative[selected] << shift) as f64, ln_key);
+        // First j > selected whose promoted cumulative exceeds the target.
+        // Zero-weight items share their predecessor's cumulative, so the
+        // search can only land on a positive-weight item (the target is
+        // strictly above the incumbent's cumulative).
+        let rest = &cumulative[selected + 1..];
+        let off = rest.partition_point(|&c| ((c << shift) as f64) <= target);
+        if off == rest.len() {
+            return Some(selected);
+        }
+        let j = selected + 1 + off;
+        let wj = ((cumulative[j] - cumulative[j - 1]) << shift) as f64;
+        ln_key = replacement_ln_key(rng, ln_key, wj);
+        selected = j;
+    }
+}
+
+/// Single-sample A-ExpJ over `len` equal weights: jumps advance by an
+/// implicit binary search over the index range (cumulative at `j` is
+/// `(j+1)·weight`), expected `O(log len)`. Bit-identical to
+/// [`select_index_with`] with a constant closure.
+pub fn select_uniform<R: Rng>(rng: &mut R, len: usize, weight: u32) -> Option<usize> {
+    if len == 0 || weight == 0 {
+        return None;
+    }
+    let cum_at = |j: usize| ((j as u64 + 1) * weight as u64) as f64;
+    let mut selected = 0usize;
+    let mut ln_key = fresh_ln_key(rng, weight as f64);
+    loop {
+        let target = jump_target(rng, cum_at(selected), ln_key);
+        // partition_point over j in (selected, len): first cum_at(j) > target.
+        let (mut lo, mut hi) = (selected + 1, len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if cum_at(mid) <= target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == len {
+            return Some(selected);
+        }
+        ln_key = replacement_ln_key(rng, ln_key, weight as f64);
+        selected = lo;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Keyed {
+    /// `ln(key)`; larger (closer to zero) is better.
+    ln_key: f64,
+    index: usize,
+}
+
+// Min-heap by ln_key (BinaryHeap is a max-heap, so invert the ordering).
+impl Eq for Keyed {}
+impl PartialOrd for Keyed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Keyed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .ln_key
+            .partial_cmp(&self.ln_key)
+            .expect("A-ExpJ keys are never NaN")
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+/// General `n_res ≥ 1` A-ExpJ reservoir, API-compatible with
+/// [`crate::AResSampler`]: same offers, same finish, the same
+/// without-replacement distribution — but RNG draws only at jump
+/// crossings once the reservoir is full.
+#[derive(Debug, Clone)]
+pub struct AExpJSampler {
+    capacity: usize,
+    heap: BinaryHeap<Keyed>,
+    consumed: usize,
+    /// Weight left to skip before the next threshold crossing
+    /// (`None` until the reservoir fills).
+    skip: Option<f64>,
+}
+
+impl AExpJSampler {
+    /// Reservoir of `n_res` items (`n_res = 1` is LightRW's setting).
+    pub fn new(n_res: usize) -> Self {
+        assert!(n_res >= 1, "reservoir must hold at least one item");
+        Self {
+            capacity: n_res,
+            heap: BinaryHeap::with_capacity(n_res + 1),
+            consumed: 0,
+            skip: None,
+        }
+    }
+
+    fn draw_skip<R: Rng>(&mut self, rng: &mut R) {
+        let worst = self.heap.peek().expect("full reservoir").ln_key;
+        self.skip = Some(positive_uniform(rng).ln() / worst);
+    }
+
+    /// Offer the next stream item; zero-weight items are never selected
+    /// and never consume randomness.
+    pub fn offer<R: Rng>(&mut self, weight: u32, rng: &mut R) {
+        let index = self.consumed;
+        self.consumed += 1;
+        if weight == 0 {
+            return;
+        }
+        let w = weight as f64;
+        if self.heap.len() < self.capacity {
+            let ln_key = fresh_ln_key(rng, w);
+            self.heap.push(Keyed { ln_key, index });
+            if self.heap.len() == self.capacity {
+                self.draw_skip(rng);
+            }
+            return;
+        }
+        let skip = self
+            .skip
+            .as_mut()
+            .expect("skip drawn when reservoir filled");
+        *skip -= w;
+        if *skip <= 0.0 {
+            let worst = self.heap.pop().expect("full reservoir").ln_key;
+            let ln_key = replacement_ln_key(rng, worst, w);
+            self.heap.push(Keyed { ln_key, index });
+            self.draw_skip(rng);
+        }
+    }
+
+    /// Items consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Finish the pass: the selected stream indices, in stream order.
+    pub fn finish(self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.heap.into_iter().map(|k| k.index).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Convenience: sample `n_res` distinct indices from `weights`.
+pub fn sample_without_replacement<R: Rng>(
+    weights: &[u32],
+    n_res: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut s = AExpJSampler::new(n_res);
+    for &w in weights {
+        s.offer(w, rng);
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_rng::SplitMix64;
+
+    const SHIFT: u32 = 16; // the walker's FX_FRAC_BITS promotion
+
+    fn cumulative(weights: &[u32]) -> Vec<u64> {
+        let mut acc = 0u64;
+        weights
+            .iter()
+            .map(|&w| {
+                acc += w as u64;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_weighted_distribution() {
+        let weights = [2u32, 3, 5, 0, 10];
+        let mut rng = SplitMix64::new(11);
+        let mut counts = [0u64; 5];
+        for _ in 0..80_000 {
+            let i = select_index_with(&mut rng, weights.len(), |i| weights[i]).unwrap();
+            counts[i] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-weight item selected");
+        let kept = [counts[0], counts[1], counts[2], counts[4]];
+        crate::distribution::assert_counts_match(&kept, &[2, 3, 5, 10]);
+    }
+
+    #[test]
+    fn prefix_variant_is_bit_identical_to_streaming() {
+        // Promoted weights: streaming sees (diff << SHIFT), prefix sees the
+        // raw cumulative array plus the shift. Same seed → same draws →
+        // same picks, including RNG stream position afterwards.
+        let raw: Vec<u32> = vec![3, 0, 1, 7, 0, 0, 2, 65535, 1, 4, 0, 9];
+        let cum = cumulative(&raw);
+        let mut a = SplitMix64::new(77);
+        let mut b = SplitMix64::new(77);
+        for _ in 0..5_000 {
+            let s = select_index_with(&mut a, raw.len(), |i| raw[i] << SHIFT);
+            let p = select_prefix(&mut b, &cum, SHIFT);
+            assert_eq!(s, p);
+            assert_eq!(a.next_u64(), b.next_u64(), "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn uniform_variant_is_bit_identical_to_streaming() {
+        for len in [1usize, 2, 7, 64, 1000] {
+            let mut a = SplitMix64::new(5 + len as u64);
+            let mut b = SplitMix64::new(5 + len as u64);
+            for _ in 0..2_000 {
+                let s = select_index_with(&mut a, len, |_| 1 << SHIFT);
+                let u = select_uniform(&mut b, len, 1 << SHIFT);
+                assert_eq!(s, u, "len={len}");
+                assert_eq!(a.next_u64(), b.next_u64(), "RNG streams diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_actually_uniform() {
+        let mut rng = SplitMix64::new(23);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[select_uniform(&mut rng, 8, 1 << SHIFT).unwrap()] += 1;
+        }
+        crate::distribution::assert_counts_match(&counts, &[1u32; 8]);
+    }
+
+    #[test]
+    fn dead_ends_yield_none_without_consuming_rng() {
+        let mut rng = SplitMix64::new(3);
+        let before = rng.clone().next_u64();
+        assert_eq!(select_index_with(&mut rng, 4, |_| 0), None);
+        assert_eq!(select_index_with(&mut rng, 0, |_| 1), None);
+        assert_eq!(select_prefix(&mut rng, &[0, 0, 0], SHIFT), None);
+        assert_eq!(select_prefix(&mut rng, &[], SHIFT), None);
+        assert_eq!(select_uniform(&mut rng, 0, 5), None);
+        assert_eq!(select_uniform(&mut rng, 5, 0), None);
+        assert_eq!(rng.next_u64(), before, "dead ends must not draw");
+    }
+
+    #[test]
+    fn single_positive_item_is_always_selected() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..200 {
+            assert_eq!(
+                select_index_with(&mut rng, 5, |i| if i == 3 { 7 } else { 0 }),
+                Some(3)
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_matches_a_res_distribution() {
+        // Same weights, same reservoir size: A-ExpJ and A-Res must agree
+        // in distribution (they are the same sampler, differently drawn).
+        let weights = [1u32, 4, 2, 8, 1];
+        let n = 60_000;
+        let mut expj_counts = [0u64; 5];
+        let mut ares_counts = [0u64; 5];
+        let mut rng = SplitMix64::new(41);
+        for _ in 0..n {
+            for &i in &sample_without_replacement(&weights, 2, &mut rng) {
+                expj_counts[i] += 1;
+            }
+            for &i in &crate::a_res::sample_without_replacement(&weights, 2, &mut rng) {
+                ares_counts[i] += 1;
+            }
+        }
+        // Compare the two empirical inclusion distributions against each
+        // other via a two-sample chi-square on the counts.
+        let exp: Vec<f64> = ares_counts.iter().map(|&c| c as f64).collect();
+        let chi2 = lightrw_rng::stats::chi_square_counts(&expj_counts, &exp);
+        let crit = lightrw_rng::stats::chi_square_crit_999(4) * 1.2;
+        assert!(
+            chi2 < crit,
+            "chi2={chi2:.1} {expj_counts:?} vs {ares_counts:?}"
+        );
+    }
+
+    #[test]
+    fn nres1_reservoir_matches_weighted_distribution() {
+        let weights = [2u32, 3, 5];
+        let mut rng = SplitMix64::new(55);
+        let mut counts = [0u64; 3];
+        for _ in 0..60_000 {
+            counts[sample_without_replacement(&weights, 1, &mut rng)[0]] += 1;
+        }
+        crate::distribution::assert_counts_match(&counts, &weights);
+    }
+
+    #[test]
+    fn fewer_items_than_reservoir() {
+        let mut rng = SplitMix64::new(2);
+        assert_eq!(sample_without_replacement(&[5, 7], 4, &mut rng), vec![0, 1]);
+    }
+
+    #[test]
+    fn all_zero_weights_select_nothing() {
+        let mut rng = SplitMix64::new(4);
+        assert!(sample_without_replacement(&[0, 0, 0], 2, &mut rng).is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn selection_size_and_validity(
+            weights in proptest::collection::vec(0u32..20, 0..50),
+            n_res in 1usize..6,
+            seed in 0u64..200,
+        ) {
+            let mut rng = SplitMix64::new(seed);
+            let sel = sample_without_replacement(&weights, n_res, &mut rng);
+            let nonzero = weights.iter().filter(|&&w| w > 0).count();
+            proptest::prop_assert_eq!(sel.len(), n_res.min(nonzero));
+            for &i in &sel {
+                proptest::prop_assert!(weights[i] > 0);
+            }
+            let mut d = sel.clone();
+            d.dedup();
+            proptest::prop_assert_eq!(d.len(), sel.len());
+        }
+
+        #[test]
+        fn prefix_streaming_identity_holds_for_random_weights(
+            weights in proptest::collection::vec(0u32..65536, 1..40),
+            seed in 0u64..100,
+        ) {
+            let cum = cumulative(&weights);
+            let mut a = SplitMix64::new(seed);
+            let mut b = SplitMix64::new(seed);
+            let s = select_index_with(&mut a, weights.len(), |i| weights[i] << SHIFT);
+            let p = select_prefix(&mut b, &cum, SHIFT);
+            proptest::prop_assert_eq!(s, p);
+            proptest::prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | [`reservoir`] (sequential WRS) | single-pass sampler (§3.2) | — | O(n) stream | no |
 //! | [`ParallelWrs`] | **the contribution**: k items/cycle (§4, Alg. 4.1) | — | O(n/k + log k) | no |
 //! | [`rejection`] | KnightKing-style envelope accept/reject (related work) | — | expected O(log n) | no |
+//! | [`a_expj`] | exponential-jump WRS for huge rows (§3.2 + out-of-core) | — | expected O(log n) over a prefix | no |
 //!
 //! The parallel WRS implementation follows the hardware exactly:
 //! a per-batch prefix sum (Eq. 5 decomposition) computed with a
@@ -42,6 +43,7 @@
 //! assert_eq!(wrs.select(&items, &[0, 0, 0, 0]), None);
 //! ```
 
+pub mod a_expj;
 pub mod a_res;
 pub mod alias;
 pub mod distribution;
@@ -51,6 +53,7 @@ pub mod prefix;
 pub mod rejection;
 pub mod reservoir;
 
+pub use a_expj::AExpJSampler;
 pub use a_res::AResSampler;
 pub use alias::{AliasScratch, AliasTable};
 pub use inverse_transform::InverseTransformTable;

@@ -40,6 +40,16 @@ pub enum SamplerKind {
     /// walks differ bit-wise (while agreeing in distribution — the
     /// conformance suite checks exactly that).
     Rejection,
+    /// A-ExpJ: Efraimidis–Espirakis reservoir sampling with exponential
+    /// jumps (`lightrw_sampling::a_expj`). On prefix-cached static steps
+    /// the jump is a binary search over the cumulative weights —
+    /// expected O(log degree) per draw with no table build, the
+    /// huge-adjacency-row fast path for out-of-core graphs
+    /// (DESIGN.md §10). Like
+    /// [`SamplerKind::Rejection`], an explicit opt-in: its RNG stream is
+    /// not draw-compatible with any other kind (the conformance suite
+    /// validates it distributionally).
+    AExpJ,
 }
 
 impl SamplerKind {
@@ -51,6 +61,7 @@ impl SamplerKind {
             Self::SequentialWrs => "sequential-wrs".to_string(),
             Self::ParallelWrs { k } => format!("parallel-wrs(k={k})"),
             Self::Rejection => "rejection".to_string(),
+            Self::AExpJ => "a-expj".to_string(),
         }
     }
 }
@@ -84,9 +95,10 @@ impl AnySampler {
     /// Instantiate a sampler of the given kind.
     pub fn new(kind: SamplerKind, seed: u64) -> Self {
         let state = match kind {
-            SamplerKind::InverseTransform | SamplerKind::Alias | SamplerKind::Rejection => {
-                SamplerState::Table(SplitMix64::new(seed), kind)
-            }
+            SamplerKind::InverseTransform
+            | SamplerKind::Alias
+            | SamplerKind::Rejection
+            | SamplerKind::AExpJ => SamplerState::Table(SplitMix64::new(seed), kind),
             SamplerKind::SequentialWrs => SamplerState::Sequential(StreamBank::new(seed, 1)),
             SamplerKind::ParallelWrs { k } => SamplerState::Parallel(ParallelWrs::new(seed, k)),
         };
@@ -143,6 +155,9 @@ impl AnySampler {
                 }
                 Some(alias.sample(rng))
             }
+            SamplerState::Table(rng, SamplerKind::AExpJ) => {
+                lightrw_sampling::a_expj::select_index_with(rng, len, w)
+            }
             SamplerState::Table(..) => unreachable!("table state built for table kinds only"),
             SamplerState::Sequential(bank) => reservoir::select_integer((0..len).map(w), bank),
             SamplerState::Parallel(wrs) => wrs.select_index_with(len, w),
@@ -165,6 +180,11 @@ impl AnySampler {
                 }
                 let r = rng.gen_range(len as u64 * weight as u64);
                 return Some((r / weight as u64) as usize);
+            }
+            SamplerState::Table(rng, SamplerKind::AExpJ) => {
+                // Implicit-binary-search jumps: O(log len), bit-identical
+                // to the generic stream on constant weights.
+                return lightrw_sampling::a_expj::select_uniform(rng, len, weight);
             }
             SamplerState::Table(rng, SamplerKind::Alias) if weight.is_power_of_two() && len > 0 => {
                 // Equal power-of-two weights scale to exactly 1.0 per Vose
@@ -200,6 +220,13 @@ impl AnySampler {
             }
             let r = rng.gen_range(total << FX_FRAC_BITS);
             return Some(cumulative.partition_point(|&c| (c << FX_FRAC_BITS) <= r));
+        }
+        if let SamplerState::Table(rng, SamplerKind::AExpJ) = &mut self.state {
+            // Exponential jumps by binary search over the cumulative
+            // array: expected O(log degree) RNG draws and comparisons,
+            // never an O(degree) pass — the huge-row path A-ExpJ exists
+            // for. Bit-identical to the streaming fallback below.
+            return lightrw_sampling::a_expj::select_prefix(rng, cumulative, FX_FRAC_BITS);
         }
         self.select_weighted_with(cumulative.len(), |i| {
             let prev = if i == 0 { 0 } else { cumulative[i - 1] };
@@ -275,7 +302,8 @@ impl AnySampler {
             // fallback is too rare to charge.
             SamplerKind::SequentialWrs
             | SamplerKind::ParallelWrs { .. }
-            | SamplerKind::Rejection => 0,
+            | SamplerKind::Rejection
+            | SamplerKind::AExpJ => 0,
         }
     }
 }
@@ -372,13 +400,14 @@ mod tests {
     use lightrw_graph::{generators, GraphBuilder};
     use lightrw_rng::stats::{chi_square_counts, chi_square_crit_999};
 
-    const ALL_SAMPLERS: [SamplerKind; 6] = [
+    const ALL_SAMPLERS: [SamplerKind; 7] = [
         SamplerKind::InverseTransform,
         SamplerKind::Alias,
         SamplerKind::SequentialWrs,
         SamplerKind::ParallelWrs { k: 4 },
         SamplerKind::ParallelWrs { k: 16 },
         SamplerKind::Rejection,
+        SamplerKind::AExpJ,
     ];
 
     #[test]

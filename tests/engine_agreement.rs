@@ -141,13 +141,14 @@ fn run_batched(
     results
 }
 
-const ALL_SAMPLERS: [SamplerKind; 6] = [
+const ALL_SAMPLERS: [SamplerKind; 7] = [
     SamplerKind::InverseTransform,
     SamplerKind::Alias,
     SamplerKind::SequentialWrs,
     SamplerKind::ParallelWrs { k: 4 },
     SamplerKind::ParallelWrs { k: 16 },
     SamplerKind::Rejection,
+    SamplerKind::AExpJ,
 ];
 
 #[test]
@@ -537,6 +538,79 @@ fn ppr_walks_respect_the_cap_and_teleport_home_on_every_engine() {
             "{}: only {teleports} teleports",
             engine.label()
         );
+    }
+}
+
+#[test]
+fn packed_graph_walks_are_bit_identical_to_in_memory_for_every_combo() {
+    // The out-of-core acceptance pin (DESIGN.md §10): a graph streamed
+    // through the external-sort pack pipeline and loaded back — mmap'd
+    // *and* via the heap fallback — must drive every engine to walks
+    // bit-identical to the same recipe built in memory, for every
+    // app × sampler kind. The chunk size is tiny so the pack spills and
+    // merges runs even at this scale; a divergence anywhere in the
+    // record codec, merge order, prefix reconstruction or the
+    // borrowed-section adjacency views would break some combination.
+    use lightrw::graph::pack::{pack_rmat_dataset, PackOptions};
+    use lightrw::graph::packed::load_packed;
+    use lightrw::graph::LoadMode;
+
+    let (scale, seed) = (8u32, 14u64);
+    let mem = generators::rmat_dataset(scale, seed);
+    let path = std::env::temp_dir().join(format!(
+        "lightrw_agreement_{}_{scale}_{seed}.lrwpak",
+        std::process::id()
+    ));
+    let opts = PackOptions {
+        chunk_records: 512,
+        ..Default::default()
+    };
+    let stats = pack_rmat_dataset(scale, seed, &path, &opts).expect("pack rmat");
+    assert!(stats.runs > 1, "chunk 512 must force spilled runs");
+
+    let auto = load_packed(&path, LoadMode::Auto).expect("mmap load");
+    let heap = load_packed(&path, LoadMode::Heap).expect("heap load");
+    std::fs::remove_file(&path).expect("remove temp pack file");
+    #[cfg(target_os = "linux")]
+    assert!(auto.mapped, "Auto must map on Linux");
+    assert!(!heap.mapped);
+    assert!(
+        auto.graph.has_prefix_cache() && heap.graph.has_prefix_cache(),
+        "the packed prefix sections must load as a live cache"
+    );
+
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let nv = Node2Vec::paper_params();
+    let apps: [&dyn WalkApp; 4] = [&Uniform, &StaticWeighted, &mp, &nv];
+    let qs = QuerySet::per_nonisolated_vertex(&mem, 6, 4);
+    for app in apps {
+        for kind in ALL_SAMPLERS {
+            let expected = ReferenceEngine::new(&mem, app, kind, 21).run(&qs);
+            for (label, g) in [("mmap", &auto.graph), ("heap", &heap.graph)] {
+                let got = ReferenceEngine::new(g, app, kind, 21).run(&qs);
+                assert_eq!(expected, got, "reference/{label} {} {:?}", app.name(), kind);
+            }
+
+            let cfg = BaselineConfig {
+                threads: 3,
+                sampler: kind,
+                ..Default::default()
+            };
+            let (expected, _) = CpuEngine::new(&mem, app, cfg).run(&qs);
+            for (label, g) in [("mmap", &auto.graph), ("heap", &heap.graph)] {
+                let (got, _) = CpuEngine::new(g, app, cfg).run(&qs);
+                assert_eq!(expected, got, "cpu/{label} {} {:?}", app.name(), kind);
+            }
+        }
+        let expected = LightRwSim::new(&mem, app, LightRwConfig::default())
+            .run(&qs)
+            .results;
+        for (label, g) in [("mmap", &auto.graph), ("heap", &heap.graph)] {
+            let got = LightRwSim::new(g, app, LightRwConfig::default())
+                .run(&qs)
+                .results;
+            assert_eq!(expected, got, "sim/{label} {}", app.name());
+        }
     }
 }
 

@@ -34,12 +34,17 @@ impl WalkApp for ForceDynamic<'_> {
     }
 }
 
-const ALL_SAMPLERS: [SamplerKind; 5] = [
+// A-ExpJ rides along even though it draws its own RNG stream: its
+// prefix-jump and uniform-skip fast paths are proven bit-identical to
+// its generic exponential-key streaming (crates/sampling/src/a_expj.rs),
+// so the cross-strategy identity contract applies to it unchanged.
+const ALL_SAMPLERS: [SamplerKind; 6] = [
     SamplerKind::InverseTransform,
     SamplerKind::Alias,
     SamplerKind::SequentialWrs,
     SamplerKind::ParallelWrs { k: 4 },
     SamplerKind::ParallelWrs { k: 16 },
+    SamplerKind::AExpJ,
 ];
 
 fn fixtures(seed: u64) -> (Graph, Graph) {
