@@ -132,6 +132,14 @@ impl WalkEngine for CpuEngine<'_> {
     }
 }
 
+/// Minimum per-lane step work (this batch) before a session spawns
+/// scoped worker threads; below it, lanes run inline on the caller's
+/// thread. Chosen so that thread setup (~tens of µs) stays under ~1% of
+/// a lane's batch at CPU step rates — small quick-bench workloads
+/// (e.g. rmat-10's ~5k steps/lane) fall back to the single-thread fast
+/// path, which used to *beat* the threaded run on them.
+pub const MIN_STEPS_PER_LANE: u64 = 16_384;
+
 /// A batched session of the CPU engine: queries are split into contiguous
 /// per-worker lanes by a [`LanePlan`] with exactly the monolithic run's
 /// boundaries and derived per-lane seeds, and every
@@ -197,7 +205,20 @@ impl WalkSession for CpuSession<'_> {
         let (graph, app) = (self.graph, self.app);
         let program = &self.program;
         let busy = self.lanes.iter().filter(|l| !l.is_idle()).count();
-        let batch_steps: u64 = if busy > 1 {
+        // Spawn gate: scoped-thread setup plus cross-core cache traffic
+        // costs more than it buys when a batch hands each lane only a
+        // few thousand steps (the threads=2 regression on small quick
+        // runs). Below the threshold the lanes run inline sequentially —
+        // per-lane stepper seeding makes the sampled walks identical
+        // either way.
+        let per_lane_cap = self
+            .lanes
+            .iter()
+            .filter(|l| !l.is_idle())
+            .map(|l| l.remaining_steps().min(budget))
+            .max()
+            .unwrap_or(0);
+        let batch_steps: u64 = if busy > 1 && per_lane_cap >= MIN_STEPS_PER_LANE {
             // One scoped thread per lane with remaining work — the same
             // parallelism shape as the monolithic run, re-spawned per
             // batch. Workers pin to their *lane index*'s core (stable
@@ -333,6 +354,37 @@ mod tests {
         for (i, q) in qs.queries().iter().enumerate() {
             assert_eq!(results.path(i)[0], q.start, "query {i} misplaced");
         }
+    }
+
+    #[test]
+    fn spawn_gate_keeps_small_batches_inline_without_changing_walks() {
+        let g = generators::rmat_dataset(8, 7);
+        // Well under MIN_STEPS_PER_LANE per lane: the threaded config
+        // must take the inline path (no workers pinned) and still
+        // produce the exact walks of the single-thread run.
+        let qs = QuerySet::per_nonisolated_vertex(&g, 6, 11);
+        let threaded = BaselineConfig {
+            threads: 2,
+            ..Default::default()
+        };
+        let engine = CpuEngine::new(&g, &Uniform, threaded);
+        let mut session = engine.session(&qs);
+        let mut results = WalkResults::with_capacity(qs.len(), 8);
+        while !session.finished() {
+            session.advance(u64::MAX, &mut results);
+        }
+        assert_eq!(
+            session.diagnostics().unwrap(),
+            "2 worker lanes, 0 pinned",
+            "small batch should not reach the spawn path"
+        );
+        let (single, _) = CpuEngine::new(&g, &Uniform, one_thread()).run(&qs);
+        // Lane seeds derive from lane boundaries, not the execution
+        // mode, but thread-count changes lane boundaries; only compare
+        // against a 2-thread run driven through the same plan.
+        let (reference, _) = engine.run(&qs);
+        assert_eq!(results, reference);
+        assert_eq!(results.len(), single.len());
     }
 
     #[test]

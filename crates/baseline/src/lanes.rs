@@ -186,6 +186,19 @@ impl WorkerLane {
         steps
     }
 
+    /// Upper-bound estimate of the step attempts left in this lane: the
+    /// sum of each active walker's remaining step budget. Truncating
+    /// visits (dead ends, target-at-start) retire walkers early, so the
+    /// true count can only be lower. The session's spawn gate uses this
+    /// to keep tiny batches off the thread pool.
+    pub fn remaining_steps(&self) -> u64 {
+        self.ring
+            .active()
+            .iter()
+            .map(|&qi| self.queries[qi].length.saturating_sub(self.taken[qi]) as u64)
+            .sum()
+    }
+
     /// Release the finished path of local walker `local`, or `None` while
     /// it is still walking. Feeds an
     /// [`lightrw_walker::engine::InOrderEmitter`]'s `take_ready`; the

@@ -48,6 +48,13 @@
 //! `walk_rss_over_file`: the walk's resident footprint as a fraction of
 //! the packed file, which must stay well below 1 at large scales.
 //!
+//! The same file also carries the `shard_scale` scenario (DESIGN.md
+//! §11): the partitioned engine per K ∈ {1, 2, 4} — steps/s, measured
+//! vs expected crossing rate, hand-off counts and the modelled transfer
+//! cost — next to an unsharded reference row (K = 1 must sit within
+//! noise of it), plus a `compression` section recording the packed-file
+//! shrink of the varint neighbor-list encoding.
+//!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
 //! cargo run --release -p lightrw-bench --bin bench_report -- program_mix --quick
@@ -134,7 +141,8 @@ impl ReportOpts {
             baseline: None,
             scenarios: Vec::new(),
         };
-        const USAGE: &str = "usage: bench_report [hotpath|service|program_mix|graph_scale ...] \
+        const USAGE: &str =
+            "usage: bench_report [hotpath|service|program_mix|graph_scale|shard_scale ...] \
              --scale N --seed N --quick --out PATH --out-service PATH \
              --out-programs PATH --out-scale PATH --baseline PATH";
         fn die(msg: &str) -> ! {
@@ -173,7 +181,7 @@ impl ReportOpts {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                name @ ("hotpath" | "service" | "program_mix" | "graph_scale") => {
+                name @ ("hotpath" | "service" | "program_mix" | "graph_scale" | "shard_scale") => {
                     o.scenarios.push(name.to_string())
                 }
                 other => die(&format!("unknown option or scenario {other}")),
@@ -859,6 +867,201 @@ fn measure_graph_scale(opts: &ReportOpts, rows: &mut Vec<ScaleRow>) {
     }
 }
 
+/// One partitioned-engine run of the `shard_scale` scenario. `shards = 0`
+/// encodes the unsharded reference row (the K = 1 noise baseline).
+struct ShardRow {
+    dataset: String,
+    shards: usize,
+    steps: u64,
+    secs: f64,
+    /// Boundary edges / all edges: the expected per-step hand-off
+    /// probability under uniform edge use.
+    crossing_expected: f64,
+    hand_offs: u64,
+    flushes: u64,
+    transfer_bytes: u64,
+    transfer_s: f64,
+}
+
+impl ShardRow {
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Hand-offs per executed step — the measured crossing rate.
+    fn crossing_measured(&self) -> f64 {
+        if self.steps > 0 {
+            self.hand_offs as f64 / self.steps as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"shards\": {}, \"steps\": {}, \"secs\": {:.6}, \
+             \"steps_per_sec\": {:.1}, \"crossing_expected\": {:.6}, \
+             \"crossing_measured\": {:.6}, \"hand_offs\": {}, \"flushes\": {}, \
+             \"transfer_bytes\": {}, \"transfer_s\": {:.9}}}",
+            self.dataset,
+            self.shards,
+            self.steps,
+            self.secs,
+            self.steps_per_sec(),
+            self.crossing_expected,
+            self.crossing_measured(),
+            self.hand_offs,
+            self.flushes,
+            self.transfer_bytes,
+            self.transfer_s,
+        )
+    }
+}
+
+/// One plain-vs-varint packed-file size comparison.
+struct CompressionRow {
+    dataset: String,
+    plain_bytes: u64,
+    compressed_bytes: u64,
+}
+
+impl CompressionRow {
+    fn ratio(&self) -> f64 {
+        if self.plain_bytes > 0 {
+            self.compressed_bytes as f64 / self.plain_bytes as f64
+        } else {
+            1.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"plain_bytes\": {}, \"compressed_bytes\": {}, \
+             \"ratio\": {:.4}}}",
+            self.dataset,
+            self.plain_bytes,
+            self.compressed_bytes,
+            self.ratio()
+        )
+    }
+}
+
+/// `key=N` field of a sharded session's diagnostics line.
+fn diag_field(diag: &str, key: &str) -> u64 {
+    diag.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The `shard_scale` scenario: the partitioned engine (DESIGN.md §11)
+/// per shard count K ∈ {1, 2, 4} on one RMAT dataset, against an
+/// unsharded reference row. K = 1 runs the bit-identical sequential
+/// fast path and must sit within noise of the reference; K ≥ 2 records
+/// the hand-off rate and the modelled transfer cost of the crossings.
+/// A compression row (plain vs varint-packed file bytes) rides along.
+fn measure_shard_scale(
+    opts: &ReportOpts,
+    rows: &mut Vec<ShardRow>,
+    comp: &mut Vec<CompressionRow>,
+) {
+    use lightrw::graph::{pack, partition_graph, ShardStrategy};
+    use lightrw::sharded::ShardedEngine;
+
+    let name = format!("rmat-{}", opts.scale);
+    let mut g = rmat_dataset(opts.scale, opts.seed);
+    g.build_prefix_cache();
+    let queries = if opts.quick { 20_000 } else { 100_000 }.min(g.num_vertices());
+    let qs = QuerySet::n_queries(&g, queries, 20, opts.seed);
+
+    // The unsharded noise baseline: the same sequential loop K = 1
+    // replays, on the same graph and seed.
+    {
+        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, opts.seed);
+        let mut sink = CountingSink::default();
+        let t = Instant::now();
+        let (steps, _) = (&engine as &dyn WalkEngine).stream_into(&qs, u64::MAX, &mut sink);
+        rows.push(ShardRow {
+            dataset: name.clone(),
+            shards: 0,
+            steps,
+            secs: t.elapsed().as_secs_f64(),
+            crossing_expected: 0.0,
+            hand_offs: 0,
+            flushes: 0,
+            transfer_bytes: 0,
+            transfer_s: 0.0,
+        });
+    }
+
+    for k in [1usize, 2, 4] {
+        let engine = ShardedEngine::new(
+            partition_graph(&g, k, ShardStrategy::Range),
+            &Uniform,
+            SamplerKind::InverseTransform,
+            opts.seed,
+        );
+        let crossing_expected = engine.sharded().crossing_rate();
+        let mut sink = CountingSink::default();
+        let t = Instant::now();
+        let mut session = engine.start_session(&qs);
+        while !session.finished() {
+            session.advance(u64::MAX, &mut sink);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let diag = session.diagnostics().unwrap_or_default();
+        let row = ShardRow {
+            dataset: name.clone(),
+            shards: k,
+            steps: session.steps_done(),
+            secs,
+            crossing_expected,
+            hand_offs: diag_field(&diag, "hand-offs="),
+            flushes: diag_field(&diag, "flushes="),
+            transfer_bytes: diag_field(&diag, "transfer-bytes="),
+            transfer_s: session.model_seconds().unwrap_or(0.0),
+        };
+        eprintln!(
+            "shard_scale {name} k={k}: {} crossing {:.4} (expected {:.4}) \
+             transfer {:.3} ms",
+            lightrw_bench::fmt_rate(row.steps_per_sec()),
+            row.crossing_measured(),
+            row.crossing_expected,
+            row.transfer_s * 1e3,
+        );
+        rows.push(row);
+    }
+
+    // The varint neighbor-list shrink on the same dataset.
+    let pid = std::process::id();
+    let plain_path = std::env::temp_dir().join(format!("lightrw_shard_plain_{pid}.lrwpak"));
+    let comp_path = std::env::temp_dir().join(format!("lightrw_shard_varint_{pid}.lrwpak"));
+    let plain_bytes =
+        pack::pack_graph_with(&mut g, false, 0, ShardStrategy::Range, false, &plain_path)
+            .expect("pack plain");
+    let compressed_bytes =
+        pack::pack_graph_with(&mut g, false, 0, ShardStrategy::Range, true, &comp_path)
+            .expect("pack varint");
+    let _ = std::fs::remove_file(&plain_path);
+    let _ = std::fs::remove_file(&comp_path);
+    let row = CompressionRow {
+        dataset: name,
+        plain_bytes,
+        compressed_bytes,
+    };
+    eprintln!(
+        "shard_scale compression: {} -> {} bytes ({:.1}% of plain)",
+        row.plain_bytes,
+        row.compressed_bytes,
+        row.ratio() * 100.0
+    );
+    comp.push(row);
+}
+
 /// Pull the `"throughput": [...]` rows (one per line, as this binary
 /// writes them) out of a previous report for the before/after embedding.
 fn extract_rows(json: &str) -> Vec<String> {
@@ -950,6 +1153,13 @@ fn main() {
     let mut scale_rows = Vec::new();
     if opts.runs("graph_scale") {
         measure_graph_scale(&opts, &mut scale_rows);
+    }
+
+    // The partitioned-engine sweep builds its own graph too.
+    let mut shard_rows = Vec::new();
+    let mut compression_rows = Vec::new();
+    if opts.runs("shard_scale") {
+        measure_shard_scale(&opts, &mut shard_rows, &mut compression_rows);
     }
 
     if opts.runs("hotpath") {
@@ -1058,8 +1268,9 @@ fn main() {
         written.push(&opts.out_programs);
     }
 
-    // The out-of-core artifact: the pack → mmap → walk sweep per scale.
-    if opts.runs("graph_scale") {
+    // The out-of-core artifact: the pack → mmap → walk sweep per scale,
+    // plus the partitioned-engine (`shard_scale`) sections when selected.
+    if opts.runs("graph_scale") || opts.runs("shard_scale") {
         let mut scale_json = String::from("{\n");
         let _ = writeln!(scale_json, "  \"bench\": \"graph_scale\",");
         let _ = writeln!(
@@ -1071,6 +1282,22 @@ fn main() {
         scale_json.push_str("  \"scales\": [\n");
         for (i, r) in scale_rows.iter().enumerate() {
             let sep = if i + 1 < scale_rows.len() { "," } else { "" };
+            let _ = writeln!(scale_json, "    {}{sep}", r.to_json());
+        }
+        scale_json.push_str("  ],\n");
+        scale_json.push_str("  \"shards\": [\n");
+        for (i, r) in shard_rows.iter().enumerate() {
+            let sep = if i + 1 < shard_rows.len() { "," } else { "" };
+            let _ = writeln!(scale_json, "    {}{sep}", r.to_json());
+        }
+        scale_json.push_str("  ],\n");
+        scale_json.push_str("  \"compression\": [\n");
+        for (i, r) in compression_rows.iter().enumerate() {
+            let sep = if i + 1 < compression_rows.len() {
+                ","
+            } else {
+                ""
+            };
             let _ = writeln!(scale_json, "    {}{sep}", r.to_json());
         }
         scale_json.push_str("  ]\n}\n");
@@ -1179,6 +1406,39 @@ fn main() {
                 lightrw_bench::fmt_rate(r.steps_per_sec()),
                 r.walk_peak_rss >> 20,
                 r.rss_over_file() * 100.0
+            );
+        }
+        println!();
+    }
+    if opts.runs("shard_scale") {
+        println!(
+            "{:<10} {:>6} {:>12} {:>10} {:>10} {:>12} {:>12}",
+            "sharded", "shards", "steps/s", "cross exp", "cross obs", "xfer bytes", "xfer s"
+        );
+        for r in &shard_rows {
+            let label = if r.shards == 0 {
+                "unsharded".to_string()
+            } else {
+                format!("{}", r.shards)
+            };
+            println!(
+                "{:<10} {:>6} {:>12} {:>10.4} {:>10.4} {:>12} {:>12.6}",
+                r.dataset,
+                label,
+                lightrw_bench::fmt_rate(r.steps_per_sec()),
+                r.crossing_expected,
+                r.crossing_measured(),
+                r.transfer_bytes,
+                r.transfer_s
+            );
+        }
+        for c in &compression_rows {
+            println!(
+                "{:<10} varint column: {} -> {} bytes ({:.1}% of plain)",
+                c.dataset,
+                c.plain_bytes,
+                c.compressed_bytes,
+                c.ratio() * 100.0
             );
         }
         println!();

@@ -63,6 +63,7 @@ const BOOL_FLAGS: &[&str] = &[
     "relabel",
     "no-prefix",
     "in-memory",
+    "compress",
 ];
 
 impl Args {
@@ -286,6 +287,15 @@ fn cmd_graph(args: &Args) -> Result<String, String> {
     }
 }
 
+/// Parse the shared `--strategy` option (shard assignment policy).
+fn parse_strategy(args: &Args) -> Result<lightrw_graph::ShardStrategy, String> {
+    match args.get("strategy") {
+        None => Ok(lightrw_graph::ShardStrategy::Range),
+        Some(name) => lightrw_graph::ShardStrategy::parse(name)
+            .ok_or_else(|| format!("unknown --strategy {name:?} (expected range or fennel)")),
+    }
+}
+
 fn cmd_graph_pack(args: &Args) -> Result<String, String> {
     let input = args
         .positional
@@ -293,6 +303,9 @@ fn cmd_graph_pack(args: &Args) -> Result<String, String> {
         .ok_or("graph pack requires an input: rmat:SCALE[:SEED] or GRAPH.bin")?;
     let out = args.get("out").ok_or("graph pack requires -o FILE")?;
     let relabel = args.flag("relabel");
+    let shards = args.get_u64("shards", 0)? as usize;
+    let strategy = parse_strategy(args)?;
+    let compress = args.flag("compress");
     let t = Instant::now();
 
     if let Some(rest) = input.strip_prefix("rmat:") {
@@ -317,17 +330,26 @@ fn cmd_graph_pack(args: &Args) -> Result<String, String> {
         if parts.next().is_some() {
             return Err(format!("bad rmat spec {input:?} (want rmat:SCALE[:SEED])"));
         }
+        if shards > 0 && strategy != lightrw_graph::ShardStrategy::Range {
+            return Err(
+                "the streaming rmat pack only supports --strategy range (fennel needs \
+                 the whole graph in memory; pack a .bin input instead)"
+                    .into(),
+            );
+        }
         let opts = pack::PackOptions {
             relabel,
             chunk_records: args.get_u64("chunk-records", 4 << 20)?.max(2) as usize,
             prefix_cache: !args.flag("no-prefix"),
+            shards,
+            compress,
         };
         let st = pack::pack_rmat_dataset(scale, seed, Path::new(out), &opts)
             .map_err(|e| e.to_string())?;
         Ok(format!(
             "packed rmat-{scale} (seed {seed}) -> {out}: {} vertices, {} edges, \
              {} duplicate records collapsed, {} spilled runs, {} bytes, \
-             relabel={relabel}, {:.3} s",
+             relabel={relabel}, shards={shards}, compress={compress}, {:.3} s",
             st.vertices,
             st.edges,
             st.duplicates,
@@ -341,10 +363,12 @@ fn cmd_graph_pack(args: &Args) -> Result<String, String> {
             return Err(format!("no such file: {input}"));
         }
         let mut g = gio::load_binary(input).map_err(|e| e.to_string())?;
-        let bytes = pack::pack_graph(&mut g, relabel, Path::new(out)).map_err(|e| e.to_string())?;
+        let bytes =
+            pack::pack_graph_with(&mut g, relabel, shards, strategy, compress, Path::new(out))
+                .map_err(|e| e.to_string())?;
         Ok(format!(
             "packed {input} -> {out}: {} vertices, {} edges, {bytes} bytes, \
-             relabel={relabel}, {:.3} s",
+             relabel={relabel}, shards={shards}, compress={compress}, {:.3} s",
             g.num_vertices(),
             g.num_edges(),
             t.elapsed().as_secs_f64(),
@@ -401,6 +425,21 @@ fn cmd_graph_stats(args: &Args) -> Result<String, String> {
             packed::section_name(id),
             len
         );
+    }
+    if let Some(meta) = &p.shard_meta {
+        out += &format!(
+            "shard partition : {} shards ({}), expected crossing rate {:.4}\n",
+            meta.k(),
+            meta.strategy.name(),
+            meta.crossing_rate(),
+        );
+        out += "  shard     vertices        edges     boundary\n";
+        for (s, c) in meta.shards.iter().enumerate() {
+            out += &format!(
+                "  {s:<5} {:>12} {:>12} {:>12}\n",
+                c.owned_vertices, c.owned_edges, c.boundary_edges
+            );
+        }
     }
     out += "degree histogram (log2 buckets):\n";
     for b in stats::degree_histogram(g) {
@@ -504,18 +543,70 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     let app = parse_app(args, &g)?;
 
     // Engine-agnostic dispatch: any backend behind `&dyn WalkEngine`,
-    // driven as a batched session (DESIGN.md §6).
-    let engine_name = args.get("engine").unwrap_or("sim");
+    // driven as a batched session (DESIGN.md §6). `--shards K` selects
+    // the sharded engine without requiring an explicit `--engine`.
+    let shards = args.get_u64("shards", 0)? as usize;
+    let engine_name = match args.get("engine") {
+        Some(name) => name,
+        None if shards > 0 => "sharded",
+        None => "sim",
+    };
     let mut backend = Backend::parse(engine_name)?;
     if let Some(t) = args.get("threads") {
         let t: usize = t.parse().map_err(|_| "--threads must be an integer")?;
         backend = backend.with_threads(t)?;
     }
+    if shards > 0 {
+        backend = backend.with_shards(
+            shards,
+            parse_strategy(args)?,
+            args.get_u64(
+                "flush-budget",
+                crate::sharded::ShardedEngine::DEFAULT_FLUSH_BUDGET as u64,
+            )?
+            .max(1) as usize,
+        )?;
+    }
     if let Some(name) = args.get("sampler") {
         backend = backend.with_sampler(Backend::parse_sampler(name)?);
     }
     let batch = args.get_u64("batch", 1 << 16)?;
-    let engine = backend.build(&g, app.as_ref(), seed);
+    // A sharded backend over a file that was packed with a matching
+    // partition runs straight off the file's shard sections (mmap-cheap:
+    // shard rows are served zero-copy) instead of re-partitioning the
+    // loaded graph in memory.
+    let mut shard_source = "";
+    let engine: Box<dyn WalkEngine + '_> = match backend {
+        Backend::Sharded {
+            shards,
+            strategy,
+            sampler,
+            flush_budget,
+        } => {
+            let spec = args.positional.first().unwrap();
+            let path = spec.strip_prefix("packed:").unwrap_or(spec);
+            let mode = if args.flag("in-memory") {
+                LoadMode::Heap
+            } else {
+                LoadMode::Auto
+            };
+            let strategy_pinned = args.get("strategy").is_some();
+            match packed::load_packed_sharded(path, mode) {
+                Ok(p)
+                    if p.sharded.k() == shards
+                        && (!strategy_pinned || p.sharded.strategy == strategy) =>
+                {
+                    shard_source = ", shard partition from file";
+                    Box::new(
+                        crate::sharded::ShardedEngine::new(p.sharded, app.as_ref(), sampler, seed)
+                            .with_flush_budget(flush_budget),
+                    )
+                }
+                _ => backend.build(&g, app.as_ref(), seed),
+            }
+        }
+        _ => backend.build(&g, app.as_ref(), seed),
+    };
     let engine: &dyn WalkEngine = engine.as_ref();
 
     let mut walks = WalkResults::with_capacity(queries.len(), length as usize + 1);
@@ -562,6 +653,7 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     if let Some(diag) = session.diagnostics() {
         summary += &format!(", {diag}");
     }
+    summary += shard_source;
     if loaded.mapped {
         summary += ", graph mmap-backed";
     }
@@ -656,6 +748,29 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     };
     if let Some(t) = threads {
         backend = backend.with_threads(t)?;
+    }
+    // Shard sizing mirrors thread sizing: an explicit --shards wins,
+    // else the trace's `shards` field — which, like `threads` for
+    // non-CPU backends, is ignored unless the engine is sharded.
+    let shards = match args.get("shards") {
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| "--shards must be an integer".to_string())?,
+        ),
+        None => trace
+            .shards
+            .filter(|_| matches!(backend, Backend::Sharded { .. })),
+    };
+    if let Some(k) = shards {
+        backend = backend.with_shards(
+            k,
+            parse_strategy(args)?,
+            args.get_u64(
+                "flush-budget",
+                crate::sharded::ShardedEngine::DEFAULT_FLUSH_BUDGET as u64,
+            )?
+            .max(1) as usize,
+        )?;
     }
     if let Some(name) = args.get("sampler") {
         backend = backend.with_sampler(Backend::parse_sampler(name)?);

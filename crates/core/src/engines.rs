@@ -7,9 +7,11 @@
 //! accelerator.
 
 use lightrw_baseline::{BaselineConfig, CpuEngine};
-use lightrw_graph::Graph;
+use lightrw_graph::{Graph, ShardStrategy};
 use lightrw_hwsim::{LightRwConfig, LightRwSim};
 use lightrw_walker::{ReferenceEngine, SamplerKind, WalkApp, WalkEngine};
+
+use crate::sharded::ShardedEngine;
 
 /// A walk execution backend, selectable by name (the CLI's `--engine`
 /// flag) or constructed programmatically.
@@ -34,10 +36,22 @@ pub enum Backend {
         /// Board configuration (instances, k, cache, burst, ...).
         cfg: LightRwConfig,
     },
+    /// The partitioned engine (`crate::sharded::ShardedEngine`): one
+    /// step lane per shard, walker hand-offs at shard boundaries.
+    Sharded {
+        /// Shard count (`>= 1`; 1 degenerates to the reference path).
+        shards: usize,
+        /// How vertices are assigned to shards.
+        strategy: ShardStrategy,
+        /// Per-step weighted sampling method.
+        sampler: SamplerKind,
+        /// Hand-off records coalesced per shard pair before a flush.
+        flush_budget: usize,
+    },
 }
 
 impl Backend {
-    /// Parse a backend name: `sim`, `cpu` or `reference`.
+    /// Parse a backend name: `sim`, `cpu`, `reference` or `sharded`.
     pub fn parse(name: &str) -> Result<Self, String> {
         match name {
             "sim" => Ok(Self::Sim {
@@ -50,8 +64,14 @@ impl Backend {
             "reference" => Ok(Self::Reference {
                 sampler: SamplerKind::InverseTransform,
             }),
+            "sharded" => Ok(Self::Sharded {
+                shards: 2,
+                strategy: ShardStrategy::Range,
+                sampler: SamplerKind::InverseTransform,
+                flush_budget: ShardedEngine::DEFAULT_FLUSH_BUDGET,
+            }),
             other => Err(format!(
-                "unknown --engine {other:?} (expected sim, cpu or reference)"
+                "unknown --engine {other:?} (expected sim, cpu, reference or sharded)"
             )),
         }
     }
@@ -84,6 +104,32 @@ impl Backend {
             Self::Sim { .. } => {
                 Err("--threads only applies to --engine cpu (the sim scales via instances)".into())
             }
+            Self::Sharded { .. } => {
+                Err("--threads only applies to --engine cpu (sharded scales via --shards)".into())
+            }
+        }
+    }
+
+    /// Set the shard count (and optionally the partition strategy /
+    /// flush budget) of a sharded backend. Errors for every other
+    /// backend so `--shards` on the wrong engine is loud.
+    pub fn with_shards(
+        self,
+        shards: usize,
+        strategy: ShardStrategy,
+        flush_budget: usize,
+    ) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        match self {
+            Self::Sharded { sampler, .. } => Ok(Self::Sharded {
+                shards,
+                strategy,
+                sampler,
+                flush_budget: flush_budget.max(1),
+            }),
+            _ => Err("--shards only applies to --engine sharded".into()),
         }
     }
 
@@ -99,6 +145,17 @@ impl Backend {
                     sampler: Some(sampler),
                     ..cfg
                 },
+            },
+            Self::Sharded {
+                shards,
+                strategy,
+                flush_budget,
+                ..
+            } => Self::Sharded {
+                shards,
+                strategy,
+                sampler,
+                flush_budget,
             },
         }
     }
@@ -127,6 +184,15 @@ impl Backend {
             Self::Sim { cfg } => {
                 Box::new(LightRwSim::new(graph, app, LightRwConfig { seed, ..cfg }))
             }
+            Self::Sharded {
+                shards,
+                strategy,
+                sampler,
+                flush_budget,
+            } => Box::new(
+                ShardedEngine::partition(graph, shards, strategy, app, sampler, seed)
+                    .with_flush_budget(flush_budget),
+            ),
         }
     }
 
@@ -174,14 +240,42 @@ mod tests {
             Backend::parse("reference"),
             Ok(Backend::Reference { .. })
         ));
+        assert!(matches!(
+            Backend::parse("sharded"),
+            Ok(Backend::Sharded { shards: 2, .. })
+        ));
         assert!(Backend::parse("fpga").unwrap_err().contains("--engine"));
+        // The shards knob reshapes sharded backends and rejects the rest.
+        let b = Backend::parse("sharded")
+            .unwrap()
+            .with_shards(4, ShardStrategy::Fennel, 16)
+            .unwrap();
+        assert!(matches!(
+            b,
+            Backend::Sharded {
+                shards: 4,
+                strategy: ShardStrategy::Fennel,
+                flush_budget: 16,
+                ..
+            }
+        ));
+        assert!(Backend::parse("cpu")
+            .unwrap()
+            .with_shards(2, ShardStrategy::Range, 1)
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(Backend::parse("sharded")
+            .unwrap()
+            .with_shards(0, ShardStrategy::Range, 1)
+            .unwrap_err()
+            .contains("--shards"));
     }
 
     #[test]
     fn threads_knob_applies_to_cpu_only() {
         let cpu = Backend::parse("cpu").unwrap().with_threads(3).unwrap();
         assert!(matches!(cpu, Backend::Cpu { threads: 3, .. }));
-        for name in ["sim", "reference"] {
+        for name in ["sim", "reference", "sharded"] {
             let err = Backend::parse(name).unwrap().with_threads(3).unwrap_err();
             assert!(err.contains("--threads"), "{name}: {err}");
         }
@@ -213,7 +307,7 @@ mod tests {
         let g = generators::rmat_dataset(7, 6);
         let qs = QuerySet::per_nonisolated_vertex(&g, 4, 2);
         let nv = lightrw_walker::Node2Vec::paper_params();
-        for name in ["sim", "cpu", "reference"] {
+        for name in ["sim", "cpu", "reference", "sharded"] {
             let backend = Backend::parse(name)
                 .unwrap()
                 .with_sampler(SamplerKind::Rejection);
@@ -229,7 +323,7 @@ mod tests {
     fn pools_build_decorrelated_workers_for_every_backend() {
         let g = generators::rmat_dataset(7, 5);
         let qs = QuerySet::per_nonisolated_vertex(&g, 4, 2);
-        for name in ["sim", "cpu", "reference"] {
+        for name in ["sim", "cpu", "reference", "sharded"] {
             let pool = Backend::parse(name).unwrap().build_pool(&g, &Uniform, 3, 3);
             assert_eq!(pool.len(), 3, "{name}");
             let runs: Vec<_> = pool.iter().map(|e| e.run_collected(&qs)).collect();
@@ -272,7 +366,7 @@ mod tests {
         use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
         use lightrw_walker::WalkProgram;
         let g = generators::rmat_dataset(7, 4);
-        for name in ["sim", "cpu", "reference"] {
+        for name in ["sim", "cpu", "reference", "sharded"] {
             let pool = Backend::parse(name).unwrap().build_pool(&g, &Uniform, 5, 2);
             let workers: Vec<&dyn WalkEngine> = pool.iter().map(|e| e.as_ref()).collect();
             let mut service = WalkService::new(workers, ServiceConfig::default());
@@ -295,7 +389,7 @@ mod tests {
     fn every_backend_builds_a_working_engine() {
         let g = generators::rmat_dataset(7, 3);
         let qs = QuerySet::per_nonisolated_vertex(&g, 4, 1);
-        for name in ["sim", "cpu", "reference"] {
+        for name in ["sim", "cpu", "reference", "sharded"] {
             let backend = Backend::parse(name).unwrap();
             let engine = backend.build(&g, &Uniform, 9);
             let results = engine.run_collected(&qs);

@@ -53,6 +53,11 @@ pub struct Trace {
     /// CPU worker threads per pool engine (`0` = one per core); `None`
     /// leaves the backend's own default in place.
     pub threads: Option<usize>,
+    /// Shard count per pool engine for a sharded backend (`>= 1`);
+    /// `None` leaves the backend's default. Only meaningful with
+    /// `--engine sharded` — ignored by the other backends, mirroring
+    /// how `threads` only shapes the CPU engine.
+    pub shards: Option<usize>,
     /// Graph the trace should run on (any path `lightrw-cli` accepts,
     /// including `packed:` files); the CLI positional overrides it, and
     /// a positional of `-` explicitly defers to this field.
@@ -66,6 +71,7 @@ impl Trace {
     pub fn from_jobs(jobs: Vec<TraceJob>) -> Self {
         Self {
             threads: None,
+            shards: None,
             graph: None,
             jobs,
         }
@@ -136,6 +142,9 @@ pub fn to_json(trace: &Trace) -> String {
     if let Some(t) = trace.threads {
         let _ = writeln!(out, "  \"threads\": {t},");
     }
+    if let Some(k) = trace.shards {
+        let _ = writeln!(out, "  \"shards\": {k},");
+    }
     if let Some(g) = &trace.graph {
         let _ = writeln!(out, "  \"graph\": \"{g}\",");
     }
@@ -174,6 +183,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         return Err(p.err("trailing content after the trace document"));
     }
     let mut threads = None;
+    let mut shards = None;
     let mut graph = None;
     let jobs_value = match root {
         Value::Array(items) => items,
@@ -198,6 +208,21 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
                             ))
                         }
                     },
+                    "shards" => match value {
+                        Value::Number(n)
+                            if n.is_finite()
+                                && n >= 1.0
+                                && n.fract() == 0.0
+                                && n <= MAX_TRACE_SHARDS as f64 =>
+                        {
+                            shards = Some(n as usize)
+                        }
+                        _ => {
+                            return Err(format!(
+                                "trace \"shards\" must be an integer in 1..={MAX_TRACE_SHARDS}"
+                            ))
+                        }
+                    },
                     "graph" => match value {
                         Value::String(s) if !s.is_empty() => graph = Some(s),
                         _ => return Err("trace \"graph\" must be a non-empty string".into()),
@@ -219,6 +244,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         .collect::<Result<Vec<_>, _>>()?;
     Ok(Trace {
         threads,
+        shards,
         graph,
         jobs,
     })
@@ -227,6 +253,10 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
 /// Largest `threads` value a trace may request: beyond 1024 workers the
 /// spec is a config mistake (and matches the affinity mask's CPU ceiling).
 const MAX_TRACE_THREADS: u64 = 1024;
+
+/// Largest `shards` value a trace may request — same config-mistake
+/// ceiling as `threads`.
+const MAX_TRACE_SHARDS: u64 = 1024;
 
 /// Largest `queries` value a spec may request: beyond ~16M queries per
 /// job the workload is a config mistake, not a trace (and `as`-casting

@@ -44,6 +44,7 @@
 //! | accelerator pipeline model | `lightrw-hwsim` | [`hwsim`] |
 //! | ThunderRW-like CPU baseline | `lightrw-baseline` | [`baseline`] |
 //! | platform models (PCIe, power, resources) | this crate | [`platform`], [`pcie`], [`power`], [`resources`] |
+//! | sharded execution with walker hand-off (DESIGN.md §11) | this crate | [`sharded`] |
 
 pub mod accelerator;
 pub mod cli;
@@ -55,12 +56,14 @@ pub mod platform;
 pub mod power;
 pub mod report;
 pub mod resources;
+pub mod sharded;
 
 pub use accelerator::LightRw;
 pub use cluster::{BoardReport, ClusterReport, LightRwCluster};
 pub use engines::Backend;
 pub use platform::{AppKind, U250_PLATFORM, XEON_6246R};
 pub use report::RunReport;
+pub use sharded::ShardedEngine;
 
 // Substrate re-exports, so downstream users need only this crate.
 pub use lightrw_baseline as baseline;
@@ -84,6 +87,7 @@ pub mod prelude {
     pub use crate::engines::Backend;
     pub use crate::platform::{AppKind, U250_PLATFORM, XEON_6246R};
     pub use crate::report::RunReport;
+    pub use crate::sharded::ShardedEngine;
     pub use lightrw_baseline::{BaselineConfig, CpuEngine, CpuSession};
     pub use lightrw_graph::{generators, DatasetProfile, Graph, GraphBuilder};
     pub use lightrw_hwsim::{LightRwConfig, LightRwSim, SimReport};

@@ -1,0 +1,614 @@
+//! Sharded walk execution: one engine lane per graph partition, walkers
+//! migrating at shard boundaries through bounded hand-off queues
+//! (DESIGN.md §11).
+//!
+//! [`ShardedEngine`] runs a [`lightrw_graph::ShardedGraph`] — built by
+//! [`lightrw_graph::partition_graph`] or loaded from a packed sharded
+//! file ([`lightrw_graph::load_packed_sharded`]) — behind the ordinary
+//! [`WalkSession`] contract. Each shard owns a sequential step lane with
+//! its own [`HotStepper`]; a walker whose step lands on a **ghost**
+//! vertex (owned by another shard) is serialized into a hand-off record
+//! and parked in the per-(source, destination) outbox until the outbox
+//! reaches the flush budget or the scheduling round ends.
+//!
+//! The three contracts that make this safe:
+//!
+//! - **RNG streams travel with the walker.** Every query gets its own
+//!   [`SamplerStream`] (seed derived from the engine seed and the query
+//!   index); the destination lane's stepper imports the stream before
+//!   stepping, so a walk's draws are a pure function of its query — not
+//!   of shard count, flush budget, or batch schedule. That is what the
+//!   conformance and property suites pin.
+//! - **Second-order hand-offs carry the previous row.** Node2Vec weights
+//!   read the *previous* vertex's adjacency, which the destination shard
+//!   does not store. The record ships the row (charged to the transfer
+//!   model) and the lane arms it as a prev-row override
+//!   ([`HotStepper::arm_prev_row`]) for the arrival step.
+//! - **Emission is exactly-once and id-ordered** via the shared
+//!   [`InOrderEmitter`] watermark, identical to the CPU engine's lanes.
+//!
+//! Hand-off batches are charged to the modelled interconnect (the PCIe
+//! model of [`crate::pcie`]): each flush costs one link latency plus
+//! `bytes / bandwidth`, with a record costing a fixed header plus four
+//! bytes per shipped prev-row entry. [`WalkSession::model_seconds`]
+//! reports the accumulated transfer seconds.
+//!
+//! `k = 1` takes a dedicated sequential path that is **bit-identical**
+//! to [`lightrw_walker::ReferenceEngine`]: one continuous stepper over
+//! all queries, seeded with the engine seed (pinned by
+//! `tests/sharded_execution.rs`).
+
+use std::collections::VecDeque;
+
+use lightrw_graph::{partition_graph, Graph, ShardStrategy, ShardedGraph, VertexId};
+use lightrw_rng::splitmix::{mix64, GOLDEN_GAMMA};
+use lightrw_walker::{
+    AnySampler, BatchProgress, HotStepper, InOrderEmitter, Query, QuerySet, SamplerKind,
+    SamplerStream, StepOutcome, WalkApp, WalkEngine, WalkProgram, WalkSession, WalkSink, WalkState,
+};
+
+use crate::pcie::PcieBreakdown;
+use crate::platform::U250_PLATFORM;
+
+/// Serialized size of one hand-off record, excluding the optional
+/// prev-row payload: query id (4), current and previous vertex (4 + 5),
+/// step counters (4 + 4), restart-segment flag padding (1), and the
+/// [`SamplerStream`] triple (24). Payload entries add four bytes each.
+pub const HANDOFF_RECORD_BYTES: u64 = 40;
+
+/// A partitioned-execution engine: one step lane per shard, bounded
+/// hand-off queues between them, modelled transfer costs per flush.
+pub struct ShardedEngine<'a> {
+    sharded: ShardedGraph,
+    app: &'a dyn WalkApp,
+    sampler: SamplerKind,
+    seed: u64,
+    flush_budget: usize,
+}
+
+impl<'a> ShardedEngine<'a> {
+    /// Default hand-off coalescing budget: records buffered per
+    /// (source, destination) shard pair before a flush is forced.
+    /// Chosen so a flush amortizes the link latency over a few KiB of
+    /// records while keeping in-flight walkers bounded (DESIGN.md §11).
+    pub const DEFAULT_FLUSH_BUDGET: usize = 64;
+
+    /// Wrap an already-partitioned graph (e.g. loaded from a packed
+    /// sharded file).
+    pub fn new(
+        sharded: ShardedGraph,
+        app: &'a dyn WalkApp,
+        sampler: SamplerKind,
+        seed: u64,
+    ) -> Self {
+        assert!(sharded.k() > 0, "sharded engine requires at least 1 shard");
+        Self {
+            sharded,
+            app,
+            sampler,
+            seed,
+            flush_budget: Self::DEFAULT_FLUSH_BUDGET,
+        }
+    }
+
+    /// Partition `g` into `k` shards and build an engine over the result.
+    pub fn partition(
+        g: &Graph,
+        k: usize,
+        strategy: ShardStrategy,
+        app: &'a dyn WalkApp,
+        sampler: SamplerKind,
+        seed: u64,
+    ) -> Self {
+        Self::new(partition_graph(g, k, strategy), app, sampler, seed)
+    }
+
+    /// Override the hand-off flush budget (clamped to at least 1).
+    pub fn with_flush_budget(mut self, flush_budget: usize) -> Self {
+        self.flush_budget = flush_budget.max(1);
+        self
+    }
+
+    /// The partitioned graph this engine executes over.
+    pub fn sharded(&self) -> &ShardedGraph {
+        &self.sharded
+    }
+
+    /// Records buffered per shard pair before a forced flush.
+    pub fn flush_budget(&self) -> usize {
+        self.flush_budget
+    }
+}
+
+impl WalkEngine for ShardedEngine<'_> {
+    fn label(&self) -> String {
+        format!(
+            "sharded(k={}, {}, {})",
+            self.sharded.k(),
+            self.sharded.strategy.name(),
+            self.sampler.name()
+        )
+    }
+
+    fn start_session<'s>(&'s self, queries: &QuerySet) -> Box<dyn WalkSession + 's> {
+        let engine: &'s ShardedEngine<'s> = self;
+        if self.sharded.k() == 1 {
+            Box::new(SingleShardSession::new(engine, queries))
+        } else {
+            Box::new(MultiShardSession::new(engine, queries))
+        }
+    }
+
+    /// One graph image per shard: a deployed sharded engine pushes each
+    /// partition to its own executor.
+    fn graph_images(&self) -> u64 {
+        self.sharded.k() as u64
+    }
+}
+
+// --- k = 1: the sequential fast path -------------------------------------
+
+/// Degenerate single-shard session — a verbatim replay of the reference
+/// engine's session loop (one continuous stepper, one query in flight),
+/// so `--shards 1` is bit-identical to the unsharded reference backend.
+struct SingleShardSession<'s> {
+    graph: &'s Graph,
+    app: &'s dyn WalkApp,
+    stepper: HotStepper,
+    program: WalkProgram,
+    queries: Vec<Query>,
+    qi: usize,
+    path: Vec<VertexId>,
+    st: WalkState,
+    steps_done: u64,
+}
+
+impl<'s> SingleShardSession<'s> {
+    fn new(engine: &'s ShardedEngine<'s>, queries: &QuerySet) -> Self {
+        let graph = &engine.sharded.shards[0].graph;
+        let mut stepper = HotStepper::new(engine.app, engine.sampler, engine.seed);
+        stepper.reserve(graph.max_degree() as usize);
+        let program = queries.program().clone();
+        let queries = queries.queries().to_vec();
+        let mut path = Vec::new();
+        let mut st = WalkState::start(0);
+        if let Some(q) = queries.first() {
+            path.reserve(q.length as usize + 1);
+            path.push(q.start);
+            st = WalkState::start(q.start);
+        }
+        Self {
+            graph,
+            app: engine.app,
+            stepper,
+            program,
+            queries,
+            qi: 0,
+            path,
+            st,
+            steps_done: 0,
+        }
+    }
+
+    fn finish_current(&mut self, sink: &mut dyn WalkSink) {
+        sink.emit(self.qi as u32, &self.path);
+        self.qi += 1;
+        self.path.clear();
+        if let Some(q) = self.queries.get(self.qi) {
+            self.path.push(q.start);
+            self.st = WalkState::start(q.start);
+        }
+    }
+}
+
+impl WalkSession for SingleShardSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let budget = max_steps.max(1);
+        let mut progress = BatchProgress::default();
+        let mut attempts = 0u64;
+        while attempts < budget && self.qi < self.queries.len() {
+            let q = self.queries[self.qi];
+            attempts += 1;
+            let outcome = self.program.step_attempt(
+                self.graph,
+                self.app,
+                &mut self.stepper,
+                &q,
+                &mut self.st,
+            );
+            let done = match outcome {
+                StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
+                    let v = outcome.appended(q.start).expect("advancing outcome");
+                    self.path.push(v);
+                    self.steps_done += 1;
+                    progress.steps += 1;
+                    done
+                }
+                StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
+            };
+            if done {
+                self.finish_current(sink);
+                progress.paths_completed += 1;
+            }
+        }
+        progress.finished = self.finished();
+        progress
+    }
+
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
+        let mut progress = BatchProgress::default();
+        while self.qi < self.queries.len() {
+            self.finish_current(sink);
+            progress.paths_completed += 1;
+        }
+        progress.finished = true;
+        progress
+    }
+
+    fn finished(&self) -> bool {
+        self.qi >= self.queries.len()
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    fn paths_completed(&self) -> usize {
+        self.qi
+    }
+
+    fn diagnostics(&self) -> Option<String> {
+        Some("k=1 (sequential fast path)".to_string())
+    }
+}
+
+// --- k >= 2: lanes, outboxes and hand-offs -------------------------------
+
+/// One in-flight walker: its program state, partial path, serialized RNG
+/// stream, and (between hand-off and arrival step) the shipped prev-row
+/// payload.
+struct Walker {
+    st: WalkState,
+    path: Vec<VertexId>,
+    stream: SamplerStream,
+    /// Previous vertex's adjacency row, shipped with a second-order
+    /// hand-off; armed as the stepper's prev-row override for exactly
+    /// the arrival step.
+    prev_row: Option<Vec<VertexId>>,
+    done: bool,
+}
+
+/// Multi-shard session: deterministic round-robin over shard lanes, with
+/// per-(source, destination) outboxes flushed at the budget or at round
+/// end so every walker keeps making progress.
+struct MultiShardSession<'s> {
+    sharded: &'s ShardedGraph,
+    app: &'s dyn WalkApp,
+    program: WalkProgram,
+    queries: Vec<Query>,
+    /// One stepper per shard lane; streams are imported per attempt.
+    steppers: Vec<HotStepper>,
+    /// Runnable walkers parked on each shard (owner of their `cur`).
+    runq: Vec<VecDeque<usize>>,
+    /// Hand-off records awaiting a flush, indexed `src * k + dst`.
+    outbox: Vec<Vec<usize>>,
+    flush_budget: usize,
+    walkers: Vec<Walker>,
+    emitter: InOrderEmitter,
+    steps_done: u64,
+    hand_offs: u64,
+    flushes: u64,
+    transfer_bytes: u64,
+    transfer_s: f64,
+}
+
+impl<'s> MultiShardSession<'s> {
+    fn new(engine: &'s ShardedEngine<'s>, queries: &QuerySet) -> Self {
+        let sharded = &engine.sharded;
+        let k = sharded.k();
+        let max_degree = sharded
+            .shards
+            .iter()
+            .map(|s| s.graph.max_degree())
+            .max()
+            .unwrap_or(0) as usize;
+        let steppers = (0..k)
+            .map(|_| {
+                let mut st = HotStepper::new(engine.app, engine.sampler, engine.seed);
+                st.reserve(max_degree);
+                st
+            })
+            .collect();
+        let qs = queries.queries().to_vec();
+        let mut runq: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
+        let walkers: Vec<Walker> = qs
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                // Per-query stream: draws are a pure function of the
+                // query, never of shard count or schedule.
+                let stream_seed = mix64(engine.seed ^ (qi as u64 + 1).wrapping_mul(GOLDEN_GAMMA));
+                runq[sharded.owner_of(q.start)].push_back(qi);
+                let mut path = Vec::with_capacity(q.length as usize + 1);
+                path.push(q.start);
+                Walker {
+                    st: WalkState::start(q.start),
+                    path,
+                    stream: AnySampler::new(engine.sampler, stream_seed).export_stream(),
+                    prev_row: None,
+                    done: false,
+                }
+            })
+            .collect();
+        Self {
+            sharded,
+            app: engine.app,
+            program: queries.program().clone(),
+            queries: qs,
+            steppers,
+            runq,
+            outbox: vec![Vec::new(); k * k],
+            flush_budget: engine.flush_budget,
+            walkers,
+            emitter: InOrderEmitter::new(queries.len()),
+            steps_done: 0,
+            hand_offs: 0,
+            flushes: 0,
+            transfer_bytes: 0,
+            transfer_s: 0.0,
+        }
+    }
+
+    /// Deliver outbox `(s, t)` to shard `t`'s run queue, charging one
+    /// modelled link transfer (latency + bytes / bandwidth) for the
+    /// coalesced batch.
+    fn flush_pair(&mut self, s: usize, t: usize) {
+        let k = self.sharded.k();
+        let batch = std::mem::take(&mut self.outbox[s * k + t]);
+        if batch.is_empty() {
+            return;
+        }
+        let mut bytes = 0u64;
+        for &w in &batch {
+            let payload = self.walkers[w].prev_row.as_ref().map_or(0, |r| r.len()) as u64;
+            bytes += HANDOFF_RECORD_BYTES + 4 * payload;
+        }
+        let link = PcieBreakdown::model(&U250_PLATFORM, bytes, 0.0, 0);
+        self.transfer_s += link.upload_s;
+        self.transfer_bytes += bytes;
+        self.flushes += 1;
+        self.runq[t].extend(batch);
+    }
+
+    /// Flush every non-empty outbox (round end / cancellation barrier).
+    /// Returns how many walkers were delivered.
+    fn flush_all(&mut self) -> usize {
+        let k = self.sharded.k();
+        let mut delivered = 0;
+        for s in 0..k {
+            for t in 0..k {
+                delivered += self.outbox[s * k + t].len();
+                self.flush_pair(s, t);
+            }
+        }
+        delivered
+    }
+}
+
+impl WalkSession for MultiShardSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let budget = max_steps.max(1);
+        let k = self.sharded.k();
+        let mut progress = BatchProgress::default();
+        let mut attempts = vec![0u64; k];
+        loop {
+            let mut worked = false;
+            // One deterministic sweep: each lane steps its queue head
+            // until the lane budget, a retirement, or a hand-off.
+            for (s, lane_attempts) in attempts.iter_mut().enumerate() {
+                while *lane_attempts < budget {
+                    let Some(&w) = self.runq[s].front() else {
+                        break;
+                    };
+                    worked = true;
+                    *lane_attempts += 1;
+                    let q = self.queries[w];
+                    let g = &self.sharded.shards[s].graph;
+                    let stepper = &mut self.steppers[s];
+                    let wk = &mut self.walkers[w];
+                    stepper.import_stream(&wk.stream);
+                    if let Some(row) = wk.prev_row.take() {
+                        stepper.arm_prev_row(&row);
+                    }
+                    let outcome = self
+                        .program
+                        .step_attempt(g, self.app, stepper, &q, &mut wk.st);
+                    stepper.clear_prev_row();
+                    wk.stream = stepper.export_stream();
+                    let done = match outcome {
+                        StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
+                            let v = outcome.appended(q.start).expect("advancing outcome");
+                            wk.path.push(v);
+                            self.steps_done += 1;
+                            progress.steps += 1;
+                            done
+                        }
+                        StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
+                    };
+                    if done {
+                        wk.done = true;
+                        self.runq[s].pop_front();
+                        continue;
+                    }
+                    let t = self.sharded.owner_of(wk.st.cur);
+                    if t != s {
+                        // Hand-off: serialize the walker into the (s, t)
+                        // outbox. Second-order apps ship the previous
+                        // vertex's row — it lives on this shard, not the
+                        // destination.
+                        if self.app.second_order() {
+                            if let Some(prev) = wk.st.prev {
+                                wk.prev_row = Some(g.neighbors(prev).to_vec());
+                            }
+                        }
+                        self.runq[s].pop_front();
+                        self.hand_offs += 1;
+                        self.outbox[s * k + t].push(w);
+                        if self.outbox[s * k + t].len() >= self.flush_budget {
+                            self.flush_pair(s, t);
+                        }
+                    }
+                }
+            }
+            // Round barrier: deliver stragglers below the flush budget so
+            // migrated walkers never starve, then emit at the watermark.
+            let delivered = self.flush_all();
+            let walkers = &mut self.walkers;
+            progress.paths_completed += self.emitter.drain(sink, |id| {
+                if walkers[id].done {
+                    Some(std::mem::take(&mut walkers[id].path))
+                } else {
+                    None
+                }
+            });
+            if self.emitter.finished() || (!worked && delivered == 0) {
+                break;
+            }
+        }
+        progress.finished = self.finished();
+        progress
+    }
+
+    fn cancel(&mut self, sink: &mut dyn WalkSink) -> BatchProgress {
+        let mut progress = BatchProgress::default();
+        for q in &mut self.runq {
+            q.clear();
+        }
+        for b in &mut self.outbox {
+            b.clear();
+        }
+        for wk in &mut self.walkers {
+            wk.done = true;
+        }
+        let walkers = &mut self.walkers;
+        progress.paths_completed += self
+            .emitter
+            .drain(sink, |id| Some(std::mem::take(&mut walkers[id].path)));
+        progress.finished = true;
+        progress
+    }
+
+    fn finished(&self) -> bool {
+        self.emitter.finished()
+    }
+
+    fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    fn paths_completed(&self) -> usize {
+        self.emitter.emitted()
+    }
+
+    /// Modelled interconnect seconds spent on hand-off flushes.
+    fn model_seconds(&self) -> Option<f64> {
+        Some(self.transfer_s)
+    }
+
+    fn diagnostics(&self) -> Option<String> {
+        Some(format!(
+            "k={} strategy={} hand-offs={} flushes={} transfer-bytes={} transfer-s={:.9}",
+            self.sharded.k(),
+            self.sharded.strategy.name(),
+            self.hand_offs,
+            self.flushes,
+            self.transfer_bytes,
+            self.transfer_s,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightrw_graph::generators;
+    use lightrw_walker::{Node2Vec, ReferenceEngine, Uniform, WalkEngineExt};
+
+    #[test]
+    fn single_shard_matches_the_reference_engine_exactly() {
+        let mut g = generators::rmat_dataset(8, 17);
+        g.build_prefix_cache();
+        let qs = QuerySet::n_queries(&g, 40, 12, 99);
+        let reference =
+            ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, 7).run(&qs);
+        let engine = ShardedEngine::partition(
+            &g,
+            1,
+            ShardStrategy::Range,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            7,
+        );
+        let sharded = engine.run_collected(&qs);
+        assert_eq!(sharded, reference);
+    }
+
+    #[test]
+    fn hand_offs_charge_the_transfer_model_and_report_diagnostics() {
+        let mut g = generators::rmat_dataset(8, 17);
+        g.build_prefix_cache();
+        let qs = QuerySet::n_queries(&g, 64, 16, 3);
+        let nv = Node2Vec::paper_params();
+        let engine = ShardedEngine::partition(
+            &g,
+            4,
+            ShardStrategy::Range,
+            &nv,
+            SamplerKind::InverseTransform,
+            7,
+        );
+        let mut sink = lightrw_walker::CountingSink::default();
+        let mut session = engine.start_session(&qs);
+        while !session.finished() {
+            session.advance(100, &mut sink);
+        }
+        assert_eq!(sink.paths, 64);
+        let transfer = session.model_seconds().unwrap();
+        assert!(transfer > 0.0, "4-way rmat split must hand off walkers");
+        let diag = session.diagnostics().unwrap();
+        assert!(
+            diag.contains("k=4") && diag.contains("hand-offs="),
+            "{diag}"
+        );
+    }
+
+    #[test]
+    fn shard_count_and_flush_budget_never_change_sampled_walks() {
+        let mut g = generators::rmat_dataset(7, 5);
+        g.build_prefix_cache();
+        let qs = QuerySet::n_queries(&g, 32, 10, 21);
+        let nv = Node2Vec::paper_params();
+        let baseline = ShardedEngine::partition(
+            &g,
+            2,
+            ShardStrategy::Range,
+            &nv,
+            SamplerKind::InverseTransform,
+            11,
+        )
+        .run_collected(&qs);
+        for (k, flush) in [(2, 1), (3, 7), (4, 64)] {
+            let engine = ShardedEngine::partition(
+                &g,
+                k,
+                ShardStrategy::Range,
+                &nv,
+                SamplerKind::InverseTransform,
+                11,
+            )
+            .with_flush_budget(flush);
+            let got = engine.run_collected(&qs);
+            assert_eq!(got, baseline, "k={k} flush={flush}");
+        }
+    }
+}

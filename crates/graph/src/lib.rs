@@ -30,7 +30,13 @@
 //!   (DESIGN.md §10): a bounded-memory streaming pack pipeline into a
 //!   packed on-disk CSR (`LRWPAK01`), loaded back through `mmap` as
 //!   borrowed [`store::Section`] views so engines walk the file without
-//!   a resident copy.
+//!   a resident copy;
+//! - [`partition`] — the sharded-execution data model (DESIGN.md §11):
+//!   [`partition_graph`] splits a CSR into K [`Shard`] sub-CSRs with
+//!   ghost-vertex tables under a range or fennel-greedy
+//!   [`ShardStrategy`]; `pack --shards K` persists the partition (and
+//!   optionally varint-compressed columns) as extra `LRWPAK01`
+//!   sections, [`load_packed_sharded`] maps it back.
 //!
 //! ```
 //! use lightrw_graph::GraphBuilder;
@@ -52,6 +58,7 @@ pub mod generators;
 pub mod io;
 pub mod pack;
 pub mod packed;
+pub mod partition;
 pub mod reorder;
 pub mod stats;
 pub mod store;
@@ -63,4 +70,7 @@ pub use csr::{
     ROW_ENTRY_BYTES,
 };
 pub use generators::DatasetProfile;
-pub use packed::{LoadMode, PackedGraph};
+pub use packed::{
+    load_packed_sharded, LoadMode, PackedGraph, PackedShardedGraph, ShardCounts, ShardMeta,
+};
+pub use partition::{partition_graph, Ownership, Shard, ShardStrategy, ShardedGraph};

@@ -44,10 +44,13 @@ use crate::csr::{Graph, VertexId, MAX_CACHED_RELATIONS, MAX_PREFIX_STATIC_WEIGHT
 use crate::generators::{rmat_edge_stream, RMAT_A, RMAT_B, RMAT_C};
 use crate::io::IoError;
 use crate::packed::{
-    assign_offsets, write_header, write_packed, FLAG_DIRECTED, FLAG_ELABELS, FLAG_PREFIX,
-    FLAG_RELABEL, FLAG_VLABELS, SEC_COL, SEC_ELABELS, SEC_NEW_TO_OLD, SEC_PREFIX_ALL,
-    SEC_REL_PREFIX_BASE, SEC_ROW, SEC_VLABELS, SEC_WEIGHTS,
+    assign_offsets, shard_section, varint_len, write_header, write_packed_with, write_varint,
+    PackExtras, FLAG_COMPRESSED, FLAG_DIRECTED, FLAG_ELABELS, FLAG_PREFIX, FLAG_RELABEL,
+    FLAG_SHARDS, FLAG_VLABELS, SEC_COL, SEC_COL_VARINT, SEC_ELABELS, SEC_NEW_TO_OLD,
+    SEC_PREFIX_ALL, SEC_REL_PREFIX_BASE, SEC_ROW, SEC_SHARD_CUTS, SEC_SHARD_META, SEC_VLABELS,
+    SEC_WEIGHTS, SHARD_LANE_GHOSTS, SHARD_LANE_ROW,
 };
+use crate::partition::{cuts_from_row_index, partition_graph, ShardStrategy};
 use crate::reorder::{by_degree_descending, Relabeling};
 
 /// Knobs for the streaming pipeline.
@@ -62,6 +65,15 @@ pub struct PackOptions {
     /// Precompute prefix cumulative sections into the file (skipped
     /// automatically when any weight exceeds the 16-bit promote limit).
     pub prefix_cache: bool,
+    /// Partition the graph into this many contiguous vertex-range
+    /// shards and persist the partition in the file (0 = unsharded).
+    /// The streaming pipeline supports the range strategy only — its
+    /// cuts derive from the degree prefix sums already in memory;
+    /// fennel needs the whole graph and goes through
+    /// [`pack_graph_with`].
+    pub shards: usize,
+    /// Store `col_index` varint-delta compressed (DESIGN.md §11).
+    pub compress: bool,
 }
 
 impl Default for PackOptions {
@@ -70,6 +82,8 @@ impl Default for PackOptions {
             relabel: false,
             chunk_records: 4 << 20,
             prefix_cache: true,
+            shards: 0,
+            compress: false,
         }
     }
 }
@@ -488,15 +502,83 @@ where
             Vec::new()
         };
 
+    // Row offsets as one in-memory array: O(|V|), the pipeline's
+    // existing budget (the degree vector); the shard cuts and every
+    // per-shard row lane derive from it.
+    let mut row: Vec<u64> = Vec::with_capacity(n + 1);
+    {
+        let mut acc = 0u64;
+        row.push(0);
+        for &d in &stats.degree {
+            acc += d as u64;
+            row.push(acc);
+        }
+        debug_assert_eq!(acc, m64);
+    }
+
+    let k = opts.shards;
+    let cuts: Vec<VertexId> = if k > 0 {
+        cuts_from_row_index(&row, k)
+    } else {
+        Vec::new()
+    };
+    // Sharding and compression both need one extra linear pass over the
+    // merged records *before* the section table is sized: the ghost
+    // sets and boundary counts per shard, and the exact varint byte
+    // total. Ghost membership is k×n bits — bounded like the degrees.
+    let mut ghost_bits: Vec<Vec<u64>> = vec![vec![0u64; n.div_ceil(64)]; k];
+    let mut boundary = vec![0u64; k];
+    let mut varint_total = 0u64;
+    if k > 1 || opts.compress {
+        let mut reader = BufReader::new(File::open(&edge_source)?);
+        let mut cur_u: Option<u32> = None;
+        let mut prev_v = 0u32;
+        let mut s = 0usize;
+        while let Some(rec) = Rec::read_from(&mut reader)? {
+            if cur_u != Some(rec.u) {
+                cur_u = Some(rec.u);
+                if opts.compress {
+                    varint_total += varint_len(rec.v);
+                }
+                // Records stream sorted by u, so the owner only advances.
+                while s + 1 < k && rec.u >= cuts[s + 1] {
+                    s += 1;
+                }
+            } else if opts.compress {
+                varint_total += varint_len(rec.v - prev_v - 1);
+            }
+            prev_v = rec.v;
+            if k > 1 {
+                let t = cuts.partition_point(|&c| c <= rec.v) - 1;
+                if t != s {
+                    boundary[s] += 1;
+                    ghost_bits[s][rec.v as usize / 64] |= 1 << (rec.v % 64);
+                }
+            }
+        }
+    }
+    let ghosts: Vec<Vec<u32>> = ghost_bits
+        .iter()
+        .map(|bits| {
+            (0..n as u32)
+                .filter(|&v| bits[v as usize / 64] >> (v % 64) & 1 == 1)
+                .collect()
+        })
+        .collect();
+    drop(ghost_bits);
+
     let mut flags = 0u64;
     if directed {
         flags |= FLAG_DIRECTED;
     }
-    let mut lens: Vec<(u64, u64)> = vec![
-        (SEC_ROW, (n64 + 1) * 8),
-        (SEC_COL, m64 * 4),
-        (SEC_WEIGHTS, m64 * 4),
-    ];
+    let mut lens: Vec<(u64, u64)> = vec![(SEC_ROW, (n64 + 1) * 8)];
+    if opts.compress {
+        flags |= FLAG_COMPRESSED;
+        lens.push((SEC_COL_VARINT, varint_total));
+    } else {
+        lens.push((SEC_COL, m64 * 4));
+    }
+    lens.push((SEC_WEIGHTS, m64 * 4));
     if vlabels.is_some() {
         flags |= FLAG_VLABELS;
         lens.push((SEC_VLABELS, n64));
@@ -516,6 +598,18 @@ where
         flags |= FLAG_RELABEL;
         lens.push((SEC_NEW_TO_OLD, n64 * 4));
     }
+    if k > 0 {
+        flags |= FLAG_SHARDS;
+        lens.push((SEC_SHARD_META, (2 + 3 * k as u64) * 8));
+        lens.push((SEC_SHARD_CUTS, (k as u64 + 1) * 4));
+        for (s, shard_ghosts) in ghosts.iter().enumerate().take(k) {
+            lens.push((shard_section(s, SHARD_LANE_ROW), (n64 + 1) * 8));
+            lens.push((
+                shard_section(s, SHARD_LANE_GHOSTS),
+                shard_ghosts.len() as u64 * 4,
+            ));
+        }
+    }
     let (table, total) = assign_offsets(&lens);
     let offset_of = |id: u64| -> u64 {
         table
@@ -533,17 +627,43 @@ where
         head.flush()?;
     }
 
-    // row_index: prefix sum over degrees, written directly.
     {
-        let mut row = SecWriter::at(out, offset_of(SEC_ROW))?;
-        let mut acc = 0u64;
-        row.put_u64(0)?;
-        for &d in &stats.degree {
-            acc += d as u64;
-            row.put_u64(acc)?;
+        let mut w = SecWriter::at(out, offset_of(SEC_ROW))?;
+        for &off in &row {
+            w.put_u64(off)?;
         }
-        debug_assert_eq!(acc, m64);
-        row.finish()?;
+        w.finish()?;
+    }
+    if k > 0 {
+        let mut meta = SecWriter::at(out, offset_of(SEC_SHARD_META))?;
+        meta.put_u64(k as u64)?;
+        meta.put_u64(ShardStrategy::Range.code())?;
+        for s in 0..k {
+            let (lo, hi) = (cuts[s] as usize, cuts[s + 1] as usize);
+            meta.put_u64((hi - lo) as u64)?;
+            meta.put_u64(row[hi] - row[lo])?;
+            meta.put_u64(boundary[s])?;
+        }
+        meta.finish()?;
+        let mut cw = SecWriter::at(out, offset_of(SEC_SHARD_CUTS))?;
+        for &c in &cuts {
+            cw.put_u32(c)?;
+        }
+        cw.finish()?;
+        for s in 0..k {
+            // Range shard rows are the global offsets clamped to the
+            // owned span — see `packed::range_shard_row`.
+            let mut rw = SecWriter::at(out, offset_of(shard_section(s, SHARD_LANE_ROW)))?;
+            for v in 0..=n as u32 {
+                rw.put_u64(row[v.clamp(cuts[s], cuts[s + 1]) as usize])?;
+            }
+            rw.finish()?;
+            let mut gw = SecWriter::at(out, offset_of(shard_section(s, SHARD_LANE_GHOSTS)))?;
+            for &gv in &ghosts[s] {
+                gw.put_u32(gv)?;
+            }
+            gw.finish()?;
+        }
     }
     if let Some(labels) = &vlabels {
         let mut w = SecWriter::at(out, offset_of(SEC_VLABELS))?;
@@ -561,7 +681,11 @@ where
     // One linear pass over the merged (possibly relabeled) records fills
     // every edge-indexed section in parallel.
     {
-        let mut col = SecWriter::at(out, offset_of(SEC_COL))?;
+        let mut col = if opts.compress {
+            SecWriter::at(out, offset_of(SEC_COL_VARINT))?
+        } else {
+            SecWriter::at(out, offset_of(SEC_COL))?
+        };
         let mut wts = SecWriter::at(out, offset_of(SEC_WEIGHTS))?;
         let mut elb = if stats.any_rel {
             Some(SecWriter::at(out, offset_of(SEC_ELABELS))?)
@@ -584,16 +708,24 @@ where
 
         let mut cur_u: Option<u32> = None;
         let mut acc = 0u64;
+        let mut prev_v = 0u32;
         let mut reader = BufReader::new(File::open(&edge_source)?);
         while let Some(rec) = Rec::read_from(&mut reader)? {
-            if cur_u != Some(rec.u) {
+            let new_row = cur_u != Some(rec.u);
+            if new_row {
                 cur_u = Some(rec.u);
                 acc = 0;
                 for entry in rel_pfx.iter_mut() {
                     entry.1 = 0;
                 }
             }
-            col.put_u32(rec.v)?;
+            if opts.compress {
+                let val = if new_row { rec.v } else { rec.v - prev_v - 1 };
+                write_varint(&mut col.out, val)?;
+            } else {
+                col.put_u32(rec.v)?;
+            }
+            prev_v = rec.v;
             wts.put_u32(rec.w)?;
             if let Some(e) = elb.as_mut() {
                 e.put_u8(rec.rel as u8)?;
@@ -636,13 +768,35 @@ where
 /// the file carries it; with `relabel`, the graph is reordered via
 /// [`by_degree_descending`] and the relabeling persisted.
 pub fn pack_graph(g: &mut Graph, relabel: bool, out: &Path) -> Result<u64, IoError> {
+    pack_graph_with(g, relabel, 0, ShardStrategy::Range, false, out)
+}
+
+/// [`pack_graph`] with shard-partition and compression extras. Unlike
+/// the streaming pipeline, the in-memory path supports both partition
+/// strategies (fennel walks the whole adjacency greedily).
+pub fn pack_graph_with(
+    g: &mut Graph,
+    relabel: bool,
+    shards: usize,
+    strategy: ShardStrategy,
+    compress: bool,
+    out: &Path,
+) -> Result<u64, IoError> {
     g.build_prefix_cache();
+    let write = |g: &Graph, map: Option<&Relabeling>| -> Result<u64, IoError> {
+        let sharded = (shards > 0).then(|| partition_graph(g, shards, strategy));
+        let extras = PackExtras {
+            sharded: sharded.as_ref(),
+            compress,
+        };
+        write_packed_with(g, map, &extras, out)
+    };
     if relabel {
         let (mut reordered, map) = by_degree_descending(g);
         reordered.build_prefix_cache();
-        write_packed(&reordered, Some(&map), out)
+        write(&reordered, Some(&map))
     } else {
-        write_packed(g, None, out)
+        write(g, None)
     }
 }
 
@@ -844,6 +998,124 @@ mod tests {
         assert!(loaded.relabeling.is_some());
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&out2).ok();
+    }
+
+    #[test]
+    fn streamed_sharded_pack_matches_in_memory_partition() {
+        let seed = 13u64;
+        let expected = generators::rmat_dataset(7, seed);
+        let mem = partition_graph(&expected, 4, ShardStrategy::Range);
+        let out = tmp("rmat7_sharded.lrwpak");
+        let opts = PackOptions {
+            chunk_records: 400, // force external sorting
+            shards: 4,
+            ..PackOptions::default()
+        };
+        pack_rmat_dataset(7, seed, &out, &opts).unwrap();
+        let loaded = crate::packed::load_packed_sharded(&out, LoadMode::Auto).unwrap();
+        assert_eq!(loaded.meta.k(), 4);
+        assert_eq!(loaded.meta.strategy, ShardStrategy::Range);
+        assert_eq!(loaded.sharded.crossing_rate(), mem.crossing_rate());
+        for (s, (ls, ms)) in loaded
+            .sharded
+            .shards
+            .iter()
+            .zip(mem.shards.iter())
+            .enumerate()
+        {
+            assert_eq!(ls.owned_vertices, ms.owned_vertices, "shard {s}");
+            assert_eq!(ls.owned_edges, ms.owned_edges, "shard {s}");
+            assert_eq!(ls.boundary_edges, ms.boundary_edges, "shard {s}");
+            assert_eq!(&ls.ghosts[..], &ms.ghosts[..], "shard {s}");
+            for v in 0..expected.num_vertices() as u32 {
+                assert_eq!(ls.graph.neighbors(v), ms.graph.neighbors(v), "shard {s}");
+                assert_eq!(ls.graph.neighbor_weights(v), ms.graph.neighbor_weights(v));
+            }
+        }
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn streamed_compressed_pack_is_equal_and_smaller() {
+        let seed = 4u64;
+        let expected = generators::rmat_dataset(7, seed);
+        let out_c = tmp("rmat7_comp.lrwpak");
+        let out_p = tmp("rmat7_plaincol.lrwpak");
+        let comp = pack_rmat_dataset(
+            7,
+            seed,
+            &out_c,
+            &PackOptions {
+                chunk_records: 300,
+                compress: true,
+                ..PackOptions::default()
+            },
+        )
+        .unwrap();
+        let plain = pack_rmat_dataset(
+            7,
+            seed,
+            &out_p,
+            &PackOptions {
+                chunk_records: 300,
+                ..PackOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            comp.file_bytes < plain.file_bytes,
+            "varint file ({}) not smaller than plain ({})",
+            comp.file_bytes,
+            plain.file_bytes
+        );
+        let loaded = load_packed(&out_c, LoadMode::Auto).unwrap();
+        assert_eq!(loaded.graph, expected);
+        std::fs::remove_file(&out_c).ok();
+        std::fs::remove_file(&out_p).ok();
+    }
+
+    #[test]
+    fn streamed_sharded_compressed_relabel_combine() {
+        let seed = 8u64;
+        let out = tmp("rmat6_combo.lrwpak");
+        let opts = PackOptions {
+            relabel: true,
+            chunk_records: 200,
+            shards: 2,
+            compress: true,
+            ..PackOptions::default()
+        };
+        pack_rmat_dataset(6, seed, &out, &opts).unwrap();
+        let g = generators::rmat_dataset(6, seed);
+        let (expected, _) = by_degree_descending(&g);
+        let loaded = crate::packed::load_packed_sharded(&out, LoadMode::Heap).unwrap();
+        assert!(loaded.relabeling.is_some());
+        let mem = partition_graph(&expected, 2, ShardStrategy::Range);
+        for (ls, ms) in loaded.sharded.shards.iter().zip(mem.shards.iter()) {
+            assert_eq!(ls.boundary_edges, ms.boundary_edges);
+            assert_eq!(&ls.ghosts[..], &ms.ghosts[..]);
+            for v in 0..expected.num_vertices() as u32 {
+                assert_eq!(ls.graph.neighbors(v), ms.graph.neighbors(v));
+            }
+        }
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn pack_graph_with_fennel_partition_roundtrips() {
+        let mut g = generators::rmat_dataset(6, 5);
+        let out = tmp("conv_fennel.lrwpak");
+        pack_graph_with(&mut g, false, 3, ShardStrategy::Fennel, false, &out).unwrap();
+        let mem = partition_graph(&g, 3, ShardStrategy::Fennel);
+        let loaded = crate::packed::load_packed_sharded(&out, LoadMode::Auto).unwrap();
+        assert_eq!(loaded.meta.strategy, ShardStrategy::Fennel);
+        for (ls, ms) in loaded.sharded.shards.iter().zip(mem.shards.iter()) {
+            assert_eq!(ls.owned_edges, ms.owned_edges);
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(ls.graph.neighbors(v), ms.graph.neighbors(v));
+            }
+        }
+        std::fs::remove_file(&out).ok();
     }
 
     #[test]

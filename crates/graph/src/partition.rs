@@ -1,0 +1,533 @@
+//! Vertex partitioning for sharded walk execution (DESIGN.md §11).
+//!
+//! A [`ShardedGraph`] splits a CSR into `K` vertex-disjoint shards. Each
+//! shard is a **full-span sub-CSR**: its `row_index` still covers the
+//! whole vertex-id space, but only vertices the shard *owns* keep their
+//! adjacency rows — every other row is empty. Vertex ids therefore stay
+//! global on every shard; there is no translation table on the walk hot
+//! path, and a walker handed between shards carries plain global ids.
+//!
+//! Vertices referenced by a shard's edges but owned elsewhere are
+//! **ghosts**: the shard lists them (sorted) so an engine can tell "dead
+//! end" (empty row on the owner) from "remote" (empty row here, real row
+//! on `owner_of(v)`) without consulting the ownership map per neighbor.
+//!
+//! Two ownership strategies:
+//! - [`ShardStrategy::Range`] — contiguous vertex ranges cut so each
+//!   shard holds ≈ |E|/K edges (degree-prefix balancing). Streamable:
+//!   the packer computes cuts from the degree array alone.
+//! - [`ShardStrategy::Fennel`] — the one-pass streaming greedy of
+//!   Tsourakakis et al. (WSDM 2014): each vertex joins the shard with the
+//!   most already-placed neighbors, minus a convex size penalty. Better
+//!   edge locality on clustered graphs; needs the graph in memory.
+
+use crate::csr::{Graph, VertexId};
+use crate::store::Section;
+
+/// How vertices are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Contiguous vertex ranges, cut to balance edge counts.
+    Range,
+    /// Fennel streaming greedy (neighbor affinity minus size penalty).
+    Fennel,
+}
+
+impl ShardStrategy {
+    /// Stable lowercase name (CLI surface + packed-file metadata).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardStrategy::Range => "range",
+            ShardStrategy::Fennel => "fennel",
+        }
+    }
+
+    /// Parse a CLI strategy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "range" => Some(ShardStrategy::Range),
+            "fennel" => Some(ShardStrategy::Fennel),
+            _ => None,
+        }
+    }
+
+    /// Packed-file code (`SEC_SHARD_META` word 1).
+    pub fn code(self) -> u64 {
+        match self {
+            ShardStrategy::Range => 0,
+            ShardStrategy::Fennel => 1,
+        }
+    }
+
+    /// Inverse of [`ShardStrategy::code`].
+    pub fn from_code(c: u64) -> Option<Self> {
+        match c {
+            0 => Some(ShardStrategy::Range),
+            1 => Some(ShardStrategy::Fennel),
+            _ => None,
+        }
+    }
+}
+
+/// The vertex → shard map, in whichever form the strategy produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ownership {
+    /// `cuts.len() == k + 1`; shard `s` owns vertices `cuts[s]..cuts[s+1]`.
+    Range { cuts: Vec<VertexId> },
+    /// One owner entry per vertex.
+    Table { owner: Vec<u32> },
+}
+
+impl Ownership {
+    /// Shard owning vertex `v`.
+    #[inline]
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        match self {
+            Ownership::Range { cuts } => {
+                // partition_point: first cut > v, minus one.
+                cuts.partition_point(|&c| c <= v) - 1
+            }
+            Ownership::Table { owner } => owner[v as usize] as usize,
+        }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        match self {
+            Ownership::Range { cuts } => cuts.len() - 1,
+            Ownership::Table { owner } => owner.iter().copied().max().map_or(1, |m| m as usize + 1),
+        }
+    }
+}
+
+/// One shard: a full-span sub-CSR plus its boundary bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Full-span CSR: global ids, empty rows for non-owned vertices.
+    pub graph: Graph,
+    /// Sorted global ids referenced by this shard's edges but owned by
+    /// another shard (the ghost-vertex table). A `Section` so packed
+    /// sharded files serve it zero-copy from the mapping.
+    pub ghosts: Section<VertexId>,
+    /// Vertices this shard owns.
+    pub owned_vertices: u64,
+    /// Edges stored on this shard (rows of owned vertices).
+    pub owned_edges: u64,
+    /// Owned edges whose destination is a ghost — each is a potential
+    /// walker hand-off.
+    pub boundary_edges: u64,
+}
+
+impl Shard {
+    /// Whether `v` is a ghost on this shard (binary search over the
+    /// sorted ghost table).
+    #[inline]
+    pub fn is_ghost(&self, v: VertexId) -> bool {
+        self.ghosts.binary_search(&v).is_ok()
+    }
+
+    /// Fraction of this shard's edges that cross to another shard — the
+    /// expected per-step hand-off probability under uniform edge use.
+    pub fn crossing_rate(&self) -> f64 {
+        if self.owned_edges == 0 {
+            0.0
+        } else {
+            self.boundary_edges as f64 / self.owned_edges as f64
+        }
+    }
+}
+
+/// A graph split into `K` vertex-disjoint shards.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    pub shards: Vec<Shard>,
+    pub ownership: Ownership,
+    pub strategy: ShardStrategy,
+}
+
+impl ShardedGraph {
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard owning vertex `v`.
+    #[inline]
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        self.ownership.owner_of(v)
+    }
+
+    /// Vertices of the underlying graph (every shard spans all of them).
+    pub fn num_vertices(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.graph.num_vertices())
+    }
+
+    /// Total stored edges across shards (= the unsharded edge count).
+    pub fn num_edges(&self) -> u64 {
+        self.shards.iter().map(|s| s.owned_edges).sum()
+    }
+
+    /// Aggregate expected crossing rate: boundary edges / all edges.
+    pub fn crossing_rate(&self) -> f64 {
+        let e = self.num_edges();
+        if e == 0 {
+            0.0
+        } else {
+            self.shards.iter().map(|s| s.boundary_edges).sum::<u64>() as f64 / e as f64
+        }
+    }
+}
+
+/// Fennel size-penalty exponent γ (the paper's recommended 3/2).
+const FENNEL_GAMMA: f64 = 1.5;
+/// Fennel capacity slack ν: no shard grows past ν·n/k vertices.
+const FENNEL_SLACK: f64 = 1.1;
+
+/// Split `g` into `k` shards under `strategy`.
+///
+/// Every shard's sub-CSR keeps the prefix cache when the source graph has
+/// one (per-vertex cumulative sums are row-local, so a shard's cache
+/// entries are bit-identical to the unsharded graph's — the RNG-identity
+/// contract of DESIGN.md §5 survives sharding).
+///
+/// # Panics
+///
+/// Panics when `k == 0`.
+pub fn partition_graph(g: &Graph, k: usize, strategy: ShardStrategy) -> ShardedGraph {
+    assert!(k > 0, "partition_graph requires k >= 1");
+    let ownership = match strategy {
+        ShardStrategy::Range => Ownership::Range {
+            cuts: range_cuts(g, k),
+        },
+        ShardStrategy::Fennel => Ownership::Table {
+            owner: fennel_assign(g, k),
+        },
+    };
+    build_shards(g, k, ownership, strategy)
+}
+
+/// Degree-prefix balanced range cuts: shard `s` gets vertices until its
+/// edge count reaches `(s+1)·|E|/k` (last shard takes the remainder).
+pub fn range_cuts(g: &Graph, k: usize) -> Vec<VertexId> {
+    cuts_from_row_index(g.row_index(), k)
+}
+
+/// [`range_cuts`] over a raw `row_index` array (`n + 1` offsets) — the
+/// packer uses this form before any `Graph` exists.
+pub fn cuts_from_row_index(row_index: &[u64], k: usize) -> Vec<VertexId> {
+    let n = row_index.len() - 1;
+    let total = row_index[n];
+    let mut cuts = Vec::with_capacity(k + 1);
+    cuts.push(0);
+    for s in 1..k {
+        let target = total * s as u64 / k as u64;
+        // First vertex whose starting offset reaches the target, but never
+        // behind the previous cut (degenerate graphs keep cuts monotone).
+        let mut c = row_index.partition_point(|&off| off < target) as VertexId;
+        c = c.clamp(*cuts.last().unwrap(), n as VertexId);
+        cuts.push(c);
+    }
+    cuts.push(n as VertexId);
+    cuts
+}
+
+/// Fennel one-pass greedy assignment. Deterministic: vertices stream in id
+/// order and ties break toward the lowest shard id.
+fn fennel_assign(g: &Graph, k: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    let m = g.num_edges() as f64;
+    // α calibrated so the penalty and affinity terms trade off at the
+    // average degree: α = m · k^(γ-1) / n^γ (Fennel §3, with γ = 3/2).
+    let alpha = if n == 0 {
+        0.0
+    } else {
+        m * (k as f64).powf(FENNEL_GAMMA - 1.0) / (n as f64).powf(FENNEL_GAMMA)
+    };
+    let cap = ((FENNEL_SLACK * n as f64 / k as f64).ceil() as u64).max(1);
+    let mut owner = vec![u32::MAX; n];
+    let mut sizes = vec![0u64; k];
+    let mut affinity = vec![0u64; k];
+    let mut touched: Vec<usize> = Vec::with_capacity(k);
+    for v in 0..n as VertexId {
+        for &nbr in g.neighbors(v) {
+            let o = owner[nbr as usize];
+            if o != u32::MAX {
+                if affinity[o as usize] == 0 {
+                    touched.push(o as usize);
+                }
+                affinity[o as usize] += 1;
+            }
+        }
+        let mut best = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        for s in 0..k {
+            if sizes[s] >= cap {
+                continue;
+            }
+            let sz = sizes[s] as f64;
+            let penalty = alpha * ((sz + 1.0).powf(FENNEL_GAMMA) - sz.powf(FENNEL_GAMMA));
+            let score = affinity[s] as f64 - penalty;
+            if score > best_score {
+                best_score = score;
+                best = s;
+            }
+        }
+        // All shards at capacity can only happen from rounding slack; put
+        // the vertex on the smallest shard.
+        if best == usize::MAX {
+            best = (0..k).min_by_key(|&s| sizes[s]).unwrap();
+        }
+        owner[v as usize] = best as u32;
+        sizes[best] += 1;
+        for &s in &touched {
+            affinity[s] = 0;
+        }
+        touched.clear();
+    }
+    owner
+}
+
+/// Materialize the per-shard full-span sub-CSRs from an ownership map.
+fn build_shards(
+    g: &Graph,
+    k: usize,
+    ownership: Ownership,
+    strategy: ShardStrategy,
+) -> ShardedGraph {
+    let n = g.num_vertices();
+    let has_rel = g.has_edge_labels();
+    let mut shards = Vec::with_capacity(k);
+    for s in 0..k {
+        let mut row = Vec::with_capacity(n + 1);
+        row.push(0u64);
+        let mut col: Vec<VertexId> = Vec::new();
+        let mut wts: Vec<u32> = Vec::new();
+        let mut rel: Vec<u8> = Vec::new();
+        let mut owned_vertices = 0u64;
+        let mut boundary = 0u64;
+        let mut ghost_set: Vec<VertexId> = Vec::new();
+        for v in 0..n as VertexId {
+            if ownership.owner_of(v) == s {
+                owned_vertices += 1;
+                let view = g.neighbor_view(v);
+                col.extend_from_slice(view.targets);
+                wts.extend_from_slice(view.weights);
+                if has_rel {
+                    rel.extend_from_slice(view.relations);
+                }
+                for &dst in view.targets {
+                    if ownership.owner_of(dst) != s {
+                        boundary += 1;
+                        ghost_set.push(dst);
+                    }
+                }
+            }
+            row.push(col.len() as u64);
+        }
+        ghost_set.sort_unstable();
+        ghost_set.dedup();
+        let owned_edges = col.len() as u64;
+        let mut sg = Graph {
+            row_index: Section::from(row),
+            col_index: Section::from(col),
+            weights: Section::from(wts),
+            vertex_labels: g.vertex_labels.clone(),
+            edge_labels: Section::from(rel),
+            directed: g.is_directed(),
+            prefix: None,
+        };
+        if g.has_prefix_cache() {
+            sg.build_prefix_cache();
+        }
+        shards.push(Shard {
+            graph: sg,
+            ghosts: Section::from(ghost_set),
+            owned_vertices,
+            owned_edges,
+            boundary_edges: boundary,
+        });
+    }
+    ShardedGraph {
+        shards,
+        ownership,
+        strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_invariants(g: &Graph, sg: &ShardedGraph) {
+        let n = g.num_vertices();
+        assert_eq!(sg.num_vertices(), n);
+        assert_eq!(sg.num_edges(), g.num_edges() as u64);
+        let mut owned = vec![false; n];
+        for (s, shard) in sg.shards.iter().enumerate() {
+            assert_eq!(shard.graph.num_vertices(), n, "full-span rows");
+            let mut count = 0u64;
+            for v in 0..n as VertexId {
+                if sg.owner_of(v) == s {
+                    assert!(!owned[v as usize], "vertex {v} owned twice");
+                    owned[v as usize] = true;
+                    count += 1;
+                    // Owned rows are verbatim copies of the global rows.
+                    assert_eq!(shard.graph.neighbors(v), g.neighbors(v));
+                    assert_eq!(shard.graph.neighbor_weights(v), g.neighbor_weights(v));
+                    assert_eq!(shard.graph.static_prefix(v), g.static_prefix(v));
+                } else {
+                    assert!(shard.graph.neighbors(v).is_empty(), "ghost row not empty");
+                }
+            }
+            assert_eq!(count, shard.owned_vertices);
+            // Ghosts are exactly the remote destinations of owned edges.
+            for &gh in shard.ghosts.iter() {
+                assert_ne!(sg.owner_of(gh), s);
+            }
+            let boundary: u64 = (0..n as VertexId)
+                .filter(|&v| sg.owner_of(v) == s)
+                .flat_map(|v| g.neighbors(v).iter())
+                .filter(|&&d| sg.owner_of(d) != s)
+                .count() as u64;
+            assert_eq!(boundary, shard.boundary_edges);
+        }
+        assert!(owned.into_iter().all(|o| o), "every vertex owned");
+    }
+
+    #[test]
+    fn range_partition_covers_and_balances() {
+        let g = generators::rmat(9, 8, 7);
+        for k in [1, 2, 4, 7] {
+            let sg = partition_graph(&g, k, ShardStrategy::Range);
+            assert_eq!(sg.k(), k);
+            check_invariants(&g, &sg);
+            // Edge balance: no shard holds more than ~2× the fair share
+            // (RMAT skew caps how tight this can be).
+            let fair = g.num_edges() as u64 / k as u64 + g.max_degree() as u64;
+            for s in &sg.shards {
+                assert!(s.owned_edges <= 2 * fair, "{} > {}", s.owned_edges, fair);
+            }
+        }
+    }
+
+    #[test]
+    fn fennel_partition_covers_and_respects_capacity() {
+        let g = generators::rmat(9, 8, 13);
+        let n = g.num_vertices();
+        for k in [2, 4] {
+            let sg = partition_graph(&g, k, ShardStrategy::Fennel);
+            check_invariants(&g, &sg);
+            let cap = (FENNEL_SLACK * n as f64 / k as f64).ceil() as u64;
+            for s in &sg.shards {
+                assert!(s.owned_vertices <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn fennel_beats_or_matches_random_locality_on_clustered_graph() {
+        // Two dense clusters joined by one edge, with cluster membership
+        // interleaved across the id space (even = A, odd = B) so the
+        // one-pass stream sees both clusters growing — fennel at k=2
+        // should then find a near-perfect cut, far below the ~50% a
+        // random (or range) split gives. Range cuts by id, so it splits
+        // both clusters down the middle — the contrast this test pins.
+        let mut b = crate::GraphBuilder::undirected();
+        for i in 0..20u32 {
+            for j in (i + 1)..20 {
+                b = b.edge(2 * i, 2 * j);
+                b = b.edge(2 * i + 1, 2 * j + 1);
+            }
+        }
+        let g = b.edge(0, 1).build();
+        let range = partition_graph(&g, 2, ShardStrategy::Range);
+        assert!(
+            range.crossing_rate() > 0.4,
+            "range should cut both clusters"
+        );
+        let sg = partition_graph(&g, 2, ShardStrategy::Fennel);
+        check_invariants(&g, &sg);
+        assert!(
+            sg.crossing_rate() < 0.10,
+            "fennel crossing rate {} too high",
+            sg.crossing_rate()
+        );
+    }
+
+    #[test]
+    fn k1_is_the_whole_graph() {
+        let g = generators::rmat(7, 6, 3);
+        for strategy in [ShardStrategy::Range, ShardStrategy::Fennel] {
+            let sg = partition_graph(&g, 1, strategy);
+            assert_eq!(sg.k(), 1);
+            let s = &sg.shards[0];
+            assert_eq!(s.graph, g);
+            assert!(s.ghosts.is_empty());
+            assert_eq!(s.boundary_edges, 0);
+            assert_eq!(sg.crossing_rate(), 0.0);
+        }
+    }
+
+    #[test]
+    fn ownership_forms_agree_on_owner_of() {
+        let cuts = Ownership::Range {
+            cuts: vec![0, 3, 3, 10],
+        };
+        assert_eq!(cuts.k(), 3);
+        assert_eq!(cuts.owner_of(0), 0);
+        assert_eq!(cuts.owner_of(2), 0);
+        assert_eq!(cuts.owner_of(3), 2); // empty middle shard
+        assert_eq!(cuts.owner_of(9), 2);
+        let table = Ownership::Table {
+            owner: vec![0, 0, 0, 2, 2, 2, 2, 2, 2, 2],
+        };
+        for v in 0..10 {
+            assert_eq!(cuts.owner_of(v), table.owner_of(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn strategy_codes_round_trip() {
+        for s in [ShardStrategy::Range, ShardStrategy::Fennel] {
+            assert_eq!(ShardStrategy::from_code(s.code()), Some(s));
+            assert_eq!(ShardStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(ShardStrategy::from_code(9), None);
+        assert_eq!(ShardStrategy::parse("metis"), None);
+    }
+
+    #[test]
+    fn labeled_graphs_shard_their_lanes() {
+        let g = crate::GraphBuilder::directed()
+            .num_vertices(6)
+            .labeled_edge(0, 3, 2, 1)
+            .labeled_edge(1, 4, 3, 0)
+            .labeled_edge(3, 0, 5, 1)
+            .labeled_edge(4, 5, 7, 2)
+            .build();
+        let sg = partition_graph(&g, 2, ShardStrategy::Range);
+        check_invariants(&g, &sg);
+        for (s, shard) in sg.shards.iter().enumerate() {
+            for v in 0..6u32 {
+                if sg.owner_of(v) == s {
+                    assert_eq!(shard.graph.neighbor_relations(v), g.neighbor_relations(v));
+                }
+                assert_eq!(shard.graph.vertex_label(v), g.vertex_label(v));
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_from_row_index_matches_graph_form() {
+        let g = generators::rmat(8, 7, 21);
+        for k in [1, 2, 3, 8] {
+            assert_eq!(range_cuts(&g, k), cuts_from_row_index(g.row_index(), k));
+            let cuts = range_cuts(&g, k);
+            assert_eq!(cuts.len(), k + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().unwrap(), g.num_vertices() as VertexId);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -50,6 +50,15 @@ impl Mcg64 {
         self.state
     }
 
+    /// Install a raw state captured from a live generator via
+    /// [`Mcg64::state`] — the restore half of shard hand-off
+    /// serialization. The state is forced odd, preserving the MCG unit
+    /// invariant even against a corrupted capture.
+    #[inline]
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state | 1;
+    }
+
     /// Jump the generator forward by `n` steps in O(log n) time.
     ///
     /// Used to leapfrog independent banks without generating intermediate

@@ -48,6 +48,16 @@ impl SplitMix64 {
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+
+    /// The raw Weyl-sequence state. Together with [`SplitMix64::new`]
+    /// (which installs a state verbatim) this makes the generator
+    /// serializable: a walker handed off between shards carries
+    /// `state()` and the receiver resumes the exact stream
+    /// (DESIGN.md §11).
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 impl Rng for SplitMix64 {

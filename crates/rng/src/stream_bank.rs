@@ -64,6 +64,26 @@ impl StreamBank {
         self.rows += 1;
     }
 
+    /// Capture the bank's stream position as `(shared_state, rows)`.
+    ///
+    /// The decorrelator lanes are pure functions of the construction seed
+    /// and lane index, so this pair (plus the seed) fully determines the
+    /// bank: hand-off serialization (DESIGN.md §11) carries it across
+    /// shards and restores with [`StreamBank::restore_stream`].
+    #[inline]
+    pub fn stream_state(&self) -> (u64, u64) {
+        (self.shared.state(), self.rows)
+    }
+
+    /// Resume the stream captured by [`StreamBank::stream_state`] on a
+    /// bank built with [`StreamBank::new`] from the *same* seed (the
+    /// lanes are seed-derived and are not part of the capture).
+    #[inline]
+    pub fn restore_stream(&mut self, state: u64, rows: u64) {
+        self.shared.set_state(state);
+        self.rows = rows;
+    }
+
     /// Draw a single value from one lane, advancing the shared state.
     ///
     /// Convenience for scalar consumers (e.g. the sequential WRS reference

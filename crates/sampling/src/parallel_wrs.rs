@@ -122,6 +122,20 @@ impl ParallelWrs {
         self.bank.rows_generated()
     }
 
+    /// Capture the bank's stream position for hand-off serialization
+    /// (see [`StreamBank::stream_state`]).
+    #[inline]
+    pub fn stream_state(&self) -> (u64, u64) {
+        self.bank.stream_state()
+    }
+
+    /// Resume a captured stream position on a sampler built from the same
+    /// seed and `k` (see [`StreamBank::restore_stream`]).
+    #[inline]
+    pub fn restore_stream(&mut self, state: u64, rows: u64) {
+        self.bank.restore_stream(state, rows);
+    }
+
     /// Draw one 32-bit uniform from lane 0 of the bank — the walk-program
     /// *restart draw* entry point (DESIGN.md §8). Costs one shared-state
     /// advance (one row, like any hardware cycle), so programs that never

@@ -25,7 +25,11 @@
 //!   [`hotpath::HotStepper`] picks a sampling strategy from
 //!   [`app::WalkApp::weight_profile`] (degree-indexed uniform, prefix
 //!   cache, or generic streaming) under the RNG-identity contract of
-//!   DESIGN.md §5, with zero per-step heap allocation.
+//!   DESIGN.md §5, with zero per-step heap allocation. Its sampler
+//!   stream export/import and prev-row override are what let the
+//!   sharded engine (DESIGN.md §11) hand a mid-walk walker — RNG
+//!   position and second-order context included — to another shard's
+//!   lane without changing the sampled walk.
 //! - [`engine`] is the streaming execution seam every backend plugs into:
 //!   [`engine::WalkEngine`] starts [`engine::WalkSession`]s that run in
 //!   bounded batches and emit each finished path exactly once into a
@@ -87,7 +91,7 @@ pub use membership::NeighborBitset;
 pub use path::WalkResults;
 pub use program::{Control, DeadEndPolicy, StepOutcome, WalkProgram, WalkState};
 pub use query::{Query, QuerySet};
-pub use reference::{AnySampler, ReferenceEngine, SamplerKind};
+pub use reference::{AnySampler, ReferenceEngine, SamplerKind, SamplerStream};
 pub use service::{
     JobId, JobSpec, JobStatus, ServiceConfig, ServiceStats, TenantId, TenantStats, WalkService,
 };

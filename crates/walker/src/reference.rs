@@ -72,6 +72,26 @@ enum SamplerState {
     Parallel(ParallelWrs),
 }
 
+/// A serialized sampler stream position — the RNG half of a shard
+/// hand-off record (DESIGN.md §11).
+///
+/// `seed` names the stream (decorrelator lanes and table scratch are
+/// pure functions of it); `state`/`rows` pin the position inside it.
+/// Table kinds carry the raw SplitMix64 Weyl state in `state` (`rows`
+/// unused); bank kinds carry the shared MCG state plus the row counter.
+/// [`AnySampler::import_stream`] restores the exact stream on any
+/// sampler of the same [`SamplerKind`], reseeding first if the receiving
+/// sampler was built from a different seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerStream {
+    /// The construction seed of the stream.
+    pub seed: u64,
+    /// Raw generator state (SplitMix64 Weyl counter or shared MCG state).
+    pub state: u64,
+    /// Rows generated (bank kinds only; 0 for table kinds).
+    pub rows: u64,
+}
+
 /// A ready-to-use weighted sampler of any [`SamplerKind`]: builds per-step
 /// tables for the table-based kinds (into reusable scratch, so the
 /// steady-state walk loop allocates nothing), streams for the reservoir
@@ -85,6 +105,8 @@ enum SamplerState {
 /// changing a single sampled walk.
 pub struct AnySampler {
     state: SamplerState,
+    kind: SamplerKind,
+    seed: u64,
     /// Inverse-transform cumulative scratch, reused across steps.
     cum: Vec<u64>,
     /// Vose alias build scratch, reused across steps.
@@ -94,18 +116,59 @@ pub struct AnySampler {
 impl AnySampler {
     /// Instantiate a sampler of the given kind.
     pub fn new(kind: SamplerKind, seed: u64) -> Self {
-        let state = match kind {
+        Self {
+            state: Self::build_state(kind, seed),
+            kind,
+            seed,
+            cum: Vec::new(),
+            alias: AliasScratch::new(),
+        }
+    }
+
+    fn build_state(kind: SamplerKind, seed: u64) -> SamplerState {
+        match kind {
             SamplerKind::InverseTransform
             | SamplerKind::Alias
             | SamplerKind::Rejection
             | SamplerKind::AExpJ => SamplerState::Table(SplitMix64::new(seed), kind),
             SamplerKind::SequentialWrs => SamplerState::Sequential(StreamBank::new(seed, 1)),
             SamplerKind::ParallelWrs { k } => SamplerState::Parallel(ParallelWrs::new(seed, k)),
+        }
+    }
+
+    /// Capture this sampler's stream position for hand-off serialization
+    /// (DESIGN.md §11). The capture is a plain-data triple; restoring it
+    /// with [`AnySampler::import_stream`] on any sampler of the same kind
+    /// resumes the stream exactly.
+    pub fn export_stream(&self) -> SamplerStream {
+        let (state, rows) = match &self.state {
+            SamplerState::Table(rng, _) => (rng.state(), 0),
+            SamplerState::Sequential(bank) => bank.stream_state(),
+            SamplerState::Parallel(wrs) => wrs.stream_state(),
         };
-        Self {
+        SamplerStream {
+            seed: self.seed,
             state,
-            cum: Vec::new(),
-            alias: AliasScratch::new(),
+            rows,
+        }
+    }
+
+    /// Resume a stream captured by [`AnySampler::export_stream`]. If the
+    /// capture came from a different construction seed, the sampler is
+    /// reseeded first (bank kinds rebuild their seed-derived decorrelator
+    /// lanes), then the raw position is installed — so a walker's stream
+    /// continues bit-exactly on whichever shard's sampler it lands on.
+    pub fn import_stream(&mut self, stream: &SamplerStream) {
+        if stream.seed != self.seed {
+            // Rebuild the generator state only; table/alias scratch is
+            // seed-independent and keeps its capacity.
+            self.state = Self::build_state(self.kind, stream.seed);
+            self.seed = stream.seed;
+        }
+        match &mut self.state {
+            SamplerState::Table(rng, _) => *rng = SplitMix64::new(stream.state),
+            SamplerState::Sequential(bank) => bank.restore_stream(stream.state, stream.rows),
+            SamplerState::Parallel(wrs) => wrs.restore_stream(stream.state, stream.rows),
         }
     }
 
@@ -134,7 +197,9 @@ impl AnySampler {
     /// Draw-for-draw identical to [`AnySampler::select_index`] on the same
     /// weights.
     pub fn select_weighted_with(&mut self, len: usize, w: impl Fn(usize) -> u32) -> Option<usize> {
-        let Self { state, cum, alias } = self;
+        let Self {
+            state, cum, alias, ..
+        } = self;
         match state {
             SamplerState::Table(rng, SamplerKind::InverseTransform | SamplerKind::Rejection) => {
                 cum.clear();

@@ -387,6 +387,69 @@ fn ppr_conforms_to_the_stationary_distribution_on_every_engine() {
 }
 
 #[test]
+fn sharded_execution_conforms_for_two_and_four_shards() {
+    // Walker hand-off (DESIGN.md §11) must not perturb the transition
+    // law: on these tiny fixed graphs a range partition puts vertex 0
+    // and most of its targets in *different* shards, so nearly every
+    // step migrates a walker — serialized RNG stream, prev-row payload
+    // and all — yet the empirical law must still match the closed
+    // forms derived above.
+    use lightrw::graph::ShardStrategy;
+
+    // Static-weighted fan, 2 : 3 : 5 : 10 (see the unsharded test).
+    let g = weighted_fan();
+    let probs = [0.0, 2.0, 3.0, 5.0, 10.0];
+    for k in [2usize, 4] {
+        let engine = ShardedEngine::partition(
+            &g,
+            k,
+            ShardStrategy::Range,
+            &StaticWeighted,
+            SamplerKind::InverseTransform,
+            400 + k as u64,
+        );
+        let counts = one_step_counts(&engine);
+        assert_fits(
+            &format!("sharded-k{k}/inverse-transform"),
+            "static-weighted",
+            &counts,
+            &probs,
+        );
+    }
+
+    // Node2Vec (p = 2, q = 0.5) kite joint law (derivation in
+    // `node2vec_sampler_conforms_on_every_engine`): second-order
+    // hand-offs must carry the previous row across shards correctly.
+    let g = GraphBuilder::undirected()
+        .edges([(0, 1), (0, 2), (1, 2), (1, 3)])
+        .build();
+    let nv = Node2Vec::paper_params();
+    let pairs = [(1u32, 0u32), (1, 2), (1, 3), (2, 0), (2, 1)];
+    let probs = [1.0 / 14.0, 1.0 / 7.0, 2.0 / 7.0, 1.0 / 6.0, 1.0 / 3.0];
+    for (k, strategy, kind) in [
+        (2usize, ShardStrategy::Range, SamplerKind::InverseTransform),
+        (2, ShardStrategy::Fennel, SamplerKind::Rejection),
+        (4, ShardStrategy::Range, SamplerKind::AExpJ),
+    ] {
+        let label = format!("sharded-k{k}-{}/{}", strategy.name(), kind.name());
+        let engine = ShardedEngine::partition(&g, k, strategy, &nv, kind, 500 + k as u64);
+        let qs = QuerySet::from_starts(vec![0; N_WALKS], 2);
+        let results = engine.run_collected(&qs);
+        let mut counts = vec![0u64; pairs.len()];
+        for p in results.iter() {
+            assert_eq!(p.len(), 3, "{label}: two-step walk on the kite");
+            let pair = (p[1], p[2]);
+            let slot = pairs
+                .iter()
+                .position(|&x| x == pair)
+                .unwrap_or_else(|| panic!("{label}: impossible transition {pair:?}"));
+            counts[slot] += 1;
+        }
+        assert_fits(&label, "node2vec-sharded", &counts, &probs);
+    }
+}
+
+#[test]
 fn conformance_holds_through_batched_service_scheduling() {
     // The serving layer must not perturb distributions either: the same
     // static-weighted fan, sampled through a WalkService with a tiny

@@ -323,6 +323,82 @@ proptest! {
     }
 
     #[test]
+    fn sharded_sessions_emit_exactly_once_under_random_schedules(
+        shards in 1usize..7,
+        flush in 1usize..24,
+        length in 1u32..10,
+        n_queries in 1usize..40,
+        budgets in vec(1u64..17, 1..30),
+        cancel_raw in 0usize..40,
+        sampler_pick in 0usize..3,
+        start_seed in 0u64..400,
+    ) {
+        // The partitioned execution path (DESIGN.md §11) under the same
+        // adversarial schedules as the CPU lanes above: a random shard
+        // count, a random hand-off flush budget, a random advance-budget
+        // sequence and an optional mid-flight cancel must preserve
+        // exactly-once id-ordered emission — here the `InOrderEmitter`
+        // watermark sits over walkers that *migrate between shards*
+        // mid-walk, so a dropped or duplicated hand-off record would
+        // surface as a missing or repeated id. Node2Vec keeps the
+        // second-order prev-row payload in play on every crossing.
+        let cancel_at = (cancel_raw < 20).then_some(cancel_raw);
+        let sampler = match sampler_pick {
+            0 => SamplerKind::InverseTransform,
+            1 => SamplerKind::Alias,
+            _ => SamplerKind::Rejection,
+        };
+        let mut g = lightrw::graph::generators::rmat_dataset(6, 17);
+        g.build_prefix_cache();
+        let app = Node2Vec::paper_params();
+        let engine = ShardedEngine::partition(
+            &g,
+            shards,
+            lightrw::graph::ShardStrategy::Range,
+            &app,
+            sampler,
+            31,
+        )
+        .with_flush_budget(flush);
+        let noniso = g.non_isolated_vertices();
+        let starts: Vec<u32> = (0..n_queries)
+            .map(|i| noniso[(start_seed as usize + i * 3) % noniso.len()])
+            .collect();
+        let qs = QuerySet::from_starts(starts.clone(), length);
+
+        let mut emitted: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut sink = |id: u32, path: &[u32]| emitted.push((id, path.to_vec()));
+        let mut session = engine.start_session(&qs);
+        let mut i = 0usize;
+        while !session.finished() {
+            if cancel_at == Some(i) {
+                session.cancel(&mut sink);
+                break;
+            }
+            session.advance(budgets[i % budgets.len()], &mut sink);
+            i += 1;
+            prop_assert!(i < 50_000, "sharded session failed to drain");
+        }
+        // Exactly-once, id-ordered — whether the session completed or a
+        // cancel flushed the in-flight walkers as prefixes.
+        let ids: Vec<u32> = emitted.iter().map(|(id, _)| *id).collect();
+        let expect: Vec<u32> = (0..qs.len() as u32).collect();
+        prop_assert_eq!(&ids, &expect);
+        prop_assert_eq!(session.paths_completed(), qs.len());
+        for ((_, path), start) in emitted.iter().zip(&starts) {
+            prop_assert!(!path.is_empty());
+            prop_assert_eq!(path[0], *start);
+            prop_assert!(path.len() as u64 <= length as u64 + 1);
+            prop_assert!(validate_path(&g, &app, path).is_ok());
+        }
+        // A second cancel after the drain emits nothing further.
+        let before = emitted.len();
+        let mut sink = |id: u32, path: &[u32]| emitted.push((id, path.to_vec()));
+        session.cancel(&mut sink);
+        prop_assert_eq!(emitted.len(), before);
+    }
+
+    #[test]
     fn random_batch_schedules_never_change_session_output(
         budgets in vec(1u64..23, 1..40),
         threads in 1usize..5,
