@@ -49,11 +49,17 @@
 //! the packed file, which must stay well below 1 at large scales.
 //!
 //! The same file also carries the `shard_scale` scenario (DESIGN.md
-//! §11): the partitioned engine per K ∈ {1, 2, 4} — steps/s, measured
-//! vs expected crossing rate, hand-off counts and the modelled transfer
-//! cost — next to an unsharded reference row (K = 1 must sit within
-//! noise of it), plus a `compression` section recording the packed-file
-//! shrink of the varint neighbor-list encoding.
+//! §11–§12): the partitioned engine on rmat-12 under Node2Vec, one row
+//! per (K, strategy, threads) — sequential interleaves for K ∈
+//! {1, 2, 4}, pinned parallel executors (`threads = K`) for the range
+//! and walk-aware partitions — recording wall `steps_per_sec` *and*
+//! `model_steps_per_sec` (modelled transfer + straggler-executor
+//! compute, the number that stays meaningful when CI has fewer cores
+//! than executors), measured vs expected crossing rate, hand-off counts
+//! and modelled transfer cost, next to an unsharded reference row. Every
+//! parallel run is asserted bit-identical to its sequential interleave
+//! in-bench. A `compression` section records the packed-file shrink of
+//! the varint neighbor-list encoding.
 //!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
@@ -63,8 +69,9 @@
 //! ```
 //!
 //! Positional arguments select scenarios (`hotpath`, `service`,
-//! `program_mix`, `graph_scale`); none selects the default `hotpath` +
-//! `service` pair, and each scenario writes only its own JSON file.
+//! `program_mix`, `graph_scale`, `shard_scale`); none selects the
+//! default `hotpath` + `service` pair, and each scenario writes only its
+//! own JSON file.
 //!
 //! `--baseline PATH` embeds the `throughput` rows of a previous report (a
 //! file this binary wrote) under `"baseline"`, giving one file with
@@ -872,6 +879,11 @@ fn measure_graph_scale(opts: &ReportOpts, rows: &mut Vec<ScaleRow>) {
 struct ShardRow {
     dataset: String,
     shards: usize,
+    /// Partition strategy name ("none" for the unsharded reference).
+    strategy: &'static str,
+    /// Executor threads the engine resolved to (1 = the sequential
+    /// interleave, k = one pinned executor per shard).
+    threads: usize,
     steps: u64,
     secs: f64,
     /// Boundary edges / all edges: the expected per-step hand-off
@@ -881,6 +893,12 @@ struct ShardRow {
     flushes: u64,
     transfer_bytes: u64,
     transfer_s: f64,
+    /// The compute half of the session's model clock (`model_seconds =
+    /// transfer_s + compute_s`): measured wall seconds inside `advance`
+    /// for the sequential interleave, the straggler executor's busy time
+    /// for parallel rows — so the rate it implies survives CI hosts with
+    /// fewer cores than executors, where `secs` serializes the overlap.
+    compute_s: f64,
 }
 
 impl ShardRow {
@@ -901,14 +919,30 @@ impl ShardRow {
         }
     }
 
+    /// Steps per second of *model* time (transfer + compute clock) — the
+    /// number that compares sequential and parallel rows fairly on any
+    /// host. 0.0 for the unsharded reference row, which has no model.
+    fn model_steps_per_sec(&self) -> f64 {
+        let model_s = self.transfer_s + self.compute_s;
+        if model_s > 0.0 {
+            self.steps as f64 / model_s
+        } else {
+            0.0
+        }
+    }
+
     fn to_json(&self) -> String {
         format!(
-            "{{\"dataset\": \"{}\", \"shards\": {}, \"steps\": {}, \"secs\": {:.6}, \
+            "{{\"dataset\": \"{}\", \"shards\": {}, \"strategy\": \"{}\", \
+             \"threads\": {}, \"steps\": {}, \"secs\": {:.6}, \
              \"steps_per_sec\": {:.1}, \"crossing_expected\": {:.6}, \
              \"crossing_measured\": {:.6}, \"hand_offs\": {}, \"flushes\": {}, \
-             \"transfer_bytes\": {}, \"transfer_s\": {:.9}}}",
+             \"transfer_bytes\": {}, \"transfer_s\": {:.9}, \"compute_s\": {:.9}, \
+             \"model_steps_per_sec\": {:.1}}}",
             self.dataset,
             self.shards,
+            self.strategy,
+            self.threads,
             self.steps,
             self.secs,
             self.steps_per_sec(),
@@ -918,6 +952,8 @@ impl ShardRow {
             self.flushes,
             self.transfer_bytes,
             self.transfer_s,
+            self.compute_s,
+            self.model_steps_per_sec(),
         )
     }
 }
@@ -958,12 +994,34 @@ fn diag_field(diag: &str, key: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// The `shard_scale` scenario: the partitioned engine (DESIGN.md §11)
-/// per shard count K ∈ {1, 2, 4} on one RMAT dataset, against an
-/// unsharded reference row. K = 1 runs the bit-identical sequential
-/// fast path and must sit within noise of the reference; K ≥ 2 records
-/// the hand-off rate and the modelled transfer cost of the crossings.
+/// `key=F` float field of a sharded session's diagnostics line. The
+/// session's `model_seconds` folds compute into the total since the
+/// straggler-accounting fix, so the transfer share is only available
+/// through the diagnostics breakdown.
+fn diag_field_f64(diag: &str, key: &str) -> f64 {
+    diag.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// The `shard_scale` scenario: the partitioned engine (DESIGN.md §11–§12)
+/// on one RMAT dataset against an unsharded reference row, sweeping shard
+/// count, executor thread count and partition strategy:
+///
+/// - K ∈ {1, 2, 4} sequential (threads = 1): K = 1 is the bit-identical
+///   fast path and must sit within noise of the reference; K ≥ 2 records
+///   the hand-off rate and the modelled transfer cost of the crossings.
+/// - K ∈ {2, 4} with one pinned executor per shard: the parallel rows,
+///   asserted in-bench to sample the exact walks of the sequential
+///   schedule before they are timed.
+/// - The walk-aware partition strategy at the same K, whose *measured*
+///   crossing rate is the number the partitioner optimizes.
+///
 /// A compression row (plain vs varint-packed file bytes) rides along.
+/// The dataset floor is rmat-12 so the acceptance comparison (parallel
+/// vs sequential K = 2) always runs on a graph with enough work to
+/// overlap, even under `--quick`.
 fn measure_shard_scale(
     opts: &ReportOpts,
     rows: &mut Vec<ShardRow>,
@@ -972,22 +1030,29 @@ fn measure_shard_scale(
     use lightrw::graph::{pack, partition_graph, ShardStrategy};
     use lightrw::sharded::ShardedEngine;
 
-    let name = format!("rmat-{}", opts.scale);
-    let mut g = rmat_dataset(opts.scale, opts.seed);
+    let scale = opts.scale.max(12);
+    let name = format!("rmat-{scale}");
+    let mut g = rmat_dataset(scale, opts.seed);
     g.build_prefix_cache();
-    let queries = if opts.quick { 20_000 } else { 100_000 }.min(g.num_vertices());
+    // The paper's flagship second-order app: hand-offs carry prev-row
+    // payloads and each step does real sampling work, which is the
+    // regime where overlapping crossings with compute pays.
+    let app = Node2Vec::paper_params();
+    let queries = if opts.quick { 20_000 } else { 100_000 };
     let qs = QuerySet::n_queries(&g, queries, 20, opts.seed);
 
     // The unsharded noise baseline: the same sequential loop K = 1
     // replays, on the same graph and seed.
     {
-        let engine = ReferenceEngine::new(&g, &Uniform, SamplerKind::InverseTransform, opts.seed);
+        let engine = ReferenceEngine::new(&g, &app, SamplerKind::InverseTransform, opts.seed);
         let mut sink = CountingSink::default();
         let t = Instant::now();
         let (steps, _) = (&engine as &dyn WalkEngine).stream_into(&qs, u64::MAX, &mut sink);
         rows.push(ShardRow {
             dataset: name.clone(),
             shards: 0,
+            strategy: "none",
+            threads: 1,
             steps,
             secs: t.elapsed().as_secs_f64(),
             crossing_expected: 0.0,
@@ -995,17 +1060,45 @@ fn measure_shard_scale(
             flushes: 0,
             transfer_bytes: 0,
             transfer_s: 0.0,
+            compute_s: 0.0,
         });
     }
 
-    for k in [1usize, 2, 4] {
+    let configs: [(usize, usize, ShardStrategy); 7] = [
+        (1, 1, ShardStrategy::Range),
+        (2, 1, ShardStrategy::Range),
+        (4, 1, ShardStrategy::Range),
+        (2, 2, ShardStrategy::Range),
+        (4, 4, ShardStrategy::Range),
+        (2, 2, ShardStrategy::Walk),
+        (4, 4, ShardStrategy::Walk),
+    ];
+    for (k, threads, strategy) in configs {
         let engine = ShardedEngine::new(
-            partition_graph(&g, k, ShardStrategy::Range),
-            &Uniform,
+            partition_graph(&g, k, strategy),
+            &app,
             SamplerKind::InverseTransform,
             opts.seed,
-        );
+        )
+        .with_shard_threads(threads);
         let crossing_expected = engine.sharded().crossing_rate();
+        if threads > 1 {
+            // Schedule-independence gate: the parallel executors must
+            // sample the sequential interleave's walks exactly before
+            // their timing row means anything.
+            let sequential = ShardedEngine::new(
+                partition_graph(&g, k, strategy),
+                &app,
+                SamplerKind::InverseTransform,
+                opts.seed,
+            );
+            assert_eq!(
+                engine.run_collected(&qs),
+                sequential.run_collected(&qs),
+                "parallel schedule changed walks (k={k} threads={threads} {})",
+                strategy.name()
+            );
+        }
         let mut sink = CountingSink::default();
         let t = Instant::now();
         let mut session = engine.start_session(&qs);
@@ -1017,18 +1110,23 @@ fn measure_shard_scale(
         let row = ShardRow {
             dataset: name.clone(),
             shards: k,
+            strategy: strategy.name(),
+            threads,
             steps: session.steps_done(),
             secs,
             crossing_expected,
             hand_offs: diag_field(&diag, "hand-offs="),
             flushes: diag_field(&diag, "flushes="),
             transfer_bytes: diag_field(&diag, "transfer-bytes="),
-            transfer_s: session.model_seconds().unwrap_or(0.0),
+            transfer_s: diag_field_f64(&diag, "transfer-s="),
+            compute_s: diag_field_f64(&diag, "compute-s="),
         };
         eprintln!(
-            "shard_scale {name} k={k}: {} crossing {:.4} (expected {:.4}) \
-             transfer {:.3} ms",
+            "shard_scale {name} k={k} threads={threads} {}: {} wall, {} model, \
+             crossing {:.4} (expected {:.4}) transfer {:.3} ms",
+            strategy.name(),
             lightrw_bench::fmt_rate(row.steps_per_sec()),
+            lightrw_bench::fmt_rate(row.model_steps_per_sec()),
             row.crossing_measured(),
             row.crossing_expected,
             row.transfer_s * 1e3,

@@ -64,6 +64,7 @@ const BOOL_FLAGS: &[&str] = &[
     "no-prefix",
     "in-memory",
     "compress",
+    "repartition",
 ];
 
 impl Args {
@@ -143,8 +144,10 @@ pub fn usage() -> &'static str {
      \x20        [--dataset NAME] [--seed N] -o FILE\n\
      convert  --input EDGELIST [--directed|--undirected] -o FILE\n\
      graph    pack (rmat:SCALE[:SEED] | GRAPH.bin) -o FILE.lrwpak\n\
-     \x20        [--relabel] [--no-prefix] [--chunk-records N]\n\
-     \x20        rmat inputs stream in bounded memory (external sort)\n\
+     \x20        [--relabel] [--no-prefix] [--chunk-records N] [--compress]\n\
+     \x20        [--shards K] [--strategy range|fennel|walk]\n\
+     \x20        rmat inputs stream in bounded memory (external sort);\n\
+     \x20        fennel/walk strategies materialize the graph instead\n\
      graph    stats FILE.lrwpak  — header, sections, degree histogram\n\
      \x20        (reads via mmap; never materializes the CSR on heap)\n\
      info     GRAPH.bin\n\
@@ -156,11 +159,17 @@ pub fn usage() -> &'static str {
      \x20        NAME: inverse-transform|alias|sequential-wrs|pwrs|rejection\n\
      \x20              |a-expj\n\
      \x20        --threads is cpu-only (0 = one worker lane per core)\n\
+     \x20        [--shards K] [--strategy NAME] [--flush-budget N]\n\
+     \x20        [--shard-threads N] [--repartition]\n\
+     \x20        --shards K walks on the sharded engine; --shard-threads\n\
+     \x20        pins parallel per-shard executors (0 = one per shard);\n\
+     \x20        --repartition overrides a mismatched packed partition\n\
      serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N)\n\
      \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
      \x20        [--app NAME] [--engine sim|cpu|reference] [--workers N]\n\
-     \x20        [--threads N] [--sampler NAME]\n\
-     \x20        [--quantum N] [--tenant-budget N] [--seed N]\n\
+     \x20        [--threads N] [--sampler NAME] [--shards K]\n\
+     \x20        [--shard-threads N] [--quantum N] [--tenant-budget N]\n\
+     \x20        [--seed N]\n\
      \n\
      walk, serve and info auto-detect packed (.lrwpak) graphs and load\n\
      them via mmap (use --in-memory to copy to heap, or a packed: prefix\n\
@@ -291,8 +300,9 @@ fn cmd_graph(args: &Args) -> Result<String, String> {
 fn parse_strategy(args: &Args) -> Result<lightrw_graph::ShardStrategy, String> {
     match args.get("strategy") {
         None => Ok(lightrw_graph::ShardStrategy::Range),
-        Some(name) => lightrw_graph::ShardStrategy::parse(name)
-            .ok_or_else(|| format!("unknown --strategy {name:?} (expected range or fennel)")),
+        Some(name) => lightrw_graph::ShardStrategy::parse(name).ok_or_else(|| {
+            format!("unknown --strategy {name:?} (expected range, fennel, or walk)")
+        }),
     }
 }
 
@@ -331,11 +341,22 @@ fn cmd_graph_pack(args: &Args) -> Result<String, String> {
             return Err(format!("bad rmat spec {input:?} (want rmat:SCALE[:SEED])"));
         }
         if shards > 0 && strategy != lightrw_graph::ShardStrategy::Range {
-            return Err(
-                "the streaming rmat pack only supports --strategy range (fennel needs \
-                 the whole graph in memory; pack a .bin input instead)"
-                    .into(),
-            );
+            // Fennel/walk placement needs the whole adjacency in memory,
+            // so the streaming pipeline can't serve it; materialize the
+            // same synthetic dataset and pack it whole instead.
+            let mut g = lightrw_graph::generators::rmat_dataset(scale, seed);
+            let bytes =
+                pack::pack_graph_with(&mut g, relabel, shards, strategy, compress, Path::new(out))
+                    .map_err(|e| e.to_string())?;
+            return Ok(format!(
+                "packed rmat-{scale} (seed {seed}, materialized for --strategy {}) -> {out}: \
+                 {} vertices, {} edges, {bytes} bytes, relabel={relabel}, shards={shards}, \
+                 compress={compress}, {:.3} s",
+                strategy.name(),
+                g.num_vertices(),
+                g.num_edges(),
+                t.elapsed().as_secs_f64(),
+            ));
         }
         let opts = pack::PackOptions {
             relabel,
@@ -433,6 +454,17 @@ fn cmd_graph_stats(args: &Args) -> Result<String, String> {
             meta.strategy.name(),
             meta.crossing_rate(),
         );
+        // The raw crossing rate above counts boundary edges uniformly; a
+        // walker doesn't visit edges uniformly. Weight the boundary by the
+        // estimated stationary visit distribution to predict what fraction
+        // of *walk steps* will hand off (lightrw_graph::partition).
+        if let Ok(sp) = packed::load_packed_sharded(path, LoadMode::Auto) {
+            out += &format!(
+                "                  expected walk crossing rate {:.4} \
+                 (stationary-weighted boundary)\n",
+                lightrw_graph::expected_walk_crossing(g, &sp.sharded.ownership),
+            );
+        }
         out += "  shard     vertices        edges     boundary\n";
         for (s, c) in meta.shards.iter().enumerate() {
             out += &format!(
@@ -567,6 +599,12 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
             .max(1) as usize,
         )?;
     }
+    if let Some(t) = args.get("shard-threads") {
+        let t: usize = t
+            .parse()
+            .map_err(|_| "--shard-threads must be an integer (0 = one thread per shard)")?;
+        backend = backend.with_shard_threads(t)?;
+    }
     if let Some(name) = args.get("sampler") {
         backend = backend.with_sampler(Backend::parse_sampler(name)?);
     }
@@ -575,13 +613,14 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     // partition runs straight off the file's shard sections (mmap-cheap:
     // shard rows are served zero-copy) instead of re-partitioning the
     // loaded graph in memory.
-    let mut shard_source = "";
+    let mut shard_source = String::new();
     let engine: Box<dyn WalkEngine + '_> = match backend {
         Backend::Sharded {
             shards,
             strategy,
             sampler,
             flush_budget,
+            shard_threads,
         } => {
             let spec = args.positional.first().unwrap();
             let path = spec.strip_prefix("packed:").unwrap_or(spec);
@@ -590,19 +629,60 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
             } else {
                 LoadMode::Auto
             };
+            // Only flags the user actually pinned can conflict with the
+            // file's persisted partition; defaults adopt whatever the
+            // file carries.
+            let shards_pinned = args.get("shards").is_some();
             let strategy_pinned = args.get("strategy").is_some();
             match packed::load_packed_sharded(path, mode) {
                 Ok(p)
-                    if p.sharded.k() == shards
+                    if (!shards_pinned || p.sharded.k() == shards)
                         && (!strategy_pinned || p.sharded.strategy == strategy) =>
                 {
-                    shard_source = ", shard partition from file";
+                    shard_source = ", shard partition from file".into();
                     Box::new(
                         crate::sharded::ShardedEngine::new(p.sharded, app.as_ref(), sampler, seed)
-                            .with_flush_budget(flush_budget),
+                            .with_flush_budget(flush_budget)
+                            .with_shard_threads(shard_threads),
                     )
                 }
-                _ => backend.build(&g, app.as_ref(), seed),
+                Ok(p) => {
+                    // The file's persisted partition contradicts the
+                    // request. Rebuilding in memory silently would walk a
+                    // partition the user never asked to pay for, so this
+                    // is opt-in via --repartition.
+                    let file_k = p.sharded.k();
+                    let file_strategy = p.sharded.strategy.name();
+                    if !args.flag("repartition") {
+                        return Err(format!(
+                            "{path} was packed with a shard partition of k={file_k} \
+                             strategy={file_strategy}, but this run asked for k={shards} \
+                             strategy={}; re-run with `--shards {file_k} --strategy \
+                             {file_strategy}` to use the file's partition, or pass \
+                             --repartition to rebuild the requested one in memory",
+                            strategy.name(),
+                        ));
+                    }
+                    // The engine's partition note already narrates the
+                    // rebuild in diagnostics; no summary suffix needed.
+                    Box::new(
+                        crate::sharded::ShardedEngine::partition(
+                            &g,
+                            shards,
+                            strategy,
+                            app.as_ref(),
+                            sampler,
+                            seed,
+                        )
+                        .with_flush_budget(flush_budget)
+                        .with_shard_threads(shard_threads)
+                        .with_partition_note(format!(
+                            "repartitioned in memory (file partition was k={file_k} \
+                             strategy={file_strategy})"
+                        )),
+                    )
+                }
+                Err(_) => backend.build(&g, app.as_ref(), seed),
             }
         }
         _ => backend.build(&g, app.as_ref(), seed),
@@ -653,7 +733,7 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     if let Some(diag) = session.diagnostics() {
         summary += &format!(", {diag}");
     }
-    summary += shard_source;
+    summary += &shard_source;
     if loaded.mapped {
         summary += ", graph mmap-backed";
     }
@@ -771,6 +851,20 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             )?
             .max(1) as usize,
         )?;
+    }
+    // Executor-thread sizing for sharded backends follows the same
+    // precedence: an explicit --shard-threads wins, else the trace's
+    // `shard_threads` field.
+    let shard_threads = match args.get("shard-threads") {
+        Some(t) => Some(t.parse::<usize>().map_err(|_| {
+            "--shard-threads must be an integer (0 = one thread per shard)".to_string()
+        })?),
+        None => trace
+            .shard_threads
+            .filter(|_| matches!(backend, Backend::Sharded { .. })),
+    };
+    if let Some(t) = shard_threads {
+        backend = backend.with_shard_threads(t)?;
     }
     if let Some(name) = args.get("sampler") {
         backend = backend.with_sampler(Backend::parse_sampler(name)?);
@@ -1313,6 +1407,136 @@ mod tests {
         }
         let corpus = corpus_io::read_text(std::fs::File::open(&wpath).unwrap()).unwrap();
         assert_eq!(corpus.len(), 32);
+    }
+
+    #[test]
+    fn walk_strategy_pack_runs_parallel_executors_off_the_file() {
+        // A walk-strategy pack of an rmat: input materializes the graph
+        // (the streaming path is range-only), stats reports the
+        // stationary-weighted crossing estimate, and a matching walk run
+        // adopts the file partition with parallel executors.
+        let packed_path = tmp("walk_strategy.lrwpak");
+        let out = run(
+            "graph",
+            &parse(&[
+                "pack",
+                "rmat:7:3",
+                "--shards",
+                "2",
+                "--strategy",
+                "walk",
+                "-o",
+                &packed_path,
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("materialized for --strategy walk"), "{out}");
+
+        let st = run("graph", &parse(&["stats", &packed_path])).unwrap();
+        assert!(st.contains("2 shards (walk)"), "{st}");
+        assert!(st.contains("expected walk crossing rate"), "{st}");
+
+        let walk = run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--shards",
+                "2",
+                "--strategy",
+                "walk",
+                "--shard-threads",
+                "2",
+                "--length",
+                "5",
+                "--queries",
+                "24",
+            ]),
+        )
+        .unwrap();
+        assert!(walk.contains("shard partition from file"), "{walk}");
+        assert!(walk.contains("threads=2"), "{walk}");
+    }
+
+    #[test]
+    fn mismatched_packed_partition_fails_fast_unless_repartition() {
+        let packed_path = tmp("mismatch.lrwpak");
+        run(
+            "graph",
+            &parse(&["pack", "rmat:7:5", "--shards", "2", "-o", &packed_path]),
+        )
+        .unwrap();
+
+        // Asking for a different k than the file carries must not
+        // silently rebuild a partition in memory.
+        let err = run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--shards",
+                "3",
+                "--length",
+                "4",
+                "--queries",
+                "8",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.contains("k=2"), "{err}");
+        assert!(err.contains("--repartition"), "{err}");
+
+        // A pinned strategy mismatch trips the same guard.
+        let err = run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--shards",
+                "2",
+                "--strategy",
+                "fennel",
+                "--length",
+                "4",
+                "--queries",
+                "8",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.contains("strategy=range"), "{err}");
+
+        // --repartition opts into the rebuild, and the session
+        // diagnostics record that the file partition was discarded.
+        let ok = run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--shards",
+                "3",
+                "--repartition",
+                "--length",
+                "4",
+                "--queries",
+                "8",
+            ]),
+        )
+        .unwrap();
+        assert!(ok.contains("k=3"), "{ok}");
+        assert!(ok.contains("repartitioned in memory"), "{ok}");
+        assert!(ok.contains("file partition was k=2 strategy=range"), "{ok}");
+
+        // Defaults that the user never pinned adopt the file's partition.
+        let ok = run(
+            "walk",
+            &parse(&[
+                &packed_path,
+                "--engine",
+                "sharded",
+                "--length",
+                "4",
+                "--queries",
+                "8",
+            ]),
+        )
+        .unwrap();
+        assert!(ok.contains("shard partition from file"), "{ok}");
     }
 
     #[test]

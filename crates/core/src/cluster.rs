@@ -281,6 +281,62 @@ mod tests {
     }
 
     #[test]
+    fn sharded_boards_contribute_compute_to_straggler_accounting() {
+        // Two disjoint 16-cliques with the range cut between them: no
+        // walker ever crosses shards, so a transfer-only model would call
+        // the board free and straggler accounting would ignore it. The
+        // board must still report its lane compute time as kernel time.
+        let mut b = lightrw_graph::GraphBuilder::undirected();
+        for c in 0..2u32 {
+            let base = c * 16;
+            for i in 0..16u32 {
+                for j in (i + 1)..16 {
+                    b = b.edge(base + i, base + j);
+                }
+            }
+        }
+        let g = b.build();
+        let qs = QuerySet::per_nonisolated_vertex(&g, 8, 4);
+        let make_board = || {
+            crate::sharded::ShardedEngine::partition(
+                &g,
+                2,
+                lightrw_graph::ShardStrategy::Range,
+                &Uniform,
+                SamplerKind::InverseTransform,
+                5,
+            )
+        };
+
+        // Pin the scenario: this workload genuinely produces zero
+        // hand-offs, yet the session's model clock must not read zero.
+        let engine = make_board();
+        let mut sink = WalkResults::with_capacity(qs.len(), 9);
+        let mut session = engine.start_session(&qs);
+        while !session.finished() {
+            session.advance(4096, &mut sink);
+        }
+        let diag = session.diagnostics().unwrap();
+        assert!(diag.contains("hand-offs=0"), "{diag}");
+        let model = session.model_seconds().unwrap();
+        assert!(
+            model > 0.0,
+            "zero-hand-off sharded board reports no kernel time ({diag})"
+        );
+
+        // And the cluster's straggler fold sees that time.
+        let cluster = LightRwCluster::from_engines(&g, vec![Box::new(make_board())]);
+        let rep = cluster.run(&qs);
+        assert!(rep.boards[0].modelled, "sharded boards carry a model clock");
+        assert!(
+            rep.boards[0].kernel_s > 0.0,
+            "sharded board is invisible to straggler accounting"
+        );
+        assert_eq!(rep.kernel_s, rep.boards[0].kernel_s);
+        assert!(rep.end_to_end_s >= rep.kernel_s);
+    }
+
+    #[test]
     fn mixed_backend_cluster_serves_any_engine() {
         // The session layer's point: a cluster is no longer sim-only. One
         // simulated board, one CPU board and the reference oracle split a

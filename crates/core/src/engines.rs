@@ -47,6 +47,9 @@ pub enum Backend {
         sampler: SamplerKind,
         /// Hand-off records coalesced per shard pair before a flush.
         flush_budget: usize,
+        /// Executor threads: 1 = the sequential interleave, 0 = one
+        /// pinned executor per shard, n = min(n, shards) executors.
+        shard_threads: usize,
     },
 }
 
@@ -69,6 +72,7 @@ impl Backend {
                 strategy: ShardStrategy::Range,
                 sampler: SamplerKind::InverseTransform,
                 flush_budget: ShardedEngine::DEFAULT_FLUSH_BUDGET,
+                shard_threads: 1,
             }),
             other => Err(format!(
                 "unknown --engine {other:?} (expected sim, cpu, reference or sharded)"
@@ -123,13 +127,41 @@ impl Backend {
             return Err("--shards must be at least 1".into());
         }
         match self {
-            Self::Sharded { sampler, .. } => Ok(Self::Sharded {
+            Self::Sharded {
+                sampler,
+                shard_threads,
+                ..
+            } => Ok(Self::Sharded {
                 shards,
                 strategy,
                 sampler,
                 flush_budget: flush_budget.max(1),
+                shard_threads,
             }),
             _ => Err("--shards only applies to --engine sharded".into()),
+        }
+    }
+
+    /// Set the executor thread count of a sharded backend (1 = the
+    /// deterministic sequential interleave, 0 = one pinned executor per
+    /// shard). Errors for every other backend so `--shard-threads` on
+    /// the wrong engine is loud.
+    pub fn with_shard_threads(self, shard_threads: usize) -> Result<Self, String> {
+        match self {
+            Self::Sharded {
+                shards,
+                strategy,
+                sampler,
+                flush_budget,
+                ..
+            } => Ok(Self::Sharded {
+                shards,
+                strategy,
+                sampler,
+                flush_budget,
+                shard_threads,
+            }),
+            _ => Err("--shard-threads only applies to --engine sharded".into()),
         }
     }
 
@@ -150,12 +182,14 @@ impl Backend {
                 shards,
                 strategy,
                 flush_budget,
+                shard_threads,
                 ..
             } => Self::Sharded {
                 shards,
                 strategy,
                 sampler,
                 flush_budget,
+                shard_threads,
             },
         }
     }
@@ -189,9 +223,11 @@ impl Backend {
                 strategy,
                 sampler,
                 flush_budget,
+                shard_threads,
             } => Box::new(
                 ShardedEngine::partition(graph, shards, strategy, app, sampler, seed)
-                    .with_flush_budget(flush_budget),
+                    .with_flush_budget(flush_budget)
+                    .with_shard_threads(shard_threads),
             ),
         }
     }
@@ -269,6 +305,59 @@ mod tests {
             .with_shards(0, ShardStrategy::Range, 1)
             .unwrap_err()
             .contains("--shards"));
+    }
+
+    #[test]
+    fn shard_threads_knob_applies_to_sharded_only() {
+        let b = Backend::parse("sharded")
+            .unwrap()
+            .with_shard_threads(2)
+            .unwrap();
+        assert!(matches!(
+            b,
+            Backend::Sharded {
+                shard_threads: 2,
+                ..
+            }
+        ));
+        // The knob survives a later with_shards / with_sampler reshape.
+        let b = b
+            .with_shards(4, ShardStrategy::Walk, 8)
+            .unwrap()
+            .with_sampler(SamplerKind::Alias);
+        assert!(matches!(
+            b,
+            Backend::Sharded {
+                shards: 4,
+                strategy: ShardStrategy::Walk,
+                shard_threads: 2,
+                ..
+            }
+        ));
+        for name in ["sim", "reference", "cpu"] {
+            let err = Backend::parse(name)
+                .unwrap()
+                .with_shard_threads(2)
+                .unwrap_err();
+            assert!(err.contains("--shard-threads"), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn parallel_sharded_backend_builds_working_engines() {
+        let g = generators::rmat_dataset(7, 3);
+        let qs = QuerySet::per_nonisolated_vertex(&g, 4, 1);
+        let sequential = Backend::parse("sharded")
+            .unwrap()
+            .build(&g, &Uniform, 9)
+            .run_collected(&qs);
+        let parallel = Backend::parse("sharded")
+            .unwrap()
+            .with_shard_threads(2)
+            .unwrap()
+            .build(&g, &Uniform, 9)
+            .run_collected(&qs);
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

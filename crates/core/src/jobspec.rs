@@ -58,6 +58,10 @@ pub struct Trace {
     /// `--engine sharded` — ignored by the other backends, mirroring
     /// how `threads` only shapes the CPU engine.
     pub shards: Option<usize>,
+    /// Executor threads per sharded pool engine (`0` = one per shard,
+    /// `1` = the sequential interleave); `None` leaves the backend's
+    /// default. Only meaningful with `--engine sharded`.
+    pub shard_threads: Option<usize>,
     /// Graph the trace should run on (any path `lightrw-cli` accepts,
     /// including `packed:` files); the CLI positional overrides it, and
     /// a positional of `-` explicitly defers to this field.
@@ -72,6 +76,7 @@ impl Trace {
         Self {
             threads: None,
             shards: None,
+            shard_threads: None,
             graph: None,
             jobs,
         }
@@ -145,6 +150,9 @@ pub fn to_json(trace: &Trace) -> String {
     if let Some(k) = trace.shards {
         let _ = writeln!(out, "  \"shards\": {k},");
     }
+    if let Some(t) = trace.shard_threads {
+        let _ = writeln!(out, "  \"shard_threads\": {t},");
+    }
     if let Some(g) = &trace.graph {
         let _ = writeln!(out, "  \"graph\": \"{g}\",");
     }
@@ -184,6 +192,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
     }
     let mut threads = None;
     let mut shards = None;
+    let mut shard_threads = None;
     let mut graph = None;
     let jobs_value = match root {
         Value::Array(items) => items,
@@ -223,6 +232,22 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
                             ))
                         }
                     },
+                    "shard_threads" => match value {
+                        Value::Number(n)
+                            if n.is_finite()
+                                && n >= 0.0
+                                && n.fract() == 0.0
+                                && n <= MAX_TRACE_SHARDS as f64 =>
+                        {
+                            shard_threads = Some(n as usize)
+                        }
+                        _ => {
+                            return Err(format!(
+                                "trace \"shard_threads\" must be an integer in \
+                                 0..={MAX_TRACE_SHARDS} (0 = one per shard)"
+                            ))
+                        }
+                    },
                     "graph" => match value {
                         Value::String(s) if !s.is_empty() => graph = Some(s),
                         _ => return Err("trace \"graph\" must be a non-empty string".into()),
@@ -245,6 +270,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
     Ok(Trace {
         threads,
         shards,
+        shard_threads,
         graph,
         jobs,
     })

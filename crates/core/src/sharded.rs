@@ -1,24 +1,44 @@
 //! Sharded walk execution: one engine lane per graph partition, walkers
 //! migrating at shard boundaries through bounded hand-off queues
-//! (DESIGN.md §11).
+//! (DESIGN.md §11), with optional **parallel shard executors** — pinned
+//! worker threads that overlap hand-off delivery with compute
+//! (DESIGN.md §12).
 //!
 //! [`ShardedEngine`] runs a [`lightrw_graph::ShardedGraph`] — built by
-//! [`lightrw_graph::partition_graph`] or loaded from a packed sharded
-//! file ([`lightrw_graph::load_packed_sharded`]) — behind the ordinary
+//! [`lightrw_graph::partition_graph`] (see `lightrw_graph::partition`
+//! for the placement strategies, including the walk-aware
+//! `ShardStrategy::Walk`) or loaded from a packed sharded file
+//! ([`lightrw_graph::load_packed_sharded`]) — behind the ordinary
 //! [`WalkSession`] contract. Each shard owns a sequential step lane with
 //! its own [`HotStepper`]; a walker whose step lands on a **ghost**
 //! vertex (owned by another shard) is serialized into a hand-off record
-//! and parked in the per-(source, destination) outbox until the outbox
-//! reaches the flush budget or the scheduling round ends.
+//! and parked in a per-destination outbox until the outbox reaches the
+//! flush budget or the local lane runs out of work.
 //!
-//! The three contracts that make this safe:
+//! Two execution modes share that data model:
+//!
+//! - `shard_threads == 1` (default): the deterministic single-thread
+//!   interleave of PR 8 — lanes sweep round-robin, outboxes flush at a
+//!   round barrier.
+//! - `shard_threads >= 2`: each executor thread owns `k / threads` shard
+//!   lanes, pins itself via `lightrw_baseline::affinity`, and delivers
+//!   hand-off batches over channels so a crossing overlaps with the
+//!   other executors' compute. A quiescence protocol (an atomic count of
+//!   live walkers; the executor that retires or parks the last one
+//!   broadcasts `Quiesce`) replaces the sequential round-barrier exit.
+//!   Paths are emitted on the session thread as completions stream in,
+//!   so the non-`Send` [`WalkSink`] never crosses a thread.
+//!
+//! The three contracts that make all of this safe:
 //!
 //! - **RNG streams travel with the walker.** Every query gets its own
 //!   [`SamplerStream`] (seed derived from the engine seed and the query
 //!   index); the destination lane's stepper imports the stream before
 //!   stepping, so a walk's draws are a pure function of its query — not
-//!   of shard count, flush budget, or batch schedule. That is what the
-//!   conformance and property suites pin.
+//!   of shard count, flush budget, thread count, or batch schedule.
+//!   That is what makes the parallel executors **bit-identical** to the
+//!   sequential interleave, and what the conformance and property
+//!   suites pin.
 //! - **Second-order hand-offs carry the previous row.** Node2Vec weights
 //!   read the *previous* vertex's adjacency, which the destination shard
 //!   does not store. The record ships the row (charged to the transfer
@@ -31,15 +51,25 @@
 //! model of [`crate::pcie`]): each flush costs one link latency plus
 //! `bytes / bandwidth`, with a record costing a fixed header plus four
 //! bytes per shipped prev-row entry. [`WalkSession::model_seconds`]
-//! reports the accumulated transfer seconds.
+//! reports the accumulated transfer seconds **plus** the measured lane
+//! compute seconds, so cluster straggler accounting never treats a
+//! sharded board as free compute. Hand-off and byte totals are
+//! schedule-independent (walks are deterministic); flush counts and
+//! transfer seconds depend on batch coalescing and may differ between
+//! the sequential and parallel schedules.
 //!
 //! `k = 1` takes a dedicated sequential path that is **bit-identical**
 //! to [`lightrw_walker::ReferenceEngine`]: one continuous stepper over
 //! all queries, seeded with the engine seed (pinned by
 //! `tests/sharded_execution.rs`).
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::time::Instant;
 
+use lightrw_baseline::{affinity, thread_clock};
 use lightrw_graph::{partition_graph, Graph, ShardStrategy, ShardedGraph, VertexId};
 use lightrw_rng::splitmix::{mix64, GOLDEN_GAMMA};
 use lightrw_walker::{
@@ -57,13 +87,20 @@ use crate::platform::U250_PLATFORM;
 pub const HANDOFF_RECORD_BYTES: u64 = 40;
 
 /// A partitioned-execution engine: one step lane per shard, bounded
-/// hand-off queues between them, modelled transfer costs per flush.
+/// hand-off queues between them, modelled transfer costs per flush,
+/// and optionally parallel pinned shard executors.
 pub struct ShardedEngine<'a> {
     sharded: ShardedGraph,
     app: &'a dyn WalkApp,
     sampler: SamplerKind,
     seed: u64,
     flush_budget: usize,
+    /// Requested executor thread count: 1 = sequential interleave,
+    /// 0 = one executor per shard, n = min(n, k) executors.
+    shard_threads: usize,
+    /// Provenance note surfaced through session diagnostics (e.g. "the
+    /// packed partition was discarded and rebuilt in memory").
+    partition_note: Option<String>,
 }
 
 impl<'a> ShardedEngine<'a> {
@@ -88,6 +125,8 @@ impl<'a> ShardedEngine<'a> {
             sampler,
             seed,
             flush_budget: Self::DEFAULT_FLUSH_BUDGET,
+            shard_threads: 1,
+            partition_note: None,
         }
     }
 
@@ -109,6 +148,22 @@ impl<'a> ShardedEngine<'a> {
         self
     }
 
+    /// Set the executor thread count: `1` keeps the deterministic
+    /// single-thread interleave, `0` spawns one pinned executor per
+    /// shard, and any other value is capped at the shard count. Sampled
+    /// walks are bit-identical across every setting.
+    pub fn with_shard_threads(mut self, shard_threads: usize) -> Self {
+        self.shard_threads = shard_threads;
+        self
+    }
+
+    /// Attach a partition-provenance note, surfaced verbatim at the end
+    /// of every session's `diagnostics()`.
+    pub fn with_partition_note(mut self, note: impl Into<String>) -> Self {
+        self.partition_note = Some(note.into());
+        self
+    }
+
     /// The partitioned graph this engine executes over.
     pub fn sharded(&self) -> &ShardedGraph {
         &self.sharded
@@ -117,6 +172,11 @@ impl<'a> ShardedEngine<'a> {
     /// Records buffered per shard pair before a forced flush.
     pub fn flush_budget(&self) -> usize {
         self.flush_budget
+    }
+
+    /// Requested executor thread count (raw: 0 = one per shard).
+    pub fn shard_threads(&self) -> usize {
+        self.shard_threads
     }
 }
 
@@ -161,6 +221,7 @@ struct SingleShardSession<'s> {
     path: Vec<VertexId>,
     st: WalkState,
     steps_done: u64,
+    note: Option<&'s str>,
 }
 
 impl<'s> SingleShardSession<'s> {
@@ -187,6 +248,7 @@ impl<'s> SingleShardSession<'s> {
             path,
             st,
             steps_done: 0,
+            note: engine.partition_note.as_deref(),
         }
     }
 
@@ -258,7 +320,12 @@ impl WalkSession for SingleShardSession<'_> {
     }
 
     fn diagnostics(&self) -> Option<String> {
-        Some("k=1 (sequential fast path)".to_string())
+        let mut d = "k=1 (sequential fast path)".to_string();
+        if let Some(note) = self.note {
+            d.push_str(", ");
+            d.push_str(note);
+        }
+        Some(d)
     }
 }
 
@@ -278,9 +345,11 @@ struct Walker {
     done: bool,
 }
 
-/// Multi-shard session: deterministic round-robin over shard lanes, with
-/// per-(source, destination) outboxes flushed at the budget or at round
-/// end so every walker keeps making progress.
+/// Multi-shard session. With `shard_threads == 1`: a deterministic
+/// round-robin over shard lanes with per-(source, destination) outboxes
+/// flushed at the budget or at round end. With `shard_threads >= 2`:
+/// pinned parallel executors with channel hand-off (DESIGN.md §12).
+/// Both schedules sample bit-identical walks.
 struct MultiShardSession<'s> {
     sharded: &'s ShardedGraph,
     app: &'s dyn WalkApp,
@@ -290,22 +359,38 @@ struct MultiShardSession<'s> {
     steppers: Vec<HotStepper>,
     /// Runnable walkers parked on each shard (owner of their `cur`).
     runq: Vec<VecDeque<usize>>,
-    /// Hand-off records awaiting a flush, indexed `src * k + dst`.
+    /// Sequential-mode hand-off records awaiting a flush, indexed
+    /// `src * k + dst` (unused by the parallel schedule, which keeps
+    /// per-executor outboxes).
     outbox: Vec<Vec<usize>>,
     flush_budget: usize,
-    walkers: Vec<Walker>,
+    /// Resolved executor count (1 = sequential interleave, else <= k).
+    threads: usize,
+    /// Walker slots; `None` only while a walker is out on an executor
+    /// during a parallel `advance`.
+    walkers: Vec<Option<Walker>>,
     emitter: InOrderEmitter,
     steps_done: u64,
     hand_offs: u64,
     flushes: u64,
     transfer_bytes: u64,
     transfer_s: f64,
+    /// Measured wall seconds spent inside `advance` — the lane compute
+    /// component of `model_seconds`.
+    compute_s: f64,
+    /// Executors that successfully pinned in the last parallel round.
+    pinned: usize,
+    note: Option<&'s str>,
 }
 
 impl<'s> MultiShardSession<'s> {
     fn new(engine: &'s ShardedEngine<'s>, queries: &QuerySet) -> Self {
         let sharded = &engine.sharded;
         let k = sharded.k();
+        let threads = match engine.shard_threads {
+            0 => k,
+            t => t.min(k),
+        };
         let max_degree = sharded
             .shards
             .iter()
@@ -321,7 +406,7 @@ impl<'s> MultiShardSession<'s> {
             .collect();
         let qs = queries.queries().to_vec();
         let mut runq: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
-        let walkers: Vec<Walker> = qs
+        let walkers: Vec<Option<Walker>> = qs
             .iter()
             .enumerate()
             .map(|(qi, q)| {
@@ -331,13 +416,13 @@ impl<'s> MultiShardSession<'s> {
                 runq[sharded.owner_of(q.start)].push_back(qi);
                 let mut path = Vec::with_capacity(q.length as usize + 1);
                 path.push(q.start);
-                Walker {
+                Some(Walker {
                     st: WalkState::start(q.start),
                     path,
                     stream: AnySampler::new(engine.sampler, stream_seed).export_stream(),
                     prev_row: None,
                     done: false,
-                }
+                })
             })
             .collect();
         Self {
@@ -349,6 +434,7 @@ impl<'s> MultiShardSession<'s> {
             runq,
             outbox: vec![Vec::new(); k * k],
             flush_budget: engine.flush_budget,
+            threads,
             walkers,
             emitter: InOrderEmitter::new(queries.len()),
             steps_done: 0,
@@ -356,12 +442,15 @@ impl<'s> MultiShardSession<'s> {
             flushes: 0,
             transfer_bytes: 0,
             transfer_s: 0.0,
+            compute_s: 0.0,
+            pinned: 0,
+            note: engine.partition_note.as_deref(),
         }
     }
 
     /// Deliver outbox `(s, t)` to shard `t`'s run queue, charging one
     /// modelled link transfer (latency + bytes / bandwidth) for the
-    /// coalesced batch.
+    /// coalesced batch. Sequential schedule only.
     fn flush_pair(&mut self, s: usize, t: usize) {
         let k = self.sharded.k();
         let batch = std::mem::take(&mut self.outbox[s * k + t]);
@@ -370,7 +459,10 @@ impl<'s> MultiShardSession<'s> {
         }
         let mut bytes = 0u64;
         for &w in &batch {
-            let payload = self.walkers[w].prev_row.as_ref().map_or(0, |r| r.len()) as u64;
+            let payload = self.walkers[w]
+                .as_ref()
+                .map_or(0, |wk| wk.prev_row.as_ref().map_or(0, |r| r.len()))
+                as u64;
             bytes += HANDOFF_RECORD_BYTES + 4 * payload;
         }
         let link = PcieBreakdown::model(&U250_PLATFORM, bytes, 0.0, 0);
@@ -393,11 +485,9 @@ impl<'s> MultiShardSession<'s> {
         }
         delivered
     }
-}
 
-impl WalkSession for MultiShardSession<'_> {
-    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
-        let budget = max_steps.max(1);
+    /// The deterministic single-thread interleave (PR 8 schedule).
+    fn advance_sequential(&mut self, budget: u64, sink: &mut dyn WalkSink) -> BatchProgress {
         let k = self.sharded.k();
         let mut progress = BatchProgress::default();
         let mut attempts = vec![0u64; k];
@@ -415,7 +505,7 @@ impl WalkSession for MultiShardSession<'_> {
                     let q = self.queries[w];
                     let g = &self.sharded.shards[s].graph;
                     let stepper = &mut self.steppers[s];
-                    let wk = &mut self.walkers[w];
+                    let wk = self.walkers[w].as_mut().expect("runnable walker in slot");
                     stepper.import_stream(&wk.stream);
                     if let Some(row) = wk.prev_row.take() {
                         stepper.arm_prev_row(&row);
@@ -463,18 +553,170 @@ impl WalkSession for MultiShardSession<'_> {
             // Round barrier: deliver stragglers below the flush budget so
             // migrated walkers never starve, then emit at the watermark.
             let delivered = self.flush_all();
-            let walkers = &mut self.walkers;
-            progress.paths_completed += self.emitter.drain(sink, |id| {
-                if walkers[id].done {
-                    Some(std::mem::take(&mut walkers[id].path))
-                } else {
-                    None
-                }
-            });
+            progress.paths_completed += drain_ready(&mut self.emitter, &mut self.walkers, sink);
             if self.emitter.finished() || (!worked && delivered == 0) {
                 break;
             }
         }
+        progress
+    }
+
+    /// The parallel schedule: pinned executors, channel hand-off,
+    /// quiescence termination. Walks are bit-identical to
+    /// [`Self::advance_sequential`] because every walker carries its own
+    /// RNG stream.
+    fn advance_parallel(&mut self, budget: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let k = self.sharded.k();
+        let threads = self.threads;
+        let mut progress = BatchProgress::default();
+
+        // Schedule: move every runnable walker out of its slot, grouped
+        // by owning shard.
+        let mut scheduled = 0usize;
+        let mut shard_queues: Vec<VecDeque<(usize, Walker)>> = Vec::with_capacity(k);
+        for q in &mut self.runq {
+            let mut local = VecDeque::with_capacity(q.len());
+            for wi in q.drain(..) {
+                local.push_back((
+                    wi,
+                    self.walkers[wi].take().expect("runnable walker in slot"),
+                ));
+            }
+            scheduled += local.len();
+            shard_queues.push(local);
+        }
+
+        if scheduled > 0 {
+            // Shard s runs on executor s % threads; executor-local lane
+            // index is s / threads.
+            let mut lanes_by_exec: Vec<Vec<ExecLane<'_>>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for ((s, stepper), queue) in self.steppers.iter_mut().enumerate().zip(shard_queues) {
+                lanes_by_exec[s % threads].push(ExecLane {
+                    shard: s,
+                    graph: &self.sharded.shards[s].graph,
+                    stepper,
+                    runq: queue,
+                    attempts: 0,
+                });
+            }
+
+            let active = AtomicUsize::new(scheduled);
+            let (txs, rxs): (Vec<Sender<ExecMsg>>, Vec<Receiver<ExecMsg>>) =
+                (0..threads).map(|_| channel()).unzip();
+            let (done_tx, done_rx) = channel::<Vec<Completion>>();
+
+            let app = self.app;
+            let program = &self.program;
+            let queries: &[Query] = &self.queries;
+            let sharded = self.sharded;
+            let flush_budget = self.flush_budget;
+            let walkers = &mut self.walkers;
+            let runq = &mut self.runq;
+            let emitter = &mut self.emitter;
+
+            let mut round_stats: Vec<ExecStats> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lanes_by_exec
+                    .into_iter()
+                    .zip(rxs)
+                    .enumerate()
+                    .map(|(e, (lanes, rx))| {
+                        let ctx = ExecCtx {
+                            exec: e,
+                            threads,
+                            k,
+                            budget,
+                            flush_budget,
+                            app,
+                            program,
+                            queries,
+                            sharded,
+                            txs: txs.clone(),
+                            done_tx: done_tx.clone(),
+                            done_buf: RefCell::new(Vec::new()),
+                            active: &active,
+                        };
+                        scope.spawn(move || run_executor(ctx, lanes, rx))
+                    })
+                    .collect();
+                // The executors hold their own clones; dropping ours lets
+                // channel disconnection double as a crash signal.
+                drop(done_tx);
+                drop(txs);
+                // Collect completions on the session thread, emitting at
+                // the watermark as they stream in — emission overlaps
+                // with the executors' remaining compute, and the
+                // non-Send sink never leaves this thread.
+                let mut returned = 0usize;
+                while returned < scheduled {
+                    let batch = done_rx
+                        .recv()
+                        .expect("shard executor terminated without returning its walkers");
+                    for c in batch {
+                        walkers[c.wi] = Some(c.walker);
+                        if let Some(shard) = c.parked_at {
+                            runq[shard].push_back(c.wi);
+                        }
+                        returned += 1;
+                    }
+                    progress.paths_completed += drain_ready(emitter, walkers, sink);
+                }
+                for h in handles {
+                    round_stats.push(h.join().expect("shard executor panicked"));
+                }
+            });
+
+            self.pinned = round_stats.iter().filter(|s| s.pinned).count();
+            // The round's compute clock is the straggler executor's busy
+            // time: the overlapped duration, as a host with one core per
+            // executor observes it (on a CI host with fewer cores the
+            // wall clock serializes the executors, but each one's busy
+            // time still measures its own share of the work).
+            self.compute_s += round_stats.iter().map(|s| s.busy_s).fold(0.0f64, f64::max);
+            for st in round_stats {
+                progress.steps += st.steps;
+                self.steps_done += st.steps;
+                self.hand_offs += st.hand_offs;
+                self.flushes += st.flushes;
+                self.transfer_bytes += st.transfer_bytes;
+                self.transfer_s += st.transfer_s;
+            }
+        }
+
+        // Covers the nothing-scheduled case (every walker already done
+        // but not yet emitted — e.g. a zero-progress advance call).
+        progress.paths_completed += drain_ready(&mut self.emitter, &mut self.walkers, sink);
+        progress
+    }
+}
+
+/// Emit every ready path at the watermark (walker slots are `None` only
+/// while out on an executor, and those are never `done`).
+fn drain_ready(
+    emitter: &mut InOrderEmitter,
+    walkers: &mut [Option<Walker>],
+    sink: &mut dyn WalkSink,
+) -> usize {
+    emitter.drain(sink, |id| match walkers[id].as_mut() {
+        Some(w) if w.done => Some(std::mem::take(&mut w.path)),
+        _ => None,
+    })
+}
+
+impl WalkSession for MultiShardSession<'_> {
+    fn advance(&mut self, max_steps: u64, sink: &mut dyn WalkSink) -> BatchProgress {
+        let budget = max_steps.max(1);
+        let mut progress = if self.threads >= 2 {
+            // The parallel path accounts its own compute clock: the
+            // straggler executor's busy time (modelled overlap).
+            self.advance_parallel(budget, sink)
+        } else {
+            let t0 = Instant::now();
+            let p = self.advance_sequential(budget, sink);
+            self.compute_s += t0.elapsed().as_secs_f64();
+            p
+        };
         progress.finished = self.finished();
         progress
     }
@@ -487,13 +729,17 @@ impl WalkSession for MultiShardSession<'_> {
         for b in &mut self.outbox {
             b.clear();
         }
-        for wk in &mut self.walkers {
+        for wk in self.walkers.iter_mut().flatten() {
             wk.done = true;
         }
         let walkers = &mut self.walkers;
-        progress.paths_completed += self
-            .emitter
-            .drain(sink, |id| Some(std::mem::take(&mut walkers[id].path)));
+        progress.paths_completed += self.emitter.drain(sink, |id| {
+            Some(
+                walkers[id]
+                    .as_mut()
+                    .map_or_else(Vec::new, |w| std::mem::take(&mut w.path)),
+            )
+        });
         progress.finished = true;
         progress
     }
@@ -510,22 +756,380 @@ impl WalkSession for MultiShardSession<'_> {
         self.emitter.emitted()
     }
 
-    /// Modelled interconnect seconds spent on hand-off flushes.
+    /// Modelled interconnect seconds spent on hand-off flushes plus the
+    /// compute clock — the board is never free compute in cluster
+    /// straggler accounting. Sequential compute is the measured wall time
+    /// inside `advance`; parallel compute is the straggler executor's
+    /// busy time per round (the overlapped duration, independent of how
+    /// many physical cores the host could actually grant).
     fn model_seconds(&self) -> Option<f64> {
-        Some(self.transfer_s)
+        Some(self.transfer_s + self.compute_s)
     }
 
     fn diagnostics(&self) -> Option<String> {
-        Some(format!(
-            "k={} strategy={} hand-offs={} flushes={} transfer-bytes={} transfer-s={:.9}",
+        let mut d = format!(
+            "k={} strategy={} threads={} pinned={} hand-offs={} flushes={} transfer-bytes={} transfer-s={:.9} compute-s={:.9}",
             self.sharded.k(),
             self.sharded.strategy.name(),
+            self.threads,
+            self.pinned,
             self.hand_offs,
             self.flushes,
             self.transfer_bytes,
             self.transfer_s,
-        ))
+            self.compute_s,
+        );
+        if let Some(note) = self.note {
+            d.push_str(", ");
+            d.push_str(note);
+        }
+        Some(d)
     }
+}
+
+// --- Parallel shard executors (DESIGN.md §12) -----------------------------
+
+/// Channel message between executors: a coalesced hand-off batch bound
+/// for one shard, or the quiescence broadcast that ends the round.
+enum ExecMsg {
+    Batch {
+        shard: usize,
+        walkers: Vec<(usize, Walker)>,
+    },
+    Quiesce,
+}
+
+/// A walker returning to the session thread: retired (`parked_at` is
+/// `None`, the walk is complete) or parked (its lane's per-advance
+/// budget ran out; it re-enters `runq[parked_at]` for the next advance).
+struct Completion {
+    wi: usize,
+    walker: Walker,
+    parked_at: Option<usize>,
+}
+
+/// Per-executor tallies folded into the session after the scoped join.
+#[derive(Default)]
+struct ExecStats {
+    steps: u64,
+    hand_offs: u64,
+    flushes: u64,
+    transfer_bytes: u64,
+    transfer_s: f64,
+    /// Seconds this executor spent with work in hand: its own thread CPU
+    /// time (wall minus inbox-blocked time where the per-thread clock is
+    /// unsupported). The session's parallel compute clock is the straggler
+    /// executor's busy time — the overlapped duration a host with one core
+    /// per executor would observe, which keeps the model clock meaningful
+    /// on CI hosts with fewer cores than executors.
+    busy_s: f64,
+    pinned: bool,
+}
+
+/// One shard lane scheduled on an executor for a single advance round.
+struct ExecLane<'a> {
+    shard: usize,
+    graph: &'a Graph,
+    stepper: &'a mut HotStepper,
+    runq: VecDeque<(usize, Walker)>,
+    attempts: u64,
+}
+
+/// Everything an executor shares or owns for one advance round.
+struct ExecCtx<'a> {
+    exec: usize,
+    threads: usize,
+    k: usize,
+    budget: u64,
+    flush_budget: usize,
+    app: &'a dyn WalkApp,
+    program: &'a WalkProgram,
+    queries: &'a [Query],
+    sharded: &'a ShardedGraph,
+    txs: Vec<Sender<ExecMsg>>,
+    done_tx: Sender<Vec<Completion>>,
+    done_buf: RefCell<Vec<Completion>>,
+    active: &'a AtomicUsize,
+}
+
+/// Completions per message on the done channel. Retires and parks come
+/// in floods (every advance-end parks whole run queues), so sending them
+/// one channel message at a time costs more than the walking; batches
+/// keep the session thread's wake-ups rare.
+const COMPLETION_BATCH: usize = 256;
+
+impl ExecCtx<'_> {
+    /// Queue a walker for return to the session thread and decrement the
+    /// live count; whoever retires or parks the last walker broadcasts
+    /// `Quiesce` so every blocked executor unblocks and returns. The
+    /// completion itself travels in a batch — flushed at
+    /// [`COMPLETION_BATCH`], before this executor blocks, and at exit —
+    /// so the walker is *counted* out immediately but *shipped* lazily.
+    fn finish(&self, wi: usize, walker: Walker, parked_at: Option<usize>) {
+        let mut buf = self.done_buf.borrow_mut();
+        buf.push(Completion {
+            wi,
+            walker,
+            parked_at,
+        });
+        if buf.len() >= COMPLETION_BATCH {
+            let _ = self.done_tx.send(std::mem::take(&mut *buf));
+        }
+        drop(buf);
+        if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            for tx in &self.txs {
+                let _ = tx.send(ExecMsg::Quiesce);
+            }
+        }
+    }
+
+    /// Ship any buffered completions now. Must run before blocking on the
+    /// inbox (the session thread may be waiting on exactly these walkers)
+    /// and before the executor returns.
+    fn flush_completions(&self) {
+        let mut buf = self.done_buf.borrow_mut();
+        if !buf.is_empty() {
+            let _ = self.done_tx.send(std::mem::take(&mut *buf));
+        }
+    }
+}
+
+/// Deliver an arrived batch into the destination lane, or park its
+/// walkers immediately when that lane's budget is already spent (the
+/// parked walkers keep the quiescence count honest — an exhausted lane
+/// can never strand a live walker).
+fn deliver(
+    ctx: &ExecCtx<'_>,
+    lanes: &mut [ExecLane<'_>],
+    shard: usize,
+    batch: Vec<(usize, Walker)>,
+) {
+    let lane = &mut lanes[shard / ctx.threads];
+    debug_assert_eq!(lane.shard, shard);
+    if lane.attempts >= ctx.budget {
+        for (wi, walker) in batch {
+            ctx.finish(wi, walker, Some(shard));
+        }
+    } else {
+        lane.runq.extend(batch);
+    }
+}
+
+/// Flush outbox entries: charge the transfer model, then either hand the
+/// batch to a remote executor's inbox or deliver it locally. With
+/// `force`, every non-empty destination flushes; otherwise only those at
+/// the flush budget.
+fn flush_outbox(
+    ctx: &ExecCtx<'_>,
+    lanes: &mut [ExecLane<'_>],
+    outbox: &mut [Vec<(usize, Walker)>],
+    stats: &mut ExecStats,
+    force: bool,
+) -> usize {
+    let mut delivered_local = 0usize;
+    for (t, slot) in outbox.iter_mut().enumerate() {
+        if slot.is_empty() || (!force && slot.len() < ctx.flush_budget) {
+            continue;
+        }
+        let batch = std::mem::take(slot);
+        let mut bytes = 0u64;
+        for (_, wk) in &batch {
+            let payload = wk.prev_row.as_ref().map_or(0, |r| r.len()) as u64;
+            bytes += HANDOFF_RECORD_BYTES + 4 * payload;
+        }
+        let link = PcieBreakdown::model(&U250_PLATFORM, bytes, 0.0, 0);
+        stats.transfer_s += link.upload_s;
+        stats.transfer_bytes += bytes;
+        stats.flushes += 1;
+        if t % ctx.threads == ctx.exec {
+            delivered_local += batch.len();
+            deliver(ctx, lanes, t, batch);
+        } else {
+            // A send only fails after the peer saw Quiesce, which can
+            // only happen once no live walkers remain — and this batch
+            // holds live walkers, so the peer is still running.
+            let _ = ctx.txs[t % ctx.threads].send(ExecMsg::Batch {
+                shard: t,
+                walkers: batch,
+            });
+        }
+    }
+    delivered_local
+}
+
+/// Sweep one lane: step the queue head until retirement, hand-off, or
+/// the lane's per-advance budget. Crossings land in `outbox`; batches to
+/// *remote* executors flush inline at the budget so they overlap with
+/// this executor's remaining compute.
+fn sweep_lane(
+    ctx: &ExecCtx<'_>,
+    lane: &mut ExecLane<'_>,
+    outbox: &mut [Vec<(usize, Walker)>],
+    stats: &mut ExecStats,
+) -> bool {
+    let mut worked = false;
+    while lane.attempts < ctx.budget {
+        let Some((wi, wk)) = lane.runq.pop_front() else {
+            break;
+        };
+        worked = true;
+        let q = ctx.queries[wi];
+        // The walker sits in `slot` while it steps; retirement and
+        // hand-off take it out, and anything left at the budget goes
+        // back to the queue head.
+        let mut slot = Some(wk);
+        while lane.attempts < ctx.budget {
+            let wk = slot.as_mut().expect("live walker");
+            lane.attempts += 1;
+            let stepper = &mut *lane.stepper;
+            stepper.import_stream(&wk.stream);
+            if let Some(row) = wk.prev_row.take() {
+                stepper.arm_prev_row(&row);
+            }
+            let outcome = ctx
+                .program
+                .step_attempt(lane.graph, ctx.app, stepper, &q, &mut wk.st);
+            stepper.clear_prev_row();
+            wk.stream = stepper.export_stream();
+            let done = match outcome {
+                StepOutcome::Moved { done, .. } | StepOutcome::Teleported { done, .. } => {
+                    let v = outcome.appended(q.start).expect("advancing outcome");
+                    wk.path.push(v);
+                    stats.steps += 1;
+                    done
+                }
+                StepOutcome::DeadEnd | StepOutcome::TargetAtStart => true,
+            };
+            if done {
+                let mut wk = slot.take().expect("live walker");
+                wk.done = true;
+                ctx.finish(wi, wk, None);
+                break;
+            }
+            let t = ctx.sharded.owner_of(wk.st.cur);
+            if t != lane.shard {
+                if ctx.app.second_order() {
+                    if let Some(prev) = wk.st.prev {
+                        wk.prev_row = Some(lane.graph.neighbors(prev).to_vec());
+                    }
+                }
+                stats.hand_offs += 1;
+                let dst_exec = t % ctx.threads;
+                let wk = slot.take().expect("live walker");
+                outbox[t].push((wi, wk));
+                if dst_exec != ctx.exec && outbox[t].len() >= ctx.flush_budget {
+                    // Inline remote flush (no lane access needed): charge
+                    // and send so the destination can start immediately.
+                    let batch = std::mem::take(&mut outbox[t]);
+                    let mut bytes = 0u64;
+                    for (_, w) in &batch {
+                        let payload = w.prev_row.as_ref().map_or(0, |r| r.len()) as u64;
+                        bytes += HANDOFF_RECORD_BYTES + 4 * payload;
+                    }
+                    let link = PcieBreakdown::model(&U250_PLATFORM, bytes, 0.0, 0);
+                    stats.transfer_s += link.upload_s;
+                    stats.transfer_bytes += bytes;
+                    stats.flushes += 1;
+                    let _ = ctx.txs[dst_exec].send(ExecMsg::Batch {
+                        shard: t,
+                        walkers: batch,
+                    });
+                }
+                break;
+            }
+        }
+        if let Some(wk) = slot {
+            // Budget ran out mid-walk: the walker is still live.
+            lane.runq.push_front((wi, wk));
+            break;
+        }
+    }
+    if lane.attempts >= ctx.budget {
+        // Park everything left; later arrivals park in `deliver`.
+        while let Some((wi, wk)) = lane.runq.pop_front() {
+            ctx.finish(wi, wk, Some(lane.shard));
+        }
+    }
+    worked
+}
+
+/// Executor body: pin, then loop { absorb arrivals, sweep local lanes,
+/// flush ready outboxes }; block on the inbox only when out of local
+/// work with everything flushed, and return on `Quiesce`.
+///
+/// Termination invariant: `active` counts walkers in run queues,
+/// outboxes and channels. Every retire/park decrements it exactly once,
+/// and `Quiesce` is broadcast only at zero — at which point no batch can
+/// be in flight anywhere, so returning immediately is safe.
+fn run_executor(
+    ctx: ExecCtx<'_>,
+    mut lanes: Vec<ExecLane<'_>>,
+    rx: Receiver<ExecMsg>,
+) -> ExecStats {
+    let mut stats = ExecStats {
+        pinned: affinity::pin_current_thread(ctx.exec),
+        ..ExecStats::default()
+    };
+    // Busy time: prefer the per-thread CPU clock — on a host with fewer
+    // cores than executors a descheduled thread's *wall* clock keeps
+    // running while a sibling executes, so wall-minus-blocked would
+    // report every executor busy for the whole round. CPU time counts
+    // only this thread's own cycles on any host. Where the clock is
+    // unsupported, degrade to wall-minus-blocked.
+    let cpu_enter = thread_clock::now();
+    let t_enter = Instant::now();
+    let mut blocked_s = 0.0f64;
+    let mut outbox: Vec<Vec<(usize, Walker)>> = (0..ctx.k).map(|_| Vec::new()).collect();
+    'round: loop {
+        // Absorb queued arrivals without blocking.
+        loop {
+            match rx.try_recv() {
+                Ok(ExecMsg::Batch { shard, walkers }) => deliver(&ctx, &mut lanes, shard, walkers),
+                Ok(ExecMsg::Quiesce) => break 'round,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let mut worked = false;
+        for lane in lanes.iter_mut() {
+            worked |= sweep_lane(&ctx, lane, &mut outbox, &mut stats);
+        }
+        // Budget-ready local batches deliver between sweeps; remote ones
+        // already flushed inline.
+        if flush_outbox(&ctx, &mut lanes, &mut outbox, &mut stats, false) > 0 {
+            worked = true;
+        }
+        if !worked {
+            // Out of local work: force-flush stragglers, then block for
+            // arrivals (or the quiescence broadcast). Buffered completions
+            // ship first — the session thread may be waiting on exactly
+            // these walkers.
+            if flush_outbox(&ctx, &mut lanes, &mut outbox, &mut stats, true) > 0 {
+                continue;
+            }
+            ctx.flush_completions();
+            let t_block = Instant::now();
+            let msg = rx.recv();
+            blocked_s += t_block.elapsed().as_secs_f64();
+            match msg {
+                Ok(ExecMsg::Batch { shard, walkers }) => deliver(&ctx, &mut lanes, shard, walkers),
+                Ok(ExecMsg::Quiesce) | Err(_) => break 'round,
+            }
+        }
+    }
+    ctx.flush_completions();
+    stats.busy_s = match (cpu_enter, thread_clock::now()) {
+        (Some(t0), Some(t1)) => (t1 - t0).max(0.0),
+        _ => (t_enter.elapsed().as_secs_f64() - blocked_s).max(0.0),
+    };
+    debug_assert!(
+        outbox.iter().all(|b| b.is_empty()),
+        "quiesce with live outbox"
+    );
+    debug_assert!(
+        lanes.iter().all(|l| l.runq.is_empty()),
+        "quiesce with live lane"
+    );
+    stats
 }
 
 #[cfg(test)]
@@ -610,5 +1214,91 @@ mod tests {
             let got = engine.run_collected(&qs);
             assert_eq!(got, baseline, "k={k} flush={flush}");
         }
+    }
+
+    #[test]
+    fn parallel_executors_match_the_sequential_schedule() {
+        let mut g = generators::rmat_dataset(7, 5);
+        g.build_prefix_cache();
+        let qs = QuerySet::n_queries(&g, 48, 10, 21);
+        let nv = Node2Vec::paper_params();
+        let baseline = ShardedEngine::partition(
+            &g,
+            3,
+            ShardStrategy::Range,
+            &nv,
+            SamplerKind::InverseTransform,
+            11,
+        )
+        .run_collected(&qs);
+        for (threads, flush) in [(2, 1), (3, 7), (0, 64)] {
+            let engine = ShardedEngine::partition(
+                &g,
+                3,
+                ShardStrategy::Range,
+                &nv,
+                SamplerKind::InverseTransform,
+                11,
+            )
+            .with_flush_budget(flush)
+            .with_shard_threads(threads);
+            let got = engine.run_collected(&qs);
+            assert_eq!(got, baseline, "threads={threads} flush={flush}");
+        }
+    }
+
+    #[test]
+    fn parallel_diagnostics_report_threads_and_compute_seconds() {
+        let mut g = generators::rmat_dataset(8, 17);
+        g.build_prefix_cache();
+        let qs = QuerySet::n_queries(&g, 64, 16, 3);
+        let engine = ShardedEngine::partition(
+            &g,
+            4,
+            ShardStrategy::Range,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            7,
+        )
+        .with_shard_threads(2)
+        .with_partition_note("partition built in memory");
+        let mut sink = lightrw_walker::CountingSink::default();
+        let mut session = engine.start_session(&qs);
+        while !session.finished() {
+            session.advance(256, &mut sink);
+        }
+        assert_eq!(sink.paths, 64);
+        let diag = session.diagnostics().unwrap();
+        assert!(
+            diag.contains("threads=2") && diag.contains("compute-s="),
+            "{diag}"
+        );
+        assert!(diag.ends_with("partition built in memory"), "{diag}");
+        let model = session.model_seconds().unwrap();
+        assert!(model > 0.0, "compute time folds into model seconds");
+    }
+
+    #[test]
+    fn parallel_cancel_emits_remaining_prefixes_exactly_once() {
+        let mut g = generators::rmat_dataset(7, 5);
+        g.build_prefix_cache();
+        let qs = QuerySet::n_queries(&g, 32, 12, 9);
+        let engine = ShardedEngine::partition(
+            &g,
+            4,
+            ShardStrategy::Range,
+            &Uniform,
+            SamplerKind::InverseTransform,
+            5,
+        )
+        .with_shard_threads(0);
+        let mut sink = lightrw_walker::CountingSink::default();
+        let mut session = engine.start_session(&qs);
+        session.advance(3, &mut sink);
+        session.cancel(&mut sink);
+        assert_eq!(sink.paths, 32, "every path emitted exactly once");
+        assert!(session.finished());
+        let again = session.cancel(&mut lightrw_walker::CountingSink::default());
+        assert_eq!(again.paths_completed, 0, "second cancel emits nothing");
     }
 }

@@ -73,4 +73,7 @@ pub use generators::DatasetProfile;
 pub use packed::{
     load_packed_sharded, LoadMode, PackedGraph, PackedShardedGraph, ShardCounts, ShardMeta,
 };
-pub use partition::{partition_graph, Ownership, Shard, ShardStrategy, ShardedGraph};
+pub use partition::{
+    clamp_shards, expected_walk_crossing, partition_graph, stationary_estimate, Ownership, Shard,
+    ShardStrategy, ShardedGraph,
+};

@@ -516,7 +516,13 @@ where
         debug_assert_eq!(acc, m64);
     }
 
-    let k = opts.shards;
+    // Clamp the requested shard count to the vertex count so every
+    // persisted shard owns at least one vertex (partition.rs guarantee).
+    let k = if opts.shards > 0 {
+        crate::partition::clamp_shards(opts.shards, n)
+    } else {
+        0
+    };
     let cuts: Vec<VertexId> = if k > 0 {
         cuts_from_row_index(&row, k)
     } else {

@@ -940,7 +940,7 @@ pub fn load_packed_sharded<P: AsRef<Path>>(
             }
             Ownership::Range { cuts }
         }
-        ShardStrategy::Fennel => {
+        ShardStrategy::Fennel | ShardStrategy::Walk => {
             let off = require(
                 SEC_SHARD_ASSIGN,
                 n as u64 * 4,
@@ -977,7 +977,7 @@ pub fn load_packed_sharded<P: AsRef<Path>>(
                 directed: g.is_directed(),
                 prefix: g.prefix.clone(),
             },
-            ShardStrategy::Fennel => {
+            ShardStrategy::Fennel | ShardStrategy::Walk => {
                 let me = counts.owned_edges as usize;
                 let col_off = require(
                     shard_section(s, SHARD_LANE_COL),

@@ -12,7 +12,7 @@
 //! end" (empty row on the owner) from "remote" (empty row here, real row
 //! on `owner_of(v)`) without consulting the ownership map per neighbor.
 //!
-//! Two ownership strategies:
+//! Three ownership strategies:
 //! - [`ShardStrategy::Range`] — contiguous vertex ranges cut so each
 //!   shard holds ≈ |E|/K edges (degree-prefix balancing). Streamable:
 //!   the packer computes cuts from the degree array alone.
@@ -20,9 +20,22 @@
 //!   Tsourakakis et al. (WSDM 2014): each vertex joins the shard with the
 //!   most already-placed neighbors, minus a convex size penalty. Better
 //!   edge locality on clustered graphs; needs the graph in memory.
+//! - [`ShardStrategy::Walk`] — fennel-style greedy whose affinity weights
+//!   each edge by the probability a random walker actually traverses it,
+//!   estimated from the stationary distribution (degree-proportional prior
+//!   refined by a deterministic pilot-walk pass). Minimizes *expected walk
+//!   crossings* — the quantity the parallel shard executors in
+//!   `lightrw::sharded` pay for on every hand-off (DESIGN.md §12) —
+//!   rather than the raw boundary-edge count. See
+//!   [`expected_walk_crossing`].
+//!
+//! Every strategy guarantees **non-empty shards**: `k` is clamped to the
+//! vertex count and degenerate placements (skewed range cuts, greedy runs
+//! that starve a shard) are repaired deterministically.
 
 use crate::csr::{Graph, VertexId};
 use crate::store::Section;
+use lightrw_rng::{Rng, SplitMix64};
 
 /// How vertices are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +44,9 @@ pub enum ShardStrategy {
     Range,
     /// Fennel streaming greedy (neighbor affinity minus size penalty).
     Fennel,
+    /// Walk-aware greedy: fennel affinity weighted by estimated stationary
+    /// edge-traversal probability, minimizing expected walk crossings.
+    Walk,
 }
 
 impl ShardStrategy {
@@ -39,6 +55,7 @@ impl ShardStrategy {
         match self {
             ShardStrategy::Range => "range",
             ShardStrategy::Fennel => "fennel",
+            ShardStrategy::Walk => "walk",
         }
     }
 
@@ -47,6 +64,7 @@ impl ShardStrategy {
         match s {
             "range" => Some(ShardStrategy::Range),
             "fennel" => Some(ShardStrategy::Fennel),
+            "walk" => Some(ShardStrategy::Walk),
             _ => None,
         }
     }
@@ -56,6 +74,7 @@ impl ShardStrategy {
         match self {
             ShardStrategy::Range => 0,
             ShardStrategy::Fennel => 1,
+            ShardStrategy::Walk => 2,
         }
     }
 
@@ -64,6 +83,7 @@ impl ShardStrategy {
         match c {
             0 => Some(ShardStrategy::Range),
             1 => Some(ShardStrategy::Fennel),
+            2 => Some(ShardStrategy::Walk),
             _ => None,
         }
     }
@@ -190,20 +210,65 @@ const FENNEL_SLACK: f64 = 1.1;
 /// entries are bit-identical to the unsharded graph's — the RNG-identity
 /// contract of DESIGN.md §5 survives sharding).
 ///
+/// `k` is clamped to the vertex count (a shard with zero vertices can
+/// never do useful work, and empty shards used to confuse `Ownership::k`
+/// and the packed-file round trip). After clamping, every shard is
+/// guaranteed to own at least one vertex.
+///
 /// # Panics
 ///
 /// Panics when `k == 0`.
 pub fn partition_graph(g: &Graph, k: usize, strategy: ShardStrategy) -> ShardedGraph {
     assert!(k > 0, "partition_graph requires k >= 1");
+    let k = clamp_shards(k, g.num_vertices());
     let ownership = match strategy {
         ShardStrategy::Range => Ownership::Range {
             cuts: range_cuts(g, k),
         },
         ShardStrategy::Fennel => Ownership::Table {
-            owner: fennel_assign(g, k),
+            owner: ensure_nonempty(fennel_assign(g, k), k),
+        },
+        ShardStrategy::Walk => Ownership::Table {
+            owner: ensure_nonempty(walk_assign(g, k), k),
         },
     };
     build_shards(g, k, ownership, strategy)
+}
+
+/// Clamp a requested shard count to the number of vertices (so every
+/// shard can own at least one). Empty graphs degrade to a single shard.
+pub fn clamp_shards(k: usize, num_vertices: usize) -> usize {
+    k.min(num_vertices.max(1))
+}
+
+/// Repair a table assignment so every shard `0..k` owns at least one
+/// vertex: each empty shard deterministically steals the lowest-id vertex
+/// of the (then) largest shard. Requires `owner.len() >= k`; a no-op when
+/// the assignment is already covering.
+fn ensure_nonempty(mut owner: Vec<u32>, k: usize) -> Vec<u32> {
+    let n = owner.len();
+    if k <= 1 || n < k {
+        return owner;
+    }
+    let mut sizes = vec![0u64; k];
+    for &o in &owner {
+        sizes[o as usize] += 1;
+    }
+    for s in 0..k {
+        if sizes[s] == 0 {
+            // n >= k and some shard is empty, so the largest holds >= 2
+            // vertices and stays non-empty after donating one.
+            let donor = (0..k).max_by_key(|&d| (sizes[d], usize::MAX - d)).unwrap();
+            let v = owner
+                .iter()
+                .position(|&o| o as usize == donor)
+                .expect("donor shard has a vertex");
+            owner[v] = s as u32;
+            sizes[donor] -= 1;
+            sizes[s] += 1;
+        }
+    }
+    owner
 }
 
 /// Degree-prefix balanced range cuts: shard `s` gets vertices until its
@@ -214,6 +279,12 @@ pub fn range_cuts(g: &Graph, k: usize) -> Vec<VertexId> {
 
 /// [`range_cuts`] over a raw `row_index` array (`n + 1` offsets) — the
 /// packer uses this form before any `Graph` exists.
+///
+/// When `k <= n` every span is guaranteed non-empty: a cut that the
+/// degree-prefix target would land on top of its predecessor (heavily
+/// skewed graphs — one hub holding most edges) is pushed forward, and
+/// late cuts are pulled back far enough that each remaining shard still
+/// gets a vertex.
 pub fn cuts_from_row_index(row_index: &[u64], k: usize) -> Vec<VertexId> {
     let n = row_index.len() - 1;
     let total = row_index[n];
@@ -221,10 +292,18 @@ pub fn cuts_from_row_index(row_index: &[u64], k: usize) -> Vec<VertexId> {
     cuts.push(0);
     for s in 1..k {
         let target = total * s as u64 / k as u64;
-        // First vertex whose starting offset reaches the target, but never
-        // behind the previous cut (degenerate graphs keep cuts monotone).
         let mut c = row_index.partition_point(|&off| off < target) as VertexId;
-        c = c.clamp(*cuts.last().unwrap(), n as VertexId);
+        if k <= n {
+            // Non-empty guarantee: at least one vertex behind this cut,
+            // and at least one left for each of the k - s shards ahead.
+            let lo = cuts.last().unwrap() + 1;
+            let hi = (n - (k - s)) as VertexId;
+            c = c.clamp(lo.min(hi), hi);
+        } else {
+            // Degenerate k > n (only reachable through the raw-array form;
+            // `partition_graph` clamps k): keep cuts monotone.
+            c = c.clamp(*cuts.last().unwrap(), n as VertexId);
+        }
         cuts.push(c);
     }
     cuts.push(n as VertexId);
@@ -285,6 +364,176 @@ fn fennel_assign(g: &Graph, k: usize) -> Vec<u32> {
         touched.clear();
     }
     owner
+}
+
+/// Pilot-walk parameters for [`stationary_estimate`]. Fixed constants keep
+/// the estimate — and therefore [`ShardStrategy::Walk`] placements — a pure
+/// function of the graph.
+const PILOT_WALKS: usize = 4096;
+const PILOT_LENGTH: usize = 8;
+const PILOT_SEED: u64 = 0x5AC4_71F3_9E37_79B9;
+
+/// Estimate the stationary visit distribution of an unbiased random walk.
+///
+/// Blend of a degree-proportional prior (exact for undirected graphs) with
+/// visit counts from a short deterministic pilot pass: up to
+/// `PILOT_WALKS` uniform walks of `PILOT_LENGTH` steps, started evenly
+/// over the non-isolated vertices and driven by a fixed [`SplitMix64`]
+/// seed. Returns a probability vector (sums to 1 unless the graph has no
+/// edges, in which case it is uniform over vertices).
+pub fn stationary_estimate(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_deg: u64 = (0..n as VertexId).map(|v| g.degree(v) as u64).sum();
+    if total_deg == 0 {
+        return vec![1.0 / n as f64; n];
+    }
+    let mut pi: Vec<f64> = (0..n as VertexId)
+        .map(|v| g.degree(v) as f64 / total_deg as f64)
+        .collect();
+    let starts = g.non_isolated_vertices();
+    if !starts.is_empty() {
+        let walks = PILOT_WALKS.min(starts.len().max(64));
+        let mut rng = SplitMix64::new(PILOT_SEED);
+        let mut visits = vec![0u32; n];
+        let mut total_visits = 0u64;
+        for w in 0..walks {
+            // Evenly spaced starts cover the id space without clustering.
+            let mut cur = starts[w * starts.len() / walks];
+            for _ in 0..PILOT_LENGTH {
+                let row = g.neighbors(cur);
+                if row.is_empty() {
+                    break;
+                }
+                cur = row[(rng.next_u64() % row.len() as u64) as usize];
+                visits[cur as usize] += 1;
+                total_visits += 1;
+            }
+        }
+        if total_visits > 0 {
+            let inv = 1.0 / total_visits as f64;
+            for (p, &c) in pi.iter_mut().zip(visits.iter()) {
+                *p = 0.5 * *p + 0.5 * (c as f64 * inv);
+            }
+        }
+    }
+    pi
+}
+
+/// Expected walk crossings per step under ownership `own`:
+/// `Σ_v π(v)/deg(v) · |{u ∈ N(v) : owner(u) ≠ owner(v)}|` with `π` from
+/// [`stationary_estimate`]. This is the probability that one step of a
+/// stationary unbiased walker leaves its current shard — the hand-off
+/// rate the parallel executors in `lightrw::sharded` pay for — whereas
+/// [`ShardedGraph::crossing_rate`] weights every edge equally.
+pub fn expected_walk_crossing(g: &Graph, own: &Ownership) -> f64 {
+    let pi = stationary_estimate(g);
+    expected_walk_crossing_with(g, &pi, |v| own.owner_of(v))
+}
+
+fn expected_walk_crossing_with(g: &Graph, pi: &[f64], owner_of: impl Fn(VertexId) -> usize) -> f64 {
+    let mut rate = 0.0;
+    for v in 0..g.num_vertices() as VertexId {
+        let row = g.neighbors(v);
+        if row.is_empty() {
+            continue;
+        }
+        let here = owner_of(v);
+        let remote = row.iter().filter(|&&d| owner_of(d) != here).count();
+        if remote > 0 {
+            rate += pi[v as usize] * remote as f64 / row.len() as f64;
+        }
+    }
+    rate
+}
+
+/// Walk-aware greedy assignment: fennel's one-pass stream, but the
+/// affinity of a candidate shard counts *expected edge traversals*
+/// (`π(u)/deg(u) + π(v)/deg(v)`, normalized so the average edge weighs
+/// ~1, which keeps fennel's α calibration valid) instead of raw edge
+/// counts. Falls back to degree-prefix range cuts when the greedy
+/// placement scores worse on the walk objective, so `walk` never loses
+/// to `range` on the metric it optimizes.
+fn walk_assign(g: &Graph, k: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    let m = g.num_edges() as f64;
+    let pi = stationary_estimate(g);
+    // Per-vertex expected per-step traversal rate of each incident edge.
+    let edge_rate: Vec<f64> = (0..n as VertexId)
+        .map(|v| {
+            let d = g.degree(v);
+            if d == 0 {
+                0.0
+            } else {
+                pi[v as usize] / d as f64
+            }
+        })
+        .collect();
+    // Scale so the mean edge weight is ~1 (Σ_v π(v) = 1 spread over m
+    // stored edges), keeping fennel's α trade-off calibration.
+    let scale = m.max(1.0);
+    let alpha = if n == 0 {
+        0.0
+    } else {
+        m * (k as f64).powf(FENNEL_GAMMA - 1.0) / (n as f64).powf(FENNEL_GAMMA)
+    };
+    let cap = ((FENNEL_SLACK * n as f64 / k as f64).ceil() as u64).max(1);
+    let mut owner = vec![u32::MAX; n];
+    let mut sizes = vec![0u64; k];
+    let mut affinity = vec![0.0f64; k];
+    let mut touched: Vec<usize> = Vec::with_capacity(k);
+    for v in 0..n as VertexId {
+        for &nbr in g.neighbors(v) {
+            let o = owner[nbr as usize];
+            if o != u32::MAX {
+                if affinity[o as usize] == 0.0 {
+                    touched.push(o as usize);
+                }
+                // Both directions of the edge contribute: the walker can
+                // traverse v→nbr or nbr→v.
+                affinity[o as usize] += scale * (edge_rate[v as usize] + edge_rate[nbr as usize]);
+            }
+        }
+        let mut best = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        for s in 0..k {
+            if sizes[s] >= cap {
+                continue;
+            }
+            let sz = sizes[s] as f64;
+            let penalty = alpha * ((sz + 1.0).powf(FENNEL_GAMMA) - sz.powf(FENNEL_GAMMA));
+            let score = affinity[s] - penalty;
+            if score > best_score {
+                best_score = score;
+                best = s;
+            }
+        }
+        if best == usize::MAX {
+            best = (0..k).min_by_key(|&s| sizes[s]).unwrap();
+        }
+        owner[v as usize] = best as u32;
+        sizes[best] += 1;
+        for &s in &touched {
+            affinity[s] = 0.0;
+        }
+        touched.clear();
+    }
+    // Best-of fallback: score the greedy table against plain range cuts
+    // under the walk objective and keep the winner (as a table either
+    // way, so the packed representation stays uniform for `walk`).
+    let cuts = range_cuts(g, k);
+    let range_owner: Vec<u32> = (0..n as VertexId)
+        .map(|v| (cuts.partition_point(|&c| c <= v) - 1) as u32)
+        .collect();
+    let greedy_rate = expected_walk_crossing_with(g, &pi, |v| owner[v as usize] as usize);
+    let range_rate = expected_walk_crossing_with(g, &pi, |v| range_owner[v as usize] as usize);
+    if greedy_rate <= range_rate {
+        owner
+    } else {
+        range_owner
+    }
 }
 
 /// Materialize the per-shard full-span sub-CSRs from an ownership map.
@@ -458,7 +707,11 @@ mod tests {
     #[test]
     fn k1_is_the_whole_graph() {
         let g = generators::rmat(7, 6, 3);
-        for strategy in [ShardStrategy::Range, ShardStrategy::Fennel] {
+        for strategy in [
+            ShardStrategy::Range,
+            ShardStrategy::Fennel,
+            ShardStrategy::Walk,
+        ] {
             let sg = partition_graph(&g, 1, strategy);
             assert_eq!(sg.k(), 1);
             let s = &sg.shards[0];
@@ -489,12 +742,115 @@ mod tests {
 
     #[test]
     fn strategy_codes_round_trip() {
-        for s in [ShardStrategy::Range, ShardStrategy::Fennel] {
+        for s in [
+            ShardStrategy::Range,
+            ShardStrategy::Fennel,
+            ShardStrategy::Walk,
+        ] {
             assert_eq!(ShardStrategy::from_code(s.code()), Some(s));
             assert_eq!(ShardStrategy::parse(s.name()), Some(s));
         }
         assert_eq!(ShardStrategy::from_code(9), None);
         assert_eq!(ShardStrategy::parse("metis"), None);
+    }
+
+    const ALL_STRATEGIES: [ShardStrategy; 3] = [
+        ShardStrategy::Range,
+        ShardStrategy::Fennel,
+        ShardStrategy::Walk,
+    ];
+
+    fn assert_all_nonempty(sg: &ShardedGraph) {
+        for (s, shard) in sg.shards.iter().enumerate() {
+            assert!(shard.owned_vertices >= 1, "shard {s} is empty");
+        }
+    }
+
+    #[test]
+    fn k_at_or_past_the_vertex_count_clamps_and_stays_nonempty() {
+        let g = generators::rmat(4, 3, 5); // 16 vertices
+        let n = g.num_vertices();
+        for strategy in ALL_STRATEGIES {
+            for k in [n, n + 1, 3 * n] {
+                let sg = partition_graph(&g, k, strategy);
+                assert_eq!(sg.k(), n, "k clamps to the vertex count");
+                assert_eq!(sg.ownership.k(), n, "ownership agrees after repair");
+                check_invariants(&g, &sg);
+                assert_all_nonempty(&sg);
+            }
+        }
+    }
+
+    #[test]
+    fn star_graphs_never_produce_empty_shards() {
+        // A hub holding every edge used to pull all range cuts onto the
+        // same vertex, leaving k-1 empty shards.
+        let mut b = crate::GraphBuilder::undirected();
+        for leaf in 1..=12u32 {
+            b = b.edge(0, leaf);
+        }
+        let g = b.build();
+        for strategy in ALL_STRATEGIES {
+            for k in [2, 3, 7, 13] {
+                let sg = partition_graph(&g, k, strategy);
+                assert_eq!(sg.k(), k.min(g.num_vertices()));
+                check_invariants(&g, &sg);
+                assert_all_nonempty(&sg);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_estimate_is_a_probability_vector() {
+        let g = generators::rmat(7, 6, 11);
+        let pi = stationary_estimate(&g);
+        assert_eq!(pi.len(), g.num_vertices());
+        assert!(pi.iter().all(|&p| p >= 0.0));
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sums to {sum}");
+        // Deterministic: same graph, same estimate.
+        assert_eq!(pi, stationary_estimate(&g));
+    }
+
+    #[test]
+    fn walk_partition_covers_and_never_loses_to_range_on_its_objective() {
+        for (scale, seed) in [(8u32, 7u64), (9, 13)] {
+            let g = generators::rmat(scale, scale as usize - 1, seed);
+            for k in [2, 4] {
+                let sg = partition_graph(&g, k, ShardStrategy::Walk);
+                assert_eq!(sg.strategy, ShardStrategy::Walk);
+                check_invariants(&g, &sg);
+                assert_all_nonempty(&sg);
+                let range = partition_graph(&g, k, ShardStrategy::Range);
+                let walk_rate = expected_walk_crossing(&g, &sg.ownership);
+                let range_rate = expected_walk_crossing(&g, &range.ownership);
+                assert!(
+                    walk_rate <= range_rate + 1e-12,
+                    "walk {walk_rate} > range {range_rate} (k={k}, scale={scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walk_partition_finds_the_clustered_cut() {
+        // Same interleaved two-clique construction as the fennel test:
+        // walk-weighted affinity should also discover the near-perfect cut.
+        let mut b = crate::GraphBuilder::undirected();
+        for i in 0..20u32 {
+            for j in (i + 1)..20 {
+                b = b.edge(2 * i, 2 * j);
+                b = b.edge(2 * i + 1, 2 * j + 1);
+            }
+        }
+        let g = b.edge(0, 1).build();
+        let sg = partition_graph(&g, 2, ShardStrategy::Walk);
+        check_invariants(&g, &sg);
+        assert!(
+            sg.crossing_rate() < 0.10,
+            "walk crossing rate {} too high",
+            sg.crossing_rate()
+        );
     }
 
     #[test]

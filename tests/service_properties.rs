@@ -326,6 +326,7 @@ proptest! {
     fn sharded_sessions_emit_exactly_once_under_random_schedules(
         shards in 1usize..7,
         flush in 1usize..24,
+        shard_threads in 0usize..4,
         length in 1u32..10,
         n_queries in 1usize..40,
         budgets in vec(1u64..17, 1..30),
@@ -333,15 +334,19 @@ proptest! {
         sampler_pick in 0usize..3,
         start_seed in 0u64..400,
     ) {
-        // The partitioned execution path (DESIGN.md §11) under the same
-        // adversarial schedules as the CPU lanes above: a random shard
-        // count, a random hand-off flush budget, a random advance-budget
-        // sequence and an optional mid-flight cancel must preserve
-        // exactly-once id-ordered emission — here the `InOrderEmitter`
-        // watermark sits over walkers that *migrate between shards*
-        // mid-walk, so a dropped or duplicated hand-off record would
-        // surface as a missing or repeated id. Node2Vec keeps the
-        // second-order prev-row payload in play on every crossing.
+        // The partitioned execution path (DESIGN.md §11–§12) under the
+        // same adversarial schedules as the CPU lanes above: a random
+        // shard count, a random hand-off flush budget, a random executor
+        // thread count (0 = one pinned executor per shard, 1 = the
+        // sequential interleave, 2..4 = shards folded onto fewer
+        // executors with racy channel batch arrival), a random
+        // advance-budget sequence and an optional mid-flight cancel must
+        // preserve exactly-once id-ordered emission — here the
+        // `InOrderEmitter` watermark sits over walkers that *migrate
+        // between shards* mid-walk, so a dropped or duplicated hand-off
+        // record would surface as a missing or repeated id. Node2Vec
+        // keeps the second-order prev-row payload in play on every
+        // crossing.
         let cancel_at = (cancel_raw < 20).then_some(cancel_raw);
         let sampler = match sampler_pick {
             0 => SamplerKind::InverseTransform,
@@ -359,7 +364,8 @@ proptest! {
             sampler,
             31,
         )
-        .with_flush_budget(flush);
+        .with_flush_budget(flush)
+        .with_shard_threads(shard_threads);
         let noniso = g.non_isolated_vertices();
         let starts: Vec<u32> = (0..n_queries)
             .map(|i| noniso[(start_seed as usize + i * 3) % noniso.len()])

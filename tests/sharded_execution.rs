@@ -9,6 +9,9 @@
 //! - **Partition independence**: shard count, partition strategy and
 //!   flush budget never change sampled walks, because every walker owns
 //!   a private RNG stream that travels with it across hand-offs.
+//! - **Schedule independence**: parallel pinned executors
+//!   (`with_shard_threads`) reproduce the sequential interleave bit for
+//!   bit for every app × sampler kind, whatever the thread count.
 //! - **Packed round-trip**: a partition loaded from an `LRWPAK01` file
 //!   (plain or varint-compressed columns) drives the engine to the same
 //!   walks as an in-memory partition of the same graph.
@@ -74,7 +77,11 @@ fn partition_strategy_shard_count_and_flush_budget_never_change_walks() {
     let baseline =
         ShardedEngine::partition(&g, 2, ShardStrategy::Range, &nv, SamplerKind::Alias, 13)
             .run_collected(&qs);
-    for strategy in [ShardStrategy::Range, ShardStrategy::Fennel] {
+    for strategy in [
+        ShardStrategy::Range,
+        ShardStrategy::Fennel,
+        ShardStrategy::Walk,
+    ] {
         for (k, flush) in [(2, 1), (3, 16), (4, 64), (7, 5)] {
             let engine = ShardedEngine::partition(&g, k, strategy, &nv, SamplerKind::Alias, 13)
                 .with_flush_budget(flush);
@@ -85,6 +92,42 @@ fn partition_strategy_shard_count_and_flush_budget_never_change_walks() {
                 "walks changed under {} k={k} flush={flush}",
                 strategy.name()
             );
+        }
+    }
+}
+
+#[test]
+fn parallel_executors_are_bit_identical_to_the_sequential_interleave() {
+    // The tentpole contract: real per-shard executor threads may retire
+    // walkers and deliver hand-off batches in any order, yet the sampled
+    // walks must equal the single-thread interleave exactly — for every
+    // app × sampler kind, because each walker's RNG stream is a pure
+    // function of its query, not of the schedule. threads=2 folds three
+    // shards onto two executors (one runs two lanes); threads=0 pins one
+    // executor per shard.
+    let mut g = generators::rmat_dataset(8, 14);
+    g.build_prefix_cache();
+    let mp = MetaPath::new(vec![0, 1, 0, 1, 0]);
+    let nv = Node2Vec::paper_params();
+    let apps: [&dyn WalkApp; 4] = [&Uniform, &StaticWeighted, &mp, &nv];
+    let qs = QuerySet::per_nonisolated_vertex(&g, 6, 4);
+
+    for app in apps {
+        for kind in ALL_SAMPLERS {
+            let sequential = ShardedEngine::partition(&g, 3, ShardStrategy::Range, app, kind, 21)
+                .run_collected(&qs);
+            for threads in [2, 0] {
+                let engine = ShardedEngine::partition(&g, 3, ShardStrategy::Range, app, kind, 21)
+                    .with_shard_threads(threads);
+                let got = engine.run_collected(&qs);
+                assert_eq!(
+                    got,
+                    sequential,
+                    "parallel schedule changed walks: {} / {} threads={threads}",
+                    app.name(),
+                    kind.name()
+                );
+            }
         }
     }
 }
