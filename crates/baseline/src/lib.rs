@@ -61,6 +61,7 @@ pub mod engine;
 pub mod lanes;
 pub mod llc;
 pub mod profile;
+pub mod signal;
 pub mod thread_clock;
 
 pub use engine::{BaselineConfig, BaselineRunStats, CpuEngine, CpuSession};

@@ -1,0 +1,186 @@
+//! Best-effort graceful-shutdown signals for serving loops.
+//!
+//! The network front door (DESIGN.md §13) and the trace-replay `serve`
+//! mode both need one bit of information — *the operator asked us to
+//! stop* — delivered asynchronously by SIGINT (Ctrl-C) or SIGTERM
+//! (systemd, `kill`, CI teardown). We hand-roll the `sigaction(2)`
+//! wrapper over its libc symbol, exactly like the [`crate::affinity`]
+//! and `mmap` wrappers, because the build is offline and vendored-only.
+//!
+//! The contract is **degrade, never fail** (DESIGN.md §9): installation
+//! returns a plain `bool`, and a platform where handlers cannot be
+//! installed (non-Linux, or a raced `sigaction` failure) simply leaves
+//! the default disposition in place — the process dies abruptly on
+//! signal instead of draining, which is the pre-existing behavior, not
+//! a new failure mode. The handler itself only performs the single
+//! async-signal-safe action of storing a relaxed atomic flag; all
+//! draining logic runs in ordinary threads that poll
+//! [`shutdown_requested`].
+//!
+//! [`request_shutdown`] sets the same flag programmatically so embedding
+//! code (tests, admin endpoints, the drain-deadline watchdog) shares one
+//! code path with the signal handler, and [`clear_shutdown`] re-arms the
+//! flag for the next serve loop in one process (tests, REPL embeddings).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The one-way "stop serving" latch. Process-global by design: a signal
+/// does not name a recipient, so every serve loop in the process drains
+/// together.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    /// glibc's `struct sigaction` on Linux: the handler pointer, a
+    /// 1024-bit signal mask (`sigset_t`), the flags word, and the
+    /// legacy restorer pointer. Field order matters — it mirrors the
+    /// glibc definition, not the raw kernel one.
+    #[repr(C)]
+    struct SigAction {
+        handler: usize,
+        mask: [u64; 16],
+        flags: i32,
+        restorer: usize,
+    }
+
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, oldact: *mut SigAction) -> i32;
+        fn raise(signum: i32) -> i32;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    /// The installed handler: stores the flag and nothing else (the only
+    /// async-signal-safe thing worth doing). No `SA_RESTART`, so a
+    /// blocking `accept(2)` on the signalled thread returns `EINTR` and
+    /// its loop observes the flag promptly.
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    /// Install [`on_signal`] for `signum`; false on syscall failure.
+    pub fn install(signum: i32) -> bool {
+        let act = SigAction {
+            handler: on_signal as *const () as usize,
+            mask: [0; 16],
+            flags: 0,
+            restorer: 0,
+        };
+        // SAFETY: `act` is a properly laid out glibc sigaction whose
+        // handler only touches an atomic; the old action is discarded.
+        unsafe { sigaction(signum, &act, std::ptr::null_mut()) == 0 }
+    }
+
+    /// Deliver `signum` to the calling thread (test harness use).
+    pub fn raise_signal(signum: i32) -> bool {
+        // SAFETY: plain libc call; our handler is async-signal-safe.
+        unsafe { raise(signum) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    /// Non-Linux stub: handlers cannot be installed; the default
+    /// disposition stays (degrade, never fail).
+    pub fn install(_signum: i32) -> bool {
+        false
+    }
+
+    /// Non-Linux stub: nothing to deliver to.
+    pub fn raise_signal(_signum: i32) -> bool {
+        false
+    }
+}
+
+/// Install the shutdown handler for SIGINT and SIGTERM. Returns whether
+/// *both* installations took effect; `false` (non-Linux, syscall
+/// failure) leaves the default kill-on-signal disposition in place, so
+/// callers may serve exactly as before — just without graceful drains.
+///
+/// Idempotent: re-installing is harmless, and the flag's current value
+/// is preserved.
+pub fn install_shutdown_handler() -> bool {
+    let int_ok = imp::install(imp::SIGINT);
+    let term_ok = imp::install(imp::SIGTERM);
+    int_ok && term_ok
+}
+
+/// True once a shutdown was requested — by signal or by
+/// [`request_shutdown`]. Serve loops poll this between accepts/ticks.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Request a shutdown programmatically (same latch the signal handler
+/// sets): tests, drain watchdogs and embedding code share the signal
+/// path's drain logic.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Re-arm the latch for a subsequent serve loop in the same process.
+/// Only meaningful once the previous loop has fully drained; the CLI
+/// calls it before entering a serve loop so a stale flag from an earlier
+/// in-process run (tests run many) cannot pre-empt a fresh one.
+pub fn clear_shutdown() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+/// Deliver a real SIGINT/SIGTERM to the current process (used by the
+/// signal-path tests; no-op `false` off Linux). `signum` accepts the
+/// [`SIGINT`]/[`SIGTERM`] constants re-exported here.
+pub fn raise_for_tests(signum: i32) -> bool {
+    imp::raise_signal(signum)
+}
+
+/// SIGINT's number, for [`raise_for_tests`].
+pub const SIGINT: i32 = 2;
+/// SIGTERM's number, for [`raise_for_tests`].
+pub const SIGTERM: i32 = 15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test fn drives the whole lifecycle: the latch is process-global,
+    // so splitting these into separate #[test]s would race each other
+    // under the parallel harness.
+    #[test]
+    fn signal_lifecycle_sets_and_clears_the_latch() {
+        clear_shutdown();
+        assert!(!shutdown_requested());
+
+        // The programmatic path works everywhere.
+        request_shutdown();
+        assert!(shutdown_requested());
+        clear_shutdown();
+        assert!(!shutdown_requested());
+
+        // The signal path: install, deliver a real SIGTERM, observe the
+        // latch. On platforms where installation degrades there is
+        // nothing further to assert (default disposition would have
+        // killed us, so we must not raise).
+        if install_shutdown_handler() {
+            assert!(raise_for_tests(SIGTERM));
+            assert!(shutdown_requested(), "SIGTERM must set the latch");
+            clear_shutdown();
+            assert!(raise_for_tests(SIGINT));
+            assert!(shutdown_requested(), "SIGINT must set the latch");
+            clear_shutdown();
+        } else if cfg!(target_os = "linux") {
+            panic!("linux must install the handler");
+        }
+
+        // Idempotent re-install preserves the flag value.
+        request_shutdown();
+        install_shutdown_handler();
+        assert!(shutdown_requested());
+        clear_shutdown();
+    }
+}

@@ -61,6 +61,17 @@
 //! in-bench. A `compression` section records the packed-file shrink of
 //! the varint neighbor-list encoding.
 //!
+//! A fifth file, `BENCH_serve_latency.json` (`--out-serve PATH`,
+//! scenario `serve_latency`), carries the front-door serving sweep
+//! (DESIGN.md §13): an in-process open-loop load generator drives the
+//! scheduler + admission-control pair with Poisson arrivals from four
+//! synthetic tenants at 0.25× → 2× of the calibrated capacity,
+//! recording per level the admitted-job p50/p99 latency (plus its
+//! queue-wait/execution split), throughput, and the shed rate. The
+//! acceptance shape is *graceful degradation*: past saturation the
+//! shed rate rises while admitted-job p99 stays bounded — an
+//! ever-growing queue would instead show unbounded p99 with zero shed.
+//!
 //! ```text
 //! cargo run --release -p lightrw-bench --bin bench_report -- --quick
 //! cargo run --release -p lightrw-bench --bin bench_report -- program_mix --quick
@@ -69,9 +80,9 @@
 //! ```
 //!
 //! Positional arguments select scenarios (`hotpath`, `service`,
-//! `program_mix`, `graph_scale`, `shard_scale`); none selects the
-//! default `hotpath` + `service` pair, and each scenario writes only its
-//! own JSON file.
+//! `program_mix`, `graph_scale`, `shard_scale`, `serve_latency`); none
+//! selects the default `hotpath` + `service` pair, and each scenario
+//! writes only its own JSON file.
 //!
 //! `--baseline PATH` embeds the `throughput` rows of a previous report (a
 //! file this binary wrote) under `"baseline"`, giving one file with
@@ -79,7 +90,7 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lightrw::graph::generators::rmat_dataset;
 use lightrw::prelude::*;
@@ -129,9 +140,11 @@ struct ReportOpts {
     out_service: String,
     out_programs: String,
     out_scale: String,
+    out_serve: String,
     baseline: Option<String>,
     /// Scenario names to run (`hotpath`, `service`, `program_mix`,
-    /// `graph_scale`); empty = the default `hotpath` + `service` pair.
+    /// `graph_scale`, `shard_scale`, `serve_latency`); empty = the
+    /// default `hotpath` + `service` pair.
     scenarios: Vec<String>,
 }
 
@@ -145,13 +158,15 @@ impl ReportOpts {
             out_service: "BENCH_service.json".to_string(),
             out_programs: "BENCH_programs.json".to_string(),
             out_scale: "BENCH_scale.json".to_string(),
+            out_serve: "BENCH_serve_latency.json".to_string(),
             baseline: None,
             scenarios: Vec::new(),
         };
         const USAGE: &str =
-            "usage: bench_report [hotpath|service|program_mix|graph_scale|shard_scale ...] \
+            "usage: bench_report [hotpath|service|program_mix|graph_scale|shard_scale\
+             |serve_latency ...] \
              --scale N --seed N --quick --out PATH --out-service PATH \
-             --out-programs PATH --out-scale PATH --baseline PATH";
+             --out-programs PATH --out-scale PATH --out-serve PATH --baseline PATH";
         fn die(msg: &str) -> ! {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");
@@ -183,14 +198,14 @@ impl ReportOpts {
                 "--out-service" => o.out_service = value(&args, &mut i, "--out-service"),
                 "--out-programs" => o.out_programs = value(&args, &mut i, "--out-programs"),
                 "--out-scale" => o.out_scale = value(&args, &mut i, "--out-scale"),
+                "--out-serve" => o.out_serve = value(&args, &mut i, "--out-serve"),
                 "--baseline" => o.baseline = Some(value(&args, &mut i, "--baseline")),
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
                 }
-                name @ ("hotpath" | "service" | "program_mix" | "graph_scale" | "shard_scale") => {
-                    o.scenarios.push(name.to_string())
-                }
+                name @ ("hotpath" | "service" | "program_mix" | "graph_scale" | "shard_scale"
+                | "serve_latency") => o.scenarios.push(name.to_string()),
                 other => die(&format!("unknown option or scenario {other}")),
             }
             i += 1;
@@ -636,6 +651,240 @@ fn measure_service_saturation(
             best.p99_ms
         );
         rows.push(best);
+    }
+}
+
+/// One offered-load level of the `serve_latency` scenario.
+struct ServeLatencyRow {
+    /// Offered load as a multiple of the calibrated step capacity.
+    offered_x: f64,
+    /// Aggregate Poisson arrival rate across tenants, jobs/s.
+    offered_jobs_per_s: f64,
+    tenants: usize,
+    submitted: u64,
+    admitted: u64,
+    shed_tenant_rate: u64,
+    shed_queue_depth: u64,
+    completed: usize,
+    steps: u64,
+    secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p99_queue_wait_ms: f64,
+    p99_exec_ms: f64,
+}
+
+impl ServeLatencyRow {
+    fn shed(&self) -> u64 {
+        self.shed_tenant_rate + self.shed_queue_depth
+    }
+
+    fn shed_rate(&self) -> f64 {
+        if self.submitted > 0 {
+            self.shed() as f64 / self.submitted as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"offered_x\": {:.2}, \"offered_jobs_per_s\": {:.1}, \"tenants\": {}, \
+             \"submitted\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"shed_tenant_rate\": {}, \"shed_queue_depth\": {}, \"shed_rate\": {:.4}, \
+             \"completed\": {}, \"steps_per_sec\": {:.1}, \
+             \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \
+             \"p99_queue_wait_ms\": {:.3}, \"p99_exec_ms\": {:.3}}}",
+            self.offered_x,
+            self.offered_jobs_per_s,
+            self.tenants,
+            self.submitted,
+            self.admitted,
+            self.shed(),
+            self.shed_tenant_rate,
+            self.shed_queue_depth,
+            self.shed_rate(),
+            self.completed,
+            self.steps_per_sec(),
+            self.p50_ms,
+            self.p99_ms,
+            self.p99_queue_wait_ms,
+            self.p99_exec_ms
+        )
+    }
+}
+
+/// SplitMix64: the load generator's arrival-time source. Hand-rolled so
+/// the sweep is reproducible from `--seed` with no external RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One exponential inter-arrival draw (seconds) at `rate` arrivals/s —
+/// the open-loop Poisson process behind the `serve_latency` sweep.
+fn exp_interarrival(state: &mut u64, rate: f64) -> f64 {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    -(1.0 - u).ln() / rate
+}
+
+/// The `serve_latency` scenario (DESIGN.md §13): the front door's
+/// scheduler + admission-control pair under open-loop Poisson load,
+/// in-process (no sockets, so the sweep isolates scheduling and shedding
+/// from kernel TCP noise). A closed-loop burst first calibrates the
+/// pool's step capacity; each level then offers `offered_x ×` that
+/// capacity as fixed-shape jobs from four tenants, routing every arrival
+/// through [`Admission::check`] exactly as `serve --listen` does.
+///
+/// The acceptance shape is graceful degradation: below 1× nothing sheds
+/// and latency is flat; past 1× the shed rate climbs while the
+/// admitted-job p99 stays bounded by the queue high-water — the
+/// unbounded-queue alternative would show p99 growing with the window
+/// length instead.
+fn measure_serve_latency(
+    name: &str,
+    g: &Graph,
+    opts: &ReportOpts,
+    rows: &mut Vec<ServeLatencyRow>,
+) {
+    use lightrw::http::{Admission, AdmissionConfig, Verdict};
+
+    let tenants = 4usize;
+    let queries = 32usize;
+    let len: u32 = if opts.quick { 8 } else { 24 };
+    let cost = queries as u64 * len as u64;
+    let backend = Backend::Cpu {
+        threads: 0,
+        sampler: SamplerKind::InverseTransform,
+    };
+    // A finite per-tenant pending-steps quota (8 jobs' worth) is what
+    // makes the queue high-water meaningful: without it every admitted
+    // job starts running immediately and the waiting queue — the thing
+    // admission control watches — never fills, so overload shows up as
+    // unbounded concurrency (and unbounded p99) instead of shedding.
+    let service_cfg = ServiceConfig {
+        quantum: 2048,
+        tenant_pending_steps: 8 * cost,
+    };
+
+    // Calibrate: a saturating closed-loop burst measures the sustainable
+    // steps/s that anchors the offered-load axis.
+    let capacity = {
+        let pool = backend.build_pool(g, &Uniform, opts.seed, 1);
+        let workers: Vec<&dyn WalkEngine> = pool.iter().map(|e| e.as_ref()).collect();
+        let mut service = WalkService::new(workers, service_cfg);
+        let t = Instant::now();
+        for j in 0..24u64 {
+            let qs = QuerySet::n_queries(g, queries, len, opts.seed ^ (j << 8));
+            service.submit(JobSpec::tenant((j as usize % tenants) as u32), qs);
+        }
+        service.run_until_idle();
+        let secs = t.elapsed().as_secs_f64().max(1e-6);
+        service.stats().total_steps as f64 / secs
+    };
+    eprintln!(
+        "serve_latency {name}: calibrated capacity {}",
+        lightrw_bench::fmt_rate(capacity)
+    );
+
+    let window_s = if opts.quick { 0.4 } else { 1.5 };
+    for offered_x in [0.25, 0.5, 1.0, 1.5, 2.0] {
+        // Pre-draw the window's Poisson arrival times so generation cost
+        // stays off the measured loop.
+        let lambda = (capacity * offered_x / cost as f64).max(1e-6);
+        let mut state = opts.seed ^ ((offered_x * 100.0) as u64).wrapping_mul(0x9e37);
+        let mut arrivals = Vec::new();
+        let mut at = 0.0f64;
+        loop {
+            at += exp_interarrival(&mut state, lambda);
+            if at >= window_s {
+                break;
+            }
+            arrivals.push(at);
+        }
+
+        let pool = backend.build_pool(g, &Uniform, opts.seed, 1);
+        let workers: Vec<&dyn WalkEngine> = pool.iter().map(|e| e.as_ref()).collect();
+        let mut service = WalkService::new(workers, service_cfg);
+        // Per-tenant rate 0.3× capacity (aggregate 1.2×) with a shallow
+        // queue: past saturation the queue high-water sheds first, so
+        // admitted jobs keep a bounded wait.
+        let mut admission = Admission::new(AdmissionConfig {
+            rate_steps_per_s: 0.3 * capacity,
+            burst_steps: 4.0 * cost as f64,
+            queue_high_water: 16,
+        });
+        let t0 = Instant::now();
+        let mut next = 0usize;
+        while next < arrivals.len() || !service.is_idle() {
+            let now_s = t0.elapsed().as_secs_f64();
+            while next < arrivals.len() && arrivals[next] <= now_s {
+                let tenant = (next % tenants) as u32;
+                let verdict = admission.check(tenant, cost, service.waiting_len(), Instant::now());
+                if let Verdict::Admit = verdict {
+                    let qs = QuerySet::n_queries(g, queries, len, opts.seed ^ ((next as u64) << 8));
+                    service.submit_streaming(
+                        JobSpec::tenant(tenant),
+                        qs,
+                        // Paths are dropped: the scenario measures
+                        // scheduling latency, not collection.
+                        Box::new(|_: u32, _: &[lightrw::graph::VertexId]| {}),
+                    );
+                }
+                next += 1;
+            }
+            if service.is_idle() {
+                if next < arrivals.len() {
+                    // Open-loop gap with nothing running: sleep toward the
+                    // next arrival instead of spinning.
+                    let wait = arrivals[next] - t0.elapsed().as_secs_f64();
+                    if wait > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(wait.min(0.002)));
+                    }
+                }
+            } else {
+                service.tick();
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-6);
+        let stats = service.stats();
+        let row = ServeLatencyRow {
+            offered_x,
+            offered_jobs_per_s: lambda,
+            tenants,
+            submitted: arrivals.len() as u64,
+            admitted: admission.admitted,
+            shed_tenant_rate: admission.shed_tenant_rate,
+            shed_queue_depth: admission.shed_queue_depth,
+            completed: stats.completed_jobs,
+            steps: stats.total_steps,
+            secs,
+            p50_ms: stats.p50_latency_s * 1e3,
+            p99_ms: stats.p99_latency_s * 1e3,
+            p99_queue_wait_ms: stats.p99_queue_wait_s * 1e3,
+            p99_exec_ms: stats.p99_exec_s * 1e3,
+        };
+        eprintln!(
+            "serve_latency {name}: {:.2}x offered -> {} admitted / {} shed ({:.0}% shed), \
+             p99 {:.2} ms",
+            row.offered_x,
+            row.admitted,
+            row.shed(),
+            row.shed_rate() * 100.0,
+            row.p99_ms
+        );
+        rows.push(row);
     }
 }
 
@@ -1187,7 +1436,10 @@ fn main() {
 
     // `graph_scale` builds its own packed datasets on disk; only the
     // in-memory scenarios need the stand-in graphs materialized here.
-    let needs_datasets = opts.runs("hotpath") || opts.runs("service") || opts.runs("program_mix");
+    let needs_datasets = opts.runs("hotpath")
+        || opts.runs("service")
+        || opts.runs("program_mix")
+        || opts.runs("serve_latency");
     let datasets: Vec<(String, Graph)> = if !needs_datasets {
         Vec::new()
     } else if opts.quick {
@@ -1245,6 +1497,14 @@ fn main() {
     if opts.runs("program_mix") {
         let (name, g) = &datasets[0];
         measure_program_mix(name, g, &opts, &mut program_rows);
+    }
+
+    // The serving sweep likewise: it measures admission + scheduling
+    // under load, not the graph.
+    let mut serve_rows = Vec::new();
+    if opts.runs("serve_latency") {
+        let (name, g) = &datasets[0];
+        measure_serve_latency(name, g, &opts, &mut serve_rows);
     }
 
     // The out-of-core sweep packs its own datasets to disk.
@@ -1364,6 +1624,27 @@ fn main() {
         program_json.push_str("  ]\n}\n");
         std::fs::write(&opts.out_programs, &program_json).expect("write program report");
         written.push(&opts.out_programs);
+    }
+
+    // The serving artifact: the front-door offered-load sweep, one row
+    // per level so the degradation shape diffs across history.
+    if opts.runs("serve_latency") {
+        let mut serve_json = String::from("{\n");
+        let _ = writeln!(serve_json, "  \"bench\": \"serve_latency\",");
+        let _ = writeln!(
+            serve_json,
+            "  \"config\": {{\"scale\": {}, \"seed\": {}, \"quick\": {}, \
+             \"backend\": \"cpu\", \"dataset\": \"{}\", \"app\": \"uniform\"}},",
+            opts.scale, opts.seed, opts.quick, datasets[0].0
+        );
+        serve_json.push_str("  \"sweep\": [\n");
+        for (i, r) in serve_rows.iter().enumerate() {
+            let sep = if i + 1 < serve_rows.len() { "," } else { "" };
+            let _ = writeln!(serve_json, "    {}{sep}", r.to_json());
+        }
+        serve_json.push_str("  ]\n}\n");
+        std::fs::write(&opts.out_serve, &serve_json).expect("write serve report");
+        written.push(&opts.out_serve);
     }
 
     // The out-of-core artifact: the pack → mmap → walk sweep per scale,

@@ -15,6 +15,8 @@
 //! lightrw-cli walk g.bin --program ppr:alpha=0.15,max=80 --engine cpu
 //! lightrw-cli serve g.bin --jobs spec.json --engine cpu --workers 2
 //! lightrw-cli serve g.bin --synthetic-tenants 4 --jobs-per-tenant 2
+//! lightrw-cli serve g.bin --listen 127.0.0.1:0 --workers 2
+//! lightrw-cli client --addr 127.0.0.1:8080 --synthetic-tenants 2
 //! ```
 //!
 //! `walk` dispatches over the engine-agnostic session layer
@@ -34,6 +36,18 @@
 //! must emit exactly one path per query, in order — and prints per-tenant
 //! throughput plus p50/p99 job latency. A dropped or duplicated path is a
 //! hard error, which is what the CI `service-soak` step relies on.
+//!
+//! `serve --listen ADDR` swaps the trace replay for the network front
+//! door ([`crate::http`], DESIGN.md §13): `POST /jobs` streams a job's
+//! paths back as chunked NDJSON while it runs, `GET /stats` reports the
+//! live scheduler snapshot, and over-limit submissions are shed with
+//! `429` + `Retry-After`. `client` is the matching load driver: it
+//! submits a trace's jobs concurrently over real sockets and audits the
+//! same exactly-once contract on the wire (the CI `serve-soak` step).
+//! Both serve modes drain gracefully on SIGINT/SIGTERM
+//! (`lightrw_baseline::signal`): in-flight jobs get up to `--drain-ms`
+//! to finish, then are cancelled with their partial paths flushed —
+//! degrade, never fail.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -116,6 +130,13 @@ impl Args {
         }
     }
 
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+        }
+    }
+
     fn flag(&self, key: &str) -> bool {
         self.get(key) == Some("true")
     }
@@ -130,6 +151,7 @@ pub fn run(subcommand: &str, args: &Args) -> Result<String, String> {
         "info" => cmd_info(args),
         "walk" => cmd_walk(args),
         "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "help" | "--help" => Ok(usage().to_string()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
@@ -164,12 +186,23 @@ pub fn usage() -> &'static str {
      \x20        --shards K walks on the sharded engine; --shard-threads\n\
      \x20        pins parallel per-shard executors (0 = one per shard);\n\
      \x20        --repartition overrides a mismatched packed partition\n\
-     serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N)\n\
+     serve    GRAPH.bin (--jobs SPEC.json | --synthetic-tenants N\n\
+     \x20        | --listen ADDR)\n\
      \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
      \x20        [--app NAME] [--engine sim|cpu|reference] [--workers N]\n\
      \x20        [--threads N] [--sampler NAME] [--shards K]\n\
      \x20        [--shard-threads N] [--quantum N] [--tenant-budget N]\n\
-     \x20        [--seed N]\n\
+     \x20        [--seed N] [--drain-ms N] [--shutdown-after-ticks N]\n\
+     \x20        --listen ADDR serves HTTP (POST /jobs streams NDJSON\n\
+     \x20        paths, GET /stats) instead of replaying a trace; use\n\
+     \x20        port 0 to pick a free port (printed on stdout).\n\
+     \x20        [--rate STEPS/S] [--burst STEPS] [--queue-high-water N]\n\
+     \x20        [--io-timeout-ms N] tune admission control / shedding.\n\
+     \x20        SIGINT/SIGTERM drain gracefully in both modes\n\
+     client   --addr HOST:PORT (--jobs SPEC.json | --synthetic-tenants N)\n\
+     \x20        [--jobs-per-tenant N] [--queries N] [--length N]\n\
+     \x20        submits each trace job over HTTP concurrently, audits\n\
+     \x20        exactly-once path delivery, then polls GET /stats\n\
      \n\
      walk, serve and info auto-detect packed (.lrwpak) graphs and load\n\
      them via mmap (use --in-memory to copy to heap, or a packed: prefix\n\
@@ -767,9 +800,78 @@ fn cmd_walk(args: &Args) -> Result<String, String> {
     Ok(format!("{summary}{out_line}"))
 }
 
+/// Build the worker backend from the CLI flags, falling back to the
+/// trace's own sizing fields (`threads`, `shards`, `shard_threads`)
+/// when replaying one. The listen mode passes no trace — flags only.
+fn configure_backend(
+    args: &Args,
+    trace: Option<&crate::jobspec::Trace>,
+) -> Result<Backend, String> {
+    let mut backend = Backend::parse(args.get("engine").unwrap_or("cpu"))?;
+    // Worker sizing flows through one knob: an explicit --threads wins,
+    // else the trace's own `threads` field — both land in
+    // Backend::with_threads, so every pool engine's LanePlan agrees with
+    // what the spec asked for.
+    let threads = match args.get("threads") {
+        Some(t) => Some(
+            t.parse::<usize>()
+                .map_err(|_| "--threads must be an integer".to_string())?,
+        ),
+        None => trace.and_then(|t| t.threads),
+    };
+    if let Some(t) = threads {
+        backend = backend.with_threads(t)?;
+    }
+    // Shard sizing mirrors thread sizing: an explicit --shards wins,
+    // else the trace's `shards` field — which, like `threads` for
+    // non-CPU backends, is ignored unless the engine is sharded.
+    let shards = match args.get("shards") {
+        Some(s) => Some(
+            s.parse::<usize>()
+                .map_err(|_| "--shards must be an integer".to_string())?,
+        ),
+        None => trace
+            .and_then(|t| t.shards)
+            .filter(|_| matches!(backend, Backend::Sharded { .. })),
+    };
+    if let Some(k) = shards {
+        backend = backend.with_shards(
+            k,
+            parse_strategy(args)?,
+            args.get_u64(
+                "flush-budget",
+                crate::sharded::ShardedEngine::DEFAULT_FLUSH_BUDGET as u64,
+            )?
+            .max(1) as usize,
+        )?;
+    }
+    // Executor-thread sizing for sharded backends follows the same
+    // precedence: an explicit --shard-threads wins, else the trace's
+    // `shard_threads` field.
+    let shard_threads = match args.get("shard-threads") {
+        Some(t) => Some(t.parse::<usize>().map_err(|_| {
+            "--shard-threads must be an integer (0 = one thread per shard)".to_string()
+        })?),
+        None => trace
+            .and_then(|t| t.shard_threads)
+            .filter(|_| matches!(backend, Backend::Sharded { .. })),
+    };
+    if let Some(t) = shard_threads {
+        backend = backend.with_shard_threads(t)?;
+    }
+    if let Some(name) = args.get("sampler") {
+        backend = backend.with_sampler(Backend::parse_sampler(name)?);
+    }
+    Ok(backend)
+}
+
 fn cmd_serve(args: &Args) -> Result<String, String> {
     use crate::jobspec;
     use lightrw_walker::service::{JobSpec, ServiceConfig, WalkService};
+
+    if let Some(addr) = args.get("listen") {
+        return cmd_serve_listen(args, addr);
+    }
 
     let positional = args
         .positional
@@ -814,61 +916,7 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
     let g = loaded.graph;
     let app = parse_app(args, &g)?;
 
-    let mut backend = Backend::parse(args.get("engine").unwrap_or("cpu"))?;
-    // Worker sizing flows through one knob: an explicit --threads wins,
-    // else the trace's own `threads` field — both land in
-    // Backend::with_threads, so every pool engine's LanePlan agrees with
-    // what the spec asked for.
-    let threads = match args.get("threads") {
-        Some(t) => Some(
-            t.parse::<usize>()
-                .map_err(|_| "--threads must be an integer".to_string())?,
-        ),
-        None => trace.threads,
-    };
-    if let Some(t) = threads {
-        backend = backend.with_threads(t)?;
-    }
-    // Shard sizing mirrors thread sizing: an explicit --shards wins,
-    // else the trace's `shards` field — which, like `threads` for
-    // non-CPU backends, is ignored unless the engine is sharded.
-    let shards = match args.get("shards") {
-        Some(s) => Some(
-            s.parse::<usize>()
-                .map_err(|_| "--shards must be an integer".to_string())?,
-        ),
-        None => trace
-            .shards
-            .filter(|_| matches!(backend, Backend::Sharded { .. })),
-    };
-    if let Some(k) = shards {
-        backend = backend.with_shards(
-            k,
-            parse_strategy(args)?,
-            args.get_u64(
-                "flush-budget",
-                crate::sharded::ShardedEngine::DEFAULT_FLUSH_BUDGET as u64,
-            )?
-            .max(1) as usize,
-        )?;
-    }
-    // Executor-thread sizing for sharded backends follows the same
-    // precedence: an explicit --shard-threads wins, else the trace's
-    // `shard_threads` field.
-    let shard_threads = match args.get("shard-threads") {
-        Some(t) => Some(t.parse::<usize>().map_err(|_| {
-            "--shard-threads must be an integer (0 = one thread per shard)".to_string()
-        })?),
-        None => trace
-            .shard_threads
-            .filter(|_| matches!(backend, Backend::Sharded { .. })),
-    };
-    if let Some(t) = shard_threads {
-        backend = backend.with_shard_threads(t)?;
-    }
-    if let Some(name) = args.get("sampler") {
-        backend = backend.with_sampler(Backend::parse_sampler(name)?);
-    }
+    let backend = configure_backend(args, Some(&trace))?;
     let workers = args.get_u64("workers", 2)? as usize;
     let seed = args.get_u64("seed", 42)?;
     let cfg = ServiceConfig {
@@ -893,22 +941,69 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         if let Some(d) = job.deadline {
             spec = spec.deadline(d);
         }
+        if let Some(ms) = job.deadline_ms {
+            spec = spec.wall_deadline_ms(ms);
+        }
         handles.push((service.submit(spec, queries), starts));
     }
-    service.run_until_idle();
+
+    // Replay with graceful shutdown (DESIGN.md §13): a SIGINT/SIGTERM
+    // (or the --shutdown-after-ticks testing knob) stops scheduling —
+    // in-flight jobs get up to --drain-ms to finish on their own, then
+    // are cancelled with their partial paths flushed. Degrade, never
+    // fail: the command still audits and reports what did complete.
+    lightrw_baseline::signal::install_shutdown_handler();
+    let shutdown_after = args.get_u64("shutdown-after-ticks", u64::MAX)?;
+    let drain = std::time::Duration::from_millis(args.get_u64("drain-ms", 0)?);
+    let mut drain_started: Option<Instant> = None;
+    let mut interrupted = false;
+    let mut ticks = 0u64;
+    loop {
+        if (lightrw_baseline::signal::shutdown_requested() || ticks >= shutdown_after)
+            && drain_started.is_none()
+        {
+            drain_started = Some(Instant::now());
+        }
+        if let Some(t0) = drain_started {
+            if t0.elapsed() >= drain {
+                interrupted = true;
+                for id in service.active_jobs() {
+                    service.cancel(id);
+                }
+            }
+        }
+        if service.is_idle() {
+            break;
+        }
+        service.tick();
+        ticks += 1;
+    }
     let wall_s = t_wall.elapsed().as_secs_f64();
 
-    // The soak audit: every job must have emitted exactly one path per
-    // query, in query order (fewer = dropped, more = duplicated, wrong
-    // start = misrouted). Deadline-expired jobs still flush every path.
+    // The soak audit: every completed job must have emitted exactly one
+    // path per query, in query order (fewer = dropped, more =
+    // duplicated, wrong start = misrouted). Model-deadline-expired jobs
+    // still flush every path; jobs cancelled by a shutdown drain or
+    // wall-expired while waiting legitimately flush fewer — those are
+    // only checked for the never-duplicate, never-misroute half.
     let mut audited_paths = 0usize;
     for (i, (job, starts)) in handles.iter().enumerate() {
+        let status = service.status(*job);
         let results = service
             .take_results(*job)
             .ok_or_else(|| format!("job #{i}: no result set"))?;
-        if results.len() != starts.len() {
+        let exact =
+            status == JobStatus::Completed || (!interrupted && trace.jobs[i].deadline_ms.is_none());
+        if exact && results.len() != starts.len() {
             return Err(format!(
                 "job #{i}: dropped or duplicated paths ({} emitted, {} queries)",
+                results.len(),
+                starts.len()
+            ));
+        }
+        if results.len() > starts.len() {
+            return Err(format!(
+                "job #{i}: duplicated paths ({} emitted, {} queries)",
                 results.len(),
                 starts.len()
             ));
@@ -949,6 +1044,14 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
         stats.p99_latency_s * 1e3,
         stats.ticks,
     );
+    out += &format!(
+        "latency split: queue wait p50 {:.3} ms / p99 {:.3} ms, \
+         execution p50 {:.3} ms / p99 {:.3} ms\n",
+        stats.p50_queue_wait_s * 1e3,
+        stats.p99_queue_wait_s * 1e3,
+        stats.p50_exec_s * 1e3,
+        stats.p99_exec_s * 1e3,
+    );
     out += "tenant   jobs done/cancel/expire        steps      steps/s\n";
     for t in &stats.tenants {
         out += &format!(
@@ -962,12 +1065,318 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             t.steps_per_sec(),
         );
     }
-    out += &format!(
-        "audit: {} jobs, {} paths — no dropped or duplicated paths",
-        trace.jobs.len(),
-        audited_paths
-    );
+    if interrupted {
+        out += &format!(
+            "interrupted — drained and cancelled in-flight jobs; \
+             audit: {} jobs, {} paths — no duplicated or misrouted paths",
+            trace.jobs.len(),
+            audited_paths
+        );
+    } else {
+        out += &format!(
+            "audit: {} jobs, {} paths — no dropped or duplicated paths",
+            trace.jobs.len(),
+            audited_paths
+        );
+    }
     Ok(out)
+}
+
+/// `serve --listen ADDR`: the network front door (DESIGN.md §13).
+/// Binds, announces the bound address on stdout (CI binds port 0 and
+/// greps for it), then blocks serving until SIGINT/SIGTERM drains the
+/// scheduler.
+fn cmd_serve_listen(args: &Args, addr: &str) -> Result<String, String> {
+    use crate::http::{AdmissionConfig, ServeConfig};
+    use lightrw_walker::service::ServiceConfig;
+
+    let positional = args
+        .positional
+        .first()
+        .ok_or("serve --listen requires a graph file argument")?;
+    let loaded = load_graph_spec(positional, args.flag("in-memory"))?;
+    let g = loaded.graph;
+    let app = parse_app(args, &g)?;
+    let backend = configure_backend(args, None)?;
+    let workers = args.get_u64("workers", 2)? as usize;
+    let seed = args.get_u64("seed", 42)?;
+    let rate = args.get_f64("rate", 1e6)?;
+    let burst = args.get_f64("burst", 2e6)?;
+    if !rate.is_finite() || rate <= 0.0 || !burst.is_finite() || burst <= 0.0 {
+        return Err("--rate and --burst must be positive".into());
+    }
+    let cfg = ServeConfig {
+        service: ServiceConfig {
+            quantum: args.get_u64("quantum", 4096)?.max(1),
+            tenant_pending_steps: args.get_u64("tenant-budget", u64::MAX)?,
+        },
+        admission: AdmissionConfig {
+            rate_steps_per_s: rate,
+            burst_steps: burst,
+            queue_high_water: args.get_u64("queue-high-water", 64)?.max(1) as usize,
+        },
+        drain: std::time::Duration::from_millis(args.get_u64("drain-ms", 5000)?),
+        io_timeout: std::time::Duration::from_millis(args.get_u64("io-timeout-ms", 100)?.max(1)),
+    };
+
+    // Clear a stale latch *before* binding: once the listener exists a
+    // supervisor (or test) may signal at any time, and that request
+    // must not be erased.
+    lightrw_baseline::signal::clear_shutdown();
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot bind --listen {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read the bound address: {e}"))?;
+    // Announce before blocking — the CLI shim prints run()'s return
+    // value only after the server exits, far too late for a client
+    // waiting to learn which port `:0` picked.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let pool = backend.build_pool(&g, app.as_ref(), seed, workers.max(1));
+    let summary = crate::http::serve(
+        listener,
+        pool.iter().map(|e| e.as_ref()).collect(),
+        &g,
+        &cfg,
+    )?;
+    Ok(format!(
+        "front door drained{}: {} submissions — {} admitted, {} shed; \
+         {} completed, {} cancelled, {} expired",
+        if summary.drained_clean {
+            " clean"
+        } else {
+            " (deadline cancellations)"
+        },
+        summary.submitted,
+        summary.admitted,
+        summary.shed,
+        summary.completed,
+        summary.cancelled,
+        summary.expired,
+    ))
+}
+
+/// Outcome of one `client` job submission over the wire.
+enum ClientOutcome {
+    /// Streamed to a terminal summary; `paths` is the audited count.
+    Done { status: String, paths: usize },
+    /// Shed by admission control (429) or a draining server (503).
+    Shed { status: u16 },
+}
+
+/// Submit one job over HTTP and audit its NDJSON stream: every `path`
+/// event must carry the next ascending query id, and a `done` event
+/// must close the stream with a matching path count.
+fn client_submit_one(addr: &str, body: &str, queries: usize) -> Result<ClientOutcome, String> {
+    use crate::http::wire;
+    use std::io::Write as _;
+
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(60)));
+    stream
+        .write_all(
+            format!(
+                "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("send job: {e}"))?;
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let resp = wire::read_response(&mut reader)?;
+    if resp.status == 429 || resp.status == 503 {
+        if resp.header("retry-after").is_none() {
+            return Err(format!("{} response without Retry-After", resp.status));
+        }
+        return Ok(ClientOutcome::Shed {
+            status: resp.status,
+        });
+    }
+    if resp.status != 200 {
+        return Err(format!(
+            "unexpected status {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body).trim()
+        ));
+    }
+    let text = std::str::from_utf8(&resp.body).map_err(|_| "stream is not UTF-8".to_string())?;
+    let mut next_query = 0usize;
+    let mut done: Option<(String, usize)> = None;
+    for line in text.lines() {
+        if line.starts_with("{\"event\": \"path\"") {
+            if done.is_some() {
+                return Err("path event after the done summary".into());
+            }
+            let want = format!("{{\"event\": \"path\", \"query\": {next_query}, ");
+            if !line.starts_with(&want) {
+                return Err(format!(
+                    "out-of-order or duplicated path (expected query {next_query}): {line}"
+                ));
+            }
+            next_query += 1;
+        } else if line.starts_with("{\"event\": \"done\"") {
+            let status = extract_json_str(line, "status")
+                .ok_or_else(|| format!("done event without a status: {line}"))?;
+            let paths = extract_json_uint(line, "paths")
+                .ok_or_else(|| format!("done event without a path count: {line}"))?;
+            done = Some((status, paths));
+        }
+    }
+    let Some((status, paths)) = done else {
+        return Err("stream ended without a done summary".into());
+    };
+    if paths != next_query {
+        return Err(format!(
+            "done summary claims {paths} paths but {next_query} were streamed"
+        ));
+    }
+    if status == "completed" && paths != queries {
+        return Err(format!("completed job streamed {paths} of {queries} paths"));
+    }
+    Ok(ClientOutcome::Done { status, paths })
+}
+
+/// Pull `"key": "value"` out of a single-line JSON object.
+fn extract_json_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Pull `"key": 123` out of a single-line JSON object.
+fn extract_json_uint(line: &str, key: &str) -> Option<usize> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// `client`: drive a running `serve --listen` front door — submit every
+/// trace job concurrently over its own connection, audit exactly-once
+/// path delivery on the wire, then poll `GET /stats`.
+fn cmd_client(args: &Args) -> Result<String, String> {
+    use crate::jobspec;
+
+    let addr = args
+        .get("addr")
+        .ok_or("client needs --addr HOST:PORT (from the server's \"listening on\" line)")?;
+    let trace: jobspec::Trace = match args.get("jobs") {
+        Some(spec_path) => {
+            let text = std::fs::read_to_string(spec_path)
+                .map_err(|e| format!("read --jobs {spec_path}: {e}"))?;
+            jobspec::parse_trace(&text)?
+        }
+        None => {
+            let tenants = args.get_u64("synthetic-tenants", 0)? as u32;
+            if tenants == 0 {
+                return Err("client needs --jobs SPEC.json or --synthetic-tenants N".into());
+            }
+            jobspec::Trace::from_jobs(jobspec::synthetic_trace(
+                tenants,
+                args.get_u64("jobs-per-tenant", 2)? as usize,
+                args.get_u64("queries", 64)? as usize,
+                args.get_u64("length", 10)? as u32,
+            ))
+        }
+    };
+    if trace.jobs.is_empty() {
+        return Err("the job trace is empty".into());
+    }
+
+    let outcomes: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = trace
+            .jobs
+            .iter()
+            .map(|job| {
+                let body = jobspec::job_to_json(job);
+                let queries = job.queries;
+                scope.spawn(move || client_submit_one(addr, &body, queries))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+            })
+            .collect()
+    });
+
+    let mut completed = 0usize;
+    let mut other_terminal = 0usize;
+    let mut shed = 0usize;
+    let mut shed_unavailable = 0usize;
+    let mut paths = 0usize;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(ClientOutcome::Done { status, paths: p }) => {
+                paths += p;
+                if status == "completed" {
+                    completed += 1;
+                } else {
+                    other_terminal += 1;
+                }
+            }
+            Ok(ClientOutcome::Shed { status }) => {
+                shed += 1;
+                if *status == 503 {
+                    shed_unavailable += 1;
+                }
+            }
+            Err(e) => return Err(format!("job #{i}: {e}")),
+        }
+    }
+
+    // The stats poll exercises GET /stats over the same socket protocol.
+    let stats = client_get_stats(addr)?;
+    let mut out = format!(
+        "client: {} jobs over {addr} — {} completed, {} other terminal, \
+         {} shed ({} while draining); {} paths streamed, exactly-once verified\n",
+        trace.jobs.len(),
+        completed,
+        other_terminal,
+        shed,
+        shed_unavailable,
+        paths,
+    );
+    out += "server /stats:\n";
+    out += stats.trim_end();
+    Ok(out)
+}
+
+/// One `GET /stats` round-trip.
+fn client_get_stats(addr: &str) -> Result<String, String> {
+    use crate::http::wire;
+    use std::io::Write as _;
+
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("send stats request: {e}"))?;
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let resp = wire::read_response(&mut reader)?;
+    if resp.status != 200 {
+        return Err(format!("GET /stats returned {}", resp.status));
+    }
+    String::from_utf8(resp.body).map_err(|_| "stats body is not UTF-8".into())
 }
 
 #[cfg(test)]
@@ -1701,5 +2110,79 @@ mod tests {
         .unwrap();
         let err = run("walk", &parse(&[&gpath, "--app", "metapath"])).unwrap_err();
         assert!(err.contains("edge relations"));
+    }
+
+    #[test]
+    fn serve_drains_gracefully_when_shut_down_mid_replay() {
+        let gpath = tmp("drain.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "8", "-o", &gpath]),
+        )
+        .unwrap();
+        // Force the shutdown path after two scheduler turns: long jobs
+        // are still in flight, so the drain (0 ms deadline) cancels them
+        // with partial flushes — and the command must still succeed.
+        let out = run(
+            "serve",
+            &parse(&[
+                &gpath,
+                "--synthetic-tenants",
+                "2",
+                "--jobs-per-tenant",
+                "2",
+                "--queries",
+                "64",
+                "--length",
+                "50",
+                "--quantum",
+                "8",
+                "--shutdown-after-ticks",
+                "2",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("interrupted — drained"), "{out}");
+        assert!(out.contains("no duplicated or misrouted paths"), "{out}");
+        // The un-interrupted run of the same trace completes and audits
+        // strictly.
+        let out = run(
+            "serve",
+            &parse(&[
+                &gpath,
+                "--synthetic-tenants",
+                "2",
+                "--jobs-per-tenant",
+                "2",
+                "--queries",
+                "64",
+                "--length",
+                "50",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("no dropped or duplicated paths"), "{out}");
+        assert!(out.contains("latency split: queue wait"), "{out}");
+    }
+
+    #[test]
+    fn serve_maps_deadline_ms_onto_wall_deadlines() {
+        let gpath = tmp("wall_deadline.bin");
+        run(
+            "generate",
+            &parse(&["--kind", "er", "--scale", "7", "-o", &gpath]),
+        )
+        .unwrap();
+        // A generous wall deadline never fires: the job completes and the
+        // strict audit applies.
+        let spec = tmp("wall_deadline_spec.json");
+        std::fs::write(
+            &spec,
+            "{\"jobs\": [{\"tenant\": 0, \"queries\": 16, \"length\": 5, \
+             \"deadline_ms\": 60000}]}",
+        )
+        .unwrap();
+        let out = run("serve", &parse(&[&gpath, "--jobs", &spec])).unwrap();
+        assert!(out.contains("audit: 1 jobs, 16 paths"), "{out}");
     }
 }

@@ -1,0 +1,670 @@
+//! The serving loop: accept → parse → admit → schedule → stream.
+//!
+//! Threading (DESIGN.md §13): [`lightrw_walker::service::WalkService`]
+//! borrows its engines and is not `Send`, so everything runs under one
+//! `std::thread::scope`:
+//!
+//! - The **scheduler** (the calling thread) owns the `WalkService` and
+//!   the [`Admission`] controller. It drains an `mpsc` inbox of
+//!   [`Msg`]s, ticks the service, and pushes [`JobEvent`]s to per-job
+//!   reply channels.
+//! - The **accept thread** polls a non-blocking listener, spawning one
+//!   **handler thread** per connection (walk jobs run for seconds —
+//!   thread-per-connection is the right trade at this concurrency, and
+//!   keeps the stack fully synchronous).
+//! - Handler threads parse requests ([`super::wire`]), forward
+//!   submissions to the scheduler, and stream results back as NDJSON
+//!   chunks while the job's `WalkSink` fills. Each emitted path crosses
+//!   the channel exactly once, in query-id order — the session-layer
+//!   contract survives the wire intact.
+//!
+//! Graceful shutdown rides `lightrw_baseline::signal`: the accept loop
+//! stops on the first SIGINT/SIGTERM, handlers finish their current
+//! response and close, and the scheduler keeps ticking until idle or
+//! until [`ServeConfig::drain`] expires — then cancels what remains,
+//! flushing partial paths to the clients still connected. Jobs
+//! submitted mid-drain are shed with `503` + `Retry-After`.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use lightrw_baseline::signal;
+use lightrw_graph::{Graph, VertexId};
+use lightrw_walker::service::ServiceStats;
+use lightrw_walker::{JobId, JobSpec, JobStatus, QuerySet, ServiceConfig, WalkEngine, WalkService};
+
+use super::admission::{Admission, AdmissionConfig, ShedReason, Verdict};
+use super::wire::{json_escape, read_request, ChunkedWriter, ReadOutcome, Request, WireError};
+use crate::jobspec::{self, TraceJob};
+
+/// Everything the serve loop needs to know.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Scheduler configuration (quantum, per-tenant pending-steps
+    /// quota).
+    pub service: ServiceConfig,
+    /// Admission control (token buckets, queue high-water mark).
+    pub admission: AdmissionConfig,
+    /// How long the shutdown drain may run before in-flight jobs are
+    /// cancelled with partial flushes.
+    pub drain: Duration,
+    /// Socket read/write timeout: the poll granularity at which idle
+    /// handlers notice shutdown, and the bound on writes to stalled
+    /// clients.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            service: ServiceConfig::default(),
+            admission: AdmissionConfig::default(),
+            drain: Duration::from_secs(5),
+            io_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What the serve loop did, reported once it returns (after shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// `POST /jobs` submissions received (admitted + shed).
+    pub submitted: u64,
+    /// Submissions admitted into the scheduler.
+    pub admitted: u64,
+    /// Submissions shed (429/503).
+    pub shed: u64,
+    /// Jobs that completed every path at full length.
+    pub completed: usize,
+    /// Jobs cancelled (client disconnect or drain-deadline cancel).
+    pub cancelled: usize,
+    /// Jobs expired by a deadline.
+    pub expired: usize,
+    /// True when the drain finished on its own before the deadline
+    /// forced cancellations.
+    pub drained_clean: bool,
+}
+
+/// Handler → scheduler messages.
+enum Msg {
+    /// A parsed `POST /jobs` body; the reply channel receives the
+    /// admission verdict and then the job's whole event stream.
+    Submit {
+        job: TraceJob,
+        reply: Sender<JobEvent>,
+    },
+    /// The client went away: stop spending compute on its job.
+    Cancel { job: JobId },
+    /// `GET /stats`: reply with the rendered JSON document.
+    Stats { reply: Sender<String> },
+}
+
+/// Scheduler → handler events for one job.
+enum JobEvent {
+    /// The job was admitted and scheduled.
+    Admitted { job: JobId },
+    /// The job was shed; no further events follow.
+    Shed {
+        retry_after_s: f64,
+        reason: ShedReason,
+        /// True when shedding because the server is draining (maps to
+        /// `503` rather than `429`).
+        draining: bool,
+    },
+    /// One finished walk path (exactly once per query, ascending
+    /// query id — the session contract).
+    Path { query: u32, path: Vec<VertexId> },
+    /// The job reached a terminal state; no further events follow.
+    Done {
+        status: JobStatus,
+        paths: usize,
+        steps: u64,
+        latency_s: f64,
+        queue_wait_s: f64,
+        exec_s: f64,
+    },
+}
+
+/// Serve HTTP on `listener` over a pool of walk engines until a
+/// shutdown is requested (SIGINT/SIGTERM via
+/// `lightrw_baseline::signal`, or programmatically with
+/// `signal::request_shutdown`). Blocks the calling thread for the
+/// server's whole life; returns the traffic summary after the drain.
+///
+/// The caller is responsible for clearing a stale shutdown latch
+/// (`signal::clear_shutdown`) *before* calling — this function
+/// installs the handler but deliberately does not clear, so a signal
+/// arriving between process start and serve start still stops the
+/// server.
+pub fn serve(
+    listener: TcpListener,
+    workers: Vec<&dyn WalkEngine>,
+    graph: &Graph,
+    cfg: &ServeConfig,
+) -> Result<ServeSummary, String> {
+    signal::install_shutdown_handler();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set the listener non-blocking: {e}"))?;
+    let (tx, rx) = std::sync::mpsc::channel::<Msg>();
+    let listener = &listener;
+    Ok(std::thread::scope(|scope| {
+        let io_timeout = cfg.io_timeout;
+        scope.spawn(move || {
+            // Accept loop: hand every connection its own handler
+            // thread, stop at the first shutdown request. The listener
+            // is non-blocking so the loop observes the flag within one
+            // poll interval even with no traffic.
+            while !signal::shutdown_requested() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let tx = tx.clone();
+                        scope.spawn(move || handle_connection(stream, tx, io_timeout));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+            // Dropping the accept loop's `tx` clone lets the scheduler
+            // observe full disconnection once every handler exits too.
+        });
+        scheduler_loop(rx, workers, graph, cfg)
+    }))
+}
+
+/// The scheduler: owns the service, the admission controller, and the
+/// per-job reply channels. Runs on the thread that called [`serve`].
+fn scheduler_loop(
+    rx: Receiver<Msg>,
+    workers: Vec<&dyn WalkEngine>,
+    graph: &Graph,
+    cfg: &ServeConfig,
+) -> ServeSummary {
+    let mut service = WalkService::new(workers, cfg.service);
+    let mut admission = Admission::new(cfg.admission);
+    let mut replies: HashMap<JobId, Sender<JobEvent>> = HashMap::new();
+    let mut submitted = 0u64;
+    let mut shed_draining = 0u64;
+    let mut drain_started: Option<Instant> = None;
+    let mut forced_cancels = false;
+    let mut disconnected = false;
+
+    loop {
+        // Drain the inbox without blocking, then serve one turn.
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => handle_msg(
+                    msg,
+                    &mut service,
+                    &mut admission,
+                    &mut replies,
+                    &mut submitted,
+                    &mut shed_draining,
+                    graph,
+                    drain_started.is_some(),
+                ),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if signal::shutdown_requested() && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+        }
+        if let Some(t0) = drain_started {
+            if t0.elapsed() >= cfg.drain && !service.is_idle() {
+                // Drain deadline: cancel what remains. Partial paths
+                // flush through the per-job sinks, so clients still
+                // holding their connections receive everything emitted
+                // so far plus a terminal summary.
+                forced_cancels = true;
+                for id in service.active_jobs() {
+                    service.cancel(id);
+                }
+            }
+        }
+        let turn = service.tick();
+        sweep_terminal(&service, &mut replies);
+        if turn.job.is_none() {
+            if disconnected && service.is_idle() {
+                break;
+            }
+            // Idle: block briefly for the next message instead of
+            // spinning.
+            match rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(msg) => handle_msg(
+                    msg,
+                    &mut service,
+                    &mut admission,
+                    &mut replies,
+                    &mut submitted,
+                    &mut shed_draining,
+                    graph,
+                    drain_started.is_some(),
+                ),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+    }
+
+    let stats = service.stats();
+    ServeSummary {
+        submitted,
+        admitted: admission.admitted,
+        shed: admission.shed() + shed_draining,
+        completed: stats.completed_jobs,
+        cancelled: stats.tenants.iter().map(|t| t.cancelled).sum(),
+        expired: stats.tenants.iter().map(|t| t.expired).sum(),
+        drained_clean: !forced_cancels,
+    }
+}
+
+/// Send `Done` for every tracked job that went terminal, and drop its
+/// reply channel. Jobs can terminate outside their own turn (waiting
+/// jobs wall-expire inside `admit`, drains cancel in bulk), so this
+/// sweeps the whole map rather than checking the served job only.
+fn sweep_terminal(service: &WalkService<'_>, replies: &mut HashMap<JobId, Sender<JobEvent>>) {
+    replies.retain(|&id, reply| {
+        let status = service.status(id);
+        if !status.is_terminal() {
+            return true;
+        }
+        let (queue_wait_s, exec_s) = service.job_split_s(id).unwrap_or((0.0, 0.0));
+        // A dropped receiver (client gone) is fine: the send is a no-op.
+        let _ = reply.send(JobEvent::Done {
+            status,
+            paths: service.job_paths(id),
+            steps: service.job_steps(id),
+            latency_s: service.job_latency_s(id).unwrap_or(0.0),
+            queue_wait_s,
+            exec_s,
+        });
+        false
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_msg<'s>(
+    msg: Msg,
+    service: &mut WalkService<'s>,
+    admission: &mut Admission,
+    replies: &mut HashMap<JobId, Sender<JobEvent>>,
+    submitted: &mut u64,
+    shed_draining: &mut u64,
+    graph: &Graph,
+    draining: bool,
+) {
+    match msg {
+        Msg::Submit { job, reply } => {
+            *submitted += 1;
+            if draining {
+                *shed_draining += 1;
+                let _ = reply.send(JobEvent::Shed {
+                    retry_after_s: 1.0,
+                    reason: ShedReason::QueueDepth,
+                    draining: true,
+                });
+                return;
+            }
+            let cost = job.queries as u64 * job.length as u64;
+            match admission.check(job.tenant, cost, service.waiting_len(), Instant::now()) {
+                Verdict::Shed {
+                    retry_after_s,
+                    reason,
+                } => {
+                    let _ = reply.send(JobEvent::Shed {
+                        retry_after_s,
+                        reason,
+                        draining: false,
+                    });
+                }
+                Verdict::Admit => {
+                    let mut queries = QuerySet::n_queries(graph, job.queries, job.length, job.seed);
+                    if let Some(program) = &job.program {
+                        queries = queries.with_program(program.clone());
+                    }
+                    let mut spec = JobSpec::tenant(job.tenant).weight(job.weight);
+                    if let Some(d) = job.deadline {
+                        spec = spec.deadline(d);
+                    }
+                    if let Some(ms) = job.deadline_ms {
+                        spec = spec.wall_deadline_ms(ms);
+                    }
+                    let path_reply = reply.clone();
+                    let sink = Box::new(move |query: u32, path: &[VertexId]| {
+                        // Ignore send failures: the client hung up, the
+                        // job still runs to its own terminal state.
+                        let _ = path_reply.send(JobEvent::Path {
+                            query,
+                            path: path.to_vec(),
+                        });
+                    });
+                    let id = service.submit_streaming(spec, queries, sink);
+                    let _ = reply.send(JobEvent::Admitted { job: id });
+                    replies.insert(id, reply);
+                }
+            }
+        }
+        Msg::Cancel { job } => service.cancel(job),
+        Msg::Stats { reply } => {
+            let _ = reply.send(stats_json(&service.stats(), admission, draining));
+        }
+    }
+}
+
+/// Render the `GET /stats` document: the full [`ServiceStats`] snapshot
+/// plus the admission-control counters.
+pub fn stats_json(stats: &ServiceStats, admission: &Admission, draining: bool) -> String {
+    let mut out = String::from("{\n");
+    out += &format!("  \"draining\": {draining},\n");
+    out += &format!(
+        "  \"admission\": {{\"admitted\": {}, \"shed_tenant_rate\": {}, \
+         \"shed_queue_depth\": {}}},\n",
+        admission.admitted, admission.shed_tenant_rate, admission.shed_queue_depth
+    );
+    out += &format!("  \"ticks\": {},\n", stats.ticks);
+    out += &format!("  \"total_steps\": {},\n", stats.total_steps);
+    out += &format!("  \"running_jobs\": {},\n", stats.running_jobs);
+    out += &format!("  \"waiting_jobs\": {},\n", stats.waiting_jobs);
+    out += &format!("  \"completed_jobs\": {},\n", stats.completed_jobs);
+    out += &format!("  \"p50_latency_s\": {},\n", stats.p50_latency_s);
+    out += &format!("  \"p99_latency_s\": {},\n", stats.p99_latency_s);
+    out += &format!("  \"p50_queue_wait_s\": {},\n", stats.p50_queue_wait_s);
+    out += &format!("  \"p99_queue_wait_s\": {},\n", stats.p99_queue_wait_s);
+    out += &format!("  \"p50_exec_s\": {},\n", stats.p50_exec_s);
+    out += &format!("  \"p99_exec_s\": {},\n", stats.p99_exec_s);
+    out += "  \"tenants\": [\n";
+    for (i, t) in stats.tenants.iter().enumerate() {
+        let sep = if i + 1 < stats.tenants.len() { "," } else { "" };
+        out += &format!(
+            "    {{\"tenant\": {}, \"submitted\": {}, \"completed\": {}, \
+             \"cancelled\": {}, \"expired\": {}, \"running\": {}, \"waiting\": {}, \
+             \"pending_steps\": {}, \"steps\": {}, \"service_secs\": {}, \
+             \"queue_wait_secs\": {}, \"exec_secs\": {}}}{sep}\n",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.cancelled,
+            t.expired,
+            t.running,
+            t.waiting,
+            t.pending_steps,
+            t.steps,
+            t.service_secs,
+            t.queue_wait_secs,
+            t.exec_secs,
+        );
+    }
+    out += "  ]\n}\n";
+    out
+}
+
+/// One connection's life: read requests until the peer closes, a parse
+/// error poisons the framing, shutdown is requested, or keep-alive is
+/// off.
+fn handle_connection(stream: TcpStream, tx: Sender<Msg>, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout.max(Duration::from_secs(1))));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::TimedOut) => {
+                if signal::shutdown_requested() {
+                    return;
+                }
+            }
+            Err(err) => {
+                // Malformed input: answer with its well-formed 4xx and
+                // close — after a framing error the byte stream cannot
+                // be trusted to resynchronize.
+                let _ = write_error(&mut stream, &err);
+                return;
+            }
+            Ok(ReadOutcome::Request(req)) => {
+                let keep = dispatch(&mut stream, &req, &tx);
+                if !(keep && req.keep_alive && !signal::shutdown_requested()) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn write_error(stream: &mut TcpStream, err: &WireError) -> std::io::Result<()> {
+    super::wire::write_response(
+        stream,
+        err.status,
+        err.reason,
+        &[],
+        "application/json",
+        err.body().as_bytes(),
+        false,
+    )
+}
+
+/// Route one request. Returns whether the connection may be kept alive
+/// (false on write failures and streamed responses cut short).
+fn dispatch(stream: &mut TcpStream, req: &Request, tx: &Sender<Msg>) -> bool {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/jobs") => post_job(stream, req, tx),
+        ("GET", "/stats") => get_stats(stream, tx),
+        (_, "/jobs") | (_, "/stats") => {
+            let body = "{\"error\": \"method not allowed\"}\n";
+            super::wire::write_response(
+                stream,
+                405,
+                "Method Not Allowed",
+                &[],
+                "application/json",
+                body.as_bytes(),
+                true,
+            )
+            .is_ok()
+        }
+        _ => {
+            let body = format!(
+                "{{\"error\": \"no such endpoint {}; use POST /jobs or GET /stats\"}}\n",
+                json_escape(&req.target)
+            );
+            super::wire::write_response(
+                stream,
+                404,
+                "Not Found",
+                &[],
+                "application/json",
+                body.as_bytes(),
+                true,
+            )
+            .is_ok()
+        }
+    }
+}
+
+fn get_stats(stream: &mut TcpStream, tx: &Sender<Msg>) -> bool {
+    let (reply, rx) = std::sync::mpsc::channel();
+    if tx.send(Msg::Stats { reply }).is_err() {
+        return service_unavailable(stream, "scheduler is gone");
+    }
+    match rx.recv_timeout(Duration::from_secs(5)) {
+        Ok(json) => super::wire::write_response(
+            stream,
+            200,
+            "OK",
+            &[],
+            "application/json",
+            json.as_bytes(),
+            true,
+        )
+        .is_ok(),
+        Err(_) => service_unavailable(stream, "stats timed out"),
+    }
+}
+
+fn service_unavailable(stream: &mut TcpStream, why: &str) -> bool {
+    let body = format!("{{\"error\": \"{}\"}}\n", json_escape(why));
+    let _ = super::wire::write_response(
+        stream,
+        503,
+        "Service Unavailable",
+        &[("Retry-After", "1".to_string())],
+        "application/json",
+        body.as_bytes(),
+        false,
+    );
+    false
+}
+
+fn post_job(stream: &mut TcpStream, req: &Request, tx: &Sender<Msg>) -> bool {
+    let job = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(jobspec::parse_job);
+    let job = match job {
+        Ok(job) => job,
+        Err(e) => {
+            let body = format!("{{\"error\": \"{}\"}}\n", json_escape(&e));
+            return super::wire::write_response(
+                stream,
+                400,
+                "Bad Request",
+                &[],
+                "application/json",
+                body.as_bytes(),
+                true,
+            )
+            .is_ok();
+        }
+    };
+    let (reply, events) = std::sync::mpsc::channel();
+    if tx.send(Msg::Submit { job, reply }).is_err() {
+        return service_unavailable(stream, "scheduler is gone");
+    }
+    // The verdict arrives promptly (the scheduler checks admission
+    // before anything slow); a generous timeout only guards against a
+    // wedged scheduler.
+    match events.recv_timeout(Duration::from_secs(30)) {
+        Err(_) => service_unavailable(stream, "submission timed out"),
+        Ok(JobEvent::Shed {
+            retry_after_s,
+            reason,
+            draining,
+        }) => {
+            let retry = format!("{}", retry_after_s.ceil().max(1.0) as u64);
+            let (status, phrase) = if draining {
+                (503, "Service Unavailable")
+            } else {
+                (429, "Too Many Requests")
+            };
+            let body = format!(
+                "{{\"error\": \"shed\", \"reason\": \"{}\", \"retry_after_s\": {:.3}}}\n",
+                if draining { "draining" } else { reason.label() },
+                retry_after_s,
+            );
+            super::wire::write_response(
+                stream,
+                status,
+                phrase,
+                &[("Retry-After", retry)],
+                "application/json",
+                body.as_bytes(),
+                true,
+            )
+            .is_ok()
+        }
+        Ok(first) => stream_job(stream, first, &events, tx),
+    }
+}
+
+/// Stream an admitted job's events as one chunked NDJSON response.
+/// `first` is whatever event followed admission — almost always
+/// `Admitted`, but a job that terminates during submission (e.g. an
+/// already-expired wall deadline) can emit paths first; the stream
+/// copes with any order and ends at `Done`.
+fn stream_job(
+    stream: &mut TcpStream,
+    first: JobEvent,
+    events: &Receiver<JobEvent>,
+    tx: &Sender<Msg>,
+) -> bool {
+    let mut job_id: Option<JobId> = None;
+    let mut w = match ChunkedWriter::start(stream, 200, "OK", "application/x-ndjson", true) {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let mut event = first;
+    loop {
+        let line = match &event {
+            JobEvent::Admitted { job } => {
+                job_id = Some(*job);
+                format!("{{\"event\": \"admitted\", \"job\": {}}}\n", job.as_u32())
+            }
+            JobEvent::Path { query, path } => {
+                let mut line = format!("{{\"event\": \"path\", \"query\": {query}, \"path\": [");
+                for (i, v) in path.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line += &v.to_string();
+                }
+                line += "]}\n";
+                line
+            }
+            JobEvent::Done {
+                status,
+                paths,
+                steps,
+                latency_s,
+                queue_wait_s,
+                exec_s,
+            } => {
+                let status = match status {
+                    JobStatus::Completed => "completed",
+                    JobStatus::Cancelled => "cancelled",
+                    JobStatus::Expired => "expired",
+                    _ => "unknown",
+                };
+                let line = format!(
+                    "{{\"event\": \"done\", \"status\": \"{status}\", \"paths\": {paths}, \
+                     \"steps\": {steps}, \"latency_ms\": {:.3}, \"queue_wait_ms\": {:.3}, \
+                     \"exec_ms\": {:.3}}}\n",
+                    latency_s * 1e3,
+                    queue_wait_s * 1e3,
+                    exec_s * 1e3,
+                );
+                if w.chunk(line.as_bytes()).is_err() {
+                    return false;
+                }
+                return w.finish().is_ok();
+            }
+            JobEvent::Shed { .. } => String::new(), // cannot follow admission
+        };
+        if w.chunk(line.as_bytes()).is_err() {
+            // Client gone mid-stream: stop spending compute on the job,
+            // then drain the channel so the scheduler's sends stay
+            // no-ops until it unregisters us at terminal sweep.
+            if let Some(id) = job_id {
+                let _ = tx.send(Msg::Cancel { job: id });
+            }
+            return false;
+        }
+        event = match events.recv_timeout(Duration::from_secs(60)) {
+            Ok(e) => e,
+            // Scheduler gone or wedged: end the stream without the
+            // terminal summary; the truncated chunked body tells the
+            // client the stream is incomplete.
+            Err(_) => return false,
+        };
+    }
+}

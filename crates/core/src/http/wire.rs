@@ -1,0 +1,821 @@
+//! HTTP/1.1 wire format: request reading, response writing, chunked
+//! transfer encoding — hand-rolled over `std::io`, no crates.io.
+//!
+//! The parser is deliberately a *subset* of RFC 9112, chosen so that
+//! every behavior is enforceable and tested (DESIGN.md §13):
+//!
+//! - Requests: a single request line (`METHOD SP TARGET SP HTTP/1.x`),
+//!   up to [`MAX_HEADERS`] header lines, an optional `Content-Length`
+//!   body up to [`MAX_BODY`] bytes. `Transfer-Encoding` on *requests* is
+//!   rejected with 501 — clients submit small JSON job objects, never
+//!   streams.
+//! - Every limit violation or malformed input maps to a well-formed 4xx
+//!   (or 501/505) via [`WireError`]; the reader never panics and never
+//!   reads unboundedly, so a hostile peer cannot balloon memory or hang
+//!   a handler.
+//! - Pipelining falls out of the design: [`read_request`] consumes
+//!   exactly one request from the buffered stream, so back-to-back
+//!   requests in one TCP segment are served in order.
+//!
+//! Responses stream through [`write_response`] (fixed `Content-Length`)
+//! or [`ChunkedWriter`] (chunked transfer encoding, used by `POST /jobs`
+//! to stream paths as the job's sink fills). [`read_response`] is the
+//! matching client-side decoder — the CLI `client` subcommand and the
+//! integration tests audit exactly-once emission through it.
+
+use std::io::{BufRead, Read, Write};
+
+/// Longest accepted request line, bytes (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most header lines per request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes (a job object is tiny; 1 MiB
+/// leaves room for large explicit query lists without letting a peer
+/// balloon memory).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// The request target, as sent (e.g. `/jobs`).
+    pub target: String,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
+    /// overrides).
+    pub keep_alive: bool,
+}
+
+/// Outcome of trying to read one request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Clean EOF before any byte of a request: the peer closed an idle
+    /// connection. Not an error.
+    Closed,
+    /// The read timed out before any byte of a request (idle keep-alive
+    /// connection with a socket read timeout). The caller typically
+    /// checks its shutdown flag and retries.
+    TimedOut,
+}
+
+/// A request rejection: maps to one well-formed HTTP error response.
+/// Every parser failure path produces one of these — never a panic,
+/// never a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// Canonical reason phrase for the status line.
+    pub reason: &'static str,
+    /// Human-readable detail, rendered into the JSON error body.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(status: u16, reason: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            reason,
+            message: message.into(),
+        }
+    }
+
+    /// The JSON error body every rejection carries.
+    pub fn body(&self) -> String {
+        format!("{{\"error\": \"{}\"}}\n", json_escape(&self.message))
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Read one line (up to `\n`) with a hard byte cap. `Ok(None)` on clean
+/// EOF with nothing read; `Err(true)` when the cap was hit, `Err(false)`
+/// on timeout with nothing read (retryable by the caller).
+fn read_line_limited(r: &mut impl BufRead, cap: usize) -> Result<Option<Vec<u8>>, LineError> {
+    let mut buf = Vec::new();
+    match r.by_ref().take(cap as u64 + 1).read_until(b'\n', &mut buf) {
+        Ok(0) => Ok(None),
+        Ok(_) => {
+            if buf.last() != Some(&b'\n') {
+                // The cap cut the line short (or EOF mid-line — also a
+                // malformed request).
+                if buf.len() > cap {
+                    Err(LineError::TooLong)
+                } else {
+                    Err(LineError::Truncated)
+                }
+            } else {
+                buf.pop();
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                Ok(Some(buf))
+            }
+        }
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            if buf.is_empty() {
+                Err(LineError::IdleTimeout)
+            } else {
+                Err(LineError::MidRequestTimeout)
+            }
+        }
+        Err(_) => Err(LineError::Io),
+    }
+}
+
+enum LineError {
+    TooLong,
+    Truncated,
+    IdleTimeout,
+    MidRequestTimeout,
+    Io,
+}
+
+/// Read exactly one request from a buffered stream. See [`ReadOutcome`]
+/// for the non-error outcomes; every malformed input maps to a
+/// [`WireError`] whose status the caller writes back before closing the
+/// connection (framing is unrecoverable after a parse error).
+pub fn read_request(r: &mut impl BufRead) -> Result<ReadOutcome, WireError> {
+    let line = match read_line_limited(r, MAX_REQUEST_LINE) {
+        Ok(None) => return Ok(ReadOutcome::Closed),
+        Ok(Some(line)) => line,
+        Err(LineError::TooLong) => {
+            return Err(WireError::new(
+                414,
+                "URI Too Long",
+                format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+            ))
+        }
+        Err(LineError::IdleTimeout) => return Ok(ReadOutcome::TimedOut),
+        Err(LineError::MidRequestTimeout) => {
+            return Err(WireError::new(
+                408,
+                "Request Timeout",
+                "timed out mid-request-line",
+            ))
+        }
+        Err(_) => return Err(WireError::new(400, "Bad Request", "truncated request line")),
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| WireError::new(400, "Bad Request", "request line is not UTF-8"))?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(WireError::new(
+                400,
+                "Bad Request",
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(WireError::new(
+            400,
+            "Bad Request",
+            format!("malformed method token {method:?}"),
+        ));
+    }
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Err(WireError::new(
+                505,
+                "HTTP Version Not Supported",
+                format!("unsupported version {version:?} (HTTP/1.0 or HTTP/1.1)"),
+            ))
+        }
+    };
+
+    let mut keep_alive = keep_alive_default;
+    let mut content_length: Option<usize> = None;
+    let mut header_count = 0usize;
+    loop {
+        let line = match read_line_limited(r, MAX_HEADER_LINE) {
+            Ok(Some(line)) => line,
+            Ok(None) => {
+                return Err(WireError::new(
+                    400,
+                    "Bad Request",
+                    "connection closed inside the header block",
+                ))
+            }
+            Err(LineError::TooLong) => {
+                return Err(WireError::new(
+                    431,
+                    "Request Header Fields Too Large",
+                    format!("header line exceeds {MAX_HEADER_LINE} bytes"),
+                ))
+            }
+            Err(LineError::IdleTimeout) | Err(LineError::MidRequestTimeout) => {
+                return Err(WireError::new(
+                    408,
+                    "Request Timeout",
+                    "timed out inside the header block",
+                ))
+            }
+            Err(_) => return Err(WireError::new(400, "Bad Request", "truncated header block")),
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_count += 1;
+        if header_count > MAX_HEADERS {
+            return Err(WireError::new(
+                431,
+                "Request Header Fields Too Large",
+                format!("more than {MAX_HEADERS} header lines"),
+            ));
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| WireError::new(400, "Bad Request", "header line is not UTF-8"))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(WireError::new(
+                400,
+                "Bad Request",
+                format!("header line without a colon: {line:?}"),
+            ));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value.parse().map_err(|_| {
+                    WireError::new(400, "Bad Request", format!("bad Content-Length {value:?}"))
+                })?;
+                if content_length.is_some_and(|prev| prev != n) {
+                    return Err(WireError::new(
+                        400,
+                        "Bad Request",
+                        "conflicting Content-Length headers",
+                    ));
+                }
+                if n > MAX_BODY {
+                    return Err(WireError::new(
+                        413,
+                        "Content Too Large",
+                        format!("body of {n} bytes exceeds the {MAX_BODY}-byte limit"),
+                    ));
+                }
+                content_length = Some(n);
+            }
+            "transfer-encoding" => {
+                // Job submissions are small JSON objects; a streaming
+                // request body is out of scope, and silently ignoring
+                // the header would desynchronize framing.
+                return Err(WireError::new(
+                    501,
+                    "Not Implemented",
+                    "Transfer-Encoding request bodies are not supported; \
+                     send Content-Length",
+                ));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v == "close" {
+                    keep_alive = false;
+                } else if v == "keep-alive" {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
+    if !body.is_empty() {
+        r.read_exact(&mut body).map_err(|e| {
+            let timeout = matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            );
+            if timeout {
+                WireError::new(408, "Request Timeout", "timed out reading the body")
+            } else {
+                WireError::new(400, "Bad Request", "body shorter than its Content-Length")
+            }
+        })?;
+    }
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        body,
+        keep_alive,
+    }))
+}
+
+/// Write a complete response with a fixed `Content-Length`. `extra`
+/// headers (e.g. `Retry-After`) come before the body.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    write!(w, "Connection: {conn}\r\n\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Incremental chunked-transfer response: head first, then any number
+/// of [`ChunkedWriter::chunk`]s, then [`ChunkedWriter::finish`]. Each
+/// chunk is flushed immediately — the point is that the client sees
+/// paths as the job's sink fills, not after the job ends.
+pub struct ChunkedWriter<'w, W: Write> {
+    w: &'w mut W,
+}
+
+impl<'w, W: Write> ChunkedWriter<'w, W> {
+    /// Write the response head and switch the stream to chunked framing.
+    pub fn start(
+        w: &'w mut W,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> std::io::Result<Self> {
+        write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
+        write!(w, "Content-Type: {content_type}\r\n")?;
+        write!(w, "Transfer-Encoding: chunked\r\n")?;
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        write!(w, "Connection: {conn}\r\n\r\n")?;
+        w.flush()?;
+        Ok(Self { w })
+    }
+
+    /// Write one chunk (empty input is skipped: a zero-length chunk
+    /// would terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Write the terminating zero-length chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// A decoded response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, chunked framing already decoded.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one response from a buffered stream: status line, headers, then
+/// a `Content-Length` or chunked body. This is the *client* half of the
+/// wire — the CLI `client` subcommand and the tests drive the server
+/// through it.
+pub fn read_response(r: &mut impl BufRead) -> Result<Response, String> {
+    let line = match read_line_limited(r, MAX_REQUEST_LINE) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Err("connection closed before a status line".into()),
+        Err(_) => return Err("failed to read the status line".into()),
+    };
+    let line = String::from_utf8(line).map_err(|_| "status line is not UTF-8".to_string())?;
+    let mut parts = line.splitn(3, ' ');
+    let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unexpected status line {line:?}"));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| format!("unexpected status {status:?}"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line_limited(r, MAX_HEADER_LINE) {
+            Ok(Some(line)) => line,
+            _ => return Err("truncated response header block".into()),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let line = String::from_utf8(line).map_err(|_| "header is not UTF-8".to_string())?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("header line without a colon: {line:?}"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        let mut body = Vec::new();
+        loop {
+            let size_line = match read_line_limited(r, MAX_HEADER_LINE) {
+                Ok(Some(line)) => line,
+                _ => return Err("truncated chunk size line".into()),
+            };
+            let size_str = std::str::from_utf8(&size_line)
+                .map_err(|_| "chunk size is not UTF-8".to_string())?;
+            let size = usize::from_str_radix(size_str.trim(), 16)
+                .map_err(|_| format!("bad chunk size {size_str:?}"))?;
+            if size == 0 {
+                // Trailer section: we send none, so expect the blank.
+                let _ = read_line_limited(r, MAX_HEADER_LINE);
+                break;
+            }
+            let at = body.len();
+            body.resize(at + size, 0);
+            r.read_exact(&mut body[at..])
+                .map_err(|_| "truncated chunk body".to_string())?;
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf)
+                .map_err(|_| "missing chunk terminator".to_string())?;
+        }
+        body
+    } else {
+        let len: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse().map_err(|_| format!("bad Content-Length {v:?}")))
+            .transpose()?
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)
+            .map_err(|_| "body shorter than its Content-Length".to_string())?;
+        body
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parse one request from an in-memory byte stream.
+    fn parse(bytes: &[u8]) -> Result<ReadOutcome, WireError> {
+        read_request(&mut &bytes[..])
+    }
+
+    fn expect_request(bytes: &[u8]) -> Request {
+        match parse(bytes) {
+            Ok(ReadOutcome::Request(req)) => req,
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    fn expect_status(bytes: &[u8], status: u16) -> WireError {
+        match parse(bytes) {
+            Err(err) => {
+                assert_eq!(err.status, status, "wrong status for {err:?}");
+                assert!(!err.reason.is_empty());
+                // The rejection body must itself be well-formed JSON
+                // (at least: balanced quotes via the escaper).
+                assert!(err.body().starts_with("{\"error\": \""));
+                assert!(err.body().ends_with("\"}\n"));
+                err
+            }
+            other => panic!("expected status {status}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let req = expect_request(b"GET /stats HTTP/1.1\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/stats");
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_connection_close() {
+        let req = expect_request(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\n{\"a\"",
+        );
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_header_overrides() {
+        assert!(!expect_request(b"GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(expect_request(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+        assert!(!expect_request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse(b""), Ok(ReadOutcome::Closed)));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400s() {
+        // Too few / too many tokens, empty tokens, lowercase method,
+        // non-UTF-8: each one a 400, never a panic.
+        expect_status(b"GET\r\n\r\n", 400);
+        expect_status(b"GET /\r\n\r\n", 400);
+        expect_status(b"GET / HTTP/1.1 extra\r\n\r\n", 400);
+        expect_status(b" / HTTP/1.1\r\n\r\n", 400);
+        expect_status(b"get / HTTP/1.1\r\n\r\n", 400);
+        expect_status(b"G\xffT / HTTP/1.1\r\n\r\n", 400);
+        // EOF mid-request-line (no terminating newline).
+        expect_status(b"GET / HTT", 400);
+    }
+
+    #[test]
+    fn unsupported_versions_are_505() {
+        expect_status(b"GET / HTTP/2\r\n\r\n", 505);
+        expect_status(b"GET / SPDY/3\r\n\r\n", 505);
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let mut bytes = b"GET /".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE));
+        bytes.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        expect_status(&bytes, 414);
+    }
+
+    #[test]
+    fn oversized_header_line_is_431() {
+        let mut bytes = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', MAX_HEADER_LINE));
+        bytes.extend_from_slice(b"\r\n\r\n");
+        expect_status(&bytes, 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            bytes.extend_from_slice(format!("X-H-{i}: v\r\n").as_bytes());
+        }
+        bytes.extend_from_slice(b"\r\n");
+        expect_status(&bytes, 431);
+    }
+
+    #[test]
+    fn bad_content_length_values_are_400s() {
+        expect_status(b"POST /jobs HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400);
+        expect_status(b"POST /jobs HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400);
+        expect_status(b"POST /jobs HTTP/1.1\r\nContent-Length: 1.5\r\n\r\n", 400);
+        expect_status(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd",
+            400,
+        );
+    }
+
+    #[test]
+    fn duplicate_matching_content_length_is_accepted() {
+        let req = expect_request(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi",
+        );
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_allocating_it() {
+        let line = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        // No body bytes follow — the parser must reject on the header
+        // alone rather than trying to read (or allocate) the claimed size.
+        expect_status(line.as_bytes(), 413);
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        expect_status(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            400,
+        );
+        expect_status(b"POST /jobs HTTP/1.1\r\nContent-Length: 1\r\n\r\n", 400);
+    }
+
+    #[test]
+    fn missing_header_terminator_is_400() {
+        expect_status(b"GET / HTTP/1.1\r\nHost: x\r\n", 400);
+    }
+
+    #[test]
+    fn header_without_colon_is_400() {
+        expect_status(b"GET / HTTP/1.1\r\nno colon here\r\n\r\n", 400);
+    }
+
+    #[test]
+    fn transfer_encoding_requests_are_501() {
+        expect_status(
+            b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            501,
+        );
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = expect_request(b"POST /jobs HTTP/1.1\nContent-Length: 2\n\nok");
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let bytes: &[u8] = b"POST /jobs HTTP/1.1\r\nContent-Length: 3\r\n\r\none\
+                             GET /stats HTTP/1.1\r\n\r\n\
+                             POST /jobs HTTP/1.1\r\nConnection: close\r\nContent-Length: 5\r\n\r\nthree";
+        let mut r = bytes;
+        let a = match read_request(&mut r) {
+            Ok(ReadOutcome::Request(req)) => req,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            (a.method.as_str(), a.body.as_slice()),
+            ("POST", &b"one"[..])
+        );
+        let b = match read_request(&mut r) {
+            Ok(ReadOutcome::Request(req)) => req,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((b.method.as_str(), b.target.as_str()), ("GET", "/stats"));
+        let c = match read_request(&mut r) {
+            Ok(ReadOutcome::Request(req)) => req,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(c.body, b"three");
+        assert!(!c.keep_alive);
+        assert!(matches!(read_request(&mut r), Ok(ReadOutcome::Closed)));
+    }
+
+    #[test]
+    fn response_roundtrip_fixed_length() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", "2".to_string())],
+            "application/json",
+            b"{\"error\": \"shed\"}\n",
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut &buf[..]).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.body, b"{\"error\": \"shed\"}\n");
+    }
+
+    #[test]
+    fn response_roundtrip_chunked() {
+        let mut buf = Vec::new();
+        {
+            let mut w =
+                ChunkedWriter::start(&mut buf, 200, "OK", "application/x-ndjson", false).unwrap();
+            w.chunk(b"line one\n").unwrap();
+            w.chunk(b"").unwrap(); // skipped, must not terminate the stream
+            w.chunk(b"line two\n").unwrap();
+            w.finish().unwrap();
+        }
+        let resp = read_response(&mut &buf[..]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"line one\nline two\n");
+    }
+
+    #[test]
+    fn json_escape_covers_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t\r"), "x\\ny\\t\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    // --- property tests: the parser never panics and every rejection is
+    // a well-formed 4xx/5xx, no matter what bytes arrive.
+
+    fn check_total(bytes: &[u8]) {
+        match read_request(&mut &bytes[..]) {
+            Ok(_) => {}
+            Err(err) => {
+                assert!(
+                    (400..=599).contains(&err.status),
+                    "non-error status {} for input {bytes:?}",
+                    err.status
+                );
+                let body = err.body();
+                assert!(body.starts_with("{\"error\": \"") && body.ends_with("\"}\n"));
+                // The escaper must leave no raw quotes/controls inside.
+                let inner = &body[11..body.len() - 3];
+                assert!(!inner.bytes().any(|b| b == b'\n' || b < 0x20));
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(64))]
+
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            check_total(&bytes);
+        }
+
+        #[test]
+        fn mangled_requests_reject_cleanly(
+            cut in 0usize..64,
+            flip in 0usize..64,
+            val in 0u8..=255,
+        ) {
+            // Start from a valid request and damage it: truncate at
+            // `cut`, then overwrite the byte at `flip`.
+            let mut bytes =
+                b"POST /jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"bad\": 1}".to_vec();
+            bytes.truncate(cut.min(bytes.len()));
+            if flip < bytes.len() {
+                bytes[flip] = val;
+            }
+            check_total(&bytes);
+        }
+
+        #[test]
+        fn valid_requests_roundtrip(
+            n_body in 0usize..512,
+            keep in proptest::strategy::Just(true),
+            target_len in 1usize..32,
+        ) {
+            let target: String =
+                std::iter::repeat_n('x', target_len).collect();
+            let body: Vec<u8> = (0..n_body).map(|i| (i % 251) as u8).collect();
+            let mut bytes = format!(
+                "POST /{target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            bytes.extend_from_slice(&body);
+            let req = match read_request(&mut &bytes[..]) {
+                Ok(ReadOutcome::Request(req)) => req,
+                other => panic!("expected a request, got {other:?}"),
+            };
+            proptest::prop_assert_eq!(req.method.as_str(), "POST");
+            proptest::prop_assert_eq!(req.target.len(), target_len + 1);
+            proptest::prop_assert_eq!(req.body, body);
+            proptest::prop_assert_eq!(req.keep_alive, keep);
+        }
+    }
+}

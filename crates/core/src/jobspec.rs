@@ -29,7 +29,10 @@
 //! [`lightrw_walker::WalkProgram`], DESIGN.md §8 — given either as an
 //! object with `kind`/`alpha`/`max`/`len`/`deadend` fields or as the
 //! CLI's compact program string). `weight` defaults to 1, `seed` to the
-//! job's index, and `deadline` (model-or-wall seconds) to none. A bare
+//! job's index, and the two deadlines — `deadline` (model-or-wall
+//! seconds, an execution budget) and `deadline_ms` (wall-clock
+//! milliseconds from submission, the end-to-end promise the network
+//! front door schedules against; DESIGN.md §13) — to none. A bare
 //! top-level array is accepted as shorthand for the object form. Numeric
 //! fields are strictly validated: negatives, fractions and out-of-range
 //! values are errors, never silent truncations — in particular `seed`
@@ -100,6 +103,11 @@ pub struct TraceJob {
     pub seed: u64,
     /// Optional deadline in model-or-wall seconds.
     pub deadline: Option<f64>,
+    /// Optional wall-clock deadline in milliseconds from submission
+    /// (`"deadline_ms"`): the end-to-end latency promise a network
+    /// client declares, covering queue time as well as execution — see
+    /// `JobSpec::wall_deadline_ms` in `lightrw_walker::service`.
+    pub deadline_ms: Option<u64>,
     /// Optional walk program (restarts, variable length, dead-end
     /// policy); `None` runs the fixed-length `length` walk.
     pub program: Option<WalkProgram>,
@@ -127,6 +135,7 @@ pub fn synthetic_trace(
                 // (collisions would need > 2^20 jobs per tenant).
                 seed: ((tenant as u64) << 20) + j as u64,
                 deadline: None,
+                deadline_ms: None,
                 program: None,
             })
         })
@@ -159,23 +168,52 @@ pub fn to_json(trace: &Trace) -> String {
     out.push_str("  \"jobs\": [\n");
     for (i, j) in trace.jobs.iter().enumerate() {
         let sep = if i + 1 < trace.jobs.len() { "," } else { "" };
-        let deadline = j
-            .deadline
-            .map(|d| format!(", \"deadline\": {d}"))
-            .unwrap_or_default();
-        let (len_or_program, len_value) = match &j.program {
-            Some(p) => ("program", format!("\"{p}\"")),
-            None => ("length", j.length.to_string()),
-        };
-        let _ = writeln!(
-            out,
-            "    {{\"tenant\": {}, \"weight\": {}, \"queries\": {}, \"{len_or_program}\": \
-             {len_value}, \"seed\": {}{deadline}}}{sep}",
-            j.tenant, j.weight, j.queries, j.seed
-        );
+        let _ = writeln!(out, "    {}{sep}", job_to_json(j));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Render one job as the single-line JSON object [`parse_job`] (and a
+/// trace's `jobs` array) reads — the `POST /jobs` request body of the
+/// network front door. Shares [`to_json`]'s caveat about program target
+/// sets.
+pub fn job_to_json(j: &TraceJob) -> String {
+    let deadline = j
+        .deadline
+        .map(|d| format!(", \"deadline\": {d}"))
+        .unwrap_or_default();
+    let deadline_ms = j
+        .deadline_ms
+        .map(|ms| format!(", \"deadline_ms\": {ms}"))
+        .unwrap_or_default();
+    let (len_or_program, len_value) = match &j.program {
+        Some(p) => ("program", format!("\"{p}\"")),
+        None => ("length", j.length.to_string()),
+    };
+    format!(
+        "{{\"tenant\": {}, \"weight\": {}, \"queries\": {}, \"{len_or_program}\": \
+         {len_value}, \"seed\": {}{deadline}{deadline_ms}}}",
+        j.tenant, j.weight, j.queries, j.seed
+    )
+}
+
+/// Parse a single job object — the `POST /jobs` request body. Same
+/// fields and validation as a trace's `jobs` entries; the default seed
+/// is 0 (there is no trace index to derive one from, so network clients
+/// that want distinct walks should send explicit seeds).
+pub fn parse_job(text: &str) -> Result<TraceJob, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after the job object"));
+    }
+    trace_job(0, root)
 }
 
 /// Parse a trace document. Errors carry the offending line number.
@@ -295,6 +333,10 @@ const MAX_QUERIES_PER_JOB: u64 = 1 << 24;
 /// and would otherwise slip through the equality-based checks.
 const MAX_EXACT_SEED: u64 = (1 << 53) - 1;
 
+/// Largest `deadline_ms` a spec may carry: 24 hours. A longer wall-clock
+/// deadline on a walk job is a config mistake (use no deadline instead).
+const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// Build a [`WalkProgram`] from a trace `program` value: either the
 /// compact string form or an object with `kind` plus the program's keys.
 /// Both funnel through [`WalkProgram::parse`], so the validation (and its
@@ -351,6 +393,7 @@ fn trace_job(index: usize, v: Value) -> Result<TraceJob, String> {
         length: 0,
         seed: index as u64,
         deadline: None,
+        deadline_ms: None,
         program: None,
     };
     let (mut saw_tenant, mut saw_queries, mut saw_length) = (false, false, false);
@@ -399,6 +442,19 @@ fn trace_job(index: usize, v: Value) -> Result<TraceJob, String> {
                     ));
                 }
                 job.deadline = Some(d);
+            }
+            // Wall-clock deadlines must be positive: a 0 ms budget is
+            // already over at submission, which is a spec mistake, not a
+            // job.
+            "deadline_ms" => {
+                let ms = int("deadline_ms", MAX_DEADLINE_MS)?;
+                if ms == 0 {
+                    return Err(format!(
+                        "job #{index}: deadline_ms must be a positive integer \
+                         in 1..={MAX_DEADLINE_MS} milliseconds"
+                    ));
+                }
+                job.deadline_ms = Some(ms);
             }
             other => return Err(format!("job #{index}: unknown field {other:?}")),
         }
@@ -630,6 +686,7 @@ mod tests {
                 length: 20,
                 seed: 0,
                 deadline: None,
+                deadline_ms: None,
                 program: None
             }
         );
@@ -651,6 +708,7 @@ mod tests {
         let mut trace = Trace::from_jobs(synthetic_trace(3, 2, 16, 8));
         trace.threads = Some(4);
         trace.jobs[4].deadline = Some(1.5);
+        trace.jobs[3].deadline_ms = Some(250);
         trace.jobs[5].weight = 4;
         // A program job serializes as the compact string form; `length`
         // mirrors the program's cap on the way back in.
@@ -735,6 +793,62 @@ mod tests {
             let err = parse_trace(bad).unwrap_err();
             assert!(err.contains("job #0"), "{bad}: {err}");
             assert!(err.contains(needle), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn deadline_ms_is_parsed_and_strictly_validated() {
+        let jobs = parse_trace(
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline_ms": 250},
+                {"tenant": 1, "queries": 4, "length": 5}]"#,
+        )
+        .unwrap()
+        .jobs;
+        assert_eq!(jobs[0].deadline_ms, Some(250));
+        assert_eq!(jobs[1].deadline_ms, None);
+        // Both deadlines may coexist: the model budget caps execution,
+        // the wall budget caps end-to-end latency.
+        let both = parse_trace(
+            r#"[{"tenant": 0, "queries": 4, "length": 5,
+                 "deadline": 0.5, "deadline_ms": 100}]"#,
+        )
+        .unwrap();
+        assert_eq!(both.jobs[0].deadline, Some(0.5));
+        assert_eq!(both.jobs[0].deadline_ms, Some(100));
+        for bad in [
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline_ms": 0}]"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline_ms": -5}]"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline_ms": 1.5}]"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline_ms": 86400001}]"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5, "deadline_ms": "soon"}]"#,
+        ] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(err.contains("deadline_ms"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_job_reads_a_single_job_object() {
+        let job =
+            parse_job(r#"{"tenant": 7, "queries": 16, "length": 10, "deadline_ms": 900}"#).unwrap();
+        assert_eq!((job.tenant, job.queries, job.length), (7, 16, 10));
+        assert_eq!(job.deadline_ms, Some(900));
+        assert_eq!(job.seed, 0, "no trace index: seed defaults to 0");
+        // job_to_json round-trips through parse_job.
+        assert_eq!(parse_job(&job_to_json(&job)).unwrap(), job);
+        let program =
+            parse_job(r#"{"tenant": 0, "queries": 2, "program": "ppr:alpha=0.2,max=9"}"#).unwrap();
+        assert_eq!(parse_job(&job_to_json(&program)).unwrap(), program);
+        // The same strict validation as trace entries, plus no trailing
+        // content.
+        for bad in [
+            r#"{"tenant": 0, "queries": 4}"#,
+            r#"{"tenant": 0, "queries": 4, "length": 0}"#,
+            r#"[{"tenant": 0, "queries": 4, "length": 5}]"#,
+            r#"{"tenant": 0, "queries": 4, "length": 5} extra"#,
+            "",
+        ] {
+            assert!(parse_job(bad).is_err(), "{bad}");
         }
     }
 

@@ -45,11 +45,13 @@
 //! | ThunderRW-like CPU baseline | `lightrw-baseline` | [`baseline`] |
 //! | platform models (PCIe, power, resources) | this crate | [`platform`], [`pcie`], [`power`], [`resources`] |
 //! | sharded execution with walker hand-off (DESIGN.md §11) | this crate | [`sharded`] |
+//! | HTTP front door: serving, admission control (DESIGN.md §13) | this crate | [`http`] |
 
 pub mod accelerator;
 pub mod cli;
 pub mod cluster;
 pub mod engines;
+pub mod http;
 pub mod jobspec;
 pub mod pcie;
 pub mod platform;
@@ -77,7 +79,9 @@ pub use lightrw_walker as walker;
 /// The multi-tenant serving layer (DESIGN.md §7), re-exported from
 /// `lightrw_walker::service`: schedule concurrent [`service::WalkService`]
 /// jobs over any pool of engines — including [`Backend::build_pool`]
-/// workers and [`LightRwCluster::workers`] boards.
+/// workers and [`LightRwCluster::workers`] boards. To expose a service
+/// over a TCP socket with admission control and graceful drains, see
+/// the [`http`] front door (DESIGN.md §13).
 pub use lightrw_walker::service;
 
 /// One-line imports for applications and examples.

@@ -1,0 +1,379 @@
+//! End-to-end tests for the network front door (`lightrw::http`,
+//! DESIGN.md §13) over real TCP sockets: job submission with streamed
+//! NDJSON paths, exactly-once auditing, pipelined and keep-alive
+//! connections, 429 shedding with `Retry-After`, malformed-request
+//! rejection, live `/stats`, and graceful shutdown drains.
+//!
+//! The shutdown latch (`lightrw_baseline::signal`) is process-global,
+//! so every test that starts a server takes the [`SERIAL`] lock —
+//! otherwise one test's `request_shutdown` would stop another's server.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lightrw::baseline::signal;
+use lightrw::graph::generators;
+use lightrw::http::wire::{read_response, Response};
+use lightrw::http::{AdmissionConfig, ServeConfig, ServeSummary};
+use lightrw::prelude::*;
+use lightrw::service::ServiceConfig;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Start a front-door server on an ephemeral port over a small RMAT
+/// graph with two CPU workers. Returns the bound address and the join
+/// handle yielding the final [`ServeSummary`].
+fn spawn_server(cfg: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<ServeSummary>) {
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let g = generators::rmat(8, 8, 7);
+        let pool = Backend::parse("cpu")
+            .unwrap()
+            .with_threads(1)
+            .unwrap()
+            .build_pool(&g, &Uniform, 42, 2);
+        // Clear before binding: once the listener exists the test may
+        // request shutdown at any time, and that must stick.
+        signal::clear_shutdown();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        addr_tx.send(listener.local_addr().unwrap()).unwrap();
+        lightrw::http::serve(
+            listener,
+            pool.iter().map(|e| e.as_ref()).collect(),
+            &g,
+            &cfg,
+        )
+        .unwrap()
+    });
+    (
+        addr_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+        handle,
+    )
+}
+
+/// A config that admits everything and drains instantly.
+fn open_config() -> ServeConfig {
+    ServeConfig {
+        service: ServiceConfig {
+            quantum: 1024,
+            tenant_pending_steps: u64::MAX,
+        },
+        admission: AdmissionConfig {
+            rate_steps_per_s: 1e12,
+            burst_steps: 1e12,
+            queue_high_water: 1 << 20,
+        },
+        drain: Duration::ZERO,
+        io_timeout: Duration::from_millis(20),
+    }
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+fn post_job(stream: &mut TcpStream, body: &str, keep_alive: bool) {
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    stream
+        .write_all(
+            format!(
+                "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\nConnection: {conn}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+}
+
+/// Audit one 200-streamed job response: ascending query ids, one `done`
+/// summary whose count matches. Returns `(status, paths)`.
+fn audit_stream(resp: &Response) -> (String, usize) {
+    assert_eq!(resp.status, 200, "{resp:?}");
+    assert!(resp
+        .headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v == "chunked"));
+    let text = std::str::from_utf8(&resp.body).unwrap();
+    let mut next_query = 0usize;
+    let mut done = None;
+    for line in text.lines() {
+        if line.starts_with("{\"event\": \"path\"") {
+            assert!(done.is_none(), "path after done: {line}");
+            let want = format!("{{\"event\": \"path\", \"query\": {next_query}, ");
+            assert!(
+                line.starts_with(&want),
+                "expected query {next_query}: {line}"
+            );
+            next_query += 1;
+        } else if line.starts_with("{\"event\": \"done\"") {
+            let paths_tag = "\"paths\": ";
+            let at = line.find(paths_tag).unwrap() + paths_tag.len();
+            let digits: String = line[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            let status_tag = "\"status\": \"";
+            let s = line.find(status_tag).unwrap() + status_tag.len();
+            let status = line[s..].split('"').next().unwrap().to_string();
+            done = Some((status, digits.parse::<usize>().unwrap()));
+        }
+    }
+    let (status, paths) = done.expect("stream must end with a done summary");
+    assert_eq!(paths, next_query, "done count must match streamed paths");
+    (status, paths)
+}
+
+fn shutdown_and_join(handle: std::thread::JoinHandle<ServeSummary>) -> ServeSummary {
+    signal::request_shutdown();
+    let summary = handle.join().unwrap();
+    signal::clear_shutdown();
+    summary
+}
+
+#[test]
+fn streams_jobs_exactly_once_with_keepalive_pipelining_and_stats() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (addr, handle) = spawn_server(open_config());
+
+    // Three concurrent single-job connections.
+    let submitters: Vec<_> = (0..3)
+        .map(|tenant| {
+            std::thread::spawn(move || {
+                let mut stream = connect(addr);
+                post_job(
+                    &mut stream,
+                    &format!(
+                        "{{\"tenant\": {tenant}, \"queries\": 16, \"length\": 8, \
+                         \"seed\": {tenant}}}"
+                    ),
+                    false,
+                );
+                let resp = read_response(&mut BufReader::new(stream)).unwrap();
+                audit_stream(&resp)
+            })
+        })
+        .collect();
+    for s in submitters {
+        let (status, paths) = s.join().unwrap();
+        assert_eq!(status, "completed");
+        assert_eq!(paths, 16, "exactly one path per query");
+    }
+
+    // Two pipelined POSTs on one keep-alive connection: both bodies are
+    // written before either response is read, and the responses come
+    // back in order.
+    let mut stream = connect(addr);
+    post_job(
+        &mut stream,
+        "{\"tenant\": 7, \"queries\": 4, \"length\": 3}",
+        true,
+    );
+    post_job(
+        &mut stream,
+        "{\"tenant\": 7, \"queries\": 5, \"length\": 3}",
+        true,
+    );
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let first = read_response(&mut reader).unwrap();
+    assert_eq!(audit_stream(&first), ("completed".into(), 4));
+    let second = read_response(&mut reader).unwrap();
+    assert_eq!(audit_stream(&second), ("completed".into(), 5));
+
+    // Same keep-alive connection serves /stats too.
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let stats = read_response(&mut reader).unwrap();
+    assert_eq!(stats.status, 200);
+    let body = std::str::from_utf8(&stats.body).unwrap();
+    assert!(body.contains("\"admitted\": 5"), "{body}");
+    assert!(body.contains("\"queue_wait_secs\""), "{body}");
+    assert!(body.contains("\"exec_secs\""), "{body}");
+    assert!(body.contains("\"p99_queue_wait_s\""), "{body}");
+
+    let summary = shutdown_and_join(handle);
+    assert_eq!(summary.submitted, 5);
+    assert_eq!(summary.admitted, 5);
+    assert_eq!(summary.completed, 5);
+    assert_eq!(summary.shed, 0);
+    assert!(summary.drained_clean);
+}
+
+#[test]
+fn sheds_with_429_and_retry_after_when_the_bucket_runs_dry() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let mut cfg = open_config();
+    // One 16×8 = 128-step job fits the burst; the second does not.
+    cfg.admission = AdmissionConfig {
+        rate_steps_per_s: 1.0,
+        burst_steps: 200.0,
+        queue_high_water: 1 << 20,
+    };
+    let (addr, handle) = spawn_server(cfg);
+
+    let mut stream = connect(addr);
+    post_job(
+        &mut stream,
+        "{\"tenant\": 0, \"queries\": 16, \"length\": 8}",
+        true,
+    );
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let first = read_response(&mut reader).unwrap();
+    assert_eq!(audit_stream(&first).0, "completed");
+
+    post_job(
+        &mut stream,
+        "{\"tenant\": 0, \"queries\": 16, \"length\": 8}",
+        true,
+    );
+    let second = read_response(&mut reader).unwrap();
+    assert_eq!(second.status, 429, "{second:?}");
+    let retry: u64 = second.header("retry-after").unwrap().parse().unwrap();
+    assert!(retry >= 1, "Retry-After must be a positive back-off");
+    let body = std::str::from_utf8(&second.body).unwrap();
+    assert!(body.contains("\"reason\": \"tenant_rate\""), "{body}");
+
+    // An independent tenant still gets in.
+    post_job(
+        &mut stream,
+        "{\"tenant\": 1, \"queries\": 16, \"length\": 8}",
+        false,
+    );
+    let third = read_response(&mut reader).unwrap();
+    assert_eq!(audit_stream(&third).0, "completed");
+
+    let summary = shutdown_and_join(handle);
+    assert_eq!(summary.submitted, 3);
+    assert_eq!(summary.admitted, 2);
+    assert_eq!(summary.shed, 1);
+}
+
+#[test]
+fn malformed_requests_get_well_formed_4xx_responses() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (addr, handle) = spawn_server(open_config());
+
+    let check = |raw: &[u8], want_status: u16| {
+        let mut stream = connect(addr);
+        stream.write_all(raw).unwrap();
+        let resp = read_response(&mut BufReader::new(stream)).unwrap();
+        assert_eq!(
+            resp.status,
+            want_status,
+            "for {:?}",
+            String::from_utf8_lossy(raw)
+        );
+        let body = std::str::from_utf8(&resp.body).unwrap();
+        assert!(body.starts_with("{\"error\": \""), "{body}");
+    };
+    check(b"NOT A VALID LINE\r\n\r\n", 400);
+    check(b"GET / HTTP/2\r\n\r\n", 505);
+    check(b"POST /jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400);
+    check(
+        b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        501,
+    );
+    check(b"GET /nowhere HTTP/1.1\r\n\r\n", 404);
+    check(b"DELETE /jobs HTTP/1.1\r\n\r\n", 405);
+    // Valid HTTP, invalid jobspec body.
+    check(b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\n[]", 400);
+    check(
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 27\r\n\r\n{\"queries\": 4, \"length\": 0}",
+        400,
+    );
+    // Truncated body: the connection dies mid-request; the server must
+    // not hang. (The 408 response races the close; just verify the
+    // server keeps serving afterwards.)
+    {
+        let mut stream = connect(addr);
+        stream
+            .write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")
+            .unwrap();
+        drop(stream);
+    }
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let resp = read_response(&mut BufReader::new(stream)).unwrap();
+    assert_eq!(resp.status, 200, "server must survive malformed traffic");
+
+    let summary = shutdown_and_join(handle);
+    assert_eq!(summary.admitted, 0);
+}
+
+#[test]
+fn shutdown_drains_inflight_jobs_and_streams_their_terminal_summary() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let mut cfg = open_config();
+    cfg.service.quantum = 64; // slow the job down per turn
+    let (addr, handle) = spawn_server(cfg);
+
+    // A long job: 128 queries × 4096 steps. Request shutdown while it
+    // streams; with a zero drain deadline the scheduler cancels it and
+    // the client still receives a well-formed terminal summary.
+    let client = std::thread::spawn(move || {
+        let mut stream = connect(addr);
+        post_job(
+            &mut stream,
+            "{\"tenant\": 0, \"queries\": 128, \"length\": 4096}",
+            false,
+        );
+        let resp = read_response(&mut BufReader::new(stream)).unwrap();
+        audit_stream(&resp)
+    });
+    // Wait until the job is admitted before pulling the plug.
+    let mut admitted = false;
+    for _ in 0..200 {
+        let mut stream = connect(addr);
+        stream
+            .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(stream)).unwrap();
+        let body = std::str::from_utf8(&resp.body).unwrap().to_string();
+        if body.contains("\"admitted\": 1") {
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(admitted, "job never reached the scheduler");
+
+    let summary = shutdown_and_join(handle);
+    let (status, paths) = client.join().unwrap();
+    assert!(
+        status == "cancelled" || status == "completed",
+        "unexpected terminal status {status}"
+    );
+    assert!(paths <= 128);
+    assert_eq!(summary.submitted, 1);
+    assert_eq!(summary.admitted, 1);
+    // Whichever way the race went, the server must account for the job.
+    assert_eq!(summary.completed + summary.cancelled, 1);
+}
+
+#[test]
+fn idle_keepalive_connections_do_not_block_shutdown() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (addr, handle) = spawn_server(open_config());
+
+    // Park an idle keep-alive connection (no request at all) and a
+    // half-finished one, then shut down: the drain must not wait for
+    // either.
+    let idle = connect(addr);
+    let mut half = connect(addr);
+    half.write_all(b"GET /st").unwrap();
+
+    let summary = shutdown_and_join(handle);
+    assert_eq!(summary.submitted, 0);
+    assert!(summary.drained_clean);
+    drop(idle);
+    drop(half);
+}

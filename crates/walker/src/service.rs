@@ -33,7 +33,10 @@
 //!   converge to the ratio of their weights regardless of lane counts
 //!   (fairness is defined in steps, the unit all backends share —
 //!   model-clock engines and wall-clock engines multiplex on equal
-//!   terms).
+//!   terms). Inside each round-robin round, jobs with a wall-clock
+//!   deadline ([`JobSpec::wall_deadline_ms`]) are served earliest-deadline
+//!   first — a tie-break that reorders turns within a round but never
+//!   grants extra turns, so urgency and fairness compose (DESIGN.md §13).
 //! - **Quotas and backpressure.** Per tenant, at most
 //!   [`ServiceConfig::tenant_pending_steps`] requested-but-unfinished
 //!   steps may be admitted; jobs beyond the budget wait in a FIFO queue
@@ -46,8 +49,10 @@
 //!   backend has a timing model, its accumulated wall service time
 //!   otherwise) passes `deadline`.
 //! - **Observability.** [`WalkService::stats`] snapshots per-tenant
-//!   steps/s, queue depths and p50/p99 completed-job latency
-//!   ([`ServiceStats`]).
+//!   steps/s, queue depths, the queue-wait vs execution-time split, and
+//!   p50/p99 completed-job latency ([`ServiceStats`]) — the payload the
+//!   network front door's `GET /stats` serves (`lightrw::http`,
+//!   DESIGN.md §13).
 //!
 //! ```
 //! use lightrw_graph::GraphBuilder;
@@ -72,7 +77,7 @@
 //! ```
 
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::engine::{BatchProgress, WalkEngine, WalkSession, WalkSink};
 use crate::path::WalkResults;
@@ -120,6 +125,17 @@ pub struct JobSpec {
     /// otherwise). When exceeded, the job is cancelled with its partial
     /// paths flushed, and reported as [`JobStatus::Expired`].
     pub deadline: Option<f64>,
+    /// Optional **wall-clock** deadline in milliseconds, measured from
+    /// submission — the latency promise a network client declares (the
+    /// jobspec `"deadline_ms"` field, DESIGN.md §13). Unlike
+    /// [`JobSpec::deadline`] it also covers *queue* time: a job that
+    /// waits out its whole budget behind the tenant quota expires
+    /// without ever starting (start-only paths are still flushed, each
+    /// exactly once). Wall deadlines additionally drive the scheduler's
+    /// earliest-deadline tie-break inside the deficit round-robin turn
+    /// order; model-clock deadlines are budget caps, not urgency
+    /// signals, and never reorder turns.
+    pub wall_deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -129,6 +145,7 @@ impl JobSpec {
             tenant,
             weight: 1,
             deadline: None,
+            wall_deadline_ms: None,
         }
     }
 
@@ -143,11 +160,25 @@ impl JobSpec {
         self.deadline = Some(seconds);
         self
     }
+
+    /// Set the wall-clock deadline, in milliseconds from submission.
+    pub fn wall_deadline_ms(mut self, ms: u64) -> Self {
+        self.wall_deadline_ms = Some(ms);
+        self
+    }
 }
 
 /// Handle to a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JobId(u32);
+
+impl JobId {
+    /// The id's dense submission-order index, stable for the service's
+    /// lifetime. The network front door serializes it to clients.
+    pub fn as_u32(&self) -> u32 {
+        self.0
+    }
+}
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +225,8 @@ struct JobEntry<'s> {
     tenant: TenantId,
     weight: u64,
     deadline: Option<f64>,
+    /// Wall-clock deadline as a duration past `submitted_at`.
+    wall_deadline: Option<Duration>,
     /// Query payload, kept until the session starts (and for
     /// cancel-while-waiting, which still emits one path per query).
     queries: Option<QuerySet>,
@@ -209,11 +242,23 @@ struct JobEntry<'s> {
     /// skips turns until repaid — so long-run step shares follow the
     /// weights whatever each backend's lane count is.
     credit: i64,
+    /// Deficit round-robin round counter: incremented each time the job
+    /// is served, so "smallest round first" serves every running job
+    /// exactly once per round whatever the tie-break order inside a
+    /// round. Newly admitted jobs join the ring's current round.
+    round: u64,
     /// Wall seconds this job's `advance`/`cancel` calls consumed.
     service_secs: f64,
     /// The job's clock at termination (model-or-wall; see [`JobSpec`]).
     final_clock: Option<f64>,
     submitted_at: Instant,
+    /// Wall seconds spent queued before admission; set at admission, or
+    /// to the full latency when the job terminates without ever being
+    /// admitted (cancelled/expired while waiting).
+    queue_wait_s: Option<f64>,
+    /// Wall seconds from admission to termination (latency minus queue
+    /// wait); set at termination, 0 for never-admitted jobs.
+    exec_s: Option<f64>,
     /// Wall seconds from submission to termination.
     latency_s: Option<f64>,
     steps: u64,
@@ -231,6 +276,16 @@ impl JobEntry<'_> {
                 .and_then(|s| s.model_seconds())
                 .unwrap_or(self.service_secs)
         })
+    }
+
+    /// Absolute wall-clock deadline instant, if the job declared one.
+    fn wall_due(&self) -> Option<Instant> {
+        self.wall_deadline.map(|d| self.submitted_at + d)
+    }
+
+    /// True once the job's wall-clock deadline has passed.
+    fn wall_expired(&self, now: Instant) -> bool {
+        self.wall_due().is_some_and(|due| now >= due)
     }
 }
 
@@ -266,6 +321,14 @@ pub struct TenantStats {
     pub steps: u64,
     /// Model-or-wall seconds consumed across the tenant's jobs.
     pub service_secs: f64,
+    /// Wall seconds the tenant's jobs spent queued for admission
+    /// (elapsed-so-far for jobs still waiting). With
+    /// [`TenantStats::exec_secs`] this splits end-to-end latency into
+    /// queuing vs compute, so a latency bench can attribute p99 growth.
+    pub queue_wait_secs: f64,
+    /// Wall seconds the tenant's jobs spent admitted — from admission to
+    /// termination (elapsed-so-far for jobs still running).
+    pub exec_secs: f64,
 }
 
 impl TenantStats {
@@ -299,6 +362,15 @@ pub struct ServiceStats {
     pub p50_latency_s: f64,
     /// 99th-percentile submit→terminate latency, wall seconds.
     pub p99_latency_s: f64,
+    /// Median submit→admit queue wait over terminated jobs, wall seconds.
+    pub p50_queue_wait_s: f64,
+    /// 99th-percentile submit→admit queue wait, wall seconds.
+    pub p99_queue_wait_s: f64,
+    /// Median admit→terminate execution time over terminated jobs, wall
+    /// seconds.
+    pub p50_exec_s: f64,
+    /// 99th-percentile admit→terminate execution time, wall seconds.
+    pub p99_exec_s: f64,
 }
 
 /// Nearest-rank quantile of an ascending-sorted slice (`q` in `[0, 1]`);
@@ -404,6 +476,7 @@ impl<'s> WalkService<'s> {
             tenant: spec.tenant,
             weight: spec.weight.max(1) as u64,
             deadline: spec.deadline,
+            wall_deadline: spec.wall_deadline_ms.map(Duration::from_millis),
             requested_steps: queries.total_steps(),
             queries: Some(queries),
             worker,
@@ -411,9 +484,12 @@ impl<'s> WalkService<'s> {
             session: None,
             sink,
             credit: 0,
+            round: 0,
             service_secs: 0.0,
             final_clock: None,
             submitted_at: Instant::now(),
+            queue_wait_s: None,
+            exec_s: None,
             latency_s: None,
             steps: 0,
             paths: 0,
@@ -426,7 +502,33 @@ impl<'s> WalkService<'s> {
 
     /// Move every admissible waiting job into the run ring. FIFO per
     /// tenant; a quota-blocked job does not block other tenants behind it.
+    /// Waiting jobs whose wall-clock deadline has already passed are not
+    /// admitted: they expire in place (start-and-cancel, so they still
+    /// flush one start-only path per query — the same contract as
+    /// cancel-while-waiting).
     fn admit(&mut self) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let id = self.waiting[i];
+            if self.jobs[id.0 as usize].wall_expired(now) {
+                self.waiting.remove(i);
+                let job = &mut self.jobs[id.0 as usize];
+                let queries = job.queries.take().expect("waiting job keeps its queries");
+                job.session = Some(self.workers[job.worker].start_session(&queries));
+                self.terminate(id, JobStatus::Expired);
+            } else {
+                i += 1;
+            }
+        }
+        // Admitted jobs join the ring's current round so they get a turn
+        // this round without stealing extra turns from anyone.
+        let join_round = self
+            .ring
+            .iter()
+            .map(|&r| self.jobs[r.0 as usize].round)
+            .min()
+            .unwrap_or(0);
         let mut still_waiting = VecDeque::new();
         // Tenants already skipped this pass: keeps per-tenant FIFO order
         // (a tenant's later job must not overtake its blocked earlier one).
@@ -449,26 +551,64 @@ impl<'s> WalkService<'s> {
             let queries = job.queries.take().expect("waiting job keeps its queries");
             job.session = Some(self.workers[job.worker].start_session(&queries));
             job.status = JobStatus::Running;
+            job.round = join_round;
+            job.queue_wait_s = Some(job.submitted_at.elapsed().as_secs_f64());
             *self.pending.entry(tenant).or_insert(0) += job.requested_steps;
             self.ring.push_back(id);
         }
         self.waiting = still_waiting;
     }
 
-    /// Serve one scheduler turn: the next job in the deficit round-robin
-    /// ring advances with its accumulated deficit as the step budget.
-    /// Returns what ran; `job: None` means the service is idle (nothing
-    /// running or admissible).
+    /// Pick the next turn: the ring slot with the smallest round (every
+    /// running job is served exactly once per round — the deficit
+    /// round-robin invariant), breaking round ties by the earliest
+    /// wall-clock deadline (no-deadline jobs last), then by ring order.
+    /// Deadlines therefore reorder turns *within* a round but never buy
+    /// extra turns across rounds, so the weighted step shares are
+    /// untouched; with no wall deadlines in the ring this reduces to
+    /// plain FIFO rotation.
+    fn next_turn(&self) -> Option<usize> {
+        let mut best: Option<(usize, u64, Option<Instant>)> = None;
+        for (i, &id) in self.ring.iter().enumerate() {
+            let job = &self.jobs[id.0 as usize];
+            let due = job.wall_due();
+            let better = match best {
+                None => true,
+                Some((_, round, best_due)) => {
+                    job.round < round
+                        || (job.round == round
+                            && match (due, best_due) {
+                                (Some(a), Some(b)) => a < b,
+                                (Some(_), None) => true,
+                                _ => false,
+                            })
+                }
+            };
+            if better {
+                best = Some((i, job.round, due));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Serve one scheduler turn: the [`Self::next_turn`] job (smallest
+    /// round, then earliest wall deadline) advances with its accumulated
+    /// deficit as the step budget. Returns what ran; `job: None` means
+    /// the service is idle (nothing running or admissible).
     pub fn tick(&mut self) -> TickOutcome {
         self.admit();
-        let Some(id) = self.ring.pop_front() else {
+        let Some(turn) = self.next_turn() else {
             return TickOutcome {
                 job: None,
                 progress: BatchProgress::default(),
             };
         };
+        let id = self.ring.remove(turn).expect("turn index is in the ring");
         self.ticks += 1;
         let job = &mut self.jobs[id.0 as usize];
+        // The turn is consumed even when the credit check below skips
+        // execution: rounds count turns, not executed batches.
+        job.round += 1;
         let grant = self.cfg.quantum.saturating_mul(job.weight);
         job.credit = job.credit.saturating_add(grant.min(i64::MAX as u64) as i64);
         if job.credit <= 0 {
@@ -495,7 +635,8 @@ impl<'s> WalkService<'s> {
         job.paths += progress.paths_completed;
         if progress.finished {
             self.finish(id, JobStatus::Completed);
-        } else if job.deadline.is_some_and(|d| job.clock() > d) {
+        } else if job.deadline.is_some_and(|d| job.clock() > d) || job.wall_expired(Instant::now())
+        {
             self.terminate(id, JobStatus::Expired);
         } else {
             self.ring.push_back(id);
@@ -514,6 +655,29 @@ impl<'s> WalkService<'s> {
     /// True when nothing is running and nothing waits for admission.
     pub fn is_idle(&self) -> bool {
         self.ring.is_empty() && self.waiting.is_empty()
+    }
+
+    /// Jobs currently admitted (in the run ring). O(1), unlike
+    /// [`Self::stats`].
+    pub fn running_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Jobs queued for admission — the global backpressure depth the
+    /// network front door sheds against (DESIGN.md §13). O(1).
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Every non-terminal job id, run ring first then admission queue.
+    /// The serve loop's drain uses this to cancel in-flight work when
+    /// the shutdown deadline passes.
+    pub fn active_jobs(&self) -> Vec<JobId> {
+        self.ring
+            .iter()
+            .chain(self.waiting.iter())
+            .copied()
+            .collect()
     }
 
     /// Cancel a job: its unfinished walks are finalized where they stand
@@ -537,6 +701,9 @@ impl<'s> WalkService<'s> {
             }
             _ => {}
         }
+        // The cancel may have freed quota; admit immediately so callers
+        // observe successors running right after the call.
+        self.admit();
     }
 
     /// Flush a job's session via `cancel` and record it terminal with
@@ -551,8 +718,11 @@ impl<'s> WalkService<'s> {
         self.finish(id, status);
     }
 
-    /// Record a job terminal: latency, final clock, load release. Admits
-    /// newly fitting jobs (quota was freed).
+    /// Record a job terminal: latency (and its queue-wait/exec split),
+    /// final clock, load release. Freed quota is picked up by the next
+    /// `admit` — at the next tick, submit, or cancel — not here:
+    /// `finish` runs *from inside* `admit` for wall-expired waiting
+    /// jobs, so it must not re-enter it.
     fn finish(&mut self, id: JobId, status: JobStatus) {
         let job = &mut self.jobs[id.0 as usize];
         // Only admitted jobs hold quota; a cancelled-while-waiting job
@@ -565,7 +735,11 @@ impl<'s> WalkService<'s> {
             *pending = pending.saturating_sub(job.requested_steps);
         }
         job.status = status;
-        job.latency_s = Some(job.submitted_at.elapsed().as_secs_f64());
+        let latency = job.submitted_at.elapsed().as_secs_f64();
+        job.latency_s = Some(latency);
+        // A never-admitted job spent its whole life queued.
+        let queue_wait = *job.queue_wait_s.get_or_insert(latency);
+        job.exec_s = Some((latency - queue_wait).max(0.0));
         job.final_clock = Some(
             job.session
                 .as_ref()
@@ -577,7 +751,6 @@ impl<'s> WalkService<'s> {
         // buffers, DRAM models) as jobs retire.
         job.session = None;
         self.worker_load[job.worker] -= 1;
-        self.admit();
     }
 
     /// A job's current status.
@@ -598,6 +771,15 @@ impl<'s> WalkService<'s> {
     /// Submit→terminate wall latency of a terminal job.
     pub fn job_latency_s(&self, id: JobId) -> Option<f64> {
         self.jobs[id.0 as usize].latency_s
+    }
+
+    /// A terminal job's `(queue_wait, exec)` wall-second split: time
+    /// queued before admission vs time admitted. The two sum to
+    /// [`Self::job_latency_s`]; a never-admitted job (cancelled or
+    /// wall-expired while waiting) reports `(latency, 0)`.
+    pub fn job_split_s(&self, id: JobId) -> Option<(f64, f64)> {
+        let job = &self.jobs[id.0 as usize];
+        Some((job.queue_wait_s?, job.exec_s?))
     }
 
     /// Model-or-wall seconds the job consumed (see [`JobSpec::deadline`]).
@@ -641,6 +823,8 @@ impl<'s> WalkService<'s> {
                     pending_steps: 0,
                     steps: 0,
                     service_secs: 0.0,
+                    queue_wait_secs: 0.0,
+                    exec_secs: 0.0,
                 });
                 tenants.len() - 1
             });
@@ -648,6 +832,19 @@ impl<'s> WalkService<'s> {
             row.submitted += 1;
             row.steps += job.steps;
             row.service_secs += job.clock();
+            // The queue/exec split: recorded values for terminal jobs,
+            // elapsed-so-far attribution for in-flight ones.
+            match (job.queue_wait_s, job.exec_s) {
+                (Some(q), Some(e)) => {
+                    row.queue_wait_secs += q;
+                    row.exec_secs += e;
+                }
+                (Some(q), None) => {
+                    row.queue_wait_secs += q;
+                    row.exec_secs += (job.submitted_at.elapsed().as_secs_f64() - q).max(0.0);
+                }
+                _ => row.queue_wait_secs += job.submitted_at.elapsed().as_secs_f64(),
+            }
             match job.status {
                 JobStatus::Waiting => row.waiting += 1,
                 JobStatus::Running => {
@@ -662,6 +859,15 @@ impl<'s> WalkService<'s> {
         tenants.sort_by_key(|t| t.tenant);
         let mut latencies: Vec<f64> = self.jobs.iter().filter_map(|j| j.latency_s).collect();
         latencies.sort_by(f64::total_cmp);
+        let mut waits: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.status.is_terminal())
+            .filter_map(|j| j.queue_wait_s)
+            .collect();
+        waits.sort_by(f64::total_cmp);
+        let mut execs: Vec<f64> = self.jobs.iter().filter_map(|j| j.exec_s).collect();
+        execs.sort_by(f64::total_cmp);
         ServiceStats {
             ticks: self.ticks,
             total_steps: self.jobs.iter().map(|j| j.steps).sum(),
@@ -674,6 +880,10 @@ impl<'s> WalkService<'s> {
                 .count(),
             p50_latency_s: quantile(&latencies, 0.50),
             p99_latency_s: quantile(&latencies, 0.99),
+            p50_queue_wait_s: quantile(&waits, 0.50),
+            p99_queue_wait_s: quantile(&waits, 0.99),
+            p50_exec_s: quantile(&execs, 0.50),
+            p99_exec_s: quantile(&execs, 0.99),
             tenants,
         }
     }
@@ -897,6 +1107,131 @@ mod tests {
         assert!(partial.total_steps() < 8 * 1000);
         let stats = service.stats();
         assert_eq!(stats.tenants[0].expired, 1);
+    }
+
+    #[test]
+    fn earliest_wall_deadline_served_first_within_each_round() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 4,
+                ..Default::default()
+            },
+        );
+        let long = || QuerySet::from_starts(vec![0; 8], 1000);
+        let relaxed = service.submit(JobSpec::tenant(0), long());
+        let lax = service.submit(JobSpec::tenant(1).wall_deadline_ms(3_600_000), long());
+        let urgent = service.submit(JobSpec::tenant(2).wall_deadline_ms(60_000), long());
+        // Within every round: urgent (earliest deadline) first, then lax,
+        // then the deadline-free job — submission order notwithstanding.
+        for round in 0..3 {
+            for expect in [urgent, lax, relaxed] {
+                let out = service.tick();
+                assert_eq!(out.job, Some(expect), "round {round}");
+            }
+        }
+        // Exactly one turn each per round: step shares stay fair.
+        let s = service.job_steps(urgent);
+        assert!(service.job_steps(relaxed) == s && service.job_steps(lax) == s);
+    }
+
+    #[test]
+    fn wall_deadline_expires_running_job_with_partial_flush() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 2,
+                ..Default::default()
+            },
+        );
+        let job = service.submit(
+            JobSpec::tenant(0).wall_deadline_ms(5),
+            QuerySet::from_starts(vec![0; 6], 1000),
+        );
+        assert_eq!(service.status(job), JobStatus::Running);
+        // Let the deadline lapse while admitted; the first post-advance
+        // check then expires the job.
+        std::thread::sleep(Duration::from_millis(10));
+        service.run_until_idle();
+        assert_eq!(service.status(job), JobStatus::Expired);
+        let partial = service.take_results(job).unwrap();
+        assert_eq!(partial.len(), 6, "expiry flushes every query once");
+        assert!(partial.total_steps() < 6 * 1000);
+    }
+
+    #[test]
+    fn wall_deadline_expires_waiting_job_without_admission() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 8,
+                tenant_pending_steps: 10,
+            },
+        );
+        let running = service.submit(JobSpec::tenant(0), QuerySet::from_starts(vec![0], 10));
+        // Quota-blocked behind `running`; its budget runs out before any
+        // quota frees up, so it can never be admitted.
+        let doomed = service.submit(
+            JobSpec::tenant(0).wall_deadline_ms(20),
+            QuerySet::from_starts(vec![2, 3], 10),
+        );
+        assert_eq!(service.status(doomed), JobStatus::Waiting);
+        std::thread::sleep(Duration::from_millis(25));
+        service.tick();
+        assert_eq!(service.status(doomed), JobStatus::Expired);
+        let flushed = service.take_results(doomed).unwrap();
+        assert_eq!(flushed.len(), 2, "one start-only path per query");
+        assert_eq!(flushed.path(0), &[2]);
+        let (queue_wait, exec) = service.job_split_s(doomed).unwrap();
+        assert_eq!(exec, 0.0, "never admitted: no execution time");
+        assert_eq!(Some(queue_wait), service.job_latency_s(doomed));
+        service.run_until_idle();
+        assert_eq!(service.status(running), JobStatus::Completed);
+    }
+
+    #[test]
+    fn queue_wait_and_exec_split_sums_to_latency() {
+        let g = ring_graph();
+        let engine = reference(&g);
+        let mut service = WalkService::new(
+            vec![&engine],
+            ServiceConfig {
+                quantum: 16,
+                tenant_pending_steps: 100,
+            },
+        );
+        let qs = || QuerySet::from_starts(vec![0; 10], 10);
+        let first = service.submit(JobSpec::tenant(0), qs());
+        let queued = service.submit(JobSpec::tenant(0), qs());
+        assert_eq!(service.status(queued), JobStatus::Waiting);
+        service.run_until_idle();
+        for job in [first, queued] {
+            let (queue_wait, exec) = service.job_split_s(job).unwrap();
+            let latency = service.job_latency_s(job).unwrap();
+            assert!(queue_wait >= 0.0 && exec > 0.0);
+            assert!(
+                (queue_wait + exec - latency).abs() < 1e-9,
+                "split must sum to latency"
+            );
+        }
+        // The queued job waited at least as long as its predecessor's
+        // whole life ran, so its wait dominates the first job's.
+        let w_first = service.job_split_s(first).unwrap().0;
+        let w_queued = service.job_split_s(queued).unwrap().0;
+        assert!(w_queued >= w_first);
+        let stats = service.stats();
+        let row = &stats.tenants[0];
+        assert!(row.queue_wait_secs >= w_queued);
+        assert!(row.exec_secs > 0.0);
+        assert!(stats.p99_queue_wait_s >= stats.p50_queue_wait_s);
+        assert!(stats.p99_exec_s >= stats.p50_exec_s);
+        assert!(stats.p50_exec_s > 0.0);
     }
 
     #[test]
